@@ -1,0 +1,51 @@
+"""A3 ablation: Azure Batch vs Slurm back-end.
+
+Paper Sec. III-B: "the back-end can be replaced.  We plan to create a couple
+of other back-end examples, including one that uses Slurm directly."  Both
+back-ends run the same scenario list; measurements must agree (same
+simulated physics) while orchestration overheads may differ.
+"""
+
+import pytest
+
+from benchmarks.conftest import paper_config, run_sweep
+
+
+def _dataset_index(dataset):
+    return {
+        (p.sku, p.nnodes): (p.exec_time_s, p.cost_usd) for p in dataset
+    }
+
+
+def test_ablation_backend_swap(benchmark):
+    config_batch = paper_config("lammps", {"BOXFACTOR": ["10"]},
+                                [2, 4, 8], "abbatch")
+    batch_report, batch_data, _ = run_sweep(config_batch, "azurebatch")
+
+    def slurm_sweep():
+        config = paper_config("lammps", {"BOXFACTOR": ["10"]},
+                              [2, 4, 8], "abslurm")
+        return run_sweep(config, "slurm")
+
+    slurm_report, slurm_data, _ = benchmark(slurm_sweep)
+
+    print("\n=== Ablation A3: back-end swap (Azure Batch vs Slurm) ===")
+    print(f"    scenarios: batch {batch_report.completed}, "
+          f"slurm {slurm_report.completed}")
+    print(f"    task cost: batch ${batch_report.task_cost_usd:.2f}, "
+          f"slurm ${slurm_report.task_cost_usd:.2f}")
+    print(f"    provisioning: batch {batch_report.provisioning_overhead_s:.0f}s, "
+          f"slurm {slurm_report.provisioning_overhead_s:.0f}s")
+
+    batch_index = _dataset_index(batch_data)
+    slurm_index = _dataset_index(slurm_data)
+    assert batch_index.keys() == slurm_index.keys()
+    for key, (bt, bc) in batch_index.items():
+        st, sc = slurm_index[key]
+        assert st == pytest.approx(bt)
+        assert sc == pytest.approx(bc)
+
+    # Task-level measurements are identical, so advice is identical too.
+    assert batch_report.task_cost_usd == pytest.approx(
+        slurm_report.task_cost_usd
+    )

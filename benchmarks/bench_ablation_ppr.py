@@ -1,0 +1,65 @@
+"""A5 ablation: processes-per-resource (the paper's ``ppr`` knob).
+
+The main configuration's ``ppr`` field sets the "percentage of processes
+per resource" — how many MPI ranks each node runs relative to its core
+count.  The interesting physics: a compute-bound code (LAMMPS) loses
+near-linearly when ranks are removed, while a memory-bandwidth-bound code
+(OpenFOAM) saturates the node's bandwidth at roughly half the cores and
+barely notices — so half-populated nodes cost the same but are only
+slightly slower, which can move them onto the Pareto front for bw-bound
+applications on expensive SKUs.
+"""
+
+import pytest
+
+from benchmarks.conftest import paper_config, run_sweep
+
+
+def sweep_at_ppr(appname: str, appinputs, ppr: int, rgprefix: str):
+    config = paper_config(appname, appinputs, [4], rgprefix)
+    config = type(config).from_dict({**config.to_dict(), "ppr": ppr})
+    _, dataset, _ = run_sweep(config)
+    v3 = dataset.filter(sku="hb120rs_v3").points()[0]
+    return v3
+
+
+def test_ablation_ppr(benchmark):
+    lammps_inputs = {"BOXFACTOR": ["20"]}
+    openfoam_inputs = {"mesh": ["40 16 16"]}
+
+    lammps = {
+        ppr: sweep_at_ppr("lammps", lammps_inputs, ppr, f"pprlj{ppr}")
+        for ppr in (25, 50, 100)
+    }
+
+    def openfoam_sweeps():
+        return {
+            ppr: sweep_at_ppr("openfoam", openfoam_inputs, ppr,
+                              f"pprof{ppr}")
+            for ppr in (25, 50, 100)
+        }
+
+    openfoam = benchmark(openfoam_sweeps)
+
+    print("\n=== Ablation A5: processes per resource (4x hb120rs_v3) ===")
+    print(f"    {'ppr':>4} {'ranks':>6} {'lammps':>9} {'openfoam':>9}")
+    for ppr in (25, 50, 100):
+        print(f"    {ppr:>3}% {lammps[ppr].ppn * 4:>6} "
+              f"{lammps[ppr].exec_time_s:>8.1f}s "
+              f"{openfoam[ppr].exec_time_s:>8.1f}s")
+
+    # Mostly-compute-bound LAMMPS: halving ranks costs ~1.5x (its ~30%
+    # bandwidth-bound share is already saturated at half the cores).
+    lj_penalty = lammps[50].exec_time_s / lammps[100].exec_time_s
+    assert 1.35 < lj_penalty < 2.1
+
+    # Bandwidth-bound OpenFOAM: half the ranks, almost the same speed.
+    of_penalty = openfoam[50].exec_time_s / openfoam[100].exec_time_s
+    assert of_penalty < 1.25
+
+    # The contrast is the decision-relevant shape.
+    assert lj_penalty > of_penalty + 0.3
+
+    # ppn bookkeeping follows the percentage.
+    assert lammps[50].ppn == 60
+    assert lammps[25].ppn == 30

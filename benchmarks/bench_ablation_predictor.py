@@ -1,0 +1,69 @@
+"""A4 ablation: predicted advice from historical data vs measured advice.
+
+The paper's first optimization branch (Sec. III-F): "If there is enough
+data from previous executions ... it may be possible to create a machine
+learning-based model."  Train on two previously-swept box factors, predict
+the advice table for an unmeasured third, and score it against ground
+truth — quantifying the zero-execution end state.
+"""
+
+import pytest
+
+from benchmarks.conftest import paper_config, run_sweep
+from repro.core.advisor import Advisor
+from repro.core.scenarios import generate_scenarios
+from repro.predict import PerformancePredictor
+
+
+def test_ablation_predicted_vs_measured_advice(benchmark):
+    # Historical data: two other inputs of the same application.
+    history_config = paper_config(
+        "lammps", {"BOXFACTOR": ["20", "28"]}, [2, 3, 4, 8, 16], "predhist"
+    )
+    history_report, history, _ = run_sweep(history_config)
+
+    question = paper_config("lammps", {"BOXFACTOR": ["30"]},
+                            [3, 4, 8, 16], "predq")
+    candidates = generate_scenarios(question)
+
+    def train_and_predict():
+        predictor = PerformancePredictor().fit(history, cv_folds=5)
+        return predictor, predictor.predicted_front(candidates)
+
+    predictor, predicted_rows = benchmark(train_and_predict)
+
+    # Ground truth for scoring.
+    truth_report, truth, _ = run_sweep(
+        paper_config("lammps", {"BOXFACTOR": ["30"]}, [3, 4, 8, 16],
+                     "predtruth")
+    )
+    true_rows = Advisor(truth).advise(appname="lammps")
+
+    true_index = {(r.sku, r.nnodes): r.exec_time_s for r in true_rows}
+    shared = [r for r in predicted_rows if (r.sku, r.nnodes) in true_index]
+    errors = [
+        abs(r.exec_time_s - true_index[(r.sku, r.nnodes)])
+        / true_index[(r.sku, r.nnodes)]
+        for r in shared
+    ]
+
+    print("\n=== Ablation A4: predicted vs measured advice ===")
+    print(f"    training: {len(history)} points "
+          f"(${history_report.task_cost_usd:.2f} already spent)")
+    print(f"    model CV MAPE: {predictor.cv_mape:.1%}")
+    print(f"    predicted front rows: "
+          + "  ".join(f"{r.nnodes}n/{r.exec_time_s:.0f}s"
+                      for r in predicted_rows))
+    print(f"    true front rows:      "
+          + "  ".join(f"{r.nnodes}n/{r.exec_time_s:.0f}s"
+                      for r in true_rows))
+    print(f"    front-row time error: mean {sum(errors) / len(errors):.1%}, "
+          f"max {max(errors):.1%}")
+    print(f"    execution cost avoided: ${truth_report.task_cost_usd:.2f}")
+
+    # Structure preserved: same SKU family and node-count staircase.
+    assert [(r.sku, r.nnodes) for r in predicted_rows] == \
+        [(r.sku, r.nnodes) for r in true_rows]
+    # Accuracy: every shared front row within 15%; CV under 10%.
+    assert predictor.cv_mape is not None and predictor.cv_mape < 0.10
+    assert max(errors) < 0.15

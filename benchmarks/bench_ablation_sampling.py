@@ -1,0 +1,113 @@
+"""A1 ablation: smart sampling (Sec. III-F) vs the full sweep.
+
+The paper's optimisation goal: "identify which new scenarios would need to
+be executed to obtain the best 'return on investment', i.e. scenarios that
+would help provide more information for generating the Pareto front."
+
+This bench runs the same LAMMPS grid both ways and reports scenarios
+executed, task cost, and Pareto-front recall.
+"""
+
+import pytest
+
+from benchmarks.conftest import paper_config, run_sweep
+from repro.core.advisor import Advisor
+from repro.core.scenarios import generate_scenarios
+from repro.core.deployer import Deployer
+from repro.sampling.planner import SamplerPolicy, SmartSampler
+
+GRID_NNODES = [2, 3, 4, 6, 8, 12, 16]
+
+
+def _config(rgprefix):
+    return paper_config("lammps", {"BOXFACTOR": ["30"]}, GRID_NNODES,
+                        rgprefix)
+
+
+def _smart_sampler(config):
+    deployment = Deployer().deploy(config)
+    scenarios = generate_scenarios(config)
+    prices = {
+        s: deployment.provider.prices.hourly_price(s, config.region)
+        for s in config.skus
+    }
+    return SmartSampler.for_scenarios(scenarios, prices)
+
+
+def test_ablation_sampling_vs_full(benchmark):
+    full_report, full_data, _ = run_sweep(_config("ablfull"))
+
+    def smart_sweep():
+        config = _config("ablsmart")
+        return run_sweep(config, sampler=_smart_sampler(config))
+
+    smart_report, smart_data, _ = benchmark(smart_sweep)
+
+    full_rows = Advisor(full_data).advise(appname="lammps")
+    smart_rows = Advisor(smart_data).advise(appname="lammps")
+
+    total = len(GRID_NNODES) * 3
+    saved_cost = full_report.task_cost_usd - smart_report.task_cost_usd
+    print("\n=== Ablation A1: smart sampling vs full sweep ===")
+    print(f"    scenarios executed: full {full_report.executed}/{total}, "
+          f"smart {smart_report.executed}/{total} "
+          f"(skipped {smart_report.skipped}, "
+          f"predicted {smart_report.predicted})")
+    print(f"    task cost: full ${full_report.task_cost_usd:.2f}, "
+          f"smart ${smart_report.task_cost_usd:.2f} "
+          f"(saved ${saved_cost:.2f}, "
+          f"{saved_cost / full_report.task_cost_usd:.0%})")
+    print(f"    front size: full {len(full_rows)}, smart {len(smart_rows)}")
+
+    # The sampler must meaningfully reduce execution while keeping the front.
+    assert smart_report.executed < full_report.executed
+    assert smart_report.task_cost_usd < full_report.task_cost_usd
+
+    # Front quality: the smart front 1.1-covers the true front (for every
+    # true front member there is a smart point within 10% on both axes).
+    for row in full_rows:
+        assert any(
+            s.exec_time_s <= row.exec_time_s * 1.10
+            and s.cost_usd <= row.cost_usd * 1.10
+            for s in smart_rows
+        ), f"front member not covered: {row}"
+
+
+def test_ablation_sampler_components(benchmark):
+    """Per-strategy contribution: discard-only vs predict-only vs both."""
+
+    def sweep_with(policy_kwargs, rgprefix):
+        config = _config(rgprefix)
+        deployment = Deployer().deploy(config)
+        scenarios = generate_scenarios(config)
+        prices = {
+            s: deployment.provider.prices.hourly_price(s, config.region)
+            for s in config.skus
+        }
+        sampler = SmartSampler.for_scenarios(
+            scenarios, prices, policy=SamplerPolicy(**policy_kwargs)
+        )
+        report, _, _ = run_sweep(config, sampler=sampler)
+        return report
+
+    discard_only = sweep_with(
+        {"enable_predict": False, "enable_bottleneck": False}, "abldisc"
+    )
+    predict_only = sweep_with(
+        {"enable_discard": False, "enable_bottleneck": False}, "ablpred"
+    )
+    both = benchmark.pedantic(
+        sweep_with,
+        args=({}, "ablboth"),
+        rounds=1, iterations=1,
+    )
+    print("\n=== Ablation A1b: sampler components (executed scenarios) ===")
+    total = len(GRID_NNODES) * 3
+    print(f"    discard only:  {discard_only.executed}/{total} "
+          f"(skipped {discard_only.skipped})")
+    print(f"    predict only:  {predict_only.executed}/{total} "
+          f"(predicted {predict_only.predicted})")
+    print(f"    combined:      {both.executed}/{total}")
+    assert discard_only.skipped > 0
+    assert predict_only.predicted > 0
+    assert both.executed <= min(discard_only.executed, predict_only.executed)

@@ -1,0 +1,38 @@
+"""E2 / Figure 2: Execution Time vs Number of Nodes (LAMMPS, 860M atoms).
+
+Paper shape: three curves (hc44rs, hb120rs_v2, hb120rs_v3) over 2..16
+nodes; hb120rs_v3 fastest throughout, hc44rs slowest starting near the
+~2,000-second axis top at 2 nodes; all curves monotonically decreasing.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.core.plotdata import exectime_vs_nodes
+
+
+def test_fig2_exectime_vs_nodes(benchmark, lammps_figure_dataset):
+    data = benchmark(exectime_vs_nodes, lammps_figure_dataset)
+    print_series("Figure 2: Execution Time vs Number of Nodes", data)
+
+    by_label = {s.label: dict(s.points) for s in data.series}
+    assert set(by_label) == {"hc44rs", "hb120rs_v2", "hb120rs_v3"}
+
+    # SKU ordering holds at every node count (who wins).
+    for n in (2.0, 4.0, 8.0, 16.0):
+        assert by_label["hb120rs_v3"][n] < by_label["hb120rs_v2"][n] \
+            < by_label["hc44rs"][n]
+
+    # Curves decrease monotonically over the figure's x-range.
+    for label, points in by_label.items():
+        times = [points[float(n)] for n in sorted(points)]
+        assert times == sorted(times, reverse=True), label
+
+    # Magnitudes: hc44rs starts near the paper's axis top (~1,800-2,000 s);
+    # hb120rs_v3 reaches ~36 s at 16 nodes (Listing 4 row 1).
+    assert by_label["hc44rs"][2.0] == pytest.approx(1800, rel=0.25)
+    assert by_label["hb120rs_v3"][16.0] == pytest.approx(36, rel=0.10)
+
+    # Roughly 5x between the slowest and fastest SKU at 16 nodes.
+    ratio = by_label["hc44rs"][16.0] / by_label["hb120rs_v3"][16.0]
+    assert 3.5 < ratio < 8.0

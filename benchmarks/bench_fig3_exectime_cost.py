@@ -1,0 +1,38 @@
+"""E3 / Figure 3: Execution Time vs Cost (LAMMPS, 860M atoms).
+
+Paper shape: both HB SKUs bill $3.60/h, so their near-linear scaling makes
+the cost of a fixed job almost independent of node count — tight, nearly
+vertical point columns; hc44rs costs several times more for the same work
+and sits far to the right (slower) and higher (pricier).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.core.plotdata import exectime_vs_cost
+
+
+def test_fig3_exectime_vs_cost(benchmark, lammps_figure_dataset):
+    data = benchmark(exectime_vs_cost, lammps_figure_dataset)
+    print_series("Figure 3: Execution Time vs Cost", data)
+
+    by_label = {s.label: s for s in data.series}
+
+    # v3's cost band is tight (max/min < 1.3): near-vertical column.
+    v3_costs = by_label["hb120rs_v3"].ys
+    assert max(v3_costs) / min(v3_costs) < 1.3
+    # Magnitude matches Listing 4: $0.51-0.58 for the whole v3 column.
+    assert min(v3_costs) == pytest.approx(0.52, rel=0.15)
+
+    # hc44rs is strictly more expensive than v3 at every shape (its column
+    # sits far above), by roughly the 5x factor visible in the figure.
+    assert min(by_label["hc44rs"].ys) > max(v3_costs)
+    assert min(by_label["hc44rs"].ys) / max(v3_costs) > 3.0
+
+    # And its fastest point (16 nodes) is still ~5x slower than v3's.
+    assert min(by_label["hc44rs"].xs) > 4 * min(by_label["hb120rs_v3"].xs)
+
+    # v2's superlinear scaling makes big node counts *cheaper*: its cost
+    # column is wider than v3's and decreasing in time.
+    v2 = sorted(by_label["hb120rs_v2"].points)  # sorted by exec time
+    assert v2[0][1] < v2[-1][1]  # fastest (most nodes) is cheapest

@@ -1,0 +1,49 @@
+"""E6 / Figure 6: the Pareto-front concept plot.
+
+The figure shows a cloud of executed scenarios in (execution time, cost)
+space with the red Pareto-front staircase; this bench regenerates it from a
+mixed LAMMPS sweep and times the front computation at realistic and at
+large scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pareto import is_dominated, pareto_front
+from repro.core.plotdata import pareto_scatter
+from repro.core.svg import render_chart
+
+
+def test_fig6_pareto_front_from_sweep(benchmark, lammps_figure_dataset):
+    scatter, front = benchmark(pareto_scatter, lammps_figure_dataset)
+    print("\n=== Figure 6: Scenarios + Pareto front ===")
+    print(f"    scenarios: {len(scatter.series[0].points)}")
+    print("    front:     " + "  ".join(
+        f"({t:.0f}s, ${c:.3f})" for t, c in front.points
+    ))
+
+    all_points = list(scatter.series[0].points)
+    # Front members are non-dominated; non-members are dominated.
+    for p in front.points:
+        assert not is_dominated(p, all_points)
+    for p in all_points:
+        if p not in front.points:
+            assert is_dominated(p, front.points)
+
+    # The front staircase decreases in cost as time grows.
+    costs = [c for _t, c in front.points]
+    assert costs == sorted(costs, reverse=True)
+
+    # The chart renders (the tool draws this figure for the user).
+    svg = render_chart(scatter, overlay=front)
+    assert "Pareto Front" in svg
+
+
+def test_fig6_front_computation_scales(benchmark):
+    """The O(n log n) sweep handles 100k scenario points comfortably."""
+    rng = np.random.default_rng(42)
+    points = [tuple(row) for row in rng.random((100_000, 2))]
+    front = benchmark(pareto_front, points)
+    assert 0 < len(front) < len(points)
+    xs = [p[0] for p in front]
+    assert xs == sorted(xs)

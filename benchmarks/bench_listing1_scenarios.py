@@ -1,0 +1,47 @@
+"""E1 / Listing 1: scenario generation from the main configuration.
+
+The paper's example main configuration (3 SKUs x 6 node counts x 2 mesh
+definitions) "generates 3x6x2 scenarios".  This bench regenerates the 36
+scenarios and times the generation machinery at that size and at a much
+larger sweep.
+"""
+
+from benchmarks.conftest import paper_config
+from repro.core.scenarios import generate_scenarios
+
+
+def listing1_config():
+    return paper_config(
+        "openfoam",
+        {"mesh": ["80 24 24", "60 16 16"]},
+        [1, 2, 3, 4, 8, 16],
+        "listing1",
+    )
+
+
+def test_listing1_scenario_generation(benchmark):
+    config = listing1_config()
+    scenarios = benchmark(generate_scenarios, config)
+    assert len(scenarios) == 36 == config.scenario_count
+    # 3 SKUs x 6 node counts x 2 meshes, grouped by SKU for Algorithm 1.
+    assert len({s.sku_name for s in scenarios}) == 3
+    assert len({s.nnodes for s in scenarios}) == 6
+    assert len({s.inputs_key() for s in scenarios}) == 2
+    print(f"\n=== Listing 1: {len(scenarios)} scenarios (3x6x2) ===")
+    for s in scenarios[:4]:
+        print(f"    {s.scenario_id}: {s.sku_name} n={s.nnodes} "
+              f"ppn={s.ppn} {s.appinputs}")
+    print("    ...")
+
+
+def test_large_sweep_generation(benchmark):
+    """Throughput guard: a 4,000-scenario grid must generate instantly."""
+    config = paper_config(
+        "lammps",
+        {"BOXFACTOR": [str(b) for b in range(1, 26)],
+         "steps": ["100", "200"]},
+        [1, 2, 3, 4, 6, 8, 10, 12, 14, 16, 24, 32, 48, 64],
+        "bigsweep",
+    )
+    scenarios = benchmark(generate_scenarios, config)
+    assert len(scenarios) == 3 * 14 * 25 * 2

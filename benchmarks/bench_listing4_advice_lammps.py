@@ -1,0 +1,60 @@
+"""E8 / Listing 4: the LAMMPS advice table.
+
+Paper output (LJ benchmark, box x30 = 864M atoms)::
+
+    Exectime(s) Cost($) Nodes SKU
+    36          0.5760  16    hb120rs_v3
+    69          0.5520   8    hb120rs_v3
+    132         0.5280   4    hb120rs_v3
+    173         0.5190   3    hb120rs_v3
+
+Reproduced: same four rows — hb120rs_v3 sweeps the front, node counts
+16/8/4/3, times within 10%, costs within 10% (both axes anchored by the
+$3.60/h price implied by the paper's own numbers).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_sweep, paper_config
+from repro.core.advisor import Advisor
+
+
+def test_listing4_lammps_advice(benchmark, lammps_advice_dataset):
+    advisor = Advisor(lammps_advice_dataset)
+    rows = benchmark(advisor.advise, appname="lammps", sort_by="time")
+    print("\n=== Listing 4: LAMMPS advice (reproduced) ===")
+    print(advisor.render_table(rows))
+
+    assert [(r.nnodes, r.sku_short) for r in rows] == [
+        (16, "hb120rs_v3"), (8, "hb120rs_v3"),
+        (4, "hb120rs_v3"), (3, "hb120rs_v3"),
+    ]
+    paper = [(36, 0.576), (69, 0.552), (132, 0.528), (173, 0.519)]
+    for row, (paper_t, paper_c) in zip(rows, paper):
+        assert row.exec_time_s == pytest.approx(paper_t, rel=0.10)
+        assert row.cost_usd == pytest.approx(paper_c, rel=0.10)
+
+    # The paper's tradeoff profile: the fastest option is only ~11% more
+    # expensive than the cheapest but 4.8x faster.
+    assert rows[0].cost_usd / rows[-1].cost_usd == pytest.approx(1.11,
+                                                                 abs=0.05)
+    assert rows[-1].exec_time_s / rows[0].exec_time_s == pytest.approx(
+        4.8, rel=0.15
+    )
+
+
+def test_listing4_full_pipeline(benchmark):
+    """Times the complete deploy -> collect -> advise pipeline."""
+
+    def pipeline():
+        config = paper_config("lammps", {"BOXFACTOR": ["30"]},
+                              [3, 4, 8, 16], "advpipeline")
+        report, dataset, _ = run_sweep(config)
+        return report, Advisor(dataset).advise(appname="lammps")
+
+    report, rows = benchmark(pipeline)
+    assert report.completed == 12
+    assert len(rows) == 4
+    print(f"\n    pipeline: {report.completed} scenarios, "
+          f"task cost ${report.task_cost_usd:.2f}, "
+          f"infra cost ${report.infrastructure_cost_usd:.2f}")

@@ -1,0 +1,47 @@
+"""E10 / Table II: the CLI command surface, end to end.
+
+Runs the real commands (deploy create -> collect -> plot -> advice ->
+deploy shutdown) through the CLI entry point against a temporary state
+directory, timing the full user-facing workflow.
+"""
+
+import os
+
+from repro.cli.main import main
+
+CONFIG = """
+subscription: benchcli
+skus:
+  - Standard_HB120rs_v3
+  - Standard_HC44rs
+rgprefix: benchrg
+appsetupurl: https://example.org/lammps.sh
+nnodes: [2, 4]
+appname: lammps
+region: southcentralus
+ppr: 100
+appinputs:
+  BOXFACTOR: ["10"]
+"""
+
+
+def test_table2_cli_workflow(benchmark, tmp_path):
+    config_path = tmp_path / "config.yaml"
+    config_path.write_text(CONFIG)
+    runs = {"n": 0}
+
+    def workflow():
+        state = str(tmp_path / f"state-{runs['n']}")
+        runs["n"] += 1
+        plots = str(tmp_path / f"plots-{runs['n']}")
+        base = ["--state-dir", state]
+        assert main([*base, "deploy", "create", "-c", str(config_path)]) == 0
+        assert main([*base, "deploy", "list"]) == 0
+        assert main([*base, "collect", "-n", "benchrg-000"]) == 0
+        assert main([*base, "plot", "-n", "benchrg-000", "-o", plots]) == 0
+        assert main([*base, "advice", "-n", "benchrg-000"]) == 0
+        assert main([*base, "deploy", "shutdown", "-n", "benchrg-000"]) == 0
+        return plots
+
+    plots_dir = benchmark.pedantic(workflow, rounds=3, iterations=1)
+    assert len(os.listdir(plots_dir)) == 5  # four chart types + pareto

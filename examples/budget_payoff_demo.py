@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Budget-constrained collection and advice payoff analysis.
+
+Two economics questions from the paper's Sec. III-C cost discussion:
+
+1. *I only want to spend $X collecting data* — the BudgetedSampler wraps
+   the smart sampler with a hard dollar budget;
+2. *when does the advice pay for itself?* — the payoff analysis computes
+   the break-even number of production runs.
+
+Run with::
+
+    python examples/budget_payoff_demo.py
+"""
+
+from repro import (
+    Advisor,
+    AzureBatchBackend,
+    DataCollector,
+    Dataset,
+    Deployer,
+    MainConfig,
+    SmartSampler,
+    TaskDB,
+    generate_scenarios,
+    get_plugin,
+)
+from repro.core.payoff import payoff_vs_worst_front_row, render_payoff
+from repro.sampling.budget import BudgetedSampler
+from repro.sampling.planner import SamplerPolicy
+
+config = MainConfig.from_dict({
+    "subscription": "budget-demo",
+    "skus": ["Standard_HC44rs", "Standard_HB120rs_v2",
+             "Standard_HB120rs_v3"],
+    "rgprefix": "budgetdemo",
+    "appsetupurl": "https://example.org/lammps.sh",
+    "nnodes": [2, 3, 4, 8, 16],
+    "appname": "lammps",
+    "region": "southcentralus",
+    "ppr": 100,
+    "appinputs": {"BOXFACTOR": ["30"]},
+})
+
+BUDGET_USD = 12.0
+
+deployment = Deployer().deploy(config)
+scenarios = generate_scenarios(config)
+prices = {
+    sku: deployment.provider.prices.hourly_price(sku, config.region)
+    for sku in config.skus
+}
+sampler = BudgetedSampler(
+    inner=SmartSampler.for_scenarios(
+        scenarios, prices,
+        policy=SamplerPolicy(min_r_squared=0.95),
+    ),
+    budget_usd=BUDGET_USD,
+)
+collector = DataCollector(
+    backend=AzureBatchBackend(service=deployment.batch),
+    script=get_plugin("lammps"),
+    dataset=Dataset(),
+    taskdb=TaskDB(),
+    sampler=sampler,
+)
+report = collector.collect(scenarios)
+
+print(f"budget: ${BUDGET_USD:.2f} — spent ${sampler.spent_usd:.2f} on "
+      f"{report.completed} measured scenarios")
+print(f"({report.predicted} predicted free, {report.skipped} skipped — "
+      f"{sampler.skipped_over_budget} of those for budget reasons)")
+
+advisor = Advisor(collector.dataset)
+rows = advisor.advise(appname="lammps")
+print("\nAdvice under budget:")
+print(advisor.render_table(rows))
+
+print("Payoff analysis (vs naively picking the priciest front config):")
+analysis = payoff_vs_worst_front_row(sampler.spent_usd, rows)
+print(render_payoff(analysis))
+for runs in (50, analysis.breakeven_runs or 0, 1000):
+    if runs:
+        net = analysis.net_saving_after(runs)
+        print(f"  after {runs:>5} production runs: net "
+              f"{'saving' if net >= 0 else 'deficit'} ${abs(net):.2f}")

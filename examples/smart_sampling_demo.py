@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Smart sampling demo: the Sec. III-F optimizations in action.
+
+Runs the same LAMMPS scenario grid twice — once exhaustively, once with the
+SmartSampler (aggressive VM-type discarding + scaling-law prediction +
+bottleneck pruning) — and compares scenarios executed, money spent, and the
+advice produced.
+
+Run with::
+
+    python examples/smart_sampling_demo.py
+"""
+
+from repro import (
+    Advisor,
+    AzureBatchBackend,
+    DataCollector,
+    Dataset,
+    Deployer,
+    MainConfig,
+    SmartSampler,
+    TaskDB,
+    generate_scenarios,
+    get_plugin,
+)
+
+
+def make_config(rgprefix: str) -> MainConfig:
+    return MainConfig.from_dict({
+        "subscription": "sampling-demo",
+        "skus": ["Standard_HC44rs", "Standard_HB120rs_v2",
+                 "Standard_HB120rs_v3"],
+        "rgprefix": rgprefix,
+        "appsetupurl": "https://example.org/lammps.sh",
+        "nnodes": [2, 3, 4, 6, 8, 12, 16],
+        "appname": "lammps",
+        "region": "southcentralus",
+        "ppr": 100,
+        "appinputs": {"BOXFACTOR": ["30"]},
+    })
+
+
+def sweep(smart: bool):
+    config = make_config("smart" if smart else "full")
+    deployment = Deployer().deploy(config)
+    scenarios = generate_scenarios(config)
+    sampler = None
+    if smart:
+        prices = {
+            sku: deployment.provider.prices.hourly_price(sku, config.region)
+            for sku in config.skus
+        }
+        sampler = SmartSampler.for_scenarios(scenarios, prices)
+    collector = DataCollector(
+        backend=AzureBatchBackend(service=deployment.batch),
+        script=get_plugin("lammps"),
+        dataset=Dataset(),
+        taskdb=TaskDB(),
+        sampler=sampler,
+    )
+    report = collector.collect(scenarios)
+    return report, collector.dataset, sampler
+
+
+full_report, full_data, _ = sweep(smart=False)
+smart_report, smart_data, sampler = sweep(smart=True)
+
+total = len(generate_scenarios(make_config("count")))
+print("=== Full sweep vs smart sampling ===")
+print(f"scenarios executed: {full_report.executed}/{total} vs "
+      f"{smart_report.executed}/{total} "
+      f"({smart_report.skipped} skipped, {smart_report.predicted} predicted)")
+print(f"task cost: ${full_report.task_cost_usd:.2f} vs "
+      f"${smart_report.task_cost_usd:.2f} "
+      f"(saved {1 - smart_report.task_cost_usd / full_report.task_cost_usd:.0%})")
+print(f"infra cost: ${full_report.infrastructure_cost_usd:.2f} vs "
+      f"${smart_report.infrastructure_cost_usd:.2f}")
+
+print("\n=== Sampler decisions ===")
+assert sampler is not None
+for line in sampler.decisions_log:
+    print(f"  {line}")
+
+print("\n=== Advice: full sweep ===")
+full_advisor = Advisor(full_data)
+print(full_advisor.render_table(full_advisor.advise(appname="lammps")))
+
+print("=== Advice: smart sampling (predictions flagged with *) ===")
+smart_advisor = Advisor(smart_data)
+print(smart_advisor.render_table(smart_advisor.advise(appname="lammps")))
+
+print("=== Bottleneck analysis (drives the pruning hints) ===")
+print(sampler.bottlenecks.summary())

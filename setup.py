@@ -1,0 +1,11 @@
+"""Setup shim; all metadata lives in setup.cfg.
+
+The project deliberately ships setup.cfg + setup.py (no pyproject.toml):
+PEP 517 build isolation downloads build dependencies from PyPI, which fails
+in the offline environments this reproduction targets.  The legacy path
+installs with zero network access via plain ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,92 @@
+"""repro — a reproduction of HPCAdvisor (SC-W 2024).
+
+HPCAdvisor assists users in selecting HPC resources in the cloud: given an
+application, its inputs, and candidate VM types / node counts, it deploys a
+cloud environment, sweeps the scenario space, and advises via the Pareto
+front over execution time and cost.
+
+This reproduction implements the complete tool over a *simulated* Azure
+substrate (control plane, Batch service, InfiniBand cluster, application
+performance models calibrated to the paper's published measurements), plus
+the paper's planned extensions: smart sampling, a Slurm back-end, and
+recipe generation.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import MainConfig, Deployer, DataCollector, Advisor
+    from repro import AzureBatchBackend, Dataset, TaskDB
+    from repro import generate_scenarios, get_plugin
+
+    config = MainConfig.from_dict({
+        "subscription": "my-subscription",
+        "skus": ["Standard_HB120rs_v3", "Standard_HC44rs"],
+        "rgprefix": "quickstart",
+        "appsetupurl": "https://example.org/lammps.sh",
+        "nnodes": [2, 4, 8],
+        "appname": "lammps",
+        "region": "southcentralus",
+        "appinputs": {"BOXFACTOR": ["10"]},
+    })
+    deployment = Deployer().deploy(config)
+    collector = DataCollector(
+        backend=AzureBatchBackend(service=deployment.batch),
+        script=get_plugin(config.appname),
+        dataset=Dataset(), taskdb=TaskDB(),
+    )
+    collector.collect(generate_scenarios(config))
+    for row in Advisor(collector.dataset).advise():
+        print(row)
+"""
+
+from repro.errors import (
+    AdvisorError,
+    AppScriptError,
+    BackendError,
+    BatchError,
+    CloudError,
+    ConfigError,
+    DatasetError,
+    QuotaExceeded,
+    ReproError,
+    SamplingError,
+)
+from repro.cloud.provider import CloudProvider
+from repro.cloud.pricing import PriceCatalog
+from repro.cloud.skus import VmSku, get_sku, list_skus
+from repro.core.advisor import AdviceRow, Advisor
+from repro.core.collector import CollectionReport, DataCollector
+from repro.core.config import MainConfig
+from repro.core.dataset import DataPoint, Dataset
+from repro.core.deployer import Deployer, Deployment
+from repro.core.pareto import pareto_front
+from repro.core.scenarios import Scenario, generate_scenarios
+from repro.core.taskdb import TaskDB, TaskRecord, TaskStatus
+from repro.appkit.plugins import get_plugin, list_plugins
+from repro.backends.azurebatch import AzureBatchBackend
+from repro.backends.slurm import SlurmBackend
+from repro.perf.noise import NoiseModel
+from repro.perf.registry import get_model, list_models
+from repro.sampling.planner import SamplerPolicy, SmartSampler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError", "ConfigError", "CloudError", "QuotaExceeded", "BatchError",
+    "AppScriptError", "DatasetError", "AdvisorError", "SamplingError",
+    "BackendError",
+    # cloud
+    "CloudProvider", "PriceCatalog", "VmSku", "get_sku", "list_skus",
+    # core
+    "MainConfig", "Scenario", "generate_scenarios", "TaskDB", "TaskRecord",
+    "TaskStatus", "DataPoint", "Dataset", "pareto_front", "AdviceRow",
+    "Advisor", "Deployer", "Deployment", "DataCollector", "CollectionReport",
+    # apps & backends
+    "get_plugin", "list_plugins", "AzureBatchBackend", "SlurmBackend",
+    # perf
+    "NoiseModel", "get_model", "list_models",
+    # sampling
+    "SmartSampler", "SamplerPolicy",
+]

@@ -1,0 +1,70 @@
+"""Environment variables exposed to application run scripts.
+
+Reproduces the paper's Table I verbatim:
+
+====================  =====================================
+Variable              Description
+====================  =====================================
+``NNODES``            Number of cluster nodes
+``PPN``               Processes per node
+``SKU``, ``VMTYPE``   Virtual machine type
+``HOSTLIST_PPN``      List of hosts and their PPN
+``HOSTFILE_PATH``     Path of hostfile
+``TASKRUN_DIR``       Directory of the job run
+====================  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from repro.cluster.host import Host, hostfile_text, hostlist_ppn
+
+
+#: Table I of the paper: variable name -> description.
+TABLE1_VARS: Dict[str, str] = {
+    "NNODES": "Number of cluster nodes",
+    "PPN": "Processes per node",
+    "SKU": "Virtual machine type",
+    "VMTYPE": "Virtual machine type",
+    "HOSTLIST_PPN": "List of hosts and their PPN",
+    "HOSTFILE_PATH": "Path of hostfile",
+    "TASKRUN_DIR": "Directory of the job run",
+}
+
+
+def build_task_env(
+    hosts: List[Host],
+    ppn: int,
+    workdir: str,
+    appinputs: Mapping[str, str] = (),
+    extra: Mapping[str, str] = (),
+) -> Dict[str, str]:
+    """Assemble the environment for one task run.
+
+    Application inputs are exported under their uppercased names (the
+    paper's Listing 2 reads ``$BOXFACTOR``, which comes from the
+    ``appinputs`` entry of the main configuration file).
+    """
+    if not hosts:
+        raise ValueError("build_task_env needs at least one host")
+    sku_name = hosts[0].sku.name
+    env: Dict[str, str] = {
+        "NNODES": str(len(hosts)),
+        "PPN": str(ppn),
+        "SKU": sku_name,
+        "VMTYPE": sku_name,
+        "HOSTLIST_PPN": hostlist_ppn(hosts, ppn),
+        "HOSTFILE_PATH": f"{workdir}/hostfile",
+        "TASKRUN_DIR": workdir,
+    }
+    for key, value in dict(appinputs).items():
+        env[str(key).upper()] = str(value)
+    for key, value in dict(extra).items():
+        env[str(key)] = str(value)
+    return env
+
+
+def hostfile_for_env(hosts: List[Host], ppn: int) -> str:
+    """The hostfile content referenced by ``HOSTFILE_PATH``."""
+    return hostfile_text(hosts, ppn)

@@ -1,0 +1,38 @@
+"""HPCADVISORVAR metric extraction.
+
+Paper Sec. III-A: "any line containing 'HPCADVISOR variable=value' is saved
+in the dataset file".  Run scripts print lines like::
+
+    HPCADVISORVAR APPEXECTIME=173.4
+    HPCADVISORVAR LAMMPSATOMS=864000000
+
+and the data-collection phase parses them out of the task's stdout.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict
+
+MARKER = "HPCADVISORVAR"
+
+#: name=value with the name a shell-identifier and the value the line's rest.
+_VAR_RE = re.compile(
+    rf"^\s*{MARKER}\s+([A-Za-z_][A-Za-z0-9_]*)=(.*?)\s*$", re.MULTILINE
+)
+
+
+def format_var(name: str, value: object) -> str:
+    """Render one HPCADVISORVAR line the way run scripts emit it."""
+    if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", name):
+        raise ValueError(f"invalid HPCADVISORVAR name: {name!r}")
+    return f"{MARKER} {name}={value}"
+
+
+def extract_vars(stdout: str) -> Dict[str, str]:
+    """Extract all HPCADVISORVAR assignments from a task's stdout.
+
+    Later occurrences of the same name win, matching the real tool's
+    behaviour of overwriting as it scans.
+    """
+    return {m.group(1): m.group(2) for m in _VAR_RE.finditer(stdout)}

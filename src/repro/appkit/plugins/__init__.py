@@ -1,0 +1,47 @@
+"""Built-in application plugins.
+
+One per application the paper validates (LAMMPS, OpenFOAM, WRF, GROMACS,
+NAMD) plus the matrix-multiplication quickstart app.  Each mirrors the
+bash-script workflow of the paper's Listing 2: stage input data during
+setup, rewrite input files from environment variables, mpirun, check the
+application log for success, and emit HPCADVISORVAR metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.appkit.script import AppScript
+from repro.errors import AppScriptError
+
+from repro.appkit.plugins.lammps import make_lammps_script
+from repro.appkit.plugins.openfoam import make_openfoam_script
+from repro.appkit.plugins.wrf import make_wrf_script
+from repro.appkit.plugins.gromacs import make_gromacs_script
+from repro.appkit.plugins.namd import make_namd_script
+from repro.appkit.plugins.matrixmult import make_matrixmult_script
+
+_FACTORIES = {
+    "lammps": make_lammps_script,
+    "openfoam": make_openfoam_script,
+    "wrf": make_wrf_script,
+    "gromacs": make_gromacs_script,
+    "namd": make_namd_script,
+    "matrixmult": make_matrixmult_script,
+}
+
+
+def get_plugin(appname: str) -> AppScript:
+    """Instantiate the built-in plugin for ``appname``."""
+    key = appname.lower()
+    try:
+        return _FACTORIES[key]()
+    except KeyError:
+        raise AppScriptError(
+            f"no built-in plugin for application {appname!r} "
+            f"(known: {', '.join(sorted(_FACTORIES))})"
+        ) from None
+
+
+def list_plugins() -> List[str]:
+    return sorted(_FACTORIES)

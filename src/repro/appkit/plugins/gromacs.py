@@ -1,0 +1,56 @@
+"""GROMACS plugin: water-box/protein MD driven by an ATOMS input."""
+
+from __future__ import annotations
+
+from repro.appkit.context import AppRunContext
+from repro.appkit.script import AppScript
+
+TPR_FILE = "topol.tpr"
+LOG_FILE = "md.log"
+
+
+def _setup(ctx: AppRunContext) -> int:
+    if ctx.filesystem.isfile(ctx.shared_path(TPR_FILE)):
+        ctx.echo("tpr already prepared")
+        return 0
+    ctx.sleep(60.0)  # pdb2gmx + solvate + grompp
+    ctx.filesystem.write_text(ctx.shared_path(TPR_FILE), "portable binary run input")
+    ctx.echo("prepared topol.tpr")
+    return 0
+
+
+def _run(ctx: AppRunContext) -> int:
+    atoms = ctx.getenv("ATOMS")
+    steps = ctx.env.get("STEPS", "10000")
+    ctx.copy_from_shared(TPR_FILE)
+    nnodes = int(ctx.getenv("NNODES"))
+    ppn = int(ctx.getenv("PPN"))
+    result = ctx.mpirun(
+        "gromacs", {"atoms": atoms, "steps": steps}, np=nnodes * ppn
+    )
+    if not result.succeeded:
+        ctx.echo("gmx mdrun failed")
+        ctx.echo(f"reason: {result.perf.failure_reason}")
+        return 1
+    perf_line = result.perf.app_vars.get("GMXNSPERDAY", "0")
+    ctx.write_file(
+        LOG_FILE,
+        f"Performance: {perf_line} ns/day\n"
+        f"Finished mdrun: wall time {result.exec_time_s:.3f} s\n",
+    )
+    if "Finished mdrun" not in ctx.read_file(LOG_FILE):
+        return 1
+    ctx.emit_var("APPEXECTIME", f"{result.exec_time_s:.6g}")
+    for key, value in result.perf.app_vars.items():
+        ctx.emit_var(key, value)
+    return 0
+
+
+def make_gromacs_script() -> AppScript:
+    return AppScript(
+        appname="gromacs",
+        setup=_setup,
+        run=_run,
+        setup_seconds=60.0,
+        description="GROMACS MD with PME, system size from ATOMS",
+    )

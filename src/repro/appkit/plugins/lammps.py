@@ -1,0 +1,186 @@
+"""LAMMPS plugin — a faithful Python port of the paper's Listing 2.
+
+The bash original: setup downloads ``in.lj.txt``; run loads LAMMPS from
+EESSI, copies the input from the parent directory, rewrites the x/y/z box
+multipliers with ``sed`` from ``$BOXFACTOR``, launches
+``mpirun -np $NP --host "$HOSTLIST_PPN" lmp -i in.lj.txt``, then greps
+``log.lammps`` for the ``Loop`` line to extract execution time, atom count
+and step count, emitting them as HPCADVISORVAR values.
+
+This port performs the same steps against the simulated filesystem and MPI
+launcher, including writing and re-parsing a real-format LAMMPS log file.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.appkit.context import AppRunContext
+from repro.appkit.script import AppScript
+
+INPUT_FILE = "in.lj.txt"
+LOG_FILE = "log.lammps"
+
+#: Stock in.lj content (abridged to the lines the workflow manipulates).
+IN_LJ_TEMPLATE = """\
+# 3d Lennard-Jones melt
+
+variable        x index 1
+variable        y index 1
+variable        z index 1
+
+variable        xx equal 20*$x
+variable        yy equal 20*$y
+variable        zz equal 20*$z
+
+units           lj
+atom_style      atomic
+
+lattice         fcc 0.8442
+region          box block 0 ${xx} 0 ${yy} 0 ${zz}
+create_box      1 box
+create_atoms    1 box
+
+pair_style      lj/cut 2.5
+pair_coeff      1 1 1.0 1.0 2.5
+
+fix             1 all nve
+
+run             100
+"""
+
+_VAR_LINE_RE = re.compile(
+    r"^variable\s+([xyz])\s+index\s+\d+", re.MULTILINE
+)
+
+
+def _sed_boxfactor(text: str, boxfactor: str) -> str:
+    """Apply the three sed substitutions from Listing 2 lines 21-23."""
+    return _VAR_LINE_RE.sub(
+        lambda m: f"variable        {m.group(1)} index {boxfactor}", text
+    )
+
+
+def _setup(ctx: AppRunContext) -> int:
+    # if [[ -f in.lj.txt ]]; then echo "Data already exists"; return 0; fi
+    if ctx.filesystem.isfile(ctx.shared_path(INPUT_FILE)):
+        ctx.echo("Data already exists")
+        return 0
+    # wget https://www.lammps.org/inputs/in.lj.txt
+    ctx.sleep(5.0)  # download
+    ctx.filesystem.write_text(ctx.shared_path(INPUT_FILE), IN_LJ_TEMPLATE)
+    ctx.echo(f"downloaded {INPUT_FILE}")
+    return 0
+
+
+def _run(ctx: AppRunContext) -> int:
+    # source EESSI; module load LAMMPS  (application comes from EESSI)
+    ctx.echo("EESSI environment initialised; module LAMMPS loaded")
+
+    # cp ../$inputfile .
+    ctx.copy_from_shared(INPUT_FILE)
+
+    # sed the box multipliers from $BOXFACTOR
+    boxfactor = ctx.getenv("BOXFACTOR")
+    ctx.write_file(INPUT_FILE, _sed_boxfactor(ctx.read_file(INPUT_FILE), boxfactor))
+
+    # NP=$(($NNODES * $PPN)); mpirun -np $NP --host "$HOSTLIST_PPN" lmp -i ...
+    nnodes = int(ctx.getenv("NNODES"))
+    ppn = int(ctx.getenv("PPN"))
+    np = nnodes * ppn
+    result = ctx.mpirun("lammps", {"BOXFACTOR": boxfactor}, np=np)
+
+    if not result.succeeded:
+        ctx.echo("Simulation did not complete successfully.")
+        ctx.echo(f"reason: {result.perf.failure_reason}")
+        return 1
+
+    # Write a real-format log.lammps for the grep/awk stage to parse.
+    exec_time = result.exec_time_s
+    atoms = result.perf.app_vars["LAMMPSATOMS"]
+    steps = result.perf.app_vars["LAMMPSSTEPS"]
+    hours, rem = divmod(int(exec_time), 3600)
+    mins, secs = divmod(rem, 60)
+    ctx.write_file(
+        LOG_FILE,
+        f"LAMMPS (2 Aug 2023 - Update 1)\n"
+        f"Loop time of {exec_time:.6g} on {np} procs for {steps} steps "
+        f"with {atoms} atoms\n"
+        f"Total wall time: {hours}:{mins:02d}:{secs:02d}\n",
+    )
+
+    # grep -q "Total wall time:" "$log_file"
+    log = ctx.read_file(LOG_FILE)
+    if "Total wall time:" not in log:
+        ctx.echo("Simulation did not complete successfully.")
+        return 1
+    ctx.echo("Simulation completed successfully.")
+
+    # awk field extraction from the Loop line (fields 4, 9 and 12).
+    loop_line = next(l for l in log.splitlines() if l.startswith("Loop"))
+    fields = loop_line.split()
+    ctx.emit_var("APPEXECTIME", fields[3])
+    ctx.emit_var("LAMMPSSTEPS", fields[8])
+    ctx.emit_var("LAMMPSATOMS", fields[11])
+    return 0
+
+
+#: Bash rendering kept verbatim-close to the paper's Listing 2.
+LISTING2_BASH = """\
+#!/usr/bin/env bash
+
+hpcadvisor_setup() {
+
+  if [[ -f in.lj.txt ]]; then
+    echo "Data already exists"
+    return 0
+  fi
+
+  wget https://www.lammps.org/inputs/in.lj.txt
+}
+
+hpcadvisor_run() {
+
+  source /cvmfs/software.eessi.io/versions/2023.06/init/bash
+  module load LAMMPS
+
+  inputfile="in.lj.txt"
+  cp ../$inputfile .
+
+  sed -i "s/variable\\s\\+x\\s\\+index\\s\\+[0-9]\\+/variable x index $BOXFACTOR/" $inputfile
+  sed -i "s/variable\\s\\+y\\s\\+index\\s\\+[0-9]\\+/variable y index $BOXFACTOR/" $inputfile
+  sed -i "s/variable\\s\\+z\\s\\+index\\s\\+[0-9]\\+/variable z index $BOXFACTOR/" $inputfile
+
+  NP=$(($NNODES * $PPN))
+  export UCX_NET_DEVICES=mlx5_ib0:1
+  APP=$(which lmp)
+  mpirun -np $NP --host "$HOSTLIST_PPN" "$APP" -i $inputfile
+
+  log_file="log.lammps"
+
+  if grep -q "Total wall time:" "$log_file"; then
+    echo "Simulation completed successfully."
+    APPEXECTIME=$(cat log.lammps | grep Loop | awk '{print $4}')
+    LAMMPSATOMS=$(cat log.lammps | grep Loop | awk '{print $12}')
+    LAMMPSSTEPS=$(cat log.lammps | grep Loop | awk '{print $9}')
+    echo "HPCADVISORVAR APPEXECTIME=$APPEXECTIME"
+    echo "HPCADVISORVAR LAMMPSATOMS=$LAMMPSATOMS"
+    echo "HPCADVISORVAR LAMMPSSTEPS=$LAMMPSSTEPS"
+    return 0
+  else
+    echo "Simulation did not complete successfully."
+    return 1
+  fi
+}
+"""
+
+
+def make_lammps_script() -> AppScript:
+    return AppScript(
+        appname="lammps",
+        setup=_setup,
+        run=_run,
+        setup_seconds=30.0,  # EESSI module + input download
+        bash_equivalent=LISTING2_BASH,
+        description="LAMMPS Lennard-Jones benchmark scaled by BOXFACTOR",
+    )

@@ -1,0 +1,46 @@
+"""Matrix-multiplication plugin: the paper's simplest example input.
+
+Sec. III-A cites "matrix size for the matrix multiplication application" as
+the canonical application input; this plugin backs the quickstart example.
+"""
+
+from __future__ import annotations
+
+from repro.appkit.context import AppRunContext
+from repro.appkit.script import AppScript
+
+LOG_FILE = "mm.log"
+
+
+def _setup(ctx: AppRunContext) -> int:
+    ctx.sleep(10.0)  # compile the kernel
+    ctx.filesystem.write_text(ctx.shared_path("mm.bin"), "compiled dgemm driver")
+    ctx.echo("compiled matrix-multiplication kernel")
+    return 0
+
+
+def _run(ctx: AppRunContext) -> int:
+    msize = ctx.getenv("MSIZE")
+    nnodes = int(ctx.getenv("NNODES"))
+    ppn = int(ctx.getenv("PPN"))
+    result = ctx.mpirun("matrixmult", {"msize": msize}, np=nnodes * ppn)
+    if not result.succeeded:
+        ctx.echo("matrix multiplication failed")
+        ctx.echo(f"reason: {result.perf.failure_reason}")
+        return 1
+    gflops = result.perf.app_vars.get("MMGFLOPS", "0")
+    ctx.write_file(LOG_FILE, f"N={msize} GFLOPS={gflops}\ndone\n")
+    ctx.emit_var("APPEXECTIME", f"{result.exec_time_s:.6g}")
+    for key, value in result.perf.app_vars.items():
+        ctx.emit_var(key, value)
+    return 0
+
+
+def make_matrixmult_script() -> AppScript:
+    return AppScript(
+        appname="matrixmult",
+        setup=_setup,
+        run=_run,
+        setup_seconds=10.0,
+        description="distributed dense matrix multiplication of order MSIZE",
+    )

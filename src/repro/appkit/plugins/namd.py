@@ -1,0 +1,56 @@
+"""NAMD plugin: STMV-class MD driven by an ATOMS input."""
+
+from __future__ import annotations
+
+from repro.appkit.context import AppRunContext
+from repro.appkit.script import AppScript
+
+CONF_FILE = "stmv.namd"
+LOG_FILE = "namd.log"
+
+
+def _setup(ctx: AppRunContext) -> int:
+    if ctx.filesystem.isfile(ctx.shared_path("stmv.psf")):
+        ctx.echo("NAMD structure files already staged")
+        return 0
+    ctx.sleep(90.0)
+    ctx.filesystem.write_text(ctx.shared_path("stmv.psf"), "protein structure file")
+    ctx.filesystem.write_text(ctx.shared_path("stmv.pdb"), "coordinates")
+    ctx.echo("staged STMV benchmark inputs")
+    return 0
+
+
+def _run(ctx: AppRunContext) -> int:
+    atoms = ctx.getenv("ATOMS")
+    steps = ctx.env.get("STEPS", "5000")
+    ctx.copy_from_shared("stmv.psf")
+    ctx.copy_from_shared("stmv.pdb")
+    ctx.write_file(CONF_FILE, f"structure stmv.psf\nnumsteps {steps}\n")
+    nnodes = int(ctx.getenv("NNODES"))
+    ppn = int(ctx.getenv("PPN"))
+    result = ctx.mpirun("namd", {"atoms": atoms, "steps": steps}, np=nnodes * ppn)
+    if not result.succeeded:
+        ctx.echo("namd2 failed")
+        ctx.echo(f"reason: {result.perf.failure_reason}")
+        return 1
+    ctx.write_file(
+        LOG_FILE,
+        f"Info: Benchmark time: {result.exec_time_s:.4f} s\n"
+        "End of program\n",
+    )
+    if "End of program" not in ctx.read_file(LOG_FILE):
+        return 1
+    ctx.emit_var("APPEXECTIME", f"{result.exec_time_s:.6g}")
+    for key, value in result.perf.app_vars.items():
+        ctx.emit_var(key, value)
+    return 0
+
+
+def make_namd_script() -> AppScript:
+    return AppScript(
+        appname="namd",
+        setup=_setup,
+        run=_run,
+        setup_seconds=90.0,
+        description="NAMD STMV-class benchmark, system size from ATOMS",
+    )

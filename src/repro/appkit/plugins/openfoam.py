@@ -1,0 +1,92 @@
+"""OpenFOAM plugin: the motorBike case driven by BLOCKMESH dimensions.
+
+The paper's OpenFOAM example sets "BLOCKMESH DIMENSIONS" (e.g. "40 16 16"
+for ~8 million cells) through the ``mesh`` application input.  The workflow:
+stage the motorBike tutorial case, rewrite ``blockMeshDict`` from ``$MESH``,
+decompose, run simpleFoam under mpirun, verify the solver log, and emit
+cell count/iteration metrics.
+"""
+
+from __future__ import annotations
+
+from repro.appkit.context import AppRunContext
+from repro.appkit.script import AppScript
+
+CASE_DIR_MARKER = "motorBike.tgz"
+LOG_FILE = "log.simpleFoam"
+
+BLOCKMESH_TEMPLATE = """\
+FoamFile {{ version 2.0; format ascii; class dictionary; object blockMeshDict; }}
+
+vertices ( /* motorBike bounding box */ );
+
+blocks
+(
+    hex (0 1 2 3 4 5 6 7) ({bx} {by} {bz}) simpleGrading (1 1 1)
+);
+"""
+
+
+def _setup(ctx: AppRunContext) -> int:
+    if ctx.filesystem.isfile(ctx.shared_path(CASE_DIR_MARKER)):
+        ctx.echo("motorBike case already staged")
+        return 0
+    ctx.sleep(45.0)  # clone tutorial + source OpenFOAM environment
+    ctx.filesystem.write_text(ctx.shared_path(CASE_DIR_MARKER),
+                              "motorBike tutorial case archive")
+    ctx.echo("staged motorBike case")
+    return 0
+
+
+def _run(ctx: AppRunContext) -> int:
+    mesh = ctx.getenv("MESH")
+    parts = mesh.split()
+    if len(parts) != 3:
+        ctx.echo(f"invalid MESH specification: {mesh!r}")
+        return 1
+    bx, by, bz = parts
+
+    ctx.copy_from_shared(CASE_DIR_MARKER)
+    ctx.write_file(
+        "system/blockMeshDict",
+        BLOCKMESH_TEMPLATE.format(bx=bx, by=by, bz=bz),
+    )
+    ctx.echo(f"blockMesh dimensions set to {mesh}")
+
+    nnodes = int(ctx.getenv("NNODES"))
+    ppn = int(ctx.getenv("PPN"))
+    result = ctx.mpirun("openfoam", {"mesh": mesh}, np=nnodes * ppn)
+
+    if not result.succeeded:
+        ctx.echo("simpleFoam did not converge / failed to run")
+        ctx.echo(f"reason: {result.perf.failure_reason}")
+        return 1
+
+    exec_time = result.exec_time_s
+    cells = result.perf.app_vars["OFCELLS"]
+    iters = result.perf.app_vars["OFITERATIONS"]
+    ctx.write_file(
+        LOG_FILE,
+        f"Create mesh: {cells} cells\n"
+        f"ExecutionTime = {exec_time:.2f} s  ClockTime = {exec_time:.0f} s\n"
+        "End\n",
+    )
+    log = ctx.read_file(LOG_FILE)
+    if "End" not in log:
+        ctx.echo("simpleFoam log incomplete")
+        return 1
+    exec_line = next(l for l in log.splitlines() if l.startswith("ExecutionTime"))
+    ctx.emit_var("APPEXECTIME", exec_line.split()[2])
+    ctx.emit_var("OFCELLS", cells)
+    ctx.emit_var("OFITERATIONS", iters)
+    return 0
+
+
+def make_openfoam_script() -> AppScript:
+    return AppScript(
+        appname="openfoam",
+        setup=_setup,
+        run=_run,
+        setup_seconds=45.0,
+        description="OpenFOAM motorBike with blockMesh dimensions from MESH",
+    )

@@ -1,0 +1,62 @@
+"""WRF plugin: CONUS-style forecast driven by a RESOLUTION input (km)."""
+
+from __future__ import annotations
+
+from repro.appkit.context import AppRunContext
+from repro.appkit.script import AppScript
+
+NAMELIST = "namelist.input"
+LOG_FILE = "rsl.out.0000"
+
+
+def _setup(ctx: AppRunContext) -> int:
+    if ctx.filesystem.isfile(ctx.shared_path("wrfinput_d01")):
+        ctx.echo("WRF input data already staged")
+        return 0
+    ctx.sleep(120.0)  # boundary-condition download + geogrid
+    ctx.filesystem.write_text(ctx.shared_path("wrfinput_d01"), "wrf input fields")
+    ctx.echo("staged WRF input data")
+    return 0
+
+
+def _run(ctx: AppRunContext) -> int:
+    resolution = ctx.getenv("RESOLUTION")
+    hours = ctx.env.get("FORECAST_HOURS", "6")
+    ctx.copy_from_shared("wrfinput_d01")
+    ctx.write_file(
+        NAMELIST,
+        f"&domains\n dx = {float(resolution) * 1000:.0f},\n"
+        f" run_hours = {hours},\n/\n",
+    )
+    nnodes = int(ctx.getenv("NNODES"))
+    ppn = int(ctx.getenv("PPN"))
+    result = ctx.mpirun(
+        "wrf",
+        {"resolution": resolution, "forecast_hours": hours},
+        np=nnodes * ppn,
+    )
+    if not result.succeeded:
+        ctx.echo("wrf.exe failed")
+        ctx.echo(f"reason: {result.perf.failure_reason}")
+        return 1
+    ctx.write_file(
+        LOG_FILE,
+        f"Timing for main: {result.exec_time_s:.2f} elapsed seconds\n"
+        "wrf: SUCCESS COMPLETE WRF\n",
+    )
+    if "SUCCESS COMPLETE WRF" not in ctx.read_file(LOG_FILE):
+        return 1
+    ctx.emit_var("APPEXECTIME", f"{result.exec_time_s:.6g}")
+    for key, value in result.perf.app_vars.items():
+        ctx.emit_var(key, value)
+    return 0
+
+
+def make_wrf_script() -> AppScript:
+    return AppScript(
+        appname="wrf",
+        setup=_setup,
+        run=_run,
+        setup_seconds=120.0,
+        description="WRF CONUS forecast at RESOLUTION km",
+    )

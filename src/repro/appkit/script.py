@@ -1,0 +1,136 @@
+"""Application scripts: the setup/run pair plus bash interop.
+
+An :class:`AppScript` is the Python-native equivalent of the user's bash
+script from the paper's Listing 2: a setup function ("download of input
+data and preparation of the application") and a run function ("a simple
+mpirun command, or ... preparation of input files based on environment
+variables, ... parse of application metric data").
+
+For fidelity with the paper's user experience, every plugin can render
+itself to a Listing-2-style bash script (:meth:`AppScript.to_bash`), and
+:func:`parse_bash_script` performs the structural validation the real tool
+does on user-provided scripts (both functions present, metric emissions
+discoverable).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.appkit.context import AppRunContext
+from repro.errors import AppScriptError
+
+#: Function names the paper's contract mandates.
+SETUP_FN = "hpcadvisor_setup"
+RUN_FN = "hpcadvisor_run"
+
+
+@dataclass
+class AppScript:
+    """A setup/run pair implementing the application contract.
+
+    Attributes
+    ----------
+    appname:
+        Name matching the configuration's ``appname`` field and the
+        performance-model registry.
+    setup:
+        Called once per pool (per VM type, as in Algorithm 1 line 6).
+        Returns an exit code (0 = success).
+    run:
+        Called once per scenario.  Returns an exit code; stdout with
+        HPCADVISORVAR lines accumulates on the context.
+    setup_seconds:
+        Simulated duration of the setup phase (downloads, compilation).
+    bash_equivalent:
+        Optional hand-written bash rendering; when absent,
+        :meth:`to_bash` generates a skeleton.
+    """
+
+    appname: str
+    setup: Callable[[AppRunContext], int]
+    run: Callable[[AppRunContext], int]
+    setup_seconds: float = 60.0
+    bash_equivalent: Optional[str] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.appname:
+            raise AppScriptError("AppScript needs an application name")
+        if self.setup_seconds < 0:
+            raise AppScriptError(
+                f"negative setup duration: {self.setup_seconds}"
+            )
+
+    def to_bash(self) -> str:
+        """Render the plugin as a Listing-2-style bash script."""
+        if self.bash_equivalent is not None:
+            return self.bash_equivalent
+        return (
+            "#!/usr/bin/env bash\n"
+            "\n"
+            f"# Auto-generated equivalent of the {self.appname!r} plugin.\n"
+            f"{SETUP_FN}() {{\n"
+            f"  # {self.description or 'prepare application and input data'}\n"
+            "  return 0\n"
+            "}\n"
+            "\n"
+            f"{RUN_FN}() {{\n"
+            "  NP=$(($NNODES * $PPN))\n"
+            f"  mpirun -np $NP --host \"$HOSTLIST_PPN\" {self.appname}\n"
+            "  echo \"HPCADVISORVAR APPEXECTIME=$APPEXECTIME\"\n"
+            "  return 0\n"
+            "}\n"
+        )
+
+
+@dataclass(frozen=True)
+class BashScriptInfo:
+    """Structural facts extracted from a user bash script."""
+
+    functions: List[str]
+    has_setup: bool
+    has_run: bool
+    emitted_vars: List[str]
+    downloads: List[str]
+    modules: List[str]
+
+
+_FN_RE = re.compile(r"^\s*(?:function\s+)?([A-Za-z_][A-Za-z0-9_]*)\s*\(\)\s*\{",
+                    re.MULTILINE)
+_VAR_EMIT_RE = re.compile(r"HPCADVISORVAR\s+([A-Za-z_][A-Za-z0-9_]*)=")
+_WGET_RE = re.compile(r"\b(?:wget|curl)\s+(?:-\S+\s+)*(\S+)")
+_MODULE_RE = re.compile(r"^\s*module\s+load\s+(\S+)", re.MULTILINE)
+
+
+def parse_bash_script(text: str) -> BashScriptInfo:
+    """Validate and summarise a user-provided application bash script.
+
+    Raises
+    ------
+    AppScriptError
+        If either mandated function is missing — the same fast-fail the
+        real tool performs before provisioning anything.
+    """
+    functions = _FN_RE.findall(text)
+    has_setup = SETUP_FN in functions
+    has_run = RUN_FN in functions
+    if not has_setup or not has_run:
+        missing = [
+            name for name, ok in ((SETUP_FN, has_setup), (RUN_FN, has_run))
+            if not ok
+        ]
+        raise AppScriptError(
+            f"application script is missing required function(s): "
+            f"{', '.join(missing)}"
+        )
+    return BashScriptInfo(
+        functions=functions,
+        has_setup=has_setup,
+        has_run=has_run,
+        emitted_vars=sorted(set(_VAR_EMIT_RE.findall(text))),
+        downloads=_WGET_RE.findall(text),
+        modules=_MODULE_RE.findall(text),
+    )

@@ -1,0 +1,23 @@
+"""Pluggable execution back-ends.
+
+Paper Sec. III-B: "As HPCAdvisor is open source, the back-end can be
+replaced.  We plan to create a couple of other back-end examples, including
+one that uses Slurm directly."  The collector is written against
+:class:`repro.backends.base.ExecutionBackend`; two implementations ship:
+
+* :class:`repro.backends.azurebatch.AzureBatchBackend` — the paper's
+  default, over the simulated Batch service;
+* :class:`repro.backends.slurm.SlurmBackend` — the planned Slurm back-end,
+  over the simulated Slurm cluster in :mod:`repro.slurmsim`.
+"""
+
+from repro.backends.base import ExecutionBackend, ScenarioRunResult
+from repro.backends.azurebatch import AzureBatchBackend
+from repro.backends.slurm import SlurmBackend
+
+__all__ = [
+    "ExecutionBackend",
+    "ScenarioRunResult",
+    "AzureBatchBackend",
+    "SlurmBackend",
+]

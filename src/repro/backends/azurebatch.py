@@ -1,0 +1,189 @@
+"""Azure Batch back-end: the paper's default execution substrate.
+
+Maps the collector's primitives onto the simulated Batch service: one pool
+per VM type (named after the SKU), setup tasks on pool creation, and
+multi-instance compute tasks per scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.appkit.metricvars import extract_vars
+from repro.appkit.script import AppScript
+from repro.backends.base import ExecutionBackend, ScenarioRunResult
+from repro.backends.common import execute_run, execute_setup
+from repro.batch.service import BatchService
+from repro.batch.task import BatchTask, TaskContext, TaskKind, TaskOutput
+from repro.core.scenarios import Scenario
+from repro.errors import BackendError
+
+if False:  # pragma: no cover - typing only
+    from repro.perf.noise import NoiseModel
+
+
+def pool_id_for(sku_name: str) -> str:
+    return "pool-" + sku_name.lower().replace("standard_", "")
+
+
+@dataclass
+class AzureBatchBackend(ExecutionBackend):
+    """ExecutionBackend over :class:`repro.batch.service.BatchService`."""
+
+    service: BatchService
+    noise: Optional["NoiseModel"] = None
+    job_id: str = "hpcadvisor-job"
+    _task_counter: int = 0
+    _provisioning_s: float = 0.0
+    _setup_done: Dict[str, bool] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.job_id not in self.service.jobs:
+            # One job per pool is the Batch pattern; jobs are created lazily
+            # as pools appear (a job must reference an existing pool).
+            pass
+
+    @property
+    def name(self) -> str:
+        return "azurebatch"
+
+    # -- capacity ----------------------------------------------------------------
+
+    def ensure_capacity(self, sku_name: str, nodes: int) -> None:
+        pool_id = pool_id_for(sku_name)
+        before = self.service.clock.now
+        if pool_id not in self.service.pools or (
+            self.service.pools[pool_id].state.value == "deleted"
+        ):
+            self.service.create_pool(pool_id, sku_name, target_nodes=0)
+            self._setup_done[pool_id] = False
+            job_id = self._job_for(pool_id)
+            if job_id not in self.service.jobs:
+                self.service.create_job(job_id, pool_id)
+        pool = self.service.get_pool(pool_id)
+        if pool.current_nodes < nodes:
+            pool.resize(nodes)
+        self._provisioning_s += self.service.clock.now - before
+
+    def release_capacity(self, sku_name: str, delete: bool) -> None:
+        pool_id = pool_id_for(sku_name)
+        if pool_id not in self.service.pools:
+            return
+        pool = self.service.pools[pool_id]
+        if pool.state.value == "deleted":
+            return
+        if delete:
+            self.service.delete_pool(pool_id)
+            # Deleting the pool discards its prepared state: if the VM type
+            # comes back, the application setup task must run again.
+            self._setup_done[pool_id] = False
+        else:
+            pool.resize(0)
+
+    def teardown(self) -> None:
+        self.service.teardown()
+
+    # -- execution -----------------------------------------------------------------
+
+    def run_setup(self, sku_name: str, script: AppScript) -> bool:
+        pool_id = pool_id_for(sku_name)
+        if self._setup_done.get(pool_id):
+            return True
+        self.ensure_capacity(sku_name, 1)
+        task = self._submit(
+            pool_id,
+            kind=TaskKind.SETUP,
+            required_nodes=1,
+            executor=lambda ctx: self._setup_executor(ctx, script),
+        )
+        self._setup_done[pool_id] = task.output is not None and task.output.succeeded
+        return self._setup_done[pool_id]
+
+    def run_scenario(self, scenario: Scenario, script: AppScript) -> ScenarioRunResult:
+        pool_id = pool_id_for(scenario.sku_name)
+        self.ensure_capacity(scenario.sku_name, scenario.nnodes)
+        task = self._submit(
+            pool_id,
+            kind=TaskKind.COMPUTE,
+            required_nodes=scenario.nnodes,
+            executor=lambda ctx: self._run_executor(ctx, scenario, script),
+        )
+        output = task.output
+        if output is None:
+            raise BackendError(f"task {task.task_id} produced no output")
+        accounting = self.service.accounting[-1]
+        failure = None
+        if not output.succeeded:
+            failure = _failure_line(output.stdout)
+        return ScenarioRunResult(
+            succeeded=output.succeeded,
+            exec_time_s=output.wall_time_s,
+            cost_usd=accounting.cost_usd,
+            stdout=output.stdout,
+            app_vars=extract_vars(output.stdout),
+            infra_metrics=dict(output.metrics),
+            failure_reason=failure,
+            started_at=task.started_at or 0.0,
+            finished_at=task.finished_at or 0.0,
+        )
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _job_for(self, pool_id: str) -> str:
+        return f"{self.job_id}-{pool_id}"
+
+    def _submit(self, pool_id: str, kind: TaskKind, required_nodes: int,
+                executor) -> BatchTask:
+        job_id = self._job_for(pool_id)
+        if job_id not in self.service.jobs:
+            self.service.create_job(job_id, pool_id)
+        self._task_counter += 1
+        task = BatchTask(
+            task_id=f"{kind.value}-{self._task_counter:05d}",
+            kind=kind,
+            executor=executor,
+            required_nodes=required_nodes,
+        )
+        self.service.submit_task(job_id, task)
+        return self.service.run_task(job_id, task.task_id)
+
+    def _setup_executor(self, ctx: TaskContext, script: AppScript) -> TaskOutput:
+        execution = execute_setup(
+            script, ctx.hosts, ctx.filesystem, ctx.workdir, noise=self.noise
+        )
+        return TaskOutput(
+            exit_code=execution.exit_code,
+            stdout=execution.stdout,
+            wall_time_s=execution.wall_time_s,
+        )
+
+    def _run_executor(self, ctx: TaskContext, scenario: Scenario,
+                      script: AppScript) -> TaskOutput:
+        execution = execute_run(
+            script, scenario, ctx.hosts, ctx.filesystem, ctx.workdir,
+            noise=self.noise,
+        )
+        return TaskOutput(
+            exit_code=execution.exit_code,
+            stdout=execution.stdout,
+            wall_time_s=execution.wall_time_s,
+            metrics=execution.infra_metrics,
+        )
+
+    # -- observability ---------------------------------------------------------------------
+
+    @property
+    def provisioning_overhead_s(self) -> float:
+        return self._provisioning_s
+
+    @property
+    def total_infrastructure_cost_usd(self) -> float:
+        return self.service.total_pool_cost_usd
+
+
+def _failure_line(stdout: str) -> str:
+    for line in stdout.splitlines():
+        if "reason:" in line:
+            return line.split("reason:", 1)[1].strip()
+    return "application script returned a non-zero exit code"

@@ -1,0 +1,77 @@
+"""The back-end protocol the data collector drives.
+
+A back-end owns compute resources pinned to one VM type at a time (an Azure
+Batch pool, a Slurm partition) and can run the application's setup script
+and per-scenario compute jobs on them.  Algorithm 1's pool-recycling logic
+lives in the collector; the back-end only exposes the primitives.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.appkit.script import AppScript
+from repro.core.scenarios import Scenario
+
+
+@dataclass(frozen=True)
+class ScenarioRunResult:
+    """Outcome of one scenario execution on a back-end."""
+
+    succeeded: bool
+    exec_time_s: float
+    cost_usd: float
+    stdout: str
+    app_vars: Dict[str, str] = field(default_factory=dict)
+    infra_metrics: Dict[str, float] = field(default_factory=dict)
+    failure_reason: Optional[str] = None
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+
+class ExecutionBackend(abc.ABC):
+    """Primitive operations Algorithm 1 needs from a resource manager."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Back-end identifier (e.g. ``azurebatch``, ``slurm``)."""
+
+    @abc.abstractmethod
+    def ensure_capacity(self, sku_name: str, nodes: int) -> None:
+        """Make ``nodes`` nodes of ``sku_name`` available.
+
+        Called when Algorithm 1 switches VM type (fresh pool) and when a
+        scenario needs more nodes than currently provisioned (the paper's
+        incremental resize).
+        """
+
+    @abc.abstractmethod
+    def run_setup(self, sku_name: str, script: AppScript) -> bool:
+        """Run the application setup for the current VM type's resources."""
+
+    @abc.abstractmethod
+    def run_scenario(self, scenario: Scenario, script: AppScript) -> ScenarioRunResult:
+        """Execute one scenario and return its measurement."""
+
+    @abc.abstractmethod
+    def release_capacity(self, sku_name: str, delete: bool) -> None:
+        """Shrink to zero (``delete=False``) or delete the SKU's resources."""
+
+    @abc.abstractmethod
+    def teardown(self) -> None:
+        """Release everything (end of collection)."""
+
+    # -- cost/observability -------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def provisioning_overhead_s(self) -> float:
+        """Cumulative simulated seconds spent provisioning/booting nodes."""
+
+    @property
+    @abc.abstractmethod
+    def total_infrastructure_cost_usd(self) -> float:
+        """Billed cost including boot/idle time (not just task time)."""

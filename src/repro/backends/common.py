@@ -1,0 +1,106 @@
+"""Shared plumbing between back-ends: running an app script in context."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.appkit.context import AppRunContext
+from repro.appkit.envvars import build_task_env, hostfile_for_env
+from repro.appkit.metricvars import extract_vars
+from repro.appkit.script import AppScript
+from repro.cluster.filesystem import SharedFilesystem
+from repro.cluster.host import Host
+from repro.core.scenarios import Scenario
+from repro.errors import AppScriptError
+
+if False:  # pragma: no cover - typing only
+    from repro.perf.noise import NoiseModel
+
+
+@dataclass(frozen=True)
+class AppExecution:
+    """Raw outcome of invoking a plugin function."""
+
+    exit_code: int
+    stdout: str
+    wall_time_s: float
+    app_vars: Dict[str, str]
+    infra_metrics: Dict[str, float]
+
+
+def shared_dir_for(appname: str) -> str:
+    """Where the setup phase stages application data on the NFS share."""
+    return f"/mnt/nfs/apps/{appname}"
+
+
+def scenario_env(scenario: Scenario, hosts: List[Host], workdir: str) -> Dict[str, str]:
+    """Table I variables + uppercased application inputs for one scenario."""
+    return build_task_env(
+        hosts=hosts,
+        ppn=scenario.ppn,
+        workdir=workdir,
+        appinputs=scenario.appinputs,
+    )
+
+
+def execute_setup(
+    script: AppScript,
+    hosts: List[Host],
+    filesystem: SharedFilesystem,
+    workdir: str,
+    noise: Optional["NoiseModel"] = None,
+) -> AppExecution:
+    """Run the plugin's setup function (Algorithm 1, create_setup_task)."""
+    env = build_task_env(hosts=hosts, ppn=1, workdir=workdir)
+    ctx = AppRunContext.from_task_context_like(
+        hosts=hosts, filesystem=filesystem, env=env, workdir=workdir,
+        shared_dir=shared_dir_for(script.appname), noise=noise,
+    )
+    ctx.sleep(script.setup_seconds)
+    try:
+        code = script.setup(ctx)
+    except AppScriptError as exc:
+        ctx.echo(f"setup error: {exc}")
+        code = 1
+    return AppExecution(
+        exit_code=code,
+        stdout=ctx.stdout,
+        wall_time_s=ctx.wall_time_s,
+        app_vars=extract_vars(ctx.stdout),
+        infra_metrics={},
+    )
+
+
+def execute_run(
+    script: AppScript,
+    scenario: Scenario,
+    hosts: List[Host],
+    filesystem: SharedFilesystem,
+    workdir: str,
+    noise: Optional["NoiseModel"] = None,
+) -> AppExecution:
+    """Run the plugin's run function for one scenario."""
+    env = scenario_env(scenario, hosts, workdir)
+    ctx = AppRunContext.from_task_context_like(
+        hosts=hosts, filesystem=filesystem, env=env, workdir=workdir,
+        shared_dir=shared_dir_for(script.appname), noise=noise,
+    )
+    filesystem.write_text(env["HOSTFILE_PATH"],
+                          hostfile_for_env(hosts, scenario.ppn))
+    try:
+        code = script.run(ctx)
+    except AppScriptError as exc:
+        ctx.echo(f"run error: {exc}")
+        code = 1
+    metrics = (
+        ctx.last_run.perf.metrics.to_dict()
+        if ctx.last_run is not None else {}
+    )
+    return AppExecution(
+        exit_code=code,
+        stdout=ctx.stdout,
+        wall_time_s=ctx.wall_time_s,
+        app_vars=extract_vars(ctx.stdout),
+        infra_metrics=metrics,
+    )

@@ -1,0 +1,129 @@
+"""Slurm back-end: the paper's planned alternative to Azure Batch."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.appkit.script import AppScript
+from repro.backends.base import ExecutionBackend, ScenarioRunResult
+from repro.backends.common import execute_run, execute_setup
+from repro.core.scenarios import Scenario
+from repro.errors import BackendError
+from repro.slurmsim.cluster import JobCompletion, SlurmCluster
+
+if False:  # pragma: no cover - typing only
+    from repro.perf.noise import NoiseModel
+
+
+def partition_for(sku_name: str) -> str:
+    return "part-" + sku_name.lower().replace("standard_", "")
+
+
+@dataclass
+class SlurmBackend(ExecutionBackend):
+    """ExecutionBackend over a simulated cloud-bursting Slurm cluster."""
+
+    cluster: SlurmCluster
+    noise: Optional["NoiseModel"] = None
+    _provisioning_s: float = 0.0
+    _setup_done: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return "slurm"
+
+    def ensure_capacity(self, sku_name: str, nodes: int) -> None:
+        part_name = partition_for(sku_name)
+        before = self.cluster.clock.now
+        if part_name not in self.cluster.partitions:
+            self.cluster.create_partition(part_name, sku_name)
+            self._setup_done[part_name] = False
+        self.cluster.get_partition(part_name).power_up(nodes)
+        self._provisioning_s += self.cluster.clock.now - before
+
+    def release_capacity(self, sku_name: str, delete: bool) -> None:
+        part_name = partition_for(sku_name)
+        if part_name in self.cluster.partitions:
+            self.cluster.get_partition(part_name).power_down(0)
+            # Slurm partitions are configuration, not billed resources;
+            # "delete" has no extra effect beyond powering down.
+
+    def teardown(self) -> None:
+        self.cluster.teardown()
+
+    def run_setup(self, sku_name: str, script: AppScript) -> bool:
+        part_name = partition_for(sku_name)
+        if self._setup_done.get(part_name):
+            return True
+        self.ensure_capacity(sku_name, 1)
+
+        def runner(hosts, filesystem, workdir):
+            execution = execute_setup(script, hosts, filesystem, workdir,
+                                      noise=self.noise)
+            return JobCompletion(
+                exit_code=execution.exit_code,
+                stdout=execution.stdout,
+                wall_time_s=execution.wall_time_s,
+            )
+
+        job = self.cluster.sbatch(
+            name=f"setup-{script.appname}", partition=part_name, nodes=1,
+            runner=runner,
+        )
+        self._setup_done[part_name] = job.exit_code == 0
+        return self._setup_done[part_name]
+
+    def run_scenario(self, scenario: Scenario, script: AppScript) -> ScenarioRunResult:
+        part_name = partition_for(scenario.sku_name)
+        self.ensure_capacity(scenario.sku_name, scenario.nnodes)
+        captured: Dict[str, object] = {}
+
+        def runner(hosts, filesystem, workdir):
+            execution = execute_run(script, scenario, hosts, filesystem,
+                                    workdir, noise=self.noise)
+            captured["execution"] = execution
+            return JobCompletion(
+                exit_code=execution.exit_code,
+                stdout=execution.stdout,
+                wall_time_s=execution.wall_time_s,
+            )
+
+        job = self.cluster.sbatch(
+            name=f"run-{scenario.scenario_id}",
+            partition=part_name,
+            nodes=scenario.nnodes,
+            runner=runner,
+        )
+        execution = captured.get("execution")
+        if execution is None:
+            raise BackendError(f"job {job.job_id} did not execute")
+        price = self.cluster.get_partition(part_name).hourly_price
+        cost = scenario.nnodes * price * execution.wall_time_s / 3600.0
+        failure = None
+        if execution.exit_code != 0:
+            for line in execution.stdout.splitlines():
+                if "reason:" in line:
+                    failure = line.split("reason:", 1)[1].strip()
+                    break
+            else:
+                failure = "job exited non-zero"
+        return ScenarioRunResult(
+            succeeded=execution.exit_code == 0,
+            exec_time_s=execution.wall_time_s,
+            cost_usd=cost,
+            stdout=execution.stdout,
+            app_vars=dict(execution.app_vars),
+            infra_metrics=dict(execution.infra_metrics),
+            failure_reason=failure,
+            started_at=job.start_time or 0.0,
+            finished_at=job.end_time or 0.0,
+        )
+
+    @property
+    def provisioning_overhead_s(self) -> float:
+        return self._provisioning_s
+
+    @property
+    def total_infrastructure_cost_usd(self) -> float:
+        return self.cluster.total_cost_usd

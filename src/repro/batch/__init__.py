@@ -1,0 +1,28 @@
+"""Simulated Azure Batch service.
+
+The paper's back-end middleware ("Azure Batch, which is a middleware to
+support cloud-native executions of various workloads in Azure").  The
+simulation covers what Algorithm 1 exercises: pools pinned to one VM SKU,
+pool resize/shrink/delete with realistic node boot latency and billing,
+jobs, setup tasks run per pool, and multi-instance (MPI) compute tasks.
+"""
+
+from repro.batch.node import ComputeNode, NodeState
+from repro.batch.pool import BatchPool, PoolState
+from repro.batch.task import BatchTask, TaskContext, TaskKind, TaskOutput, TaskState
+from repro.batch.job import BatchJob
+from repro.batch.service import BatchService
+
+__all__ = [
+    "ComputeNode",
+    "NodeState",
+    "BatchPool",
+    "PoolState",
+    "BatchTask",
+    "TaskContext",
+    "TaskKind",
+    "TaskOutput",
+    "TaskState",
+    "BatchJob",
+    "BatchService",
+]

@@ -1,0 +1,48 @@
+"""Batch jobs: containers for tasks bound to a pool."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.batch.task import BatchTask, TaskState
+from repro.errors import BatchError
+
+
+@dataclass
+class BatchJob:
+    """A job holds tasks and points at the pool that runs them."""
+
+    job_id: str
+    pool_id: str
+    tasks: Dict[str, BatchTask] = field(default_factory=dict)
+
+    def add_task(self, task: BatchTask) -> BatchTask:
+        if task.task_id in self.tasks:
+            raise BatchError(
+                f"job {self.job_id} already has a task {task.task_id!r}"
+            )
+        self.tasks[task.task_id] = task
+        return task
+
+    def get_task(self, task_id: str) -> BatchTask:
+        try:
+            return self.tasks[task_id]
+        except KeyError:
+            raise BatchError(
+                f"job {self.job_id} has no task {task_id!r}"
+            ) from None
+
+    def tasks_in_state(self, state: TaskState) -> List[BatchTask]:
+        return [t for t in self.tasks.values() if t.state is state]
+
+    @property
+    def all_done(self) -> bool:
+        return all(
+            t.state in (TaskState.COMPLETED, TaskState.FAILED)
+            for t in self.tasks.values()
+        )
+
+    @property
+    def failure_count(self) -> int:
+        return sum(1 for t in self.tasks.values() if t.state is TaskState.FAILED)

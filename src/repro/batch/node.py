@@ -1,0 +1,75 @@
+"""Compute nodes inside a Batch pool."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cloud.skus import VmSku
+from repro.errors import PoolStateError
+from repro.rng import rng_for
+
+
+class NodeState(enum.Enum):
+    """Lifecycle of a pool node (subset of Azure Batch's states)."""
+
+    STARTING = "starting"
+    IDLE = "idle"
+    RUNNING = "running"
+    LEAVING = "leaving"
+    GONE = "gone"
+
+
+@dataclass
+class ComputeNode:
+    """One VM inside a pool."""
+
+    node_id: str
+    sku: VmSku
+    state: NodeState = NodeState.STARTING
+    boot_started_at: float = 0.0
+    boot_seconds: float = 0.0
+    released_at: Optional[float] = None
+
+    def mark_idle(self) -> None:
+        if self.state is not NodeState.STARTING:
+            raise PoolStateError(
+                f"node {self.node_id} cannot become idle from {self.state.value}"
+            )
+        self.state = NodeState.IDLE
+
+    def acquire(self) -> None:
+        if self.state is not NodeState.IDLE:
+            raise PoolStateError(
+                f"node {self.node_id} cannot run a task from {self.state.value}"
+            )
+        self.state = NodeState.RUNNING
+
+    def release(self) -> None:
+        if self.state is not NodeState.RUNNING:
+            raise PoolStateError(
+                f"node {self.node_id} cannot be released from {self.state.value}"
+            )
+        self.state = NodeState.IDLE
+
+    def evict(self, now: float) -> None:
+        if self.state is NodeState.RUNNING:
+            raise PoolStateError(
+                f"node {self.node_id} is running a task and cannot be evicted"
+            )
+        self.state = NodeState.GONE
+        self.released_at = now
+
+
+def boot_time_for(pool_id: str, node_index: int, base_boot_s: float,
+                  seed: int = 0) -> float:
+    """Deterministic boot duration with +-20% jitter per node.
+
+    Azure HPC nodes take a few minutes to boot and the spread within one
+    resize operation is what determines when a multi-instance task can start
+    (it waits for the slowest node).
+    """
+    rng = rng_for("node-boot", pool_id, node_index, base_seed=seed)
+    jitter = 1.0 + 0.2 * (2.0 * float(rng.random()) - 1.0)
+    return base_boot_s * jitter

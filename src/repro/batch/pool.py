@@ -1,0 +1,169 @@
+"""Batch pools: SKU-pinned groups of nodes with resize semantics.
+
+Algorithm 1 in the paper drives pools hard: a new pool per VM type, resized
+up to each scenario's node count, then shrunk to zero or deleted when the
+next VM type starts.  Resize-up allocates subscription quota and waits for
+node boot; resize-down releases nodes (never ones that are running tasks).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.clock import BillingMeter, SimClock
+from repro.cloud.skus import VmSku
+from repro.cloud.subscription import Subscription
+from repro.batch.node import ComputeNode, NodeState, boot_time_for
+from repro.errors import PoolStateError
+
+
+class PoolState(enum.Enum):
+    ACTIVE = "active"
+    RESIZING = "resizing"
+    DELETED = "deleted"
+
+
+@dataclass
+class BatchPool:
+    """A pool of identical nodes."""
+
+    pool_id: str
+    sku: VmSku
+    region: str
+    subscription: Subscription
+    clock: SimClock
+    hourly_price: float
+    base_boot_s: float = 150.0
+    seed: int = 0
+    state: PoolState = PoolState.ACTIVE
+    nodes: List[ComputeNode] = field(default_factory=list)
+    _next_node_index: int = 0
+    meter: Optional[BillingMeter] = None
+    resize_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.meter is None:
+            self.meter = BillingMeter(clock=self.clock, hourly_price=self.hourly_price)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def current_nodes(self) -> int:
+        return sum(1 for n in self.nodes if n.state not in (NodeState.GONE,))
+
+    @property
+    def idle_nodes(self) -> List[ComputeNode]:
+        return [n for n in self.nodes if n.state is NodeState.IDLE]
+
+    @property
+    def running_nodes(self) -> List[ComputeNode]:
+        return [n for n in self.nodes if n.state is NodeState.RUNNING]
+
+    @property
+    def accrued_cost_usd(self) -> float:
+        assert self.meter is not None
+        return self.meter.accrued_usd
+
+    def _check_active(self) -> None:
+        if self.state is PoolState.DELETED:
+            raise PoolStateError(f"pool {self.pool_id} is deleted")
+
+    # -- resize ------------------------------------------------------------------
+
+    def resize(self, target_nodes: int) -> None:
+        """Grow or shrink the pool to ``target_nodes``.
+
+        Growing blocks (advances the simulated clock) until the slowest new
+        node has booted — the behaviour a multi-instance task observes.
+        Shrinking evicts idle nodes immediately; it refuses to evict nodes
+        that are running tasks.
+        """
+        self._check_active()
+        if target_nodes < 0:
+            raise ValueError(f"negative pool size: {target_nodes}")
+        self.resize_count += 1
+        current = self.current_nodes
+        if target_nodes > current:
+            self._grow(target_nodes - current)
+        elif target_nodes < current:
+            self._shrink(current - target_nodes)
+
+    def _grow(self, count: int) -> None:
+        self.subscription.allocate_cores(self.region, self.sku, count)
+        new_nodes = []
+        boot_times = []
+        for _ in range(count):
+            idx = self._next_node_index
+            self._next_node_index += 1
+            boot = boot_time_for(self.pool_id, idx, self.base_boot_s, self.seed)
+            node = ComputeNode(
+                node_id=f"{self.pool_id}-node{idx:04d}",
+                sku=self.sku,
+                boot_started_at=self.clock.now,
+                boot_seconds=boot,
+            )
+            new_nodes.append(node)
+            boot_times.append(boot)
+        self.nodes.extend(new_nodes)
+        # Billing starts as soon as VMs are allocated, before they are usable.
+        assert self.meter is not None
+        self.meter.set_nodes(self.current_nodes)
+        self.clock.advance(max(boot_times))
+        for node in new_nodes:
+            node.mark_idle()
+
+    def _shrink(self, count: int) -> None:
+        victims = [n for n in self.nodes if n.state is NodeState.IDLE][:count]
+        if len(victims) < count:
+            raise PoolStateError(
+                f"pool {self.pool_id}: cannot shrink by {count}, only "
+                f"{len(victims)} idle nodes (running tasks are not evictable)"
+            )
+        for node in victims:
+            node.evict(self.clock.now)
+        self.subscription.release_cores(self.region, self.sku, count)
+        assert self.meter is not None
+        self.meter.set_nodes(self.current_nodes)
+
+    def delete(self) -> None:
+        """Delete the pool, releasing every node."""
+        self._check_active()
+        if self.running_nodes:
+            raise PoolStateError(
+                f"pool {self.pool_id} has running tasks and cannot be deleted"
+            )
+        self._shrink_all()
+        self.state = PoolState.DELETED
+
+    def _shrink_all(self) -> None:
+        count = 0
+        for node in self.nodes:
+            if node.state in (NodeState.IDLE, NodeState.STARTING):
+                node.evict(self.clock.now)
+                count += 1
+        if count:
+            self.subscription.release_cores(self.region, self.sku, count)
+        assert self.meter is not None
+        self.meter.set_nodes(self.current_nodes)
+
+    # -- node leasing for tasks ----------------------------------------------------
+
+    def acquire_nodes(self, count: int) -> List[ComputeNode]:
+        """Lease ``count`` idle nodes for a task."""
+        self._check_active()
+        idle = self.idle_nodes
+        if len(idle) < count:
+            raise PoolStateError(
+                f"pool {self.pool_id}: task needs {count} nodes, "
+                f"only {len(idle)} idle of {self.current_nodes}"
+            )
+        leased = idle[:count]
+        for node in leased:
+            node.acquire()
+        return leased
+
+    def release_nodes(self, nodes: List[ComputeNode]) -> None:
+        for node in nodes:
+            node.release()

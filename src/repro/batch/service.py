@@ -1,0 +1,188 @@
+"""The Batch service: pool management plus synchronous task execution.
+
+Execution is synchronous in simulated time: running a task leases nodes,
+invokes the executor, advances the shared clock by the task's wall time,
+then releases the nodes.  This mirrors the data-collection loop of the
+paper's Algorithm 1, which processes scenarios one at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.batch.job import BatchJob
+from repro.batch.pool import BatchPool, PoolState
+from repro.batch.task import BatchTask, TaskContext, TaskState
+from repro.clock import SimClock
+from repro.cloud.provider import CloudProvider
+from repro.cloud.skus import VmSku
+from repro.cloud.subscription import Subscription
+from repro.cluster.filesystem import SharedFilesystem
+from repro.cluster.host import Host
+from repro.errors import BatchError, ResourceNotFound
+
+
+@dataclass
+class TaskAccounting:
+    """Cost attribution for one executed task (the paper's task cost)."""
+
+    task_id: str
+    pool_id: str
+    nodes: int
+    wall_time_s: float
+    cost_usd: float
+
+
+@dataclass
+class BatchService:
+    """A Batch account scoped to one deployment."""
+
+    account_name: str
+    provider: CloudProvider
+    subscription: Subscription
+    region: str
+    filesystem: SharedFilesystem = field(default_factory=SharedFilesystem)
+    seed: int = 0
+    pools: Dict[str, BatchPool] = field(default_factory=dict)
+    jobs: Dict[str, BatchJob] = field(default_factory=dict)
+    accounting: List[TaskAccounting] = field(default_factory=list)
+    _retired_pool_cost_usd: float = 0.0
+
+    @property
+    def clock(self) -> SimClock:
+        return self.provider.clock
+
+    # -- pools -------------------------------------------------------------------
+
+    def create_pool(self, pool_id: str, sku_name: str,
+                    target_nodes: int = 0) -> BatchPool:
+        if pool_id in self.pools:
+            old = self.pools[pool_id]
+            if old.state is not PoolState.DELETED:
+                raise BatchError(f"pool {pool_id!r} already exists")
+            # Recreating under the same id: keep the old pool's billed cost.
+            self._retired_pool_cost_usd += old.accrued_cost_usd
+        sku = self.provider.validate_sku_in_region(sku_name, self.region)
+        pool = BatchPool(
+            pool_id=pool_id,
+            sku=sku,
+            region=self.region,
+            subscription=self.subscription,
+            clock=self.clock,
+            hourly_price=self.provider.prices.hourly_price(sku.name, self.region),
+            base_boot_s=self.provider.latencies.node_boot,
+            seed=self.seed,
+        )
+        self.pools[pool_id] = pool
+        if target_nodes:
+            pool.resize(target_nodes)
+        return pool
+
+    def get_pool(self, pool_id: str) -> BatchPool:
+        pool = self.pools.get(pool_id)
+        if pool is None or pool.state is PoolState.DELETED:
+            raise ResourceNotFound(f"pool {pool_id!r} not found")
+        return pool
+
+    def resize_pool(self, pool_id: str, target_nodes: int) -> None:
+        self.get_pool(pool_id).resize(target_nodes)
+
+    def delete_pool(self, pool_id: str) -> None:
+        self.get_pool(pool_id).delete()
+
+    def list_pools(self, include_deleted: bool = False) -> List[BatchPool]:
+        return [
+            p for p in self.pools.values()
+            if include_deleted or p.state is not PoolState.DELETED
+        ]
+
+    # -- jobs / tasks --------------------------------------------------------------
+
+    def create_job(self, job_id: str, pool_id: str) -> BatchJob:
+        if job_id in self.jobs:
+            raise BatchError(f"job {job_id!r} already exists")
+        self.get_pool(pool_id)  # validates
+        job = BatchJob(job_id=job_id, pool_id=pool_id)
+        self.jobs[job_id] = job
+        return job
+
+    def get_job(self, job_id: str) -> BatchJob:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise ResourceNotFound(f"job {job_id!r} not found") from None
+
+    def submit_task(self, job_id: str, task: BatchTask) -> BatchTask:
+        return self.get_job(job_id).add_task(task)
+
+    def run_task(self, job_id: str, task_id: str) -> BatchTask:
+        """Execute a pending task synchronously (in simulated time)."""
+        job = self.get_job(job_id)
+        task = job.get_task(task_id)
+        if task.state is not TaskState.PENDING:
+            raise BatchError(
+                f"task {task_id!r} is {task.state.value}, expected pending"
+            )
+        pool = self.get_pool(job.pool_id)
+        nodes = pool.acquire_nodes(task.required_nodes)
+        task.assigned_node_ids = [n.node_id for n in nodes]
+        task.state = TaskState.RUNNING
+        task.started_at = self.clock.now
+        hosts = [
+            Host(hostname=n.node_id, sku=n.sku, ip=f"10.44.1.{i + 10}",
+                 slots=n.sku.cores)
+            for i, n in enumerate(nodes)
+        ]
+        workdir = f"/mnt/nfs/jobs/{job_id}/{task_id}"
+        self.filesystem.mkdir(workdir)
+        context = TaskContext(
+            hosts=hosts,
+            filesystem=self.filesystem,
+            env=dict(task.env),
+            workdir=workdir,
+            clock_now=self.clock.now,
+        )
+        try:
+            output = task.executor(context)
+        finally:
+            pool.release_nodes(nodes)
+        self.clock.advance(output.wall_time_s)
+        task.finished_at = self.clock.now
+        task.output = output
+        task.state = TaskState.COMPLETED if output.succeeded else TaskState.FAILED
+        self.accounting.append(
+            TaskAccounting(
+                task_id=task_id,
+                pool_id=pool.pool_id,
+                nodes=task.required_nodes,
+                wall_time_s=output.wall_time_s,
+                cost_usd=task.required_nodes * pool.hourly_price
+                * output.wall_time_s / 3600.0,
+            )
+        )
+        return task
+
+    # -- accounting -------------------------------------------------------------------
+
+    @property
+    def total_task_cost_usd(self) -> float:
+        """Sum of per-task VM costs (the paper's advice-cost basis)."""
+        return sum(a.cost_usd for a in self.accounting)
+
+    @property
+    def total_pool_cost_usd(self) -> float:
+        """Billed pool cost including boot and idle time.
+
+        Includes pools that were deleted and recreated under the same id —
+        the cloud bill does not forget them.
+        """
+        return self._retired_pool_cost_usd + sum(
+            p.accrued_cost_usd for p in self.pools.values()
+        )
+
+    def teardown(self) -> None:
+        """Delete every remaining pool (deployment shutdown)."""
+        for pool in list(self.pools.values()):
+            if pool.state is not PoolState.DELETED:
+                pool.delete()

@@ -1,0 +1,98 @@
+"""Batch tasks: setup tasks and multi-instance compute tasks.
+
+A task is a named unit of work with an executor callable; the executor
+receives a :class:`TaskContext` (hosts, shared filesystem, environment,
+working directory) and returns a :class:`TaskOutput` whose ``wall_time_s``
+drives the simulated clock — exactly how the paper's run scripts behave: the
+script runs, takes time, emits stdout that may contain
+``HPCADVISORVAR name=value`` lines, and exits 0 or 1 (Listing 2 returns 1
+when the LAMMPS log lacks "Total wall time").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.filesystem import SharedFilesystem
+from repro.cluster.host import Host
+
+
+class TaskKind(enum.Enum):
+    SETUP = "setup"
+    COMPUTE = "compute"
+
+
+class TaskState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+@dataclass
+class TaskContext:
+    """Everything a task's executor can touch."""
+
+    hosts: List[Host]
+    filesystem: SharedFilesystem
+    env: Dict[str, str]
+    workdir: str
+    clock_now: float
+
+    @property
+    def nodes(self) -> int:
+        return len(self.hosts)
+
+
+@dataclass(frozen=True)
+class TaskOutput:
+    """What running a task produced."""
+
+    exit_code: int
+    stdout: str
+    wall_time_s: float
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.wall_time_s < 0:
+            raise ValueError(f"negative wall time: {self.wall_time_s}")
+
+    @property
+    def succeeded(self) -> bool:
+        return self.exit_code == 0
+
+
+#: The executor signature: context in, output out.
+TaskExecutor = Callable[[TaskContext], TaskOutput]
+
+
+@dataclass
+class BatchTask:
+    """A task queued to a Batch job."""
+
+    task_id: str
+    kind: TaskKind
+    executor: TaskExecutor
+    required_nodes: int = 1
+    env: Dict[str, str] = field(default_factory=dict)
+    state: TaskState = TaskState.PENDING
+    output: Optional[TaskOutput] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    assigned_node_ids: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.required_nodes < 1:
+            raise ValueError(
+                f"task {self.task_id} needs at least 1 node, got {self.required_nodes}"
+            )
+
+    @property
+    def is_multi_instance(self) -> bool:
+        return self.required_nodes > 1
+
+    @property
+    def wall_time_s(self) -> Optional[float]:
+        return self.output.wall_time_s if self.output else None

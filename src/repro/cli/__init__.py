@@ -1,0 +1,10 @@
+"""Command-line interface (paper Table II).
+
+Commands: ``deploy create|list|shutdown``, ``collect``, ``plot``,
+``advice``, ``gui`` — the same surface as the real tool's CLI execution
+mode, driving the simulated cloud.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["build_parser", "main"]

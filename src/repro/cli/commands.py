@@ -1,0 +1,333 @@
+"""Implementations of the CLI commands."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from repro.appkit.plugins import get_plugin
+from repro.backends.azurebatch import AzureBatchBackend
+from repro.backends.slurm import SlurmBackend
+from repro.core.advisor import Advisor
+from repro.core.collector import DataCollector
+from repro.core.config import MainConfig
+from repro.core.dataset import Dataset
+from repro.core.deployer import Deployer, Deployment
+from repro.core.plots import generate_plots
+from repro.core.recipes import cluster_recipe, slurm_script
+from repro.core.scenarios import generate_scenarios
+from repro.core.statefiles import StateStore, resolve_state_dir
+from repro.core.taskdb import TaskDB
+from repro.errors import ReproError
+from repro.perf.noise import NoiseModel
+from repro.sampling.planner import SmartSampler
+from repro.slurmsim.cluster import SlurmCluster
+from repro.units import fmt_duration, fmt_usd
+
+
+def _store(state_dir: Optional[str]) -> StateStore:
+    return StateStore(root=resolve_state_dir(state_dir))
+
+
+# -- deploy ------------------------------------------------------------------------
+
+
+def deploy_create(state_dir: Optional[str], config_path: str) -> int:
+    store = _store(state_dir)
+    config = MainConfig.from_file(config_path)
+    deployment = Deployer().deploy(config)
+    store.save_deployment(deployment)
+    print(f"created deployment {deployment.name} in {deployment.region}")
+    print(f"  resource group:  {deployment.name}")
+    print(f"  vnet:            {deployment.vnet_name}")
+    print(f"  storage account: {deployment.storage_account}")
+    print(f"  batch account:   {deployment.batch.account_name}")
+    if deployment.jumpbox_name:
+        print(f"  jumpbox:         {deployment.jumpbox_name}")
+    print(f"  scenarios:       {config.scenario_count}")
+    return 0
+
+
+def deploy_list(state_dir: Optional[str]) -> int:
+    store = _store(state_dir)
+    records = store.list_deployments()
+    if not records:
+        print("(no deployments)")
+        return 0
+    print(f"{'NAME':<28} {'REGION':<16} {'APP':<12} SCENARIOS")
+    for record in records:
+        config = record.get("config") or {}
+        appname = config.get("appname", "-")
+        scenarios = "-"
+        if config:
+            try:
+                scenarios = str(MainConfig.from_dict(config).scenario_count)
+            except ReproError:
+                pass
+        print(f"{record['name']:<28} {record['region']:<16} "
+              f"{appname:<12} {scenarios}")
+    return 0
+
+
+def deploy_shutdown(state_dir: Optional[str], name: str) -> int:
+    store = _store(state_dir)
+    store.get_deployment_record(name)  # raises if unknown
+    store.remove_deployment(name)
+    # Simulated resources live in-process; removing the record is the
+    # persistent part.  Report the same wording as the real tool.
+    print(f"deployment {name} shut down; all resources deleted")
+    return 0
+
+
+# -- collect -------------------------------------------------------------------------
+
+
+def _attach(store: StateStore, name: str) -> Deployment:
+    return store.attach(name)
+
+
+def collect(
+    state_dir: Optional[str],
+    name: str,
+    backend: str = "azurebatch",
+    smart_sampling: bool = False,
+    delete_pools: bool = False,
+    noise: float = 0.0,
+    seed: int = 0,
+    budget: Optional[float] = None,
+    retry_failed: int = 0,
+    show_report: bool = False,
+) -> int:
+    store = _store(state_dir)
+    deployment = _attach(store, name)
+    config = deployment.config
+    assert config is not None
+    scenarios = generate_scenarios(config)
+    noise_model = NoiseModel(sigma=noise, seed=seed)
+
+    if backend == "azurebatch":
+        exec_backend = AzureBatchBackend(service=deployment.batch,
+                                         noise=noise_model)
+    else:
+        cluster = SlurmCluster(
+            provider=deployment.provider,
+            subscription=deployment.provider.get_subscription(
+                config.subscription
+            ),
+            region=config.region,
+        )
+        exec_backend = SlurmBackend(cluster=cluster, noise=noise_model)
+
+    dataset_path = store.dataset_path(name)
+    dataset = (Dataset.load(dataset_path) if os.path.exists(dataset_path)
+               else Dataset(path=dataset_path))
+    dataset.path = dataset_path
+    taskdb_path = store.taskdb_path(name)
+    taskdb = (TaskDB.load(taskdb_path) if os.path.exists(taskdb_path)
+              else TaskDB(path=taskdb_path))
+
+    sampler = None
+    if smart_sampling or budget is not None:
+        prices = {
+            s.sku_name: deployment.provider.prices.hourly_price(
+                s.sku_name, config.region
+            )
+            for s in scenarios
+        }
+        smart = SmartSampler.for_scenarios(scenarios, prices)
+        if budget is not None:
+            from repro.sampling.budget import BudgetedSampler
+
+            sampler = BudgetedSampler(inner=smart, budget_usd=budget)
+        else:
+            sampler = smart
+
+    collector = DataCollector(
+        backend=exec_backend,
+        script=get_plugin(config.appname),
+        dataset=dataset,
+        taskdb=taskdb,
+        deployment_name=name,
+        delete_pool_on_switch=delete_pools,
+        sampler=sampler,
+        retry_failed=retry_failed,
+    )
+    report = collector.collect(scenarios)
+    print(f"collection finished on {exec_backend.name}:")
+    print(f"  executed:  {report.executed} "
+          f"(completed {report.completed}, failed {report.failed})")
+    if report.skipped or report.predicted:
+        print(f"  skipped:   {report.skipped} (smart sampling)")
+        print(f"  predicted: {report.predicted} (smart sampling)")
+    print(f"  task cost:           ${fmt_usd(report.task_cost_usd)}")
+    print(f"  infrastructure cost: ${fmt_usd(report.infrastructure_cost_usd)}")
+    print(f"  provisioning time:   {fmt_duration(report.provisioning_overhead_s)}")
+    print(f"  dataset:             {dataset_path} ({len(dataset)} points)")
+    for failure in report.failures:
+        print(f"  FAILED: {failure}")
+    if show_report:
+        from repro.core.report import render_report
+
+        print()
+        print(render_report(report, dataset, taskdb=taskdb,
+                            title=f"Sweep report for {name}"), end="")
+    return 0 if report.failed == 0 else 1
+
+
+# -- plot ---------------------------------------------------------------------------
+
+
+def plot(
+    state_dir: Optional[str],
+    name: str,
+    output: Optional[str] = None,
+    filters: Optional[Dict[str, str]] = None,
+    sku: Optional[str] = None,
+    subtitle: Optional[str] = None,
+) -> int:
+    store = _store(state_dir)
+    dataset_path = store.dataset_path(name)
+    if not os.path.exists(dataset_path):
+        raise ReproError(
+            f"no dataset for deployment {name!r}; run collect first"
+        )
+    dataset = Dataset.load(dataset_path).filter(
+        appinputs=filters or None, sku=sku
+    )
+    out_dir = output or store.plots_dir(name)
+    generated = generate_plots(dataset, out_dir, subtitle=subtitle)
+    for item in generated:
+        print(f"wrote {item.path}")
+    return 0
+
+
+# -- advice --------------------------------------------------------------------------
+
+
+def advice(
+    state_dir: Optional[str],
+    name: str,
+    sort_by: str = "time",
+    filters: Optional[Dict[str, str]] = None,
+    max_rows: Optional[int] = None,
+    recipes: bool = False,
+    spot: bool = False,
+) -> int:
+    store = _store(state_dir)
+    dataset_path = store.dataset_path(name)
+    if not os.path.exists(dataset_path):
+        raise ReproError(
+            f"no dataset for deployment {name!r}; run collect first"
+        )
+    dataset = Dataset.load(dataset_path)
+    advisor = Advisor(dataset)
+    rows = advisor.advise(
+        appinputs=filters or None, sort_by=sort_by, max_rows=max_rows
+    )
+    print(advisor.render_table(rows), end="")
+    if spot:
+        from repro.cloud.pricing import PriceCatalog
+        from repro.core.cost import spot_savings_summary
+
+        print("\n--- What-if: spot pricing ---")
+        print(spot_savings_summary(
+            dataset.filter(appinputs=filters or None), PriceCatalog()
+        ), end="")
+    if recipes and rows:
+        appname = dataset.points()[0].appname if len(dataset) else "app"
+        print("\n--- Slurm recipe for the top advice row ---")
+        print(slurm_script(rows[0], appname))
+        print("--- Cluster recipe ---")
+        print(cluster_recipe(rows[0]))
+    return 0
+
+
+# -- predict (extension) ----------------------------------------------------------
+
+
+def predict(
+    state_dir: Optional[str],
+    name: str,
+    inputs: Dict[str, str],
+    nnodes: Optional[list] = None,
+    backend: str = "ridge",
+) -> int:
+    """Predicted advice for new inputs, trained on the deployment's data."""
+    from repro.core.scenarios import Scenario, ppn_for
+    from repro.predict import PerformancePredictor
+
+    store = _store(state_dir)
+    dataset_path = store.dataset_path(name)
+    if not os.path.exists(dataset_path):
+        raise ReproError(
+            f"no dataset for deployment {name!r}; run collect first"
+        )
+    dataset = Dataset.load(dataset_path)
+    measured = [p for p in dataset if not p.predicted]
+    if not measured:
+        raise ReproError("dataset has no measured points to train on")
+    appname = measured[0].appname
+    predictor = PerformancePredictor(backend=backend).fit(
+        dataset, cv_folds=min(5, len(measured))
+    )
+    skus = sorted({p.sku for p in measured})
+    node_counts = nnodes or sorted({p.nnodes for p in measured})
+    appinputs = dict(inputs) if inputs else dict(measured[0].appinputs)
+    candidates = [
+        Scenario(
+            scenario_id=f"q{i:04d}",
+            sku_name=sku,
+            nnodes=n,
+            ppn=ppn_for(sku, 100),
+            appname=appname,
+            appinputs=appinputs,
+        )
+        for i, (sku, n) in enumerate(
+            (sku, n) for sku in skus for n in node_counts
+        )
+    ]
+    rows = predictor.predicted_front(candidates)
+    inputs_label = ", ".join(f"{k}={v}" for k, v in sorted(appinputs.items()))
+    print(f"predicted advice for {appname} ({inputs_label}) — "
+          f"0 executions, trained on {len(measured)} points"
+          + (f", CV MAPE {predictor.cv_mape:.1%}" if predictor.cv_mape
+             else ""))
+    print(Advisor(Dataset()).render_table(rows), end="")
+    return 0
+
+
+# -- compare (extension) ---------------------------------------------------------
+
+
+def compare(state_dir: Optional[str], name_a: str, name_b: str) -> int:
+    """Matched-scenario comparison of two deployments' datasets."""
+    from repro.core.compare import compare_datasets, render_comparison
+
+    store = _store(state_dir)
+    datasets = {}
+    for name in (name_a, name_b):
+        path = store.dataset_path(name)
+        if not os.path.exists(path):
+            raise ReproError(
+                f"no dataset for deployment {name!r}; run collect first"
+            )
+        datasets[name] = Dataset.load(path)
+    comparison = compare_datasets(datasets[name_a], datasets[name_b])
+    print(render_comparison(comparison, label_a=name_a, label_b=name_b),
+          end="")
+    regressions = comparison.regressions()
+    if regressions:
+        print(f"\n{len(regressions)} scenario(s) regressed by more than 5%")
+        return 1
+    return 0
+
+
+# -- gui ------------------------------------------------------------------------------
+
+
+def gui(state_dir: Optional[str], host: str = "127.0.0.1", port: int = 8040,
+        once: bool = False) -> int:
+    from repro.gui.server import serve
+
+    store = _store(state_dir)
+    return serve(store, host=host, port=port, once=once)

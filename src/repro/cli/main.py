@@ -1,0 +1,219 @@
+"""hpcadvisor-sim: CLI entry point.
+
+Reproduces the paper's Table II::
+
+    deploy create     Creates a cloud deployment
+    deploy list       Lists all previous and current cloud deployments.
+    deploy shutdown   Shuts down a given cloud deployment, deleting all its
+                      resources.
+    collect           Collects data, i.e. runs all scenarios on a given
+                      deployment.
+    plot              Generates plots using a given data filter.
+    advice            Generates advice (i.e. Pareto front) using a given
+                      data filter.
+    gui               Starts the GUI mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hpcadvisor-sim",
+        description=(
+            "HPCAdvisor (reproduction): assist HPC users in selecting cloud "
+            "resources, over a simulated Azure back-end."
+        ),
+    )
+    parser.add_argument(
+        "--state-dir",
+        help="state directory (default: $HPCADVISOR_STATE_DIR or ~/.hpcadvisor-sim)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    # deploy ------------------------------------------------------------------
+    deploy = sub.add_parser("deploy", help="manage cloud deployments")
+    deploy_sub = deploy.add_subparsers(dest="deploy_command", required=True)
+
+    deploy_create = deploy_sub.add_parser("create", help="create a deployment")
+    deploy_create.add_argument("-c", "--config", required=True,
+                               help="main YAML configuration file")
+
+    deploy_sub.add_parser("list", help="list deployments")
+
+    deploy_shutdown = deploy_sub.add_parser(
+        "shutdown", help="delete a deployment and all its resources"
+    )
+    deploy_shutdown.add_argument("-n", "--name", required=True)
+
+    # collect ------------------------------------------------------------------
+    collect = sub.add_parser("collect", help="run all scenarios on a deployment")
+    collect.add_argument("-n", "--name", required=True, help="deployment name")
+    collect.add_argument(
+        "--backend", choices=["azurebatch", "slurm"], default="azurebatch",
+        help="execution back-end (default: azurebatch, as in the paper)",
+    )
+    collect.add_argument(
+        "--smart-sampling", action="store_true",
+        help="enable the Sec. III-F sampling optimizations",
+    )
+    collect.add_argument(
+        "--delete-pools", action="store_true",
+        help="delete pools on VM-type switch instead of resizing to zero",
+    )
+    collect.add_argument("--noise", type=float, default=0.0,
+                         help="run-to-run noise sigma (default 0: deterministic)")
+    collect.add_argument("--seed", type=int, default=0, help="noise seed")
+    collect.add_argument("--budget", type=float,
+                         help="hard USD budget for measured task spend")
+    collect.add_argument("--retry-failed", type=int, default=0,
+                         help="immediate retries for failed scenarios")
+    collect.add_argument("--report", action="store_true",
+                         help="print the full sweep report afterwards")
+
+    # plot ----------------------------------------------------------------------
+    plot = sub.add_parser("plot", help="generate plots using a data filter")
+    plot.add_argument("-n", "--name", required=True, help="deployment name")
+    plot.add_argument("-o", "--output", help="output directory for SVGs")
+    plot.add_argument("--filter", action="append", default=[],
+                      metavar="KEY=VALUE",
+                      help="appinput filter, repeatable (e.g. --filter mesh='40 16 16')")
+    plot.add_argument("--sku", help="restrict to one VM type")
+    plot.add_argument("--subtitle", help="override the plot subtitle")
+
+    # advice ---------------------------------------------------------------------
+    advice = sub.add_parser("advice", help="generate Pareto-front advice")
+    advice.add_argument("-n", "--name", required=True, help="deployment name")
+    advice.add_argument("--sort", choices=["time", "cost"], default="time")
+    advice.add_argument("--filter", action="append", default=[],
+                        metavar="KEY=VALUE")
+    advice.add_argument("--max-rows", type=int)
+    advice.add_argument("--recipes", action="store_true",
+                        help="emit Slurm + cluster recipes for the top row")
+    advice.add_argument("--spot", action="store_true",
+                        help="also show the front repriced at spot rates")
+
+    # predict (extension: the paper's zero-execution advice vision) ----------
+    predict = sub.add_parser(
+        "predict",
+        help="predict advice for new inputs from collected data (extension)",
+    )
+    predict.add_argument("-n", "--name", required=True,
+                         help="deployment whose dataset trains the model")
+    predict.add_argument("--input", action="append", default=[],
+                         metavar="KEY=VALUE", required=False,
+                         help="application input(s) to predict for")
+    predict.add_argument("--nnodes", type=int, nargs="+",
+                         help="candidate node counts "
+                              "(default: those in the dataset)")
+    predict.add_argument("--backend", choices=["ridge", "knn"],
+                         default="ridge")
+
+    # compare (extension: before/after sweeps via tags) ------------------------
+    compare = sub.add_parser(
+        "compare",
+        help="compare two deployments' datasets scenario by scenario "
+             "(extension)",
+    )
+    compare.add_argument("-a", required=True, metavar="NAME",
+                         help="baseline deployment")
+    compare.add_argument("-b", required=True, metavar="NAME",
+                         help="candidate deployment")
+
+    # gui -------------------------------------------------------------------------
+    gui = sub.add_parser("gui", help="start the browser GUI")
+    gui.add_argument("--port", type=int, default=8040)
+    gui.add_argument("--host", default="127.0.0.1")
+    gui.add_argument("--once", action="store_true",
+                     help=argparse.SUPPRESS)  # test hook: handle one request
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    # Imports are local so `--help` stays fast.
+    from repro.cli import commands
+
+    if args.command == "deploy":
+        if args.deploy_command == "create":
+            return commands.deploy_create(args.state_dir, args.config)
+        if args.deploy_command == "list":
+            return commands.deploy_list(args.state_dir)
+        return commands.deploy_shutdown(args.state_dir, args.name)
+    if args.command == "collect":
+        return commands.collect(
+            args.state_dir, args.name,
+            backend=args.backend,
+            smart_sampling=args.smart_sampling,
+            delete_pools=args.delete_pools,
+            noise=args.noise,
+            seed=args.seed,
+            budget=args.budget,
+            retry_failed=args.retry_failed,
+            show_report=args.report,
+        )
+    if args.command == "plot":
+        return commands.plot(
+            args.state_dir, args.name,
+            output=args.output,
+            filters=parse_filters(args.filter),
+            sku=args.sku,
+            subtitle=args.subtitle,
+        )
+    if args.command == "advice":
+        return commands.advice(
+            args.state_dir, args.name,
+            sort_by=args.sort,
+            filters=parse_filters(args.filter),
+            max_rows=args.max_rows,
+            recipes=args.recipes,
+            spot=args.spot,
+        )
+    if args.command == "predict":
+        return commands.predict(
+            args.state_dir, args.name,
+            inputs=parse_filters(args.input),
+            nnodes=args.nnodes,
+            backend=args.backend,
+        )
+    if args.command == "compare":
+        return commands.compare(args.state_dir, args.a, args.b)
+    if args.command == "gui":
+        return commands.gui(args.state_dir, host=args.host, port=args.port,
+                            once=args.once)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def parse_filters(items: List[str]) -> Dict[str, str]:
+    """Parse repeated KEY=VALUE filter arguments."""
+    out: Dict[str, str] = {}
+    for item in items:
+        if "=" not in item:
+            raise ReproError(
+                f"invalid filter {item!r}: expected KEY=VALUE"
+            )
+        key, value = item.split("=", 1)
+        if not key:
+            raise ReproError(f"invalid filter {item!r}: empty key")
+        out[key] = value
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Simulated wall clock.
+
+Every stateful substrate (cloud provider, Batch service, Slurm scheduler)
+shares one :class:`SimClock`.  Time only moves when something explicitly
+advances it — node boots, task executions, resize waits — so a full
+parameter sweep that would take hours of real cluster time completes in
+milliseconds while still producing faithful timestamps and billing windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+
+@dataclass
+class SimClock:
+    """A monotonically non-decreasing simulated clock.
+
+    Parameters
+    ----------
+    now:
+        Initial simulated time in seconds since the epoch of the simulation
+        (zero by default; absolute origin is irrelevant, only deltas matter).
+    """
+
+    now: float = 0.0
+    _observers: List[Callable[[float, float], None]] = field(
+        default_factory=list, repr=False
+    )
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time: {seconds}")
+        old = self.now
+        self.now += seconds
+        for observer in self._observers:
+            observer(old, self.now)
+        return self.now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to an absolute simulated timestamp."""
+        if timestamp < self.now:
+            raise ValueError(
+                f"cannot move clock backwards: now={self.now}, target={timestamp}"
+            )
+        return self.advance(timestamp - self.now)
+
+    def subscribe(self, observer: Callable[[float, float], None]) -> None:
+        """Register ``observer(old_now, new_now)`` called on every advance.
+
+        Used by billing meters to accrue node-seconds over time windows.
+        """
+        self._observers.append(observer)
+
+    def stopwatch(self) -> "Stopwatch":
+        return Stopwatch(self)
+
+
+class Stopwatch:
+    """Measures simulated elapsed time between two points."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._start = clock.now
+
+    @property
+    def elapsed(self) -> float:
+        return self._clock.now - self._start
+
+    def restart(self) -> None:
+        self._start = self._clock.now
+
+
+@dataclass
+class BillingMeter:
+    """Accrues cost over simulated time for a varying number of nodes.
+
+    The meter integrates ``active_nodes * hourly_price`` over the clock.  It
+    is driven by :meth:`SimClock.subscribe`, so any clock advance while nodes
+    are allocated accrues cost — including node boot time and idle time,
+    which is exactly how a real cloud bills.
+    """
+
+    clock: SimClock
+    hourly_price: float
+    active_nodes: int = 0
+    accrued_usd: float = 0.0
+    accrued_node_seconds: float = 0.0
+    _windows: List[Tuple[float, float, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.clock.subscribe(self._on_advance)
+
+    def _on_advance(self, old: float, new: float) -> None:
+        if self.active_nodes > 0 and new > old:
+            dt = new - old
+            self.accrued_node_seconds += self.active_nodes * dt
+            self.accrued_usd += self.active_nodes * dt / 3600.0 * self.hourly_price
+            self._windows.append((old, new, self.active_nodes))
+
+    def set_nodes(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"negative node count: {n}")
+        self.active_nodes = n
+
+    @property
+    def windows(self) -> List[Tuple[float, float, int]]:
+        """Billing windows as ``(start, end, nodes)`` tuples."""
+        return list(self._windows)

@@ -1,0 +1,29 @@
+"""Simulated cloud control plane (the paper's Azure substrate).
+
+This package models the pieces of a public cloud that HPCAdvisor's
+deployment sequence (paper Sec. III-B) touches: subscriptions with quota,
+regions with per-SKU availability, resource groups, virtual networks and
+subnets, storage accounts with NFS shares, jumpbox VMs, and vnet peering.
+
+The entry point is :class:`repro.cloud.provider.CloudProvider`.
+"""
+
+from repro.cloud.skus import SKU_CATALOG, VmSku, get_sku, list_skus
+from repro.cloud.pricing import PriceCatalog, DEFAULT_PRICES
+from repro.cloud.regions import Region, DEFAULT_REGIONS, get_region
+from repro.cloud.subscription import Subscription
+from repro.cloud.provider import CloudProvider
+
+__all__ = [
+    "SKU_CATALOG",
+    "VmSku",
+    "get_sku",
+    "list_skus",
+    "PriceCatalog",
+    "DEFAULT_PRICES",
+    "Region",
+    "DEFAULT_REGIONS",
+    "get_region",
+    "Subscription",
+    "CloudProvider",
+]

@@ -1,0 +1,195 @@
+"""CloudProvider: the facade the deployer talks to.
+
+This is the simulated equivalent of the Azure control plane (ARM).  It owns
+subscriptions, regions, resource groups and the simulated clock, and applies
+realistic per-operation latencies so that deployment time and billing windows
+are meaningful quantities in benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.clock import SimClock
+from repro.errors import CloudError, ResourceExists, ResourceNotFound
+from repro.cloud.pricing import PriceCatalog
+from repro.cloud.regions import Region, get_region
+from repro.cloud.resources import ResourceGroup, StorageAccount, VirtualNetwork
+from repro.cloud.skus import VmSku, get_sku
+from repro.cloud.subscription import Subscription
+
+
+@dataclass(frozen=True)
+class OperationLatencies:
+    """Simulated control-plane latencies, in seconds.
+
+    Values approximate observed ARM behaviour; they matter for the
+    pool-reuse ablation (provisioning overhead vs. task runtime).
+    """
+
+    create_resource_group: float = 3.0
+    create_vnet: float = 8.0
+    create_subnet: float = 4.0
+    create_storage_account: float = 25.0
+    create_batch_account: float = 35.0
+    create_jumpbox: float = 90.0
+    peer_vnet: float = 15.0
+    delete_resource_group: float = 60.0
+    node_boot: float = 150.0
+    node_release: float = 20.0
+
+
+class CloudProvider:
+    """Entry point to the simulated cloud.
+
+    Parameters
+    ----------
+    clock:
+        Shared simulation clock; a fresh one is created if omitted.
+    prices:
+        Price catalog used for all cost computations.
+    latencies:
+        Control-plane latency model.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        prices: Optional[PriceCatalog] = None,
+        latencies: Optional[OperationLatencies] = None,
+    ) -> None:
+        self.clock = clock or SimClock()
+        self.prices = prices or PriceCatalog()
+        self.latencies = latencies or OperationLatencies()
+        self._subscriptions: Dict[str, Subscription] = {}
+        self._resource_groups: Dict[str, ResourceGroup] = {}
+        self.operation_log: List[str] = []
+
+    # -- subscriptions ------------------------------------------------------
+
+    def register_subscription(self, name: str) -> Subscription:
+        """Create (or fetch) a subscription by name."""
+        if name not in self._subscriptions:
+            self._subscriptions[name] = Subscription(name=name)
+        return self._subscriptions[name]
+
+    def get_subscription(self, name: str) -> Subscription:
+        try:
+            return self._subscriptions[name]
+        except KeyError:
+            raise ResourceNotFound(f"unknown subscription {name!r}") from None
+
+    # -- regions / SKUs ------------------------------------------------------
+
+    def get_region(self, name: str) -> Region:
+        return get_region(name)
+
+    def get_sku(self, name: str) -> VmSku:
+        return get_sku(name)
+
+    def validate_sku_in_region(self, sku_name: str, region_name: str) -> VmSku:
+        """Resolve a SKU and assert the region offers it."""
+        sku = get_sku(sku_name)
+        get_region(region_name).require_sku(sku.name)
+        return sku
+
+    # -- resource groups -----------------------------------------------------
+
+    def create_resource_group(
+        self, name: str, region_name: str, tags: Optional[Dict[str, str]] = None
+    ) -> ResourceGroup:
+        if name in self._resource_groups and not self._resource_groups[name].deleted:
+            raise ResourceExists(f"resource group {name!r} already exists")
+        region = get_region(region_name)
+        rg = ResourceGroup(name=name, region=region.name, tags=dict(tags or {}))
+        self._resource_groups[name] = rg
+        self._op("create_resource_group", name,
+                 self.latencies.create_resource_group)
+        return rg
+
+    def get_resource_group(self, name: str) -> ResourceGroup:
+        rg = self._resource_groups.get(name)
+        if rg is None or rg.deleted:
+            raise ResourceNotFound(f"resource group {name!r} not found")
+        return rg
+
+    def list_resource_groups(self, prefix: str = "") -> List[ResourceGroup]:
+        return [
+            rg
+            for name, rg in sorted(self._resource_groups.items())
+            if name.startswith(prefix) and not rg.deleted
+        ]
+
+    def delete_resource_group(self, name: str) -> None:
+        rg = self.get_resource_group(name)
+        rg.mark_deleted()
+        self._op("delete_resource_group", name,
+                 self.latencies.delete_resource_group)
+
+    # -- networking / storage -------------------------------------------------
+
+    def create_vnet(
+        self, rg_name: str, vnet_name: str, cidr: str = "10.44.0.0/16"
+    ) -> VirtualNetwork:
+        rg = self.get_resource_group(rg_name)
+        vnet = rg.create_vnet(vnet_name, cidr)
+        self._op("create_vnet", f"{rg_name}/{vnet_name}", self.latencies.create_vnet)
+        return vnet
+
+    def create_subnet(
+        self, rg_name: str, vnet_name: str, subnet_name: str, cidr: str
+    ) -> None:
+        rg = self.get_resource_group(rg_name)
+        if vnet_name not in rg.vnets:
+            raise ResourceNotFound(f"vnet {vnet_name!r} not found in {rg_name!r}")
+        rg.vnets[vnet_name].add_subnet(subnet_name, cidr)
+        self._op("create_subnet", f"{rg_name}/{vnet_name}/{subnet_name}",
+                 self.latencies.create_subnet)
+
+    def create_storage_account(self, rg_name: str, account_name: str) -> StorageAccount:
+        rg = self.get_resource_group(rg_name)
+        # Storage account names are globally unique in Azure.
+        for other in self._resource_groups.values():
+            if not other.deleted and account_name in other.storage_accounts:
+                raise ResourceExists(
+                    f"storage account name {account_name!r} is already taken"
+                )
+        account = rg.create_storage_account(account_name)
+        self._op("create_storage_account", account_name,
+                 self.latencies.create_storage_account)
+        return account
+
+    def create_jumpbox(self, rg_name: str, name: str, vnet_name: str,
+                       subnet_name: str) -> None:
+        rg = self.get_resource_group(rg_name)
+        rg.create_jumpbox(name, vnet_name, subnet_name)
+        self._op("create_jumpbox", f"{rg_name}/{name}", self.latencies.create_jumpbox)
+
+    def peer_vnets(
+        self, rg_a: str, vnet_a: str, rg_b: str, vnet_b: str
+    ) -> None:
+        """Peer two vnets (the paper's VPN-peering option)."""
+        group_a = self.get_resource_group(rg_a)
+        group_b = self.get_resource_group(rg_b)
+        if vnet_a not in group_a.vnets:
+            raise ResourceNotFound(f"vnet {vnet_a!r} not found in {rg_a!r}")
+        if vnet_b not in group_b.vnets:
+            raise ResourceNotFound(f"vnet {vnet_b!r} not found in {rg_b!r}")
+        group_a.vnets[vnet_a].peer_with(group_b.vnets[vnet_b])
+        self._op("peer_vnets", f"{rg_a}/{vnet_a}<->{rg_b}/{vnet_b}",
+                 self.latencies.peer_vnet)
+
+    def register_batch_account(self, rg_name: str, account_name: str) -> None:
+        rg = self.get_resource_group(rg_name)
+        if account_name in rg.batch_accounts:
+            raise ResourceExists(f"batch account {account_name!r} already exists")
+        rg.batch_accounts.append(account_name)
+        self._op("create_batch_account", f"{rg_name}/{account_name}",
+                 self.latencies.create_batch_account)
+
+    # -- internals ------------------------------------------------------------
+
+    def _op(self, op: str, target: str, latency: float) -> None:
+        self.clock.advance(latency)
+        self.operation_log.append(f"t={self.clock.now:.1f} {op} {target}")

@@ -1,0 +1,76 @@
+"""Per-family core quotas.
+
+Azure enforces vCPU quotas per VM family per region; exceeding them is one of
+the most common reasons an HPCAdvisor-style sweep fails mid-flight.  The
+simulator enforces the same accounting so the collector's error handling is
+exercised realistically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import QuotaExceeded
+from repro.cloud.skus import VmSku
+
+
+#: Default per-family core quota granted to a fresh subscription, per region.
+DEFAULT_FAMILY_QUOTA = 4000
+
+#: Families commonly capped lower on fresh subscriptions.
+LOW_DEFAULT_FAMILIES: Dict[str, int] = {
+    "standardHBrsv4Family": 352,
+    "standardHXFamily": 352,
+}
+
+
+@dataclass
+class QuotaLedger:
+    """Tracks allocated cores per (region, family)."""
+
+    limits: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    used: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    default_limit: int = DEFAULT_FAMILY_QUOTA
+
+    def limit_for(self, region: str, family: str) -> int:
+        key = (region, family)
+        if key in self.limits:
+            return self.limits[key]
+        return LOW_DEFAULT_FAMILIES.get(family, self.default_limit)
+
+    def set_limit(self, region: str, family: str, cores: int) -> None:
+        if cores < 0:
+            raise ValueError(f"negative quota limit: {cores}")
+        self.limits[(region, family)] = cores
+
+    def used_for(self, region: str, family: str) -> int:
+        return self.used.get((region, family), 0)
+
+    def available(self, region: str, family: str) -> int:
+        return self.limit_for(region, family) - self.used_for(region, family)
+
+    def allocate(self, region: str, sku: VmSku, nodes: int) -> None:
+        """Reserve cores for ``nodes`` VMs of ``sku`` in ``region``.
+
+        Raises
+        ------
+        QuotaExceeded
+            If the family's remaining quota cannot fit the request.
+        """
+        if nodes < 0:
+            raise ValueError(f"negative node count: {nodes}")
+        requested = nodes * sku.cores
+        avail = self.available(region, sku.family)
+        if requested > avail:
+            raise QuotaExceeded(sku.family, requested, avail)
+        key = (region, sku.family)
+        self.used[key] = self.used.get(key, 0) + requested
+
+    def release(self, region: str, sku: VmSku, nodes: int) -> None:
+        """Return cores for ``nodes`` VMs of ``sku``; never goes negative."""
+        if nodes < 0:
+            raise ValueError(f"negative node count: {nodes}")
+        key = (region, sku.family)
+        current = self.used.get(key, 0)
+        self.used[key] = max(0, current - nodes * sku.cores)

@@ -1,0 +1,68 @@
+"""Cloud regions and per-region SKU availability.
+
+The paper's main configuration file carries a ``region`` field (its example
+uses ``southcentralus``) and deployment fails fast if a requested SKU is not
+offered there — a failure mode users hit constantly in practice, so the
+simulator models it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List
+
+from repro.errors import CloudError, SkuNotAvailable
+from repro.cloud.skus import SKU_CATALOG
+
+
+@dataclass(frozen=True)
+class Region:
+    """A cloud region with a subset of the SKU catalog available."""
+
+    name: str
+    display_name: str
+    geography: str
+    available_skus: FrozenSet[str]
+    zones: int = 3
+
+    def supports_sku(self, sku_name: str) -> bool:
+        return sku_name in self.available_skus
+
+    def require_sku(self, sku_name: str) -> None:
+        if not self.supports_sku(sku_name):
+            raise SkuNotAvailable(
+                f"SKU {sku_name!r} is not available in region {self.name!r}"
+            )
+
+
+_ALL = frozenset(SKU_CATALOG)
+_NO_V4 = frozenset(n for n in SKU_CATALOG if "v4" not in n and "HX" not in n)
+_GENERAL_ONLY = frozenset(
+    n for n in SKU_CATALOG if n.startswith(("Standard_D", "Standard_F", "Standard_E"))
+)
+
+DEFAULT_REGIONS: Dict[str, Region] = {
+    r.name: r
+    for r in [
+        Region("southcentralus", "South Central US", "United States", _ALL),
+        Region("eastus", "East US", "United States", _NO_V4),
+        Region("westus2", "West US 2", "United States", _ALL),
+        Region("westeurope", "West Europe", "Europe", _NO_V4),
+        Region("northeurope", "North Europe", "Europe", _GENERAL_ONLY | frozenset({"Standard_HB120rs_v2"})),
+        Region("japaneast", "Japan East", "Asia Pacific", _GENERAL_ONLY),
+        Region("australiaeast", "Australia East", "Asia Pacific", _NO_V4),
+    ]
+}
+
+
+def get_region(name: str) -> Region:
+    """Look up a region by name (case-insensitive)."""
+    key = name.lower().replace(" ", "")
+    if key in DEFAULT_REGIONS:
+        return DEFAULT_REGIONS[key]
+    raise CloudError(f"unknown region: {name!r}")
+
+
+def regions_with_sku(sku_name: str) -> List[Region]:
+    """All regions offering the given SKU."""
+    return [r for r in DEFAULT_REGIONS.values() if r.supports_sku(sku_name)]

@@ -1,0 +1,205 @@
+"""Cloud resources provisioned by the deployment sequence.
+
+Paper Sec. III-B provisions, in order: (1) variables, (2) a "basic landing
+zone" — resource group + virtual network + subnet, (3) a storage account for
+batch files and NFS, (4) a Batch service, and optionally (5) a jumpbox VM and
+vnet peering (for VPN scenarios).  The classes here model steps 2, 3 and 5;
+the Batch service lives in :mod:`repro.batch`.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import CloudError, ResourceExists, ResourceNotFound
+
+_RG_NAME_RE = re.compile(r"^[A-Za-z0-9_\-.()]{1,90}$")
+_STORAGE_NAME_RE = re.compile(r"^[a-z0-9]{3,24}$")
+
+
+@dataclass
+class Subnet:
+    """A subnet carved out of a virtual network's address space."""
+
+    name: str
+    cidr: str
+
+    def __post_init__(self) -> None:
+        ipaddress.ip_network(self.cidr)  # validates
+
+    @property
+    def capacity(self) -> int:
+        """Usable host addresses (Azure reserves 5 per subnet)."""
+        net = ipaddress.ip_network(self.cidr)
+        return max(0, net.num_addresses - 5)
+
+
+@dataclass
+class VirtualNetwork:
+    """A virtual network with subnets and peering links."""
+
+    name: str
+    cidr: str
+    subnets: Dict[str, Subnet] = field(default_factory=dict)
+    peered_with: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        ipaddress.ip_network(self.cidr)
+
+    def add_subnet(self, name: str, cidr: str) -> Subnet:
+        if name in self.subnets:
+            raise ResourceExists(f"subnet {name!r} already exists in vnet {self.name!r}")
+        parent = ipaddress.ip_network(self.cidr)
+        child = ipaddress.ip_network(cidr)
+        if not child.subnet_of(parent):
+            raise CloudError(
+                f"subnet {cidr} is not contained in vnet address space {self.cidr}"
+            )
+        for existing in self.subnets.values():
+            if child.overlaps(ipaddress.ip_network(existing.cidr)):
+                raise CloudError(
+                    f"subnet {cidr} overlaps existing subnet {existing.cidr}"
+                )
+        subnet = Subnet(name=name, cidr=cidr)
+        self.subnets[name] = subnet
+        return subnet
+
+    def peer_with(self, other: "VirtualNetwork") -> None:
+        """Create a bidirectional peering (the paper's VPN-peering option)."""
+        a = ipaddress.ip_network(self.cidr)
+        b = ipaddress.ip_network(other.cidr)
+        if a.overlaps(b):
+            raise CloudError(
+                f"cannot peer vnets with overlapping address spaces "
+                f"({self.cidr} vs {other.cidr})"
+            )
+        if other.name not in self.peered_with:
+            self.peered_with.append(other.name)
+        if self.name not in other.peered_with:
+            other.peered_with.append(self.name)
+
+
+@dataclass
+class NfsShare:
+    """An NFS file share exported from a storage account."""
+
+    name: str
+    quota_bytes: float
+    used_bytes: float = 0.0
+
+
+@dataclass
+class StorageAccount:
+    """Storage account holding batch metadata blobs and the NFS share."""
+
+    name: str
+    region: str
+    sku: str = "Premium_LRS"
+    shares: Dict[str, NfsShare] = field(default_factory=dict)
+    blobs: Dict[str, bytes] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not _STORAGE_NAME_RE.match(self.name):
+            raise CloudError(
+                f"invalid storage account name {self.name!r}: must be 3-24 "
+                "lowercase alphanumeric characters"
+            )
+
+    def create_share(self, name: str, quota_bytes: float) -> NfsShare:
+        if name in self.shares:
+            raise ResourceExists(f"share {name!r} already exists")
+        share = NfsShare(name=name, quota_bytes=quota_bytes)
+        self.shares[name] = share
+        return share
+
+    def put_blob(self, path: str, data: bytes) -> None:
+        self.blobs[path] = bytes(data)
+
+    def get_blob(self, path: str) -> bytes:
+        try:
+            return self.blobs[path]
+        except KeyError:
+            raise ResourceNotFound(f"blob {path!r} not found") from None
+
+
+@dataclass
+class JumpboxVm:
+    """The optional jumpbox VM (paper: log in and inspect scenario files)."""
+
+    name: str
+    vnet_name: str
+    subnet_name: str
+    sku_name: str = "Standard_D64s_v5"
+    private_ip: Optional[str] = None
+    running: bool = True
+
+
+@dataclass
+class ResourceGroup:
+    """A resource group: the unit of creation and teardown.
+
+    HPCAdvisor provisions everything under resource groups named with a user
+    prefix ("rgprefix"), and `deploy shutdown` deletes the whole group.
+    """
+
+    name: str
+    region: str
+    tags: Dict[str, str] = field(default_factory=dict)
+    vnets: Dict[str, VirtualNetwork] = field(default_factory=dict)
+    storage_accounts: Dict[str, StorageAccount] = field(default_factory=dict)
+    jumpboxes: Dict[str, JumpboxVm] = field(default_factory=dict)
+    batch_accounts: List[str] = field(default_factory=list)
+    deleted: bool = False
+
+    def __post_init__(self) -> None:
+        if not _RG_NAME_RE.match(self.name):
+            raise CloudError(f"invalid resource group name {self.name!r}")
+
+    def _check_alive(self) -> None:
+        if self.deleted:
+            raise ResourceNotFound(f"resource group {self.name!r} was deleted")
+
+    def create_vnet(self, name: str, cidr: str) -> VirtualNetwork:
+        self._check_alive()
+        if name in self.vnets:
+            raise ResourceExists(f"vnet {name!r} already exists in {self.name!r}")
+        vnet = VirtualNetwork(name=name, cidr=cidr)
+        self.vnets[name] = vnet
+        return vnet
+
+    def create_storage_account(self, name: str) -> StorageAccount:
+        self._check_alive()
+        if name in self.storage_accounts:
+            raise ResourceExists(f"storage account {name!r} already exists")
+        account = StorageAccount(name=name, region=self.region)
+        self.storage_accounts[name] = account
+        return account
+
+    def create_jumpbox(
+        self, name: str, vnet_name: str, subnet_name: str, sku_name: str = "Standard_D64s_v5"
+    ) -> JumpboxVm:
+        self._check_alive()
+        if vnet_name not in self.vnets:
+            raise ResourceNotFound(f"vnet {vnet_name!r} not found in {self.name!r}")
+        vnet = self.vnets[vnet_name]
+        if subnet_name not in vnet.subnets:
+            raise ResourceNotFound(f"subnet {subnet_name!r} not found in {vnet_name!r}")
+        if name in self.jumpboxes:
+            raise ResourceExists(f"jumpbox {name!r} already exists")
+        jb = JumpboxVm(name=name, vnet_name=vnet_name, subnet_name=subnet_name,
+                       sku_name=sku_name)
+        # Deterministic private IP: first usable host + count so far.
+        net = ipaddress.ip_network(vnet.subnets[subnet_name].cidr)
+        jb.private_ip = str(net.network_address + 4 + len(self.jumpboxes) + 1)
+        self.jumpboxes[name] = jb
+        return jb
+
+    def mark_deleted(self) -> None:
+        self.deleted = True
+        self.vnets.clear()
+        self.storage_accounts.clear()
+        self.jumpboxes.clear()
+        self.batch_accounts.clear()

@@ -1,0 +1,138 @@
+"""Simulated Azure Retail Prices API.
+
+The real HPCAdvisor prices VMs through Azure's public Retail Prices REST
+endpoint (``prices.azure.com/api/retail/prices``), which serves filtered,
+paginated JSON.  This module reproduces that surface over the local price
+catalog so the tool's price-refresh path (query, filter, paginate,
+ingest) is exercisable offline — including its failure modes (bad filter,
+unknown SKU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cloud.pricing import DEFAULT_PRICES, REGION_PRICE_FACTOR, PriceCatalog
+from repro.cloud.regions import DEFAULT_REGIONS
+from repro.errors import CloudError
+
+
+@dataclass(frozen=True)
+class RetailPriceItem:
+    """One item of the retail price feed."""
+
+    sku_name: str
+    region: str
+    retail_price: float
+    unit: str = "1 Hour"
+    currency: str = "USD"
+    meter_name: str = ""
+
+    def to_api_dict(self) -> Dict[str, object]:
+        """Field names mirror the real API's camelCase payload."""
+        return {
+            "armSkuName": self.sku_name,
+            "armRegionName": self.region,
+            "retailPrice": self.retail_price,
+            "unitOfMeasure": self.unit,
+            "currencyCode": self.currency,
+            "meterName": self.meter_name or self.sku_name.replace(
+                "Standard_", ""
+            ),
+            "type": "Consumption",
+            "serviceName": "Virtual Machines",
+        }
+
+
+@dataclass
+class RetailPricesApi:
+    """Query + pagination over the simulated price feed."""
+
+    page_size: int = 100
+    _items: List[RetailPriceItem] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.page_size < 1:
+            raise CloudError(f"page size must be >= 1, got {self.page_size}")
+        if not self._items:
+            self._items = self._build_feed()
+
+    @staticmethod
+    def _build_feed() -> List[RetailPriceItem]:
+        items = []
+        for sku_name, base in sorted(DEFAULT_PRICES.items()):
+            for region in DEFAULT_REGIONS.values():
+                if not region.supports_sku(sku_name):
+                    continue
+                factor = REGION_PRICE_FACTOR.get(region.name, 1.0)
+                items.append(RetailPriceItem(
+                    sku_name=sku_name,
+                    region=region.name,
+                    retail_price=round(base * factor, 4),
+                ))
+        return items
+
+    # -- querying ---------------------------------------------------------------
+
+    def query(
+        self,
+        sku_name: Optional[str] = None,
+        region: Optional[str] = None,
+        max_price: Optional[float] = None,
+        page: int = 0,
+    ) -> Dict[str, object]:
+        """One page of results, shaped like the real API response.
+
+        Returns a dict with ``Items`` and, when more data exists,
+        ``NextPageLink`` (here: the next page number).
+        """
+        if page < 0:
+            raise CloudError(f"negative page: {page}")
+        matches = [
+            item for item in self._items
+            if (sku_name is None
+                or item.sku_name.lower() == sku_name.lower())
+            and (region is None or item.region == region)
+            and (max_price is None or item.retail_price <= max_price)
+        ]
+        start = page * self.page_size
+        page_items = matches[start:start + self.page_size]
+        response: Dict[str, object] = {
+            "BillingCurrency": "USD",
+            "Items": [item.to_api_dict() for item in page_items],
+            "Count": len(page_items),
+        }
+        if start + self.page_size < len(matches):
+            response["NextPageLink"] = page + 1
+        return response
+
+    def query_all(self, **filters) -> List[Dict[str, object]]:
+        """Follow pagination to exhaustion (what a price-refresh job does)."""
+        items: List[Dict[str, object]] = []
+        page = 0
+        while True:
+            response = self.query(page=page, **filters)
+            items.extend(response["Items"])  # type: ignore[arg-type]
+            if "NextPageLink" not in response:
+                return items
+            page = int(response["NextPageLink"])  # type: ignore[arg-type]
+
+
+def catalog_from_api(api: RetailPricesApi, region: str) -> PriceCatalog:
+    """Build a PriceCatalog from the feed for one region.
+
+    Raises
+    ------
+    CloudError
+        If the region has no offerings in the feed.
+    """
+    items = api.query_all(region=region)
+    if not items:
+        raise CloudError(f"retail price feed has no offers for {region!r}")
+    prices = {
+        str(item["armSkuName"]): float(item["retailPrice"])  # type: ignore[index]
+        for item in items
+    }
+    # Prices from the feed are already region-adjusted.
+    return PriceCatalog(prices=prices, region_factors={})

@@ -1,0 +1,207 @@
+"""Virtual machine SKU catalog.
+
+The catalog mirrors the Azure HPC SKUs used in the paper's evaluation
+(Standard_HC44rs, Standard_HB120rs_v2, Standard_HB120rs_v3 — Sec. IV runs up
+to 1,920 cores on these) plus a representative spread of other families so
+that region availability, quota families, and advisor comparisons have a
+realistic search space.
+
+Hardware numbers (cores, memory, memory bandwidth, L3, interconnect) follow
+the public Azure spec sheets; they feed the machine model in
+:mod:`repro.perf.machine`, which is what makes simulated execution times land
+in the right regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import SkuNotAvailable
+from repro.units import GBps, Gbps, GiB, MiB, us
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Inter-node network attached to a SKU."""
+
+    kind: str  # "infiniband" or "ethernet"
+    generation: str  # e.g. "EDR", "HDR", "NDR", "40GbE"
+    bandwidth_Bps: float  # per-node injection bandwidth, bytes/second
+    latency_s: float  # one-way small-message latency, seconds
+
+    @property
+    def is_rdma(self) -> bool:
+        return self.kind == "infiniband"
+
+
+# Canonical interconnect generations used by the catalog.
+IB_EDR = InterconnectSpec("infiniband", "EDR", Gbps(100), us(1.8))
+IB_HDR = InterconnectSpec("infiniband", "HDR", Gbps(200), us(1.6))
+IB_NDR = InterconnectSpec("infiniband", "NDR", Gbps(400), us(1.4))
+ETH_40 = InterconnectSpec("ethernet", "40GbE", Gbps(40), us(28.0))
+ETH_100 = InterconnectSpec("ethernet", "100GbE", Gbps(100), us(22.0))
+
+
+@dataclass(frozen=True)
+class VmSku:
+    """Specification of one VM type.
+
+    Attributes
+    ----------
+    name:
+        Full Azure-style name, e.g. ``Standard_HB120rs_v3``.
+    family:
+        Quota family, e.g. ``standardHBrsv3Family``.
+    cores:
+        Physical cores exposed to the guest (HPC SKUs disable SMT).
+    clock_ghz:
+        Sustained all-core clock.
+    flops_per_cycle:
+        Peak double-precision FLOPs per core per cycle (vector width x FMA).
+    ram_bytes:
+        Guest-visible memory.
+    mem_bw_Bps:
+        Achievable (STREAM-like) node memory bandwidth.
+    l3_bytes:
+        Total last-level cache per node; drives the cache-pressure model
+        that produces the superlinear efficiencies seen in the paper's
+        Figure 5.
+    interconnect:
+        Inter-node network spec; None means no accelerated networking
+        (single-node only workloads).
+    cpu_arch:
+        Marketing architecture name, used for per-architecture calibration
+        of application models.
+    """
+
+    name: str
+    family: str
+    cores: int
+    clock_ghz: float
+    flops_per_cycle: float
+    ram_bytes: float
+    mem_bw_Bps: float
+    l3_bytes: float
+    interconnect: Optional[InterconnectSpec]
+    cpu_arch: str
+    gpu_count: int = 0
+    aliases: tuple = field(default=())
+
+    @property
+    def peak_flops(self) -> float:
+        """Node peak double-precision FLOP/s."""
+        return self.cores * self.clock_ghz * 1e9 * self.flops_per_cycle
+
+    @property
+    def short_name(self) -> str:
+        """The lowercase short form the paper's plots use (e.g. hb120rs_v3)."""
+        n = self.name
+        if n.lower().startswith("standard_"):
+            n = n[len("standard_"):]
+        return n.lower()
+
+    @property
+    def has_rdma(self) -> bool:
+        return self.interconnect is not None and self.interconnect.is_rdma
+
+
+def _sku(
+    name: str,
+    family: str,
+    cores: int,
+    clock_ghz: float,
+    flops_per_cycle: float,
+    ram_gib: float,
+    mem_bw_gbps: float,
+    l3_mib: float,
+    interconnect: Optional[InterconnectSpec],
+    cpu_arch: str,
+    gpu_count: int = 0,
+) -> VmSku:
+    return VmSku(
+        name=name,
+        family=family,
+        cores=cores,
+        clock_ghz=clock_ghz,
+        flops_per_cycle=flops_per_cycle,
+        ram_bytes=ram_gib * GiB,
+        mem_bw_Bps=GBps(mem_bw_gbps),
+        l3_bytes=l3_mib * MiB,
+        interconnect=interconnect,
+        cpu_arch=cpu_arch,
+        gpu_count=gpu_count,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The catalog
+# ---------------------------------------------------------------------------
+#
+# The three SKUs in the paper's evaluation come first.  HC44rs: dual Intel
+# Xeon Platinum 8168 (Skylake), 44 cores, EDR InfiniBand.  HB120rs_v2: AMD
+# EPYC 7V12 (Rome), 120 cores, HDR InfiniBand, very large aggregate L3.
+# HB120rs_v3: AMD EPYC 7V73X/7V13 (Milan), 120 cores, HDR InfiniBand.
+
+_CATALOG_ENTRIES: List[VmSku] = [
+    _sku("Standard_HC44rs", "standardHCSFamily", 44, 2.7, 32, 352, 190, 66,
+         IB_EDR, "skylake"),
+    _sku("Standard_HB120rs_v2", "standardHBrsv2Family", 120, 2.45, 16, 456, 340, 512,
+         IB_HDR, "rome"),
+    _sku("Standard_HB120rs_v3", "standardHBrsv3Family", 120, 2.45, 16, 448, 350, 512,
+         IB_HDR, "milan"),
+    # Larger/newer HPC SKUs for richer advisor search spaces.
+    _sku("Standard_HB176rs_v4", "standardHBrsv4Family", 176, 2.55, 16, 768, 780, 2304,
+         IB_NDR, "genoa-x"),
+    _sku("Standard_HX176rs", "standardHXFamily", 176, 2.55, 16, 1408, 780, 2304,
+         IB_NDR, "genoa-x"),
+    # Smaller RDMA-capable SKU (constrained-core variant of HC).
+    _sku("Standard_HC44-16rs", "standardHCSFamily", 16, 2.7, 32, 352, 190, 66,
+         IB_EDR, "skylake"),
+    # General-purpose / compute-optimized SKUs without InfiniBand: these let
+    # the advisor demonstrate why non-RDMA nodes lose on multi-node MPI jobs.
+    _sku("Standard_F72s_v2", "standardFSv2Family", 72, 2.7, 32, 144, 120, 50,
+         ETH_40, "skylake"),
+    _sku("Standard_D64s_v5", "standardDSv5Family", 64, 2.8, 32, 256, 150, 96,
+         ETH_40, "icelake"),
+    _sku("Standard_D96s_v5", "standardDSv5Family", 96, 2.8, 32, 384, 180, 96,
+         ETH_100, "icelake"),
+    _sku("Standard_E104is_v5", "standardEISv5Family", 104, 2.8, 32, 672, 200, 96,
+         ETH_100, "icelake"),
+]
+
+SKU_CATALOG: Dict[str, VmSku] = {sku.name: sku for sku in _CATALOG_ENTRIES}
+
+# Index by the short, lowercase names used in plots and configs.
+_SHORT_INDEX: Dict[str, VmSku] = {sku.short_name: sku for sku in _CATALOG_ENTRIES}
+
+
+def get_sku(name: str) -> VmSku:
+    """Look up a SKU by full name, case-insensitive, or short name.
+
+    Raises
+    ------
+    SkuNotAvailable
+        If the SKU is not in the catalog.
+    """
+    if name in SKU_CATALOG:
+        return SKU_CATALOG[name]
+    lowered = name.lower()
+    for full, sku in SKU_CATALOG.items():
+        if full.lower() == lowered:
+            return sku
+    if lowered in _SHORT_INDEX:
+        return _SHORT_INDEX[lowered]
+    raise SkuNotAvailable(f"unknown VM SKU: {name!r}")
+
+
+def list_skus(rdma_only: bool = False, min_cores: int = 0) -> List[VmSku]:
+    """Enumerate catalog SKUs, optionally filtered."""
+    out = []
+    for sku in SKU_CATALOG.values():
+        if rdma_only and not sku.has_rdma:
+            continue
+        if sku.cores < min_cores:
+            continue
+        out.append(sku)
+    return out

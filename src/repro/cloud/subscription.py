@@ -1,0 +1,51 @@
+"""Cloud subscription: identity + quota enforcement.
+
+The paper's main configuration file starts with the cloud subscription ("ID
+or name of the cloud subscription where all resources are provisioned").
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.cloud.quotas import QuotaLedger
+from repro.cloud.skus import VmSku
+
+
+@dataclass
+class Subscription:
+    """A simulated cloud subscription."""
+
+    name: str
+    subscription_id: str = field(default_factory=lambda: str(uuid.uuid4()))
+    quota: QuotaLedger = field(default_factory=QuotaLedger)
+    tags: Dict[str, str] = field(default_factory=dict)
+    enabled: bool = True
+
+    def allocate_cores(self, region: str, sku: VmSku, nodes: int) -> None:
+        """Reserve quota for ``nodes`` VMs; raises QuotaExceeded when over."""
+        self.quota.allocate(region, sku, nodes)
+
+    def release_cores(self, region: str, sku: VmSku, nodes: int) -> None:
+        self.quota.release(region, sku, nodes)
+
+    def cores_available(self, region: str, family: str) -> int:
+        return self.quota.available(region, family)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "subscription_id": self.subscription_id,
+            "tags": dict(self.tags),
+            "enabled": self.enabled,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Subscription":
+        sub = cls(name=str(data["name"]))
+        sub.subscription_id = str(data.get("subscription_id", sub.subscription_id))
+        sub.tags = dict(data.get("tags", {}))  # type: ignore[arg-type]
+        sub.enabled = bool(data.get("enabled", True))
+        return sub

@@ -1,0 +1,25 @@
+"""Simulated cluster runtime.
+
+What a running MPI job "sees": a shared NFS filesystem, a set of hosts with
+an interconnect, environment variables, and an mpirun-like launcher.  The
+launcher hands execution to an application performance model
+(:mod:`repro.perf`) instead of real binaries, and returns simulated wall
+time, log output and infrastructure metrics.
+"""
+
+from repro.cluster.filesystem import SharedFilesystem
+from repro.cluster.network import NetworkModel, network_for_sku
+from repro.cluster.host import Host, make_hosts
+from repro.cluster.mpi import MpiLauncher, MpiRunResult
+from repro.cluster.metrics import InfraMetrics
+
+__all__ = [
+    "SharedFilesystem",
+    "NetworkModel",
+    "network_for_sku",
+    "Host",
+    "make_hosts",
+    "MpiLauncher",
+    "MpiRunResult",
+    "InfraMetrics",
+]

@@ -1,0 +1,141 @@
+"""Shared NFS filesystem simulation.
+
+HPCAdvisor mounts one NFS share on every pool node; each task gets its own
+job directory (paper: "Every job contains its own directory which is
+automatically created by HPCAdvisor"), application setup drops input files in
+a common area, and runs write log files (e.g. ``log.lammps``) that the run
+script parses for metrics.  This class provides exactly that surface: a
+POSIX-flavoured in-memory tree with text file IO and directory listing.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import ReproError
+
+
+class FilesystemError(ReproError):
+    """Invalid filesystem operation (missing path, bad name, over quota)."""
+
+
+def _normalize(path: str) -> str:
+    if not path.startswith("/"):
+        path = "/" + path
+    norm = posixpath.normpath(path)
+    return "/" if norm == "//" else norm
+
+
+@dataclass
+class SharedFilesystem:
+    """In-memory shared filesystem with a byte quota.
+
+    Files are stored as ``{absolute_path: text}``; directories are tracked
+    explicitly so empty directories exist (job dirs are created before any
+    file is written into them).
+    """
+
+    quota_bytes: float = float("inf")
+    _files: Dict[str, str] = field(default_factory=dict)
+    _dirs: set = field(default_factory=lambda: {"/"})
+
+    # -- directories ---------------------------------------------------------
+
+    def mkdir(self, path: str, parents: bool = True) -> str:
+        path = _normalize(path)
+        if path in self._files:
+            raise FilesystemError(f"cannot mkdir {path!r}: a file exists there")
+        parent = posixpath.dirname(path)
+        if parent not in self._dirs:
+            if not parents:
+                raise FilesystemError(f"parent directory {parent!r} does not exist")
+            self.mkdir(parent, parents=True)
+        self._dirs.add(path)
+        return path
+
+    def isdir(self, path: str) -> bool:
+        return _normalize(path) in self._dirs
+
+    def rmtree(self, path: str) -> int:
+        """Remove a directory subtree; returns number of files removed."""
+        path = _normalize(path)
+        if path not in self._dirs:
+            raise FilesystemError(f"no such directory: {path!r}")
+        prefix = path if path.endswith("/") else path + "/"
+        doomed_files = [p for p in self._files if p == path or p.startswith(prefix)]
+        for p in doomed_files:
+            del self._files[p]
+        doomed_dirs = [d for d in self._dirs if d == path or d.startswith(prefix)]
+        for d in doomed_dirs:
+            self._dirs.discard(d)
+        return len(doomed_files)
+
+    # -- files ----------------------------------------------------------------
+
+    def write_text(self, path: str, text: str) -> None:
+        path = _normalize(path)
+        if path in self._dirs:
+            raise FilesystemError(f"cannot write {path!r}: is a directory")
+        new_usage = self.used_bytes - len(self._files.get(path, "")) + len(text)
+        if new_usage > self.quota_bytes:
+            raise FilesystemError(
+                f"filesystem quota exceeded writing {path!r} "
+                f"({new_usage} > {self.quota_bytes} bytes)"
+            )
+        self.mkdir(posixpath.dirname(path))
+        self._files[path] = text
+
+    def append_text(self, path: str, text: str) -> None:
+        existing = self._files.get(_normalize(path), "")
+        self.write_text(path, existing + text)
+
+    def read_text(self, path: str) -> str:
+        path = _normalize(path)
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FilesystemError(f"no such file: {path!r}") from None
+
+    def exists(self, path: str) -> bool:
+        path = _normalize(path)
+        return path in self._files or path in self._dirs
+
+    def isfile(self, path: str) -> bool:
+        return _normalize(path) in self._files
+
+    def remove(self, path: str) -> None:
+        path = _normalize(path)
+        if path not in self._files:
+            raise FilesystemError(f"no such file: {path!r}")
+        del self._files[path]
+
+    # -- listing / stats --------------------------------------------------------
+
+    def listdir(self, path: str = "/") -> List[str]:
+        path = _normalize(path)
+        if path not in self._dirs:
+            raise FilesystemError(f"no such directory: {path!r}")
+        prefix = path if path.endswith("/") else path + "/"
+        names = set()
+        for p in list(self._files) + list(self._dirs):
+            if p != path and p.startswith(prefix):
+                rest = p[len(prefix):]
+                names.add(rest.split("/", 1)[0])
+        return sorted(names)
+
+    def walk_files(self, path: str = "/") -> Iterator[Tuple[str, str]]:
+        path = _normalize(path)
+        prefix = path if path.endswith("/") else path + "/"
+        for p in sorted(self._files):
+            if p == path or p.startswith(prefix):
+                yield p, self._files[p]
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(len(t) for t in self._files.values())
+
+    @property
+    def file_count(self) -> int:
+        return len(self._files)

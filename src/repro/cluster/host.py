@@ -1,0 +1,65 @@
+"""Compute hosts as seen from inside a job.
+
+Provides the hostnames/hostfile/HOSTLIST_PPN plumbing that the paper's Table I
+exposes to application run scripts (``HOSTLIST_PPN``, ``HOSTFILE_PATH``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cloud.skus import VmSku
+
+
+@dataclass
+class Host:
+    """One cluster node from the application's point of view."""
+
+    hostname: str
+    sku: VmSku
+    ip: str
+    slots: int  # schedulable MPI slots (== cores by default)
+    env: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.slots < 1:
+            raise ValueError(f"host needs at least one slot, got {self.slots}")
+
+
+def make_hosts(sku: VmSku, count: int, pool_id: str = "pool") -> List[Host]:
+    """Create ``count`` hosts with deterministic names and IPs.
+
+    Hostnames follow the Batch convention of zero-padded node indices.
+    """
+    if count < 0:
+        raise ValueError(f"negative host count: {count}")
+    hosts = []
+    for i in range(count):
+        hosts.append(
+            Host(
+                hostname=f"{pool_id}-node{i:04d}",
+                sku=sku,
+                ip=f"10.44.1.{i + 10}" if i < 240 else f"10.44.2.{i - 230}",
+                slots=sku.cores,
+            )
+        )
+    return hosts
+
+
+def hostlist_ppn(hosts: List[Host], ppn: int) -> str:
+    """Render the ``HOSTLIST_PPN`` environment value.
+
+    Format matches what mpirun's ``--host`` flag expects:
+    ``host1:ppn,host2:ppn,...``.
+    """
+    if ppn < 1:
+        raise ValueError(f"processes per node must be >= 1, got {ppn}")
+    return ",".join(f"{h.hostname}:{ppn}" for h in hosts)
+
+
+def hostfile_text(hosts: List[Host], ppn: int) -> str:
+    """Render an OpenMPI-style hostfile (``host slots=N`` lines)."""
+    if ppn < 1:
+        raise ValueError(f"processes per node must be >= 1, got {ppn}")
+    return "".join(f"{h.hostname} slots={ppn}\n" for h in hosts)

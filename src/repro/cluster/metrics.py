@@ -1,0 +1,67 @@
+"""Infrastructure metrics collected per scenario execution.
+
+Paper Sec. III-F ("Infrastructure bottlenecks"): "with proper monitoring, it
+is also possible to identify possible bottlenecks while executing the
+scenario via infrastructure related metrics such as CPU, memory, network
+utilization."  The performance models report these utilisations for every
+simulated run, and :mod:`repro.sampling.bottleneck` consumes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class InfraMetrics:
+    """Average utilisations over a task execution, each in [0, 1].
+
+    Attributes
+    ----------
+    cpu_util:
+        Fraction of peak FLOP throughput actually sustained.
+    mem_bw_util:
+        Fraction of node memory bandwidth sustained.
+    net_util:
+        Fraction of NIC injection bandwidth sustained.
+    comm_fraction:
+        Fraction of wall time spent in communication (incl. latency waits).
+    mem_used_fraction:
+        Peak resident working set over node RAM.
+    """
+
+    cpu_util: float = 0.0
+    mem_bw_util: float = 0.0
+    net_util: float = 0.0
+    comm_fraction: float = 0.0
+    mem_used_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name, value in asdict(self).items():
+            if not (0.0 <= value <= 1.0):
+                raise ValueError(f"metric {name} out of [0,1]: {value}")
+
+    def dominant_resource(self) -> str:
+        """Name of the resource closest to saturation.
+
+        Returns one of ``cpu``, ``memory_bandwidth``, ``network``,
+        ``network_latency``.  Latency-bound is flagged when communication
+        dominates wall time yet the NIC is mostly idle (small messages).
+        """
+        if self.comm_fraction > 0.5 and self.net_util < 0.3:
+            return "network_latency"
+        candidates = {
+            "cpu": self.cpu_util,
+            "memory_bandwidth": self.mem_bw_util,
+            "network": self.net_util,
+        }
+        return max(candidates, key=lambda k: candidates[k])
+
+    def to_dict(self) -> Dict[str, float]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "InfraMetrics":
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        return cls(**{k: float(v) for k, v in data.items() if k in known})

@@ -1,0 +1,35 @@
+"""HPCAdvisor core: configuration, scenarios, collection, plots, advice.
+
+This is the paper's contribution proper — everything in Sections III and
+IV: the main YAML configuration (Listing 1), cartesian scenario generation,
+the task list with pending/failed/completed states, the Algorithm-1 data
+collection loop, the four plot types, and Pareto-front advice.
+"""
+
+from repro.core.config import MainConfig
+from repro.core.scenarios import Scenario, generate_scenarios
+from repro.core.taskdb import TaskDB, TaskRecord, TaskStatus
+from repro.core.dataset import DataPoint, Dataset
+from repro.core.pareto import pareto_front, is_dominated
+from repro.core.advisor import AdviceRow, Advisor
+from repro.core.deployer import Deployer, Deployment
+from repro.core.collector import DataCollector, CollectionReport
+
+__all__ = [
+    "MainConfig",
+    "Scenario",
+    "generate_scenarios",
+    "TaskDB",
+    "TaskRecord",
+    "TaskStatus",
+    "DataPoint",
+    "Dataset",
+    "pareto_front",
+    "is_dominated",
+    "AdviceRow",
+    "Advisor",
+    "Deployer",
+    "Deployment",
+    "DataCollector",
+    "CollectionReport",
+]

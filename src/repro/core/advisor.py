@@ -1,0 +1,118 @@
+"""Advice generation: the Pareto front rendered as the paper's tables.
+
+Listing 3/4 format::
+
+    Exectime(s) Cost($)  Nodes  SKU
+    34          0.5440   16     hb120rs_v3
+    ...
+
+"sorted by the least execution time first, but the tool has the option to
+have the data sorted by cost as well."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.dataset import DataPoint, Dataset
+from repro.core.pareto import pareto_select
+from repro.errors import AdvisorError
+
+
+@dataclass(frozen=True)
+class AdviceRow:
+    """One Pareto-efficient configuration."""
+
+    exec_time_s: float
+    cost_usd: float
+    nnodes: int
+    sku: str
+    ppn: int = 0
+    appinputs: Dict[str, str] = field(default_factory=dict)
+    predicted: bool = False
+
+    @property
+    def sku_short(self) -> str:
+        name = self.sku
+        if name.lower().startswith("standard_"):
+            name = name[len("standard_"):]
+        return name.lower()
+
+
+class Advisor:
+    """Builds advice tables from a dataset."""
+
+    def __init__(self, dataset: Dataset) -> None:
+        self.dataset = dataset
+
+    def advise(
+        self,
+        appname: Optional[str] = None,
+        appinputs: Optional[Dict[str, str]] = None,
+        sort_by: str = "time",
+        max_rows: Optional[int] = None,
+    ) -> List[AdviceRow]:
+        """Pareto-efficient configurations for the (filtered) dataset.
+
+        Parameters
+        ----------
+        appname, appinputs:
+            Optional data filter (the paper's ``advice`` command takes one);
+            mixing different applications or inputs in one front would be
+            meaningless, so filter accordingly.
+        sort_by:
+            ``"time"`` (default, as in the paper's listings) or ``"cost"``.
+        max_rows:
+            Truncate the table (None = all Pareto points).
+        """
+        if sort_by not in ("time", "cost"):
+            raise AdvisorError(f"sort_by must be 'time' or 'cost', got {sort_by!r}")
+        data = self.dataset.filter(appname=appname, appinputs=appinputs)
+        points = data.points()
+        if not points:
+            raise AdvisorError(
+                "no completed data points match the advice filter"
+            )
+        efficient = pareto_select(
+            points, key=lambda p: (p.exec_time_s, p.cost_usd)
+        )
+        rows = [
+            AdviceRow(
+                exec_time_s=p.exec_time_s,
+                cost_usd=p.cost_usd,
+                nnodes=p.nnodes,
+                sku=p.sku,
+                ppn=p.ppn,
+                appinputs=dict(p.appinputs),
+                predicted=p.predicted,
+            )
+            for p in efficient
+        ]
+        if sort_by == "time":
+            rows.sort(key=lambda r: (r.exec_time_s, r.cost_usd))
+        else:
+            rows.sort(key=lambda r: (r.cost_usd, r.exec_time_s))
+        if max_rows is not None:
+            rows = rows[:max_rows]
+        return rows
+
+    def render_table(self, rows: List[AdviceRow]) -> str:
+        """Render rows in the paper's listing format."""
+        if not rows:
+            return "(no advice rows)\n"
+        lines = [f"{'Exectime(s)':>11} {'Cost($)':>8} {'Nodes':>6}  SKU"]
+        for row in rows:
+            marker = " *" if row.predicted else ""
+            lines.append(
+                f"{row.exec_time_s:>11.0f} {row.cost_usd:>8.4f} "
+                f"{row.nnodes:>6}  {row.sku_short}{marker}"
+            )
+        if any(r.predicted for r in rows):
+            lines.append("(* predicted by the sampling model, not executed)")
+        return "\n".join(lines) + "\n"
+
+
+def advise_dataset(dataset: Dataset, **kwargs) -> List[AdviceRow]:
+    """Convenience one-shot advice over a dataset."""
+    return Advisor(dataset).advise(**kwargs)

@@ -1,0 +1,249 @@
+"""Data collection: the paper's Algorithm 1.
+
+::
+
+    previousVMType <- empty
+    foreach task in tasks do
+        if previousVMType != task.vmtype then
+            if pool exists then resize pool to zero or delete pool
+            create setup task(task)
+        pool <- resize pool(task.vmtype, task.nnodes)
+        create compute task(task); execute; store data; mark completed
+        previousVMType <- task.vmtype
+    if pool then resize pool to zero or delete pool
+
+Extensions over the bare algorithm, as the paper describes elsewhere:
+failed tasks are marked ``failed`` rather than aborting the sweep
+(Sec. III-C's task states), and an optional smart-sampling planner
+(Sec. III-F) may skip or predict scenarios instead of executing them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, runtime_checkable
+
+from repro.appkit.script import AppScript
+from repro.backends.base import ExecutionBackend
+from repro.core.dataset import DataPoint, Dataset
+from repro.core.scenarios import Scenario
+from repro.core.taskdb import TaskDB, TaskStatus
+
+
+@runtime_checkable
+class SamplingPlanner(Protocol):
+    """What the collector needs from a smart-sampling strategy."""
+
+    def decide(self, scenario: Scenario) -> "SamplingDecision":
+        """Choose run / skip / predict for a scenario."""
+
+    def observe(self, point: DataPoint) -> None:
+        """Feed back a measured point."""
+
+
+@dataclass(frozen=True)
+class SamplingDecision:
+    """Outcome of a planner consultation."""
+
+    action: str  # "run" | "skip" | "predict"
+    predicted_time_s: Optional[float] = None
+    predicted_cost_usd: Optional[float] = None
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action not in ("run", "skip", "predict"):
+            raise ValueError(f"unknown sampling action: {self.action!r}")
+        if self.action == "predict" and (
+            self.predicted_time_s is None or self.predicted_cost_usd is None
+        ):
+            raise ValueError("predict decisions need predicted time and cost")
+
+
+RUN = SamplingDecision(action="run")
+
+
+@dataclass
+class CollectionReport:
+    """Summary of one collection sweep."""
+
+    executed: int = 0
+    completed: int = 0
+    failed: int = 0
+    skipped: int = 0
+    predicted: int = 0
+    task_cost_usd: float = 0.0
+    infrastructure_cost_usd: float = 0.0
+    provisioning_overhead_s: float = 0.0
+    simulated_wall_s: float = 0.0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def total_tasks(self) -> int:
+        return self.executed + self.skipped + self.predicted
+
+
+@dataclass
+class DataCollector:
+    """Drives Algorithm 1 against an execution back-end."""
+
+    backend: ExecutionBackend
+    script: AppScript
+    dataset: Dataset
+    taskdb: TaskDB
+    deployment_name: str = ""
+    delete_pool_on_switch: bool = False
+    sampler: Optional[SamplingPlanner] = None
+    stop_on_failure: bool = False
+    #: Immediate retries for failed scenarios (transient-failure tolerance;
+    #: with noise enabled, reruns genuinely differ).
+    retry_failed: int = 0
+
+    def collect(self, scenarios: List[Scenario]) -> CollectionReport:
+        """Run the full task list; returns the sweep summary."""
+        if not scenarios:
+            return CollectionReport()
+        new_ids = {
+            r.scenario.scenario_id for r in self.taskdb.all()
+        }
+        self.taskdb.add_scenarios(
+            s for s in scenarios if s.scenario_id not in new_ids
+        )
+
+        report = CollectionReport()
+        start_clock: Optional[float] = None
+        previous_vmtype: Optional[str] = None
+
+        # Group by VM type (Algorithm 1's loop assumes this ordering) and
+        # walk node counts ascending so resizes only ever grow a pool.
+        ordered = sorted(
+            scenarios, key=lambda s: (s.sku_name, s.nnodes, s.inputs_key())
+        )
+
+        for scenario in ordered:
+            record = self.taskdb.get(scenario.scenario_id)
+            if record.status is not TaskStatus.PENDING or record.skipped_by_sampler:
+                continue  # resumed sweep: already handled
+
+            decision = self.sampler.decide(scenario) if self.sampler else RUN
+            if decision.action == "skip":
+                self.taskdb.mark_skipped(scenario.scenario_id)
+                report.skipped += 1
+                continue
+            if decision.action == "predict":
+                assert decision.predicted_time_s is not None
+                assert decision.predicted_cost_usd is not None
+                self._store(scenario, decision.predicted_time_s,
+                            decision.predicted_cost_usd, {}, {}, 0.0,
+                            predicted=True)
+                report.predicted += 1
+                continue
+
+            # -- Algorithm 1 lines 3-7: pool lifecycle ------------------------
+            if previous_vmtype != scenario.sku_name:
+                if previous_vmtype is not None:
+                    self.backend.release_capacity(
+                        previous_vmtype, delete=self.delete_pool_on_switch
+                    )
+                setup_ok = self.backend.run_setup(scenario.sku_name, self.script)
+                if not setup_ok:
+                    self.taskdb.mark_failed(
+                        scenario.scenario_id,
+                        f"application setup failed on {scenario.sku_name}",
+                    )
+                    report.failed += 1
+                    report.executed += 1
+                    previous_vmtype = scenario.sku_name
+                    continue
+            self.backend.ensure_capacity(scenario.sku_name, scenario.nnodes)
+
+            # -- Algorithm 1 lines 8-11: execute and store --------------------
+            result = self.backend.run_scenario(scenario, self.script)
+            attempts = 0
+            while not result.succeeded and attempts < self.retry_failed:
+                attempts += 1
+                result = self.backend.run_scenario(scenario, self.script)
+            if start_clock is None:
+                start_clock = result.started_at
+            report.executed += 1
+            report.simulated_wall_s = max(
+                report.simulated_wall_s,
+                result.finished_at - (start_clock or 0.0),
+            )
+            if result.succeeded:
+                self._store(
+                    scenario, result.exec_time_s, result.cost_usd,
+                    result.app_vars, result.infra_metrics, result.finished_at,
+                )
+                self.taskdb.mark_completed(
+                    scenario.scenario_id,
+                    exec_time_s=result.exec_time_s,
+                    cost_usd=result.cost_usd,
+                    app_vars=result.app_vars,
+                    infra_metrics=result.infra_metrics,
+                    started_at=result.started_at,
+                    finished_at=result.finished_at,
+                )
+                report.completed += 1
+                report.task_cost_usd += result.cost_usd
+            else:
+                reason = result.failure_reason or "unknown failure"
+                self.taskdb.mark_failed(
+                    scenario.scenario_id, reason,
+                    started_at=result.started_at,
+                    finished_at=result.finished_at,
+                )
+                report.failed += 1
+                report.failures.append(f"{scenario.scenario_id}: {reason}")
+                if self.stop_on_failure:
+                    break
+            previous_vmtype = scenario.sku_name
+
+        # -- Algorithm 1 lines 13-14: final pool cleanup --------------------------
+        if previous_vmtype is not None:
+            self.backend.release_capacity(
+                previous_vmtype, delete=self.delete_pool_on_switch
+            )
+
+        report.infrastructure_cost_usd = self.backend.total_infrastructure_cost_usd
+        report.provisioning_overhead_s = self.backend.provisioning_overhead_s
+        if self.taskdb.path:
+            self.taskdb.save()
+        if self.dataset.path:
+            self.dataset.save()
+        return report
+
+    def _store(
+        self,
+        scenario: Scenario,
+        exec_time_s: float,
+        cost_usd: float,
+        app_vars,
+        infra_metrics,
+        timestamp: float,
+        predicted: bool = False,
+    ) -> None:
+        point = DataPoint(
+            appname=scenario.appname,
+            sku=scenario.sku_name,
+            nnodes=scenario.nnodes,
+            ppn=scenario.ppn,
+            exec_time_s=exec_time_s,
+            cost_usd=cost_usd,
+            appinputs=dict(scenario.appinputs),
+            app_vars=dict(app_vars),
+            infra_metrics=dict(infra_metrics),
+            tags=dict(scenario.tags),
+            deployment=self.deployment_name,
+            timestamp=timestamp,
+            predicted=predicted,
+        )
+        self.dataset.append(point)
+        if predicted:
+            self.taskdb.mark_completed(
+                scenario.scenario_id,
+                exec_time_s=exec_time_s,
+                cost_usd=cost_usd,
+                predicted=True,
+            )
+        if self.sampler is not None and not predicted:
+            self.sampler.observe(point)

@@ -1,0 +1,123 @@
+"""Dataset comparison utilities.
+
+The configuration's ``tags`` field exists so results can be labelled and
+compared across sweeps ("identifications to be included into the results of
+the experiments" — e.g. ``version: v1`` vs ``version: v2`` after an
+application upgrade, or two regions, or two price seasons).  This module
+computes the matched-scenario deltas between two datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.dataset import DataPoint, Dataset
+from repro.errors import DatasetError
+
+#: Key identifying "the same scenario" across datasets.
+ScenarioKey = Tuple[str, str, int, int, str]
+
+
+def scenario_key(point: DataPoint) -> ScenarioKey:
+    return (point.appname, point.sku, point.nnodes, point.ppn,
+            point.inputs_key())
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One matched scenario's before/after."""
+
+    key: ScenarioKey
+    time_a: float
+    time_b: float
+    cost_a: float
+    cost_b: float
+
+    @property
+    def time_ratio(self) -> float:
+        """b over a; < 1 means b is faster."""
+        return self.time_b / self.time_a if self.time_a > 0 else float("inf")
+
+    @property
+    def cost_ratio(self) -> float:
+        return self.cost_b / self.cost_a if self.cost_a > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class DatasetComparison:
+    """Full comparison between two datasets."""
+
+    rows: List[ComparisonRow]
+    only_in_a: List[ScenarioKey]
+    only_in_b: List[ScenarioKey]
+
+    @property
+    def matched(self) -> int:
+        return len(self.rows)
+
+    @property
+    def geomean_time_ratio(self) -> float:
+        """Geometric mean of b/a time ratios over matched scenarios."""
+        if not self.rows:
+            raise DatasetError("no matched scenarios to compare")
+        product = 1.0
+        for row in self.rows:
+            product *= row.time_ratio
+        return product ** (1.0 / len(self.rows))
+
+    def regressions(self, threshold: float = 1.05) -> List[ComparisonRow]:
+        """Matched scenarios where b is slower than a by the threshold."""
+        return [r for r in self.rows if r.time_ratio > threshold]
+
+    def improvements(self, threshold: float = 0.95) -> List[ComparisonRow]:
+        return [r for r in self.rows if r.time_ratio < threshold]
+
+
+def compare_datasets(a: Dataset, b: Dataset) -> DatasetComparison:
+    """Match scenarios between two datasets and compute deltas.
+
+    Duplicate keys within one dataset keep the *last* occurrence (the most
+    recent measurement), matching how reruns append to the dataset file.
+    """
+    index_a: Dict[ScenarioKey, DataPoint] = {scenario_key(p): p for p in a}
+    index_b: Dict[ScenarioKey, DataPoint] = {scenario_key(p): p for p in b}
+    rows = [
+        ComparisonRow(
+            key=key,
+            time_a=index_a[key].exec_time_s,
+            time_b=index_b[key].exec_time_s,
+            cost_a=index_a[key].cost_usd,
+            cost_b=index_b[key].cost_usd,
+        )
+        for key in sorted(set(index_a) & set(index_b))
+    ]
+    return DatasetComparison(
+        rows=rows,
+        only_in_a=sorted(set(index_a) - set(index_b)),
+        only_in_b=sorted(set(index_b) - set(index_a)),
+    )
+
+
+def render_comparison(comparison: DatasetComparison,
+                      label_a: str = "A", label_b: str = "B") -> str:
+    """Plain-text comparison table."""
+    lines = [
+        f"matched scenarios: {comparison.matched} "
+        f"(only in {label_a}: {len(comparison.only_in_a)}, "
+        f"only in {label_b}: {len(comparison.only_in_b)})",
+    ]
+    if comparison.rows:
+        lines.append(
+            f"geometric-mean time ratio {label_b}/{label_a}: "
+            f"{comparison.geomean_time_ratio:.3f}"
+        )
+        lines.append(f"{'scenario':<58} {'time':>14} {'ratio':>7}")
+        for row in comparison.rows:
+            app, sku, nnodes, ppn, inputs = row.key
+            label = f"{app} {sku} n={nnodes} {inputs}"
+            lines.append(
+                f"{label:<58} {row.time_a:>6.1f}->{row.time_b:<6.1f} "
+                f"{row.time_ratio:>6.3f}"
+            )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,214 @@
+"""Main user configuration file (paper Listing 1).
+
+The YAML schema, verbatim from Sec. III-A:
+
+* ``subscription`` — cloud subscription ID or name;
+* ``rgprefix`` — resource-group name prefix;
+* ``region`` — deployment region;
+* ``appsetupurl`` — URL of the application setup/run script;
+* ``ppr`` — processes per resource, as a percentage of cores;
+* ``appinputs`` — application input parameters (values may be lists, which
+  sweep);
+* ``skus`` — VM types to test;
+* ``nnodes`` — node counts to test;
+* ``appname`` — application name;
+* ``tags`` — labels attached to results;
+* optional VPN/jumpbox fields: ``vpnrg``, ``vpnvnet``, ``peervpn``,
+  ``createjumpbox``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import yaml
+
+from repro.errors import ConfigError
+
+InputValue = Union[str, int, float]
+
+
+@dataclass(frozen=True)
+class MainConfig:
+    """Validated main configuration."""
+
+    subscription: str
+    skus: List[str]
+    rgprefix: str
+    appsetupurl: str
+    nnodes: List[int]
+    appname: str
+    region: str
+    ppr: int = 100
+    appinputs: Dict[str, List[str]] = field(default_factory=dict)
+    tags: Dict[str, str] = field(default_factory=dict)
+    createjumpbox: bool = False
+    vpnrg: Optional[str] = None
+    vpnvnet: Optional[str] = None
+    peervpn: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.subscription:
+            raise ConfigError("subscription is required")
+        if not self.skus:
+            raise ConfigError("at least one SKU is required")
+        if not self.rgprefix:
+            raise ConfigError("rgprefix is required")
+        if not self.appname:
+            raise ConfigError("appname is required")
+        if not self.region:
+            raise ConfigError("region is required")
+        if not self.nnodes:
+            raise ConfigError("at least one node count is required")
+        for n in self.nnodes:
+            if not isinstance(n, int) or n < 1:
+                raise ConfigError(f"invalid node count: {n!r}")
+        if len(set(self.nnodes)) != len(self.nnodes):
+            raise ConfigError(f"duplicate node counts: {self.nnodes}")
+        if not 1 <= self.ppr <= 100:
+            raise ConfigError(f"ppr must be in [1, 100], got {self.ppr}")
+        if self.peervpn and not (self.vpnrg and self.vpnvnet):
+            raise ConfigError("peervpn requires vpnrg and vpnvnet")
+
+    # -- scenario arithmetic ------------------------------------------------------
+
+    @property
+    def input_combinations(self) -> int:
+        """Number of application-input combinations."""
+        count = 1
+        for values in self.appinputs.values():
+            count *= len(values)
+        return count
+
+    @property
+    def scenario_count(self) -> int:
+        """Total scenarios = |skus| x |nnodes| x input combinations.
+
+        Listing 1's example: 3 SKUs x 6 node counts x 2 meshes = 36.
+        """
+        return len(self.skus) * len(self.nnodes) * self.input_combinations
+
+    # -- construction ----------------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "MainConfig":
+        if not isinstance(data, Mapping):
+            raise ConfigError(f"configuration must be a mapping, got {type(data)}")
+        known = {
+            "subscription", "skus", "rgprefix", "appsetupurl", "nnodes",
+            "appname", "region", "ppr", "appinputs", "tags",
+            "createjumpbox", "vpnrg", "vpnvnet", "peervpn",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown configuration key(s): {', '.join(sorted(map(str, unknown)))}"
+            )
+
+        def _require(key: str) -> object:
+            if key not in data:
+                raise ConfigError(f"missing required configuration key: {key!r}")
+            return data[key]
+
+        skus = _as_str_list(_require("skus"), "skus")
+        nnodes_raw = _require("nnodes")
+        if not isinstance(nnodes_raw, Sequence) or isinstance(nnodes_raw, str):
+            raise ConfigError(f"nnodes must be a list, got {nnodes_raw!r}")
+        try:
+            nnodes = [int(n) for n in nnodes_raw]
+        except (TypeError, ValueError):
+            raise ConfigError(f"nnodes must be integers: {nnodes_raw!r}") from None
+
+        return cls(
+            subscription=str(_require("subscription")),
+            skus=skus,
+            rgprefix=str(_require("rgprefix")),
+            appsetupurl=str(data.get("appsetupurl", "")),
+            nnodes=nnodes,
+            appname=str(_require("appname")),
+            region=str(_require("region")),
+            ppr=int(data.get("ppr", 100)),
+            appinputs=_normalize_appinputs(data.get("appinputs", {})),
+            tags={str(k): str(v) for k, v in dict(data.get("tags", {}) or {}).items()},
+            createjumpbox=bool(data.get("createjumpbox", False)),
+            vpnrg=(str(data["vpnrg"]) if data.get("vpnrg") else None),
+            vpnvnet=(str(data["vpnvnet"]) if data.get("vpnvnet") else None),
+            peervpn=bool(data.get("peervpn", False)),
+        )
+
+    @classmethod
+    def from_yaml(cls, text: str) -> "MainConfig":
+        try:
+            data = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise ConfigError(f"invalid YAML: {exc}") from exc
+        if data is None:
+            raise ConfigError("configuration file is empty")
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path: str) -> "MainConfig":
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return cls.from_yaml(fh.read())
+        except OSError as exc:
+            raise ConfigError(f"cannot read configuration {path!r}: {exc}") from exc
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "subscription": self.subscription,
+            "skus": list(self.skus),
+            "rgprefix": self.rgprefix,
+            "appsetupurl": self.appsetupurl,
+            "nnodes": list(self.nnodes),
+            "appname": self.appname,
+            "region": self.region,
+            "ppr": self.ppr,
+            "appinputs": {k: list(v) for k, v in self.appinputs.items()},
+            "tags": dict(self.tags),
+            "createjumpbox": self.createjumpbox,
+            "peervpn": self.peervpn,
+        }
+        if self.vpnrg:
+            out["vpnrg"] = self.vpnrg
+        if self.vpnvnet:
+            out["vpnvnet"] = self.vpnvnet
+        return out
+
+    def to_yaml(self) -> str:
+        return yaml.safe_dump(self.to_dict(), sort_keys=False)
+
+
+def _as_str_list(value: object, name: str) -> List[str]:
+    if isinstance(value, str):
+        return [value]
+    if isinstance(value, Sequence):
+        items = [str(v) for v in value]
+        if not items:
+            raise ConfigError(f"{name} must not be empty")
+        return items
+    raise ConfigError(f"{name} must be a string or list, got {value!r}")
+
+
+def _normalize_appinputs(raw: object) -> Dict[str, List[str]]:
+    """Normalise appinputs to ``{param: [values...]}``.
+
+    Accepts a mapping whose values are scalars or lists.  (The paper's
+    Listing 1 writes two ``mesh:`` keys, which plain YAML collapses; the
+    list form expresses the intended sweep.)
+    """
+    if raw is None:
+        return {}
+    if not isinstance(raw, Mapping):
+        raise ConfigError(f"appinputs must be a mapping, got {raw!r}")
+    out: Dict[str, List[str]] = {}
+    for key, value in raw.items():
+        if isinstance(value, (list, tuple)):
+            values = [str(v) for v in value]
+            if not values:
+                raise ConfigError(f"appinputs[{key!r}] must not be empty")
+        else:
+            values = [str(value)]
+        out[str(key)] = values
+    return out

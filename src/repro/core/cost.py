@@ -1,0 +1,73 @@
+"""Cost utilities: repricing and what-if analyses.
+
+Measured datasets embed the pay-as-you-go cost at collection time.  Two
+questions users ask next:
+
+* *what if I ran the advised configuration on spot capacity?* — recompute
+  every point's cost at spot prices and rebuild the front;
+* *what if prices change / I move region?* — reprice against a different
+  catalog.
+
+Execution times are untouched (the hardware is the same); only the money
+axis moves, which can reshuffle the Pareto front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.cloud.pricing import PriceCatalog
+from repro.core.dataset import DataPoint, Dataset
+
+
+def reprice_point(
+    point: DataPoint,
+    catalog: PriceCatalog,
+    region: Optional[str] = None,
+    spot: bool = False,
+) -> DataPoint:
+    """A copy of ``point`` with cost recomputed from the catalog."""
+    new_cost = catalog.task_cost(
+        point.sku, point.nnodes, point.exec_time_s, region=region, spot=spot
+    )
+    return replace(point, cost_usd=new_cost)
+
+
+def reprice_dataset(
+    dataset: Dataset,
+    catalog: PriceCatalog,
+    region: Optional[str] = None,
+    spot: bool = False,
+) -> Dataset:
+    """Reprice every point (times preserved, costs recomputed)."""
+    return Dataset([
+        reprice_point(p, catalog, region=region, spot=spot) for p in dataset
+    ])
+
+
+def spot_savings_summary(
+    dataset: Dataset,
+    catalog: PriceCatalog,
+    region: Optional[str] = None,
+) -> str:
+    """Render the on-demand vs spot advice comparison."""
+    from repro.core.advisor import Advisor
+
+    on_demand = Advisor(dataset).advise()
+    spot_rows = Advisor(
+        reprice_dataset(dataset, catalog, region=region, spot=True)
+    ).advise()
+    lines = ["configuration                     on-demand      spot"]
+    spot_index = {(r.sku, r.nnodes): r for r in spot_rows}
+    for row in on_demand:
+        spot_row = spot_index.get((row.sku, row.nnodes))
+        spot_cost = f"${spot_row.cost_usd:.4f}" if spot_row else "(off front)"
+        lines.append(
+            f"{row.nnodes:>3}x {row.sku_short:<24} "
+            f"${row.cost_usd:.4f}   {spot_cost}"
+        )
+    discount = catalog.spot_discount
+    lines.append(f"(spot assumes a {discount:.0%} discount and interruptible "
+                 "capacity)")
+    return "\n".join(lines) + "\n"

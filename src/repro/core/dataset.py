@@ -1,0 +1,208 @@
+"""Dataset store: the filtered, organised output of data collection.
+
+Paper Sec. I: "data is collected, filtered, and organized"; the dataset is
+what the plot and advice commands consume, optionally through "a given data
+filter".  Stored as JSON-lines so sweeps can append incrementally.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
+
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class DataPoint:
+    """One completed scenario measurement."""
+
+    appname: str
+    sku: str
+    nnodes: int
+    ppn: int
+    exec_time_s: float
+    cost_usd: float
+    appinputs: Dict[str, str] = field(default_factory=dict)
+    app_vars: Dict[str, str] = field(default_factory=dict)
+    infra_metrics: Dict[str, float] = field(default_factory=dict)
+    tags: Dict[str, str] = field(default_factory=dict)
+    deployment: str = ""
+    timestamp: float = 0.0
+    predicted: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nnodes < 1:
+            raise DatasetError(f"invalid nnodes: {self.nnodes}")
+        if self.exec_time_s < 0:
+            raise DatasetError(f"negative exec time: {self.exec_time_s}")
+        if self.cost_usd < 0:
+            raise DatasetError(f"negative cost: {self.cost_usd}")
+
+    def inputs_key(self) -> str:
+        return ",".join(f"{k}={v}" for k, v in sorted(self.appinputs.items()))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "appname": self.appname,
+            "sku": self.sku,
+            "nnodes": self.nnodes,
+            "ppn": self.ppn,
+            "exec_time_s": self.exec_time_s,
+            "cost_usd": self.cost_usd,
+            "appinputs": dict(self.appinputs),
+            "app_vars": dict(self.app_vars),
+            "infra_metrics": dict(self.infra_metrics),
+            "tags": dict(self.tags),
+            "deployment": self.deployment,
+            "timestamp": self.timestamp,
+            "predicted": self.predicted,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "DataPoint":
+        return cls(
+            appname=str(data["appname"]),
+            sku=str(data["sku"]),
+            nnodes=int(data["nnodes"]),  # type: ignore[arg-type]
+            ppn=int(data.get("ppn", 1)),  # type: ignore[arg-type]
+            exec_time_s=float(data["exec_time_s"]),  # type: ignore[arg-type]
+            cost_usd=float(data["cost_usd"]),  # type: ignore[arg-type]
+            appinputs=_str_map(data.get("appinputs")),
+            app_vars=_str_map(data.get("app_vars")),
+            infra_metrics={k: float(v) for k, v in  # type: ignore[arg-type]
+                           dict(data.get("infra_metrics", {})).items()},
+            tags=_str_map(data.get("tags")),
+            deployment=str(data.get("deployment", "")),
+            timestamp=float(data.get("timestamp", 0.0)),  # type: ignore[arg-type]
+            predicted=bool(data.get("predicted", False)),
+        )
+
+
+def _str_map(raw: object) -> Dict[str, str]:
+    return {str(k): str(v) for k, v in dict(raw or {}).items()}
+
+
+class Dataset:
+    """Append-only collection of data points with filtering."""
+
+    def __init__(self, points: Optional[Iterable[DataPoint]] = None,
+                 path: Optional[str] = None) -> None:
+        self._points: List[DataPoint] = list(points or [])
+        self.path = path
+
+    # -- basic access -------------------------------------------------------------
+
+    def append(self, point: DataPoint) -> None:
+        self._points.append(point)
+
+    def extend(self, points: Iterable[DataPoint]) -> None:
+        self._points.extend(points)
+
+    def points(self) -> List[DataPoint]:
+        return list(self._points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    # -- filtering (the paper's "data filter") ---------------------------------------
+
+    def filter(
+        self,
+        appname: Optional[str] = None,
+        sku: Optional[str] = None,
+        nnodes: Optional[Iterable[int]] = None,
+        appinputs: Optional[Mapping[str, str]] = None,
+        tags: Optional[Mapping[str, str]] = None,
+        min_nodes: Optional[int] = None,
+        max_nodes: Optional[int] = None,
+        include_predicted: bool = True,
+        predicate: Optional[Callable[[DataPoint], bool]] = None,
+    ) -> "Dataset":
+        """Return a new dataset with only the matching points."""
+        nodes_set = set(nnodes) if nnodes is not None else None
+        wanted_inputs = dict(appinputs or {})
+        wanted_tags = dict(tags or {})
+
+        def keep(p: DataPoint) -> bool:
+            if appname is not None and p.appname != appname:
+                return False
+            if sku is not None and p.sku.lower() not in (
+                sku.lower(), f"standard_{sku.lower()}"
+            ):
+                return False
+            if nodes_set is not None and p.nnodes not in nodes_set:
+                return False
+            if min_nodes is not None and p.nnodes < min_nodes:
+                return False
+            if max_nodes is not None and p.nnodes > max_nodes:
+                return False
+            for key, value in wanted_inputs.items():
+                if p.appinputs.get(key) != str(value):
+                    return False
+            for key, value in wanted_tags.items():
+                if p.tags.get(key) != str(value):
+                    return False
+            if not include_predicted and p.predicted:
+                return False
+            if predicate is not None and not predicate(p):
+                return False
+            return True
+
+        return Dataset([p for p in self._points if keep(p)], path=self.path)
+
+    def distinct(self, attr: str) -> List[object]:
+        """Sorted distinct values of a DataPoint attribute."""
+        return sorted({getattr(p, attr) for p in self._points})
+
+    def distinct_input_keys(self) -> List[str]:
+        out = set()
+        for p in self._points:
+            out.update(p.appinputs)
+        return sorted(out)
+
+    # -- persistence --------------------------------------------------------------------
+
+    def save(self, path: Optional[str] = None) -> str:
+        target = path or self.path
+        if target is None:
+            raise DatasetError("Dataset has no path to save to")
+        directory = os.path.dirname(os.path.abspath(target))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                for point in self._points:
+                    fh.write(json.dumps(point.to_dict()) + "\n")
+            os.replace(tmp, target)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self.path = target
+        return target
+
+    @classmethod
+    def load(cls, path: str) -> "Dataset":
+        points: List[DataPoint] = []
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                for line_no, line in enumerate(fh, 1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        points.append(DataPoint.from_dict(json.loads(line)))
+                    except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                        raise DatasetError(
+                            f"corrupt dataset {path!r} line {line_no}: {exc}"
+                        ) from exc
+        except OSError as exc:
+            raise DatasetError(f"cannot read dataset {path!r}: {exc}") from exc
+        return cls(points, path=path)

@@ -1,0 +1,158 @@
+"""Environment deployment (paper Sec. III-B).
+
+The provisioning sequence, verbatim from the paper:
+
+1. **Variables** — derive resource names from the user's prefix;
+2. **Basic landing zone** — resource group, virtual network, subnet;
+3. **Storage account** — batch-related files and NFS;
+4. **Batch service** — created with no resources;
+5. **Jumpbox and network peering** — optional.
+
+``deploy shutdown`` deletes the resource group, which tears everything
+down — also verbatim ("Shuts down a given cloud deployment, deleting all
+its resources").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.batch.service import BatchService
+from repro.cloud.provider import CloudProvider
+from repro.cloud.resources import ResourceGroup
+from repro.core.config import MainConfig
+from repro.errors import CloudError, ConfigError
+
+
+def storage_account_name(rg_name: str) -> str:
+    """Derive a valid (3-24 chars, lowercase alnum) storage account name."""
+    base = re.sub(r"[^a-z0-9]", "", rg_name.lower())
+    if not base:
+        base = "hpcadvisor"
+    return (base + "sa")[:24].ljust(3, "0")
+
+
+@dataclass
+class Deployment:
+    """A live deployment: the cloud objects the collector needs."""
+
+    name: str
+    region: str
+    subscription_name: str
+    provider: CloudProvider
+    resource_group: ResourceGroup
+    batch: BatchService
+    vnet_name: str = "hpcadvisor-vnet"
+    storage_account: str = ""
+    jumpbox_name: Optional[str] = None
+    peered_vnets: List[str] = field(default_factory=list)
+    created_at: float = 0.0
+    config: Optional[MainConfig] = None
+
+    def to_record(self) -> Dict[str, object]:
+        """Serializable record for the deployments index."""
+        return {
+            "name": self.name,
+            "region": self.region,
+            "subscription": self.subscription_name,
+            "vnet": self.vnet_name,
+            "storage_account": self.storage_account,
+            "jumpbox": self.jumpbox_name,
+            "peered_vnets": list(self.peered_vnets),
+            "created_at": self.created_at,
+            "config": self.config.to_dict() if self.config else None,
+        }
+
+
+class Deployer:
+    """Creates and destroys deployments on a cloud provider."""
+
+    def __init__(self, provider: Optional[CloudProvider] = None) -> None:
+        self.provider = provider or CloudProvider()
+
+    # -- create -------------------------------------------------------------------
+
+    def deploy(self, config: MainConfig, suffix: Optional[str] = None) -> Deployment:
+        """Run the full Sec. III-B sequence for one configuration."""
+        provider = self.provider
+
+        # Step 0: fail fast on invalid SKU/region combinations — before any
+        # resource exists (the most expensive error class to hit late).
+        for sku_name in config.skus:
+            provider.validate_sku_in_region(sku_name, config.region)
+
+        # Step 1: variables.
+        rg_name = self._next_rg_name(config.rgprefix, suffix)
+        sa_name = storage_account_name(rg_name)
+        vnet_name = "hpcadvisor-vnet"
+        batch_name = f"{rg_name}-batch"
+
+        subscription = provider.register_subscription(config.subscription)
+
+        # Step 2: basic landing zone.
+        rg = provider.create_resource_group(rg_name, config.region,
+                                            tags=config.tags)
+        provider.create_vnet(rg_name, vnet_name, "10.44.0.0/16")
+        provider.create_subnet(rg_name, vnet_name, "compute", "10.44.0.0/20")
+        provider.create_subnet(rg_name, vnet_name, "infra", "10.44.16.0/24")
+
+        # Step 3: storage account (batch metadata + NFS share).
+        account = provider.create_storage_account(rg_name, sa_name)
+        account.create_share("nfs", quota_bytes=4e12)
+
+        # Step 4: batch service with no resources.
+        provider.register_batch_account(rg_name, batch_name)
+        batch = BatchService(
+            account_name=batch_name,
+            provider=provider,
+            subscription=subscription,
+            region=config.region,
+        )
+
+        deployment = Deployment(
+            name=rg_name,
+            region=config.region,
+            subscription_name=config.subscription,
+            provider=provider,
+            resource_group=rg,
+            batch=batch,
+            vnet_name=vnet_name,
+            storage_account=sa_name,
+            created_at=provider.clock.now,
+            config=config,
+        )
+
+        # Step 5: optional jumpbox and VPN peering.
+        if config.createjumpbox:
+            provider.create_jumpbox(rg_name, "jumpbox", vnet_name, "infra")
+            deployment.jumpbox_name = "jumpbox"
+        if config.peervpn:
+            if not (config.vpnrg and config.vpnvnet):
+                raise ConfigError("peervpn requires vpnrg and vpnvnet")
+            provider.peer_vnets(rg_name, vnet_name, config.vpnrg, config.vpnvnet)
+            deployment.peered_vnets.append(f"{config.vpnrg}/{config.vpnvnet}")
+
+        return deployment
+
+    def _next_rg_name(self, prefix: str, suffix: Optional[str]) -> str:
+        if suffix is not None:
+            name = f"{prefix}{suffix}"
+            return name
+        existing = {rg.name for rg in self.provider.list_resource_groups(prefix)}
+        for i in range(1000):
+            candidate = f"{prefix}-{i:03d}"
+            if candidate not in existing:
+                return candidate
+        raise CloudError(f"too many deployments with prefix {prefix!r}")
+
+    # -- list / shutdown -------------------------------------------------------------
+
+    def list_deployments(self, prefix: str = "") -> List[ResourceGroup]:
+        return self.provider.list_resource_groups(prefix)
+
+    def shutdown(self, deployment: Deployment) -> None:
+        """Delete all pools then the whole resource group."""
+        deployment.batch.teardown()
+        self.provider.delete_resource_group(deployment.name)

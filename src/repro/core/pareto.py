@@ -1,0 +1,82 @@
+"""Pareto front over (execution time, cost).
+
+Paper Sec. III-E: "The Pareto front represents the solutions that are
+Pareto efficient, i.e. a set of solutions that are non-dominated relative to
+each other but are superior to the rest of solutions in the search space."
+Both objectives are minimised.
+
+The core routine is generic over 2-D points; a vectorised numpy sweep keeps
+it O(n log n), which matters for the smart-sampling ablations that call it
+inside loops.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def dominates(a: Tuple[float, float], b: Tuple[float, float]) -> bool:
+    """True when ``a`` dominates ``b``: <= in both objectives, < in one."""
+    return a[0] <= b[0] and a[1] <= b[1] and (a[0] < b[0] or a[1] < b[1])
+
+
+def is_dominated(point: Tuple[float, float],
+                 others: Iterable[Tuple[float, float]]) -> bool:
+    """Whether any of ``others`` dominates ``point``.
+
+    A point never dominates itself (domination requires strict improvement
+    in at least one objective), so ``point`` may appear in ``others``.
+    """
+    return any(dominates(o, point) for o in others)
+
+
+def pareto_indices(points: Sequence[Tuple[float, float]]) -> List[int]:
+    """Indices of the non-dominated points, in ascending first-objective order.
+
+    Duplicate coordinate pairs are all kept (they do not dominate each
+    other under the strict-in-one definition).
+    """
+    n = len(points)
+    if n == 0:
+        return []
+    arr = np.asarray(points, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) points, got shape {arr.shape}")
+    # Sort by first objective, then second; sweep keeping the running
+    # minimum of the second objective.
+    order = np.lexsort((arr[:, 1], arr[:, 0]))
+    front: List[int] = []
+    best_second = np.inf
+    i = 0
+    while i < len(order):
+        # Gather the block of equal-first-objective points.
+        j = i
+        x = arr[order[i], 0]
+        while j < len(order) and arr[order[j], 0] == x:
+            j += 1
+        block = order[i:j]
+        block_min = arr[block, 1].min()
+        if block_min < best_second:
+            # Points in the block tie on x; only those achieving the block's
+            # minimal y are non-dominated (unless y also ties best_second).
+            for idx in block:
+                if arr[idx, 1] == block_min:
+                    front.append(int(idx))
+            best_second = block_min
+        i = j
+    return front
+
+
+def pareto_front(points: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """The non-dominated subset of ``points`` sorted by first objective."""
+    return [tuple(points[i]) for i in pareto_indices(points)]
+
+
+def pareto_select(items: Sequence[T], key) -> List[T]:
+    """Select the items whose ``key(item) -> (obj1, obj2)`` is non-dominated."""
+    points = [key(item) for item in items]
+    return [items[i] for i in pareto_indices(points)]

@@ -1,0 +1,110 @@
+"""Advice payoff analysis.
+
+Paper Sec. III-C ("Costs for data collection"): "data collection incurs a
+cost ... users typically do not collect data solely to obtain advice for a
+single production execution.  Instead, they often perform parameter sweeps,
+leading to multiple executions with similar resource usage patterns, which
+helps offset the cost of the advice.  When this payoff occurs depends on
+the application, its input parameters, the number of scenarios executed,
+and the resource usage."
+
+This module makes that break-even computation explicit: given what the
+sweep cost and what the advised configuration saves per production run
+versus a naive baseline choice, after how many production runs has the
+advice paid for itself?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.advisor import AdviceRow
+from repro.errors import AdvisorError
+
+
+@dataclass(frozen=True)
+class PayoffAnalysis:
+    """Break-even of a data-collection investment."""
+
+    collection_cost_usd: float
+    baseline_cost_per_run_usd: float
+    advised_cost_per_run_usd: float
+
+    def __post_init__(self) -> None:
+        if self.collection_cost_usd < 0:
+            raise AdvisorError(
+                f"negative collection cost: {self.collection_cost_usd}"
+            )
+        if self.baseline_cost_per_run_usd <= 0:
+            raise AdvisorError(
+                f"baseline cost must be positive: "
+                f"{self.baseline_cost_per_run_usd}"
+            )
+        if self.advised_cost_per_run_usd < 0:
+            raise AdvisorError(
+                f"negative advised cost: {self.advised_cost_per_run_usd}"
+            )
+
+    @property
+    def saving_per_run_usd(self) -> float:
+        return self.baseline_cost_per_run_usd - self.advised_cost_per_run_usd
+
+    @property
+    def breakeven_runs(self) -> Optional[int]:
+        """Production runs after which the sweep has paid for itself.
+
+        None when the advice saves nothing per run (the baseline was
+        already optimal) — the sweep never pays off on cost alone.
+        """
+        if self.saving_per_run_usd <= 0:
+            return None
+        return math.ceil(self.collection_cost_usd / self.saving_per_run_usd)
+
+    def net_saving_after(self, runs: int) -> float:
+        """Cumulative saving (negative = still under water) after N runs."""
+        if runs < 0:
+            raise AdvisorError(f"negative run count: {runs}")
+        return runs * self.saving_per_run_usd - self.collection_cost_usd
+
+
+def payoff_vs_worst_front_row(
+    collection_cost_usd: float,
+    rows: List[AdviceRow],
+    objective: str = "cost",
+) -> PayoffAnalysis:
+    """Payoff assuming the user would otherwise pick the front's worst row.
+
+    A conservative baseline: even among *Pareto-optimal* configurations the
+    spread matters — a user guessing "more nodes is better" pays the most
+    expensive row; the advice points at the cheapest.
+    """
+    if not rows:
+        raise AdvisorError("payoff analysis needs at least one advice row")
+    if objective != "cost":
+        raise AdvisorError("only the cost objective is supported")
+    costs = [row.cost_usd for row in rows]
+    return PayoffAnalysis(
+        collection_cost_usd=collection_cost_usd,
+        baseline_cost_per_run_usd=max(costs),
+        advised_cost_per_run_usd=min(costs),
+    )
+
+
+def render_payoff(analysis: PayoffAnalysis) -> str:
+    """Human-readable payoff statement."""
+    lines = [
+        f"collection cost: ${analysis.collection_cost_usd:.2f}",
+        f"per production run: baseline "
+        f"${analysis.baseline_cost_per_run_usd:.4f} vs advised "
+        f"${analysis.advised_cost_per_run_usd:.4f} "
+        f"(saving ${analysis.saving_per_run_usd:.4f}/run)",
+    ]
+    runs = analysis.breakeven_runs
+    if runs is None:
+        lines.append("the advice never pays off on cost alone "
+                     "(baseline already optimal)")
+    else:
+        lines.append(f"break-even after {runs} production runs")
+    return "\n".join(lines) + "\n"

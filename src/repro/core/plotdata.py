@@ -1,0 +1,205 @@
+"""Series extraction for the paper's four plot types (Sec. III-D).
+
+1. **Execution Time vs Number of Nodes** — per VM type (Fig. 2);
+2. **Execution Time vs Cost** — per VM type (Fig. 3);
+3. **Speed up** — vs the single smallest-node-count run of the same VM type
+   (Fig. 4);
+4. **Efficiency** — speedup over number of nodes (Fig. 5; values above 1
+   are superlinear).
+
+Series are keyed by the SKU short name (``hb120rs_v3`` style, as in the
+paper's legends); the subtitle mirrors the paper's "atoms=860M"-style
+annotation built from app variables or inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.dataset import DataPoint, Dataset
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted line: a label plus (x, y) pairs sorted by x."""
+
+    label: str
+    points: Tuple[Tuple[float, float], ...]
+
+    @property
+    def xs(self) -> List[float]:
+        return [p[0] for p in self.points]
+
+    @property
+    def ys(self) -> List[float]:
+        return [p[1] for p in self.points]
+
+
+@dataclass(frozen=True)
+class PlotData:
+    """A full chart: titled series with axis labels."""
+
+    title: str
+    xlabel: str
+    ylabel: str
+    series: Tuple[Series, ...]
+    subtitle: str = ""
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise DatasetError(f"no series labelled {label!r}")
+
+
+def _short(sku: str) -> str:
+    name = sku
+    if name.lower().startswith("standard_"):
+        name = name[len("standard_"):]
+    return name.lower()
+
+
+def _group_by_sku(dataset: Dataset) -> Dict[str, List[DataPoint]]:
+    groups: Dict[str, List[DataPoint]] = {}
+    for point in dataset:
+        groups.setdefault(_short(point.sku), []).append(point)
+    return dict(sorted(groups.items()))
+
+
+def _require_points(dataset: Dataset, what: str) -> None:
+    if len(dataset) == 0:
+        raise DatasetError(f"no data points to build the {what} plot")
+
+
+def default_subtitle(dataset: Dataset) -> str:
+    """Paper-style subtitle like ``atoms=860M`` from app vars or inputs."""
+    for point in dataset:
+        for key in ("LAMMPSATOMS", "OFCELLS", "WRFGRIDPOINTS", "GMXATOMS",
+                    "NAMDATOMS", "MMSIZE"):
+            if key in point.app_vars:
+                value = float(point.app_vars[key])
+                label = {
+                    "LAMMPSATOMS": "atoms", "OFCELLS": "cells",
+                    "WRFGRIDPOINTS": "points", "GMXATOMS": "atoms",
+                    "NAMDATOMS": "atoms", "MMSIZE": "msize",
+                }[key]
+                return f"{label}={_human(value)}"
+        if point.appinputs:
+            return ",".join(f"{k}={v}" for k, v in sorted(point.appinputs.items()))
+    return ""
+
+
+def _human(value: float) -> str:
+    for threshold, suffix in ((1e9, "B"), (1e6, "M"), (1e3, "K")):
+        if value >= threshold:
+            return f"{value / threshold:.0f}{suffix}"
+    return f"{value:g}"
+
+
+# -- the four plot types -------------------------------------------------------------
+
+
+def exectime_vs_nodes(dataset: Dataset, subtitle: Optional[str] = None) -> PlotData:
+    """Plot type 1 (the paper's Fig. 2)."""
+    _require_points(dataset, "exec-time-vs-nodes")
+    series = []
+    for sku, points in _group_by_sku(dataset).items():
+        pairs = sorted((float(p.nnodes), p.exec_time_s) for p in points)
+        series.append(Series(label=sku, points=tuple(pairs)))
+    return PlotData(
+        title="Exectime",
+        xlabel="Number of VMs",
+        ylabel="Execution time (seconds)",
+        series=tuple(series),
+        subtitle=subtitle if subtitle is not None else default_subtitle(dataset),
+    )
+
+
+def exectime_vs_cost(dataset: Dataset, subtitle: Optional[str] = None) -> PlotData:
+    """Plot type 2 (the paper's Fig. 3): x = exec time, y = cost."""
+    _require_points(dataset, "exec-time-vs-cost")
+    series = []
+    for sku, points in _group_by_sku(dataset).items():
+        pairs = sorted((p.exec_time_s, p.cost_usd) for p in points)
+        series.append(Series(label=sku, points=tuple(pairs)))
+    return PlotData(
+        title="Cost",
+        xlabel="Execution time (seconds)",
+        ylabel="Cost (USD)",
+        series=tuple(series),
+        subtitle=subtitle if subtitle is not None else default_subtitle(dataset),
+    )
+
+
+def _baseline_time(points: List[DataPoint]) -> Tuple[float, float]:
+    """(nodes, time) of the smallest-node measurement for a SKU.
+
+    The paper defines speedup vs the single-node run; when a sweep starts
+    above one node (their Figures start at 2), the smallest run is the
+    reference and speedup is normalised by the node ratio.
+    """
+    reference = min(points, key=lambda p: p.nnodes)
+    return float(reference.nnodes), reference.exec_time_s
+
+
+def speedup(dataset: Dataset, subtitle: Optional[str] = None) -> PlotData:
+    """Plot type 3 (the paper's Fig. 4)."""
+    _require_points(dataset, "speedup")
+    series = []
+    for sku, points in _group_by_sku(dataset).items():
+        ref_nodes, ref_time = _baseline_time(points)
+        pairs = sorted(
+            (float(p.nnodes), ref_nodes * ref_time / p.exec_time_s)
+            for p in points
+            if p.exec_time_s > 0
+        )
+        series.append(Series(label=sku, points=tuple(pairs)))
+    return PlotData(
+        title="Speedup",
+        xlabel="Number of VMs",
+        ylabel="Speedup",
+        series=tuple(series),
+        subtitle=subtitle if subtitle is not None else default_subtitle(dataset),
+    )
+
+
+def efficiency(dataset: Dataset, subtitle: Optional[str] = None) -> PlotData:
+    """Plot type 4 (the paper's Fig. 5): speedup / nodes, >1 is superlinear."""
+    _require_points(dataset, "efficiency")
+    series = []
+    for sku, points in _group_by_sku(dataset).items():
+        ref_nodes, ref_time = _baseline_time(points)
+        pairs = sorted(
+            (
+                float(p.nnodes),
+                ref_nodes * ref_time / p.exec_time_s / p.nnodes,
+            )
+            for p in points
+            if p.exec_time_s > 0
+        )
+        series.append(Series(label=sku, points=tuple(pairs)))
+    return PlotData(
+        title="Efficiency",
+        xlabel="Number of VMs",
+        ylabel="Efficiency",
+        series=tuple(series),
+        subtitle=subtitle if subtitle is not None else default_subtitle(dataset),
+    )
+
+
+def pareto_scatter(dataset: Dataset) -> Tuple[PlotData, Series]:
+    """The Fig. 6 concept plot: all scenarios plus the Pareto front line."""
+    from repro.core.pareto import pareto_front
+
+    _require_points(dataset, "pareto")
+    all_points = sorted((p.exec_time_s, p.cost_usd) for p in dataset)
+    front = pareto_front(all_points)
+    scatter = PlotData(
+        title="Advice based on pareto front",
+        xlabel="Execution time (seconds)",
+        ylabel="Cost (USD)",
+        series=(Series(label="Scenarios", points=tuple(all_points)),),
+    )
+    return scatter, Series(label="Pareto Front", points=tuple(front))

@@ -1,0 +1,92 @@
+"""Comprehensive advice: executable recipes from advice rows.
+
+Paper Sec. I (future work): "we envision the advice being used to provide
+recipes to run jobs (e.g., Slurm scripts) or computing environment
+creation/modification (e.g., cluster creation or scheduling queue
+creation/modification)."  This module implements that vision: given a
+Pareto-efficient advice row, emit a ready-to-submit sbatch script and a
+cluster-creation recipe (YAML).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import yaml
+
+from repro.cloud.skus import get_sku
+from repro.core.advisor import AdviceRow
+from repro.errors import AdvisorError
+
+
+def slurm_script(
+    row: AdviceRow,
+    appname: str,
+    walltime_margin: float = 1.5,
+    partition: Optional[str] = None,
+    extra_env: Optional[Dict[str, str]] = None,
+) -> str:
+    """An sbatch script that runs the advised configuration.
+
+    The requested wall time is the measured execution time padded by
+    ``walltime_margin`` (schedulers kill jobs at the limit; a margin keeps
+    legitimate variance from doing so).
+    """
+    if walltime_margin < 1.0:
+        raise AdvisorError(
+            f"walltime margin must be >= 1, got {walltime_margin}"
+        )
+    sku = get_sku(row.sku)
+    ppn = row.ppn or sku.cores
+    total = int(round(row.exec_time_s * walltime_margin))
+    hours, rem = divmod(total, 3600)
+    minutes, seconds = divmod(rem, 60)
+    part = partition or f"part-{row.sku_short}"
+    env_lines = "".join(
+        f"export {key}={value}\n"
+        for key, value in sorted((extra_env or {}).items())
+    )
+    input_exports = "".join(
+        f"export {key.upper()}={value!r}\n"
+        for key, value in sorted(row.appinputs.items())
+    )
+    return (
+        "#!/usr/bin/env bash\n"
+        f"#SBATCH --job-name={appname}-advised\n"
+        f"#SBATCH --partition={part}\n"
+        f"#SBATCH --nodes={row.nnodes}\n"
+        f"#SBATCH --ntasks-per-node={ppn}\n"
+        f"#SBATCH --time={hours:02d}:{minutes:02d}:{seconds:02d}\n"
+        f"#SBATCH --exclusive\n"
+        "\n"
+        f"# Advised by HPCAdvisor: {row.exec_time_s:.0f}s, "
+        f"${row.cost_usd:.4f} on {row.nnodes}x {sku.name}\n"
+        f"{env_lines}"
+        f"{input_exports}"
+        f"NP=$(({row.nnodes} * {ppn}))\n"
+        f"mpirun -np $NP {appname}\n"
+    )
+
+
+def cluster_recipe(row: AdviceRow, region: str = "southcentralus") -> str:
+    """A cluster-creation recipe (YAML) for the advised configuration."""
+    sku = get_sku(row.sku)
+    recipe = {
+        "cluster": {
+            "region": region,
+            "vm_type": sku.name,
+            "nodes": row.nnodes,
+            "processes_per_node": row.ppn or sku.cores,
+            "interconnect": (
+                sku.interconnect.generation if sku.interconnect else "none"
+            ),
+            "image": "microsoft-dsvm:ubuntu-hpc:2204:latest",
+            "shared_filesystem": {"type": "nfs", "size_tb": 4},
+        },
+        "rationale": {
+            "expected_exec_time_s": round(row.exec_time_s, 1),
+            "expected_cost_usd": round(row.cost_usd, 4),
+            "appinputs": dict(row.appinputs),
+        },
+    }
+    return yaml.safe_dump(recipe, sort_keys=False)

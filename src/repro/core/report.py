@@ -1,0 +1,103 @@
+"""Collection-sweep reports.
+
+Renders a human-readable summary of a data-collection run: task states,
+money spent (task vs infrastructure), per-SKU aggregates, failures — the
+"collected, filtered, and organized" deliverable of the paper's pipeline in
+a form suitable for a terminal, a file, or a pull-request comment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.collector import CollectionReport
+from repro.core.dataset import Dataset
+from repro.core.taskdb import TaskDB, TaskStatus
+from repro.units import fmt_duration, fmt_usd
+
+
+@dataclass(frozen=True)
+class SkuAggregate:
+    """Per-SKU rollup of a sweep."""
+
+    sku: str
+    scenarios: int
+    total_time_s: float
+    total_cost_usd: float
+    best_time_s: float
+    best_nodes: int
+
+
+def aggregate_by_sku(dataset: Dataset) -> List[SkuAggregate]:
+    groups: Dict[str, List] = {}
+    for point in dataset:
+        groups.setdefault(point.sku, []).append(point)
+    out = []
+    for sku, points in sorted(groups.items()):
+        best = min(points, key=lambda p: p.exec_time_s)
+        out.append(SkuAggregate(
+            sku=sku,
+            scenarios=len(points),
+            total_time_s=sum(p.exec_time_s for p in points),
+            total_cost_usd=sum(p.cost_usd for p in points),
+            best_time_s=best.exec_time_s,
+            best_nodes=best.nnodes,
+        ))
+    return out
+
+
+def render_report(
+    report: CollectionReport,
+    dataset: Dataset,
+    taskdb: Optional[TaskDB] = None,
+    title: str = "Data collection report",
+) -> str:
+    """Render the full sweep summary as plain text."""
+    lines = [f"=== {title} ===", ""]
+    lines.append(
+        f"scenarios: {report.total_tasks} total — "
+        f"{report.completed} completed, {report.failed} failed, "
+        f"{report.skipped} skipped, {report.predicted} predicted"
+    )
+    lines.append(
+        f"spend: ${fmt_usd(report.task_cost_usd)} on tasks, "
+        f"${fmt_usd(report.infrastructure_cost_usd)} billed infrastructure "
+        f"(provisioning {fmt_duration(report.provisioning_overhead_s)})"
+    )
+    if report.task_cost_usd > 0:
+        overhead = (report.infrastructure_cost_usd / report.task_cost_usd
+                    - 1.0)
+        lines.append(f"infrastructure overhead over pure task time: "
+                     f"{overhead:.0%}")
+    lines.append("")
+
+    aggregates = aggregate_by_sku(dataset)
+    if aggregates:
+        lines.append(f"{'SKU':<26} {'runs':>5} {'best time':>10} "
+                     f"{'@nodes':>7} {'spend':>10}")
+        for agg in aggregates:
+            lines.append(
+                f"{agg.sku:<26} {agg.scenarios:>5} "
+                f"{agg.best_time_s:>9.0f}s {agg.best_nodes:>7} "
+                f"${agg.total_cost_usd:>8.2f}"
+            )
+        lines.append("")
+
+    if report.failures:
+        lines.append("failures:")
+        for failure in report.failures:
+            lines.append(f"  - {failure}")
+        lines.append("")
+
+    if taskdb is not None:
+        pending = [
+            r.scenario.scenario_id
+            for r in taskdb.in_status(TaskStatus.PENDING)
+            if not r.skipped_by_sampler
+        ]
+        if pending:
+            lines.append(f"still pending: {', '.join(pending)}")
+            lines.append("")
+
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,119 @@
+"""State directory: deployments index and dataset locations.
+
+The real tool keeps its working state under ``~/.hpcadvisor`` so CLI
+invocations compose (``deploy create`` then ``collect`` then ``plot`` then
+``advice``).  This reproduction does the same under a configurable state
+directory (``HPCADVISOR_STATE_DIR`` or ``--state-dir``).
+
+Because the cloud here is simulated in-process, a deployment record stores
+the configuration needed to *deterministically reattach*: a fresh provider
+replays the deployment on load.  The dataset and task DB are plain files,
+so collected data genuinely persists across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.config import MainConfig
+from repro.core.deployer import Deployer, Deployment
+from repro.errors import ConfigError, ResourceNotFound
+
+ENV_VAR = "HPCADVISOR_STATE_DIR"
+DEFAULT_DIRNAME = ".hpcadvisor-sim"
+
+
+def resolve_state_dir(explicit: Optional[str] = None) -> str:
+    """Precedence: explicit argument > environment variable > home default."""
+    if explicit:
+        return os.path.abspath(explicit)
+    env = os.environ.get(ENV_VAR)
+    if env:
+        return os.path.abspath(env)
+    return os.path.join(os.path.expanduser("~"), DEFAULT_DIRNAME)
+
+
+@dataclass
+class StateStore:
+    """Filesystem layout of the tool's persistent state."""
+
+    root: str
+
+    def __post_init__(self) -> None:
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- paths ------------------------------------------------------------------
+
+    @property
+    def deployments_file(self) -> str:
+        return os.path.join(self.root, "deployments.json")
+
+    def dataset_path(self, deployment_name: str) -> str:
+        return os.path.join(self.root, f"dataset-{deployment_name}.jsonl")
+
+    def taskdb_path(self, deployment_name: str) -> str:
+        return os.path.join(self.root, f"tasks-{deployment_name}.json")
+
+    def plots_dir(self, deployment_name: str) -> str:
+        return os.path.join(self.root, f"plots-{deployment_name}")
+
+    # -- deployments index ----------------------------------------------------------
+
+    def _read_index(self) -> Dict[str, Dict]:
+        if not os.path.exists(self.deployments_file):
+            return {}
+        with open(self.deployments_file, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+
+    def _write_index(self, index: Dict[str, Dict]) -> None:
+        tmp = self.deployments_file + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(index, fh, indent=1)
+        os.replace(tmp, self.deployments_file)
+
+    def save_deployment(self, deployment: Deployment) -> None:
+        index = self._read_index()
+        index[deployment.name] = deployment.to_record()
+        self._write_index(index)
+
+    def list_deployments(self) -> List[Dict]:
+        return sorted(self._read_index().values(), key=lambda r: r["name"])
+
+    def get_deployment_record(self, name: str) -> Dict:
+        index = self._read_index()
+        if name not in index:
+            raise ResourceNotFound(
+                f"deployment {name!r} not found in {self.deployments_file}"
+            )
+        return index[name]
+
+    def remove_deployment(self, name: str) -> None:
+        index = self._read_index()
+        if name not in index:
+            raise ResourceNotFound(f"deployment {name!r} not found")
+        del index[name]
+        self._write_index(index)
+
+    # -- reattachment -------------------------------------------------------------------
+
+    def attach(self, name: str) -> Deployment:
+        """Recreate the simulated deployment recorded under ``name``.
+
+        The simulated control plane is deterministic, so replaying the
+        deployment from its stored configuration reproduces an equivalent
+        environment for the collector.
+        """
+        record = self.get_deployment_record(name)
+        config_dict = record.get("config")
+        if not config_dict:
+            raise ConfigError(
+                f"deployment record {name!r} has no stored configuration"
+            )
+        config = MainConfig.from_dict(config_dict)
+        deployer = Deployer()
+        suffix = name[len(config.rgprefix):] if name.startswith(config.rgprefix) else None
+        deployment = deployer.deploy(config, suffix=suffix)
+        return deployment

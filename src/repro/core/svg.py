@@ -1,0 +1,266 @@
+"""Dependency-free SVG chart renderer.
+
+The real HPCAdvisor emits matplotlib PNGs; matplotlib is unavailable in
+this reproduction's environment, so we render the same four chart types as
+standalone SVG files (lines + markers, axes with ticks, legend, title and
+the paper's subtitle annotation).  The output is deterministic, making it
+testable byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.plotdata import PlotData, Series
+
+#: Default series colours, matching matplotlib's tab10 ordering.
+PALETTE = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+    "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+]
+
+MARKERS = ["circle", "square", "triangle", "diamond"]
+
+
+@dataclass(frozen=True)
+class ChartGeometry:
+    width: int = 640
+    height: int = 420
+    margin_left: int = 70
+    margin_right: int = 20
+    margin_top: int = 48
+    margin_bottom: int = 52
+
+    @property
+    def plot_width(self) -> int:
+        return self.width - self.margin_left - self.margin_right
+
+    @property
+    def plot_height(self) -> int:
+        return self.height - self.margin_top - self.margin_bottom
+
+
+def nice_ticks(lo: float, hi: float, target: int = 6) -> List[float]:
+    """Round tick positions covering [lo, hi] (matplotlib MaxNLocator-ish)."""
+    if not (math.isfinite(lo) and math.isfinite(hi)):
+        raise ValueError(f"non-finite axis range: [{lo}, {hi}]")
+    if hi < lo:
+        lo, hi = hi, lo
+    if hi == lo:
+        hi = lo + 1.0
+    raw_step = (hi - lo) / max(target - 1, 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * magnitude
+        if step >= raw_step:
+            break
+    first = math.floor(lo / step) * step
+    ticks = []
+    value = first
+    while value <= hi + step * 1e-9:
+        if value >= lo - step * 1e-9:
+            ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def _fmt_tick(value: float) -> str:
+    if value == int(value) and abs(value) < 1e7:
+        return str(int(value))
+    return f"{value:g}"
+
+
+class SvgChart:
+    """Builds one SVG chart from PlotData."""
+
+    def __init__(self, data: PlotData, geometry: Optional[ChartGeometry] = None,
+                 overlay: Optional[Series] = None) -> None:
+        self.data = data
+        self.geom = geometry or ChartGeometry()
+        self.overlay = overlay
+
+    # -- scaling -------------------------------------------------------------------
+
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        xs: List[float] = []
+        ys: List[float] = []
+        for series in self.data.series:
+            xs.extend(series.xs)
+            ys.extend(series.ys)
+        if self.overlay:
+            xs.extend(self.overlay.xs)
+            ys.extend(self.overlay.ys)
+        if not xs:
+            return 0.0, 1.0, 0.0, 1.0
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(0.0, min(ys)), max(ys)
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        return x_lo, x_hi, y_lo, y_hi
+
+    def _to_px(self, x: float, y: float,
+               bounds: Tuple[float, float, float, float]) -> Tuple[float, float]:
+        x_lo, x_hi, y_lo, y_hi = bounds
+        g = self.geom
+        px = g.margin_left + (x - x_lo) / (x_hi - x_lo) * g.plot_width
+        py = g.margin_top + (1.0 - (y - y_lo) / (y_hi - y_lo)) * g.plot_height
+        return round(px, 2), round(py, 2)
+
+    # -- rendering -----------------------------------------------------------------------
+
+    def render(self) -> str:
+        g = self.geom
+        bounds = self._bounds()
+        parts: List[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{g.width}" '
+            f'height="{g.height}" viewBox="0 0 {g.width} {g.height}">',
+            f'<rect width="{g.width}" height="{g.height}" fill="white"/>',
+        ]
+        parts.extend(self._render_axes(bounds))
+        parts.extend(self._render_title())
+        for idx, series in enumerate(self.data.series):
+            parts.extend(self._render_series(series, idx, bounds))
+        if self.overlay is not None:
+            parts.extend(self._render_overlay(bounds))
+        parts.extend(self._render_legend())
+        parts.append("</svg>")
+        return "\n".join(parts) + "\n"
+
+    def _render_title(self) -> List[str]:
+        g = self.geom
+        cx = g.margin_left + g.plot_width / 2
+        out = [
+            f'<text x="{cx}" y="20" text-anchor="middle" font-size="15" '
+            f'font-family="sans-serif" font-weight="bold">{self.data.title}</text>'
+        ]
+        if self.data.subtitle:
+            out.append(
+                f'<text x="{cx}" y="36" text-anchor="middle" font-size="11" '
+                f'font-family="sans-serif" fill="#555">{self.data.subtitle}</text>'
+            )
+        return out
+
+    def _render_axes(self, bounds) -> List[str]:
+        g = self.geom
+        x_lo, x_hi, y_lo, y_hi = bounds
+        out = []
+        # Frame
+        out.append(
+            f'<rect x="{g.margin_left}" y="{g.margin_top}" '
+            f'width="{g.plot_width}" height="{g.plot_height}" '
+            'fill="none" stroke="#333" stroke-width="1"/>'
+        )
+        # X ticks + grid
+        for tick in nice_ticks(x_lo, x_hi):
+            if not x_lo <= tick <= x_hi:
+                continue
+            px, _ = self._to_px(tick, y_lo, bounds)
+            y0 = g.margin_top + g.plot_height
+            out.append(
+                f'<line x1="{px}" y1="{g.margin_top}" x2="{px}" y2="{y0}" '
+                'stroke="#ddd" stroke-width="0.5"/>'
+            )
+            out.append(
+                f'<text x="{px}" y="{y0 + 16}" text-anchor="middle" '
+                f'font-size="10" font-family="sans-serif">{_fmt_tick(tick)}</text>'
+            )
+        # Y ticks + grid
+        for tick in nice_ticks(y_lo, y_hi):
+            if not y_lo <= tick <= y_hi:
+                continue
+            _, py = self._to_px(x_lo, tick, bounds)
+            x1 = g.margin_left + g.plot_width
+            out.append(
+                f'<line x1="{g.margin_left}" y1="{py}" x2="{x1}" y2="{py}" '
+                'stroke="#ddd" stroke-width="0.5"/>'
+            )
+            out.append(
+                f'<text x="{g.margin_left - 6}" y="{py + 3}" text-anchor="end" '
+                f'font-size="10" font-family="sans-serif">{_fmt_tick(tick)}</text>'
+            )
+        # Axis labels
+        cx = g.margin_left + g.plot_width / 2
+        cy = g.margin_top + g.plot_height / 2
+        out.append(
+            f'<text x="{cx}" y="{g.height - 10}" text-anchor="middle" '
+            f'font-size="12" font-family="sans-serif">{self.data.xlabel}</text>'
+        )
+        out.append(
+            f'<text x="16" y="{cy}" text-anchor="middle" font-size="12" '
+            f'font-family="sans-serif" transform="rotate(-90 16 {cy})">'
+            f'{self.data.ylabel}</text>'
+        )
+        return out
+
+    def _render_series(self, series: Series, idx: int, bounds) -> List[str]:
+        color = PALETTE[idx % len(PALETTE)]
+        pts = [self._to_px(x, y, bounds) for x, y in series.points]
+        out = []
+        if len(pts) > 1:
+            path = " ".join(f"{x},{y}" for x, y in pts)
+            out.append(
+                f'<polyline points="{path}" fill="none" stroke="{color}" '
+                'stroke-width="1.6"/>'
+            )
+        for x, y in pts:
+            out.append(_marker(MARKERS[idx % len(MARKERS)], x, y, color))
+        return out
+
+    def _render_overlay(self, bounds) -> List[str]:
+        assert self.overlay is not None
+        pts = [self._to_px(x, y, bounds) for x, y in self.overlay.points]
+        out = []
+        if len(pts) > 1:
+            path = " ".join(f"{x},{y}" for x, y in pts)
+            out.append(
+                f'<polyline points="{path}" fill="none" stroke="#d62728" '
+                'stroke-width="2.2" stroke-dasharray="none"/>'
+            )
+        return out
+
+    def _render_legend(self) -> List[str]:
+        g = self.geom
+        labels = [s.label for s in self.data.series]
+        if self.overlay is not None:
+            labels.append(self.overlay.label)
+        out = []
+        x = g.margin_left + 8
+        y = g.margin_top + 14
+        for idx, label in enumerate(labels):
+            color = ("#d62728" if self.overlay is not None
+                     and idx == len(labels) - 1 else PALETTE[idx % len(PALETTE)])
+            out.append(
+                f'<rect x="{x}" y="{y - 8}" width="10" height="10" fill="{color}"/>'
+            )
+            out.append(
+                f'<text x="{x + 14}" y="{y + 1}" font-size="10" '
+                f'font-family="sans-serif">{label}</text>'
+            )
+            y += 16
+        return out
+
+
+def _marker(shape: str, x: float, y: float, color: str, size: float = 3.2) -> str:
+    if shape == "circle":
+        return f'<circle cx="{x}" cy="{y}" r="{size}" fill="{color}"/>'
+    if shape == "square":
+        s = size
+        return (f'<rect x="{x - s}" y="{y - s}" width="{2 * s}" '
+                f'height="{2 * s}" fill="{color}"/>')
+    if shape == "triangle":
+        s = size * 1.2
+        return (f'<polygon points="{x},{y - s} {x - s},{y + s} {x + s},{y + s}" '
+                f'fill="{color}"/>')
+    s = size * 1.25
+    return (f'<polygon points="{x},{y - s} {x + s},{y} {x},{y + s} {x - s},{y}" '
+            f'fill="{color}"/>')
+
+
+def render_chart(data: PlotData, overlay: Optional[Series] = None,
+                 geometry: Optional[ChartGeometry] = None) -> str:
+    """Render a PlotData to a complete SVG document."""
+    return SvgChart(data, geometry=geometry, overlay=overlay).render()

@@ -1,0 +1,168 @@
+"""HTML rendering for the GUI (no template engine, just functions)."""
+
+from __future__ import annotations
+
+import html
+import os
+from typing import Dict, List, Optional
+
+from repro.core.advisor import Advisor
+from repro.core.dataset import Dataset
+from repro.core.plotdata import (
+    efficiency, exectime_vs_cost, exectime_vs_nodes, speedup,
+)
+from repro.core.statefiles import StateStore
+from repro.core.svg import render_chart
+from repro.errors import ReproError
+
+_STYLE = """
+body { font-family: sans-serif; margin: 0; display: flex; }
+nav { width: 210px; background: #0b2e4f; color: white; min-height: 100vh;
+      padding: 18px; box-sizing: border-box; }
+nav h1 { font-size: 18px; } nav a { color: #bcd9f5; display: block;
+      margin: 8px 0; text-decoration: none; }
+main { padding: 24px; flex: 1; }
+table { border-collapse: collapse; margin: 12px 0; }
+td, th { border: 1px solid #999; padding: 4px 10px; font-size: 14px; }
+th { background: #eef; }
+.charts { display: flex; flex-wrap: wrap; gap: 12px; }
+.pred { color: #b35900; }
+"""
+
+
+def _page(title: str, body: str) -> str:
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title><style>{_STYLE}</style></head>"
+        "<body><nav><h1>HPCAdvisor</h1>"
+        "<a href='/'>Deployments</a>"
+        "</nav><main>" + body + "</main></body></html>"
+    )
+
+
+def render_index(store: StateStore) -> str:
+    """The landing page: all deployments with links to their views."""
+    records = store.list_deployments()
+    if not records:
+        body = "<h2>Deployments</h2><p>No deployments yet. " \
+               "Create one with <code>hpcadvisor-sim deploy create</code>.</p>"
+        return _page("HPCAdvisor", body)
+    rows = []
+    for record in records:
+        name = html.escape(str(record["name"]))
+        config = record.get("config") or {}
+        app = html.escape(str(config.get("appname", "-")))
+        region = html.escape(str(record["region"]))
+        has_data = os.path.exists(store.dataset_path(str(record["name"])))
+        links = f"<a href='/deployment/{name}'>details</a>"
+        if has_data:
+            links += (f" | <a href='/plots/{name}'>plots</a>"
+                      f" | <a href='/advice/{name}'>advice</a>"
+                      f" | <a href='/bottlenecks/{name}'>bottlenecks</a>")
+        rows.append(
+            f"<tr><td>{name}</td><td>{region}</td><td>{app}</td>"
+            f"<td>{'yes' if has_data else 'no'}</td><td>{links}</td></tr>"
+        )
+    body = (
+        "<h2>Deployments</h2><table>"
+        "<tr><th>Name</th><th>Region</th><th>App</th><th>Data</th>"
+        "<th>Views</th></tr>" + "".join(rows) + "</table>"
+    )
+    return _page("HPCAdvisor - deployments", body)
+
+
+def render_deployment(store: StateStore, name: str) -> str:
+    record = store.get_deployment_record(name)
+    config = record.get("config") or {}
+    dataset_path = store.dataset_path(name)
+    points = 0
+    if os.path.exists(dataset_path):
+        points = len(Dataset.load(dataset_path))
+    details = "".join(
+        f"<tr><td>{html.escape(str(k))}</td>"
+        f"<td><code>{html.escape(str(v))}</code></td></tr>"
+        for k, v in sorted(config.items())
+    )
+    body = (
+        f"<h2>Deployment {html.escape(name)}</h2>"
+        f"<p>Region: {html.escape(str(record['region']))} &middot; "
+        f"Storage: {html.escape(str(record.get('storage_account', '-')))} &middot; "
+        f"Collected points: {points}</p>"
+        f"<h3>Configuration</h3><table>{details}</table>"
+    )
+    return _page(f"HPCAdvisor - {name}", body)
+
+
+def render_plots(store: StateStore, name: str) -> str:
+    dataset_path = store.dataset_path(name)
+    if not os.path.exists(dataset_path):
+        raise ReproError(f"no dataset for deployment {name!r}")
+    dataset = Dataset.load(dataset_path)
+    charts = []
+    for builder in (exectime_vs_nodes, exectime_vs_cost, speedup, efficiency):
+        charts.append(f"<div>{render_chart(builder(dataset))}</div>")
+    body = (
+        f"<h2>Plots - {html.escape(name)}</h2>"
+        f"<div class='charts'>{''.join(charts)}</div>"
+    )
+    return _page(f"HPCAdvisor - plots {name}", body)
+
+
+def render_bottlenecks(store: StateStore, name: str) -> str:
+    """Infrastructure-bottleneck view (paper Sec. III-F third strategy)."""
+    from repro.sampling.bottleneck import BottleneckAnalyzer
+
+    dataset_path = store.dataset_path(name)
+    if not os.path.exists(dataset_path):
+        raise ReproError(f"no dataset for deployment {name!r}")
+    analyzer = BottleneckAnalyzer()
+    for point in Dataset.load(dataset_path):
+        if point.infra_metrics:
+            analyzer.observe_dict(point.sku, point.nnodes,
+                                  point.infra_metrics)
+    rows = "".join(
+        "<tr><td>{sku}</td><td>{n}</td><td>{dom}</td><td>{comm:.0%}</td>"
+        "<td>{sat}</td></tr>".format(
+            sku=html.escape(report.sku), n=report.nnodes,
+            dom=html.escape(report.dominant),
+            comm=report.comm_fraction,
+            sat="yes" if report.scaling_saturated else "",
+        )
+        for report in analyzer.reports()
+    )
+    body = (
+        f"<h2>Bottlenecks - {html.escape(name)}</h2>"
+        "<p>Dominant resource per configuration; saturated rows will not "
+        "profit from more nodes of that VM type.</p>"
+        "<table><tr><th>SKU</th><th>Nodes</th><th>Bottleneck</th>"
+        "<th>Comm share</th><th>Saturated</th></tr>" + rows + "</table>"
+    )
+    return _page(f"HPCAdvisor - bottlenecks {name}", body)
+
+
+def render_advice(store: StateStore, name: str,
+                  sort_by: str = "time") -> str:
+    dataset_path = store.dataset_path(name)
+    if not os.path.exists(dataset_path):
+        raise ReproError(f"no dataset for deployment {name!r}")
+    dataset = Dataset.load(dataset_path)
+    advisor = Advisor(dataset)
+    rows = advisor.advise(sort_by=sort_by)
+    table_rows = "".join(
+        "<tr{cls}><td>{t:.0f}</td><td>{c:.4f}</td><td>{n}</td><td>{s}</td></tr>"
+        .format(
+            cls=" class='pred'" if row.predicted else "",
+            t=row.exec_time_s, c=row.cost_usd, n=row.nnodes, s=row.sku_short,
+        )
+        for row in rows
+    )
+    body = (
+        f"<h2>Advice - {html.escape(name)}</h2>"
+        "<p>Pareto front over execution time and cost "
+        f"(sorted by {html.escape(sort_by)}). "
+        f"<a href='/advice/{html.escape(name)}?sort=cost'>sort by cost</a> | "
+        f"<a href='/advice/{html.escape(name)}?sort=time'>sort by time</a></p>"
+        "<table><tr><th>Exectime(s)</th><th>Cost($)</th><th>Nodes</th>"
+        "<th>SKU</th></tr>" + table_rows + "</table>"
+    )
+    return _page(f"HPCAdvisor - advice {name}", body)

@@ -1,0 +1,93 @@
+"""Standard-library HTTP server for the GUI."""
+
+from __future__ import annotations
+
+import html
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, unquote, urlparse
+
+from repro.core.statefiles import StateStore
+from repro.errors import ReproError
+from repro.gui import pages
+
+
+class AdvisorRequestHandler(BaseHTTPRequestHandler):
+    """Routes: ``/``, ``/deployment/<name>``, ``/plots/<name>``,
+    ``/advice/<name>[?sort=cost|time]``."""
+
+    #: Injected by :func:`serve`.
+    store: StateStore
+
+    def do_GET(self) -> None:  # noqa: N802  (http.server API)
+        try:
+            body = self._route()
+            payload = body.encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/html; charset=utf-8")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+        except ReproError as exc:
+            self._error(404, str(exc))
+        except Exception as exc:  # noqa: BLE001 - surface server bugs as 500s
+            self._error(500, f"internal error: {exc}")
+
+    def _route(self) -> str:
+        parsed = urlparse(self.path)
+        parts = [unquote(p) for p in parsed.path.split("/") if p]
+        if not parts:
+            return pages.render_index(self.store)
+        if parts[0] == "deployment" and len(parts) == 2:
+            return pages.render_deployment(self.store, parts[1])
+        if parts[0] == "plots" and len(parts) == 2:
+            return pages.render_plots(self.store, parts[1])
+        if parts[0] == "bottlenecks" and len(parts) == 2:
+            return pages.render_bottlenecks(self.store, parts[1])
+        if parts[0] == "advice" and len(parts) == 2:
+            query = parse_qs(parsed.query)
+            sort_by = query.get("sort", ["time"])[0]
+            if sort_by not in ("time", "cost"):
+                sort_by = "time"
+            return pages.render_advice(self.store, parts[1], sort_by=sort_by)
+        raise ReproError(f"no such page: {parsed.path}")
+
+    def _error(self, code: int, message: str) -> None:
+        payload = (
+            f"<html><body><h1>{code}</h1><p>{html.escape(message)}</p>"
+            "</body></html>"
+        ).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep tests/CLI quiet
+
+
+def make_server(store: StateStore, host: str = "127.0.0.1",
+                port: int = 8040) -> HTTPServer:
+    """Create (but do not start) the GUI server."""
+    handler = type(
+        "BoundHandler", (AdvisorRequestHandler,), {"store": store}
+    )
+    return HTTPServer((host, port), handler)
+
+
+def serve(store: StateStore, host: str = "127.0.0.1", port: int = 8040,
+          once: bool = False) -> int:
+    server = make_server(store, host, port)
+    actual_port = server.server_address[1]
+    print(f"HPCAdvisor GUI on http://{host}:{actual_port}/ (Ctrl-C to stop)")
+    try:
+        if once:
+            server.handle_request()
+        else:  # pragma: no cover - interactive loop
+            server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover
+        pass
+    finally:
+        server.server_close()
+    return 0

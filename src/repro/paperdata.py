@@ -1,0 +1,110 @@
+"""The paper's published numbers, in one place.
+
+Single source of truth for every value the reproduction is checked
+against — the advice listings, figure magnitudes, and the prices implied by
+the cost columns.  Calibration tests, integration tests and benchmarks all
+read from here, so a disagreement with the paper is always reported against
+the same constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Listing 4 — LAMMPS advice rows (sorted by execution time).
+#: (exec_time_s, cost_usd, nnodes, sku_short)
+PAPER_LISTING4: List[Tuple[float, float, int, str]] = [
+    (36.0, 0.5760, 16, "hb120rs_v3"),
+    (69.0, 0.5520, 8, "hb120rs_v3"),
+    (132.0, 0.5280, 4, "hb120rs_v3"),
+    (173.0, 0.5190, 3, "hb120rs_v3"),
+]
+
+#: Listing 3 — OpenFOAM advice rows.
+PAPER_LISTING3: List[Tuple[float, float, int, str]] = [
+    (34.0, 0.5440, 16, "hb120rs_v3"),
+    (38.0, 0.3040, 8, "hb120rs_v2"),
+    (48.0, 0.1920, 4, "hb120rs_v3"),
+    (59.0, 0.1770, 3, "hb120rs_v3"),
+]
+
+#: Hourly prices implied by the cost columns (cost = n x price x t / 3600).
+IMPLIED_PRICES: Dict[str, float] = {
+    "Standard_HB120rs_v2": 3.60,
+    "Standard_HB120rs_v3": 3.60,
+}
+
+#: The evaluation SKUs and the headline core math (Sec. IV).
+PAPER_SKUS: List[str] = [
+    "Standard_HC44rs", "Standard_HB120rs_v2", "Standard_HB120rs_v3",
+]
+PAPER_SKU_CORES: Dict[str, int] = {
+    "Standard_HC44rs": 44,
+    "Standard_HB120rs_v2": 120,
+    "Standard_HB120rs_v3": 120,
+}
+PAPER_MAX_CORES = 1920  # "Scenarios run up to 1,920 cores" (16 x 120)
+
+#: LAMMPS workload math: box x30 -> 864M atoms ("800 million"/"860M").
+LAMMPS_BOXFACTOR = 30
+LAMMPS_BASE_ATOMS = 32_000
+LAMMPS_PAPER_ATOMS = LAMMPS_BASE_ATOMS * LAMMPS_BOXFACTOR**3  # 864,000,000
+
+#: OpenFOAM workload math: blockMesh "40 16 16" -> ~8M cells.
+OPENFOAM_MESH = "40 16 16"
+OPENFOAM_PAPER_CELLS = 8_000_000
+
+#: Figure magnitudes (read off the published axes).
+FIG2_HC44_2NODE_RANGE = (1300.0, 2300.0)  # axis top ~2,000 s
+FIG4_SPEEDUP_AT_16 = 26.0                 # axis top; superlinear (>16)
+FIG5_EFFICIENCY_PEAK_RANGE = (1.3, 1.9)   # axis top 1.7; ">1" is the claim
+
+#: Listing 1 scenario arithmetic: 3 SKUs x 6 node counts x 2 meshes.
+LISTING1_SCENARIO_COUNT = 36
+
+
+@dataclass(frozen=True)
+class ReproducedRow:
+    """One measured advice row, aligned with a paper row."""
+
+    paper_time_s: float
+    paper_cost_usd: float
+    measured_time_s: float
+    measured_cost_usd: float
+    nnodes: int
+    sku_short: str
+
+    @property
+    def time_error(self) -> float:
+        return abs(self.measured_time_s - self.paper_time_s) / self.paper_time_s
+
+    @property
+    def cost_error(self) -> float:
+        return abs(self.measured_cost_usd - self.paper_cost_usd) / self.paper_cost_usd
+
+
+def align_rows(paper_rows, measured_rows) -> List[ReproducedRow]:
+    """Pair paper and measured advice rows by position (both time-sorted).
+
+    Raises
+    ------
+    ValueError
+        If the row counts differ — a structural reproduction failure.
+    """
+    if len(paper_rows) != len(measured_rows):
+        raise ValueError(
+            f"row count mismatch: paper {len(paper_rows)}, "
+            f"measured {len(measured_rows)}"
+        )
+    out = []
+    for (pt, pc, pn, _psku), row in zip(paper_rows, measured_rows):
+        out.append(ReproducedRow(
+            paper_time_s=pt,
+            paper_cost_usd=pc,
+            measured_time_s=row.exec_time_s,
+            measured_cost_usd=row.cost_usd,
+            nnodes=row.nnodes,
+            sku_short=row.sku_short,
+        ))
+    return out

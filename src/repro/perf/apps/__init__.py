@@ -1,0 +1,23 @@
+"""Per-application performance models.
+
+Each module calibrates one of the applications the paper exercises
+(its Sec. V: "We have successfully tested it with applications such as WRF,
+OpenFOAM, GROMACS, LAMMPS, and NAMD"), plus a generic matrix-multiplication
+app used by the quickstart example.
+"""
+
+from repro.perf.apps.lammps import LammpsModel
+from repro.perf.apps.openfoam import OpenFoamModel
+from repro.perf.apps.wrf import WrfModel
+from repro.perf.apps.gromacs import GromacsModel
+from repro.perf.apps.namd import NamdModel
+from repro.perf.apps.generic import MatrixMultModel
+
+__all__ = [
+    "LammpsModel",
+    "OpenFoamModel",
+    "WrfModel",
+    "GromacsModel",
+    "NamdModel",
+    "MatrixMultModel",
+]

@@ -1,0 +1,76 @@
+"""Generic distributed matrix-multiplication model.
+
+Paper Sec. III-A names "matrix size for the matrix multiplication
+application" as the simplest example of an application input; this model
+backs the quickstart example.  SUMMA-style distributed DGEMM: n^3 flops,
+near-peak compute-bound, block broadcasts per panel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.cluster.network import NetworkModel
+from repro.errors import ConfigError
+from repro.perf.machine import MachineModel
+from repro.perf.model import AppPerfModel, RunShape
+
+#: Fraction of peak FLOPs a tuned DGEMM sustains.
+DGEMM_EFFICIENCY = 0.82
+
+#: SUMMA panel width used for communication volume.
+PANEL = 512
+
+
+class MatrixMultModel(AppPerfModel):
+    """Performance model for distributed dense matrix multiplication."""
+
+    name = "matrixmult"
+    cpu_fraction = 1.0
+    imbalance_coeff = 0.005
+    serial_overhead_s = 0.5
+
+    def validate_inputs(self, inputs: Mapping[str, str]) -> Dict[str, float]:
+        raw = inputs.get("msize", inputs.get("MSIZE"))
+        if raw is None:
+            raise ConfigError(
+                "matrixmult requires an 'msize' application input (matrix order)"
+            )
+        try:
+            n = float(raw)
+        except (TypeError, ValueError):
+            raise ConfigError(f"invalid msize: {raw!r}") from None
+        if n < 1:
+            raise ConfigError(f"msize must be >= 1, got {n}")
+        return {"n": n}
+
+    def working_set_bytes(self, params: Mapping[str, float]) -> float:
+        return 3.0 * 8.0 * params["n"] ** 2  # A, B, C in fp64
+
+    def total_work(self, params: Mapping[str, float]) -> float:
+        return 2.0 * params["n"] ** 3  # flops
+
+    def node_throughput(
+        self, machine: MachineModel, params: Mapping[str, float]
+    ) -> float:
+        return machine.sku.peak_flops * DGEMM_EFFICIENCY * machine.arch_efficiency
+
+    def comm_time(
+        self, network: NetworkModel, shape: RunShape, params: Mapping[str, float]
+    ) -> float:
+        if shape.nodes <= 1:
+            return 0.0
+        n = params["n"]
+        panels = max(1.0, n / PANEL)
+        # Each SUMMA panel round broadcasts a block of A and B rows/cols.
+        block_bytes = 8.0 * n * PANEL / shape.nodes
+        return panels * 2.0 * network.bcast_time(block_bytes, shape.nodes)
+
+    def app_metrics(
+        self, params: Mapping[str, float], result_time: float
+    ) -> Dict[str, str]:
+        gflops = self.total_work(params) / max(result_time, 1e-12) / 1e9
+        return {
+            "MMSIZE": str(int(params["n"])),
+            "MMGFLOPS": f"{gflops:.1f}",
+        }

@@ -1,0 +1,93 @@
+"""GROMACS molecular-dynamics model.
+
+Paper Sec. V lists GROMACS among the validated applications.  We model a
+standard water-box/protein benchmark parameterised by atom count: short-range
+non-bonded forces are compute-bound; PME long-range electrostatics adds a
+3-D-FFT all-to-all whose cost grows with node count — the classic reason
+GROMACS strong-scaling flattens earlier than plain LJ dynamics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.cluster.network import NetworkModel
+from repro.errors import ConfigError
+from repro.perf.comm import halo_time_per_step, pme_alltoall_time_per_step
+from repro.perf.machine import MachineModel
+from repro.perf.model import AppPerfModel, RunShape
+
+#: Per-core throughput in atom-steps/second (PME water-box class systems).
+GROMACS_CORE_RATE = {
+    "milan": 5.2e5,
+    "rome": 4.4e5,
+    "skylake": 3.6e5,
+    "icelake": 4.2e5,
+    "genoa-x": 6.0e5,
+}
+_DEFAULT_CORE_RATE = 4.0e5
+
+BYTES_PER_ATOM = 200.0
+#: PME grid bytes as a fraction of atom-count x sizeof(complex).
+PME_GRID_BYTES_PER_ATOM = 1.6
+
+
+class GromacsModel(AppPerfModel):
+    """Performance model for GROMACS MD with PME."""
+
+    name = "gromacs"
+    cpu_fraction = 0.85
+    imbalance_coeff = 0.030
+    serial_overhead_s = 3.0  # grompp/domain setup
+
+    def validate_inputs(self, inputs: Mapping[str, str]) -> Dict[str, float]:
+        raw = inputs.get("atoms", inputs.get("ATOMS"))
+        if raw is None:
+            raise ConfigError("gromacs requires an 'atoms' application input")
+        try:
+            atoms = float(raw)
+        except (TypeError, ValueError):
+            raise ConfigError(f"invalid atoms value: {raw!r}") from None
+        if atoms <= 0:
+            raise ConfigError(f"atoms must be positive, got {atoms}")
+        steps = float(inputs.get("steps", 10_000))
+        if steps <= 0:
+            raise ConfigError(f"steps must be positive, got {steps}")
+        return {"atoms": atoms, "steps": steps}
+
+    def working_set_bytes(self, params: Mapping[str, float]) -> float:
+        return params["atoms"] * BYTES_PER_ATOM
+
+    def total_work(self, params: Mapping[str, float]) -> float:
+        return params["atoms"] * params["steps"]
+
+    def node_throughput(
+        self, machine: MachineModel, params: Mapping[str, float]
+    ) -> float:
+        rate = GROMACS_CORE_RATE.get(machine.sku.cpu_arch, _DEFAULT_CORE_RATE)
+        return rate * machine.cores
+
+    def comm_time(
+        self, network: NetworkModel, shape: RunShape, params: Mapping[str, float]
+    ) -> float:
+        if shape.nodes <= 1:
+            return 0.0
+        atoms_per_node = params["atoms"] / shape.nodes
+        halo = halo_time_per_step(network, atoms_per_node, 96.0, shape.nodes)
+        pme = pme_alltoall_time_per_step(
+            network, params["atoms"] * PME_GRID_BYTES_PER_ATOM, shape.nodes
+        )
+        return params["steps"] * (halo + pme)
+
+    def app_metrics(
+        self, params: Mapping[str, float], result_time: float
+    ) -> Dict[str, str]:
+        steps = params["steps"]
+        # 2 fs timestep: report simulated nanoseconds/day like gmx does.
+        ns = steps * 2e-6
+        ns_per_day = ns / max(result_time, 1e-9) * 86_400.0
+        return {
+            "GMXATOMS": str(int(params["atoms"])),
+            "GMXSTEPS": str(int(steps)),
+            "GMXNSPERDAY": f"{ns_per_day:.2f}",
+        }

@@ -1,0 +1,106 @@
+"""LAMMPS Lennard-Jones benchmark model.
+
+The paper's flagship example (Listing 2, Figures 2-5, Listing 4): the
+official LAMMPS ``in.lj`` "atomic fluid with Lennard-Jones potential"
+benchmark, where the box dimensions are multiplied by a ``BOXFACTOR`` to
+scale the atom count.  The stock input is a 20^3 fcc lattice with 4 atoms
+per unit cell = 32,000 atoms, so ``atoms = 32000 * bf^3``; the paper's
+``bf = 30`` gives 864 M atoms (reported as "800 million"/"860M" in the
+text and plot subtitles) over 100 timesteps.
+
+Calibration (see EXPERIMENTS.md): per-core atom-step rates are chosen so the
+HB120rs_v3 sweep lands on the paper's Listing 4 advice values
+(3 nodes: 173 s ... 16 nodes: 36 s), and Rome's cache-pressure profile
+produces the ~26x/16-node speedup visible in Figures 4-5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.cluster.network import NetworkModel
+from repro.errors import ConfigError
+from repro.perf.comm import halo_time_per_step
+from repro.perf.machine import MachineModel
+from repro.perf.model import AppPerfModel, RunShape
+
+#: Atoms in the stock in.lj input (4 * 20^3 fcc lattice).
+BASE_ATOMS = 32_000
+
+#: Per-core LJ throughput in atom-steps/second, by CPU architecture.
+LAMMPS_CORE_RATE = {
+    "milan": 2.00e6,
+    "rome": 1.65e6,
+    "skylake": 0.95e6,
+    "icelake": 1.25e6,
+    "genoa-x": 2.45e6,
+}
+_DEFAULT_CORE_RATE = 1.2e6
+
+#: Resident bytes per atom (positions, velocities, forces, neighbor lists).
+BYTES_PER_ATOM = 64.0
+
+#: Ghost-exchange payload per boundary atom per step.
+HALO_BYTES_PER_ATOM = 48.0
+
+
+class LammpsModel(AppPerfModel):
+    """Performance model for the LAMMPS LJ benchmark."""
+
+    name = "lammps"
+    cpu_fraction = 0.7
+    imbalance_coeff = 0.046
+    serial_overhead_s = 1.0
+
+    def validate_inputs(self, inputs: Mapping[str, str]) -> Dict[str, float]:
+        raw = inputs.get("BOXFACTOR", inputs.get("boxfactor"))
+        if raw is None:
+            raise ConfigError(
+                "lammps requires a BOXFACTOR application input (box-dimension "
+                "multiplier for the LJ benchmark)"
+            )
+        try:
+            bf = float(raw)
+        except (TypeError, ValueError):
+            raise ConfigError(f"invalid BOXFACTOR: {raw!r}") from None
+        if bf <= 0:
+            raise ConfigError(f"BOXFACTOR must be positive, got {bf}")
+        steps = float(inputs.get("steps", 100))
+        if steps <= 0:
+            raise ConfigError(f"steps must be positive, got {steps}")
+        atoms = BASE_ATOMS * bf**3
+        return {"boxfactor": bf, "atoms": atoms, "steps": steps}
+
+    def working_set_bytes(self, params: Mapping[str, float]) -> float:
+        return params["atoms"] * BYTES_PER_ATOM
+
+    def total_work(self, params: Mapping[str, float]) -> float:
+        return params["atoms"] * params["steps"]
+
+    def node_throughput(
+        self, machine: MachineModel, params: Mapping[str, float]
+    ) -> float:
+        rate = LAMMPS_CORE_RATE.get(machine.sku.cpu_arch, _DEFAULT_CORE_RATE)
+        return rate * machine.cores
+
+    def comm_time(
+        self, network: NetworkModel, shape: RunShape, params: Mapping[str, float]
+    ) -> float:
+        if shape.nodes <= 1:
+            return 0.0
+        atoms_per_node = params["atoms"] / shape.nodes
+        per_step = halo_time_per_step(
+            network, atoms_per_node, HALO_BYTES_PER_ATOM, shape.nodes
+        )
+        # Thermo output triggers a tiny allreduce every step.
+        per_step += network.allreduce_time(64.0, shape.nodes)
+        return per_step * params["steps"]
+
+    def app_metrics(
+        self, params: Mapping[str, float], result_time: float
+    ) -> Dict[str, str]:
+        # Names match the HPCADVISORVAR lines in the paper's Listing 2.
+        return {
+            "LAMMPSATOMS": str(int(params["atoms"])),
+            "LAMMPSSTEPS": str(int(params["steps"])),
+        }

@@ -1,0 +1,88 @@
+"""NAMD molecular-dynamics model.
+
+Modelled on the STMV-class benchmarks (about a million atoms).  NAMD's
+Charm++ runtime overlaps communication aggressively, so we give it a lower
+effective imbalance coefficient than GROMACS but the same PME all-to-all
+pressure at scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.cluster.network import NetworkModel
+from repro.errors import ConfigError
+from repro.perf.comm import halo_time_per_step, pme_alltoall_time_per_step
+from repro.perf.machine import MachineModel
+from repro.perf.model import AppPerfModel, RunShape
+
+NAMD_CORE_RATE = {
+    "milan": 3.4e5,
+    "rome": 2.9e5,
+    "skylake": 2.4e5,
+    "icelake": 2.8e5,
+    "genoa-x": 4.0e5,
+}
+_DEFAULT_CORE_RATE = 2.7e5
+
+BYTES_PER_ATOM = 260.0
+PME_GRID_BYTES_PER_ATOM = 1.2
+
+
+class NamdModel(AppPerfModel):
+    """Performance model for NAMD (STMV-class systems)."""
+
+    name = "namd"
+    cpu_fraction = 0.8
+    imbalance_coeff = 0.022  # Charm++ overlap hides some jitter
+    serial_overhead_s = 8.0  # NAMD startup/load balancing warm-up
+
+    def validate_inputs(self, inputs: Mapping[str, str]) -> Dict[str, float]:
+        raw = inputs.get("atoms", inputs.get("ATOMS"))
+        if raw is None:
+            raise ConfigError("namd requires an 'atoms' application input")
+        try:
+            atoms = float(raw)
+        except (TypeError, ValueError):
+            raise ConfigError(f"invalid atoms value: {raw!r}") from None
+        if atoms <= 0:
+            raise ConfigError(f"atoms must be positive, got {atoms}")
+        steps = float(inputs.get("steps", 5_000))
+        if steps <= 0:
+            raise ConfigError(f"steps must be positive, got {steps}")
+        return {"atoms": atoms, "steps": steps}
+
+    def working_set_bytes(self, params: Mapping[str, float]) -> float:
+        return params["atoms"] * BYTES_PER_ATOM
+
+    def total_work(self, params: Mapping[str, float]) -> float:
+        return params["atoms"] * params["steps"]
+
+    def node_throughput(
+        self, machine: MachineModel, params: Mapping[str, float]
+    ) -> float:
+        rate = NAMD_CORE_RATE.get(machine.sku.cpu_arch, _DEFAULT_CORE_RATE)
+        return rate * machine.cores
+
+    def comm_time(
+        self, network: NetworkModel, shape: RunShape, params: Mapping[str, float]
+    ) -> float:
+        if shape.nodes <= 1:
+            return 0.0
+        atoms_per_node = params["atoms"] / shape.nodes
+        halo = halo_time_per_step(network, atoms_per_node, 120.0, shape.nodes)
+        pme = pme_alltoall_time_per_step(
+            network, params["atoms"] * PME_GRID_BYTES_PER_ATOM, shape.nodes
+        )
+        # Charm++ overlaps roughly a third of communication with compute.
+        return params["steps"] * (halo + pme) * 0.67
+
+    def app_metrics(
+        self, params: Mapping[str, float], result_time: float
+    ) -> Dict[str, str]:
+        days_per_ns = result_time / 86_400.0 / max(params["steps"] * 2e-6, 1e-12)
+        return {
+            "NAMDATOMS": str(int(params["atoms"])),
+            "NAMDSTEPS": str(int(params["steps"])),
+            "NAMDDAYSPERNS": f"{days_per_ns:.4f}",
+        }

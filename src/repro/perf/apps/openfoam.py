@@ -1,0 +1,123 @@
+"""OpenFOAM motorBike model.
+
+The paper's second worked example (Listing 3): the motorBike tutorial with
+``BLOCKMESH DIMENSIONS`` as the application input — "40 16 16" yields about
+8 million cells after snappyHexMesh refinement (we use ~780 cells per
+background block, which reproduces that count).
+
+The model captures the two regimes that shape the paper's advice table:
+
+* the cell-update grind is **memory-bandwidth bound** (finite-volume sweeps
+  stream large fields; ~45 kB of traffic per cell-iteration across all
+  linear-solver sweeps), so throughput follows the SKU's STREAM bandwidth;
+* the pressure solve (GAMG) is **latency bound**: hundreds of tiny global
+  reductions per outer iteration serialize on inter-node latency, which is
+  why the paper's OpenFOAM case stops scaling beyond ~8 nodes (speedup from
+  3 to 16 nodes is only 59/34 = 1.7x) while LAMMPS keeps scaling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.cluster.network import NetworkModel
+from repro.errors import ConfigError
+from repro.perf.comm import halo_time_per_step, solver_reduction_time_per_iter
+from repro.perf.machine import MachineModel
+from repro.perf.model import AppPerfModel, RunShape
+
+#: snappyHexMesh refinement multiplier: cells per background block.
+CELLS_PER_BLOCK = 780.0
+
+#: Solver memory traffic per cell per outer iteration (all sweeps).
+BYTES_PER_CELL_ITER = 45_000.0
+
+#: Resident bytes per cell (fields + mesh + matrix coefficients).
+BYTES_PER_CELL = 1_000.0
+
+#: GAMG coarse-level global reductions per outer iteration.
+REDUCTIONS_PER_ITER = 950.0
+
+#: Software latency per reduction hop (MPI stack + solver bookkeeping).
+GAMG_SOFTWARE_ALPHA_S = 50e-6
+
+#: Default outer (SIMPLE) iterations for the motorBike case.
+DEFAULT_ITERS = 130
+
+#: Per-architecture grind penalty for unstructured CFD (NUMA effects).
+CFD_ARCH_PENALTY = {"rome": 1.06, "skylake": 1.02}
+
+
+def parse_mesh(raw: str) -> Tuple[int, int, int]:
+    """Parse a blockMesh dimension string like ``"40 16 16"``."""
+    parts = str(raw).split()
+    if len(parts) != 3:
+        raise ConfigError(
+            f"mesh input must be three integers like '40 16 16', got {raw!r}"
+        )
+    try:
+        dims = tuple(int(p) for p in parts)
+    except ValueError:
+        raise ConfigError(f"non-integer mesh dimension in {raw!r}") from None
+    if any(d <= 0 for d in dims):
+        raise ConfigError(f"mesh dimensions must be positive, got {raw!r}")
+    return dims  # type: ignore[return-value]
+
+
+class OpenFoamModel(AppPerfModel):
+    """Performance model for the OpenFOAM motorBike case."""
+
+    name = "openfoam"
+    cpu_fraction = 0.15  # dominated by memory-bandwidth-bound sweeps
+    imbalance_coeff = 0.008
+    serial_overhead_s = 1.5  # decomposePar / mesh load / writes
+
+    def validate_inputs(self, inputs: Mapping[str, str]) -> Dict[str, float]:
+        raw = inputs.get("mesh", inputs.get("MESH"))
+        if raw is None:
+            raise ConfigError(
+                "openfoam requires a 'mesh' application input "
+                "(blockMesh dimensions, e.g. '40 16 16')"
+            )
+        bx, by, bz = parse_mesh(raw)
+        iters = float(inputs.get("iters", DEFAULT_ITERS))
+        if iters <= 0:
+            raise ConfigError(f"iters must be positive, got {iters}")
+        cells = bx * by * bz * CELLS_PER_BLOCK
+        return {"bx": bx, "by": by, "bz": bz, "cells": cells, "iters": iters}
+
+    def working_set_bytes(self, params: Mapping[str, float]) -> float:
+        return params["cells"] * BYTES_PER_CELL
+
+    def total_work(self, params: Mapping[str, float]) -> float:
+        return params["cells"] * params["iters"]
+
+    def node_throughput(
+        self, machine: MachineModel, params: Mapping[str, float]
+    ) -> float:
+        penalty = CFD_ARCH_PENALTY.get(machine.sku.cpu_arch, 1.0)
+        return machine.mem_bw_Bps / (BYTES_PER_CELL_ITER * penalty)
+
+    def comm_time(
+        self, network: NetworkModel, shape: RunShape, params: Mapping[str, float]
+    ) -> float:
+        if shape.nodes <= 1:
+            return 0.0
+        iters = params["iters"]
+        reduction = solver_reduction_time_per_iter(
+            network,
+            shape.nodes,
+            REDUCTIONS_PER_ITER,
+            software_alpha_s=GAMG_SOFTWARE_ALPHA_S,
+        )
+        cells_per_node = params["cells"] / shape.nodes
+        halo = halo_time_per_step(network, cells_per_node, 200.0, shape.nodes)
+        return iters * (reduction + halo)
+
+    def app_metrics(
+        self, params: Mapping[str, float], result_time: float
+    ) -> Dict[str, str]:
+        return {
+            "OFCELLS": str(int(params["cells"])),
+            "OFITERATIONS": str(int(params["iters"])),
+        }

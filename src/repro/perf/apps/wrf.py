@@ -1,0 +1,103 @@
+"""WRF weather-forecast model.
+
+The paper's Sec. III-A names "resolution for a weather forecast such as WRF"
+as the canonical application input.  We model a CONUS-style domain: grid
+points scale with the inverse square of the horizontal resolution, the time
+step shrinks linearly with resolution (CFL), and a 2-D domain decomposition
+gives halo costs plus periodic radiation-physics load imbalance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.cluster.network import NetworkModel
+from repro.errors import ConfigError
+from repro.perf.comm import halo_time_per_step
+from repro.perf.machine import MachineModel
+from repro.perf.model import AppPerfModel, RunShape
+
+#: Domain edge in km (CONUS benchmark-style).
+DOMAIN_KM = 5400.0
+VERTICAL_LEVELS = 50
+
+#: Per-core throughput in gridpoint-steps/second.
+WRF_CORE_RATE = {
+    "milan": 1.05e5,
+    "rome": 0.92e5,
+    "skylake": 0.75e5,
+    "icelake": 0.88e5,
+    "genoa-x": 1.25e5,
+}
+_DEFAULT_CORE_RATE = 0.85e5
+
+BYTES_PER_POINT = 400.0
+HALO_BYTES_PER_POINT = 64.0
+
+
+class WrfModel(AppPerfModel):
+    """Performance model for WRF forecasts parameterised by resolution."""
+
+    name = "wrf"
+    cpu_fraction = 0.45
+    imbalance_coeff = 0.020
+    serial_overhead_s = 20.0  # input/boundary file processing
+
+    def validate_inputs(self, inputs: Mapping[str, str]) -> Dict[str, float]:
+        raw = inputs.get("resolution", inputs.get("RESOLUTION"))
+        if raw is None:
+            raise ConfigError(
+                "wrf requires a 'resolution' application input in km, e.g. '12'"
+            )
+        try:
+            res_km = float(raw)
+        except (TypeError, ValueError):
+            raise ConfigError(f"invalid resolution: {raw!r}") from None
+        if res_km <= 0:
+            raise ConfigError(f"resolution must be positive, got {res_km}")
+        forecast_hours = float(inputs.get("forecast_hours", 6))
+        if forecast_hours <= 0:
+            raise ConfigError(f"forecast_hours must be positive, got {forecast_hours}")
+        nx = DOMAIN_KM / res_km
+        points = nx * nx * VERTICAL_LEVELS
+        # CFL: dt (seconds) ~ 6 x dx (km).
+        steps = forecast_hours * 3600.0 / (6.0 * res_km)
+        return {
+            "resolution_km": res_km,
+            "points": points,
+            "steps": steps,
+            "forecast_hours": forecast_hours,
+        }
+
+    def working_set_bytes(self, params: Mapping[str, float]) -> float:
+        return params["points"] * BYTES_PER_POINT
+
+    def total_work(self, params: Mapping[str, float]) -> float:
+        return params["points"] * params["steps"]
+
+    def node_throughput(
+        self, machine: MachineModel, params: Mapping[str, float]
+    ) -> float:
+        rate = WRF_CORE_RATE.get(machine.sku.cpu_arch, _DEFAULT_CORE_RATE)
+        return rate * machine.cores
+
+    def comm_time(
+        self, network: NetworkModel, shape: RunShape, params: Mapping[str, float]
+    ) -> float:
+        if shape.nodes <= 1:
+            return 0.0
+        points_per_node = params["points"] / shape.nodes
+        per_step = halo_time_per_step(
+            network, points_per_node, HALO_BYTES_PER_POINT, shape.nodes,
+            neighbors=4,  # 2-D decomposition
+        )
+        return per_step * params["steps"]
+
+    def app_metrics(
+        self, params: Mapping[str, float], result_time: float
+    ) -> Dict[str, str]:
+        return {
+            "WRFRESOLUTIONKM": f"{params['resolution_km']:g}",
+            "WRFGRIDPOINTS": str(int(params["points"])),
+            "WRFSTEPS": str(int(params["steps"])),
+        }

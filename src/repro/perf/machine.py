@@ -1,0 +1,82 @@
+"""Per-SKU machine model.
+
+Translates the static :class:`repro.cloud.skus.VmSku` spec into the
+quantities application models need: achievable compute throughput as a
+function of processes-per-node, achievable memory bandwidth, cache and
+memory capacities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.skus import VmSku
+
+
+#: Per-architecture efficiency factor applied to nominal per-core throughput.
+#: Captures ISA/μarch differences beyond clock x vector width (e.g. Milan's
+#: improved load/store vs Rome, Skylake's AVX-512 downclocking).
+ARCH_COMPUTE_EFFICIENCY = {
+    "skylake": 0.80,
+    "icelake": 0.90,
+    "rome": 0.85,
+    "milan": 1.00,
+    "genoa-x": 1.15,
+}
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Derived performance characteristics of one node of a SKU."""
+
+    sku: VmSku
+
+    @property
+    def cores(self) -> int:
+        return self.sku.cores
+
+    @property
+    def arch_efficiency(self) -> float:
+        return ARCH_COMPUTE_EFFICIENCY.get(self.sku.cpu_arch, 0.85)
+
+    @property
+    def ram_bytes(self) -> float:
+        return self.sku.ram_bytes
+
+    @property
+    def l3_bytes(self) -> float:
+        return self.sku.l3_bytes
+
+    @property
+    def mem_bw_Bps(self) -> float:
+        return self.sku.mem_bw_Bps
+
+    def compute_scale(self, ppn: int, cpu_fraction: float) -> float:
+        """Fraction of full-node application throughput at ``ppn`` ranks.
+
+        Applications are a blend of core-bound work (scales with ppn) and
+        memory-bandwidth-bound work (saturates once roughly half the cores
+        are active, the usual STREAM saturation point on these systems).
+
+        Parameters
+        ----------
+        ppn:
+            MPI ranks per node (1..cores).
+        cpu_fraction:
+            The application's core-bound fraction in [0, 1]; the remainder
+            is treated as bandwidth-bound.
+        """
+        if not 1 <= ppn <= self.cores:
+            raise ValueError(
+                f"ppn must be in [1, {self.cores}] for {self.sku.name}, got {ppn}"
+            )
+        if not 0.0 <= cpu_fraction <= 1.0:
+            raise ValueError(f"cpu_fraction out of [0,1]: {cpu_fraction}")
+        core_part = ppn / self.cores
+        saturation_point = max(1.0, 0.5 * self.cores)
+        bw_part = min(1.0, ppn / saturation_point)
+        return cpu_fraction * core_part + (1.0 - cpu_fraction) * bw_part
+
+    def fits_in_memory(self, working_set_bytes: float, safety: float = 1.6) -> bool:
+        """Whether a per-node working set fits in RAM with runtime overheads."""
+        return working_set_bytes * safety <= self.ram_bytes

@@ -1,0 +1,213 @@
+"""Base class and result type for application performance models.
+
+An :class:`AppPerfModel` answers one question: *how long would this
+application, with these inputs, take on N nodes of SKU S with P ranks per
+node?* — plus the side information the rest of the tool consumes
+(application metrics for HPCADVISORVAR lines, infrastructure metrics for the
+bottleneck analyser, and a time breakdown for ablation studies).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.cloud.skus import VmSku
+from repro.cluster.metrics import InfraMetrics
+from repro.cluster.network import NetworkModel, network_for_sku
+from repro.errors import ReproError
+from repro.perf.cache import cache_slowdown
+from repro.perf.machine import MachineModel
+from repro.perf.noise import NO_NOISE, NoiseModel
+
+
+class SimError(ReproError):
+    """The simulated execution failed (e.g. out of memory)."""
+
+
+@dataclass(frozen=True)
+class PerfResult:
+    """Outcome of one simulated application execution."""
+
+    exec_time_s: float
+    metrics: InfraMetrics
+    app_vars: Dict[str, str] = field(default_factory=dict)
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    succeeded: bool = True
+    failure_reason: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.succeeded and self.exec_time_s < 0:
+            raise ValueError(f"negative execution time: {self.exec_time_s}")
+
+
+@dataclass(frozen=True)
+class RunShape:
+    """The resource shape of one run."""
+
+    sku: VmSku
+    nodes: int
+    ppn: int
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"need at least 1 node, got {self.nodes}")
+        if not 1 <= self.ppn <= self.sku.cores:
+            raise ValueError(
+                f"ppn must be in [1, {self.sku.cores}] for {self.sku.name}, "
+                f"got {self.ppn}"
+            )
+
+    @property
+    def total_ranks(self) -> int:
+        return self.nodes * self.ppn
+
+
+class AppPerfModel(ABC):
+    """Analytic performance model of one application.
+
+    Subclasses define the workload (from application inputs), the compute
+    grind, and the communication pattern.  The base class assembles the
+    pieces: roofline compute + cache pressure + communication + imbalance +
+    fixed serial overhead, then optional noise.
+    """
+
+    #: Registry name, matching the paper's ``appname`` config field.
+    name: str = "abstract"
+
+    #: Core-bound fraction for :meth:`MachineModel.compute_scale`.
+    cpu_fraction: float = 0.5
+
+    #: Load-imbalance growth coefficient (see perf.comm.imbalance_factor).
+    imbalance_coeff: float = 0.0
+
+    #: Fixed startup/teardown seconds (MPI_Init, I/O, mesh load...).
+    serial_overhead_s: float = 0.0
+
+    def __init__(self, noise: NoiseModel = NO_NOISE) -> None:
+        self.noise = noise
+
+    # -- workload characterisation (per application) -------------------------
+
+    @abstractmethod
+    def validate_inputs(self, inputs: Mapping[str, str]) -> Dict[str, float]:
+        """Parse/validate app inputs; return derived numeric parameters."""
+
+    @abstractmethod
+    def working_set_bytes(self, params: Mapping[str, float]) -> float:
+        """Total problem working set in bytes."""
+
+    @abstractmethod
+    def node_throughput(self, machine: MachineModel, params: Mapping[str, float]) -> float:
+        """Work units per second for one full node (before cache penalty)."""
+
+    @abstractmethod
+    def total_work(self, params: Mapping[str, float]) -> float:
+        """Total work units for the run (e.g. atom-steps, cell-iterations)."""
+
+    @abstractmethod
+    def comm_time(
+        self,
+        network: NetworkModel,
+        shape: RunShape,
+        params: Mapping[str, float],
+    ) -> float:
+        """Total communication seconds for the run."""
+
+    def app_metrics(
+        self, params: Mapping[str, float], result_time: float
+    ) -> Dict[str, str]:
+        """Application metrics exposed as HPCADVISORVAR values."""
+        return {}
+
+    # -- assembly --------------------------------------------------------------
+
+    def simulate(
+        self,
+        sku: VmSku,
+        nodes: int,
+        ppn: int,
+        inputs: Mapping[str, str],
+        network: Optional[NetworkModel] = None,
+    ) -> PerfResult:
+        """Simulate one execution; never raises for OOM (returns failure)."""
+        shape = RunShape(sku=sku, nodes=nodes, ppn=ppn)
+        params = self.validate_inputs(inputs)
+        machine = MachineModel(sku)
+        net = network if network is not None else network_for_sku(sku)
+
+        ws_total = self.working_set_bytes(params)
+        ws_node = ws_total / shape.nodes
+        if not machine.fits_in_memory(ws_node):
+            return PerfResult(
+                exec_time_s=0.0,
+                metrics=InfraMetrics(mem_used_fraction=1.0),
+                succeeded=False,
+                failure_reason=(
+                    f"out of memory: working set {ws_node / 1e9:.1f} GB/node "
+                    f"exceeds {sku.name} capacity"
+                ),
+            )
+
+        work = self.total_work(params)
+        throughput = (
+            self.node_throughput(machine, params)
+            * machine.compute_scale(ppn, self.cpu_fraction)
+        )
+        slow = cache_slowdown(sku, ws_node)
+        from repro.perf.comm import imbalance_factor  # local to avoid cycle
+
+        imb = imbalance_factor(shape.total_ranks, self.imbalance_coeff)
+        t_comp = work * slow * imb / (shape.nodes * throughput)
+        t_comm = self.comm_time(net, shape, params)
+        t_total = self.serial_overhead_s + t_comp + t_comm
+
+        noise_factor = self.noise.factor(self.name, sku.name, nodes, ppn,
+                                         tuple(sorted(inputs.items())))
+        t_total *= noise_factor
+
+        metrics = self._infra_metrics(
+            machine, net, shape, ws_node, t_comp, t_comm, t_total, slow
+        )
+        return PerfResult(
+            exec_time_s=t_total,
+            metrics=metrics,
+            app_vars=self.app_metrics(params, t_total),
+            breakdown={
+                "compute_s": t_comp,
+                "comm_s": t_comm,
+                "serial_s": self.serial_overhead_s,
+                "cache_slowdown": slow,
+                "imbalance": imb,
+                "noise_factor": noise_factor,
+            },
+        )
+
+    def _infra_metrics(
+        self,
+        machine: MachineModel,
+        net: NetworkModel,
+        shape: RunShape,
+        ws_node: float,
+        t_comp: float,
+        t_comm: float,
+        t_total: float,
+        slowdown: float,
+    ) -> InfraMetrics:
+        comm_fraction = t_comm / t_total if t_total > 0 else 0.0
+        busy_fraction = t_comp / t_total if t_total > 0 else 0.0
+        # Sustained utilisation of the bound resource during compute phases.
+        cpu_util = min(1.0, self.cpu_fraction * busy_fraction / slowdown)
+        mem_bw_util = min(1.0, (1.0 - self.cpu_fraction) * busy_fraction
+                          * min(1.0, shape.ppn / max(1.0, 0.5 * machine.cores)))
+        # Rough NIC utilisation: time-averaged share of comm phases that are
+        # bandwidth (not latency) limited.
+        net_util = min(1.0, 0.6 * comm_fraction) if shape.nodes > 1 else 0.0
+        return InfraMetrics(
+            cpu_util=cpu_util,
+            mem_bw_util=mem_bw_util,
+            net_util=net_util,
+            comm_fraction=min(1.0, comm_fraction),
+            mem_used_fraction=min(1.0, ws_node / machine.ram_bytes),
+        )

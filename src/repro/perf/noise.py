@@ -1,0 +1,41 @@
+"""Deterministic run-to-run performance noise.
+
+Real cluster measurements jitter a few percent run to run (OS noise,
+network contention, turbo behaviour).  The simulator can reproduce that with
+a *seeded* lognormal multiplier so experiments stay reproducible: the same
+(seed, scenario) pair always yields the same "measurement".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rng import rng_for
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Multiplicative lognormal noise on execution times.
+
+    Parameters
+    ----------
+    sigma:
+        Lognormal sigma; 0 disables noise entirely (the default for
+        benchmarks, so reproduced tables are stable).
+    seed:
+        Base seed combined with the scenario key.
+    """
+
+    sigma: float = 0.0
+    seed: int = 0
+
+    def factor(self, *scenario_key: object) -> float:
+        """Noise multiplier (>0) for a scenario; 1.0 when disabled."""
+        if self.sigma <= 0.0:
+            return 1.0
+        rng = rng_for("perf-noise", *scenario_key, base_seed=self.seed)
+        # mean-one lognormal: exp(N(-sigma^2/2, sigma))
+        return float(rng.lognormal(mean=-0.5 * self.sigma**2, sigma=self.sigma))
+
+
+NO_NOISE = NoiseModel(sigma=0.0)

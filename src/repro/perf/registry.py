@@ -1,0 +1,62 @@
+"""Registry mapping application names to performance models.
+
+The name corresponds to the ``appname`` field of the paper's main
+configuration file (Listing 1: ``appname: openfoam``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigError
+from repro.perf.model import AppPerfModel
+from repro.perf.noise import NO_NOISE, NoiseModel
+
+_FACTORIES: Dict[str, Callable[[NoiseModel], AppPerfModel]] = {}
+
+
+def register_model(name: str, factory: Callable[[NoiseModel], AppPerfModel]) -> None:
+    """Register a model factory under ``name`` (case-insensitive).
+
+    Raises
+    ------
+    ConfigError
+        If the name is already registered (guards against typo shadowing).
+    """
+    key = name.lower()
+    if key in _FACTORIES:
+        raise ConfigError(f"performance model {name!r} is already registered")
+    _FACTORIES[key] = factory
+
+
+def get_model(name: str, noise: NoiseModel = NO_NOISE) -> AppPerfModel:
+    """Instantiate the model registered under ``name``."""
+    key = name.lower()
+    try:
+        factory = _FACTORIES[key]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise ConfigError(
+            f"no performance model for application {name!r} (known: {known})"
+        ) from None
+    return factory(noise)
+
+
+def list_models() -> List[str]:
+    return sorted(_FACTORIES)
+
+
+def _register_builtins() -> None:
+    from repro.perf.apps.generic import MatrixMultModel
+    from repro.perf.apps.gromacs import GromacsModel
+    from repro.perf.apps.lammps import LammpsModel
+    from repro.perf.apps.namd import NamdModel
+    from repro.perf.apps.openfoam import OpenFoamModel
+    from repro.perf.apps.wrf import WrfModel
+
+    for cls in (LammpsModel, OpenFoamModel, WrfModel, GromacsModel,
+                NamdModel, MatrixMultModel):
+        register_model(cls.name, lambda noise, _cls=cls: _cls(noise))
+
+
+_register_builtins()

@@ -1,0 +1,37 @@
+"""Prediction from historical executions (paper Sec. III-F, first branch).
+
+"If there is enough data from previous executions, depending on the
+application, it may be possible to create a machine learning-based model
+(existing literature shows some efforts in this area [2], [8], [14]).  In
+certain scenarios with small amounts of data, a simple regression analysis
+could help."
+
+This package provides that layer, self-contained on numpy:
+
+* :mod:`repro.predict.features` — featurisation of (SKU, shape, inputs)
+  into numeric vectors built from machine specs and workload descriptors;
+* :mod:`repro.predict.regression` — ridge regression in log space with
+  closed-form fitting and k-fold cross-validation;
+* :mod:`repro.predict.knn` — instance-based learning (the paper's related
+  work includes Smith's IBL predictor [7]);
+* :mod:`repro.predict.predictor` — the user-facing
+  :class:`PerformancePredictor`: train on a :class:`repro.core.dataset.Dataset`,
+  predict unmeasured scenarios, and emit a *predicted* Pareto front without
+  any cloud execution — the paper's "minimal or no executions" end state.
+"""
+
+from repro.predict.features import FeatureSpec, featurize_point, featurize_scenario
+from repro.predict.regression import RidgeModel, cross_validate
+from repro.predict.knn import KnnModel
+from repro.predict.predictor import PerformancePredictor, PredictedPoint
+
+__all__ = [
+    "FeatureSpec",
+    "featurize_point",
+    "featurize_scenario",
+    "RidgeModel",
+    "cross_validate",
+    "KnnModel",
+    "PerformancePredictor",
+    "PredictedPoint",
+]

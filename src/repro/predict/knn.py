@@ -1,0 +1,61 @@
+"""Instance-based (k-nearest-neighbour) performance prediction.
+
+The paper's related work includes Smith's Instance-Based-Learning
+prediction service [7]; this is the classic distance-weighted k-NN variant
+over the standardised feature space, predicting the geometric mean of the
+neighbours' times (times are multiplicative quantities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SamplingError
+
+
+@dataclass
+class KnnModel:
+    """Distance-weighted k-NN regressor on log times."""
+
+    k: int = 3
+    _X: np.ndarray | None = None
+    _log_times: np.ndarray | None = None
+    _mean: np.ndarray | None = None
+    _std: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, times: np.ndarray) -> "KnnModel":
+        X = np.asarray(X, dtype=float)
+        times = np.asarray(times, dtype=float)
+        if self.k < 1:
+            raise SamplingError(f"k must be >= 1, got {self.k}")
+        if len(X) < 1:
+            raise SamplingError("need at least one training sample")
+        if np.any(times <= 0):
+            raise SamplingError("execution times must be positive")
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0] = 1.0
+        self._std = std
+        self._X = (X - self._mean) / self._std
+        self._log_times = np.log(times)
+        return self
+
+    def predict_one(self, x: np.ndarray) -> float:
+        if self._X is None:
+            raise SamplingError("model is not fitted")
+        z = (np.asarray(x, dtype=float) - self._mean) / self._std
+        distances = np.linalg.norm(self._X - z, axis=1)
+        k = min(self.k, len(distances))
+        nearest = np.argsort(distances)[:k]
+        d = distances[nearest]
+        if d[0] == 0.0:
+            return float(np.exp(self._log_times[nearest[0]]))
+        weights = 1.0 / d
+        weights /= weights.sum()
+        return float(np.exp(weights @ self._log_times[nearest]))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return np.array([self.predict_one(row) for row in X])

@@ -1,0 +1,147 @@
+"""PerformancePredictor: trained advice without cloud executions.
+
+Implements the paper's envisioned end state: "a user would provide the
+application with its input files and parameters, and the user would receive
+a list of options (e.g. the Pareto front discussed previously) to run their
+workloads, and this list would require minimal or no executions in the
+cloud."
+
+Train on an existing dataset (e.g. a previous parameter sweep), then query
+arbitrary candidate scenarios — including unmeasured VM types, node counts
+and inputs — and build a predicted Pareto front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cloud.pricing import PriceCatalog
+from repro.core.advisor import AdviceRow
+from repro.core.dataset import DataPoint, Dataset
+from repro.core.pareto import pareto_select
+from repro.core.scenarios import Scenario
+from repro.errors import SamplingError
+from repro.predict.features import FeatureSpec, design_matrix, featurize_scenario
+from repro.predict.knn import KnnModel
+from repro.predict.regression import RidgeModel, cross_validate
+
+
+@dataclass(frozen=True)
+class PredictedPoint:
+    """A scenario with its predicted time and cost."""
+
+    scenario: Scenario
+    exec_time_s: float
+    cost_usd: float
+
+    def as_datapoint(self) -> DataPoint:
+        return DataPoint(
+            appname=self.scenario.appname,
+            sku=self.scenario.sku_name,
+            nnodes=self.scenario.nnodes,
+            ppn=self.scenario.ppn,
+            exec_time_s=self.exec_time_s,
+            cost_usd=self.cost_usd,
+            appinputs=dict(self.scenario.appinputs),
+            predicted=True,
+        )
+
+
+@dataclass
+class PerformancePredictor:
+    """Train on measured points, predict unmeasured scenarios.
+
+    Parameters
+    ----------
+    backend:
+        ``"ridge"`` (default) or ``"knn"``.
+    use_app_model:
+        Use physics-informed workload features (total work, working set)
+        when all training points share one application.
+    """
+
+    backend: str = "ridge"
+    use_app_model: bool = True
+    alpha: float = 1e-2
+    k: int = 3
+    prices: PriceCatalog = field(default_factory=PriceCatalog)
+    region: Optional[str] = None
+    _spec: Optional[FeatureSpec] = None
+    _model: object = None
+    cv_mape: Optional[float] = None
+
+    def fit(self, dataset: Dataset, cv_folds: int = 0) -> "PerformancePredictor":
+        """Train on the dataset's measured (non-predicted) points."""
+        points = [p for p in dataset if not p.predicted]
+        if len(points) < 3:
+            raise SamplingError(
+                f"need at least 3 measured points to train, got {len(points)}"
+            )
+        self._spec = FeatureSpec.for_dataset(points,
+                                             use_app_model=self.use_app_model)
+        X = design_matrix(self._spec, points)
+        times = np.array([p.exec_time_s for p in points])
+        if self.backend == "ridge":
+            self._model = RidgeModel(alpha=self.alpha).fit(X, times)
+        elif self.backend == "knn":
+            self._model = KnnModel(k=self.k).fit(X, times)
+        else:
+            raise SamplingError(f"unknown predictor backend {self.backend!r}")
+        if cv_folds >= 2 and len(points) >= cv_folds:
+            self.cv_mape, _ = cross_validate(X, times, folds=cv_folds,
+                                             alpha=self.alpha)
+        return self
+
+    # -- queries ----------------------------------------------------------------
+
+    def predict_time(self, scenario: Scenario) -> float:
+        if self._model is None or self._spec is None:
+            raise SamplingError("predictor is not fitted")
+        x = featurize_scenario(self._spec, scenario)
+        return float(self._model.predict_one(x))  # type: ignore[union-attr]
+
+    def predict(self, scenario: Scenario) -> PredictedPoint:
+        time_s = self.predict_time(scenario)
+        cost = self.prices.task_cost(
+            scenario.sku_name, scenario.nnodes, time_s, region=self.region
+        )
+        return PredictedPoint(scenario=scenario, exec_time_s=time_s,
+                              cost_usd=cost)
+
+    def predict_all(self, scenarios: Sequence[Scenario]) -> List[PredictedPoint]:
+        return [self.predict(s) for s in scenarios]
+
+    def predicted_front(
+        self, scenarios: Sequence[Scenario], sort_by: str = "time"
+    ) -> List[AdviceRow]:
+        """The paper's goal: a Pareto front with no cloud executions."""
+        predictions = self.predict_all(scenarios)
+        efficient = pareto_select(
+            predictions, key=lambda p: (p.exec_time_s, p.cost_usd)
+        )
+        rows = [
+            AdviceRow(
+                exec_time_s=p.exec_time_s,
+                cost_usd=p.cost_usd,
+                nnodes=p.scenario.nnodes,
+                sku=p.scenario.sku_name,
+                ppn=p.scenario.ppn,
+                appinputs=dict(p.scenario.appinputs),
+                predicted=True,
+            )
+            for p in efficient
+        ]
+        key = (lambda r: (r.exec_time_s, r.cost_usd)) if sort_by == "time" \
+            else (lambda r: (r.cost_usd, r.exec_time_s))
+        rows.sort(key=key)
+        return rows
+
+    def feature_importances(self) -> Dict[str, float]:
+        """Absolute standardised weights (ridge backend only)."""
+        if not isinstance(self._model, RidgeModel):
+            raise SamplingError("feature importances need the ridge backend")
+        assert self._spec is not None
+        return dict(zip(self._spec.names, np.abs(self._model.weights)))

@@ -1,0 +1,106 @@
+"""Ridge regression on log execution time, with cross-validation.
+
+Closed-form ridge (normal equations with Tikhonov damping) over
+standardised features; the target is log(exec_time), so predictions are
+multiplicative and always positive.  Small, dependency-free, and exactly
+the "simple regression analysis" the paper suggests for small datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SamplingError
+
+
+@dataclass
+class RidgeModel:
+    """Ridge regression in standardised feature space, log target."""
+
+    alpha: float = 1e-2
+    _mean: np.ndarray | None = None
+    _std: np.ndarray | None = None
+    _weights: np.ndarray | None = None
+    _intercept: float = 0.0
+
+    def fit(self, X: np.ndarray, times: np.ndarray) -> "RidgeModel":
+        X = np.asarray(X, dtype=float)
+        times = np.asarray(times, dtype=float)
+        if X.ndim != 2:
+            raise SamplingError(f"X must be 2-D, got shape {X.shape}")
+        if len(X) != len(times):
+            raise SamplingError(
+                f"X has {len(X)} rows but y has {len(times)}"
+            )
+        if len(X) < 2:
+            raise SamplingError("need at least two training samples")
+        if np.any(times <= 0):
+            raise SamplingError("execution times must be positive")
+        y = np.log(times)
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0] = 1.0
+        self._std = std
+        Z = (X - self._mean) / self._std
+        n_features = Z.shape[1]
+        gram = Z.T @ Z + self.alpha * np.eye(n_features)
+        self._weights = np.linalg.solve(gram, Z.T @ (y - y.mean()))
+        self._intercept = float(y.mean())
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._weights is None:
+            raise SamplingError("model is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Z = (X - self._mean) / self._std
+        return np.exp(Z @ self._weights + self._intercept)
+
+    def predict_one(self, x: np.ndarray) -> float:
+        return float(self.predict(x)[0])
+
+    @property
+    def weights(self) -> np.ndarray:
+        if self._weights is None:
+            raise SamplingError("model is not fitted")
+        return self._weights.copy()
+
+
+def mape(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean absolute percentage error."""
+    actual = np.asarray(actual, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    return float(np.mean(np.abs(predicted - actual) / actual))
+
+
+def cross_validate(
+    X: np.ndarray,
+    times: np.ndarray,
+    folds: int = 5,
+    alpha: float = 1e-2,
+    seed: int = 0,
+) -> Tuple[float, List[float]]:
+    """K-fold cross-validated MAPE of a RidgeModel.
+
+    Returns ``(mean_mape, per_fold_mapes)``.  Folds are deterministic given
+    the seed.
+    """
+    X = np.asarray(X, dtype=float)
+    times = np.asarray(times, dtype=float)
+    n = len(X)
+    if folds < 2:
+        raise SamplingError(f"need >= 2 folds, got {folds}")
+    if n < folds:
+        raise SamplingError(f"{n} samples cannot fill {folds} folds")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    fold_mapes: List[float] = []
+    for k in range(folds):
+        test_idx = order[k::folds]
+        train_mask = np.ones(n, dtype=bool)
+        train_mask[test_idx] = False
+        model = RidgeModel(alpha=alpha).fit(X[train_mask], times[train_mask])
+        fold_mapes.append(mape(times[test_idx], model.predict(X[test_idx])))
+    return float(np.mean(fold_mapes)), fold_mapes

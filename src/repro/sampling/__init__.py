@@ -1,0 +1,41 @@
+"""Smart sampling (paper Sec. III-F): run fewer scenarios, same advice.
+
+The paper's ongoing-work strategies, implemented as a stand-alone module
+(their stated design goal: "Having this module as a stand-alone allows its
+usage in situations where there are already existing tools in place"):
+
+* **Aggressive scenario discarding** — drop a VM type's remaining scenarios
+  once there is evidence (at a configurable threshold) that it cannot reach
+  the Pareto front (:mod:`repro.sampling.discard`);
+* **Fixed performance factor** — fit scaling laws to measured points and
+  predict the rest instead of running them
+  (:mod:`repro.sampling.perffactor`);
+* **Infrastructure bottlenecks** — use CPU/memory/network utilisation to
+  classify what limits each configuration and prioritise or prune
+  accordingly (:mod:`repro.sampling.bottleneck`);
+* **Design-of-experiments orderings** — choose which scenarios to run first
+  so the models converge quickly (:mod:`repro.sampling.doe`).
+
+:class:`repro.sampling.planner.SmartSampler` combines them behind the
+collector's planner protocol.
+"""
+
+from repro.sampling.perffactor import ScalingLaw, fit_scaling_law
+from repro.sampling.discard import DiscardPolicy, VmTypeDiscarder
+from repro.sampling.bottleneck import BottleneckAnalyzer, BottleneckReport
+from repro.sampling.doe import cheapest_first, extremes_first, lhs_subset
+from repro.sampling.planner import SamplerPolicy, SmartSampler
+
+__all__ = [
+    "ScalingLaw",
+    "fit_scaling_law",
+    "DiscardPolicy",
+    "VmTypeDiscarder",
+    "BottleneckAnalyzer",
+    "BottleneckReport",
+    "cheapest_first",
+    "extremes_first",
+    "lhs_subset",
+    "SamplerPolicy",
+    "SmartSampler",
+]

@@ -1,0 +1,102 @@
+"""Infrastructure-bottleneck analysis (paper Sec. III-F).
+
+"with proper monitoring, it is also possible to identify possible
+bottlenecks while executing the scenario via infrastructure related metrics
+such as CPU, memory, network utilization.  This can also serve as a hint to
+identify and prioritize the next scenarios to be executed, or even
+discarding ones that will not be part of the Pareto front."
+
+The analyser consumes the per-task :class:`repro.cluster.metrics.InfraMetrics`
+and produces per-SKU diagnoses plus actionable pruning hints: a
+latency-bound configuration will not profit from more nodes of the same
+type, so larger node counts can be skipped.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.metrics import InfraMetrics
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Diagnosis for one (sku, nnodes) cell."""
+
+    sku: str
+    nnodes: int
+    dominant: str
+    comm_fraction: float
+
+    @property
+    def scaling_saturated(self) -> bool:
+        """Communication-dominated: more nodes of this SKU will not help."""
+        return self.dominant in ("network", "network_latency") or (
+            self.comm_fraction > 0.5
+        )
+
+
+@dataclass
+class BottleneckAnalyzer:
+    """Aggregates infra metrics and emits hints."""
+
+    _cells: Dict[Tuple[str, int], List[InfraMetrics]] = field(default_factory=dict)
+
+    def observe(self, sku: str, nnodes: int, metrics: InfraMetrics) -> None:
+        self._cells.setdefault((sku, nnodes), []).append(metrics)
+
+    def observe_dict(self, sku: str, nnodes: int,
+                     metrics: Dict[str, float]) -> None:
+        if metrics:
+            self.observe(sku, nnodes, InfraMetrics.from_dict(metrics))
+
+    def report(self, sku: str, nnodes: int) -> Optional[BottleneckReport]:
+        rows = self._cells.get((sku, nnodes))
+        if not rows:
+            return None
+        dominant = Counter(m.dominant_resource() for m in rows).most_common(1)[0][0]
+        comm = sum(m.comm_fraction for m in rows) / len(rows)
+        return BottleneckReport(
+            sku=sku, nnodes=nnodes, dominant=dominant, comm_fraction=comm
+        )
+
+    def reports(self) -> List[BottleneckReport]:
+        out = []
+        for (sku, nnodes) in sorted(self._cells):
+            report = self.report(sku, nnodes)
+            if report:
+                out.append(report)
+        return out
+
+    # -- hints -----------------------------------------------------------------------
+
+    def saturation_node_count(self, sku: str) -> Optional[int]:
+        """Smallest node count at which the SKU became comm-saturated."""
+        saturated = sorted(
+            nnodes
+            for (s, nnodes) in self._cells
+            if s == sku
+            and (report := self.report(s, nnodes)) is not None
+            and report.scaling_saturated
+        )
+        return saturated[0] if saturated else None
+
+    def should_skip_larger(self, sku: str, nnodes: int) -> bool:
+        """Skip ``nnodes`` if a smaller run of this SKU already saturated.
+
+        A configuration past its scaling saturation only gets slower *and*
+        more expensive, so it cannot enter the (time, cost) Pareto front.
+        """
+        saturation = self.saturation_node_count(sku)
+        return saturation is not None and nnodes > saturation
+
+    def summary(self) -> str:
+        lines = ["sku                nodes  bottleneck          comm%"]
+        for report in self.reports():
+            lines.append(
+                f"{report.sku:<18} {report.nnodes:>5}  "
+                f"{report.dominant:<18} {report.comm_fraction * 100:>5.1f}"
+            )
+        return "\n".join(lines) + "\n"

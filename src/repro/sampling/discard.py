@@ -1,0 +1,141 @@
+"""Aggressive scenario discarding (paper Sec. III-F).
+
+"Whenever there is evidence, at a given threshold, that a VM type will
+probably not be part of the Pareto front, we ignore all scenarios with that
+VM type."
+
+Evidence here = an *optimistic* projection for the VM type (its fitted
+scaling law without the communication-growth term, at the cheapest price
+the sweep would pay) is still dominated by the current front with a safety
+margin.  The margin is the knob between cost savings and the risk of
+discarding a true front member.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.pareto import pareto_front
+from repro.errors import SamplingError
+from repro.sampling.perffactor import ScalingLaw
+
+
+@dataclass(frozen=True)
+class DiscardPolicy:
+    """Tuning for the discarder.
+
+    Attributes
+    ----------
+    min_observations:
+        Completed scenarios required per VM type before it may be judged.
+    margin:
+        Safety factor (> 1): the optimistic projection must be worse than
+        the front by this factor in *both* objectives to discard.
+        1.0 = maximally aggressive, larger = more conservative.
+    """
+
+    min_observations: int = 3
+    margin: float = 1.15
+
+    def __post_init__(self) -> None:
+        if self.min_observations < 1:
+            raise SamplingError(
+                f"min_observations must be >= 1, got {self.min_observations}"
+            )
+        if self.margin < 1.0:
+            raise SamplingError(f"margin must be >= 1.0, got {self.margin}")
+
+
+@dataclass
+class VmTypeDiscarder:
+    """Tracks per-VM-type evidence and rules on discarding."""
+
+    policy: DiscardPolicy = field(default_factory=DiscardPolicy)
+    hourly_prices: Dict[str, float] = field(default_factory=dict)
+    _observations: Dict[str, List[Tuple[float, float, float]]] = field(
+        default_factory=dict
+    )  # sku -> [(nnodes, time, cost)]
+    _discarded: Dict[str, str] = field(default_factory=dict)  # sku -> reason
+
+    def observe(self, sku: str, nnodes: int, exec_time_s: float,
+                cost_usd: float) -> None:
+        self._observations.setdefault(sku, []).append(
+            (float(nnodes), exec_time_s, cost_usd)
+        )
+
+    def observation_count(self, sku: str) -> int:
+        return len(self._observations.get(sku, []))
+
+    def is_discarded(self, sku: str) -> bool:
+        return sku in self._discarded
+
+    def discard_reason(self, sku: str) -> Optional[str]:
+        return self._discarded.get(sku)
+
+    # -- the rule ---------------------------------------------------------------
+
+    def evaluate(
+        self,
+        sku: str,
+        law: Optional[ScalingLaw],
+        candidate_nodes: List[int],
+    ) -> bool:
+        """Decide whether to discard ``sku``'s remaining scenarios.
+
+        Parameters
+        ----------
+        law:
+            The SKU's fitted scaling law (None = not enough data, never
+            discard).
+        candidate_nodes:
+            Node counts still pending for this SKU.
+
+        Returns True (and records the decision) when every pending node
+        count's optimistic projection is margin-dominated by the current
+        global front.
+        """
+        if self.is_discarded(sku):
+            return True
+        if law is None or not candidate_nodes:
+            return False
+        if self.observation_count(sku) < self.policy.min_observations:
+            return False
+        front = self.current_front()
+        if not front:
+            return False
+        price = self.hourly_prices.get(sku)
+        if price is None:
+            return False
+        margin = self.policy.margin
+        for nnodes in candidate_nodes:
+            opt_time = law.optimistic(nnodes)
+            opt_cost = nnodes * price * opt_time / 3600.0
+            if not _margin_dominated(opt_time, opt_cost, front, margin):
+                return False
+        self._discarded[sku] = (
+            f"optimistic projection dominated by front at margin {margin:g} "
+            f"for all pending node counts {sorted(candidate_nodes)}"
+        )
+        return True
+
+    def current_front(self) -> List[Tuple[float, float]]:
+        """Pareto front over everything observed so far (all VM types)."""
+        points = [
+            (time, cost)
+            for rows in self._observations.values()
+            for (_n, time, cost) in rows
+        ]
+        return pareto_front(points) if points else []
+
+
+def _margin_dominated(time_s: float, cost: float,
+                      front: List[Tuple[float, float]],
+                      margin: float) -> bool:
+    """Is (time, cost) dominated even after shrinking it by the margin?"""
+    best_time = time_s / margin
+    best_cost = cost / margin
+    return any(
+        ft <= best_time and fc <= best_cost and (ft < best_time or fc < best_cost)
+        for ft, fc in front
+    )

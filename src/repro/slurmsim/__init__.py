@@ -1,0 +1,13 @@
+"""Simulated Slurm cluster.
+
+Backs the paper's planned alternative back-end ("including one that uses
+Slurm directly").  The simulation covers what the advisor needs: partitions
+pinned to a VM SKU, node provisioning with boot latency and billing
+(cloud-bursting style), sbatch-like synchronous job execution, and
+sinfo/squeue-style views.
+"""
+
+from repro.slurmsim.cluster import SlurmCluster, SlurmPartition
+from repro.slurmsim.jobs import JobState, SlurmJob
+
+__all__ = ["SlurmCluster", "SlurmPartition", "SlurmJob", "JobState"]

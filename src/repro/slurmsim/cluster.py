@@ -1,0 +1,191 @@
+"""Slurm cluster with SKU-pinned partitions (cloud-bursting style).
+
+Each partition maps to one VM SKU, like CycleCloud/cloud Slurm deployments:
+nodes power up on demand (with boot latency and billing) and power down when
+released — the same economics as Batch pools, letting the back-end ablation
+compare orchestrators fairly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.clock import BillingMeter, SimClock
+from repro.cloud.provider import CloudProvider
+from repro.cloud.skus import VmSku
+from repro.cloud.subscription import Subscription
+from repro.cluster.filesystem import SharedFilesystem
+from repro.cluster.host import Host, make_hosts
+from repro.errors import BackendError
+from repro.slurmsim.jobs import JobState, SlurmJob
+
+
+@dataclass
+class SlurmPartition:
+    """A partition whose nodes are all one SKU."""
+
+    name: str
+    sku: VmSku
+    region: str
+    subscription: Subscription
+    clock: SimClock
+    hourly_price: float
+    base_boot_s: float = 150.0
+    powered_up: int = 0
+    meter: Optional[BillingMeter] = None
+
+    def __post_init__(self) -> None:
+        if self.meter is None:
+            self.meter = BillingMeter(clock=self.clock, hourly_price=self.hourly_price)
+
+    def power_up(self, nodes: int) -> None:
+        """Provision nodes (suspend/resume semantics of cloud Slurm)."""
+        if nodes <= self.powered_up:
+            return
+        extra = nodes - self.powered_up
+        self.subscription.allocate_cores(self.region, self.sku, extra)
+        self.powered_up = nodes
+        assert self.meter is not None
+        self.meter.set_nodes(self.powered_up)
+        self.clock.advance(self.base_boot_s)
+
+    def power_down(self, to_nodes: int = 0) -> None:
+        if to_nodes >= self.powered_up:
+            return
+        released = self.powered_up - to_nodes
+        self.subscription.release_cores(self.region, self.sku, released)
+        self.powered_up = to_nodes
+        assert self.meter is not None
+        self.meter.set_nodes(self.powered_up)
+
+    def hosts(self, nodes: int) -> List[Host]:
+        if nodes > self.powered_up:
+            raise BackendError(
+                f"partition {self.name}: {nodes} nodes requested, "
+                f"{self.powered_up} powered up"
+            )
+        return make_hosts(self.sku, nodes, pool_id=self.name)
+
+    def sinfo_line(self) -> str:
+        return (
+            f"{self.name:>14} up infinite {self.powered_up:>6} idle "
+            f"{self.sku.short_name}"
+        )
+
+
+@dataclass
+class SlurmCluster:
+    """The cluster controller: partitions + job table."""
+
+    provider: CloudProvider
+    subscription: Subscription
+    region: str
+    filesystem: SharedFilesystem = field(default_factory=SharedFilesystem)
+    partitions: Dict[str, SlurmPartition] = field(default_factory=dict)
+    jobs: Dict[int, SlurmJob] = field(default_factory=dict)
+    _next_job_id: int = 1000
+
+    @property
+    def clock(self) -> SimClock:
+        return self.provider.clock
+
+    # -- partitions ---------------------------------------------------------------
+
+    def create_partition(self, name: str, sku_name: str) -> SlurmPartition:
+        if name in self.partitions:
+            raise BackendError(f"partition {name!r} already exists")
+        sku = self.provider.validate_sku_in_region(sku_name, self.region)
+        partition = SlurmPartition(
+            name=name,
+            sku=sku,
+            region=self.region,
+            subscription=self.subscription,
+            clock=self.clock,
+            hourly_price=self.provider.prices.hourly_price(sku.name, self.region),
+            base_boot_s=self.provider.latencies.node_boot,
+        )
+        self.partitions[name] = partition
+        return partition
+
+    def get_partition(self, name: str) -> SlurmPartition:
+        try:
+            return self.partitions[name]
+        except KeyError:
+            raise BackendError(f"no partition {name!r}") from None
+
+    def sinfo(self) -> str:
+        header = f"{'PARTITION':>14} AVAIL TIMELIMIT {'NODES':>6} STATE SKU"
+        return "\n".join([header] + [
+            p.sinfo_line() for p in self.partitions.values()
+        ]) + "\n"
+
+    # -- jobs ------------------------------------------------------------------------
+
+    def sbatch(
+        self,
+        name: str,
+        partition: str,
+        nodes: int,
+        runner: Callable[[List[Host], SharedFilesystem, str], "JobCompletion"],
+    ) -> SlurmJob:
+        """Submit and (synchronously, in simulated time) run a job.
+
+        ``runner`` receives (hosts, filesystem, workdir) and returns the
+        job's completion record; the cluster advances the clock by the
+        job's wall time, exactly like the Batch service does for tasks.
+        """
+        part = self.get_partition(partition)
+        if nodes < 1:
+            raise BackendError(f"sbatch needs >= 1 node, got {nodes}")
+        part.power_up(nodes)
+        job = SlurmJob(
+            job_id=self._next_job_id,
+            name=name,
+            partition=partition,
+            nodes=nodes,
+            submit_time=self.clock.now,
+        )
+        self._next_job_id += 1
+        self.jobs[job.job_id] = job
+        job.state = JobState.RUNNING
+        job.start_time = self.clock.now
+        workdir = f"/mnt/nfs/slurm/{job.job_id}"
+        self.filesystem.mkdir(workdir)
+        completion = runner(part.hosts(nodes), self.filesystem, workdir)
+        self.clock.advance(completion.wall_time_s)
+        job.end_time = self.clock.now
+        job.exit_code = completion.exit_code
+        job.stdout = completion.stdout
+        job.state = JobState.COMPLETED if completion.exit_code == 0 else JobState.FAILED
+        return job
+
+    def squeue(self) -> str:
+        header = f"{'JOBID':>8} {'PARTITION':>12} {'NAME':>18} {'ST':>3} {'NODES':>5}"
+        return "\n".join([header] + [
+            j.squeue_line() for j in self.jobs.values()
+            if j.state in (JobState.PENDING, JobState.RUNNING)
+        ]) + "\n"
+
+    def sacct(self) -> List[SlurmJob]:
+        return list(self.jobs.values())
+
+    @property
+    def total_cost_usd(self) -> float:
+        return sum(
+            p.meter.accrued_usd for p in self.partitions.values()
+            if p.meter is not None
+        )
+
+    def teardown(self) -> None:
+        for partition in self.partitions.values():
+            partition.power_down(0)
+
+
+@dataclass(frozen=True)
+class JobCompletion:
+    """What a job runner reports back to the cluster."""
+
+    exit_code: int
+    stdout: str
+    wall_time_s: float

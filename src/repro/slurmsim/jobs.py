@@ -1,0 +1,46 @@
+"""Slurm job records."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class JobState(enum.Enum):
+    """Subset of Slurm job states the simulator uses."""
+
+    PENDING = "PD"
+    RUNNING = "R"
+    COMPLETED = "CD"
+    FAILED = "F"
+
+
+@dataclass
+class SlurmJob:
+    """One sbatch submission."""
+
+    job_id: int
+    name: str
+    partition: str
+    nodes: int
+    state: JobState = JobState.PENDING
+    submit_time: float = 0.0
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    exit_code: Optional[int] = None
+    stdout: str = ""
+    env: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def elapsed_s(self) -> Optional[float]:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def squeue_line(self) -> str:
+        """One row of squeue-like output."""
+        return (
+            f"{self.job_id:>8} {self.partition:>12} {self.name:>18} "
+            f"{self.state.value:>3} {self.nodes:>5}"
+        )

@@ -1,0 +1,118 @@
+"""Unit helpers: byte sizes, bandwidths, durations and money.
+
+The simulator keeps every quantity in SI base units internally (bytes,
+bytes/second, seconds, US dollars) and converts only at the formatting
+boundary.  These helpers make calibration constants readable at the point of
+definition, e.g. ``mem_bw=GBps(350)`` instead of ``350e9``.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Byte sizes (decimal and binary)
+# ---------------------------------------------------------------------------
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+KiB = 1024
+MiB = 1024**2
+GiB = 1024**3
+TiB = 1024**4
+
+
+def kib(n: float) -> float:
+    return n * KiB
+
+
+def mib(n: float) -> float:
+    return n * MiB
+
+
+def gib(n: float) -> float:
+    return n * GiB
+
+
+# ---------------------------------------------------------------------------
+# Bandwidths
+# ---------------------------------------------------------------------------
+
+
+def GBps(n: float) -> float:
+    """Gigabytes per second -> bytes per second."""
+    return n * GB
+
+
+def Gbps(n: float) -> float:
+    """Gigabits per second -> bytes per second."""
+    return n * GB / 8.0
+
+
+def MBps(n: float) -> float:
+    """Megabytes per second -> bytes per second."""
+    return n * MB
+
+
+# ---------------------------------------------------------------------------
+# Durations
+# ---------------------------------------------------------------------------
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+
+
+def us(n: float) -> float:
+    """Microseconds -> seconds."""
+    return n * 1e-6
+
+
+def ms(n: float) -> float:
+    """Milliseconds -> seconds."""
+    return n * 1e-3
+
+
+def minutes(n: float) -> float:
+    return n * MINUTE
+
+
+def hours(n: float) -> float:
+    return n * HOUR
+
+
+# ---------------------------------------------------------------------------
+# Formatting
+# ---------------------------------------------------------------------------
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count using binary multiples."""
+    value = float(n)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or suffix == "TiB":
+            return f"{value:.4g} {suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_duration(seconds: float) -> str:
+    """Human-readable duration, e.g. ``1h 02m 03s``."""
+    if seconds < 0:
+        return "-" + fmt_duration(-seconds)
+    total = int(round(seconds))
+    h, rem = divmod(total, 3600)
+    m, s = divmod(rem, 60)
+    if h:
+        return f"{h}h {m:02d}m {s:02d}s"
+    if m:
+        return f"{m}m {s:02d}s"
+    if seconds < 1 and seconds > 0:
+        return f"{seconds:.3g}s"
+    return f"{s}s"
+
+
+def fmt_usd(amount: float) -> str:
+    """Format a dollar amount the way the paper's advice tables do."""
+    return f"{amount:.4f}"

@@ -1,0 +1,178 @@
+"""Appkit contract tests: Table I env vars, HPCADVISORVAR, bash interop."""
+
+import pytest
+
+from repro.appkit.context import AppRunContext
+from repro.appkit.envvars import TABLE1_VARS, build_task_env
+from repro.appkit.metricvars import MARKER, extract_vars, format_var
+from repro.appkit.script import (
+    AppScript,
+    parse_bash_script,
+    RUN_FN,
+    SETUP_FN,
+)
+from repro.appkit.plugins.lammps import LISTING2_BASH
+from repro.cloud.skus import get_sku
+from repro.cluster.filesystem import SharedFilesystem
+from repro.cluster.host import make_hosts
+from repro.errors import AppScriptError
+
+
+class TestTable1:
+    """The environment contract of the paper's Table I."""
+
+    def test_all_documented_variables_present(self):
+        assert set(TABLE1_VARS) == {
+            "NNODES", "PPN", "SKU", "VMTYPE", "HOSTLIST_PPN",
+            "HOSTFILE_PATH", "TASKRUN_DIR",
+        }
+
+    def test_build_env_values(self):
+        hosts = make_hosts(get_sku("Standard_HB120rs_v3"), 2, "p")
+        env = build_task_env(hosts, ppn=120, workdir="/mnt/nfs/jobs/t1")
+        assert env["NNODES"] == "2"
+        assert env["PPN"] == "120"
+        assert env["SKU"] == "Standard_HB120rs_v3"
+        assert env["VMTYPE"] == env["SKU"]
+        assert env["HOSTLIST_PPN"] == "p-node0000:120,p-node0001:120"
+        assert env["HOSTFILE_PATH"] == "/mnt/nfs/jobs/t1/hostfile"
+        assert env["TASKRUN_DIR"] == "/mnt/nfs/jobs/t1"
+
+    def test_appinputs_uppercased(self):
+        """Listing 2 reads $BOXFACTOR from the 'boxfactor' appinput."""
+        hosts = make_hosts(get_sku("Standard_HB120rs_v3"), 1)
+        env = build_task_env(hosts, 120, "/w", appinputs={"boxfactor": "30"})
+        assert env["BOXFACTOR"] == "30"
+
+    def test_empty_hosts_rejected(self):
+        with pytest.raises(ValueError):
+            build_task_env([], 1, "/w")
+
+
+class TestMetricVars:
+    def test_format(self):
+        assert format_var("APPEXECTIME", 173.4) == \
+            f"{MARKER} APPEXECTIME=173.4"
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            format_var("BAD NAME", 1)
+
+    def test_extract_paper_listing_lines(self):
+        stdout = (
+            "Simulation completed successfully.\n"
+            "HPCADVISORVAR APPEXECTIME=36\n"
+            "HPCADVISORVAR LAMMPSATOMS=864000000\n"
+            "HPCADVISORVAR LAMMPSSTEPS=100\n"
+        )
+        assert extract_vars(stdout) == {
+            "APPEXECTIME": "36",
+            "LAMMPSATOMS": "864000000",
+            "LAMMPSSTEPS": "100",
+        }
+
+    def test_later_value_wins(self):
+        stdout = "HPCADVISORVAR X=1\nHPCADVISORVAR X=2\n"
+        assert extract_vars(stdout) == {"X": "2"}
+
+    def test_non_marker_lines_ignored(self):
+        assert extract_vars("plain output\nX=5\n") == {}
+
+    def test_value_may_contain_spaces(self):
+        assert extract_vars("HPCADVISORVAR MESH=40 16 16\n") == \
+            {"MESH": "40 16 16"}
+
+
+class TestBashInterop:
+    def test_listing2_parses(self):
+        """The paper's actual Listing 2 passes structural validation."""
+        info = parse_bash_script(LISTING2_BASH)
+        assert info.has_setup and info.has_run
+        assert SETUP_FN in info.functions and RUN_FN in info.functions
+        assert set(info.emitted_vars) == {
+            "APPEXECTIME", "LAMMPSATOMS", "LAMMPSSTEPS"
+        }
+        assert "https://www.lammps.org/inputs/in.lj.txt" in info.downloads
+        assert "LAMMPS" in info.modules
+
+    def test_missing_run_function_rejected(self):
+        with pytest.raises(AppScriptError, match="hpcadvisor_run"):
+            parse_bash_script("hpcadvisor_setup() {\n return 0\n}\n")
+
+    def test_missing_both_lists_both(self):
+        with pytest.raises(AppScriptError) as err:
+            parse_bash_script("echo hello\n")
+        assert "hpcadvisor_setup" in str(err.value)
+        assert "hpcadvisor_run" in str(err.value)
+
+    def test_generated_bash_roundtrips(self):
+        """Every auto-generated script must satisfy the parser."""
+        script = AppScript(appname="demo", setup=lambda c: 0,
+                           run=lambda c: 0)
+        info = parse_bash_script(script.to_bash())
+        assert info.has_setup and info.has_run
+
+    def test_appscript_validation(self):
+        with pytest.raises(AppScriptError):
+            AppScript(appname="", setup=lambda c: 0, run=lambda c: 0)
+        with pytest.raises(AppScriptError):
+            AppScript(appname="x", setup=lambda c: 0, run=lambda c: 0,
+                      setup_seconds=-1)
+
+
+class TestAppRunContext:
+    def make_ctx(self, nodes=2, env=None):
+        hosts = make_hosts(get_sku("Standard_HB120rs_v3"), nodes, "p")
+        fs = SharedFilesystem()
+        return AppRunContext.from_task_context_like(
+            hosts=hosts,
+            filesystem=fs,
+            env=env or {"PPN": "120", "NNODES": str(nodes)},
+            workdir="/mnt/nfs/jobs/t1",
+            shared_dir="/mnt/nfs/apps/demo",
+        )
+
+    def test_echo_accumulates_stdout(self):
+        ctx = self.make_ctx()
+        ctx.echo("line one")
+        ctx.emit_var("X", 5)
+        assert ctx.stdout == "line one\nHPCADVISORVAR X=5\n"
+
+    def test_getenv_required(self):
+        ctx = self.make_ctx()
+        assert ctx.getenv("PPN") == "120"
+        with pytest.raises(AppScriptError, match="MISSING"):
+            ctx.getenv("MISSING")
+
+    def test_file_helpers(self):
+        ctx = self.make_ctx()
+        ctx.write_file("input.txt", "data")
+        assert ctx.read_file("input.txt") == "data"
+        assert ctx.file_exists("input.txt")
+
+    def test_copy_from_shared(self):
+        """The 'cp ../$inputfile .' step from Listing 2."""
+        ctx = self.make_ctx()
+        ctx.filesystem.write_text("/mnt/nfs/apps/demo/in.lj.txt", "template")
+        ctx.copy_from_shared("in.lj.txt")
+        assert ctx.read_file("in.lj.txt") == "template"
+
+    def test_mpirun_uses_ppn_env(self):
+        ctx = self.make_ctx(env={"PPN": "60", "NNODES": "2"})
+        result = ctx.mpirun("lammps", {"BOXFACTOR": "4"})
+        assert result.ppn == 60
+        assert result.np == 120
+        assert ctx.wall_time_s >= result.exec_time_s
+
+    def test_sleep_adds_wall_time(self):
+        ctx = self.make_ctx()
+        ctx.sleep(42.0)
+        assert ctx.wall_time_s == 42.0
+
+    def test_failed_run_contributes_no_app_time(self):
+        ctx = self.make_ctx(env={"PPN": "120", "NNODES": "2"})
+        ctx.hosts = ctx.hosts[:1]
+        ctx.env["NNODES"] = "1"
+        result = ctx.mpirun("lammps", {"BOXFACTOR": "60"})  # OOM
+        assert not result.succeeded
+        assert ctx.wall_time_s == 0.0

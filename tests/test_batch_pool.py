@@ -1,0 +1,157 @@
+"""Batch pool lifecycle tests."""
+
+import pytest
+
+from repro.batch.node import NodeState, boot_time_for
+from repro.batch.pool import BatchPool, PoolState
+from repro.clock import SimClock
+from repro.cloud.skus import get_sku
+from repro.cloud.subscription import Subscription
+from repro.errors import PoolStateError, QuotaExceeded
+
+
+def make_pool(sku_name="Standard_HB120rs_v3", clock=None, sub=None):
+    clock = clock or SimClock()
+    sub = sub or Subscription(name="test")
+    return BatchPool(
+        pool_id="pool-test",
+        sku=get_sku(sku_name),
+        region="southcentralus",
+        subscription=sub,
+        clock=clock,
+        hourly_price=3.60,
+        base_boot_s=150.0,
+    ), clock, sub
+
+
+class TestBootTime:
+    def test_deterministic(self):
+        assert boot_time_for("p", 0, 150.0) == boot_time_for("p", 0, 150.0)
+
+    def test_within_jitter_band(self):
+        for i in range(20):
+            boot = boot_time_for("p", i, 150.0)
+            assert 120.0 <= boot <= 180.0
+
+    def test_varies_per_node(self):
+        boots = {boot_time_for("p", i, 150.0) for i in range(10)}
+        assert len(boots) > 1
+
+
+class TestResize:
+    def test_grow_advances_clock_by_slowest_boot(self):
+        pool, clock, _ = make_pool()
+        pool.resize(4)
+        assert pool.current_nodes == 4
+        boots = [n.boot_seconds for n in pool.nodes]
+        assert clock.now == pytest.approx(max(boots))
+        assert all(n.state is NodeState.IDLE for n in pool.nodes)
+
+    def test_grow_respects_quota(self):
+        pool, _, sub = make_pool()
+        sub.quota.set_limit("southcentralus", pool.sku.family, 240)
+        pool.resize(2)
+        with pytest.raises(QuotaExceeded):
+            pool.resize(3)
+
+    def test_shrink_releases_quota(self):
+        pool, _, sub = make_pool()
+        pool.resize(4)
+        pool.resize(1)
+        assert pool.current_nodes == 1
+        assert sub.quota.used_for("southcentralus", pool.sku.family) == 120
+
+    def test_shrink_to_zero(self):
+        pool, _, _ = make_pool()
+        pool.resize(4)
+        pool.resize(0)
+        assert pool.current_nodes == 0
+
+    def test_resize_same_size_noop(self):
+        pool, clock, _ = make_pool()
+        pool.resize(2)
+        before = clock.now
+        pool.resize(2)
+        assert clock.now == before
+
+    def test_negative_target_rejected(self):
+        pool, _, _ = make_pool()
+        with pytest.raises(ValueError):
+            pool.resize(-1)
+
+    def test_running_nodes_not_evictable(self):
+        pool, _, _ = make_pool()
+        pool.resize(2)
+        pool.acquire_nodes(2)
+        with pytest.raises(PoolStateError, match="not evictable"):
+            pool.resize(0)
+
+    def test_resize_count_tracked(self):
+        pool, _, _ = make_pool()
+        pool.resize(1)
+        pool.resize(3)
+        assert pool.resize_count == 2
+
+
+class TestLeasing:
+    def test_acquire_release(self):
+        pool, _, _ = make_pool()
+        pool.resize(3)
+        nodes = pool.acquire_nodes(2)
+        assert len(pool.idle_nodes) == 1
+        assert len(pool.running_nodes) == 2
+        pool.release_nodes(nodes)
+        assert len(pool.idle_nodes) == 3
+
+    def test_acquire_more_than_idle_fails(self):
+        pool, _, _ = make_pool()
+        pool.resize(1)
+        with pytest.raises(PoolStateError, match="only 1 idle"):
+            pool.acquire_nodes(2)
+
+
+class TestDelete:
+    def test_delete_releases_everything(self):
+        pool, _, sub = make_pool()
+        pool.resize(4)
+        pool.delete()
+        assert pool.state is PoolState.DELETED
+        assert sub.quota.used_for("southcentralus", pool.sku.family) == 0
+
+    def test_deleted_pool_rejects_ops(self):
+        pool, _, _ = make_pool()
+        pool.delete()
+        with pytest.raises(PoolStateError):
+            pool.resize(1)
+
+    def test_delete_with_running_tasks_rejected(self):
+        pool, _, _ = make_pool()
+        pool.resize(1)
+        pool.acquire_nodes(1)
+        with pytest.raises(PoolStateError, match="running tasks"):
+            pool.delete()
+
+
+class TestBilling:
+    def test_boot_time_is_billed(self):
+        """Nodes bill from allocation, not from readiness."""
+        pool, clock, _ = make_pool()
+        pool.resize(2)
+        assert pool.accrued_cost_usd > 0
+
+    def test_idle_time_is_billed(self):
+        pool, clock, _ = make_pool()
+        pool.resize(1)
+        cost_after_boot = pool.accrued_cost_usd
+        clock.advance(3600)
+        assert pool.accrued_cost_usd == pytest.approx(
+            cost_after_boot + 3.60
+        )
+
+    def test_no_billing_after_shrink_to_zero(self):
+        pool, clock, _ = make_pool()
+        pool.resize(1)
+        pool.resize(0)
+        cost = pool.accrued_cost_usd
+        clock.advance(3600)
+        assert pool.accrued_cost_usd == cost

@@ -1,0 +1,180 @@
+"""Batch service and task execution tests."""
+
+import pytest
+
+from repro.batch.service import BatchService
+from repro.batch.task import BatchTask, TaskKind, TaskOutput, TaskState
+from repro.cloud.provider import CloudProvider
+from repro.errors import BatchError, ResourceNotFound, SkuNotAvailable
+
+
+@pytest.fixture
+def service():
+    provider = CloudProvider()
+    sub = provider.register_subscription("test")
+    return BatchService(
+        account_name="testbatch",
+        provider=provider,
+        subscription=sub,
+        region="southcentralus",
+    )
+
+
+def sleep_task(task_id="t1", seconds=10.0, nodes=1, exit_code=0,
+               kind=TaskKind.COMPUTE):
+    return BatchTask(
+        task_id=task_id,
+        kind=kind,
+        executor=lambda ctx: TaskOutput(
+            exit_code=exit_code,
+            stdout=f"ran on {ctx.nodes} nodes\n",
+            wall_time_s=seconds,
+        ),
+        required_nodes=nodes,
+    )
+
+
+class TestPools:
+    def test_create_pool(self, service):
+        pool = service.create_pool("p1", "Standard_HB120rs_v3", 2)
+        assert pool.current_nodes == 2
+
+    def test_duplicate_pool_rejected(self, service):
+        service.create_pool("p1", "Standard_HB120rs_v3")
+        with pytest.raises(BatchError):
+            service.create_pool("p1", "Standard_HB120rs_v3")
+
+    def test_sku_validated_against_region(self, service):
+        service.region = "japaneast"
+        with pytest.raises(SkuNotAvailable):
+            service.create_pool("p1", "Standard_HB120rs_v3")
+
+    def test_recreate_after_delete(self, service):
+        service.create_pool("p1", "Standard_HB120rs_v3")
+        service.delete_pool("p1")
+        service.create_pool("p1", "Standard_HB120rs_v3")
+
+    def test_get_deleted_pool_raises(self, service):
+        service.create_pool("p1", "Standard_HB120rs_v3")
+        service.delete_pool("p1")
+        with pytest.raises(ResourceNotFound):
+            service.get_pool("p1")
+
+    def test_list_pools(self, service):
+        service.create_pool("p1", "Standard_HB120rs_v3")
+        service.create_pool("p2", "Standard_HC44rs")
+        service.delete_pool("p1")
+        assert [p.pool_id for p in service.list_pools()] == ["p2"]
+        assert len(service.list_pools(include_deleted=True)) == 2
+
+
+class TestTasks:
+    def test_run_task_lifecycle(self, service):
+        service.create_pool("p1", "Standard_HB120rs_v3", 2)
+        service.create_job("j1", "p1")
+        service.submit_task("j1", sleep_task(seconds=30.0, nodes=2))
+        before = service.clock.now
+        task = service.run_task("j1", "t1")
+        assert task.state is TaskState.COMPLETED
+        assert service.clock.now == pytest.approx(before + 30.0)
+        assert task.started_at == before
+        assert task.finished_at == service.clock.now
+        assert len(task.assigned_node_ids) == 2
+
+    def test_failed_task_state(self, service):
+        service.create_pool("p1", "Standard_HB120rs_v3", 1)
+        service.create_job("j1", "p1")
+        service.submit_task("j1", sleep_task(exit_code=1))
+        task = service.run_task("j1", "t1")
+        assert task.state is TaskState.FAILED
+
+    def test_nodes_released_after_task(self, service):
+        service.create_pool("p1", "Standard_HB120rs_v3", 2)
+        service.create_job("j1", "p1")
+        service.submit_task("j1", sleep_task(nodes=2))
+        service.run_task("j1", "t1")
+        assert len(service.get_pool("p1").idle_nodes) == 2
+
+    def test_nodes_released_even_if_executor_raises(self, service):
+        service.create_pool("p1", "Standard_HB120rs_v3", 1)
+        service.create_job("j1", "p1")
+
+        def boom(ctx):
+            raise RuntimeError("executor bug")
+
+        service.submit_task("j1", BatchTask(task_id="t1",
+                                            kind=TaskKind.COMPUTE,
+                                            executor=boom))
+        with pytest.raises(RuntimeError):
+            service.run_task("j1", "t1")
+        assert len(service.get_pool("p1").idle_nodes) == 1
+
+    def test_run_task_twice_rejected(self, service):
+        service.create_pool("p1", "Standard_HB120rs_v3", 1)
+        service.create_job("j1", "p1")
+        service.submit_task("j1", sleep_task())
+        service.run_task("j1", "t1")
+        with pytest.raises(BatchError, match="expected pending"):
+            service.run_task("j1", "t1")
+
+    def test_task_workdir_created(self, service):
+        service.create_pool("p1", "Standard_HB120rs_v3", 1)
+        service.create_job("j1", "p1")
+        service.submit_task("j1", sleep_task())
+        service.run_task("j1", "t1")
+        assert service.filesystem.isdir("/mnt/nfs/jobs/j1/t1")
+
+    def test_duplicate_task_id_rejected(self, service):
+        service.create_pool("p1", "Standard_HB120rs_v3", 1)
+        service.create_job("j1", "p1")
+        service.submit_task("j1", sleep_task())
+        with pytest.raises(BatchError):
+            service.submit_task("j1", sleep_task())
+
+    def test_multi_instance_validation(self):
+        with pytest.raises(ValueError):
+            BatchTask(task_id="x", kind=TaskKind.COMPUTE,
+                      executor=lambda ctx: None, required_nodes=0)
+
+
+class TestAccounting:
+    def test_task_cost_formula(self, service):
+        """cost = nodes x hourly price x wall / 3600 (the paper's formula)."""
+        service.create_pool("p1", "Standard_HB120rs_v3", 16)
+        service.create_job("j1", "p1")
+        service.submit_task("j1", sleep_task(seconds=36.0, nodes=16))
+        service.run_task("j1", "t1")
+        assert service.accounting[-1].cost_usd == pytest.approx(0.576)
+        assert service.total_task_cost_usd == pytest.approx(0.576)
+
+    def test_pool_cost_exceeds_task_cost(self, service):
+        """Boot and idle time bill to the pool but not to tasks."""
+        service.create_pool("p1", "Standard_HB120rs_v3", 4)
+        service.create_job("j1", "p1")
+        service.submit_task("j1", sleep_task(seconds=100, nodes=4))
+        service.run_task("j1", "t1")
+        assert service.total_pool_cost_usd > service.total_task_cost_usd
+
+    def test_teardown_deletes_all_pools(self, service):
+        service.create_pool("p1", "Standard_HB120rs_v3", 1)
+        service.create_pool("p2", "Standard_HC44rs", 1)
+        service.teardown()
+        assert not service.list_pools()
+
+
+class TestJobs:
+    def test_job_requires_existing_pool(self, service):
+        with pytest.raises(ResourceNotFound):
+            service.create_job("j1", "ghost")
+
+    def test_job_task_queries(self, service):
+        service.create_pool("p1", "Standard_HB120rs_v3", 1)
+        job = service.create_job("j1", "p1")
+        service.submit_task("j1", sleep_task("a"))
+        service.submit_task("j1", sleep_task("b", exit_code=1))
+        assert not job.all_done
+        service.run_task("j1", "a")
+        service.run_task("j1", "b")
+        assert job.all_done
+        assert job.failure_count == 1
+        assert len(job.tasks_in_state(TaskState.COMPLETED)) == 1

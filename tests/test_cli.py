@@ -1,0 +1,166 @@
+"""CLI tests: the Table II command surface end to end."""
+
+import os
+
+import pytest
+
+from repro.cli.main import build_parser, main, parse_filters
+from repro.errors import ReproError
+
+CONFIG_YAML = """
+subscription: clitest
+skus:
+  - Standard_HB120rs_v3
+rgprefix: clirg
+appsetupurl: https://example.org/lammps.sh
+nnodes: [1, 2]
+appname: lammps
+region: southcentralus
+ppr: 100
+appinputs:
+  BOXFACTOR: ["6"]
+"""
+
+
+@pytest.fixture
+def state_dir(tmp_path):
+    return str(tmp_path / "state")
+
+
+@pytest.fixture
+def config_file(tmp_path):
+    path = tmp_path / "config.yaml"
+    path.write_text(CONFIG_YAML)
+    return str(path)
+
+
+def run(state_dir, *argv):
+    return main(["--state-dir", state_dir, *argv])
+
+
+class TestParser:
+    def test_table2_commands_present(self):
+        """Paper Table II: deploy create/list/shutdown, collect, plot,
+        advice, gui."""
+        parser = build_parser()
+        for argv in (
+            ["deploy", "create", "-c", "x.yaml"],
+            ["deploy", "list"],
+            ["deploy", "shutdown", "-n", "x"],
+            ["collect", "-n", "x"],
+            ["plot", "-n", "x"],
+            ["advice", "-n", "x"],
+            ["gui"],
+        ):
+            parser.parse_args(argv)  # must not raise
+
+    def test_missing_command_fails(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parse_filters(self):
+        assert parse_filters(["mesh=40 16 16", "a=b"]) == {
+            "mesh": "40 16 16", "a": "b"
+        }
+        with pytest.raises(ReproError):
+            parse_filters(["noequals"])
+        with pytest.raises(ReproError):
+            parse_filters(["=value"])
+
+
+class TestDeployCommands:
+    def test_create_then_list(self, state_dir, config_file, capsys):
+        assert run(state_dir, "deploy", "create", "-c", config_file) == 0
+        out = capsys.readouterr().out
+        assert "created deployment clirg-000" in out
+        assert run(state_dir, "deploy", "list") == 0
+        out = capsys.readouterr().out
+        assert "clirg-000" in out
+        assert "lammps" in out
+
+    def test_list_empty(self, state_dir, capsys):
+        assert run(state_dir, "deploy", "list") == 0
+        assert "no deployments" in capsys.readouterr().out
+
+    def test_shutdown(self, state_dir, config_file, capsys):
+        run(state_dir, "deploy", "create", "-c", config_file)
+        capsys.readouterr()
+        assert run(state_dir, "deploy", "shutdown", "-n", "clirg-000") == 0
+        assert "shut down" in capsys.readouterr().out
+        run(state_dir, "deploy", "list")
+        assert "clirg-000" not in capsys.readouterr().out
+
+    def test_shutdown_unknown_is_error(self, state_dir, capsys):
+        assert run(state_dir, "deploy", "shutdown", "-n", "ghost") == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_create_bad_config(self, state_dir, tmp_path, capsys):
+        bad = tmp_path / "bad.yaml"
+        bad.write_text("subscription: only\n")
+        assert run(state_dir, "deploy", "create", "-c", str(bad)) == 2
+
+
+class TestCollectPlotAdvice:
+    @pytest.fixture
+    def collected(self, state_dir, config_file, capsys):
+        run(state_dir, "deploy", "create", "-c", config_file)
+        assert run(state_dir, "collect", "-n", "clirg-000") == 0
+        capsys.readouterr()
+        return state_dir
+
+    def test_collect_reports(self, state_dir, config_file, capsys):
+        run(state_dir, "deploy", "create", "-c", config_file)
+        assert run(state_dir, "collect", "-n", "clirg-000") == 0
+        out = capsys.readouterr().out
+        assert "executed:  2" in out
+        assert "task cost" in out
+
+    def test_collect_on_slurm_backend(self, state_dir, config_file, capsys):
+        run(state_dir, "deploy", "create", "-c", config_file)
+        assert run(state_dir, "collect", "-n", "clirg-000",
+                   "--backend", "slurm") == 0
+        assert "slurm" in capsys.readouterr().out
+
+    def test_advice_output(self, collected, capsys):
+        assert run(collected, "advice", "-n", "clirg-000") == 0
+        out = capsys.readouterr().out
+        assert "Exectime(s)" in out
+        assert "hb120rs_v3" in out
+
+    def test_advice_with_recipes(self, collected, capsys):
+        assert run(collected, "advice", "-n", "clirg-000", "--recipes") == 0
+        out = capsys.readouterr().out
+        assert "#SBATCH --nodes=" in out
+        assert "vm_type: Standard_HB120rs_v3" in out
+
+    def test_advice_before_collect_is_error(self, state_dir, config_file,
+                                            capsys):
+        run(state_dir, "deploy", "create", "-c", config_file)
+        capsys.readouterr()
+        assert run(state_dir, "advice", "-n", "clirg-000") == 2
+        assert "run collect first" in capsys.readouterr().err
+
+    def test_plot_writes_svgs(self, collected, tmp_path, capsys):
+        out_dir = str(tmp_path / "plots")
+        assert run(collected, "plot", "-n", "clirg-000", "-o", out_dir) == 0
+        files = sorted(os.listdir(out_dir))
+        assert files == [
+            "plot_cost.svg", "plot_efficiency.svg", "plot_exectime.svg",
+            "plot_pareto.svg", "plot_speedup.svg",
+        ]
+
+    def test_plot_with_filter(self, collected, tmp_path, capsys):
+        out_dir = str(tmp_path / "plots")
+        assert run(collected, "plot", "-n", "clirg-000", "-o", out_dir,
+                   "--filter", "BOXFACTOR=6") == 0
+
+    def test_collect_with_smart_sampling_flag(self, state_dir, config_file,
+                                              capsys):
+        run(state_dir, "deploy", "create", "-c", config_file)
+        assert run(state_dir, "collect", "-n", "clirg-000",
+                   "--smart-sampling") == 0
+
+    def test_collect_with_noise(self, state_dir, config_file, capsys):
+        run(state_dir, "deploy", "create", "-c", config_file)
+        assert run(state_dir, "collect", "-n", "clirg-000",
+                   "--noise", "0.05", "--seed", "3") == 0

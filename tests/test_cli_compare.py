@@ -1,0 +1,73 @@
+"""CLI compare-command tests."""
+
+import pytest
+
+from repro.cli.main import main
+
+CONFIG_TMPL = """
+subscription: cmp
+skus:
+  - Standard_HB120rs_v3
+rgprefix: {prefix}
+appsetupurl: https://example.org/lammps.sh
+nnodes: [2, 4]
+appname: lammps
+region: southcentralus
+ppr: 100
+appinputs:
+  BOXFACTOR: ["{bf}"]
+tags:
+  version: "{prefix}"
+"""
+
+
+def deploy_and_collect(state, tmp_path, prefix, bf, noise=0.0, seed=0):
+    config_path = tmp_path / f"{prefix}.yaml"
+    config_path.write_text(CONFIG_TMPL.format(prefix=prefix, bf=bf))
+    assert main(["--state-dir", state, "deploy", "create", "-c",
+                 str(config_path)]) == 0
+    argv = ["--state-dir", state, "collect", "-n", f"{prefix}-000"]
+    if noise:
+        argv += ["--noise", str(noise), "--seed", str(seed)]
+    assert main(argv) == 0
+
+
+class TestCompareCommand:
+    def test_identical_sweeps_match(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        deploy_and_collect(state, tmp_path, "runa", "10")
+        deploy_and_collect(state, tmp_path, "runb", "10")
+        capsys.readouterr()
+        assert main(["--state-dir", state, "compare",
+                     "-a", "runa-000", "-b", "runb-000"]) == 0
+        out = capsys.readouterr().out
+        assert "matched scenarios: 2" in out
+        assert "1.000" in out  # geomean time ratio
+
+    def test_noisy_rerun_flags_regressions(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        deploy_and_collect(state, tmp_path, "base", "10")
+        deploy_and_collect(state, tmp_path, "cand", "10", noise=0.2, seed=9)
+        capsys.readouterr()
+        code = main(["--state-dir", state, "compare",
+                     "-a", "base-000", "-b", "cand-000"])
+        out = capsys.readouterr().out
+        assert "matched scenarios: 2" in out
+        # With 20% noise either outcome is legitimate; exit code mirrors
+        # whether a >5% regression was detected and printed.
+        assert (code == 1) == ("regressed" in out)
+
+    def test_different_inputs_do_not_match(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        deploy_and_collect(state, tmp_path, "small", "10")
+        deploy_and_collect(state, tmp_path, "large", "20")
+        capsys.readouterr()
+        assert main(["--state-dir", state, "compare",
+                     "-a", "small-000", "-b", "large-000"]) == 0
+        out = capsys.readouterr().out
+        assert "matched scenarios: 0" in out
+
+    def test_missing_dataset_errors(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        assert main(["--state-dir", state, "compare",
+                     "-a", "ghost", "-b", "ghost2"]) == 2

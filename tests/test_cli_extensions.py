@@ -1,0 +1,139 @@
+"""Tests for the CLI extensions: --report, --budget, --spot, predict."""
+
+import pytest
+
+from repro.cli.main import main
+from repro.core.cost import reprice_dataset, spot_savings_summary
+from repro.cloud.pricing import PriceCatalog
+from repro.core.dataset import DataPoint, Dataset
+
+CONFIG = """
+subscription: ext
+skus:
+  - Standard_HB120rs_v3
+rgprefix: extrg
+appsetupurl: https://example.org/lammps.sh
+nnodes: [2, 3, 4, 8]
+appname: lammps
+region: southcentralus
+ppr: 100
+appinputs:
+  BOXFACTOR: ["25"]
+"""
+
+
+@pytest.fixture
+def collected(tmp_path):
+    config_path = tmp_path / "config.yaml"
+    config_path.write_text(CONFIG)
+    state = str(tmp_path / "state")
+    assert main(["--state-dir", state, "deploy", "create", "-c",
+                 str(config_path)]) == 0
+    assert main(["--state-dir", state, "collect", "-n", "extrg-000"]) == 0
+    return state
+
+
+class TestCollectExtensions:
+    def test_report_flag(self, tmp_path, capsys):
+        config_path = tmp_path / "config.yaml"
+        config_path.write_text(CONFIG)
+        state = str(tmp_path / "state")
+        main(["--state-dir", state, "deploy", "create", "-c",
+              str(config_path)])
+        assert main(["--state-dir", state, "collect", "-n", "extrg-000",
+                     "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep report for extrg-000" in out
+        assert "best time" in out
+
+    def test_budget_flag_limits_spend(self, tmp_path, capsys):
+        config_path = tmp_path / "config.yaml"
+        config_path.write_text(CONFIG)
+        state = str(tmp_path / "state")
+        main(["--state-dir", state, "deploy", "create", "-c",
+              str(config_path)])
+        assert main(["--state-dir", state, "collect", "-n", "extrg-000",
+                     "--budget", "0.8"]) == 0
+        out = capsys.readouterr().out
+        assert "skipped" in out
+
+    def test_retry_flag_accepted(self, tmp_path, capsys):
+        config_path = tmp_path / "config.yaml"
+        config_path.write_text(CONFIG)
+        state = str(tmp_path / "state")
+        main(["--state-dir", state, "deploy", "create", "-c",
+              str(config_path)])
+        assert main(["--state-dir", state, "collect", "-n", "extrg-000",
+                     "--retry-failed", "2"]) == 0
+
+
+class TestAdviceSpot:
+    def test_spot_section_printed(self, collected, capsys):
+        assert main(["--state-dir", collected, "advice", "-n", "extrg-000",
+                     "--spot"]) == 0
+        out = capsys.readouterr().out
+        assert "What-if: spot pricing" in out
+        assert "spot assumes" in out
+
+
+class TestPredictCommand:
+    def test_predicts_new_input(self, collected, capsys):
+        assert main(["--state-dir", collected, "predict", "-n", "extrg-000",
+                     "--input", "BOXFACTOR=30",
+                     "--nnodes", "3", "4", "8", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted advice for lammps (BOXFACTOR=30)" in out
+        assert "0 executions" in out
+        assert "hb120rs_v3 *" in out
+
+    def test_defaults_to_dataset_inputs(self, collected, capsys):
+        assert main(["--state-dir", collected, "predict",
+                     "-n", "extrg-000"]) == 0
+        out = capsys.readouterr().out
+        assert "BOXFACTOR=25" in out
+
+    def test_knn_backend(self, collected, capsys):
+        assert main(["--state-dir", collected, "predict", "-n", "extrg-000",
+                     "--backend", "knn"]) == 0
+
+    def test_requires_collected_data(self, tmp_path, capsys):
+        assert main(["--state-dir", str(tmp_path), "predict",
+                     "-n", "ghost"]) == 2
+
+
+def dp(nnodes, t, sku="Standard_HB120rs_v3"):
+    return DataPoint(appname="lammps", sku=sku, nnodes=nnodes, ppn=120,
+                     exec_time_s=t,
+                     cost_usd=nnodes * 3.6 * t / 3600.0,
+                     appinputs={"BOXFACTOR": "30"})
+
+
+class TestRepricing:
+    def test_spot_reprices_down(self):
+        data = Dataset([dp(16, 36.0), dp(3, 173.0)])
+        spot = reprice_dataset(data, PriceCatalog(), spot=True)
+        for before, after in zip(data, spot):
+            assert after.cost_usd == pytest.approx(before.cost_usd * 0.30)
+            assert after.exec_time_s == before.exec_time_s
+
+    def test_reprice_against_other_region(self):
+        data = Dataset([dp(16, 36.0)])
+        eu = reprice_dataset(data, PriceCatalog(), region="westeurope")
+        assert eu.points()[0].cost_usd > data.points()[0].cost_usd
+
+    def test_summary_renders(self):
+        data = Dataset([dp(16, 36.0), dp(3, 173.0)])
+        text = spot_savings_summary(data, PriceCatalog())
+        assert "on-demand" in text
+        assert "hb120rs_v3" in text
+
+
+class TestGuiBottlenecksPage:
+    def test_page_renders(self, collected):
+        from repro.core.statefiles import StateStore
+        from repro.gui.pages import render_bottlenecks
+
+        store = StateStore(root=collected)
+        html = render_bottlenecks(store, "extrg-000")
+        assert "Bottleneck" in html
+        assert "hb120rs_v3" in html.lower() or "HB120rs_v3" in html

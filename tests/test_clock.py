@@ -1,0 +1,98 @@
+"""SimClock and BillingMeter tests."""
+
+import pytest
+
+from repro.clock import BillingMeter, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(10.5)
+        assert clock.now == 10.5
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.0)
+        clock.advance(2.0)
+        assert clock.now == 3.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            SimClock().advance(-1.0)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(100.0)
+        assert clock.now == 100.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(now=50.0)
+        with pytest.raises(ValueError, match="backwards"):
+            clock.advance_to(10.0)
+
+    def test_observers_see_every_advance(self):
+        clock = SimClock()
+        seen = []
+        clock.subscribe(lambda old, new: seen.append((old, new)))
+        clock.advance(5)
+        clock.advance(3)
+        assert seen == [(0, 5), (5, 8)]
+
+    def test_stopwatch(self):
+        clock = SimClock()
+        watch = clock.stopwatch()
+        clock.advance(7)
+        assert watch.elapsed == 7
+        watch.restart()
+        assert watch.elapsed == 0
+
+
+class TestBillingMeter:
+    def test_no_nodes_no_cost(self):
+        clock = SimClock()
+        meter = BillingMeter(clock=clock, hourly_price=3.60)
+        clock.advance(3600)
+        assert meter.accrued_usd == 0.0
+
+    def test_one_node_hour(self):
+        clock = SimClock()
+        meter = BillingMeter(clock=clock, hourly_price=3.60)
+        meter.set_nodes(1)
+        clock.advance(3600)
+        assert meter.accrued_usd == pytest.approx(3.60)
+
+    def test_varying_node_counts(self):
+        clock = SimClock()
+        meter = BillingMeter(clock=clock, hourly_price=2.0)
+        meter.set_nodes(4)
+        clock.advance(1800)  # 4 nodes x 0.5 h x $2 = $4
+        meter.set_nodes(1)
+        clock.advance(3600)  # 1 node x 1 h x $2 = $2
+        assert meter.accrued_usd == pytest.approx(6.0)
+        assert meter.accrued_node_seconds == pytest.approx(4 * 1800 + 3600)
+
+    def test_windows_recorded(self):
+        clock = SimClock()
+        meter = BillingMeter(clock=clock, hourly_price=1.0)
+        meter.set_nodes(2)
+        clock.advance(10)
+        assert meter.windows == [(0, 10, 2)]
+
+    def test_negative_nodes_rejected(self):
+        meter = BillingMeter(clock=SimClock(), hourly_price=1.0)
+        with pytest.raises(ValueError):
+            meter.set_nodes(-1)
+
+    def test_multiple_meters_independent(self):
+        clock = SimClock()
+        a = BillingMeter(clock=clock, hourly_price=1.0)
+        b = BillingMeter(clock=clock, hourly_price=10.0)
+        a.set_nodes(1)
+        b.set_nodes(1)
+        clock.advance(3600)
+        assert a.accrued_usd == pytest.approx(1.0)
+        assert b.accrued_usd == pytest.approx(10.0)

@@ -1,0 +1,101 @@
+"""Price catalog tests, anchored on the paper's implied prices."""
+
+import pytest
+
+from repro.cloud.pricing import DEFAULT_PRICES, PriceCatalog
+from repro.errors import CloudError
+
+
+class TestPaperPrices:
+    """The advice tables imply both HB SKUs bill at exactly $3.60/hour."""
+
+    def test_hb_prices(self):
+        catalog = PriceCatalog()
+        assert catalog.hourly_price("Standard_HB120rs_v2") == 3.60
+        assert catalog.hourly_price("Standard_HB120rs_v3") == 3.60
+
+    @pytest.mark.parametrize(
+        "nodes,time_s,expected",
+        [
+            (16, 36, 0.576),   # Listing 4 row 1
+            (8, 69, 0.552),    # Listing 4 row 2
+            (4, 132, 0.528),   # Listing 4 row 3
+            (3, 173, 0.519),   # Listing 4 row 4
+            (16, 34, 0.544),   # Listing 3 row 1
+            (4, 48, 0.192),    # Listing 3 row 3
+            (3, 59, 0.177),    # Listing 3 row 4
+        ],
+    )
+    def test_listing_cost_rows(self, nodes, time_s, expected):
+        catalog = PriceCatalog()
+        cost = catalog.task_cost("Standard_HB120rs_v3", nodes, time_s)
+        assert cost == pytest.approx(expected, abs=0.0005)
+
+    def test_listing3_v2_row(self):
+        # Listing 3 row 2: 8 nodes hb120rs_v2, 38 s -> $0.304.
+        catalog = PriceCatalog()
+        cost = catalog.task_cost("Standard_HB120rs_v2", 8, 38)
+        assert cost == pytest.approx(0.304, abs=0.0005)
+
+
+class TestCatalogBehaviour:
+    def test_all_defaults_positive(self):
+        assert all(p > 0 for p in DEFAULT_PRICES.values())
+
+    def test_short_name_lookup(self):
+        catalog = PriceCatalog()
+        assert catalog.hourly_price("hb120rs_v3") == 3.60
+
+    def test_unknown_sku_raises(self):
+        with pytest.raises(CloudError, match="no price"):
+            PriceCatalog().hourly_price("Standard_Mystery")
+
+    def test_region_factor(self):
+        catalog = PriceCatalog()
+        base = catalog.hourly_price("Standard_HB120rs_v3", "southcentralus")
+        eu = catalog.hourly_price("Standard_HB120rs_v3", "westeurope")
+        assert eu > base
+
+    def test_unknown_region_uses_base(self):
+        catalog = PriceCatalog()
+        assert catalog.hourly_price("Standard_HB120rs_v3", "mars") == 3.60
+
+    def test_spot_discount(self):
+        catalog = PriceCatalog()
+        spot = catalog.hourly_price("Standard_HB120rs_v3", spot=True)
+        assert spot == pytest.approx(3.60 * 0.30)
+
+    def test_set_price(self):
+        catalog = PriceCatalog()
+        catalog.set_price("Standard_HB120rs_v3", 4.0)
+        assert catalog.hourly_price("Standard_HB120rs_v3") == 4.0
+
+    def test_set_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            PriceCatalog().set_price("Standard_HB120rs_v3", -1.0)
+
+    def test_task_cost_validation(self):
+        catalog = PriceCatalog()
+        with pytest.raises(ValueError):
+            catalog.task_cost("Standard_HB120rs_v3", -1, 10)
+        with pytest.raises(ValueError):
+            catalog.task_cost("Standard_HB120rs_v3", 1, -10)
+
+    def test_task_cost_zero_time_is_free(self):
+        assert PriceCatalog().task_cost("Standard_HB120rs_v3", 16, 0) == 0.0
+
+    def test_cheapest(self):
+        catalog = PriceCatalog()
+        name, price = catalog.cheapest(
+            ["Standard_HC44rs", "Standard_HB120rs_v3"]
+        )
+        assert name == "Standard_HC44rs"
+        assert price == pytest.approx(3.168)
+
+    def test_cheapest_empty_raises(self):
+        with pytest.raises(CloudError):
+            PriceCatalog().cheapest([])
+
+    def test_from_mapping(self):
+        catalog = PriceCatalog.from_mapping({"X": 1.0})
+        assert catalog.hourly_price("X") == 1.0

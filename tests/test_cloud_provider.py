@@ -1,0 +1,114 @@
+"""CloudProvider facade tests."""
+
+import pytest
+
+from repro.cloud.provider import CloudProvider
+from repro.errors import (
+    ResourceExists,
+    ResourceNotFound,
+    SkuNotAvailable,
+)
+
+
+class TestSubscriptions:
+    def test_register_and_get(self, provider):
+        sub = provider.register_subscription("mysub")
+        assert provider.get_subscription("mysub") is sub
+
+    def test_register_idempotent(self, provider):
+        a = provider.register_subscription("mysub")
+        b = provider.register_subscription("mysub")
+        assert a is b
+
+    def test_unknown_subscription(self, provider):
+        with pytest.raises(ResourceNotFound):
+            provider.get_subscription("ghost")
+
+
+class TestResourceGroups:
+    def test_create_advances_clock(self, provider):
+        before = provider.clock.now
+        provider.create_resource_group("rg1", "eastus")
+        assert provider.clock.now > before
+
+    def test_duplicate_rejected(self, provider):
+        provider.create_resource_group("rg1", "eastus")
+        with pytest.raises(ResourceExists):
+            provider.create_resource_group("rg1", "eastus")
+
+    def test_recreate_after_delete_allowed(self, provider):
+        provider.create_resource_group("rg1", "eastus")
+        provider.delete_resource_group("rg1")
+        provider.create_resource_group("rg1", "eastus")
+
+    def test_list_by_prefix(self, provider):
+        provider.create_resource_group("hpcadvisor-001", "eastus")
+        provider.create_resource_group("hpcadvisor-002", "eastus")
+        provider.create_resource_group("other", "eastus")
+        names = [rg.name for rg in provider.list_resource_groups("hpcadvisor")]
+        assert names == ["hpcadvisor-001", "hpcadvisor-002"]
+
+    def test_get_deleted_raises(self, provider):
+        provider.create_resource_group("rg1", "eastus")
+        provider.delete_resource_group("rg1")
+        with pytest.raises(ResourceNotFound):
+            provider.get_resource_group("rg1")
+
+    def test_operation_log(self, provider):
+        provider.create_resource_group("rg1", "eastus")
+        assert any("create_resource_group rg1" in line
+                   for line in provider.operation_log)
+
+
+class TestSkuValidation:
+    def test_valid_combination(self, provider):
+        sku = provider.validate_sku_in_region(
+            "Standard_HB120rs_v3", "southcentralus"
+        )
+        assert sku.cores == 120
+
+    def test_sku_missing_in_region(self, provider):
+        with pytest.raises(SkuNotAvailable):
+            provider.validate_sku_in_region("Standard_HB120rs_v3", "japaneast")
+
+
+class TestNetworkingAndStorage:
+    def test_full_landing_zone(self, provider):
+        provider.create_resource_group("rg1", "southcentralus")
+        provider.create_vnet("rg1", "vnet", "10.44.0.0/16")
+        provider.create_subnet("rg1", "vnet", "compute", "10.44.0.0/20")
+        account = provider.create_storage_account("rg1", "rg1storage")
+        assert account.region == "southcentralus"
+
+    def test_storage_names_globally_unique(self, provider):
+        provider.create_resource_group("rg1", "eastus")
+        provider.create_resource_group("rg2", "eastus")
+        provider.create_storage_account("rg1", "sharedname")
+        with pytest.raises(ResourceExists):
+            provider.create_storage_account("rg2", "sharedname")
+
+    def test_subnet_on_missing_vnet(self, provider):
+        provider.create_resource_group("rg1", "eastus")
+        with pytest.raises(ResourceNotFound):
+            provider.create_subnet("rg1", "ghost", "s", "10.0.0.0/24")
+
+    def test_peer_vnets_across_groups(self, provider):
+        provider.create_resource_group("rg1", "eastus")
+        provider.create_resource_group("rg2", "eastus")
+        provider.create_vnet("rg1", "a", "10.0.0.0/16")
+        provider.create_vnet("rg2", "b", "10.1.0.0/16")
+        provider.peer_vnets("rg1", "a", "rg2", "b")
+        assert "b" in provider.get_resource_group("rg1").vnets["a"].peered_with
+
+    def test_jumpbox_creation(self, provider):
+        provider.create_resource_group("rg1", "eastus")
+        provider.create_vnet("rg1", "vnet", "10.44.0.0/16")
+        provider.create_subnet("rg1", "vnet", "infra", "10.44.16.0/24")
+        provider.create_jumpbox("rg1", "jumpbox", "vnet", "infra")
+        assert "jumpbox" in provider.get_resource_group("rg1").jumpboxes
+
+    def test_batch_account_registration(self, provider):
+        provider.create_resource_group("rg1", "eastus")
+        provider.register_batch_account("rg1", "batch1")
+        with pytest.raises(ResourceExists):
+            provider.register_batch_account("rg1", "batch1")

@@ -1,0 +1,118 @@
+"""Region and quota tests."""
+
+import pytest
+
+from repro.cloud.quotas import QuotaLedger
+from repro.cloud.regions import DEFAULT_REGIONS, get_region, regions_with_sku
+from repro.cloud.skus import get_sku
+from repro.cloud.subscription import Subscription
+from repro.errors import CloudError, QuotaExceeded, SkuNotAvailable
+
+
+class TestRegions:
+    def test_paper_region_exists(self):
+        region = get_region("southcentralus")
+        assert region.display_name == "South Central US"
+
+    def test_lookup_case_insensitive(self):
+        assert get_region("SouthCentralUS").name == "southcentralus"
+
+    def test_unknown_region(self):
+        with pytest.raises(CloudError):
+            get_region("atlantis")
+
+    def test_paper_skus_available_in_paper_region(self):
+        region = get_region("southcentralus")
+        for sku in ("Standard_HC44rs", "Standard_HB120rs_v2",
+                    "Standard_HB120rs_v3"):
+            assert region.supports_sku(sku)
+
+    def test_region_without_sku_rejects(self):
+        region = get_region("japaneast")
+        with pytest.raises(SkuNotAvailable):
+            region.require_sku("Standard_HB120rs_v3")
+
+    def test_regions_with_sku(self):
+        regions = regions_with_sku("Standard_HB120rs_v3")
+        names = {r.name for r in regions}
+        assert "southcentralus" in names
+        assert "japaneast" not in names
+
+    def test_every_region_offers_something(self):
+        for region in DEFAULT_REGIONS.values():
+            assert region.available_skus
+
+
+class TestQuotaLedger:
+    def test_default_limit(self):
+        ledger = QuotaLedger()
+        assert ledger.limit_for("southcentralus", "standardHBrsv3Family") == 4000
+
+    def test_low_default_families(self):
+        ledger = QuotaLedger()
+        assert ledger.limit_for("southcentralus", "standardHXFamily") == 352
+
+    def test_allocate_within_quota(self):
+        ledger = QuotaLedger()
+        sku = get_sku("Standard_HB120rs_v3")
+        ledger.allocate("southcentralus", sku, 16)
+        assert ledger.used_for("southcentralus", sku.family) == 1920
+
+    def test_allocate_over_quota_raises(self):
+        ledger = QuotaLedger()
+        sku = get_sku("Standard_HB120rs_v3")
+        with pytest.raises(QuotaExceeded) as err:
+            ledger.allocate("southcentralus", sku, 40)  # 4800 > 4000
+        assert err.value.family == sku.family
+        assert err.value.requested == 4800
+
+    def test_release_restores_quota(self):
+        ledger = QuotaLedger()
+        sku = get_sku("Standard_HB120rs_v3")
+        ledger.allocate("southcentralus", sku, 16)
+        ledger.release("southcentralus", sku, 16)
+        assert ledger.available("southcentralus", sku.family) == 4000
+
+    def test_release_never_negative(self):
+        ledger = QuotaLedger()
+        sku = get_sku("Standard_HB120rs_v3")
+        ledger.release("southcentralus", sku, 5)
+        assert ledger.used_for("southcentralus", sku.family) == 0
+
+    def test_quota_per_region(self):
+        ledger = QuotaLedger()
+        sku = get_sku("Standard_HB120rs_v3")
+        ledger.allocate("southcentralus", sku, 33)
+        # Full quota still available in another region.
+        ledger.allocate("eastus", sku, 33)
+
+    def test_set_limit(self):
+        ledger = QuotaLedger()
+        sku = get_sku("Standard_HB120rs_v3")
+        ledger.set_limit("southcentralus", sku.family, 120)
+        ledger.allocate("southcentralus", sku, 1)
+        with pytest.raises(QuotaExceeded):
+            ledger.allocate("southcentralus", sku, 1)
+
+    def test_negative_inputs_rejected(self):
+        ledger = QuotaLedger()
+        sku = get_sku("Standard_HB120rs_v3")
+        with pytest.raises(ValueError):
+            ledger.allocate("southcentralus", sku, -1)
+        with pytest.raises(ValueError):
+            ledger.set_limit("southcentralus", sku.family, -5)
+
+
+class TestSubscription:
+    def test_quota_enforcement_via_subscription(self):
+        sub = Subscription(name="test")
+        sku = get_sku("Standard_HB120rs_v3")
+        sub.allocate_cores("southcentralus", sku, 16)
+        assert sub.cores_available("southcentralus", sku.family) == 4000 - 1920
+
+    def test_roundtrip_dict(self):
+        sub = Subscription(name="test", tags={"team": "hpc"})
+        restored = Subscription.from_dict(sub.to_dict())
+        assert restored.name == "test"
+        assert restored.subscription_id == sub.subscription_id
+        assert restored.tags == {"team": "hpc"}

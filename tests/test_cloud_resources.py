@@ -1,0 +1,121 @@
+"""Resource-group / vnet / storage / jumpbox tests."""
+
+import pytest
+
+from repro.cloud.resources import (
+    JumpboxVm,
+    ResourceGroup,
+    StorageAccount,
+    VirtualNetwork,
+)
+from repro.errors import CloudError, ResourceExists, ResourceNotFound
+
+
+class TestVirtualNetwork:
+    def test_subnet_within_space(self):
+        vnet = VirtualNetwork(name="v", cidr="10.0.0.0/16")
+        subnet = vnet.add_subnet("compute", "10.0.0.0/20")
+        assert subnet.capacity == 2**12 - 5
+
+    def test_subnet_outside_space_rejected(self):
+        vnet = VirtualNetwork(name="v", cidr="10.0.0.0/16")
+        with pytest.raises(CloudError, match="not contained"):
+            vnet.add_subnet("bad", "192.168.0.0/24")
+
+    def test_overlapping_subnets_rejected(self):
+        vnet = VirtualNetwork(name="v", cidr="10.0.0.0/16")
+        vnet.add_subnet("a", "10.0.0.0/20")
+        with pytest.raises(CloudError, match="overlaps"):
+            vnet.add_subnet("b", "10.0.8.0/24")
+
+    def test_duplicate_subnet_name_rejected(self):
+        vnet = VirtualNetwork(name="v", cidr="10.0.0.0/16")
+        vnet.add_subnet("a", "10.0.0.0/24")
+        with pytest.raises(ResourceExists):
+            vnet.add_subnet("a", "10.0.1.0/24")
+
+    def test_invalid_cidr_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualNetwork(name="v", cidr="not-a-cidr")
+
+    def test_peering_is_bidirectional(self):
+        a = VirtualNetwork(name="a", cidr="10.0.0.0/16")
+        b = VirtualNetwork(name="b", cidr="10.1.0.0/16")
+        a.peer_with(b)
+        assert "b" in a.peered_with
+        assert "a" in b.peered_with
+
+    def test_peering_overlapping_spaces_rejected(self):
+        a = VirtualNetwork(name="a", cidr="10.0.0.0/16")
+        b = VirtualNetwork(name="b", cidr="10.0.128.0/17")
+        with pytest.raises(CloudError, match="overlapping"):
+            a.peer_with(b)
+
+    def test_peering_idempotent(self):
+        a = VirtualNetwork(name="a", cidr="10.0.0.0/16")
+        b = VirtualNetwork(name="b", cidr="10.1.0.0/16")
+        a.peer_with(b)
+        a.peer_with(b)
+        assert a.peered_with.count("b") == 1
+
+
+class TestStorageAccount:
+    def test_valid_name(self):
+        StorageAccount(name="hpcadvisorsa01", region="eastus")
+
+    @pytest.mark.parametrize("bad", ["ab", "Has-Dash", "UPPER", "x" * 25])
+    def test_invalid_names(self, bad):
+        with pytest.raises(CloudError, match="invalid storage account name"):
+            StorageAccount(name=bad, region="eastus")
+
+    def test_shares(self):
+        account = StorageAccount(name="testsa", region="eastus")
+        share = account.create_share("nfs", quota_bytes=1e12)
+        assert share.quota_bytes == 1e12
+        with pytest.raises(ResourceExists):
+            account.create_share("nfs", quota_bytes=1e12)
+
+    def test_blobs(self):
+        account = StorageAccount(name="testsa", region="eastus")
+        account.put_blob("scripts/app.sh", b"#!/bin/bash")
+        assert account.get_blob("scripts/app.sh") == b"#!/bin/bash"
+        with pytest.raises(ResourceNotFound):
+            account.get_blob("missing")
+
+
+class TestResourceGroup:
+    def test_create_resources(self):
+        rg = ResourceGroup(name="test-rg", region="eastus")
+        rg.create_vnet("vnet", "10.0.0.0/16")
+        rg.create_storage_account("testsa001")
+        assert "vnet" in rg.vnets
+        assert "testsa001" in rg.storage_accounts
+
+    def test_invalid_name(self):
+        with pytest.raises(CloudError):
+            ResourceGroup(name="bad name with spaces!", region="eastus")
+
+    def test_jumpbox_requires_vnet_and_subnet(self):
+        rg = ResourceGroup(name="rg", region="eastus")
+        with pytest.raises(ResourceNotFound):
+            rg.create_jumpbox("jb", "missing-vnet", "subnet")
+        vnet = rg.create_vnet("vnet", "10.0.0.0/16")
+        with pytest.raises(ResourceNotFound):
+            rg.create_jumpbox("jb", "vnet", "missing-subnet")
+        vnet.add_subnet("infra", "10.0.1.0/24")
+        jumpbox = rg.create_jumpbox("jb", "vnet", "infra")
+        assert isinstance(jumpbox, JumpboxVm)
+        assert jumpbox.private_ip is not None
+        assert jumpbox.private_ip.startswith("10.0.1.")
+
+    def test_deleted_group_rejects_operations(self):
+        rg = ResourceGroup(name="rg", region="eastus")
+        rg.mark_deleted()
+        with pytest.raises(ResourceNotFound):
+            rg.create_vnet("vnet", "10.0.0.0/16")
+
+    def test_delete_clears_children(self):
+        rg = ResourceGroup(name="rg", region="eastus")
+        rg.create_vnet("vnet", "10.0.0.0/16")
+        rg.mark_deleted()
+        assert not rg.vnets

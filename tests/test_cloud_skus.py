@@ -1,0 +1,86 @@
+"""SKU catalog tests."""
+
+import pytest
+
+from repro.cloud.skus import (
+    IB_EDR,
+    IB_HDR,
+    SKU_CATALOG,
+    get_sku,
+    list_skus,
+)
+from repro.errors import SkuNotAvailable
+
+
+class TestCatalogContents:
+    def test_paper_skus_present(self):
+        for name in ("Standard_HC44rs", "Standard_HB120rs_v2",
+                     "Standard_HB120rs_v3"):
+            assert name in SKU_CATALOG
+
+    def test_hc44_specs(self):
+        sku = get_sku("Standard_HC44rs")
+        assert sku.cores == 44
+        assert sku.interconnect is IB_EDR
+        assert sku.cpu_arch == "skylake"
+
+    def test_hb120v3_specs(self):
+        sku = get_sku("Standard_HB120rs_v3")
+        assert sku.cores == 120
+        assert sku.interconnect is IB_HDR
+        assert sku.cpu_arch == "milan"
+        # HBv3: 448 GiB RAM, very large L3.
+        assert sku.ram_bytes == pytest.approx(448 * 1024**3)
+        assert sku.l3_bytes == pytest.approx(512 * 1024**2)
+
+    def test_paper_core_math(self):
+        """Paper: 'three VM types, each containing 44, 120, and 120 cores'
+        and scenarios 'run up to 1,920 cores' (16 x 120)."""
+        cores = [get_sku(n).cores for n in
+                 ("hc44rs", "hb120rs_v2", "hb120rs_v3")]
+        assert cores == [44, 120, 120]
+        assert 16 * 120 == 1920
+
+    def test_peak_flops_positive(self):
+        for sku in SKU_CATALOG.values():
+            assert sku.peak_flops > 0
+
+
+class TestLookup:
+    def test_exact_name(self):
+        assert get_sku("Standard_HB120rs_v2").name == "Standard_HB120rs_v2"
+
+    def test_case_insensitive(self):
+        assert get_sku("standard_hb120rs_v2").name == "Standard_HB120rs_v2"
+
+    def test_short_name(self):
+        assert get_sku("hb120rs_v3").name == "Standard_HB120rs_v3"
+
+    def test_short_name_property(self):
+        assert get_sku("Standard_HB120rs_v3").short_name == "hb120rs_v3"
+
+    def test_unknown_raises(self):
+        with pytest.raises(SkuNotAvailable):
+            get_sku("Standard_Nonexistent_v9")
+
+
+class TestFilters:
+    def test_rdma_only(self):
+        rdma = list_skus(rdma_only=True)
+        assert rdma
+        assert all(s.has_rdma for s in rdma)
+
+    def test_min_cores(self):
+        big = list_skus(min_cores=100)
+        assert big
+        assert all(s.cores >= 100 for s in big)
+
+    def test_non_rdma_skus_exist(self):
+        assert any(not s.has_rdma for s in list_skus())
+
+    def test_interconnect_bandwidths_ordered(self):
+        # NDR > HDR > EDR per-node injection bandwidth.
+        v4 = get_sku("Standard_HB176rs_v4").interconnect
+        v3 = get_sku("Standard_HB120rs_v3").interconnect
+        hc = get_sku("Standard_HC44rs").interconnect
+        assert v4.bandwidth_Bps > v3.bandwidth_Bps > hc.bandwidth_Bps

@@ -1,0 +1,122 @@
+"""Shared-filesystem simulation tests."""
+
+import pytest
+
+from repro.cluster.filesystem import FilesystemError, SharedFilesystem
+
+
+class TestDirectories:
+    def test_root_exists(self):
+        fs = SharedFilesystem()
+        assert fs.isdir("/")
+
+    def test_mkdir_with_parents(self):
+        fs = SharedFilesystem()
+        fs.mkdir("/mnt/nfs/jobs/t0001")
+        assert fs.isdir("/mnt/nfs/jobs")
+        assert fs.isdir("/mnt/nfs/jobs/t0001")
+
+    def test_mkdir_no_parents_fails(self):
+        fs = SharedFilesystem()
+        with pytest.raises(FilesystemError, match="parent"):
+            fs.mkdir("/a/b/c", parents=False)
+
+    def test_mkdir_over_file_fails(self):
+        fs = SharedFilesystem()
+        fs.write_text("/data", "x")
+        with pytest.raises(FilesystemError):
+            fs.mkdir("/data")
+
+    def test_rmtree(self):
+        fs = SharedFilesystem()
+        fs.write_text("/jobs/a/log", "1")
+        fs.write_text("/jobs/b/log", "2")
+        removed = fs.rmtree("/jobs/a")
+        assert removed == 1
+        assert not fs.exists("/jobs/a/log")
+        assert fs.exists("/jobs/b/log")
+
+    def test_rmtree_missing(self):
+        with pytest.raises(FilesystemError):
+            SharedFilesystem().rmtree("/ghost")
+
+
+class TestFiles:
+    def test_write_read_roundtrip(self):
+        fs = SharedFilesystem()
+        fs.write_text("/mnt/in.lj.txt", "variable x index 1")
+        assert fs.read_text("/mnt/in.lj.txt") == "variable x index 1"
+
+    def test_relative_paths_normalised(self):
+        fs = SharedFilesystem()
+        fs.write_text("a/b.txt", "data")
+        assert fs.read_text("/a/b.txt") == "data"
+
+    def test_overwrite(self):
+        fs = SharedFilesystem()
+        fs.write_text("/f", "old")
+        fs.write_text("/f", "new")
+        assert fs.read_text("/f") == "new"
+
+    def test_append(self):
+        fs = SharedFilesystem()
+        fs.append_text("/log", "line1\n")
+        fs.append_text("/log", "line2\n")
+        assert fs.read_text("/log") == "line1\nline2\n"
+
+    def test_read_missing(self):
+        with pytest.raises(FilesystemError, match="no such file"):
+            SharedFilesystem().read_text("/ghost")
+
+    def test_remove(self):
+        fs = SharedFilesystem()
+        fs.write_text("/f", "x")
+        fs.remove("/f")
+        assert not fs.isfile("/f")
+        with pytest.raises(FilesystemError):
+            fs.remove("/f")
+
+    def test_write_to_directory_fails(self):
+        fs = SharedFilesystem()
+        fs.mkdir("/d")
+        with pytest.raises(FilesystemError, match="is a directory"):
+            fs.write_text("/d", "x")
+
+    def test_quota_enforced(self):
+        fs = SharedFilesystem(quota_bytes=10)
+        fs.write_text("/small", "12345")
+        with pytest.raises(FilesystemError, match="quota"):
+            fs.write_text("/big", "x" * 20)
+
+    def test_quota_counts_replacement_not_sum(self):
+        fs = SharedFilesystem(quota_bytes=10)
+        fs.write_text("/f", "x" * 9)
+        fs.write_text("/f", "y" * 10)  # replaces, still within quota
+        assert fs.used_bytes == 10
+
+
+class TestListing:
+    def test_listdir(self):
+        fs = SharedFilesystem()
+        fs.write_text("/jobs/t1/log", "a")
+        fs.write_text("/jobs/t2/log", "b")
+        fs.mkdir("/jobs/empty")
+        assert fs.listdir("/jobs") == ["empty", "t1", "t2"]
+
+    def test_listdir_missing(self):
+        with pytest.raises(FilesystemError):
+            SharedFilesystem().listdir("/ghost")
+
+    def test_walk_files(self):
+        fs = SharedFilesystem()
+        fs.write_text("/a/1", "x")
+        fs.write_text("/a/b/2", "y")
+        fs.write_text("/c/3", "z")
+        walked = dict(fs.walk_files("/a"))
+        assert set(walked) == {"/a/1", "/a/b/2"}
+
+    def test_stats(self):
+        fs = SharedFilesystem()
+        fs.write_text("/a", "12345")
+        assert fs.used_bytes == 5
+        assert fs.file_count == 1

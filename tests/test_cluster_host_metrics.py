@@ -1,0 +1,82 @@
+"""Host helpers and infra-metrics tests."""
+
+import pytest
+
+from repro.cloud.skus import get_sku
+from repro.cluster.host import Host, hostfile_text, hostlist_ppn, make_hosts
+from repro.cluster.metrics import InfraMetrics
+
+
+class TestHosts:
+    def test_make_hosts_deterministic(self):
+        sku = get_sku("Standard_HB120rs_v3")
+        a = make_hosts(sku, 4, "pool-a")
+        b = make_hosts(sku, 4, "pool-a")
+        assert [h.hostname for h in a] == [h.hostname for h in b]
+        assert a[0].hostname == "pool-a-node0000"
+
+    def test_make_hosts_slots_match_cores(self):
+        sku = get_sku("Standard_HC44rs")
+        hosts = make_hosts(sku, 2)
+        assert all(h.slots == 44 for h in hosts)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            make_hosts(get_sku("Standard_HC44rs"), -1)
+
+    def test_zero_slot_host_rejected(self):
+        with pytest.raises(ValueError):
+            Host(hostname="h", sku=get_sku("Standard_HC44rs"), ip="10.0.0.1",
+                 slots=0)
+
+    def test_hostlist_ppn_format(self):
+        """Matches mpirun --host 'host:ppn,host:ppn' (paper's HOSTLIST_PPN)."""
+        hosts = make_hosts(get_sku("Standard_HB120rs_v3"), 2, "p")
+        value = hostlist_ppn(hosts, 120)
+        assert value == "p-node0000:120,p-node0001:120"
+
+    def test_hostfile_format(self):
+        hosts = make_hosts(get_sku("Standard_HB120rs_v3"), 2, "p")
+        text = hostfile_text(hosts, 8)
+        assert text == "p-node0000 slots=8\np-node0001 slots=8\n"
+
+    def test_invalid_ppn_rejected(self):
+        hosts = make_hosts(get_sku("Standard_HB120rs_v3"), 1)
+        with pytest.raises(ValueError):
+            hostlist_ppn(hosts, 0)
+
+
+class TestInfraMetrics:
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            InfraMetrics(cpu_util=1.5)
+        with pytest.raises(ValueError):
+            InfraMetrics(net_util=-0.1)
+
+    def test_dominant_cpu(self):
+        metrics = InfraMetrics(cpu_util=0.9, mem_bw_util=0.3, net_util=0.1)
+        assert metrics.dominant_resource() == "cpu"
+
+    def test_dominant_membw(self):
+        metrics = InfraMetrics(cpu_util=0.2, mem_bw_util=0.85, net_util=0.1)
+        assert metrics.dominant_resource() == "memory_bandwidth"
+
+    def test_latency_bound_detection(self):
+        """High comm fraction with an idle NIC = small-message latency."""
+        metrics = InfraMetrics(cpu_util=0.2, mem_bw_util=0.2,
+                               net_util=0.1, comm_fraction=0.7)
+        assert metrics.dominant_resource() == "network_latency"
+
+    def test_network_bound(self):
+        metrics = InfraMetrics(cpu_util=0.1, mem_bw_util=0.2, net_util=0.9,
+                               comm_fraction=0.4)
+        assert metrics.dominant_resource() == "network"
+
+    def test_dict_roundtrip(self):
+        metrics = InfraMetrics(cpu_util=0.5, comm_fraction=0.25)
+        restored = InfraMetrics.from_dict(metrics.to_dict())
+        assert restored == metrics
+
+    def test_from_dict_ignores_unknown_keys(self):
+        restored = InfraMetrics.from_dict({"cpu_util": 0.5, "bogus": 9.9})
+        assert restored.cpu_util == 0.5

@@ -1,0 +1,69 @@
+"""MpiLauncher tests."""
+
+import pytest
+
+from repro.cloud.skus import get_sku
+from repro.cluster.host import make_hosts
+from repro.cluster.mpi import MpiLauncher
+from repro.errors import AppScriptError
+
+
+def launcher(sku_name="Standard_HB120rs_v3", nodes=2):
+    return MpiLauncher(hosts=make_hosts(get_sku(sku_name), nodes))
+
+
+class TestValidation:
+    def test_needs_hosts(self):
+        with pytest.raises(AppScriptError, match="at least one host"):
+            MpiLauncher(hosts=[])
+
+    def test_mixed_skus_rejected(self):
+        hosts = make_hosts(get_sku("Standard_HB120rs_v3"), 1) + make_hosts(
+            get_sku("Standard_HC44rs"), 1
+        )
+        with pytest.raises(AppScriptError, match="share a SKU"):
+            MpiLauncher(hosts=hosts)
+
+    def test_ppn_out_of_range(self):
+        with pytest.raises(AppScriptError, match="out of range"):
+            launcher().run("lammps", {"BOXFACTOR": "2"}, ppn=500)
+
+    def test_np_mismatch_detected(self):
+        """Mirrors NP=$(($NNODES * $PPN)) arithmetic: a wrong -np is a bug."""
+        with pytest.raises(AppScriptError, match="np mismatch"):
+            launcher().run("lammps", {"BOXFACTOR": "2"}, ppn=120, np=100)
+
+
+class TestExecution:
+    def test_successful_run(self):
+        result = launcher().run("lammps", {"BOXFACTOR": "4"})
+        assert result.succeeded
+        assert result.exec_time_s > 0
+        assert result.np == 240
+        assert result.ppn == 120
+        assert "LAMMPSATOMS" in result.perf.app_vars
+
+    def test_default_ppn_uses_all_slots(self):
+        result = launcher("Standard_HC44rs").run("lammps", {"BOXFACTOR": "4"})
+        assert result.ppn == 44
+
+    def test_np_consistency_accepted(self):
+        result = launcher().run("lammps", {"BOXFACTOR": "4"}, ppn=60, np=120)
+        assert result.np == 120
+
+    def test_oom_returns_failure_not_exception(self):
+        # bf=60 -> 6.9G atoms -> ~442 GB working set on one node: OOM.
+        big = MpiLauncher(hosts=make_hosts(get_sku("Standard_HB120rs_v3"), 1))
+        result = big.run("lammps", {"BOXFACTOR": "60"})
+        assert not result.succeeded
+        assert "out of memory" in result.perf.failure_reason
+
+    def test_launch_log_records_runs(self):
+        l = launcher()
+        l.run("lammps", {"BOXFACTOR": "4"})
+        assert len(l.launch_log) == 1
+        assert "mpirun -np 240" in l.launch_log[0]
+
+    def test_hostlist_matches_paper_format(self):
+        result = launcher().run("lammps", {"BOXFACTOR": "4"})
+        assert ":120" in result.hostlist

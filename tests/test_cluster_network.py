@@ -1,0 +1,102 @@
+"""Interconnect model tests."""
+
+import pytest
+
+from repro.cloud.skus import get_sku
+from repro.cluster.network import (
+    LOOPBACK,
+    NetworkModel,
+    network_for_sku,
+)
+
+
+@pytest.fixture
+def hdr():
+    return network_for_sku(get_sku("Standard_HB120rs_v3"))
+
+
+@pytest.fixture
+def eth():
+    return network_for_sku(get_sku("Standard_D64s_v5"))
+
+
+class TestPointToPoint:
+    def test_latency_floor(self, hdr):
+        assert hdr.ptp_time(0) == pytest.approx(hdr.effective_latency)
+
+    def test_bandwidth_dominates_large_messages(self, hdr):
+        t = hdr.ptp_time(25e9)  # 25 GB at 25 GB/s ~ 1 s
+        assert t == pytest.approx(1.0, rel=0.01)
+
+    def test_negative_size_rejected(self, hdr):
+        with pytest.raises(ValueError):
+            hdr.ptp_time(-1)
+
+    def test_ethernet_slower_than_ib(self, hdr, eth):
+        assert eth.ptp_time(1e6) > hdr.ptp_time(1e6)
+        assert eth.effective_latency > hdr.effective_latency
+
+    def test_non_rdma_pays_software_overhead(self, eth):
+        assert eth.effective_latency > eth.latency_s
+        assert eth.effective_bandwidth < eth.bandwidth_Bps
+
+
+class TestCollectives:
+    def test_allreduce_single_rank_free(self, hdr):
+        assert hdr.allreduce_time(1e6, 1) == 0.0
+
+    def test_allreduce_grows_with_ranks(self, hdr):
+        assert hdr.allreduce_time(8, 1920) > hdr.allreduce_time(8, 16)
+
+    def test_allreduce_small_message_latency_bound(self, hdr):
+        # Recursive doubling: ~log2(p) * alpha.
+        t = hdr.allreduce_time(8, 1024)
+        assert t == pytest.approx(10 * hdr.effective_latency, rel=0.2)
+
+    def test_allreduce_large_message_bandwidth_bound(self, hdr):
+        # Ring: ~2 * n/beta, independent of p for large p.
+        t64 = hdr.allreduce_time(1e9, 64)
+        t128 = hdr.allreduce_time(1e9, 128)
+        assert t128 < t64 * 1.2
+
+    def test_bcast_log_scaling(self, hdr):
+        t2 = hdr.bcast_time(1e3, 2)
+        t16 = hdr.bcast_time(1e3, 16)
+        assert t16 == pytest.approx(4 * t2, rel=0.01)
+
+    def test_alltoall_grows_linearly(self, hdr):
+        t4 = hdr.alltoall_time(1e4, 4)
+        t8 = hdr.alltoall_time(1e4, 8)
+        assert t8 > t4
+
+    def test_barrier(self, hdr):
+        assert hdr.barrier_time(1) == 0.0
+        assert hdr.barrier_time(1024) == pytest.approx(
+            10 * hdr.effective_latency
+        )
+
+    def test_halo_exchange_zero_neighbors(self, hdr):
+        assert hdr.halo_exchange_time(1e6, 0) == 0.0
+
+    def test_halo_exchange_scales_with_bytes(self, hdr):
+        small = hdr.halo_exchange_time(1e3, 6)
+        large = hdr.halo_exchange_time(1e7, 6)
+        assert large > small
+
+
+class TestSkuMapping:
+    def test_hdr_parameters(self, hdr):
+        assert hdr.rdma
+        assert hdr.bandwidth_Bps == pytest.approx(25e9)
+
+    def test_no_interconnect_gets_slow_fallback(self):
+        # Construct a SKU-less fallback through a SKU with None interconnect.
+        from dataclasses import replace
+
+        sku = replace(get_sku("Standard_D64s_v5"), interconnect=None)
+        net = network_for_sku(sku)
+        assert not net.rdma
+        assert net.latency_s > 10e-6
+
+    def test_loopback_is_fast(self):
+        assert LOOPBACK.ptp_time(0) < 1e-6

@@ -1,0 +1,137 @@
+"""Main configuration (Listing 1) tests."""
+
+import pytest
+
+from repro.core.config import MainConfig
+from repro.errors import ConfigError
+from tests.conftest import make_config
+
+#: YAML mirroring the paper's Listing 1 (the duplicate mesh key expressed
+#: as a list, which is the sweep the example intends).
+LISTING1_YAML = """
+subscription: mysubscription
+skus:
+  - Standard_HC44rs
+  - Standard_HB120rs_v2
+  - Standard_HB120rs_v3
+rgprefix: hpcadvisortest1
+appsetupurl: https://example.org/openfoam.sh
+nnodes: [1, 2, 3, 4, 8, 16]
+appname: openfoam
+tags:
+  version: v1
+region: southcentralus
+createjumpbox: true
+ppr: 100
+appinputs:
+  mesh:
+    - "80 24 24"
+    - "60 16 16"
+"""
+
+
+class TestListing1:
+    def test_parses(self):
+        config = MainConfig.from_yaml(LISTING1_YAML)
+        assert config.subscription == "mysubscription"
+        assert len(config.skus) == 3
+        assert config.nnodes == [1, 2, 3, 4, 8, 16]
+        assert config.appname == "openfoam"
+        assert config.createjumpbox
+        assert config.ppr == 100
+        assert config.appinputs == {"mesh": ["80 24 24", "60 16 16"]}
+
+    def test_scenario_count_is_36(self):
+        """Paper: 'This generates 3x6x2 scenarios.'"""
+        config = MainConfig.from_yaml(LISTING1_YAML)
+        assert config.scenario_count == 36
+
+    def test_yaml_roundtrip(self):
+        config = MainConfig.from_yaml(LISTING1_YAML)
+        again = MainConfig.from_yaml(config.to_yaml())
+        assert again == config
+
+
+class TestValidation:
+    def test_missing_required_key(self):
+        with pytest.raises(ConfigError, match="missing required"):
+            MainConfig.from_dict({"subscription": "x"})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown configuration key"):
+            make_config(bogus_key="x")
+
+    def test_empty_skus(self):
+        with pytest.raises(ConfigError):
+            make_config(skus=[])
+
+    def test_single_sku_as_string(self):
+        config = make_config(skus="Standard_HB120rs_v3")
+        assert config.skus == ["Standard_HB120rs_v3"]
+
+    def test_invalid_nnodes(self):
+        with pytest.raises(ConfigError):
+            make_config(nnodes=[0])
+        with pytest.raises(ConfigError):
+            make_config(nnodes=["four"])
+        with pytest.raises(ConfigError):
+            make_config(nnodes="4")
+
+    def test_duplicate_nnodes(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            make_config(nnodes=[4, 4])
+
+    def test_ppr_bounds(self):
+        with pytest.raises(ConfigError):
+            make_config(ppr=0)
+        with pytest.raises(ConfigError):
+            make_config(ppr=101)
+        assert make_config(ppr=50).ppr == 50
+
+    def test_peervpn_requires_vpn_fields(self):
+        with pytest.raises(ConfigError, match="peervpn requires"):
+            make_config(peervpn=True)
+        config = make_config(peervpn=True, vpnrg="vpn-rg", vpnvnet="vpn-vnet")
+        assert config.peervpn
+
+    def test_scalar_appinput_becomes_list(self):
+        config = make_config(appinputs={"BOXFACTOR": "30"})
+        assert config.appinputs == {"BOXFACTOR": ["30"]}
+
+    def test_empty_appinput_list_rejected(self):
+        with pytest.raises(ConfigError):
+            make_config(appinputs={"BOXFACTOR": []})
+
+    def test_appinputs_not_mapping_rejected(self):
+        with pytest.raises(ConfigError):
+            make_config(appinputs=["BOXFACTOR"])
+
+    def test_invalid_yaml(self):
+        with pytest.raises(ConfigError, match="invalid YAML"):
+            MainConfig.from_yaml("{{{")
+
+    def test_empty_yaml(self):
+        with pytest.raises(ConfigError, match="empty"):
+            MainConfig.from_yaml("")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read"):
+            MainConfig.from_file(str(tmp_path / "ghost.yaml"))
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "config.yaml"
+        path.write_text(LISTING1_YAML)
+        assert MainConfig.from_file(str(path)).scenario_count == 36
+
+
+class TestCounts:
+    def test_no_inputs_one_combination(self):
+        config = make_config(appinputs={})
+        assert config.input_combinations == 1
+        assert config.scenario_count == len(config.skus) * len(config.nnodes)
+
+    def test_multi_param_product(self):
+        config = make_config(
+            appinputs={"a": ["1", "2"], "b": ["x", "y", "z"]}
+        )
+        assert config.input_combinations == 6

@@ -1,0 +1,116 @@
+"""Deployment-sequence tests (paper Sec. III-B)."""
+
+import pytest
+
+from repro.core.deployer import Deployer, storage_account_name
+from repro.errors import SkuNotAvailable
+from tests.conftest import make_config
+
+
+class TestStorageAccountName:
+    def test_sanitised(self):
+        name = storage_account_name("HPC-Advisor_Test-001")
+        assert name.islower()
+        assert name.isalnum()
+        assert 3 <= len(name) <= 24
+
+    def test_empty_prefix_fallback(self):
+        assert storage_account_name("---") == "hpcadvisorsa"
+
+
+class TestDeploySequence:
+    def test_landing_zone_created(self, small_config):
+        deployment = Deployer().deploy(small_config)
+        rg = deployment.resource_group
+        assert rg.region == "southcentralus"
+        assert "hpcadvisor-vnet" in rg.vnets
+        subnets = rg.vnets["hpcadvisor-vnet"].subnets
+        assert set(subnets) == {"compute", "infra"}
+
+    def test_storage_account_with_nfs(self, small_config):
+        deployment = Deployer().deploy(small_config)
+        account = deployment.resource_group.storage_accounts[
+            deployment.storage_account
+        ]
+        assert "nfs" in account.shares
+
+    def test_batch_service_starts_empty(self, small_config):
+        """Step 4: 'create a batch service with no resources.'"""
+        deployment = Deployer().deploy(small_config)
+        assert deployment.batch.list_pools() == []
+
+    def test_tags_propagate_to_rg(self, small_config):
+        deployment = Deployer().deploy(small_config)
+        assert deployment.resource_group.tags == {"version": "test"}
+
+    def test_no_jumpbox_by_default(self, small_config):
+        deployment = Deployer().deploy(small_config)
+        assert deployment.jumpbox_name is None
+
+    def test_jumpbox_when_requested(self):
+        deployment = Deployer().deploy(make_config(createjumpbox=True))
+        assert deployment.jumpbox_name == "jumpbox"
+        assert "jumpbox" in deployment.resource_group.jumpboxes
+
+    def test_invalid_sku_region_fails_before_any_resource(self):
+        deployer = Deployer()
+        config = make_config(skus=["Standard_HB120rs_v3"], region="japaneast")
+        with pytest.raises(SkuNotAvailable):
+            deployer.deploy(config)
+        assert deployer.list_deployments() == []
+
+    def test_names_increment(self):
+        deployer = Deployer()
+        a = deployer.deploy(make_config())
+        b = deployer.deploy(make_config())
+        assert a.name == "testrg-000"
+        assert b.name == "testrg-001"
+
+    def test_explicit_suffix(self):
+        deployment = Deployer().deploy(make_config(), suffix="-custom")
+        assert deployment.name == "testrg-custom"
+
+    def test_clock_advances_during_deploy(self, small_config):
+        deployer = Deployer()
+        deployment = deployer.deploy(small_config)
+        assert deployment.provider.clock.now > 0
+        assert deployment.created_at == deployment.provider.clock.now
+
+
+class TestVpnPeering:
+    def test_peering_applied(self):
+        deployer = Deployer()
+        # Pre-existing VPN landing zone, as the paper describes.
+        deployer.provider.create_resource_group("vpn-rg", "southcentralus")
+        deployer.provider.create_vnet("vpn-rg", "vpn-vnet", "10.100.0.0/16")
+        config = make_config(peervpn=True, vpnrg="vpn-rg", vpnvnet="vpn-vnet")
+        deployment = deployer.deploy(config)
+        assert deployment.peered_vnets == ["vpn-rg/vpn-vnet"]
+        vnet = deployment.resource_group.vnets["hpcadvisor-vnet"]
+        assert "vpn-vnet" in vnet.peered_with
+
+
+class TestListShutdown:
+    def test_list_by_prefix(self):
+        deployer = Deployer()
+        deployer.deploy(make_config())
+        deployer.deploy(make_config(rgprefix="otherprefix"))
+        names = [rg.name for rg in deployer.list_deployments("testrg")]
+        assert names == ["testrg-000"]
+
+    def test_shutdown_deletes_rg_and_pools(self, small_config):
+        deployer = Deployer()
+        deployment = deployer.deploy(small_config)
+        deployment.batch.create_pool("p", "Standard_HB120rs_v3", 2)
+        deployer.shutdown(deployment)
+        assert deployer.list_deployments() == []
+        assert deployment.batch.list_pools() == []
+
+    def test_record_serialisable(self, small_config):
+        deployment = Deployer().deploy(small_config)
+        record = deployment.to_record()
+        import json
+
+        json.dumps(record)  # must be serialisable
+        assert record["name"] == deployment.name
+        assert record["config"]["appname"] == "lammps"

@@ -1,0 +1,151 @@
+"""Pareto front and advisor tests."""
+
+import pytest
+
+from repro.core.advisor import Advisor
+from repro.core.dataset import DataPoint, Dataset
+from repro.core.pareto import (
+    dominates,
+    is_dominated,
+    pareto_front,
+    pareto_indices,
+    pareto_select,
+)
+from repro.errors import AdvisorError
+
+
+class TestDomination:
+    def test_strictly_better(self):
+        assert dominates((1, 1), (2, 2))
+
+    def test_better_in_one_equal_other(self):
+        assert dominates((1, 2), (2, 2))
+        assert dominates((2, 1), (2, 2))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1, 1), (1, 1))
+
+    def test_tradeoff_no_domination(self):
+        assert not dominates((1, 3), (3, 1))
+        assert not dominates((3, 1), (1, 3))
+
+    def test_is_dominated(self):
+        others = [(1, 1), (5, 5)]
+        assert is_dominated((2, 2), others)
+        assert not is_dominated((0.5, 2), others)
+
+
+class TestParetoFront:
+    def test_paper_fig6_shape(self):
+        """A cloud of scenarios: the front is the lower-left staircase."""
+        points = [(0.9, 0.2), (0.7, 0.3), (0.5, 0.45), (0.3, 0.8),
+                  (0.8, 0.5), (0.6, 0.6), (0.9, 0.9), (0.4, 0.9)]
+        front = pareto_front(points)
+        assert front == [(0.3, 0.8), (0.5, 0.45), (0.7, 0.3), (0.9, 0.2)]
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_single(self):
+        assert pareto_front([(1, 2)]) == [(1, 2)]
+
+    def test_all_on_front(self):
+        points = [(1, 4), (2, 3), (3, 2), (4, 1)]
+        assert pareto_front(points) == points
+
+    def test_duplicates_all_kept(self):
+        points = [(1, 1), (1, 1), (2, 2)]
+        assert pareto_front(points) == [(1, 1), (1, 1)]
+
+    def test_equal_x_keeps_min_y_only(self):
+        points = [(1, 5), (1, 2), (3, 1)]
+        assert pareto_front(points) == [(1, 2), (3, 1)]
+
+    def test_equal_y_keeps_min_x_only(self):
+        points = [(1, 2), (4, 2), (0.5, 7)]
+        assert pareto_front(points) == [(0.5, 7), (1, 2)]
+
+    def test_indices_refer_to_originals(self):
+        points = [(2, 2), (1, 1), (3, 3)]
+        assert pareto_indices(points) == [1]
+
+    def test_select_preserves_items(self):
+        items = [{"t": 2, "c": 2}, {"t": 1, "c": 3}, {"t": 3, "c": 1},
+                 {"t": 3, "c": 3}]
+        chosen = pareto_select(items, key=lambda i: (i["t"], i["c"]))
+        assert {"t": 3, "c": 3} not in chosen
+        assert len(chosen) == 3
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_indices([(1, 2, 3)])
+
+
+def dp(t, c, nnodes, sku="Standard_HB120rs_v3", predicted=False, **kw):
+    return DataPoint(appname="lammps", sku=sku, nnodes=nnodes, ppn=120,
+                     exec_time_s=t, cost_usd=c, predicted=predicted, **kw)
+
+
+class TestAdvisor:
+    def paper_dataset(self):
+        """Listing 4's data plus dominated points from other SKUs."""
+        return Dataset([
+            dp(36, 0.576, 16),
+            dp(69, 0.552, 8),
+            dp(132, 0.528, 4),
+            dp(173, 0.519, 3),
+            dp(45, 0.720, 16, sku="Standard_HB120rs_v2"),
+            dp(200, 2.816, 16, sku="Standard_HC44rs"),
+        ])
+
+    def test_advice_matches_listing4_rows(self):
+        rows = Advisor(self.paper_dataset()).advise(sort_by="time")
+        assert [(r.exec_time_s, r.nnodes, r.sku_short) for r in rows] == [
+            (36, 16, "hb120rs_v3"),
+            (69, 8, "hb120rs_v3"),
+            (132, 4, "hb120rs_v3"),
+            (173, 3, "hb120rs_v3"),
+        ]
+
+    def test_sort_by_cost(self):
+        rows = Advisor(self.paper_dataset()).advise(sort_by="cost")
+        assert rows[0].cost_usd == pytest.approx(0.519)
+        assert [r.cost_usd for r in rows] == sorted(r.cost_usd for r in rows)
+
+    def test_invalid_sort(self):
+        with pytest.raises(AdvisorError):
+            Advisor(self.paper_dataset()).advise(sort_by="speed")
+
+    def test_max_rows(self):
+        rows = Advisor(self.paper_dataset()).advise(max_rows=2)
+        assert len(rows) == 2
+
+    def test_empty_filter_raises(self):
+        with pytest.raises(AdvisorError, match="no completed data points"):
+            Advisor(self.paper_dataset()).advise(appname="openfoam")
+
+    def test_render_table_format(self):
+        advisor = Advisor(self.paper_dataset())
+        table = advisor.render_table(advisor.advise())
+        lines = table.splitlines()
+        assert "Exectime(s)" in lines[0]
+        assert "Cost($)" in lines[0]
+        # Row 1 matches Listing 4 row 1.
+        assert lines[1].split() == ["36", "0.5760", "16", "hb120rs_v3"]
+
+    def test_predicted_rows_flagged(self):
+        data = self.paper_dataset()
+        data.append(dp(20, 0.6, 32, predicted=True))
+        advisor = Advisor(data)
+        table = advisor.render_table(advisor.advise())
+        assert "*" in table
+        assert "predicted" in table
+
+    def test_advice_rows_are_nondominated(self):
+        rows = Advisor(self.paper_dataset()).advise()
+        points = [(r.exec_time_s, r.cost_usd) for r in rows]
+        for p in points:
+            assert not is_dominated(p, [q for q in points if q != p])
+
+    def test_render_empty(self):
+        assert "no advice" in Advisor(self.paper_dataset()).render_table([])

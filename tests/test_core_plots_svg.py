@@ -1,0 +1,156 @@
+"""Plot-data extraction and SVG renderer tests."""
+
+import os
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.dataset import DataPoint, Dataset
+from repro.core.plotdata import (
+    default_subtitle,
+    efficiency,
+    exectime_vs_cost,
+    exectime_vs_nodes,
+    pareto_scatter,
+    speedup,
+)
+from repro.core.plots import PLOT_TYPES, ascii_table, build_plot, generate_plots
+from repro.core.svg import ChartGeometry, nice_ticks, render_chart
+from repro.errors import DatasetError
+
+
+def dp(sku, nnodes, t, c, atoms="864000000"):
+    return DataPoint(appname="lammps", sku=sku, nnodes=nnodes, ppn=120,
+                     exec_time_s=t, cost_usd=c,
+                     appinputs={"BOXFACTOR": "30"},
+                     app_vars={"LAMMPSATOMS": atoms})
+
+
+@pytest.fixture
+def dataset():
+    """Two SKUs with paper-like curves."""
+    return Dataset([
+        dp("Standard_HB120rs_v3", 2, 257, 0.514),
+        dp("Standard_HB120rs_v3", 4, 133, 0.531),
+        dp("Standard_HB120rs_v3", 8, 68, 0.548),
+        dp("Standard_HB120rs_v3", 16, 36, 0.569),
+        dp("Standard_HC44rs", 2, 1764, 3.10),
+        dp("Standard_HC44rs", 16, 201, 2.83),
+    ])
+
+
+class TestSeriesExtraction:
+    def test_exectime_vs_nodes_series(self, dataset):
+        data = exectime_vs_nodes(dataset)
+        assert data.xlabel == "Number of VMs"
+        labels = [s.label for s in data.series]
+        assert labels == ["hb120rs_v3", "hc44rs"]
+        v3 = data.series_by_label("hb120rs_v3")
+        assert v3.xs == [2, 4, 8, 16]
+        assert v3.ys == [257, 133, 68, 36]
+
+    def test_subtitle_matches_paper_format(self, dataset):
+        """The paper's plots carry 'atoms=860M'-style subtitles."""
+        assert default_subtitle(dataset) == "atoms=864M"
+
+    def test_cost_plot_axes(self, dataset):
+        data = exectime_vs_cost(dataset)
+        assert data.xlabel == "Execution time (seconds)"
+        assert data.ylabel == "Cost (USD)"
+
+    def test_speedup_reference_is_smallest_run(self, dataset):
+        data = speedup(dataset)
+        v3 = data.series_by_label("hb120rs_v3")
+        # Reference: 2 nodes, 257 s. speedup(16) = 2*257/36.
+        assert v3.points[0] == (2.0, pytest.approx(2.0))
+        assert dict(v3.points)[16.0] == pytest.approx(2 * 257 / 36)
+
+    def test_efficiency_is_speedup_over_nodes(self, dataset):
+        eff = efficiency(dataset).series_by_label("hb120rs_v3")
+        spd = speedup(dataset).series_by_label("hb120rs_v3")
+        for (n_e, e), (n_s, s) in zip(eff.points, spd.points):
+            assert e == pytest.approx(s / n_e)
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(DatasetError):
+            exectime_vs_nodes(Dataset())
+
+    def test_pareto_scatter(self, dataset):
+        scatter, front = pareto_scatter(dataset)
+        assert front.label == "Pareto Front"
+        assert len(front.points) <= len(scatter.series[0].points)
+        xs = front.xs
+        assert xs == sorted(xs)
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = nice_ticks(0, 100)
+        assert ticks[0] <= 0 and ticks[-1] >= 99
+
+    def test_reasonable_count(self):
+        assert 3 <= len(nice_ticks(0, 37)) <= 10
+
+    def test_degenerate_range(self):
+        assert len(nice_ticks(5, 5)) >= 2
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            nice_ticks(float("nan"), 1)
+
+
+class TestSvgRenderer:
+    def test_valid_xml(self, dataset):
+        svg = render_chart(exectime_vs_nodes(dataset))
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_series_and_labels(self, dataset):
+        svg = render_chart(exectime_vs_nodes(dataset))
+        assert "hb120rs_v3" in svg
+        assert "Number of VMs" in svg
+        assert "atoms=864M" in svg
+        assert "polyline" in svg
+
+    def test_deterministic(self, dataset):
+        a = render_chart(exectime_vs_nodes(dataset))
+        b = render_chart(exectime_vs_nodes(dataset))
+        assert a == b
+
+    def test_overlay_rendered(self, dataset):
+        scatter, front = pareto_scatter(dataset)
+        svg = render_chart(scatter, overlay=front)
+        assert "Pareto Front" in svg
+
+    def test_custom_geometry(self, dataset):
+        svg = render_chart(exectime_vs_nodes(dataset),
+                           geometry=ChartGeometry(width=900, height=500))
+        assert 'width="900"' in svg
+
+
+class TestGeneratePlots:
+    def test_writes_all_chart_types(self, dataset, tmp_path):
+        generated = generate_plots(dataset, str(tmp_path))
+        kinds = [g.kind for g in generated]
+        assert kinds == list(PLOT_TYPES) + ["pareto"]
+        for item in generated:
+            assert os.path.exists(item.path)
+            ET.parse(item.path)  # well-formed XML
+
+    def test_subset_of_kinds(self, dataset, tmp_path):
+        generated = generate_plots(dataset, str(tmp_path),
+                                   kinds=["speedup"], include_pareto=False)
+        assert [g.kind for g in generated] == ["speedup"]
+
+    def test_empty_dataset_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            generate_plots(Dataset(), str(tmp_path))
+
+    def test_unknown_kind_rejected(self, dataset):
+        with pytest.raises(DatasetError, match="unknown plot type"):
+            build_plot(dataset, "heatmap")
+
+    def test_ascii_table(self, dataset):
+        text = ascii_table(exectime_vs_nodes(dataset))
+        assert "Exectime" in text
+        assert "hb120rs_v3" in text

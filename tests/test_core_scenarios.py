@@ -1,0 +1,123 @@
+"""Scenario generation tests."""
+
+import pytest
+
+from repro.core.scenarios import (
+    Scenario,
+    generate_scenarios,
+    iter_input_combinations,
+    ppn_for,
+)
+from repro.errors import ConfigError
+from tests.conftest import make_config
+
+
+class TestPpn:
+    def test_full_ppr(self):
+        assert ppn_for("Standard_HB120rs_v3", 100) == 120
+        assert ppn_for("Standard_HC44rs", 100) == 44
+
+    def test_half_ppr(self):
+        assert ppn_for("Standard_HB120rs_v3", 50) == 60
+
+    def test_tiny_ppr_floors_at_one(self):
+        assert ppn_for("Standard_HC44rs", 1) == 1
+
+    def test_invalid_ppr(self):
+        with pytest.raises(ConfigError):
+            ppn_for("Standard_HC44rs", 0)
+
+
+class TestInputCombinations:
+    def test_empty_yields_single_empty(self):
+        assert list(iter_input_combinations({})) == [{}]
+
+    def test_product(self):
+        combos = list(iter_input_combinations(
+            {"a": ["1", "2"], "b": ["x", "y"]}
+        ))
+        assert len(combos) == 4
+        assert {"a": "1", "b": "y"} in combos
+
+    def test_key_order_stable(self):
+        combos1 = list(iter_input_combinations({"b": ["1"], "a": ["2"]}))
+        combos2 = list(iter_input_combinations({"a": ["2"], "b": ["1"]}))
+        assert combos1 == combos2
+
+
+class TestGeneration:
+    def test_listing1_count(self):
+        config = make_config(
+            skus=["Standard_HC44rs", "Standard_HB120rs_v2",
+                  "Standard_HB120rs_v3"],
+            nnodes=[1, 2, 3, 4, 8, 16],
+            appname="openfoam",
+            appinputs={"mesh": ["80 24 24", "60 16 16"]},
+        )
+        scenarios = generate_scenarios(config)
+        assert len(scenarios) == 36 == config.scenario_count
+
+    def test_ids_unique_and_ordered(self):
+        scenarios = generate_scenarios(make_config(nnodes=[1, 2, 4]))
+        ids = [s.scenario_id for s in scenarios]
+        assert len(set(ids)) == len(ids)
+        assert ids == sorted(ids)
+
+    def test_grouped_by_sku(self):
+        """Algorithm 1 relies on SKU-grouped ordering for pool recycling."""
+        config = make_config(
+            skus=["Standard_HB120rs_v3", "Standard_HC44rs"], nnodes=[1, 2]
+        )
+        scenarios = generate_scenarios(config)
+        sku_sequence = [s.sku_name for s in scenarios]
+        # Each SKU appears as one contiguous block.
+        blocks = []
+        for sku in sku_sequence:
+            if not blocks or blocks[-1] != sku:
+                blocks.append(sku)
+        assert len(blocks) == 2
+
+    def test_ppn_derived_per_sku(self):
+        config = make_config(
+            skus=["Standard_HB120rs_v3", "Standard_HC44rs"], ppr=100
+        )
+        by_sku = {s.sku_name: s.ppn for s in generate_scenarios(config)}
+        assert by_sku["Standard_HB120rs_v3"] == 120
+        assert by_sku["Standard_HC44rs"] == 44
+
+    def test_tags_propagate(self):
+        scenarios = generate_scenarios(make_config(tags={"version": "v1"}))
+        assert all(s.tags == {"version": "v1"} for s in scenarios)
+
+    def test_unknown_sku_fails_early(self):
+        config = make_config(skus=["Standard_Bogus"])
+        with pytest.raises(Exception):
+            generate_scenarios(config)
+
+
+class TestScenarioObject:
+    def test_total_ranks(self):
+        s = Scenario(scenario_id="t", sku_name="Standard_HB120rs_v3",
+                     nnodes=16, ppn=120, appname="lammps")
+        assert s.total_ranks == 1920  # the paper's headline core count
+
+    def test_inputs_key_canonical(self):
+        a = Scenario(scenario_id="t", sku_name="x", nnodes=1, ppn=1,
+                     appname="a", appinputs={"b": "2", "a": "1"})
+        b = Scenario(scenario_id="u", sku_name="x", nnodes=1, ppn=1,
+                     appname="a", appinputs={"a": "1", "b": "2"})
+        assert a.inputs_key() == b.inputs_key() == "a=1,b=2"
+
+    def test_dict_roundtrip(self):
+        s = Scenario(scenario_id="t1", sku_name="Standard_HC44rs",
+                     nnodes=4, ppn=44, appname="wrf",
+                     appinputs={"resolution": "12"}, tags={"v": "1"})
+        assert Scenario.from_dict(s.to_dict()) == s
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Scenario(scenario_id="t", sku_name="x", nnodes=0, ppn=1,
+                     appname="a")
+        with pytest.raises(ConfigError):
+            Scenario(scenario_id="t", sku_name="x", nnodes=1, ppn=0,
+                     appname="a")

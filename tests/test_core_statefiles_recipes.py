@@ -1,0 +1,115 @@
+"""State-store and recipe-generation tests."""
+
+import os
+
+import pytest
+import yaml
+
+from repro.core.advisor import AdviceRow
+from repro.core.deployer import Deployer
+from repro.core.recipes import cluster_recipe, slurm_script
+from repro.core.statefiles import StateStore, resolve_state_dir
+from repro.errors import AdvisorError, ConfigError, ResourceNotFound
+from tests.conftest import make_config
+
+
+class TestResolveStateDir:
+    def test_explicit_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("HPCADVISOR_STATE_DIR", "/tmp/env")
+        assert resolve_state_dir(str(tmp_path)) == str(tmp_path)
+
+    def test_env_var(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("HPCADVISOR_STATE_DIR", str(tmp_path))
+        assert resolve_state_dir() == str(tmp_path)
+
+    def test_default_under_home(self, monkeypatch):
+        monkeypatch.delenv("HPCADVISOR_STATE_DIR", raising=False)
+        assert resolve_state_dir().endswith(".hpcadvisor-sim")
+
+
+class TestStateStore:
+    def test_save_and_list(self, tmp_path):
+        store = StateStore(root=str(tmp_path))
+        deployment = Deployer().deploy(make_config())
+        store.save_deployment(deployment)
+        records = store.list_deployments()
+        assert len(records) == 1
+        assert records[0]["name"] == deployment.name
+
+    def test_get_unknown(self, tmp_path):
+        store = StateStore(root=str(tmp_path))
+        with pytest.raises(ResourceNotFound):
+            store.get_deployment_record("ghost")
+
+    def test_remove(self, tmp_path):
+        store = StateStore(root=str(tmp_path))
+        deployment = Deployer().deploy(make_config())
+        store.save_deployment(deployment)
+        store.remove_deployment(deployment.name)
+        assert store.list_deployments() == []
+        with pytest.raises(ResourceNotFound):
+            store.remove_deployment(deployment.name)
+
+    def test_attach_recreates_equivalent_deployment(self, tmp_path):
+        store = StateStore(root=str(tmp_path))
+        original = Deployer().deploy(make_config())
+        store.save_deployment(original)
+        attached = store.attach(original.name)
+        assert attached.name == original.name
+        assert attached.region == original.region
+        assert attached.config == original.config
+        # The reattached deployment is live: its batch service works.
+        attached.batch.create_pool("p", "Standard_HB120rs_v3", 1)
+
+    def test_attach_without_config_rejected(self, tmp_path):
+        store = StateStore(root=str(tmp_path))
+        deployment = Deployer().deploy(make_config())
+        deployment.config = None
+        store.save_deployment(deployment)
+        with pytest.raises(ConfigError):
+            store.attach(deployment.name)
+
+    def test_paths_are_per_deployment(self, tmp_path):
+        store = StateStore(root=str(tmp_path))
+        assert store.dataset_path("a") != store.dataset_path("b")
+        assert store.taskdb_path("a") != store.plots_dir("a")
+
+
+ROW = AdviceRow(exec_time_s=36.0, cost_usd=0.576, nnodes=16,
+                sku="Standard_HB120rs_v3", ppn=120,
+                appinputs={"BOXFACTOR": "30"})
+
+
+class TestSlurmRecipe:
+    def test_contains_advised_shape(self):
+        script = slurm_script(ROW, "lammps")
+        assert "#SBATCH --nodes=16" in script
+        assert "#SBATCH --ntasks-per-node=120" in script
+        assert "NP=$((16 * 120))" in script
+        assert "mpirun -np $NP lammps" in script
+
+    def test_walltime_padded(self):
+        script = slurm_script(ROW, "lammps", walltime_margin=2.0)
+        assert "--time=00:01:12" in script  # 36 s * 2 = 72 s
+
+    def test_inputs_exported(self):
+        script = slurm_script(ROW, "lammps")
+        assert "export BOXFACTOR='30'" in script
+
+    def test_margin_validated(self):
+        with pytest.raises(AdvisorError):
+            slurm_script(ROW, "lammps", walltime_margin=0.5)
+
+    def test_extra_env(self):
+        script = slurm_script(ROW, "lammps",
+                              extra_env={"UCX_NET_DEVICES": "mlx5_ib0:1"})
+        assert "export UCX_NET_DEVICES=mlx5_ib0:1" in script
+
+
+class TestClusterRecipe:
+    def test_valid_yaml_with_expected_fields(self):
+        recipe = yaml.safe_load(cluster_recipe(ROW))
+        assert recipe["cluster"]["vm_type"] == "Standard_HB120rs_v3"
+        assert recipe["cluster"]["nodes"] == 16
+        assert recipe["cluster"]["interconnect"] == "HDR"
+        assert recipe["rationale"]["expected_cost_usd"] == pytest.approx(0.576)

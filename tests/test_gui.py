@@ -1,0 +1,124 @@
+"""GUI tests: page rendering plus one live HTTP round-trip."""
+
+import threading
+import urllib.request
+
+import pytest
+
+from repro.appkit.plugins import get_plugin
+from repro.backends.azurebatch import AzureBatchBackend
+from repro.core.collector import DataCollector
+from repro.core.dataset import Dataset
+from repro.core.deployer import Deployer
+from repro.core.scenarios import generate_scenarios
+from repro.core.statefiles import StateStore
+from repro.core.taskdb import TaskDB
+from repro.gui import pages
+from repro.gui.server import make_server
+from tests.conftest import make_config
+
+
+@pytest.fixture
+def store(tmp_path):
+    return StateStore(root=str(tmp_path))
+
+
+@pytest.fixture
+def store_with_data(store):
+    config = make_config(nnodes=[1, 2])
+    deployment = Deployer().deploy(config)
+    store.save_deployment(deployment)
+    collector = DataCollector(
+        backend=AzureBatchBackend(service=deployment.batch),
+        script=get_plugin("lammps"),
+        dataset=Dataset(path=store.dataset_path(deployment.name)),
+        taskdb=TaskDB(path=store.taskdb_path(deployment.name)),
+        deployment_name=deployment.name,
+    )
+    collector.collect(generate_scenarios(config))
+    return store, deployment.name
+
+
+class TestPages:
+    def test_index_empty(self, store):
+        html = pages.render_index(store)
+        assert "No deployments yet" in html
+
+    def test_index_lists_deployments(self, store_with_data):
+        store, name = store_with_data
+        html = pages.render_index(store)
+        assert name in html
+        assert "advice" in html
+
+    def test_deployment_page(self, store_with_data):
+        store, name = store_with_data
+        html = pages.render_deployment(store, name)
+        assert name in html
+        assert "lammps" in html
+        assert "Collected points: 2" in html
+
+    def test_plots_page_embeds_svgs(self, store_with_data):
+        store, name = store_with_data
+        html = pages.render_plots(store, name)
+        assert html.count("<svg") == 4
+
+    def test_advice_page_table(self, store_with_data):
+        store, name = store_with_data
+        html = pages.render_advice(store, name)
+        assert "hb120rs_v3" in html
+        assert "Exectime" in html
+
+    def test_advice_sorted_by_cost(self, store_with_data):
+        store, name = store_with_data
+        html = pages.render_advice(store, name, sort_by="cost")
+        assert "Pareto front" in html
+
+
+class TestHttpServer:
+    def test_live_roundtrip(self, store_with_data):
+        store, name = store_with_data
+        server = make_server(store, host="127.0.0.1", port=0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.handle_request)
+        thread.start()
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/", timeout=5
+            ) as response:
+                assert response.status == 200
+                body = response.read().decode()
+            assert name in body
+        finally:
+            thread.join(timeout=5)
+            server.server_close()
+
+    def test_404_for_unknown_page(self, store):
+        server = make_server(store, host="127.0.0.1", port=0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.handle_request)
+        thread.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/nope", timeout=5
+                )
+            assert err.value.code == 404
+        finally:
+            thread.join(timeout=5)
+            server.server_close()
+
+    def test_advice_page_over_http(self, store_with_data):
+        store, name = store_with_data
+        server = make_server(store, host="127.0.0.1", port=0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.handle_request)
+        thread.start()
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/advice/{name}?sort=cost", timeout=5
+            ) as response:
+                body = response.read().decode()
+            assert "hb120rs_v3" in body
+        finally:
+            thread.join(timeout=5)
+            server.server_close()

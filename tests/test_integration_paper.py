@@ -1,0 +1,105 @@
+"""Integration tests that reproduce the paper's artefacts end to end.
+
+These run the real pipeline (deploy -> Algorithm 1 -> dataset -> advice /
+plots) and check the outputs against the published Listings and Figures.
+"""
+
+import pytest
+
+from repro.core.advisor import Advisor
+from repro.core.plotdata import (
+    efficiency,
+    exectime_vs_cost,
+    exectime_vs_nodes,
+    speedup,
+)
+
+
+class TestListing4Lammps:
+    """Advice for LAMMPS LJ x30: the paper's Listing 4."""
+
+    def test_front_rows_match(self, lammps_paper_dataset):
+        rows = Advisor(lammps_paper_dataset).advise(appname="lammps",
+                                                    sort_by="time")
+        assert [(r.nnodes, r.sku_short) for r in rows] == [
+            (16, "hb120rs_v3"), (8, "hb120rs_v3"),
+            (4, "hb120rs_v3"), (3, "hb120rs_v3"),
+        ]
+        paper = [(36, 0.576), (69, 0.552), (132, 0.528), (173, 0.519)]
+        for row, (paper_t, paper_c) in zip(rows, paper):
+            assert row.exec_time_s == pytest.approx(paper_t, rel=0.10)
+            assert row.cost_usd == pytest.approx(paper_c, rel=0.10)
+
+    def test_other_skus_dominated(self, lammps_paper_dataset):
+        rows = Advisor(lammps_paper_dataset).advise(appname="lammps")
+        assert all(r.sku_short == "hb120rs_v3" for r in rows)
+
+    def test_dataset_complete(self, lammps_paper_dataset):
+        # 3 SKUs x 4 node counts, all succeed.
+        assert len(lammps_paper_dataset) == 12
+
+
+class TestListing3OpenFoam:
+    """Advice for OpenFOAM motorBike: the paper's Listing 3."""
+
+    def test_front_structure(self, openfoam_paper_dataset):
+        rows = Advisor(openfoam_paper_dataset).advise(appname="openfoam",
+                                                      sort_by="time")
+        # Same four-row staircase as the paper: fastest at 16 nodes,
+        # cheapest at 3 nodes, intermediate rows at 8 and 4.
+        assert [r.nnodes for r in rows] == [16, 8, 4, 3]
+        paper = [(34, 0.544), (38, 0.304), (48, 0.192), (59, 0.177)]
+        for row, (paper_t, paper_c) in zip(rows, paper):
+            assert row.exec_time_s == pytest.approx(paper_t, rel=0.12)
+            assert row.cost_usd == pytest.approx(paper_c, rel=0.12)
+
+    def test_fastest_is_16_nodes_v3(self, openfoam_paper_dataset):
+        rows = Advisor(openfoam_paper_dataset).advise(appname="openfoam")
+        assert rows[0].nnodes == 16
+        assert rows[0].sku_short == "hb120rs_v3"
+
+    def test_sort_by_cost_reverses(self, openfoam_paper_dataset):
+        rows = Advisor(openfoam_paper_dataset).advise(appname="openfoam",
+                                                      sort_by="cost")
+        assert rows[0].nnodes == 3
+
+
+class TestFigureSeries:
+    """The four plot types over the LAMMPS dataset (Figures 2-5)."""
+
+    def test_fig2_ordering(self, lammps_paper_dataset):
+        data = exectime_vs_nodes(lammps_paper_dataset)
+        assert [s.label for s in data.series] == [
+            "hb120rs_v2", "hb120rs_v3", "hc44rs"
+        ]
+        at16 = {s.label: dict(s.points)[16.0] for s in data.series}
+        assert at16["hb120rs_v3"] < at16["hb120rs_v2"] < at16["hc44rs"]
+
+    def test_fig2_subtitle(self, lammps_paper_dataset):
+        assert exectime_vs_nodes(lammps_paper_dataset).subtitle == "atoms=864M"
+
+    def test_fig3_hb_costs_near_vertical(self, lammps_paper_dataset):
+        """Both HB SKUs bill $3.60/h, so cost varies little with nodes
+        for near-linear scaling (the paper's Fig. 3 tight verticals)."""
+        data = exectime_vs_cost(lammps_paper_dataset)
+        v3 = data.series_by_label("hb120rs_v3")
+        costs = v3.ys
+        assert max(costs) / min(costs) < 1.25
+
+    def test_fig4_v2_speedup_strongest(self, lammps_paper_dataset):
+        data = speedup(lammps_paper_dataset)
+        at16 = {s.label: dict(s.points)[16.0] for s in data.series}
+        assert at16["hb120rs_v2"] > at16["hb120rs_v3"]
+        assert at16["hb120rs_v2"] > at16["hc44rs"]
+
+    def test_fig5_superlinear_efficiency_visible(self, lammps_paper_dataset):
+        """Fig. 5's headline: efficiency above 1 for at least one SKU."""
+        data = efficiency(lammps_paper_dataset)
+        v2 = dict(data.series_by_label("hb120rs_v2").points)
+        assert max(v2.values()) > 1.0
+
+    def test_efficiency_definition(self, lammps_paper_dataset):
+        data = efficiency(lammps_paper_dataset)
+        for series in data.series:
+            first_n = series.points[0][0]
+            assert dict(series.points)[first_n] == pytest.approx(1.0)

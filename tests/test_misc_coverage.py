@@ -1,0 +1,148 @@
+"""Edge-case tests for paths not covered elsewhere."""
+
+import threading
+import urllib.request
+
+import pytest
+
+from repro.backends.common import execute_run, execute_setup, shared_dir_for
+from repro.batch.task import TaskOutput
+from repro.appkit.script import AppScript
+from repro.cli import commands
+from repro.cloud.skus import get_sku
+from repro.cluster.filesystem import SharedFilesystem
+from repro.cluster.host import make_hosts
+from repro.core.scenarios import Scenario
+from repro.errors import QuotaExceeded, ReproError
+from repro.perf.model import RunShape
+from repro.perf.registry import get_model
+
+
+class TestRunShape:
+    def test_valid(self):
+        shape = RunShape(sku=get_sku("Standard_HC44rs"), nodes=4, ppn=44)
+        assert shape.total_ranks == 176
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            RunShape(sku=get_sku("Standard_HC44rs"), nodes=0, ppn=1)
+
+    def test_invalid_ppn(self):
+        with pytest.raises(ValueError):
+            RunShape(sku=get_sku("Standard_HC44rs"), nodes=1, ppn=45)
+
+
+class TestExplicitNetwork:
+    def test_slower_network_slows_multinode_runs(self):
+        from repro.cluster.network import NetworkModel
+
+        model = get_model("openfoam")
+        sku = get_sku("Standard_HB120rs_v3")
+        fast = model.simulate(sku, 8, 120, {"mesh": "40 16 16"})
+        slow_net = NetworkModel(latency_s=50e-6, bandwidth_Bps=1e9,
+                                rdma=False)
+        slow = model.simulate(sku, 8, 120, {"mesh": "40 16 16"},
+                              network=slow_net)
+        assert slow.exec_time_s > fast.exec_time_s
+
+
+class TestTaskOutput:
+    def test_negative_wall_time_rejected(self):
+        with pytest.raises(ValueError):
+            TaskOutput(exit_code=0, stdout="", wall_time_s=-1.0)
+
+    def test_succeeded(self):
+        assert TaskOutput(exit_code=0, stdout="", wall_time_s=0).succeeded
+        assert not TaskOutput(exit_code=2, stdout="", wall_time_s=0).succeeded
+
+
+class TestQuotaError:
+    def test_message_carries_numbers(self):
+        err = QuotaExceeded("standardHBrsv3Family", 4800, 4000)
+        assert "4800" in str(err)
+        assert "4000" in str(err)
+        assert err.family == "standardHBrsv3Family"
+
+
+class TestBackendCommon:
+    def scenario(self):
+        return Scenario(scenario_id="t", sku_name="Standard_HB120rs_v3",
+                        nnodes=1, ppn=120, appname="lammps",
+                        appinputs={"BOXFACTOR": "4"})
+
+    def test_shared_dir_layout(self):
+        assert shared_dir_for("lammps") == "/mnt/nfs/apps/lammps"
+
+    def test_setup_error_becomes_exit_one(self):
+        from repro.errors import AppScriptError
+
+        def bad_setup(ctx):
+            raise AppScriptError("cannot download input")
+
+        script = AppScript(appname="lammps", setup=bad_setup,
+                           run=lambda ctx: 0, setup_seconds=1.0)
+        hosts = make_hosts(get_sku("Standard_HB120rs_v3"), 1)
+        execution = execute_setup(script, hosts, SharedFilesystem(), "/w")
+        assert execution.exit_code == 1
+        assert "cannot download input" in execution.stdout
+
+    def test_run_error_becomes_exit_one(self):
+        from repro.errors import AppScriptError
+
+        def bad_run(ctx):
+            raise AppScriptError("missing env")
+
+        script = AppScript(appname="lammps", setup=lambda ctx: 0,
+                           run=bad_run)
+        hosts = make_hosts(get_sku("Standard_HB120rs_v3"), 1)
+        execution = execute_run(script, self.scenario(), hosts,
+                                SharedFilesystem(), "/w")
+        assert execution.exit_code == 1
+
+    def test_run_writes_hostfile(self):
+        def check_hostfile(ctx):
+            path = ctx.getenv("HOSTFILE_PATH")
+            assert "slots=120" in ctx.filesystem.read_text(path)
+            return 0
+
+        script = AppScript(appname="lammps", setup=lambda ctx: 0,
+                           run=check_hostfile)
+        hosts = make_hosts(get_sku("Standard_HB120rs_v3"), 1)
+        execution = execute_run(script, self.scenario(), hosts,
+                                SharedFilesystem(), "/w")
+        assert execution.exit_code == 0
+
+
+class TestCliGuiOnce:
+    def test_gui_once_serves_a_request(self, tmp_path, capsys, monkeypatch):
+        """`hpcadvisor-sim gui` end to end, one request then exit."""
+        from repro.gui import server as gui_server
+
+        captured = {}
+        original = gui_server.make_server
+
+        def patched(store, host, port):
+            httpd = original(store, host, 0)  # ephemeral port
+            captured["port"] = httpd.server_address[1]
+
+            def hit():
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{captured['port']}/", timeout=5
+                ).read()
+
+            threading.Thread(target=hit, daemon=True).start()
+            return httpd
+
+        monkeypatch.setattr(gui_server, "make_server", patched)
+        assert commands.gui(str(tmp_path), once=True) == 0
+        assert "HPCAdvisor GUI" in capsys.readouterr().out
+
+
+class TestCliErrorPaths:
+    def test_collect_unknown_deployment(self, tmp_path):
+        with pytest.raises(ReproError):
+            commands.collect(str(tmp_path), "ghost")
+
+    def test_plot_before_collect(self, tmp_path):
+        with pytest.raises(ReproError, match="run collect first"):
+            commands.plot(str(tmp_path / "s"), "ghost")

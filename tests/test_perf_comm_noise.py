@@ -1,0 +1,98 @@
+"""Communication-pattern and noise-model tests."""
+
+import pytest
+
+from repro.cloud.skus import get_sku
+from repro.cluster.network import network_for_sku
+from repro.perf.comm import (
+    halo_time_per_step,
+    imbalance_factor,
+    node_halo_bytes,
+    pme_alltoall_time_per_step,
+    solver_reduction_time_per_iter,
+)
+from repro.perf.noise import NO_NOISE, NoiseModel
+
+
+@pytest.fixture
+def hdr():
+    return network_for_sku(get_sku("Standard_HB120rs_v3"))
+
+
+class TestHalo:
+    def test_surface_scaling(self):
+        # Doubling the volume raises surface by 2^(2/3).
+        small = node_halo_bytes(1e6, 48.0)
+        large = node_halo_bytes(2e6, 48.0)
+        assert large / small == pytest.approx(2 ** (2 / 3))
+
+    def test_zero_domain(self):
+        assert node_halo_bytes(0, 48.0) == 0.0
+
+    def test_single_node_free(self, hdr):
+        assert halo_time_per_step(hdr, 1e6, 48.0, nodes=1) == 0.0
+
+    def test_halo_positive_multinode(self, hdr):
+        assert halo_time_per_step(hdr, 1e6, 48.0, nodes=4) > 0.0
+
+
+class TestSolverReductions:
+    def test_single_node_free(self, hdr):
+        assert solver_reduction_time_per_iter(hdr, 1, 950) == 0.0
+
+    def test_log_growth(self, hdr):
+        t4 = solver_reduction_time_per_iter(hdr, 4, 950)
+        t16 = solver_reduction_time_per_iter(hdr, 16, 950)
+        assert t16 == pytest.approx(2 * t4, rel=0.01)
+
+    def test_software_alpha_dominates_wire(self, hdr):
+        """GAMG-style reductions cost ~50us/hop, far above the ~1.6us wire."""
+        t = solver_reduction_time_per_iter(hdr, 2, 1)
+        assert t > 25e-6
+
+
+class TestPme:
+    def test_single_node_free(self, hdr):
+        assert pme_alltoall_time_per_step(hdr, 1e9, 1) == 0.0
+
+    def test_latency_term_grows_with_nodes(self, hdr):
+        t2 = pme_alltoall_time_per_step(hdr, 1e3, 2)
+        t32 = pme_alltoall_time_per_step(hdr, 1e3, 32)
+        assert t32 > t2
+
+
+class TestImbalance:
+    def test_single_rank_is_one(self):
+        assert imbalance_factor(1, 0.05) == 1.0
+
+    def test_grows_with_ranks(self):
+        assert imbalance_factor(1920, 0.046) > imbalance_factor(120, 0.046)
+
+    def test_zero_coeff(self):
+        assert imbalance_factor(10_000, 0.0) == 1.0
+
+    def test_negative_coeff_rejected(self):
+        with pytest.raises(ValueError):
+            imbalance_factor(16, -0.1)
+
+
+class TestNoise:
+    def test_disabled_is_exactly_one(self):
+        assert NO_NOISE.factor("anything") == 1.0
+
+    def test_deterministic_per_key(self):
+        noise = NoiseModel(sigma=0.05, seed=7)
+        assert noise.factor("a", 1) == noise.factor("a", 1)
+
+    def test_different_keys_differ(self):
+        noise = NoiseModel(sigma=0.05, seed=7)
+        assert noise.factor("a", 1) != noise.factor("a", 2)
+
+    def test_positive(self):
+        noise = NoiseModel(sigma=0.3, seed=0)
+        assert all(noise.factor(i) > 0 for i in range(100))
+
+    def test_mean_one_ish(self):
+        noise = NoiseModel(sigma=0.05, seed=0)
+        values = [noise.factor(i) for i in range(500)]
+        assert sum(values) / len(values) == pytest.approx(1.0, abs=0.01)

@@ -1,0 +1,98 @@
+"""Machine model and cache-pressure tests."""
+
+import pytest
+
+from repro.cloud.skus import get_sku
+from repro.perf.cache import (
+    ARCH_CACHE_PROFILES,
+    CacheProfile,
+    cache_slowdown,
+)
+from repro.perf.machine import MachineModel
+
+
+class TestMachineModel:
+    def test_compute_scale_full_node(self):
+        machine = MachineModel(get_sku("Standard_HB120rs_v3"))
+        assert machine.compute_scale(120, cpu_fraction=1.0) == pytest.approx(1.0)
+
+    def test_compute_scale_monotone_in_ppn(self):
+        machine = MachineModel(get_sku("Standard_HB120rs_v3"))
+        values = [machine.compute_scale(p, 0.5) for p in (1, 30, 60, 120)]
+        assert values == sorted(values)
+
+    def test_bandwidth_bound_saturates_at_half_cores(self):
+        """Pure bandwidth-bound work gets full throughput at ppn=cores/2."""
+        machine = MachineModel(get_sku("Standard_HB120rs_v3"))
+        assert machine.compute_scale(60, cpu_fraction=0.0) == pytest.approx(1.0)
+        assert machine.compute_scale(120, cpu_fraction=0.0) == pytest.approx(1.0)
+
+    def test_cpu_bound_scales_linearly(self):
+        machine = MachineModel(get_sku("Standard_HB120rs_v3"))
+        assert machine.compute_scale(60, cpu_fraction=1.0) == pytest.approx(0.5)
+
+    def test_ppn_bounds_validated(self):
+        machine = MachineModel(get_sku("Standard_HC44rs"))
+        with pytest.raises(ValueError):
+            machine.compute_scale(0, 0.5)
+        with pytest.raises(ValueError):
+            machine.compute_scale(45, 0.5)
+
+    def test_cpu_fraction_validated(self):
+        machine = MachineModel(get_sku("Standard_HC44rs"))
+        with pytest.raises(ValueError):
+            machine.compute_scale(4, 1.5)
+
+    def test_fits_in_memory(self):
+        machine = MachineModel(get_sku("Standard_HB120rs_v3"))  # 448 GiB
+        assert machine.fits_in_memory(100e9)
+        assert not machine.fits_in_memory(400e9)  # x1.6 safety > 448 GiB
+
+
+class TestCacheProfile:
+    def test_slowdown_at_least_one(self):
+        profile = CacheProfile("saturating", amp=0.5, ws_ref_l3_multiple=10)
+        assert profile.slowdown(0, 512e6) == 1.0
+        assert profile.slowdown(1e12, 512e6) >= 1.0
+
+    def test_saturating_bounded(self):
+        profile = CacheProfile("saturating", amp=0.5, ws_ref_l3_multiple=10)
+        assert profile.slowdown(1e15, 512e6) <= 1.5 + 1e-9
+
+    def test_power_unbounded(self):
+        profile = CacheProfile("power", amp=0.5, ws_ref_l3_multiple=10)
+        assert profile.slowdown(1e13, 512e6) > 2.0
+
+    def test_monotone_in_working_set(self):
+        for profile in ARCH_CACHE_PROFILES.values():
+            values = [profile.slowdown(ws, 512e6)
+                      for ws in (1e8, 1e9, 1e10, 1e11)]
+            assert values == sorted(values)
+
+    def test_unknown_form_rejected(self):
+        with pytest.raises(ValueError):
+            CacheProfile("exponential", amp=0.5, ws_ref_l3_multiple=10)
+
+    def test_negative_amp_rejected(self):
+        with pytest.raises(ValueError):
+            CacheProfile("power", amp=-1, ws_ref_l3_multiple=10)
+
+    def test_invalid_inputs_rejected(self):
+        profile = CacheProfile("power", amp=0.5, ws_ref_l3_multiple=10)
+        with pytest.raises(ValueError):
+            profile.slowdown(-1, 512e6)
+        with pytest.raises(ValueError):
+            profile.slowdown(1e9, 0)
+
+
+class TestArchProfiles:
+    def test_rome_has_strongest_penalty(self):
+        """Rome's profile produces the paper's Fig. 4/5 superlinearity."""
+        ws_full = 55e9  # the 864M-atom LAMMPS working set
+        ws_16 = ws_full / 16
+        rome = get_sku("Standard_HB120rs_v2")
+        milan = get_sku("Standard_HB120rs_v3")
+        rome_gain = cache_slowdown(rome, ws_full) / cache_slowdown(rome, ws_16)
+        milan_gain = cache_slowdown(milan, ws_full) / cache_slowdown(milan, ws_16)
+        assert rome_gain > 1.5  # strongly superlinear
+        assert milan_gain < 1.1  # near-linear

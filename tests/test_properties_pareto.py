@@ -1,0 +1,90 @@
+"""Property-based tests for the Pareto front (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pareto import dominates, is_dominated, pareto_front
+
+finite = st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+points_strategy = st.lists(st.tuples(finite, finite), min_size=0, max_size=60)
+
+
+@given(points_strategy)
+def test_front_is_subset(points):
+    front = pareto_front(points)
+    remaining = list(points)
+    for p in front:
+        assert p in remaining
+        remaining.remove(p)  # respects multiplicity
+
+
+@given(points_strategy)
+def test_front_members_not_dominated(points):
+    front = pareto_front(points)
+    for p in front:
+        assert not is_dominated(p, points)
+
+
+@given(points_strategy)
+def test_non_members_are_dominated(points):
+    front = pareto_front(points)
+    front_multiset = list(front)
+    leftovers = list(points)
+    for p in front_multiset:
+        leftovers.remove(p)
+    for p in leftovers:
+        assert is_dominated(p, front)
+
+
+@given(points_strategy)
+def test_idempotent(points):
+    once = pareto_front(points)
+    twice = pareto_front(once)
+    assert sorted(once) == sorted(twice)
+
+
+@given(points_strategy)
+def test_sorted_by_first_objective(points):
+    front = pareto_front(points)
+    xs = [p[0] for p in front]
+    assert xs == sorted(xs)
+
+
+@given(points_strategy)
+def test_second_objective_strictly_decreasing(points):
+    front = pareto_front(points)
+    # Along the front, as time increases cost must strictly decrease
+    # (otherwise the later point would be dominated), except exact duplicates.
+    for (x1, y1), (x2, y2) in zip(front, front[1:]):
+        if (x1, y1) == (x2, y2):
+            continue
+        assert x2 > x1
+        assert y2 < y1
+
+
+@given(points_strategy, st.tuples(finite, finite))
+def test_adding_dominated_point_never_changes_front(points, candidate):
+    front_before = pareto_front(points)
+    if front_before and is_dominated(candidate, front_before):
+        front_after = pareto_front(points + [candidate])
+        assert sorted(front_after) == sorted(front_before)
+
+
+@given(points_strategy)
+@settings(max_examples=50)
+def test_matches_bruteforce(points):
+    front = pareto_front(points)
+    brute = [p for p in points
+             if not any(dominates(q, p) for q in points)]
+    assert sorted(front) == sorted(brute)
+
+
+@given(st.tuples(finite, finite), st.tuples(finite, finite))
+def test_domination_antisymmetric(a, b):
+    assert not (dominates(a, b) and dominates(b, a))
+
+
+@given(st.tuples(finite, finite))
+def test_no_self_domination(a):
+    assert not dominates(a, a)

@@ -1,0 +1,152 @@
+"""Stateful property tests (hypothesis rule-based state machines).
+
+Model-based testing of the two most state-heavy substrates:
+
+* the shared filesystem against a plain dict reference model;
+* Batch pool lifecycle against quota/billing/state invariants.
+"""
+
+import string
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.clock import SimClock
+from repro.batch.node import NodeState
+from repro.batch.pool import BatchPool, PoolState
+from repro.cloud.skus import get_sku
+from repro.cloud.subscription import Subscription
+from repro.cluster.filesystem import SharedFilesystem
+
+names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+contents = st.text(max_size=50)
+
+
+class FilesystemMachine(RuleBasedStateMachine):
+    """The simulated NFS tree must behave like a dict of paths."""
+
+    def __init__(self):
+        super().__init__()
+        self.fs = SharedFilesystem()
+        self.model = {}  # path -> content
+
+    def _path(self, a, b):
+        return f"/{a}/{b}"
+
+    @rule(a=names, b=names, text=contents)
+    def write(self, a, b, text):
+        path = self._path(a, b)
+        self.fs.write_text(path, text)
+        self.model[path] = text
+
+    @rule(a=names, b=names, text=contents)
+    def append(self, a, b, text):
+        path = self._path(a, b)
+        self.fs.append_text(path, text)
+        self.model[path] = self.model.get(path, "") + text
+
+    @rule(a=names, b=names)
+    def remove_if_exists(self, a, b):
+        path = self._path(a, b)
+        if path in self.model:
+            self.fs.remove(path)
+            del self.model[path]
+
+    @rule(a=names)
+    def rmtree_if_exists(self, a):
+        prefix = f"/{a}/"
+        if self.fs.isdir(f"/{a}"):
+            self.fs.rmtree(f"/{a}")
+            self.model = {
+                p: c for p, c in self.model.items()
+                if not p.startswith(prefix)
+            }
+
+    @invariant()
+    def contents_match_model(self):
+        assert self.fs.file_count == len(self.model)
+        for path, content in self.model.items():
+            assert self.fs.read_text(path) == content
+
+    @invariant()
+    def usage_matches_model(self):
+        assert self.fs.used_bytes == sum(len(c) for c in self.model.values())
+
+
+class PoolMachine(RuleBasedStateMachine):
+    """Pool lifecycle: node states, quota and billing stay consistent."""
+
+    def __init__(self):
+        super().__init__()
+        self.clock = SimClock()
+        self.sub = Subscription(name="prop")
+        self.sku = get_sku("Standard_HC44rs")
+        self.pool = BatchPool(
+            pool_id="prop-pool",
+            sku=self.sku,
+            region="southcentralus",
+            subscription=self.sub,
+            clock=self.clock,
+            hourly_price=3.168,
+        )
+        self.leases = []
+
+    @precondition(lambda self: self.pool.state is PoolState.ACTIVE)
+    @rule(target_extra=st.integers(min_value=0, max_value=6))
+    def resize(self, target_extra):
+        busy = len(self.pool.running_nodes)
+        self.pool.resize(busy + target_extra)
+
+    @precondition(lambda self: self.pool.state is PoolState.ACTIVE
+                  and len(self.pool.idle_nodes) > 0)
+    @rule()
+    def lease_one(self):
+        self.leases.append(self.pool.acquire_nodes(1))
+
+    @precondition(lambda self: bool(self.leases))
+    @rule(seconds=st.floats(min_value=0, max_value=1000, allow_nan=False))
+    def finish_task(self, seconds):
+        nodes = self.leases.pop()
+        self.clock.advance(seconds)
+        self.pool.release_nodes(nodes)
+
+    @invariant()
+    def node_accounting_consistent(self):
+        running = len(self.pool.running_nodes)
+        idle = len(self.pool.idle_nodes)
+        assert running == sum(len(lease) for lease in self.leases)
+        assert self.pool.current_nodes == running + idle
+
+    @invariant()
+    def quota_matches_live_nodes(self):
+        used = self.sub.quota.used_for("southcentralus", self.sku.family)
+        assert used == self.pool.current_nodes * self.sku.cores
+
+    @invariant()
+    def billing_monotone_nonnegative(self):
+        assert self.pool.accrued_cost_usd >= 0
+        # Cost accrues only when nodes exist: zero nodes at time zero = zero.
+        if self.clock.now == 0:
+            assert self.pool.accrued_cost_usd == 0
+
+    @invariant()
+    def no_gone_nodes_counted(self):
+        for node in self.pool.nodes:
+            if node.state is NodeState.GONE:
+                assert node.released_at is not None
+
+
+TestFilesystemStateful = FilesystemMachine.TestCase
+TestFilesystemStateful.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+TestPoolStateful = PoolMachine.TestCase
+TestPoolStateful.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)

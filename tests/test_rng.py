@@ -1,0 +1,33 @@
+"""Deterministic RNG helper tests."""
+
+from repro.rng import rng_for, stable_seed
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed("a", 1) == stable_seed("a", 1)
+
+    def test_different_parts_differ(self):
+        assert stable_seed("a") != stable_seed("b")
+
+    def test_base_seed_changes_result(self):
+        assert stable_seed("a", base_seed=0) != stable_seed("a", base_seed=1)
+
+    def test_order_matters(self):
+        assert stable_seed("a", "b") != stable_seed("b", "a")
+
+    def test_range(self):
+        seed = stable_seed("anything", 42, 3.14)
+        assert 0 <= seed < 2**63
+
+
+class TestRngFor:
+    def test_reproducible_streams(self):
+        a = rng_for("pool", 3).random(5)
+        b = rng_for("pool", 3).random(5)
+        assert (a == b).all()
+
+    def test_distinct_keys_distinct_streams(self):
+        a = rng_for("pool", 3).random(5)
+        b = rng_for("pool", 4).random(5)
+        assert not (a == b).all()

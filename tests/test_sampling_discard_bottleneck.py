@@ -1,0 +1,126 @@
+"""Aggressive-discard and bottleneck-analysis tests."""
+
+import pytest
+
+from repro.cluster.metrics import InfraMetrics
+from repro.errors import SamplingError
+from repro.sampling.bottleneck import BottleneckAnalyzer
+from repro.sampling.discard import DiscardPolicy, VmTypeDiscarder
+from repro.sampling.perffactor import ScalingLaw
+
+
+def law(a=1000.0, b=50.0, c=0.0):
+    return ScalingLaw(a=a, b=b, c=c, r_squared=1.0, n_points=4,
+                      n_min=1, n_max=16)
+
+
+class TestDiscardPolicy:
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            DiscardPolicy(min_observations=0)
+        with pytest.raises(SamplingError):
+            DiscardPolicy(margin=0.9)
+
+
+class TestVmTypeDiscarder:
+    def make(self, margin=1.15):
+        discarder = VmTypeDiscarder(
+            policy=DiscardPolicy(min_observations=3, margin=margin),
+            hourly_prices={"slow": 3.60, "fast": 3.60},
+        )
+        # Strong front from the fast SKU.
+        discarder.observe("fast", 4, 50.0, 0.2)
+        discarder.observe("fast", 8, 26.0, 0.21)
+        discarder.observe("fast", 16, 14.0, 0.224)
+        return discarder
+
+    def test_discards_clearly_dominated_vmtype(self):
+        discarder = self.make()
+        for n, t in [(4, 800), (8, 420), (16, 230)]:
+            discarder.observe("slow", n, t, n * 3.6 * t / 3600)
+        slow_law = law(a=3000, b=40)
+        assert discarder.evaluate("slow", slow_law, [2, 32])
+        assert discarder.is_discarded("slow")
+        assert "dominated" in discarder.discard_reason("slow")
+
+    def test_never_discards_without_enough_observations(self):
+        discarder = self.make()
+        discarder.observe("slow", 4, 800, 2.0)
+        assert not discarder.evaluate("slow", law(a=3000), [2, 32])
+
+    def test_never_discards_without_law(self):
+        discarder = self.make()
+        for n, t in [(4, 800), (8, 420), (16, 230)]:
+            discarder.observe("slow", n, t, 2.0)
+        assert not discarder.evaluate("slow", None, [2, 32])
+
+    def test_keeps_vmtype_with_competitive_projection(self):
+        discarder = self.make()
+        for n, t in [(4, 60), (8, 32), (16, 18)]:
+            discarder.observe("slow", n, t, n * 3.6 * t / 3600)
+        competitive = law(a=220, b=2)
+        assert not discarder.evaluate("slow", competitive, [2, 32])
+
+    def test_larger_margin_is_more_conservative(self):
+        borderline = law(a=900, b=30)
+
+        def run(margin):
+            discarder = self.make(margin=margin)
+            for n, t in [(4, 255), (8, 142), (16, 86)]:
+                discarder.observe("slow", n, t, n * 3.6 * t / 3600)
+            return discarder.evaluate("slow", borderline, [2, 32])
+
+        aggressive = run(1.0)
+        conservative = run(3.0)
+        assert aggressive or not conservative  # monotone in margin
+        if aggressive:
+            assert not conservative or conservative == aggressive
+
+    def test_front_spans_all_vmtypes(self):
+        discarder = self.make()
+        front = discarder.current_front()
+        assert front
+        assert all(len(p) == 2 for p in front)
+
+
+class TestBottleneckAnalyzer:
+    def test_report_aggregates(self):
+        analyzer = BottleneckAnalyzer()
+        analyzer.observe("v3", 16, InfraMetrics(cpu_util=0.1, net_util=0.1,
+                                                comm_fraction=0.8))
+        report = analyzer.report("v3", 16)
+        assert report.dominant == "network_latency"
+        assert report.scaling_saturated
+
+    def test_no_data_no_report(self):
+        assert BottleneckAnalyzer().report("x", 1) is None
+
+    def test_saturation_detection_and_pruning(self):
+        analyzer = BottleneckAnalyzer()
+        analyzer.observe("v3", 4, InfraMetrics(cpu_util=0.8,
+                                               comm_fraction=0.1))
+        analyzer.observe("v3", 8, InfraMetrics(cpu_util=0.2, net_util=0.1,
+                                               comm_fraction=0.7))
+        assert analyzer.saturation_node_count("v3") == 8
+        assert analyzer.should_skip_larger("v3", 16)
+        assert not analyzer.should_skip_larger("v3", 8)
+        assert not analyzer.should_skip_larger("v3", 4)
+
+    def test_no_saturation_no_pruning(self):
+        analyzer = BottleneckAnalyzer()
+        analyzer.observe("v3", 16, InfraMetrics(cpu_util=0.9,
+                                                comm_fraction=0.1))
+        assert analyzer.saturation_node_count("v3") is None
+        assert not analyzer.should_skip_larger("v3", 32)
+
+    def test_observe_dict_ignores_empty(self):
+        analyzer = BottleneckAnalyzer()
+        analyzer.observe_dict("v3", 4, {})
+        assert analyzer.reports() == []
+
+    def test_summary_renders(self):
+        analyzer = BottleneckAnalyzer()
+        analyzer.observe("v3", 4, InfraMetrics(mem_bw_util=0.9,
+                                               comm_fraction=0.2))
+        text = analyzer.summary()
+        assert "memory_bandwidth" in text

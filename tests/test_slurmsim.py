@@ -1,0 +1,119 @@
+"""Simulated Slurm cluster tests."""
+
+import pytest
+
+from repro.cloud.provider import CloudProvider
+from repro.errors import BackendError
+from repro.slurmsim.cluster import JobCompletion, SlurmCluster
+from repro.slurmsim.jobs import JobState
+
+
+@pytest.fixture
+def cluster():
+    provider = CloudProvider()
+    sub = provider.register_subscription("test")
+    return SlurmCluster(provider=provider, subscription=sub,
+                        region="southcentralus")
+
+
+def ok_runner(seconds=10.0, exit_code=0):
+    def runner(hosts, fs, workdir):
+        return JobCompletion(exit_code=exit_code,
+                             stdout=f"{len(hosts)} hosts in {workdir}\n",
+                             wall_time_s=seconds)
+    return runner
+
+
+class TestPartitions:
+    def test_create_partition(self, cluster):
+        part = cluster.create_partition("hb", "Standard_HB120rs_v3")
+        assert part.sku.cores == 120
+        assert part.powered_up == 0
+
+    def test_duplicate_partition(self, cluster):
+        cluster.create_partition("hb", "Standard_HB120rs_v3")
+        with pytest.raises(BackendError):
+            cluster.create_partition("hb", "Standard_HB120rs_v3")
+
+    def test_power_up_advances_clock_and_bills(self, cluster):
+        part = cluster.create_partition("hb", "Standard_HB120rs_v3")
+        before = cluster.clock.now
+        part.power_up(2)
+        assert cluster.clock.now > before
+        assert part.meter.accrued_usd > 0
+
+    def test_power_down_releases_quota(self, cluster):
+        part = cluster.create_partition("hb", "Standard_HB120rs_v3")
+        part.power_up(4)
+        part.power_down(0)
+        family = part.sku.family
+        assert cluster.subscription.quota.used_for("southcentralus",
+                                                   family) == 0
+
+    def test_hosts_requires_powered_nodes(self, cluster):
+        part = cluster.create_partition("hb", "Standard_HB120rs_v3")
+        part.power_up(2)
+        assert len(part.hosts(2)) == 2
+        with pytest.raises(BackendError):
+            part.hosts(3)
+
+    def test_sinfo_output(self, cluster):
+        part = cluster.create_partition("hb", "Standard_HB120rs_v3")
+        part.power_up(2)
+        text = cluster.sinfo()
+        assert "PARTITION" in text
+        assert "hb" in text and "hb120rs_v3" in text
+
+
+class TestJobs:
+    def test_sbatch_runs_synchronously(self, cluster):
+        cluster.create_partition("hb", "Standard_HB120rs_v3")
+        before = cluster.clock.now
+        job = cluster.sbatch("test", "hb", 2, ok_runner(seconds=25.0))
+        assert job.state is JobState.COMPLETED
+        assert job.elapsed_s == pytest.approx(25.0)
+        assert cluster.clock.now > before
+
+    def test_failed_job_state(self, cluster):
+        cluster.create_partition("hb", "Standard_HB120rs_v3")
+        job = cluster.sbatch("bad", "hb", 1, ok_runner(exit_code=1))
+        assert job.state is JobState.FAILED
+
+    def test_job_ids_increment(self, cluster):
+        cluster.create_partition("hb", "Standard_HB120rs_v3")
+        a = cluster.sbatch("a", "hb", 1, ok_runner())
+        b = cluster.sbatch("b", "hb", 1, ok_runner())
+        assert b.job_id == a.job_id + 1
+
+    def test_sbatch_autoscales_partition(self, cluster):
+        part = cluster.create_partition("hb", "Standard_HB120rs_v3")
+        cluster.sbatch("big", "hb", 8, ok_runner())
+        assert part.powered_up == 8
+
+    def test_sbatch_invalid_nodes(self, cluster):
+        cluster.create_partition("hb", "Standard_HB120rs_v3")
+        with pytest.raises(BackendError):
+            cluster.sbatch("x", "hb", 0, ok_runner())
+
+    def test_unknown_partition(self, cluster):
+        with pytest.raises(BackendError):
+            cluster.sbatch("x", "ghost", 1, ok_runner())
+
+    def test_squeue_empty_after_completion(self, cluster):
+        cluster.create_partition("hb", "Standard_HB120rs_v3")
+        cluster.sbatch("a", "hb", 1, ok_runner())
+        # Synchronous execution: nothing pending or running afterwards.
+        assert len(cluster.squeue().strip().splitlines()) == 1  # header only
+
+    def test_sacct_lists_history(self, cluster):
+        cluster.create_partition("hb", "Standard_HB120rs_v3")
+        cluster.sbatch("a", "hb", 1, ok_runner())
+        cluster.sbatch("b", "hb", 1, ok_runner(exit_code=1))
+        states = [j.state for j in cluster.sacct()]
+        assert states == [JobState.COMPLETED, JobState.FAILED]
+
+    def test_teardown_powers_down(self, cluster):
+        part = cluster.create_partition("hb", "Standard_HB120rs_v3")
+        part.power_up(4)
+        cluster.teardown()
+        assert part.powered_up == 0

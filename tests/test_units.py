@@ -1,0 +1,75 @@
+"""Unit-helper tests."""
+
+import pytest
+
+from repro import units
+
+
+class TestByteSizes:
+    def test_decimal_sizes(self):
+        assert units.KB == 1_000
+        assert units.GB == 1_000_000_000
+
+    def test_binary_sizes(self):
+        assert units.KiB == 1024
+        assert units.GiB == 1024**3
+
+    def test_gib_helper(self):
+        assert units.gib(2) == 2 * 1024**3
+
+    def test_mib_helper(self):
+        assert units.mib(1.5) == 1.5 * 1024**2
+
+
+class TestBandwidth:
+    def test_gbps_is_bits(self):
+        # 200 Gb/s HDR InfiniBand = 25 GB/s.
+        assert units.Gbps(200) == pytest.approx(25e9)
+
+    def test_gbyteps(self):
+        assert units.GBps(350) == 350e9
+
+    def test_mbps(self):
+        assert units.MBps(100) == 100e6
+
+
+class TestDurations:
+    def test_us(self):
+        assert units.us(1.6) == pytest.approx(1.6e-6)
+
+    def test_ms(self):
+        assert units.ms(5) == pytest.approx(5e-3)
+
+    def test_minutes_hours(self):
+        assert units.minutes(2) == 120
+        assert units.hours(1.5) == 5400
+
+
+class TestFormatting:
+    def test_fmt_bytes_small(self):
+        assert units.fmt_bytes(512) == "512 B"
+
+    def test_fmt_bytes_mib(self):
+        assert "MiB" in units.fmt_bytes(5 * 1024**2)
+
+    def test_fmt_bytes_huge_uses_tib(self):
+        assert "TiB" in units.fmt_bytes(50 * 1024**4)
+
+    def test_fmt_duration_seconds(self):
+        assert units.fmt_duration(42) == "42s"
+
+    def test_fmt_duration_minutes(self):
+        assert units.fmt_duration(125) == "2m 05s"
+
+    def test_fmt_duration_hours(self):
+        assert units.fmt_duration(3723) == "1h 02m 03s"
+
+    def test_fmt_duration_negative(self):
+        assert units.fmt_duration(-60) == "-1m 00s"
+
+    def test_fmt_duration_subsecond(self):
+        assert units.fmt_duration(0.25) == "0.25s"
+
+    def test_fmt_usd_matches_paper_tables(self):
+        # Listing 4 row 1: 16 nodes x $3.60/h x 36 s.
+        assert units.fmt_usd(16 * 3.60 * 36 / 3600) == "0.5760"
