@@ -3,33 +3,35 @@
 
 Two economics questions from the paper's Sec. III-C cost discussion:
 
-1. *I only want to spend $X collecting data* — the BudgetedSampler wraps
-   the smart sampler with a hard dollar budget;
+1. *I only want to spend $X collecting data* — ``collect`` with a
+   ``budget_usd`` wraps the smart sampler with a hard dollar budget;
 2. *when does the advice pay for itself?* — the payoff analysis computes
    the break-even number of production runs.
+
+Also demonstrates extending the unified registry: the sweep runs under a
+custom sampling policy registered with ``@register_sampling_policy``.
 
 Run with::
 
     python examples/budget_payoff_demo.py
 """
 
-from repro import (
-    Advisor,
-    AzureBatchBackend,
-    DataCollector,
-    Dataset,
-    Deployer,
-    MainConfig,
-    SmartSampler,
-    TaskDB,
-    generate_scenarios,
-    get_plugin,
-)
+from repro.api import AdvisorSession, CollectRequest, register_sampling_policy
 from repro.core.payoff import payoff_vs_worst_front_row, render_payoff
-from repro.sampling.budget import BudgetedSampler
 from repro.sampling.planner import SamplerPolicy
 
-config = MainConfig.from_dict({
+BUDGET_USD = 12.0
+
+
+@register_sampling_policy("budget-demo")
+def _eager_policy() -> SamplerPolicy:
+    # Trust the scaling law earlier than the default, so more of the
+    # budget goes to configurations the models are unsure about.
+    return SamplerPolicy(min_r_squared=0.95)
+
+
+session = AdvisorSession()
+info = session.deploy({
     "subscription": "budget-demo",
     "skus": ["Standard_HC44rs", "Standard_HB120rs_v2",
              "Standard_HB120rs_v3"],
@@ -42,42 +44,24 @@ config = MainConfig.from_dict({
     "appinputs": {"BOXFACTOR": ["30"]},
 })
 
-BUDGET_USD = 12.0
-
-deployment = Deployer().deploy(config)
-scenarios = generate_scenarios(config)
-prices = {
-    sku: deployment.provider.prices.hourly_price(sku, config.region)
-    for sku in config.skus
-}
-sampler = BudgetedSampler(
-    inner=SmartSampler.for_scenarios(
-        scenarios, prices,
-        policy=SamplerPolicy(min_r_squared=0.95),
-    ),
+report = session.collect(CollectRequest(
+    deployment=info.name,
+    sampling_policy="budget-demo",
     budget_usd=BUDGET_USD,
-)
-collector = DataCollector(
-    backend=AzureBatchBackend(service=deployment.batch),
-    script=get_plugin("lammps"),
-    dataset=Dataset(),
-    taskdb=TaskDB(),
-    sampler=sampler,
-)
-report = collector.collect(scenarios)
+))
 
-print(f"budget: ${BUDGET_USD:.2f} — spent ${sampler.spent_usd:.2f} on "
+print(f"budget: ${BUDGET_USD:.2f} — spent ${report.budget_spent_usd:.2f} on "
       f"{report.completed} measured scenarios")
 print(f"({report.predicted} predicted free, {report.skipped} skipped — "
-      f"{sampler.skipped_over_budget} of those for budget reasons)")
+      f"{report.budget_skipped} of those for budget reasons)")
 
-advisor = Advisor(collector.dataset)
-rows = advisor.advise(appname="lammps")
+advice = session.advise(deployment=info.name, appname="lammps")
 print("\nAdvice under budget:")
-print(advisor.render_table(rows))
+print(advice.render_table())
 
 print("Payoff analysis (vs naively picking the priciest front config):")
-analysis = payoff_vs_worst_front_row(sampler.spent_usd, rows)
+analysis = payoff_vs_worst_front_row(report.budget_spent_usd,
+                                     list(advice.rows))
 print(render_payoff(analysis))
 for runs in (50, analysis.breakeven_runs or 0, 1000):
     if runs:

@@ -4,8 +4,8 @@
 The paper's flagship evaluation: the official LAMMPS Lennard-Jones
 benchmark with the box multiplied by 30 (864 million atoms), swept over
 three InfiniBand VM types up to 1,920 cores.  This example runs the sweep
-on the simulated cloud, writes the four chart types as SVG files, and
-prints the advice table.
+through :class:`repro.api.AdvisorSession`, writes the four chart types as
+SVG files, and prints the advice table.
 
 Run with::
 
@@ -14,22 +14,13 @@ Run with::
 
 import sys
 
-from repro import (
-    Advisor,
-    AzureBatchBackend,
-    DataCollector,
-    Dataset,
-    Deployer,
-    MainConfig,
-    TaskDB,
-    generate_scenarios,
-    get_plugin,
-)
-from repro.core.plots import generate_plots
+from repro.api import AdvisorSession
+from repro.core.plotdata import efficiency, speedup
 
 OUTPUT_DIR = sys.argv[1] if len(sys.argv) > 1 else "lammps_plots"
 
-config = MainConfig.from_dict({
+session = AdvisorSession()
+info = session.deploy({
     "subscription": "scaling-study",
     "skus": ["Standard_HC44rs", "Standard_HB120rs_v2",
              "Standard_HB120rs_v3"],
@@ -45,37 +36,30 @@ config = MainConfig.from_dict({
     "tags": {"experiment": "figures-2-to-5"},
 })
 
-deployment = Deployer().deploy(config)
-collector = DataCollector(
-    backend=AzureBatchBackend(service=deployment.batch),
-    script=get_plugin("lammps"),
-    dataset=Dataset(),
-    taskdb=TaskDB(),
-    deployment_name=deployment.name,
-)
-scenarios = generate_scenarios(config)
-print(f"running {len(scenarios)} scenarios "
+print(f"running {info.scenario_count} scenarios "
       f"(up to {16 * 120} cores per job)...")
-report = collector.collect(scenarios)
+report = session.collect(deployment=info.name)
 print(f"completed {report.completed}, failed {report.failed}; "
       f"sweep task cost ${report.task_cost_usd:.2f}")
 
 # The four plot types of Sec. III-D plus the Fig. 6 Pareto chart.
-generated = generate_plots(collector.dataset, OUTPUT_DIR)
-for item in generated:
-    print(f"wrote {item.path}")
+plots = session.plot(deployment=info.name, output_dir=OUTPUT_DIR)
+for path in plots.paths:
+    print(f"wrote {path}")
 
 # Console view of the headline series.
-for item in generated:
-    if item.kind in ("speedup", "efficiency"):
-        print(f"\n{item.data.title} [{item.data.subtitle}]")
-        for series in item.data.series:
-            formatted = "  ".join(
-                f"{int(x)}:{y:.2f}" for x, y in series.points
-            )
-            print(f"  {series.label}: {formatted}")
+dataset = session.dataset(info.name)
+for builder in (speedup, efficiency):
+    data = builder(dataset)
+    print(f"\n{data.title} [{data.subtitle}]")
+    for series in data.series:
+        formatted = "  ".join(
+            f"{int(x)}:{y:.2f}" for x, y in series.points
+        )
+        print(f"  {series.label}: {formatted}")
 
 # Listing 4: advice restricted to the paper's node counts.
-advisor = Advisor(collector.dataset.filter(nnodes=[3, 4, 8, 16]))
+advice = session.advise(deployment=info.name, appname="lammps",
+                        nnodes=(3, 4, 8, 16))
 print("\nAdvice (cf. paper Listing 4):")
-print(advisor.render_table(advisor.advise(appname="lammps")))
+print(advice.render_table())

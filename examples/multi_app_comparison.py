@@ -3,26 +3,17 @@
 
 The paper validates HPCAdvisor with WRF, OpenFOAM, GROMACS, LAMMPS, and
 NAMD (Sec. V).  This example sweeps all five (plus matrixmult) over two VM
-types and contrasts their scaling personalities — the communication-bound
-codes saturate early, the compute-bound ones keep going — which is exactly
-why per-application advice matters.
+types with one shared :class:`repro.api.AdvisorSession` — six deployments,
+one facade — and contrasts their scaling personalities: the
+communication-bound codes saturate early, the compute-bound ones keep
+going, which is exactly why per-application advice matters.
 
 Run with::
 
     python examples/multi_app_comparison.py
 """
 
-from repro import (
-    Advisor,
-    AzureBatchBackend,
-    DataCollector,
-    Dataset,
-    Deployer,
-    MainConfig,
-    TaskDB,
-    generate_scenarios,
-    get_plugin,
-)
+from repro.api import AdvisorSession
 
 WORKLOADS = {
     "lammps": {"BOXFACTOR": ["20"]},       # 256M-atom LJ fluid
@@ -35,12 +26,14 @@ WORKLOADS = {
 NNODES = [1, 2, 4, 8, 16]
 SKUS = ["Standard_HB120rs_v3", "Standard_HC44rs"]
 
+session = AdvisorSession()
+
 print(f"{'app':<12} {'best config':<30} {'time':>8} {'cost':>9} "
       f"{'speedup@16':>11} {'comm@16':>8}")
 print("-" * 84)
 
 for appname, appinputs in WORKLOADS.items():
-    config = MainConfig.from_dict({
+    info = session.deploy({
         "subscription": "multiapp",
         "skus": SKUS,
         "rgprefix": f"multi{appname}",
@@ -51,20 +44,13 @@ for appname, appinputs in WORKLOADS.items():
         "ppr": 100,
         "appinputs": appinputs,
     })
-    deployment = Deployer().deploy(config)
-    collector = DataCollector(
-        backend=AzureBatchBackend(service=deployment.batch),
-        script=get_plugin(appname),
-        dataset=Dataset(),
-        taskdb=TaskDB(),
-    )
-    collector.collect(generate_scenarios(config))
+    session.collect(deployment=info.name)
 
-    rows = Advisor(collector.dataset).advise(appname=appname)
-    fastest = rows[0]
+    advice = session.advise(deployment=info.name, appname=appname)
+    fastest = advice.rows[0]
 
     # Scaling personality on the v3 curve.
-    v3 = collector.dataset.filter(sku="hb120rs_v3")
+    v3 = session.dataset(info.name).filter(sku="hb120rs_v3")
     times = {p.nnodes: p.exec_time_s for p in v3}
     comm = {p.nnodes: p.infra_metrics.get("comm_fraction", 0.0) for p in v3}
     speedup16 = times[1] / times[16]

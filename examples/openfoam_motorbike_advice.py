@@ -5,27 +5,17 @@ Sweeps the motorBike case ("BLOCKMESH DIMENSIONS" = "40 16 16", about 8
 million cells) over the paper's three SKUs, prints the Pareto-front advice
 table, and then exercises the paper's "comprehensive advice" vision:
 generating a ready-to-submit Slurm script and a cluster-creation recipe
-from the top advice row.
+from the top advice row — all through :class:`repro.api.AdvisorSession`.
 
 Run with::
 
     python examples/openfoam_motorbike_advice.py
 """
 
-from repro import (
-    Advisor,
-    AzureBatchBackend,
-    DataCollector,
-    Dataset,
-    Deployer,
-    MainConfig,
-    TaskDB,
-    generate_scenarios,
-    get_plugin,
-)
-from repro.core.recipes import cluster_recipe, slurm_script
+from repro.api import AdvisorSession
 
-config = MainConfig.from_dict({
+session = AdvisorSession()
+info = session.deploy({
     "subscription": "motorbike-study",
     "skus": ["Standard_HC44rs", "Standard_HB120rs_v2",
              "Standard_HB120rs_v3"],
@@ -39,33 +29,28 @@ config = MainConfig.from_dict({
     "tags": {"case": "motorBike-8M"},
 })
 
-deployment = Deployer().deploy(config)
-collector = DataCollector(
-    backend=AzureBatchBackend(service=deployment.batch),
-    script=get_plugin("openfoam"),
-    dataset=Dataset(),
-    taskdb=TaskDB(),
-    deployment_name=deployment.name,
-)
-report = collector.collect(generate_scenarios(config))
+report = session.collect(deployment=info.name)
 print(f"completed {report.completed} scenarios, "
       f"task cost ${report.task_cost_usd:.2f}")
 
-advisor = Advisor(collector.dataset)
-rows = advisor.advise(appname="openfoam", sort_by="time")
+advice = session.advise(deployment=info.name, appname="openfoam",
+                        sort_by="time")
 print("\nAdvice (cf. paper Listing 3):")
-print(advisor.render_table(rows))
+print(advice.render_table())
 
 # The OpenFOAM case stops scaling early: quantify it like the paper does.
-fastest, cheapest = rows[0], rows[-1]
+fastest, cheapest = advice.rows[0], advice.rows[-1]
 speedup = cheapest.exec_time_s / fastest.exec_time_s
 cost_ratio = fastest.cost_usd / cheapest.cost_usd
 print(f"going from {cheapest.nnodes} to {fastest.nnodes} nodes: "
       f"{speedup:.1f}x faster for {cost_ratio:.1f}x the cost")
 
 # "Comprehensive advice": executable recipes from the chosen row.
+recipe = session.recipe(
+    deployment=info.name,
+    extra_env={"UCX_NET_DEVICES": "mlx5_ib0:1"},
+)
 print("\n--- Slurm script for the fastest configuration ---")
-print(slurm_script(fastest, "openfoam",
-                   extra_env={"UCX_NET_DEVICES": "mlx5_ib0:1"}))
+print(recipe.slurm_script)
 print("--- Cluster recipe (YAML) ---")
-print(cluster_recipe(fastest, region=config.region))
+print(recipe.cluster_recipe)

@@ -7,90 +7,66 @@ a list of options (e.g. the Pareto front discussed previously) ... and this
 list would require minimal or no executions in the cloud."
 
 Phase 1 collects a historical dataset (two box factors, as a prior user's
-parameter sweep would leave behind).  Phase 2 trains a regression model on
-it and answers a *new* question — a box factor never measured — with a
-predicted advice table, then validates the prediction against a real sweep.
+parameter sweep would leave behind).  Phase 2 asks the session for
+predicted advice on a *new* question — a box factor never measured — with
+zero executions, then validates the prediction against a real sweep.
 
 Run with::
 
     python examples/predicted_advice_demo.py
 """
 
-from repro import (
-    Advisor,
-    AzureBatchBackend,
-    DataCollector,
-    Dataset,
-    Deployer,
-    MainConfig,
-    TaskDB,
-    generate_scenarios,
-    get_plugin,
-)
-from repro.predict import PerformancePredictor
+from repro.api import AdvisorSession
 
 SKUS = ["Standard_HC44rs", "Standard_HB120rs_v2", "Standard_HB120rs_v3"]
 
+session = AdvisorSession()
+
 
 def sweep(appinputs, rgprefix):
-    config = MainConfig.from_dict({
+    info = session.deploy({
         "subscription": "history", "skus": SKUS, "rgprefix": rgprefix,
         "appsetupurl": "https://example.org/lammps.sh",
         "nnodes": [2, 3, 4, 8, 16], "appname": "lammps",
         "region": "southcentralus", "ppr": 100, "appinputs": appinputs,
     })
-    deployment = Deployer().deploy(config)
-    collector = DataCollector(
-        backend=AzureBatchBackend(service=deployment.batch),
-        script=get_plugin("lammps"),
-        dataset=Dataset(),
-        taskdb=TaskDB(),
-    )
-    report = collector.collect(generate_scenarios(config))
-    return config, collector.dataset, report
+    report = session.collect(deployment=info.name)
+    return info, report
 
 
 # Phase 1: historical data from previous parameter sweeps.
-_, history, history_report = sweep({"BOXFACTOR": ["20", "28"]}, "history")
-print(f"historical dataset: {len(history)} measured points "
+history, history_report = sweep({"BOXFACTOR": ["20", "28"]}, "history")
+print(f"historical dataset: {history_report.dataset_points} measured points "
       f"(cost ${history_report.task_cost_usd:.2f})")
 
-# Phase 2: train, then advise on an unmeasured input with zero executions.
-predictor = PerformancePredictor().fit(history, cv_folds=5)
+# Phase 2: predicted advice on an unmeasured input with zero executions.
+QUESTION_NNODES = (3, 4, 8, 16)
+predicted = session.predict(
+    deployment=history.name,
+    inputs={"BOXFACTOR": "30"},  # never measured!
+    nnodes=QUESTION_NNODES,
+)
 print(f"model: ridge on physics features, "
-      f"cross-validated MAPE {predictor.cv_mape:.1%}")
-importances = predictor.feature_importances()
-top = sorted(importances, key=importances.get, reverse=True)[:3]
-print(f"most influential features: {', '.join(top)}")
-
-question = MainConfig.from_dict({
-    "subscription": "question", "skus": SKUS, "rgprefix": "question",
-    "appsetupurl": "https://example.org/lammps.sh",
-    "nnodes": [3, 4, 8, 16], "appname": "lammps",
-    "region": "southcentralus", "ppr": 100,
-    "appinputs": {"BOXFACTOR": ["30"]},  # never measured!
-})
-candidates = generate_scenarios(question)
-rows = predictor.predicted_front(candidates)
+      f"cross-validated MAPE {predicted.cv_mape:.1%} "
+      f"(trained on {predicted.trained_on} points)")
 print(f"\nPredicted advice for BOXFACTOR=30 "
-      f"({len(candidates)} candidate scenarios, 0 executed):")
-advisor_format = Advisor(Dataset())
-print(advisor_format.render_table(rows))
+      f"({len(SKUS) * len(QUESTION_NNODES)} candidate scenarios, "
+      "0 executed):")
+print(predicted.render_table())
 
 # Validation: how good was the free advice?
-_, truth, truth_report = sweep({"BOXFACTOR": ["30"]}, "validation")
-true_rows = Advisor(truth.filter(nnodes=[3, 4, 8, 16])).advise(
-    appname="lammps"
-)
+truth, truth_report = sweep({"BOXFACTOR": ["30"]}, "validation")
+true_advice = session.advise(deployment=truth.name, appname="lammps",
+                             nnodes=(3, 4, 8, 16))
 print(f"Ground-truth advice (cost ${truth_report.task_cost_usd:.2f} "
       "to measure):")
-print(advisor_format.render_table(true_rows))
+print(true_advice.render_table())
 
-true_index = {(r.sku, r.nnodes): r.exec_time_s for r in true_rows}
+true_index = {(r.sku, r.nnodes): r.exec_time_s for r in true_advice.rows}
 errors = [
     abs(r.exec_time_s - true_index[(r.sku, r.nnodes)])
     / true_index[(r.sku, r.nnodes)]
-    for r in rows if (r.sku, r.nnodes) in true_index
+    for r in predicted.rows if (r.sku, r.nnodes) in true_index
 ]
 if errors:
     print(f"prediction error on shared front rows: "

@@ -5,27 +5,20 @@ The minimal end-to-end flow from the paper's Figure 1:
 
     user input -> deploy cloud environment -> collect data -> plots/advice
 
+driven through the one typed entry point, :class:`repro.api.AdvisorSession`.
+
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import (
-    Advisor,
-    AzureBatchBackend,
-    DataCollector,
-    Dataset,
-    Deployer,
-    MainConfig,
-    TaskDB,
-    generate_scenarios,
-    get_plugin,
-)
+from repro.api import AdvisorSession
 
 # 1. The main configuration file (paper Listing 1), as a dict.  The
 #    "matrix size for the matrix multiplication application" is the
 #    paper's own canonical example of an application input.
-config = MainConfig.from_dict({
+session = AdvisorSession()  # ephemeral: nothing written to disk
+info = session.deploy({
     "subscription": "my-subscription",
     "skus": ["Standard_HB120rs_v3", "Standard_HC44rs", "Standard_F72s_v2"],
     "rgprefix": "quickstart",
@@ -37,36 +30,25 @@ config = MainConfig.from_dict({
     "appinputs": {"msize": ["80000"]},
     "tags": {"example": "quickstart"},
 })
-print(f"configuration: {config.scenario_count} scenarios "
-      f"({len(config.skus)} SKUs x {len(config.nnodes)} node counts)")
+print(f"configuration: {info.scenario_count} scenarios")
+print(f"deployed {info.name} in {info.region} "
+      f"(storage {info.storage_account})")
 
-# 2. Deploy the cloud environment (resource group, vnet, storage, Batch).
-deployment = Deployer().deploy(config)
-print(f"deployed {deployment.name} in {deployment.region} "
-      f"(storage {deployment.storage_account})")
-
-# 3. Collect data: Algorithm 1 over all scenarios.
-collector = DataCollector(
-    backend=AzureBatchBackend(service=deployment.batch),
-    script=get_plugin(config.appname),
-    dataset=Dataset(),
-    taskdb=TaskDB(),
-    deployment_name=deployment.name,
-)
-report = collector.collect(generate_scenarios(config))
+# 2.+3. Collect data: Algorithm 1 over all scenarios.
+report = session.collect(deployment=info.name)
 print(f"collected {report.completed} scenarios "
       f"(task cost ${report.task_cost_usd:.2f}, "
       f"infra cost ${report.infrastructure_cost_usd:.2f})")
 
 # 4. Advice: the Pareto front over execution time and cost.
-advisor = Advisor(collector.dataset)
-rows = advisor.advise(appname="matrixmult", sort_by="time")
+advice = session.advise(deployment=info.name, appname="matrixmult",
+                        sort_by="time")
 print("\nAdvice (Pareto front, sorted by execution time):")
-print(advisor.render_table(rows))
+print(advice.render_table())
 
-best = rows[0]
+best = advice.best
 print(f"fastest option: {best.nnodes}x {best.sku} "
       f"-> {best.exec_time_s:.0f}s for ${best.cost_usd:.4f}")
-cheapest = min(rows, key=lambda r: r.cost_usd)
+cheapest = advice.cheapest
 print(f"cheapest option: {cheapest.nnodes}x {cheapest.sku} "
       f"-> {cheapest.exec_time_s:.0f}s for ${cheapest.cost_usd:.4f}")

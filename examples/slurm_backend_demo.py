@@ -4,28 +4,20 @@
 Paper Sec. III-B: "As HPCAdvisor is open source, the back-end can be
 replaced.  We plan to create a couple of other back-end examples, including
 one that uses Slurm directly."  This example runs a GROMACS sweep through
-the simulated cloud-bursting Slurm cluster and shows the familiar
-sinfo/squeue/sacct views alongside the advice.
+the simulated cloud-bursting Slurm cluster — selected simply by
+``collect(..., backend="slurm")`` on the session, via the unified backend
+registry — and shows the familiar sinfo/squeue/sacct views alongside the
+advice.
 
 Run with::
 
     python examples/slurm_backend_demo.py
 """
 
-from repro import (
-    Advisor,
-    DataCollector,
-    Dataset,
-    Deployer,
-    MainConfig,
-    SlurmBackend,
-    TaskDB,
-    generate_scenarios,
-    get_plugin,
-)
-from repro.slurmsim.cluster import SlurmCluster
+from repro.api import AdvisorSession
 
-config = MainConfig.from_dict({
+session = AdvisorSession()
+info = session.deploy({
     "subscription": "slurm-demo",
     "skus": ["Standard_HB120rs_v3", "Standard_HC44rs"],
     "rgprefix": "slurmdemo",
@@ -37,22 +29,12 @@ config = MainConfig.from_dict({
     "appinputs": {"atoms": ["3000000"]},  # ~3M-atom water box
 })
 
-deployment = Deployer().deploy(config)
-cluster = SlurmCluster(
-    provider=deployment.provider,
-    subscription=deployment.provider.get_subscription(config.subscription),
-    region=config.region,
-)
-collector = DataCollector(
-    backend=SlurmBackend(cluster=cluster),
-    script=get_plugin("gromacs"),
-    dataset=Dataset(),
-    taskdb=TaskDB(),
-)
-report = collector.collect(generate_scenarios(config))
+report = session.collect(deployment=info.name, backend="slurm")
 print(f"completed {report.completed} scenarios on the Slurm back-end "
       f"(task cost ${report.task_cost_usd:.2f})\n")
 
+# The session keeps the backend (and its cluster) alive for inspection.
+cluster = session.backend(info.name, "slurm").cluster
 print("=== sinfo ===")
 print(cluster.sinfo())
 print("=== squeue (empty: everything completed) ===")
@@ -63,11 +45,12 @@ for job in cluster.sacct():
           f"{job.state.value}  {job.nodes} nodes  "
           f"{(job.elapsed_s or 0):7.1f}s")
 
-advisor = Advisor(collector.dataset)
 print("\n=== Advice ===")
-print(advisor.render_table(advisor.advise(appname="gromacs")))
+print(session.advise(deployment=info.name,
+                     appname="gromacs").render_table())
 
 # GROMACS throughput in the units practitioners use.
-for point in sorted(collector.dataset, key=lambda p: (p.sku, p.nnodes)):
+for point in sorted(session.dataset(info.name),
+                    key=lambda p: (p.sku, p.nnodes)):
     ns_day = point.app_vars.get("GMXNSPERDAY", "?")
     print(f"  {point.sku:<24} n={point.nnodes}: {ns_day} ns/day")

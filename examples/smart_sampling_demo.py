@@ -4,33 +4,26 @@
 Runs the same LAMMPS scenario grid twice — once exhaustively, once with the
 SmartSampler (aggressive VM-type discarding + scaling-law prediction +
 bottleneck pruning) — and compares scenarios executed, money spent, and the
-advice produced.
+advice produced.  Both sweeps go through one
+:class:`repro.api.AdvisorSession`; the smart run is just
+``collect(..., smart_sampling=True)``.
 
 Run with::
 
     python examples/smart_sampling_demo.py
 """
 
-from repro import (
-    Advisor,
-    AzureBatchBackend,
-    DataCollector,
-    Dataset,
-    Deployer,
-    MainConfig,
-    SmartSampler,
-    TaskDB,
-    generate_scenarios,
-    get_plugin,
-)
+from repro.api import AdvisorSession
+
+session = AdvisorSession()
 
 
-def make_config(rgprefix: str) -> MainConfig:
-    return MainConfig.from_dict({
+def sweep(smart: bool):
+    info = session.deploy({
         "subscription": "sampling-demo",
         "skus": ["Standard_HC44rs", "Standard_HB120rs_v2",
                  "Standard_HB120rs_v3"],
-        "rgprefix": rgprefix,
+        "rgprefix": "smart" if smart else "full",
         "appsetupurl": "https://example.org/lammps.sh",
         "nnodes": [2, 3, 4, 6, 8, 12, 16],
         "appname": "lammps",
@@ -38,34 +31,14 @@ def make_config(rgprefix: str) -> MainConfig:
         "ppr": 100,
         "appinputs": {"BOXFACTOR": ["30"]},
     })
+    report = session.collect(deployment=info.name, smart_sampling=smart)
+    return info, report
 
 
-def sweep(smart: bool):
-    config = make_config("smart" if smart else "full")
-    deployment = Deployer().deploy(config)
-    scenarios = generate_scenarios(config)
-    sampler = None
-    if smart:
-        prices = {
-            sku: deployment.provider.prices.hourly_price(sku, config.region)
-            for sku in config.skus
-        }
-        sampler = SmartSampler.for_scenarios(scenarios, prices)
-    collector = DataCollector(
-        backend=AzureBatchBackend(service=deployment.batch),
-        script=get_plugin("lammps"),
-        dataset=Dataset(),
-        taskdb=TaskDB(),
-        sampler=sampler,
-    )
-    report = collector.collect(scenarios)
-    return report, collector.dataset, sampler
+full_info, full_report = sweep(smart=False)
+smart_info, smart_report = sweep(smart=True)
 
-
-full_report, full_data, _ = sweep(smart=False)
-smart_report, smart_data, sampler = sweep(smart=True)
-
-total = len(generate_scenarios(make_config("count")))
+total = full_info.scenario_count
 print("=== Full sweep vs smart sampling ===")
 print(f"scenarios executed: {full_report.executed}/{total} vs "
       f"{smart_report.executed}/{total} "
@@ -77,17 +50,16 @@ print(f"infra cost: ${full_report.infrastructure_cost_usd:.2f} vs "
       f"${smart_report.infrastructure_cost_usd:.2f}")
 
 print("\n=== Sampler decisions ===")
-assert sampler is not None
-for line in sampler.decisions_log:
+for line in smart_report.sampler_decisions:
     print(f"  {line}")
 
 print("\n=== Advice: full sweep ===")
-full_advisor = Advisor(full_data)
-print(full_advisor.render_table(full_advisor.advise(appname="lammps")))
+print(session.advise(deployment=full_info.name,
+                     appname="lammps").render_table())
 
 print("=== Advice: smart sampling (predictions flagged with *) ===")
-smart_advisor = Advisor(smart_data)
-print(smart_advisor.render_table(smart_advisor.advise(appname="lammps")))
+print(session.advise(deployment=smart_info.name,
+                     appname="lammps").render_table())
 
 print("=== Bottleneck analysis (drives the pruning hints) ===")
-print(sampler.bottlenecks.summary())
+print(smart_report.bottleneck_summary)

@@ -1,9 +1,9 @@
-"""Setup shim; all metadata lives in setup.cfg.
+"""Setup shim; all metadata lives in pyproject.toml.
 
-The project deliberately ships setup.cfg + setup.py (no pyproject.toml):
-PEP 517 build isolation downloads build dependencies from PyPI, which fails
-in the offline environments this reproduction targets.  The legacy path
-installs with zero network access via plain ``pip install -e .``.
+Kept so legacy tooling (and ``pip install --no-build-isolation -e .`` on
+older pips) still works in the offline environments this reproduction
+targets: the pyproject pins no build dependencies beyond setuptools
+itself, so no network access is needed either way.
 """
 
 from setuptools import setup

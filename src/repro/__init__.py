@@ -12,13 +12,11 @@ the paper's planned extensions: smart sampling, a Slurm back-end, and
 recipe generation.  See DESIGN.md for the system inventory and
 EXPERIMENTS.md for paper-vs-measured results.
 
-Quickstart::
+Quickstart — the whole pipeline behind one typed facade::
 
-    from repro import MainConfig, Deployer, DataCollector, Advisor
-    from repro import AzureBatchBackend, Dataset, TaskDB
-    from repro import generate_scenarios, get_plugin
+    from repro import AdvisorSession
 
-    config = MainConfig.from_dict({
+    result = AdvisorSession().run({
         "subscription": "my-subscription",
         "skus": ["Standard_HB120rs_v3", "Standard_HC44rs"],
         "rgprefix": "quickstart",
@@ -28,15 +26,21 @@ Quickstart::
         "region": "southcentralus",
         "appinputs": {"BOXFACTOR": ["10"]},
     })
-    deployment = Deployer().deploy(config)
-    collector = DataCollector(
-        backend=AzureBatchBackend(service=deployment.batch),
-        script=get_plugin(config.appname),
-        dataset=Dataset(), taskdb=TaskDB(),
-    )
-    collector.collect(generate_scenarios(config))
-    for row in Advisor(collector.dataset).advise():
-        print(row)
+    print(result.render_table())        # the paper's advice table
+    print(result.to_json())             # same object, machine-readable
+
+Step by step (persistent sessions resume pools and datasets across
+calls)::
+
+    session = AdvisorSession(state_dir="~/.hpcadvisor-sim")
+    info = session.deploy("config.yaml")
+    session.collect(deployment=info.name, smart_sampling=True)
+    advice = session.advise(deployment=info.name, sort_by="cost")
+
+The pre-facade wiring (``Deployer`` -> ``DataCollector`` -> ``Advisor``,
+see :mod:`repro.api.session` for what it looked like) still works and all
+of its names remain importable from ``repro``; new code should prefer
+:class:`repro.api.AdvisorSession`.
 """
 
 from repro.errors import (
@@ -68,8 +72,24 @@ from repro.backends.slurm import SlurmBackend
 from repro.perf.noise import NoiseModel
 from repro.perf.registry import get_model, list_models
 from repro.sampling.planner import SamplerPolicy, SmartSampler
+from repro.api.requests import (
+    AdviseRequest,
+    CollectRequest,
+    PlotRequest,
+    PredictRequest,
+    RecipeRequest,
+)
+from repro.api.results import (
+    AdviceResult,
+    CollectResult,
+    PlotResult,
+    PredictResult,
+    RecipeResult,
+    SessionInfo,
+)
+from repro.api.session import AdvisorSession
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -89,4 +109,10 @@ __all__ = [
     "NoiseModel", "get_model", "list_models",
     # sampling
     "SmartSampler", "SamplerPolicy",
+    # session facade (repro.api)
+    "AdvisorSession",
+    "CollectRequest", "AdviseRequest", "PlotRequest", "PredictRequest",
+    "RecipeRequest",
+    "SessionInfo", "CollectResult", "AdviceResult", "PredictResult",
+    "PlotResult", "RecipeResult",
 ]

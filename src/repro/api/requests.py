@@ -1,0 +1,125 @@
+"""Typed requests accepted by :class:`repro.api.AdvisorSession`.
+
+Frozen dataclasses with ``to_dict()``/``from_dict()`` JSON round-tripping,
+so the same objects serve programmatic callers, the CLI (``--json``), and
+future HTTP endpoints.  Every field has a default except the fields that
+name what to operate on, so requests read like the CLI flags they mirror::
+
+    CollectRequest(deployment="mysweep-000", smart_sampling=True,
+                   budget_usd=25.0)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.api.serde import DictMixin
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CollectRequest(DictMixin):
+    """Run (or resume) the data-collection sweep on a deployment."""
+
+    deployment: str = ""
+    backend: str = "azurebatch"
+    smart_sampling: bool = False
+    #: Named preset from the sampling-policy registry; implies smart
+    #: sampling when set.
+    sampling_policy: Optional[str] = None
+    delete_pools: bool = False
+    #: Run-to-run noise sigma.  ``None`` keeps the deployment backend's
+    #: current noise model (0 on a fresh backend); an explicit value
+    #: re-binds it.
+    noise: Optional[float] = None
+    seed: Optional[int] = None
+    #: Hard USD budget for measured task spend (wraps the sampler).
+    budget_usd: Optional[float] = None
+    retry_failed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.noise is not None and self.noise < 0:
+            raise ConfigError(f"noise must be >= 0, got {self.noise}")
+        if self.retry_failed < 0:
+            raise ConfigError(
+                f"retry_failed must be >= 0, got {self.retry_failed}"
+            )
+
+    @property
+    def wants_sampler(self) -> bool:
+        return (self.smart_sampling or self.budget_usd is not None
+                or self.sampling_policy is not None)
+
+
+@dataclass(frozen=True)
+class AdviseRequest(DictMixin):
+    """Compute the Pareto-front advice table for a deployment's dataset."""
+
+    deployment: str = ""
+    appname: Optional[str] = None
+    #: appinput filter, e.g. ``{"mesh": "40 16 16"}``.
+    filters: Dict[str, str] = field(default_factory=dict)
+    #: Restrict to these node counts (empty = all).
+    nnodes: Tuple[int, ...] = ()
+    #: Restrict to one VM type (suffix match, like the CLI ``--sku``).
+    sku: Optional[str] = None
+    sort_by: str = "time"
+    max_rows: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.sort_by not in ("time", "cost"):
+            raise ConfigError(
+                f"sort_by must be 'time' or 'cost', got {self.sort_by!r}"
+            )
+
+
+@dataclass(frozen=True)
+class PlotRequest(DictMixin):
+    """Generate the Sec. III-D chart set from a deployment's dataset."""
+
+    deployment: str = ""
+    #: Output directory; defaults to the session state dir's plots folder.
+    output_dir: Optional[str] = None
+    filters: Dict[str, str] = field(default_factory=dict)
+    sku: Optional[str] = None
+    subtitle: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class PredictRequest(DictMixin):
+    """Zero-execution advice for new inputs, trained on collected data."""
+
+    deployment: str = ""
+    #: Application inputs to predict for (default: the measured inputs).
+    inputs: Dict[str, str] = field(default_factory=dict)
+    #: Candidate node counts (empty = those in the dataset).
+    nnodes: Tuple[int, ...] = ()
+    model: str = "ridge"
+
+    def __post_init__(self) -> None:
+        if self.model not in ("ridge", "knn"):
+            raise ConfigError(
+                f"model must be 'ridge' or 'knn', got {self.model!r}"
+            )
+
+
+@dataclass(frozen=True)
+class RecipeRequest(DictMixin):
+    """Executable recipes (Slurm script + cluster YAML) for an advice row."""
+
+    deployment: str = ""
+    #: Which advice row to materialise (0 = top of the table).
+    row: int = 0
+    sort_by: str = "time"
+    filters: Dict[str, str] = field(default_factory=dict)
+    extra_env: Dict[str, str] = field(default_factory=dict)
+    region: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.row < 0:
+            raise ConfigError(f"row must be >= 0, got {self.row}")
+        if self.sort_by not in ("time", "cost"):
+            raise ConfigError(
+                f"sort_by must be 'time' or 'cost', got {self.sort_by!r}"
+            )

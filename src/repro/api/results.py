@@ -1,0 +1,172 @@
+"""Typed results returned by :class:`repro.api.AdvisorSession`.
+
+Like the requests, these are frozen dataclasses with JSON round-tripping
+(``to_dict``/``from_dict``/``to_json``), so CLI ``--json`` output, GUI
+pages, and programmatic callers all consume the same objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.api.serde import DictMixin
+from repro.core.advisor import AdviceRow
+from repro.errors import ConfigError
+
+
+def _decode_rows(raw) -> Tuple[AdviceRow, ...]:
+    rows = []
+    for item in raw or ():
+        data = dict(item)
+        data["appinputs"] = dict(data.get("appinputs", {}))
+        rows.append(AdviceRow(**data))
+    return tuple(rows)
+
+
+def _render_rows(rows: Tuple[AdviceRow, ...]) -> str:
+    """The paper's listing-style table for a row tuple."""
+    from repro.core.advisor import Advisor
+    from repro.core.dataset import Dataset
+
+    return Advisor(Dataset()).render_table(list(rows))
+
+
+@dataclass(frozen=True)
+class SessionInfo(DictMixin):
+    """One deployment as seen by the session (live or reattachable)."""
+
+    name: str
+    region: str = ""
+    subscription: str = ""
+    appname: str = ""
+    scenario_count: int = 0
+    vnet: str = ""
+    storage_account: str = ""
+    batch_account: str = ""
+    jumpbox: Optional[str] = None
+    created_at: float = 0.0
+    #: Number of points collected so far (0 = collect not run yet).
+    dataset_points: int = 0
+    #: Set by deploy() when a previous same-named deployment's data had
+    #: to be moved aside to the state dir's archive/.
+    archived_data: Tuple[str, ...] = ()
+
+    @property
+    def has_data(self) -> bool:
+        return self.dataset_points > 0
+
+
+@dataclass(frozen=True)
+class CollectResult(DictMixin):
+    """Summary of one :meth:`AdvisorSession.collect` sweep."""
+
+    deployment: str
+    backend: str = "azurebatch"
+    executed: int = 0
+    completed: int = 0
+    failed: int = 0
+    skipped: int = 0
+    predicted: int = 0
+    task_cost_usd: float = 0.0
+    infrastructure_cost_usd: float = 0.0
+    provisioning_overhead_s: float = 0.0
+    simulated_wall_s: float = 0.0
+    failures: Tuple[str, ...] = ()
+    dataset_points: int = 0
+    dataset_path: str = ""
+    #: Smart-sampling extras (empty/zero when no sampler was used).
+    sampler_decisions: Tuple[str, ...] = ()
+    bottleneck_summary: str = ""
+    budget_spent_usd: Optional[float] = None
+    budget_skipped: int = 0
+
+    @property
+    def total_tasks(self) -> int:
+        return self.executed + self.skipped + self.predicted
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0
+
+
+@dataclass(frozen=True)
+class AdviceResult(DictMixin):
+    """The Pareto-front advice table for one deployment/filter."""
+
+    deployment: str
+    appname: str = ""
+    sort_by: str = "time"
+    rows: Tuple[AdviceRow, ...] = ()
+    dataset_points: int = 0
+
+    _decoders = {"rows": _decode_rows}
+
+    @property
+    def best(self) -> Optional[AdviceRow]:
+        return self.rows[0] if self.rows else None
+
+    @property
+    def cheapest(self) -> Optional[AdviceRow]:
+        return min(self.rows, key=lambda r: r.cost_usd) if self.rows else None
+
+    @property
+    def fastest(self) -> Optional[AdviceRow]:
+        return (min(self.rows, key=lambda r: r.exec_time_s)
+                if self.rows else None)
+
+    def render_table(self) -> str:
+        return _render_rows(self.rows)
+
+    def resorted(self, sort_by: str) -> "AdviceResult":
+        if sort_by not in ("time", "cost"):
+            raise ConfigError(
+                f"sort_by must be 'time' or 'cost', got {sort_by!r}"
+            )
+        key = ((lambda r: (r.exec_time_s, r.cost_usd)) if sort_by == "time"
+               else (lambda r: (r.cost_usd, r.exec_time_s)))
+        return replace(self, sort_by=sort_by,
+                       rows=tuple(sorted(self.rows, key=key)))
+
+
+@dataclass(frozen=True)
+class PredictResult(DictMixin):
+    """Predicted advice (no executions) plus model quality metadata."""
+
+    deployment: str
+    appname: str = ""
+    model: str = "ridge"
+    inputs: Dict[str, str] = field(default_factory=dict)
+    rows: Tuple[AdviceRow, ...] = ()
+    trained_on: int = 0
+    cv_mape: Optional[float] = None
+
+    _decoders = {"rows": _decode_rows}
+
+    def render_table(self) -> str:
+        return _render_rows(self.rows)
+
+
+@dataclass(frozen=True)
+class PlotResult(DictMixin):
+    """Chart files written by :meth:`AdvisorSession.plot`."""
+
+    deployment: str
+    output_dir: str = ""
+    paths: Tuple[str, ...] = ()
+    kinds: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class RecipeResult(DictMixin):
+    """Executable recipes for one advice row (paper's Sec. VI vision)."""
+
+    deployment: str
+    row: Optional[AdviceRow] = None
+    slurm_script: str = ""
+    cluster_recipe: str = ""
+
+    _decoders = {
+        "row": lambda raw: (None if raw is None
+                            else _decode_rows([raw])[0]),
+    }

@@ -1,0 +1,735 @@
+"""The session facade: one typed entry point for deploy -> collect -> advise.
+
+:class:`AdvisorSession` owns the whole pipeline — deployer, state store,
+execution backend, dataset, and task DB lifecycle — behind high-level
+methods, so the CLI, the GUI, examples, and programmatic callers all drive
+the same code path instead of hand-wiring ``Deployer`` + ``DataCollector``
++ ``Advisor`` themselves.
+
+Two modes:
+
+* **ephemeral** (``AdvisorSession()``) — everything lives in memory; good
+  for examples, notebooks, and tests;
+* **persistent** (``AdvisorSession(state_dir=...)``) — deployments,
+  datasets, and task DBs persist through a
+  :class:`~repro.core.statefiles.StateStore`, so sessions are resumable:
+  a new session reattaches deployments and reloads datasets on demand,
+  and repeated ``collect`` calls reuse pools and append to the same
+  dataset instead of rebuilding from scratch.
+
+One-shot convenience::
+
+    from repro.api import AdvisorSession
+
+    result = AdvisorSession().run(config)   # deploy + collect + advise
+    print(result.render_table())
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.api import registry
+from repro.api.requests import (
+    AdviseRequest,
+    CollectRequest,
+    PlotRequest,
+    PredictRequest,
+    RecipeRequest,
+)
+from repro.api.results import (
+    AdviceResult,
+    CollectResult,
+    PlotResult,
+    PredictResult,
+    RecipeResult,
+    SessionInfo,
+)
+from repro.core.advisor import Advisor
+from repro.core.collector import DataCollector
+from repro.core.config import MainConfig
+from repro.core.dataset import Dataset
+from repro.core.deployer import Deployer, Deployment
+from repro.core.statefiles import StateStore, resolve_state_dir
+from repro.core.taskdb import TaskDB
+from repro.errors import ConfigError, ReproError, ResourceNotFound
+from repro.perf.noise import NoiseModel
+from repro.sampling.planner import SmartSampler
+
+ConfigLike = Union[MainConfig, Mapping, str]
+
+
+class AdvisorSession:
+    """Facade over the full advisory pipeline (see module docstring).
+
+    Parameters
+    ----------
+    state_dir:
+        Directory for persistent state.  ``None`` (default) makes the
+        session ephemeral — nothing is written to disk.
+    store:
+        An explicit :class:`StateStore` (overrides ``state_dir``).
+    deployer:
+        Injectable for tests; defaults to a fresh simulated provider.
+    """
+
+    def __init__(
+        self,
+        state_dir: Optional[str] = None,
+        *,
+        store: Optional[StateStore] = None,
+        deployer: Optional[Deployer] = None,
+    ) -> None:
+        if store is None and state_dir is not None:
+            store = StateStore(root=resolve_state_dir(state_dir))
+        self.store = store
+        self.deployer = deployer or Deployer()
+        self._deployments: Dict[str, Deployment] = {}
+        self._datasets: Dict[str, Dataset] = {}
+        self._dataset_sigs: Dict[str, Tuple[int, int]] = {}
+        self._taskdbs: Dict[str, TaskDB] = {}
+        self._taskdb_sigs: Dict[str, Tuple[int, int]] = {}
+        self._count_cache: Dict[str, Tuple[Tuple[int, int], int]] = {}
+        self._backends: Dict[Tuple[str, str], object] = {}
+
+    # -- deploy -----------------------------------------------------------------
+
+    def deploy(self, config: ConfigLike) -> SessionInfo:
+        """Run the paper's Sec. III-B provisioning sequence.
+
+        ``config`` may be a :class:`MainConfig`, a plain mapping, or a
+        path to a YAML file.
+        """
+        import dataclasses
+
+        cfg = self._coerce_config(config)
+        deployment = self.deployer.deploy(cfg, taken=self._taken_names())
+        archived = self._discard_orphaned_state(deployment.name)
+        self._deployments[deployment.name] = deployment
+        if self.store is not None:
+            self.store.save_deployment(deployment)
+        return dataclasses.replace(self._info(deployment),
+                                   archived_data=archived)
+
+    def _taken_names(self) -> set:
+        """Names the deployer's fresh provider cannot see: the store's
+        records (other processes' deployments) plus this session's —
+        without these, a second CLI process would re-allocate
+        ``<prefix>-000`` and clobber a live deployment's data.
+        """
+        taken = set(self._deployments)
+        if self.store is not None:
+            taken |= {str(r["name"]) for r in self.store.list_deployments()}
+        return taken
+
+    def _discard_orphaned_state(self, name: str) -> Tuple[str, ...]:
+        """Move aside dataset/task DB left by a shut-down deployment of
+        the same name — a fresh deployment must start clean, not inherit
+        old data (a stale task DB would make its first ``collect`` a
+        no-op).  Files are archived, never deleted: the data was paid
+        for.  Returns the archive paths (surfaced by ``deploy``).
+        """
+        archived = []
+        if self.store is not None:
+            import shutil
+
+            for path in (self.store.dataset_path(name),
+                         self.store.taskdb_path(name)):
+                if os.path.exists(path):
+                    archived.append(self._archive(path))
+            # Plots are regenerable from the archived dataset.
+            shutil.rmtree(self.store.plots_dir(name), ignore_errors=True)
+        self._datasets.pop(name, None)
+        self._dataset_sigs.pop(name, None)
+        self._taskdbs.pop(name, None)
+        self._taskdb_sigs.pop(name, None)
+        self._count_cache.pop(name, None)
+        return tuple(archived)
+
+    def _archive(self, path: str) -> str:
+        archive_dir = os.path.join(self.store.root, "archive")
+        os.makedirs(archive_dir, exist_ok=True)
+        base = os.path.basename(path)
+        dest = os.path.join(archive_dir, base)
+        k = 1
+        while os.path.exists(dest):
+            dest = os.path.join(archive_dir, f"{base}.{k}")
+            k += 1
+        os.replace(path, dest)
+        return dest
+
+    def deployment(self, name: str) -> Deployment:
+        """The live deployment, reattaching from the state store if needed.
+
+        Reattachment replays the recorded configuration on the *session's*
+        provider (the simulated control plane is deterministic), so all of
+        a session's deployments share one provider and one price catalog.
+        """
+        if name not in self._deployments:
+            if self.store is None:
+                raise ResourceNotFound(
+                    f"deployment {name!r} not found in this session"
+                )
+            self._deployments[name] = self.store.attach(
+                name, deployer=self.deployer
+            )
+        return self._deployments[name]
+
+    def record(self, name: str) -> Dict:
+        """The serializable deployment record (config included)."""
+        if self.store is not None:
+            return self.store.get_deployment_record(name)
+        if name in self._deployments:
+            return self._deployments[name].to_record()
+        raise ResourceNotFound(
+            f"deployment {name!r} not found in this session"
+        )
+
+    def list_deployments(self) -> List[SessionInfo]:
+        """All deployments this session can see, sorted by name."""
+        infos = {
+            name: self._info(dep) for name, dep in self._deployments.items()
+        }
+        if self.store is not None:
+            for rec in self.store.list_deployments():
+                name = str(rec["name"])
+                if name not in infos:
+                    infos[name] = self._info_from_record(rec)
+        return [infos[name] for name in sorted(infos)]
+
+    def info(self, name: str,
+             record: Optional[Mapping] = None) -> SessionInfo:
+        """Session info for one deployment.
+
+        Pass ``record`` when the caller already holds the deployment
+        record, to avoid a second store read.
+        """
+        if name in self._deployments:
+            return self._info(self._deployments[name])
+        return self._info_from_record(
+            record if record is not None else self.record(name)
+        )
+
+    def shutdown(self, name: str) -> None:
+        """Tear down a deployment's cloud resources and drop its record.
+
+        Collected data (dataset, task DB, plots) survives — like the real
+        tool, you can keep running ``advise``/``plot`` on data you paid
+        for after releasing the resources.  A later :meth:`deploy` that
+        recycles the name discards the orphaned data first.
+        """
+        known = name in self._deployments
+        if self.store is not None:
+            self.store.get_deployment_record(name)  # raises if unknown
+            self.store.remove_deployment(name)
+        elif not known:
+            raise ResourceNotFound(
+                f"deployment {name!r} not found in this session"
+            )
+        deployment = self._deployments.pop(name, None)
+        if deployment is not None:
+            # Tear down on the provider that owns the deployment (a session
+            # restored from disk may hold deployments from several).
+            Deployer(provider=deployment.provider).shutdown(deployment)
+        for key in [k for k in self._backends if k[0] == name]:
+            del self._backends[key]
+
+    # -- data access ------------------------------------------------------------
+
+    def dataset(self, name: str, must_exist: bool = True) -> Dataset:
+        """The deployment's dataset (cached; loaded from disk if persisted).
+
+        The cache is invalidated when another process rewrote the file
+        (e.g. a ``collect`` run while the GUI server keeps its session),
+        so long-lived sessions never serve stale data.
+        """
+        path = (self.store.dataset_path(name)
+                if self.store is not None else None)
+        on_disk = path is not None and os.path.exists(path)
+        if name in self._datasets and not self._cache_stale(
+                self._dataset_sigs, name, path, on_disk):
+            return self._datasets[name]
+        self._datasets.pop(name, None)
+        self._dataset_sigs.pop(name, None)
+        if on_disk:
+            dataset = Dataset.load(path)
+            dataset.path = path
+            self._dataset_sigs[name] = _file_sig(path)
+        else:
+            if must_exist:
+                raise ReproError(
+                    f"no dataset for deployment {name!r}; "
+                    "run collect first"
+                )
+            dataset = Dataset(path=path)
+        self._datasets[name] = dataset
+        return self._datasets[name]
+
+    def taskdb(self, name: str) -> TaskDB:
+        """The deployment's task DB (cached; loaded from disk if persisted).
+
+        Invalidated on external rewrites like :meth:`dataset` — a stale
+        task DB would make a resumed ``collect`` re-execute scenarios
+        another process already completed, duplicating dataset points.
+        """
+        path = (self.store.taskdb_path(name)
+                if self.store is not None else None)
+        on_disk = path is not None and os.path.exists(path)
+        if name in self._taskdbs and not self._cache_stale(
+                self._taskdb_sigs, name, path, on_disk):
+            return self._taskdbs[name]
+        self._taskdbs.pop(name, None)
+        self._taskdb_sigs.pop(name, None)
+        if on_disk:
+            self._taskdbs[name] = TaskDB.load(path)
+            self._taskdb_sigs[name] = _file_sig(path)
+        else:
+            self._taskdbs[name] = TaskDB(path=path)
+        return self._taskdbs[name]
+
+    @staticmethod
+    def _cache_stale(sigs: Dict[str, Tuple[int, int]], name: str,
+                     path: Optional[str], on_disk: bool) -> bool:
+        """True when the cached copy no longer reflects the disk state.
+
+        No backing path (ephemeral) -> never stale.  File present ->
+        stale on signature mismatch.  File gone -> stale only if the
+        cache was loaded from disk (a recorded signature): an external
+        delete must not be masked by the old in-memory copy.
+        """
+        if path is None:
+            return False
+        if on_disk:
+            return _file_sig(path) != sigs.get(name)
+        return name in sigs
+
+    def backend(self, name: str, backend: str = "azurebatch",
+                noise: Optional[float] = None, seed: Optional[int] = None):
+        """The (cached) execution backend bound to a deployment.
+
+        One backend per (deployment, backend kind): repeated ``collect``
+        calls reuse pools instead of re-provisioning, and inspection
+        calls (``session.backend(name, "slurm").cluster``) see the same
+        instance that ran the sweep regardless of its noise settings.
+        Passing ``noise``/``seed`` re-binds the noise model on the
+        existing backend; omitting them leaves it untouched.
+        """
+        key = (name, backend.lower())  # registry lookups are case-insensitive
+        instance = self._backends.get(key)
+        if instance is None:
+            deployment = self.deployment(name)
+            config = self._config_for(name, deployment)
+            noise_model = NoiseModel(sigma=noise or 0.0, seed=seed or 0)
+            instance = registry.backends.create(
+                backend, deployment, config, noise_model
+            )
+            self._backends[key] = instance
+        elif noise is not None or seed is not None:
+            # Partial re-bind: an omitted component keeps its current value
+            # (collect(seed=2) must not silently zero a 0.1 sigma).
+            current = instance.noise or NoiseModel()
+            instance.noise = NoiseModel(
+                sigma=current.sigma if noise is None else noise,
+                seed=current.seed if seed is None else seed,
+            )
+        return instance
+
+    # -- collect ----------------------------------------------------------------
+
+    def collect(self, request: Optional[CollectRequest] = None,
+                /, **kwargs) -> CollectResult:
+        """Run Algorithm 1 over the deployment's scenario space.
+
+        Accepts a :class:`CollectRequest` or its fields as keyword
+        arguments.  Resumable: already-completed scenarios in the task DB
+        are not re-executed, and new points append to the existing
+        dataset.
+        """
+        req = _coerce_request(CollectRequest, request, kwargs)
+        name = _require_deployment(req.deployment)
+        deployment = self.deployment(name)
+        config = self._config_for(name, deployment)
+        scenarios = _generate_scenarios(config)
+
+        exec_backend = self.backend(name, req.backend,
+                                    noise=req.noise, seed=req.seed)
+        # The cached backend accumulates over the deployment's lifetime;
+        # snapshot its counters so this result reports per-sweep numbers.
+        infra_before = exec_backend.total_infrastructure_cost_usd
+        provisioning_before = exec_backend.provisioning_overhead_s
+        dataset = self.dataset(name, must_exist=False)
+        taskdb = self.taskdb(name)
+        sampler, smart = self._make_sampler(req, deployment, config,
+                                            scenarios)
+
+        collector = DataCollector(
+            backend=exec_backend,
+            script=registry.apps.create(config.appname),
+            dataset=dataset,
+            taskdb=taskdb,
+            deployment_name=name,
+            delete_pool_on_switch=req.delete_pools,
+            sampler=sampler,
+            retry_failed=req.retry_failed,
+        )
+        report = collector.collect(scenarios)
+        # collect() saved through our own cached objects; record the new
+        # signatures so the next dataset()/taskdb() call does not reload.
+        if dataset.path and os.path.exists(dataset.path):
+            self._dataset_sigs[name] = _file_sig(dataset.path)
+        if taskdb.path and os.path.exists(taskdb.path):
+            self._taskdb_sigs[name] = _file_sig(taskdb.path)
+        return CollectResult(
+            deployment=name,
+            backend=exec_backend.name,
+            executed=report.executed,
+            completed=report.completed,
+            failed=report.failed,
+            skipped=report.skipped,
+            predicted=report.predicted,
+            task_cost_usd=report.task_cost_usd,
+            infrastructure_cost_usd=(report.infrastructure_cost_usd
+                                     - infra_before),
+            provisioning_overhead_s=(report.provisioning_overhead_s
+                                     - provisioning_before),
+            simulated_wall_s=report.simulated_wall_s,
+            failures=tuple(report.failures),
+            dataset_points=len(dataset),
+            dataset_path=dataset.path or "",
+            sampler_decisions=(tuple(smart.decisions_log) if smart else ()),
+            bottleneck_summary=(smart.bottlenecks.summary() if smart else ""),
+            budget_spent_usd=(getattr(sampler, "spent_usd", None)
+                              if req.budget_usd is not None else None),
+            budget_skipped=getattr(sampler, "skipped_over_budget", 0),
+        )
+
+    def _make_sampler(self, req: CollectRequest, deployment: Deployment,
+                      config: MainConfig, scenarios) -> Tuple[object, object]:
+        """(collector sampler, underlying SmartSampler) or (None, None)."""
+        if not req.wants_sampler:
+            return None, None
+        policy = (registry.sampling_policies.create(req.sampling_policy)
+                  if req.sampling_policy else None)
+        prices = {
+            s.sku_name: deployment.provider.prices.hourly_price(
+                s.sku_name, config.region
+            )
+            for s in scenarios
+        }
+        smart = SmartSampler.for_scenarios(scenarios, prices, policy=policy)
+        if req.budget_usd is not None:
+            from repro.sampling.budget import BudgetedSampler
+
+            return BudgetedSampler(inner=smart,
+                                   budget_usd=req.budget_usd), smart
+        return smart, smart
+
+    # -- advise -----------------------------------------------------------------
+
+    def advise(self, request: Optional[AdviseRequest] = None,
+               /, **kwargs) -> AdviceResult:
+        """The Pareto-front advice table for a deployment's dataset."""
+        req = _coerce_request(AdviseRequest, request, kwargs)
+        name = _require_deployment(req.deployment)
+        dataset = self.dataset(name).filter(
+            appinputs=dict(req.filters) or None,
+            nnodes=list(req.nnodes) or None,
+            sku=req.sku,
+        )
+        advisor = Advisor(dataset)
+        rows = advisor.advise(
+            appname=req.appname, sort_by=req.sort_by, max_rows=req.max_rows
+        )
+        appname = req.appname or (dataset.points()[0].appname
+                                  if len(dataset) else "")
+        return AdviceResult(
+            deployment=name,
+            appname=appname,
+            sort_by=req.sort_by,
+            rows=tuple(rows),
+            dataset_points=len(dataset),
+        )
+
+    # -- plot -------------------------------------------------------------------
+
+    def plot(self, request: Optional[PlotRequest] = None,
+             /, **kwargs) -> PlotResult:
+        """Write the Sec. III-D chart set as SVG files."""
+        from repro.core.plots import generate_plots
+
+        req = _coerce_request(PlotRequest, request, kwargs)
+        name = _require_deployment(req.deployment)
+        dataset = self.dataset(name).filter(
+            appinputs=dict(req.filters) or None, sku=req.sku
+        )
+        out_dir = req.output_dir
+        if out_dir is None:
+            if self.store is None:
+                raise ConfigError(
+                    "an ephemeral session needs an explicit plot "
+                    "output_dir"
+                )
+            out_dir = self.store.plots_dir(name)
+        generated = generate_plots(dataset, out_dir, subtitle=req.subtitle)
+        return PlotResult(
+            deployment=name,
+            output_dir=out_dir,
+            paths=tuple(item.path for item in generated),
+            kinds=tuple(item.kind for item in generated),
+        )
+
+    # -- recipes ----------------------------------------------------------------
+
+    def recipe(self, request: Optional[RecipeRequest] = None,
+               /, **kwargs) -> RecipeResult:
+        """Slurm script + cluster recipe for one advice row."""
+        req = _coerce_request(RecipeRequest, request, kwargs)
+        name = _require_deployment(req.deployment)
+        advice = self.advise(deployment=name, sort_by=req.sort_by,
+                             filters=dict(req.filters))
+        if req.row >= len(advice.rows):
+            raise ReproError(
+                f"advice has {len(advice.rows)} row(s); "
+                f"cannot build recipe for row {req.row}"
+            )
+        return self.recipe_for(
+            advice.rows[req.row], deployment=name, appname=advice.appname,
+            extra_env=dict(req.extra_env), region=req.region,
+        )
+
+    def recipe_for(self, row, *, deployment: str, appname: str = "",
+                   extra_env: Optional[Dict[str, str]] = None,
+                   region: Optional[str] = None) -> RecipeResult:
+        """Recipes for an already-computed advice row (no re-advising)."""
+        from repro.core.recipes import cluster_recipe, slurm_script
+
+        region = region or self._region_of(deployment) or "southcentralus"
+        return RecipeResult(
+            deployment=deployment,
+            row=row,
+            slurm_script=slurm_script(row, appname or "app",
+                                      extra_env=extra_env or None),
+            cluster_recipe=cluster_recipe(row, region=region),
+        )
+
+    # -- predict ----------------------------------------------------------------
+
+    def predict(self, request: Optional[PredictRequest] = None,
+                /, **kwargs) -> PredictResult:
+        """Predicted advice for new inputs (paper Sec. III-F end state)."""
+        from repro.core.scenarios import Scenario, ppn_for
+        from repro.predict import PerformancePredictor
+
+        req = _coerce_request(PredictRequest, request, kwargs)
+        name = _require_deployment(req.deployment)
+        dataset = self.dataset(name)
+        measured = [p for p in dataset if not p.predicted]
+        if not measured:
+            raise ReproError("dataset has no measured points to train on")
+        appname = measured[0].appname
+        predictor = PerformancePredictor(backend=req.model).fit(
+            dataset, cv_folds=min(5, len(measured))
+        )
+        skus = sorted({p.sku for p in measured})
+        node_counts = (list(req.nnodes)
+                       or sorted({p.nnodes for p in measured}))
+        appinputs = (dict(req.inputs) if req.inputs
+                     else dict(measured[0].appinputs))
+        # Candidates must match the process layout the model was trained
+        # on: reuse each SKU's measured ppn, falling back to the stored
+        # config's ppr for SKUs without data.
+        ppn_by_sku = {p.sku: p.ppn for p in measured}
+        ppr = self._ppr_of(name)
+        candidates = [
+            Scenario(
+                scenario_id=f"q{i:04d}",
+                sku_name=sku,
+                nnodes=n,
+                ppn=ppn_by_sku.get(sku) or ppn_for(sku, ppr),
+                appname=appname,
+                appinputs=appinputs,
+            )
+            for i, (sku, n) in enumerate(
+                (sku, n) for sku in skus for n in node_counts
+            )
+        ]
+        rows = predictor.predicted_front(candidates)
+        return PredictResult(
+            deployment=name,
+            appname=appname,
+            model=req.model,
+            inputs=appinputs,
+            rows=tuple(rows),
+            trained_on=len(measured),
+            cv_mape=predictor.cv_mape,
+        )
+
+    # -- compare ----------------------------------------------------------------
+
+    def compare(self, name_a: str, name_b: str):
+        """Matched-scenario comparison of two deployments' datasets."""
+        from repro.core.compare import compare_datasets
+
+        return compare_datasets(self.dataset(name_a), self.dataset(name_b))
+
+    # -- one-shot ---------------------------------------------------------------
+
+    def run(
+        self,
+        config: ConfigLike,
+        collect: Optional[CollectRequest] = None,
+        advise: Optional[AdviseRequest] = None,
+    ) -> AdviceResult:
+        """Deploy, collect, and advise in one call (paper Fig. 1 flow).
+
+        ``collect``/``advise`` act as templates; their ``deployment``
+        field is filled in with the fresh deployment's name.
+        """
+        import dataclasses
+
+        info = self.deploy(config)
+        collect_req = dataclasses.replace(
+            collect or CollectRequest(), deployment=info.name
+        )
+        result = self.collect(collect_req)
+        if result.failed and not result.completed:
+            raise ReproError(
+                f"collection failed for all scenarios of {info.name}: "
+                f"{'; '.join(result.failures)}"
+            )
+        advise_req = dataclasses.replace(
+            advise or AdviseRequest(), deployment=info.name,
+            appname=(advise.appname if advise else None) or info.appname,
+        )
+        return self.advise(advise_req)
+
+    # -- internals --------------------------------------------------------------
+
+    def _coerce_config(self, config: ConfigLike) -> MainConfig:
+        if isinstance(config, MainConfig):
+            return config
+        if isinstance(config, str):
+            return MainConfig.from_file(config)
+        if isinstance(config, Mapping):
+            return MainConfig.from_dict(config)
+        raise ConfigError(
+            f"cannot build a configuration from {type(config).__name__}"
+        )
+
+    def _config_for(self, name: str, deployment: Deployment) -> MainConfig:
+        if deployment.config is not None:
+            return deployment.config
+        raise ConfigError(
+            f"deployment {name!r} has no stored configuration"
+        )
+
+    def _info(self, deployment: Deployment) -> SessionInfo:
+        config = deployment.config
+        return SessionInfo(
+            name=deployment.name,
+            region=deployment.region,
+            subscription=deployment.subscription_name,
+            appname=config.appname if config else "",
+            scenario_count=config.scenario_count if config else 0,
+            vnet=deployment.vnet_name,
+            storage_account=deployment.storage_account,
+            batch_account=deployment.batch.account_name,
+            jumpbox=deployment.jumpbox_name,
+            created_at=deployment.created_at,
+            dataset_points=self._point_count(deployment.name),
+        )
+
+    def _info_from_record(self, record: Mapping) -> SessionInfo:
+        config = record.get("config") or {}
+        scenario_count = 0
+        appname = str(config.get("appname", "")) if config else ""
+        if config:
+            try:
+                scenario_count = MainConfig.from_dict(config).scenario_count
+            except ReproError:
+                pass
+        name = str(record["name"])
+        return SessionInfo(
+            name=name,
+            region=str(record.get("region", "")),
+            subscription=str(record.get("subscription", "")),
+            appname=appname,
+            scenario_count=scenario_count,
+            vnet=str(record.get("vnet", "")),
+            storage_account=str(record.get("storage_account", "")),
+            batch_account=str(record.get("batch_account")
+                              or f"{name}-batch"),
+            jumpbox=record.get("jumpbox"),
+            created_at=float(record.get("created_at") or 0.0),
+            dataset_points=self._point_count(name),
+        )
+
+    def _ppr_of(self, name: str) -> int:
+        """The deployment's configured processes-per-resource (default 100)."""
+        if name in self._deployments:
+            config = self._deployments[name].config
+            if config is not None:
+                return config.ppr
+        try:
+            record_config = self.record(name).get("config") or {}
+            return int(record_config.get("ppr", 100))
+        except ReproError:
+            return 100
+
+    def _region_of(self, name: str) -> str:
+        """The deployment's region, without touching dataset files."""
+        if name in self._deployments:
+            return self._deployments[name].region
+        return str(self.record(name).get("region") or "")
+
+    def _point_count(self, name: str) -> int:
+        if name in self._datasets:
+            return len(self.dataset(name, must_exist=False))
+        if self.store is not None:
+            path = self.store.dataset_path(name)
+            if os.path.exists(path):
+                # Cache on the file signature: listings (the GUI index
+                # polls list_deployments per request) cost a stat, not a
+                # re-read of every dataset file.
+                sig = _file_sig(path)
+                cached = self._count_cache.get(name)
+                if cached is None or cached[0] != sig:
+                    cached = (sig, Dataset.count_points(path))
+                    self._count_cache[name] = cached
+                return cached[1]
+        return 0
+
+
+def _file_sig(path: str) -> Tuple[int, int]:
+    """Freshness signature robust to coarse mtime granularity."""
+    st = os.stat(path)
+    return (st.st_mtime_ns, st.st_size)
+
+
+def _generate_scenarios(config: MainConfig):
+    from repro.core.scenarios import generate_scenarios
+
+    return generate_scenarios(config)
+
+
+def _require_deployment(name: str) -> str:
+    if not name:
+        raise ConfigError("request needs a deployment name")
+    return name
+
+
+def _coerce_request(cls, request, kwargs):
+    if request is not None and kwargs:
+        raise ConfigError(
+            f"pass either a {cls.__name__} or keyword arguments, not both"
+        )
+    if request is None:
+        return cls(**kwargs)
+    if isinstance(request, cls):
+        return request
+    if isinstance(request, Mapping):
+        return cls.from_dict(request)
+    raise ConfigError(
+        f"expected {cls.__name__} or mapping, got {type(request).__name__}"
+    )

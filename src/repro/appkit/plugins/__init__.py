@@ -5,14 +5,19 @@ NAMD) plus the matrix-multiplication quickstart app.  Each mirrors the
 bash-script workflow of the paper's Listing 2: stage input data during
 setup, rewrite input files from environment variables, mpirun, check the
 application log for success, and emit HPCADVISORVAR metrics.
+
+Plugins live in the unified capability registry
+(:mod:`repro.api.registry`); third-party applications register with the
+``@register_app("name")`` decorator.  :func:`get_plugin` and
+:func:`list_plugins` are kept as the historical entry points.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
+from repro.api.registry import apps, register_app
 from repro.appkit.script import AppScript
-from repro.errors import AppScriptError
 
 from repro.appkit.plugins.lammps import make_lammps_script
 from repro.appkit.plugins.openfoam import make_openfoam_script
@@ -21,27 +26,22 @@ from repro.appkit.plugins.gromacs import make_gromacs_script
 from repro.appkit.plugins.namd import make_namd_script
 from repro.appkit.plugins.matrixmult import make_matrixmult_script
 
-_FACTORIES = {
-    "lammps": make_lammps_script,
-    "openfoam": make_openfoam_script,
-    "wrf": make_wrf_script,
-    "gromacs": make_gromacs_script,
-    "namd": make_namd_script,
-    "matrixmult": make_matrixmult_script,
-}
+for _name, _factory in (
+    ("lammps", make_lammps_script),
+    ("openfoam", make_openfoam_script),
+    ("wrf", make_wrf_script),
+    ("gromacs", make_gromacs_script),
+    ("namd", make_namd_script),
+    ("matrixmult", make_matrixmult_script),
+):
+    if _name not in apps:
+        register_app(_name)(_factory)
 
 
 def get_plugin(appname: str) -> AppScript:
-    """Instantiate the built-in plugin for ``appname``."""
-    key = appname.lower()
-    try:
-        return _FACTORIES[key]()
-    except KeyError:
-        raise AppScriptError(
-            f"no built-in plugin for application {appname!r} "
-            f"(known: {', '.join(sorted(_FACTORIES))})"
-        ) from None
+    """Instantiate the plugin registered for ``appname``."""
+    return apps.create(appname)
 
 
 def list_plugins() -> List[str]:
-    return sorted(_FACTORIES)
+    return apps.names()

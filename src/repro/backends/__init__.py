@@ -9,8 +9,14 @@ one that uses Slurm directly."  The collector is written against
   default, over the simulated Batch service;
 * :class:`repro.backends.slurm.SlurmBackend` — the planned Slurm back-end,
   over the simulated Slurm cluster in :mod:`repro.slurmsim`.
+
+Both are registered in the unified capability registry
+(:mod:`repro.api.registry`) under their CLI names, with the factory
+signature ``(deployment, config, noise) -> ExecutionBackend``; new
+back-ends plug in with ``@register_backend("name")``.
 """
 
+from repro.api.registry import backends, register_backend
 from repro.backends.base import ExecutionBackend, ScenarioRunResult
 from repro.backends.azurebatch import AzureBatchBackend
 from repro.backends.slurm import SlurmBackend
@@ -21,3 +27,26 @@ __all__ = [
     "AzureBatchBackend",
     "SlurmBackend",
 ]
+
+
+def _make_azurebatch(deployment, config, noise) -> AzureBatchBackend:
+    return AzureBatchBackend(service=deployment.batch, noise=noise)
+
+
+def _make_slurm(deployment, config, noise) -> SlurmBackend:
+    from repro.slurmsim.cluster import SlurmCluster
+
+    cluster = SlurmCluster(
+        provider=deployment.provider,
+        subscription=deployment.provider.get_subscription(
+            config.subscription
+        ),
+        region=config.region,
+    )
+    return SlurmBackend(cluster=cluster, noise=noise)
+
+
+for _name, _factory in (("azurebatch", _make_azurebatch),
+                        ("slurm", _make_slurm)):
+    if _name not in backends:
+        register_backend(_name)(_factory)

@@ -1,78 +1,68 @@
-"""Implementations of the CLI commands."""
+"""Implementations of the CLI commands.
+
+Every command is a thin presenter over :class:`repro.api.AdvisorSession`:
+the session owns deployment, state, backend, dataset, and task-DB
+lifecycle; this module only parses arguments into typed requests and
+prints the typed results (as text, or as JSON with ``--json``).
+"""
 
 from __future__ import annotations
 
-import os
 from typing import Dict, Optional
 
-from repro.appkit.plugins import get_plugin
-from repro.backends.azurebatch import AzureBatchBackend
-from repro.backends.slurm import SlurmBackend
-from repro.core.advisor import Advisor
-from repro.core.collector import DataCollector
-from repro.core.config import MainConfig
-from repro.core.dataset import Dataset
-from repro.core.deployer import Deployer, Deployment
-from repro.core.plots import generate_plots
-from repro.core.recipes import cluster_recipe, slurm_script
-from repro.core.scenarios import generate_scenarios
-from repro.core.statefiles import StateStore, resolve_state_dir
-from repro.core.taskdb import TaskDB
+from repro.api import (
+    AdviseRequest,
+    AdvisorSession,
+    CollectRequest,
+    PlotRequest,
+    PredictRequest,
+)
+from repro.core.statefiles import resolve_state_dir
 from repro.errors import ReproError
-from repro.perf.noise import NoiseModel
-from repro.sampling.planner import SmartSampler
-from repro.slurmsim.cluster import SlurmCluster
 from repro.units import fmt_duration, fmt_usd
 
 
-def _store(state_dir: Optional[str]) -> StateStore:
-    return StateStore(root=resolve_state_dir(state_dir))
+def _session(state_dir: Optional[str]) -> AdvisorSession:
+    """The CLI always persists state (default dir when none is given)."""
+    return AdvisorSession(state_dir=resolve_state_dir(state_dir))
 
 
 # -- deploy ------------------------------------------------------------------------
 
 
 def deploy_create(state_dir: Optional[str], config_path: str) -> int:
-    store = _store(state_dir)
-    config = MainConfig.from_file(config_path)
-    deployment = Deployer().deploy(config)
-    store.save_deployment(deployment)
-    print(f"created deployment {deployment.name} in {deployment.region}")
-    print(f"  resource group:  {deployment.name}")
-    print(f"  vnet:            {deployment.vnet_name}")
-    print(f"  storage account: {deployment.storage_account}")
-    print(f"  batch account:   {deployment.batch.account_name}")
-    if deployment.jumpbox_name:
-        print(f"  jumpbox:         {deployment.jumpbox_name}")
-    print(f"  scenarios:       {config.scenario_count}")
+    session = _session(state_dir)
+    info = session.deploy(config_path)
+    print(f"created deployment {info.name} in {info.region}")
+    print(f"  resource group:  {info.name}")
+    print(f"  vnet:            {info.vnet}")
+    print(f"  storage account: {info.storage_account}")
+    print(f"  batch account:   {info.batch_account}")
+    if info.jumpbox:
+        print(f"  jumpbox:         {info.jumpbox}")
+    print(f"  scenarios:       {info.scenario_count}")
+    for path in info.archived_data:
+        print(f"  note: archived data of a previous deployment "
+              f"named {info.name}: {path}")
     return 0
 
 
 def deploy_list(state_dir: Optional[str]) -> int:
-    store = _store(state_dir)
-    records = store.list_deployments()
-    if not records:
+    session = _session(state_dir)
+    infos = session.list_deployments()
+    if not infos:
         print("(no deployments)")
         return 0
     print(f"{'NAME':<28} {'REGION':<16} {'APP':<12} SCENARIOS")
-    for record in records:
-        config = record.get("config") or {}
-        appname = config.get("appname", "-")
-        scenarios = "-"
-        if config:
-            try:
-                scenarios = str(MainConfig.from_dict(config).scenario_count)
-            except ReproError:
-                pass
-        print(f"{record['name']:<28} {record['region']:<16} "
-              f"{appname:<12} {scenarios}")
+    for info in infos:
+        scenarios = str(info.scenario_count) if info.scenario_count else "-"
+        print(f"{info.name:<28} {info.region:<16} "
+              f"{info.appname or '-':<12} {scenarios}")
     return 0
 
 
 def deploy_shutdown(state_dir: Optional[str], name: str) -> int:
-    store = _store(state_dir)
-    store.get_deployment_record(name)  # raises if unknown
-    store.remove_deployment(name)
+    _session(state_dir).shutdown(name)
     # Simulated resources live in-process; removing the record is the
     # persistent part.  Report the same wording as the real tool.
     print(f"deployment {name} shut down; all resources deleted")
@@ -82,96 +72,58 @@ def deploy_shutdown(state_dir: Optional[str], name: str) -> int:
 # -- collect -------------------------------------------------------------------------
 
 
-def _attach(store: StateStore, name: str) -> Deployment:
-    return store.attach(name)
-
-
 def collect(
     state_dir: Optional[str],
     name: str,
     backend: str = "azurebatch",
     smart_sampling: bool = False,
     delete_pools: bool = False,
-    noise: float = 0.0,
-    seed: int = 0,
+    noise: Optional[float] = None,
+    seed: Optional[int] = None,
     budget: Optional[float] = None,
     retry_failed: int = 0,
     show_report: bool = False,
+    as_json: bool = False,
 ) -> int:
-    store = _store(state_dir)
-    deployment = _attach(store, name)
-    config = deployment.config
-    assert config is not None
-    scenarios = generate_scenarios(config)
-    noise_model = NoiseModel(sigma=noise, seed=seed)
-
-    if backend == "azurebatch":
-        exec_backend = AzureBatchBackend(service=deployment.batch,
-                                         noise=noise_model)
-    else:
-        cluster = SlurmCluster(
-            provider=deployment.provider,
-            subscription=deployment.provider.get_subscription(
-                config.subscription
-            ),
-            region=config.region,
-        )
-        exec_backend = SlurmBackend(cluster=cluster, noise=noise_model)
-
-    dataset_path = store.dataset_path(name)
-    dataset = (Dataset.load(dataset_path) if os.path.exists(dataset_path)
-               else Dataset(path=dataset_path))
-    dataset.path = dataset_path
-    taskdb_path = store.taskdb_path(name)
-    taskdb = (TaskDB.load(taskdb_path) if os.path.exists(taskdb_path)
-              else TaskDB(path=taskdb_path))
-
-    sampler = None
-    if smart_sampling or budget is not None:
-        prices = {
-            s.sku_name: deployment.provider.prices.hourly_price(
-                s.sku_name, config.region
-            )
-            for s in scenarios
-        }
-        smart = SmartSampler.for_scenarios(scenarios, prices)
-        if budget is not None:
-            from repro.sampling.budget import BudgetedSampler
-
-            sampler = BudgetedSampler(inner=smart, budget_usd=budget)
-        else:
-            sampler = smart
-
-    collector = DataCollector(
-        backend=exec_backend,
-        script=get_plugin(config.appname),
-        dataset=dataset,
-        taskdb=taskdb,
-        deployment_name=name,
-        delete_pool_on_switch=delete_pools,
-        sampler=sampler,
+    if as_json and show_report:
+        raise ReproError("--json cannot be combined with --report")
+    session = _session(state_dir)
+    result = session.collect(CollectRequest(
+        deployment=name,
+        backend=backend,
+        smart_sampling=smart_sampling,
+        delete_pools=delete_pools,
+        noise=noise,
+        seed=seed,
+        budget_usd=budget,
         retry_failed=retry_failed,
-    )
-    report = collector.collect(scenarios)
-    print(f"collection finished on {exec_backend.name}:")
-    print(f"  executed:  {report.executed} "
-          f"(completed {report.completed}, failed {report.failed})")
-    if report.skipped or report.predicted:
-        print(f"  skipped:   {report.skipped} (smart sampling)")
-        print(f"  predicted: {report.predicted} (smart sampling)")
-    print(f"  task cost:           ${fmt_usd(report.task_cost_usd)}")
-    print(f"  infrastructure cost: ${fmt_usd(report.infrastructure_cost_usd)}")
-    print(f"  provisioning time:   {fmt_duration(report.provisioning_overhead_s)}")
-    print(f"  dataset:             {dataset_path} ({len(dataset)} points)")
-    for failure in report.failures:
+    ))
+    if as_json:
+        print(result.to_json(indent=1))
+        return 0 if result.ok else 1
+    print(f"collection finished on {result.backend}:")
+    print(f"  executed:  {result.executed} "
+          f"(completed {result.completed}, failed {result.failed})")
+    if result.skipped or result.predicted:
+        print(f"  skipped:   {result.skipped} (smart sampling)")
+        print(f"  predicted: {result.predicted} (smart sampling)")
+    print(f"  task cost:           ${fmt_usd(result.task_cost_usd)}")
+    print(f"  infrastructure cost: "
+          f"${fmt_usd(result.infrastructure_cost_usd)}")
+    print(f"  provisioning time:   "
+          f"{fmt_duration(result.provisioning_overhead_s)}")
+    print(f"  dataset:             {result.dataset_path} "
+          f"({result.dataset_points} points)")
+    for failure in result.failures:
         print(f"  FAILED: {failure}")
     if show_report:
         from repro.core.report import render_report
 
         print()
-        print(render_report(report, dataset, taskdb=taskdb,
+        print(render_report(result, session.dataset(name),
+                            taskdb=session.taskdb(name),
                             title=f"Sweep report for {name}"), end="")
-    return 0 if report.failed == 0 else 1
+    return 0 if result.ok else 1
 
 
 # -- plot ---------------------------------------------------------------------------
@@ -185,19 +137,16 @@ def plot(
     sku: Optional[str] = None,
     subtitle: Optional[str] = None,
 ) -> int:
-    store = _store(state_dir)
-    dataset_path = store.dataset_path(name)
-    if not os.path.exists(dataset_path):
-        raise ReproError(
-            f"no dataset for deployment {name!r}; run collect first"
-        )
-    dataset = Dataset.load(dataset_path).filter(
-        appinputs=filters or None, sku=sku
-    )
-    out_dir = output or store.plots_dir(name)
-    generated = generate_plots(dataset, out_dir, subtitle=subtitle)
-    for item in generated:
-        print(f"wrote {item.path}")
+    session = _session(state_dir)
+    result = session.plot(PlotRequest(
+        deployment=name,
+        output_dir=output,
+        filters=filters or {},
+        sku=sku,
+        subtitle=subtitle,
+    ))
+    for path in result.paths:
+        print(f"wrote {path}")
     return 0
 
 
@@ -212,33 +161,39 @@ def advice(
     max_rows: Optional[int] = None,
     recipes: bool = False,
     spot: bool = False,
+    as_json: bool = False,
 ) -> int:
-    store = _store(state_dir)
-    dataset_path = store.dataset_path(name)
-    if not os.path.exists(dataset_path):
+    if as_json and (recipes or spot):
         raise ReproError(
-            f"no dataset for deployment {name!r}; run collect first"
+            "--json cannot be combined with --recipes or --spot"
         )
-    dataset = Dataset.load(dataset_path)
-    advisor = Advisor(dataset)
-    rows = advisor.advise(
-        appinputs=filters or None, sort_by=sort_by, max_rows=max_rows
-    )
-    print(advisor.render_table(rows), end="")
+    session = _session(state_dir)
+    result = session.advise(AdviseRequest(
+        deployment=name,
+        filters=filters or {},
+        sort_by=sort_by,
+        max_rows=max_rows,
+    ))
+    if as_json:
+        print(result.to_json(indent=1))
+        return 0
+    print(result.render_table(), end="")
     if spot:
         from repro.cloud.pricing import PriceCatalog
         from repro.core.cost import spot_savings_summary
 
         print("\n--- What-if: spot pricing ---")
         print(spot_savings_summary(
-            dataset.filter(appinputs=filters or None), PriceCatalog()
+            session.dataset(name).filter(appinputs=filters or None),
+            PriceCatalog(),
         ), end="")
-    if recipes and rows:
-        appname = dataset.points()[0].appname if len(dataset) else "app"
+    if recipes and result.rows:
+        recipe = session.recipe_for(result.rows[0], deployment=name,
+                                    appname=result.appname)
         print("\n--- Slurm recipe for the top advice row ---")
-        print(slurm_script(rows[0], appname))
+        print(recipe.slurm_script)
         print("--- Cluster recipe ---")
-        print(cluster_recipe(rows[0]))
+        print(recipe.cluster_recipe)
     return 0
 
 
@@ -253,46 +208,20 @@ def predict(
     backend: str = "ridge",
 ) -> int:
     """Predicted advice for new inputs, trained on the deployment's data."""
-    from repro.core.scenarios import Scenario, ppn_for
-    from repro.predict import PerformancePredictor
-
-    store = _store(state_dir)
-    dataset_path = store.dataset_path(name)
-    if not os.path.exists(dataset_path):
-        raise ReproError(
-            f"no dataset for deployment {name!r}; run collect first"
-        )
-    dataset = Dataset.load(dataset_path)
-    measured = [p for p in dataset if not p.predicted]
-    if not measured:
-        raise ReproError("dataset has no measured points to train on")
-    appname = measured[0].appname
-    predictor = PerformancePredictor(backend=backend).fit(
-        dataset, cv_folds=min(5, len(measured))
+    session = _session(state_dir)
+    result = session.predict(PredictRequest(
+        deployment=name,
+        inputs=inputs or {},
+        nnodes=tuple(nnodes or ()),
+        model=backend,
+    ))
+    inputs_label = ", ".join(
+        f"{k}={v}" for k, v in sorted(result.inputs.items())
     )
-    skus = sorted({p.sku for p in measured})
-    node_counts = nnodes or sorted({p.nnodes for p in measured})
-    appinputs = dict(inputs) if inputs else dict(measured[0].appinputs)
-    candidates = [
-        Scenario(
-            scenario_id=f"q{i:04d}",
-            sku_name=sku,
-            nnodes=n,
-            ppn=ppn_for(sku, 100),
-            appname=appname,
-            appinputs=appinputs,
-        )
-        for i, (sku, n) in enumerate(
-            (sku, n) for sku in skus for n in node_counts
-        )
-    ]
-    rows = predictor.predicted_front(candidates)
-    inputs_label = ", ".join(f"{k}={v}" for k, v in sorted(appinputs.items()))
-    print(f"predicted advice for {appname} ({inputs_label}) — "
-          f"0 executions, trained on {len(measured)} points"
-          + (f", CV MAPE {predictor.cv_mape:.1%}" if predictor.cv_mape
-             else ""))
-    print(Advisor(Dataset()).render_table(rows), end="")
+    print(f"predicted advice for {result.appname} ({inputs_label}) — "
+          f"0 executions, trained on {result.trained_on} points"
+          + (f", CV MAPE {result.cv_mape:.1%}" if result.cv_mape else ""))
+    print(result.render_table(), end="")
     return 0
 
 
@@ -301,18 +230,10 @@ def predict(
 
 def compare(state_dir: Optional[str], name_a: str, name_b: str) -> int:
     """Matched-scenario comparison of two deployments' datasets."""
-    from repro.core.compare import compare_datasets, render_comparison
+    from repro.core.compare import render_comparison
 
-    store = _store(state_dir)
-    datasets = {}
-    for name in (name_a, name_b):
-        path = store.dataset_path(name)
-        if not os.path.exists(path):
-            raise ReproError(
-                f"no dataset for deployment {name!r}; run collect first"
-            )
-        datasets[name] = Dataset.load(path)
-    comparison = compare_datasets(datasets[name_a], datasets[name_b])
+    session = _session(state_dir)
+    comparison = session.compare(name_a, name_b)
     print(render_comparison(comparison, label_a=name_a, label_b=name_b),
           end="")
     regressions = comparison.regressions()
@@ -329,5 +250,4 @@ def gui(state_dir: Optional[str], host: str = "127.0.0.1", port: int = 8040,
         once: bool = False) -> int:
     from repro.gui.server import serve
 
-    store = _store(state_dir)
-    return serve(store, host=host, port=port, once=once)
+    return serve(_session(state_dir), host=host, port=port, once=once)

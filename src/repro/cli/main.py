@@ -56,8 +56,9 @@ def build_parser() -> argparse.ArgumentParser:
     collect = sub.add_parser("collect", help="run all scenarios on a deployment")
     collect.add_argument("-n", "--name", required=True, help="deployment name")
     collect.add_argument(
-        "--backend", choices=["azurebatch", "slurm"], default="azurebatch",
-        help="execution back-end (default: azurebatch, as in the paper)",
+        "--backend", default="azurebatch",
+        help="execution back-end from the registry (built-in: azurebatch, "
+             "slurm; default: azurebatch, as in the paper)",
     )
     collect.add_argument(
         "--smart-sampling", action="store_true",
@@ -67,15 +68,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--delete-pools", action="store_true",
         help="delete pools on VM-type switch instead of resizing to zero",
     )
-    collect.add_argument("--noise", type=float, default=0.0,
+    collect.add_argument("--noise", type=float,
                          help="run-to-run noise sigma (default 0: deterministic)")
-    collect.add_argument("--seed", type=int, default=0, help="noise seed")
+    collect.add_argument("--seed", type=int, help="noise seed")
     collect.add_argument("--budget", type=float,
                          help="hard USD budget for measured task spend")
     collect.add_argument("--retry-failed", type=int, default=0,
                          help="immediate retries for failed scenarios")
     collect.add_argument("--report", action="store_true",
                          help="print the full sweep report afterwards")
+    collect.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the collection result as JSON")
 
     # plot ----------------------------------------------------------------------
     plot = sub.add_parser("plot", help="generate plots using a data filter")
@@ -98,6 +101,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit Slurm + cluster recipes for the top row")
     advice.add_argument("--spot", action="store_true",
                         help="also show the front repriced at spot rates")
+    advice.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the advice result as JSON")
 
     # predict (extension: the paper's zero-execution advice vision) ----------
     predict = sub.add_parser(
@@ -167,6 +172,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             budget=args.budget,
             retry_failed=args.retry_failed,
             show_report=args.report,
+            as_json=args.as_json,
         )
     if args.command == "plot":
         return commands.plot(
@@ -184,6 +190,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             max_rows=args.max_rows,
             recipes=args.recipes,
             spot=args.spot,
+            as_json=args.as_json,
         )
     if args.command == "predict":
         return commands.predict(

@@ -189,6 +189,19 @@ class Dataset:
         return target
 
     @classmethod
+    def count_points(cls, path: str) -> int:
+        """Number of points stored at ``path`` without deserializing them.
+
+        JSON-lines stores one point per non-blank line; listings use this
+        to stay cheap on large datasets.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return sum(1 for line in fh if line.strip())
+        except OSError as exc:
+            raise DatasetError(f"cannot read dataset {path!r}: {exc}") from exc
+
+    @classmethod
     def load(cls, path: str) -> "Dataset":
         points: List[DataPoint] = []
         try:

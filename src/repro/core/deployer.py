@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.batch.service import BatchService
 from repro.cloud.provider import CloudProvider
@@ -58,6 +58,7 @@ class Deployment:
             "region": self.region,
             "subscription": self.subscription_name,
             "vnet": self.vnet_name,
+            "batch_account": self.batch.account_name,
             "storage_account": self.storage_account,
             "jumpbox": self.jumpbox_name,
             "peered_vnets": list(self.peered_vnets),
@@ -74,8 +75,14 @@ class Deployer:
 
     # -- create -------------------------------------------------------------------
 
-    def deploy(self, config: MainConfig, suffix: Optional[str] = None) -> Deployment:
-        """Run the full Sec. III-B sequence for one configuration."""
+    def deploy(self, config: MainConfig, suffix: Optional[str] = None,
+               taken: Optional[Set[str]] = None) -> Deployment:
+        """Run the full Sec. III-B sequence for one configuration.
+
+        ``taken`` adds externally known deployment names (e.g. a state
+        store's records) to the allocation scan, so a fresh provider
+        does not re-issue a name another process is already using.
+        """
         provider = self.provider
 
         # Step 0: fail fast on invalid SKU/region combinations — before any
@@ -84,7 +91,7 @@ class Deployer:
             provider.validate_sku_in_region(sku_name, config.region)
 
         # Step 1: variables.
-        rg_name = self._next_rg_name(config.rgprefix, suffix)
+        rg_name = self._next_rg_name(config.rgprefix, suffix, taken)
         sa_name = storage_account_name(rg_name)
         vnet_name = "hpcadvisor-vnet"
         batch_name = f"{rg_name}-batch"
@@ -136,11 +143,14 @@ class Deployer:
 
         return deployment
 
-    def _next_rg_name(self, prefix: str, suffix: Optional[str]) -> str:
+    def _next_rg_name(self, prefix: str, suffix: Optional[str],
+                      taken: Optional[Set[str]] = None) -> str:
         if suffix is not None:
             name = f"{prefix}{suffix}"
             return name
         existing = {rg.name for rg in self.provider.list_resource_groups(prefix)}
+        if taken:
+            existing |= set(taken)
         for i in range(1000):
             candidate = f"{prefix}-{i:03d}"
             if candidate not in existing:

@@ -53,7 +53,11 @@ def render_report(
     taskdb: Optional[TaskDB] = None,
     title: str = "Data collection report",
 ) -> str:
-    """Render the full sweep summary as plain text."""
+    """Render the full sweep summary as plain text.
+
+    ``report`` is duck-typed: a :class:`CollectionReport` or anything with
+    its summary fields (e.g. :class:`repro.api.results.CollectResult`).
+    """
     lines = [f"=== {title} ===", ""]
     lines.append(
         f"scenarios: {report.total_tasks} total — "

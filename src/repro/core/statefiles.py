@@ -27,12 +27,17 @@ DEFAULT_DIRNAME = ".hpcadvisor-sim"
 
 
 def resolve_state_dir(explicit: Optional[str] = None) -> str:
-    """Precedence: explicit argument > environment variable > home default."""
+    """Precedence: explicit argument > environment variable > home default.
+
+    ``~`` is expanded, so ``--state-dir ~/.hpcadvisor-sim`` and the
+    documented ``AdvisorSession(state_dir="~/.hpcadvisor-sim")`` resolve
+    to the home directory rather than a literal ``./~``.
+    """
     if explicit:
-        return os.path.abspath(explicit)
+        return os.path.abspath(os.path.expanduser(explicit))
     env = os.environ.get(ENV_VAR)
     if env:
-        return os.path.abspath(env)
+        return os.path.abspath(os.path.expanduser(env))
     return os.path.join(os.path.expanduser("~"), DEFAULT_DIRNAME)
 
 
@@ -99,12 +104,14 @@ class StateStore:
 
     # -- reattachment -------------------------------------------------------------------
 
-    def attach(self, name: str) -> Deployment:
+    def attach(self, name: str,
+               deployer: Optional[Deployer] = None) -> Deployment:
         """Recreate the simulated deployment recorded under ``name``.
 
         The simulated control plane is deterministic, so replaying the
         deployment from its stored configuration reproduces an equivalent
-        environment for the collector.
+        environment for the collector.  Pass ``deployer`` to replay onto
+        an existing provider (e.g. a session's shared one).
         """
         record = self.get_deployment_record(name)
         config_dict = record.get("config")
@@ -113,7 +120,7 @@ class StateStore:
                 f"deployment record {name!r} has no stored configuration"
             )
         config = MainConfig.from_dict(config_dict)
-        deployer = Deployer()
+        deployer = deployer or Deployer()
         suffix = name[len(config.rgprefix):] if name.startswith(config.rgprefix) else None
         deployment = deployer.deploy(config, suffix=suffix)
         return deployment

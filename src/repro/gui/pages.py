@@ -1,19 +1,23 @@
-"""HTML rendering for the GUI (no template engine, just functions)."""
+"""HTML rendering for the GUI (no template engine, just functions).
+
+Each page renders from an :class:`repro.api.AdvisorSession` — the same
+facade the CLI and the examples use — so the GUI shows exactly what the
+``advice``/``plot`` commands would say.
+"""
 
 from __future__ import annotations
 
 import html
-import os
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING
 
-from repro.core.advisor import Advisor
-from repro.core.dataset import Dataset
 from repro.core.plotdata import (
     efficiency, exectime_vs_cost, exectime_vs_nodes, speedup,
 )
-from repro.core.statefiles import StateStore
 from repro.core.svg import render_chart
 from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api.session import AdvisorSession
 
 _STYLE = """
 body { font-family: sans-serif; margin: 0; display: flex; }
@@ -40,28 +44,26 @@ def _page(title: str, body: str) -> str:
     )
 
 
-def render_index(store: StateStore) -> str:
+def render_index(session: "AdvisorSession") -> str:
     """The landing page: all deployments with links to their views."""
-    records = store.list_deployments()
-    if not records:
+    infos = session.list_deployments()
+    if not infos:
         body = "<h2>Deployments</h2><p>No deployments yet. " \
                "Create one with <code>hpcadvisor-sim deploy create</code>.</p>"
         return _page("HPCAdvisor", body)
     rows = []
-    for record in records:
-        name = html.escape(str(record["name"]))
-        config = record.get("config") or {}
-        app = html.escape(str(config.get("appname", "-")))
-        region = html.escape(str(record["region"]))
-        has_data = os.path.exists(store.dataset_path(str(record["name"])))
+    for info in infos:
+        name = html.escape(info.name)
+        app = html.escape(info.appname or "-")
+        region = html.escape(info.region)
         links = f"<a href='/deployment/{name}'>details</a>"
-        if has_data:
+        if info.has_data:
             links += (f" | <a href='/plots/{name}'>plots</a>"
                       f" | <a href='/advice/{name}'>advice</a>"
                       f" | <a href='/bottlenecks/{name}'>bottlenecks</a>")
         rows.append(
             f"<tr><td>{name}</td><td>{region}</td><td>{app}</td>"
-            f"<td>{'yes' if has_data else 'no'}</td><td>{links}</td></tr>"
+            f"<td>{'yes' if info.has_data else 'no'}</td><td>{links}</td></tr>"
         )
     body = (
         "<h2>Deployments</h2><table>"
@@ -71,13 +73,10 @@ def render_index(store: StateStore) -> str:
     return _page("HPCAdvisor - deployments", body)
 
 
-def render_deployment(store: StateStore, name: str) -> str:
-    record = store.get_deployment_record(name)
+def render_deployment(session: "AdvisorSession", name: str) -> str:
+    record = session.record(name)
+    info = session.info(name, record=record)
     config = record.get("config") or {}
-    dataset_path = store.dataset_path(name)
-    points = 0
-    if os.path.exists(dataset_path):
-        points = len(Dataset.load(dataset_path))
     details = "".join(
         f"<tr><td>{html.escape(str(k))}</td>"
         f"<td><code>{html.escape(str(v))}</code></td></tr>"
@@ -85,19 +84,18 @@ def render_deployment(store: StateStore, name: str) -> str:
     )
     body = (
         f"<h2>Deployment {html.escape(name)}</h2>"
-        f"<p>Region: {html.escape(str(record['region']))} &middot; "
-        f"Storage: {html.escape(str(record.get('storage_account', '-')))} &middot; "
-        f"Collected points: {points}</p>"
+        f"<p>Region: {html.escape(info.region)} &middot; "
+        f"Storage: {html.escape(info.storage_account or '-')} &middot; "
+        f"Collected points: {info.dataset_points}</p>"
         f"<h3>Configuration</h3><table>{details}</table>"
     )
     return _page(f"HPCAdvisor - {name}", body)
 
 
-def render_plots(store: StateStore, name: str) -> str:
-    dataset_path = store.dataset_path(name)
-    if not os.path.exists(dataset_path):
+def render_plots(session: "AdvisorSession", name: str) -> str:
+    dataset = session.dataset(name)
+    if not len(dataset):
         raise ReproError(f"no dataset for deployment {name!r}")
-    dataset = Dataset.load(dataset_path)
     charts = []
     for builder in (exectime_vs_nodes, exectime_vs_cost, speedup, efficiency):
         charts.append(f"<div>{render_chart(builder(dataset))}</div>")
@@ -108,15 +106,12 @@ def render_plots(store: StateStore, name: str) -> str:
     return _page(f"HPCAdvisor - plots {name}", body)
 
 
-def render_bottlenecks(store: StateStore, name: str) -> str:
+def render_bottlenecks(session: "AdvisorSession", name: str) -> str:
     """Infrastructure-bottleneck view (paper Sec. III-F third strategy)."""
     from repro.sampling.bottleneck import BottleneckAnalyzer
 
-    dataset_path = store.dataset_path(name)
-    if not os.path.exists(dataset_path):
-        raise ReproError(f"no dataset for deployment {name!r}")
     analyzer = BottleneckAnalyzer()
-    for point in Dataset.load(dataset_path):
+    for point in session.dataset(name):
         if point.infra_metrics:
             analyzer.observe_dict(point.sku, point.nnodes,
                                   point.infra_metrics)
@@ -140,21 +135,16 @@ def render_bottlenecks(store: StateStore, name: str) -> str:
     return _page(f"HPCAdvisor - bottlenecks {name}", body)
 
 
-def render_advice(store: StateStore, name: str,
+def render_advice(session: "AdvisorSession", name: str,
                   sort_by: str = "time") -> str:
-    dataset_path = store.dataset_path(name)
-    if not os.path.exists(dataset_path):
-        raise ReproError(f"no dataset for deployment {name!r}")
-    dataset = Dataset.load(dataset_path)
-    advisor = Advisor(dataset)
-    rows = advisor.advise(sort_by=sort_by)
+    result = session.advise(deployment=name, sort_by=sort_by)
     table_rows = "".join(
         "<tr{cls}><td>{t:.0f}</td><td>{c:.4f}</td><td>{n}</td><td>{s}</td></tr>"
         .format(
             cls=" class='pred'" if row.predicted else "",
             t=row.exec_time_s, c=row.cost_usd, n=row.nnodes, s=row.sku_short,
         )
-        for row in rows
+        for row in result.rows
     )
     body = (
         f"<h2>Advice - {html.escape(name)}</h2>"

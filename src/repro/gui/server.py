@@ -1,12 +1,17 @@
-"""Standard-library HTTP server for the GUI."""
+"""Standard-library HTTP server for the GUI.
+
+The handler holds an :class:`repro.api.AdvisorSession` and delegates each
+route to :mod:`repro.gui.pages`; no pipeline wiring happens here.
+"""
 
 from __future__ import annotations
 
 import html
 from http.server import BaseHTTPRequestHandler, HTTPServer
-from typing import Optional
+from typing import Union
 from urllib.parse import parse_qs, unquote, urlparse
 
+from repro.api.session import AdvisorSession
 from repro.core.statefiles import StateStore
 from repro.errors import ReproError
 from repro.gui import pages
@@ -16,8 +21,8 @@ class AdvisorRequestHandler(BaseHTTPRequestHandler):
     """Routes: ``/``, ``/deployment/<name>``, ``/plots/<name>``,
     ``/advice/<name>[?sort=cost|time]``."""
 
-    #: Injected by :func:`serve`.
-    store: StateStore
+    #: Injected by :func:`make_server`.
+    session: AdvisorSession
 
     def do_GET(self) -> None:  # noqa: N802  (http.server API)
         try:
@@ -37,19 +42,20 @@ class AdvisorRequestHandler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         parts = [unquote(p) for p in parsed.path.split("/") if p]
         if not parts:
-            return pages.render_index(self.store)
+            return pages.render_index(self.session)
         if parts[0] == "deployment" and len(parts) == 2:
-            return pages.render_deployment(self.store, parts[1])
+            return pages.render_deployment(self.session, parts[1])
         if parts[0] == "plots" and len(parts) == 2:
-            return pages.render_plots(self.store, parts[1])
+            return pages.render_plots(self.session, parts[1])
         if parts[0] == "bottlenecks" and len(parts) == 2:
-            return pages.render_bottlenecks(self.store, parts[1])
+            return pages.render_bottlenecks(self.session, parts[1])
         if parts[0] == "advice" and len(parts) == 2:
             query = parse_qs(parsed.query)
             sort_by = query.get("sort", ["time"])[0]
             if sort_by not in ("time", "cost"):
                 sort_by = "time"
-            return pages.render_advice(self.store, parts[1], sort_by=sort_by)
+            return pages.render_advice(self.session, parts[1],
+                                       sort_by=sort_by)
         raise ReproError(f"no such page: {parsed.path}")
 
     def _error(self, code: int, message: str) -> None:
@@ -67,18 +73,29 @@ class AdvisorRequestHandler(BaseHTTPRequestHandler):
         pass  # keep tests/CLI quiet
 
 
-def make_server(store: StateStore, host: str = "127.0.0.1",
-                port: int = 8040) -> HTTPServer:
+def _coerce_session(
+    session: Union[AdvisorSession, StateStore],
+) -> AdvisorSession:
+    """Accept a bare StateStore for backward compatibility."""
+    if isinstance(session, StateStore):
+        return AdvisorSession(store=session)
+    return session
+
+
+def make_server(session: Union[AdvisorSession, StateStore],
+                host: str = "127.0.0.1", port: int = 8040) -> HTTPServer:
     """Create (but do not start) the GUI server."""
     handler = type(
-        "BoundHandler", (AdvisorRequestHandler,), {"store": store}
+        "BoundHandler", (AdvisorRequestHandler,),
+        {"session": _coerce_session(session)},
     )
     return HTTPServer((host, port), handler)
 
 
-def serve(store: StateStore, host: str = "127.0.0.1", port: int = 8040,
+def serve(session: Union[AdvisorSession, StateStore],
+          host: str = "127.0.0.1", port: int = 8040,
           once: bool = False) -> int:
-    server = make_server(store, host, port)
+    server = make_server(session, host, port)
     actual_port = server.server_address[1]
     print(f"HPCAdvisor GUI on http://{host}:{actual_port}/ (Ctrl-C to stop)")
     try:

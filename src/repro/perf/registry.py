@@ -2,17 +2,21 @@
 
 The name corresponds to the ``appname`` field of the paper's main
 configuration file (Listing 1: ``appname: openfoam``).
+
+Since the ``repro.api`` redesign this module is a thin compatibility shim
+over the unified capability registry
+(:data:`repro.api.registry.perf_models`); the historical
+``register_model`` / ``get_model`` / ``list_models`` functions keep
+working unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, List
 
-from repro.errors import ConfigError
+from repro.api.registry import perf_models, register_perf_model
 from repro.perf.model import AppPerfModel
 from repro.perf.noise import NO_NOISE, NoiseModel
-
-_FACTORIES: Dict[str, Callable[[NoiseModel], AppPerfModel]] = {}
 
 
 def register_model(name: str, factory: Callable[[NoiseModel], AppPerfModel]) -> None:
@@ -23,27 +27,16 @@ def register_model(name: str, factory: Callable[[NoiseModel], AppPerfModel]) -> 
     ConfigError
         If the name is already registered (guards against typo shadowing).
     """
-    key = name.lower()
-    if key in _FACTORIES:
-        raise ConfigError(f"performance model {name!r} is already registered")
-    _FACTORIES[key] = factory
+    perf_models.register(name, factory)
 
 
 def get_model(name: str, noise: NoiseModel = NO_NOISE) -> AppPerfModel:
     """Instantiate the model registered under ``name``."""
-    key = name.lower()
-    try:
-        factory = _FACTORIES[key]
-    except KeyError:
-        known = ", ".join(sorted(_FACTORIES))
-        raise ConfigError(
-            f"no performance model for application {name!r} (known: {known})"
-        ) from None
-    return factory(noise)
+    return perf_models.create(name, noise)
 
 
 def list_models() -> List[str]:
-    return sorted(_FACTORIES)
+    return perf_models.names()
 
 
 def _register_builtins() -> None:
@@ -56,7 +49,8 @@ def _register_builtins() -> None:
 
     for cls in (LammpsModel, OpenFoamModel, WrfModel, GromacsModel,
                 NamdModel, MatrixMultModel):
-        register_model(cls.name, lambda noise, _cls=cls: _cls(noise))
+        if cls.name not in perf_models:
+            register_perf_model(cls.name)(lambda noise, _cls=cls: _cls(noise))
 
 
 _register_builtins()

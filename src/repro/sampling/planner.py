@@ -273,3 +273,29 @@ class SmartSampler:
             policy=policy or SamplerPolicy(),
             work_fn=work_fn,
         )
+
+
+def _register_builtin_policies() -> None:
+    """Named presets in the unified capability registry (repro.api)."""
+    from repro.api.registry import register_sampling_policy, sampling_policies
+
+    presets = {
+        # The paper-calibrated defaults.
+        "default": lambda: SamplerPolicy(),
+        # Spend less: trust the scaling law earlier and discard harder.
+        "aggressive": lambda: SamplerPolicy(min_r_squared=0.95),
+        # Spend more: only predict near-perfect fits, never extrapolate far.
+        "conservative": lambda: SamplerPolicy(min_r_squared=0.995,
+                                              extrapolation=1.5),
+        # Measure everything the budget allows; no skips, no predictions.
+        "measure-all": lambda: SamplerPolicy(enable_discard=False,
+                                             enable_predict=False,
+                                             enable_bottleneck=False,
+                                             enable_transfer=False),
+    }
+    for name, factory in presets.items():
+        if name not in sampling_policies:
+            register_sampling_policy(name)(factory)
+
+
+_register_builtin_policies()

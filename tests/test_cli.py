@@ -164,3 +164,49 @@ class TestCollectPlotAdvice:
         run(state_dir, "deploy", "create", "-c", config_file)
         assert run(state_dir, "collect", "-n", "clirg-000",
                    "--noise", "0.05", "--seed", "3") == 0
+
+
+class TestJsonOutput:
+    """The --json flag on collect and advice (typed-result serialization)."""
+
+    def test_collect_json(self, state_dir, config_file, capsys):
+        import json
+
+        from repro.api import CollectResult
+
+        run(state_dir, "deploy", "create", "-c", config_file)
+        capsys.readouterr()
+        assert run(state_dir, "collect", "-n", "clirg-000", "--json") == 0
+        result = CollectResult.from_dict(
+            json.loads(capsys.readouterr().out)
+        )
+        assert result.deployment == "clirg-000"
+        assert result.executed == 2
+        assert result.dataset_points == 2
+
+    def test_advice_json(self, state_dir, config_file, capsys):
+        import json
+
+        from repro.api import AdviceResult
+
+        run(state_dir, "deploy", "create", "-c", config_file)
+        run(state_dir, "collect", "-n", "clirg-000")
+        capsys.readouterr()
+        assert run(state_dir, "advice", "-n", "clirg-000", "--json") == 0
+        result = AdviceResult.from_dict(
+            json.loads(capsys.readouterr().out)
+        )
+        assert result.rows
+        assert result.rows[0].sku == "Standard_HB120rs_v3"
+
+    def test_json_conflicts_with_text_sections(self, state_dir, config_file,
+                                               capsys):
+        run(state_dir, "deploy", "create", "-c", config_file)
+        run(state_dir, "collect", "-n", "clirg-000")
+        capsys.readouterr()
+        assert run(state_dir, "advice", "-n", "clirg-000",
+                   "--json", "--recipes") == 2
+        assert "cannot be combined" in capsys.readouterr().err
+        assert run(state_dir, "collect", "-n", "clirg-000",
+                   "--json", "--report") == 2
+        assert "cannot be combined" in capsys.readouterr().err

@@ -130,10 +130,10 @@ class TestRepricing:
 
 class TestGuiBottlenecksPage:
     def test_page_renders(self, collected):
-        from repro.core.statefiles import StateStore
+        from repro.api import AdvisorSession
         from repro.gui.pages import render_bottlenecks
 
-        store = StateStore(root=collected)
-        html = render_bottlenecks(store, "extrg-000")
+        session = AdvisorSession(state_dir=collected)
+        html = render_bottlenecks(session, "extrg-000")
         assert "Bottleneck" in html
         assert "hb120rs_v3" in html.lower() or "HB120rs_v3" in html

@@ -12,6 +12,9 @@ import sys
 import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "src")
+)
 
 #: example file -> substring its stdout must contain.
 EXPECTED_OUTPUT = {
@@ -27,12 +30,19 @@ EXPECTED_OUTPUT = {
 
 
 def run_example(name: str, *args: str, cwd: str) -> subprocess.CompletedProcess:
+    # The subprocess gets a fresh interpreter: propagate the src-layout
+    # package dir so the examples import `repro` without installation.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
     return subprocess.run(
         [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
         capture_output=True,
         text=True,
         timeout=180,
         cwd=cwd,
+        env=env,
     )
 
 

@@ -1,83 +1,75 @@
-"""GUI tests: page rendering plus one live HTTP round-trip."""
+"""GUI tests: page rendering plus one live HTTP round-trip.
+
+Pages render from an :class:`repro.api.AdvisorSession`; ``make_server``
+also still accepts a bare ``StateStore`` (backward compatibility), which
+one test exercises.
+"""
 
 import threading
+import urllib.error
 import urllib.request
 
 import pytest
 
-from repro.appkit.plugins import get_plugin
-from repro.backends.azurebatch import AzureBatchBackend
-from repro.core.collector import DataCollector
-from repro.core.dataset import Dataset
-from repro.core.deployer import Deployer
-from repro.core.scenarios import generate_scenarios
+from repro.api import AdvisorSession
 from repro.core.statefiles import StateStore
-from repro.core.taskdb import TaskDB
 from repro.gui import pages
 from repro.gui.server import make_server
 from tests.conftest import make_config
 
 
 @pytest.fixture
-def store(tmp_path):
-    return StateStore(root=str(tmp_path))
+def session(tmp_path):
+    return AdvisorSession(state_dir=str(tmp_path))
 
 
 @pytest.fixture
-def store_with_data(store):
+def session_with_data(session):
     config = make_config(nnodes=[1, 2])
-    deployment = Deployer().deploy(config)
-    store.save_deployment(deployment)
-    collector = DataCollector(
-        backend=AzureBatchBackend(service=deployment.batch),
-        script=get_plugin("lammps"),
-        dataset=Dataset(path=store.dataset_path(deployment.name)),
-        taskdb=TaskDB(path=store.taskdb_path(deployment.name)),
-        deployment_name=deployment.name,
-    )
-    collector.collect(generate_scenarios(config))
-    return store, deployment.name
+    info = session.deploy(config)
+    session.collect(deployment=info.name)
+    return session, info.name
 
 
 class TestPages:
-    def test_index_empty(self, store):
-        html = pages.render_index(store)
+    def test_index_empty(self, session):
+        html = pages.render_index(session)
         assert "No deployments yet" in html
 
-    def test_index_lists_deployments(self, store_with_data):
-        store, name = store_with_data
-        html = pages.render_index(store)
+    def test_index_lists_deployments(self, session_with_data):
+        session, name = session_with_data
+        html = pages.render_index(session)
         assert name in html
         assert "advice" in html
 
-    def test_deployment_page(self, store_with_data):
-        store, name = store_with_data
-        html = pages.render_deployment(store, name)
+    def test_deployment_page(self, session_with_data):
+        session, name = session_with_data
+        html = pages.render_deployment(session, name)
         assert name in html
         assert "lammps" in html
         assert "Collected points: 2" in html
 
-    def test_plots_page_embeds_svgs(self, store_with_data):
-        store, name = store_with_data
-        html = pages.render_plots(store, name)
+    def test_plots_page_embeds_svgs(self, session_with_data):
+        session, name = session_with_data
+        html = pages.render_plots(session, name)
         assert html.count("<svg") == 4
 
-    def test_advice_page_table(self, store_with_data):
-        store, name = store_with_data
-        html = pages.render_advice(store, name)
+    def test_advice_page_table(self, session_with_data):
+        session, name = session_with_data
+        html = pages.render_advice(session, name)
         assert "hb120rs_v3" in html
         assert "Exectime" in html
 
-    def test_advice_sorted_by_cost(self, store_with_data):
-        store, name = store_with_data
-        html = pages.render_advice(store, name, sort_by="cost")
+    def test_advice_sorted_by_cost(self, session_with_data):
+        session, name = session_with_data
+        html = pages.render_advice(session, name, sort_by="cost")
         assert "Pareto front" in html
 
 
 class TestHttpServer:
-    def test_live_roundtrip(self, store_with_data):
-        store, name = store_with_data
-        server = make_server(store, host="127.0.0.1", port=0)
+    def test_live_roundtrip(self, session_with_data):
+        session, name = session_with_data
+        server = make_server(session, host="127.0.0.1", port=0)
         port = server.server_address[1]
         thread = threading.Thread(target=server.handle_request)
         thread.start()
@@ -92,8 +84,8 @@ class TestHttpServer:
             thread.join(timeout=5)
             server.server_close()
 
-    def test_404_for_unknown_page(self, store):
-        server = make_server(store, host="127.0.0.1", port=0)
+    def test_404_for_unknown_page(self, session):
+        server = make_server(session, host="127.0.0.1", port=0)
         port = server.server_address[1]
         thread = threading.Thread(target=server.handle_request)
         thread.start()
@@ -107,9 +99,9 @@ class TestHttpServer:
             thread.join(timeout=5)
             server.server_close()
 
-    def test_advice_page_over_http(self, store_with_data):
-        store, name = store_with_data
-        server = make_server(store, host="127.0.0.1", port=0)
+    def test_advice_page_over_http(self, session_with_data):
+        session, name = session_with_data
+        server = make_server(session, host="127.0.0.1", port=0)
         port = server.server_address[1]
         thread = threading.Thread(target=server.handle_request)
         thread.start()
@@ -121,4 +113,14 @@ class TestHttpServer:
             assert "hb120rs_v3" in body
         finally:
             thread.join(timeout=5)
+            server.server_close()
+
+    def test_make_server_accepts_legacy_state_store(self, session_with_data):
+        session, name = session_with_data
+        store = StateStore(root=session.store.root)
+        server = make_server(store, host="127.0.0.1", port=0)
+        try:
+            assert isinstance(server.RequestHandlerClass.session,
+                              AdvisorSession)
+        finally:
             server.server_close()
