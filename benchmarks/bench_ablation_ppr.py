@@ -10,7 +10,6 @@ slightly slower, which can move them onto the Pareto front for bw-bound
 applications on expensive SKUs.
 """
 
-import pytest
 
 from benchmarks.conftest import paper_config, run_sweep
 

@@ -7,7 +7,6 @@ the advice table for an unmeasured third, and score it against ground
 truth — quantifying the zero-execution end state.
 """
 
-import pytest
 
 from benchmarks.conftest import paper_config, run_sweep
 from repro.core.advisor import Advisor

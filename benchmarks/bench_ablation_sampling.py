@@ -8,7 +8,6 @@ This bench runs the same LAMMPS grid both ways and reports scenarios
 executed, task cost, and Pareto-front recall.
 """
 
-import pytest
 
 from benchmarks.conftest import paper_config, run_sweep
 from repro.core.advisor import Advisor

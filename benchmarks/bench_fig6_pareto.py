@@ -7,7 +7,6 @@ large scale.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.pareto import is_dominated, pareto_front
 from repro.core.plotdata import pareto_scatter

@@ -13,7 +13,7 @@ Run with::
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import pytest
 
@@ -71,6 +71,7 @@ def make_backend(deployment: Deployment, kind: str = "azurebatch",
 
 def run_sweep(config: MainConfig, backend_kind: str = "azurebatch",
               sampler=None, delete_pools: bool = False,
+              max_parallel_pools: int = 1,
               ) -> tuple[CollectionReport, Dataset, Deployment]:
     """Deploy and collect one configuration; returns (report, dataset)."""
     deployment = Deployer().deploy(config)
@@ -82,6 +83,7 @@ def run_sweep(config: MainConfig, backend_kind: str = "azurebatch",
         deployment_name=deployment.name,
         sampler=sampler,
         delete_pool_on_switch=delete_pools,
+        max_parallel_pools=max_parallel_pools,
     )
     report = collector.collect(generate_scenarios(config))
     return report, collector.dataset, deployment

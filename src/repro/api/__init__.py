@@ -49,7 +49,7 @@ __all__ = [
     "RecipeRequest",
     # results
     "SessionInfo", "CollectResult", "AdviceResult", "PredictResult",
-    "PlotResult", "RecipeResult",
+    "PlotResult", "RecipeResult", "CompareResult", "CompareRow",
     # registry
     "Registry", "backends", "apps", "perf_models", "sampling_policies",
     "register_backend", "register_app", "register_perf_model",
@@ -70,6 +70,8 @@ _LAZY = {
     "PredictResult": "repro.api.results",
     "PlotResult": "repro.api.results",
     "RecipeResult": "repro.api.results",
+    "CompareResult": "repro.api.results",
+    "CompareRow": "repro.api.results",
 }
 
 

@@ -37,6 +37,11 @@ class CollectRequest(DictMixin):
     #: Hard USD budget for measured task spend (wraps the sampler).
     budget_usd: Optional[float] = None
     retry_failed: int = 0
+    #: How many SKU pool lifecycles may run concurrently in simulated
+    #: time.  1 (the default) reproduces the paper's sequential
+    #: Algorithm 1 exactly; higher values overlap pools and cut the sweep
+    #: makespan without changing the collected measurements.
+    max_parallel_pools: int = 1
 
     def __post_init__(self) -> None:
         if self.noise is not None and self.noise < 0:
@@ -44,6 +49,10 @@ class CollectRequest(DictMixin):
         if self.retry_failed < 0:
             raise ConfigError(
                 f"retry_failed must be >= 0, got {self.retry_failed}"
+            )
+        if self.max_parallel_pools < 1:
+            raise ConfigError(
+                f"max_parallel_pools must be >= 1, got {self.max_parallel_pools}"
             )
 
     @property

@@ -72,6 +72,11 @@ class CollectResult(DictMixin):
     infrastructure_cost_usd: float = 0.0
     provisioning_overhead_s: float = 0.0
     simulated_wall_s: float = 0.0
+    #: Simulated sweep duration under the concurrency actually used; with
+    #: ``max_parallel_pools`` > 1, independent SKU pools overlap and this
+    #: drops well below the sequential duration.
+    makespan_s: float = 0.0
+    max_parallel_pools: int = 1
     failures: Tuple[str, ...] = ()
     dataset_points: int = 0
     dataset_path: str = ""
@@ -145,6 +150,75 @@ class PredictResult(DictMixin):
 
     def render_table(self) -> str:
         return _render_rows(self.rows)
+
+
+@dataclass(frozen=True)
+class CompareRow(DictMixin):
+    """One matched scenario's before/after, flattened for JSON output."""
+
+    appname: str
+    sku: str = ""
+    nnodes: int = 0
+    ppn: int = 0
+    inputs: str = ""
+    time_a: float = 0.0
+    time_b: float = 0.0
+    cost_a: float = 0.0
+    cost_b: float = 0.0
+    time_ratio: float = 0.0
+    cost_ratio: float = 0.0
+
+
+def _decode_compare_rows(raw) -> Tuple[CompareRow, ...]:
+    return tuple(CompareRow.from_dict(item) for item in raw or ())
+
+
+@dataclass(frozen=True)
+class CompareResult(DictMixin):
+    """Matched-scenario comparison of two deployments' datasets."""
+
+    deployment_a: str
+    deployment_b: str = ""
+    matched: int = 0
+    only_in_a: Tuple[str, ...] = ()
+    only_in_b: Tuple[str, ...] = ()
+    geomean_time_ratio: Optional[float] = None
+    regressions: int = 0
+    improvements: int = 0
+    rows: Tuple[CompareRow, ...] = ()
+
+    _decoders = {"rows": _decode_compare_rows}
+
+    @classmethod
+    def from_comparison(cls, comparison, *, deployment_a: str,
+                        deployment_b: str) -> "CompareResult":
+        """Build from a :class:`repro.core.compare.DatasetComparison`."""
+
+        def label(key) -> str:
+            appname, sku, nnodes, _ppn, inputs = key
+            return f"{appname} {sku} n={nnodes} {inputs}"
+
+        return cls(
+            deployment_a=deployment_a,
+            deployment_b=deployment_b,
+            matched=comparison.matched,
+            only_in_a=tuple(label(k) for k in comparison.only_in_a),
+            only_in_b=tuple(label(k) for k in comparison.only_in_b),
+            geomean_time_ratio=(comparison.geomean_time_ratio
+                                if comparison.rows else None),
+            regressions=len(comparison.regressions()),
+            improvements=len(comparison.improvements()),
+            rows=tuple(
+                CompareRow(
+                    appname=row.key[0], sku=row.key[1], nnodes=row.key[2],
+                    ppn=row.key[3], inputs=row.key[4],
+                    time_a=row.time_a, time_b=row.time_b,
+                    cost_a=row.cost_a, cost_b=row.cost_b,
+                    time_ratio=row.time_ratio, cost_ratio=row.cost_ratio,
+                )
+                for row in comparison.rows
+            ),
+        )
 
 
 @dataclass(frozen=True)

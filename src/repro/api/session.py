@@ -372,6 +372,7 @@ class AdvisorSession:
             delete_pool_on_switch=req.delete_pools,
             sampler=sampler,
             retry_failed=req.retry_failed,
+            max_parallel_pools=req.max_parallel_pools,
         )
         report = collector.collect(scenarios)
         # collect() saved through our own cached objects; record the new
@@ -394,6 +395,8 @@ class AdvisorSession:
             provisioning_overhead_s=(report.provisioning_overhead_s
                                      - provisioning_before),
             simulated_wall_s=report.simulated_wall_s,
+            makespan_s=report.makespan_s,
+            max_parallel_pools=report.max_parallel_pools,
             failures=tuple(report.failures),
             dataset_points=len(dataset),
             dataset_path=dataset.path or "",

@@ -117,7 +117,7 @@ def _run(ctx: AppRunContext) -> int:
     ctx.echo("Simulation completed successfully.")
 
     # awk field extraction from the Loop line (fields 4, 9 and 12).
-    loop_line = next(l for l in log.splitlines() if l.startswith("Loop"))
+    loop_line = next(ln for ln in log.splitlines() if ln.startswith("Loop"))
     fields = loop_line.split()
     ctx.emit_var("APPEXECTIME", fields[3])
     ctx.emit_var("LAMMPSSTEPS", fields[8])

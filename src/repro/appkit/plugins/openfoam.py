@@ -75,7 +75,8 @@ def _run(ctx: AppRunContext) -> int:
     if "End" not in log:
         ctx.echo("simpleFoam log incomplete")
         return 1
-    exec_line = next(l for l in log.splitlines() if l.startswith("ExecutionTime"))
+    exec_line = next(ln for ln in log.splitlines()
+                     if ln.startswith("ExecutionTime"))
     ctx.emit_var("APPEXECTIME", exec_line.split()[2])
     ctx.emit_var("OFCELLS", cells)
     ctx.emit_var("OFITERATIONS", iters)

@@ -12,10 +12,11 @@ from typing import Dict, Optional
 
 from repro.appkit.metricvars import extract_vars
 from repro.appkit.script import AppScript
-from repro.backends.base import ExecutionBackend, ScenarioRunResult
+from repro.backends.base import AsyncOp, ExecutionBackend, ScenarioRunResult
 from repro.backends.common import execute_run, execute_setup
 from repro.batch.service import BatchService
 from repro.batch.task import BatchTask, TaskContext, TaskKind, TaskOutput
+from repro.clock import SimClock
 from repro.core.scenarios import Scenario
 from repro.errors import BackendError
 
@@ -48,11 +49,24 @@ class AzureBatchBackend(ExecutionBackend):
     def name(self) -> str:
         return "azurebatch"
 
+    @property
+    def supports_concurrency(self) -> bool:
+        return True
+
+    @property
+    def clock(self) -> SimClock:
+        return self.service.clock
+
     # -- capacity ----------------------------------------------------------------
 
     def ensure_capacity(self, sku_name: str, nodes: int) -> None:
+        op = self.submit_provision(sku_name, nodes)
+        if op.ready_at > self.service.clock.now:
+            self.service.clock.advance_to(op.ready_at)
+        op.finish()
+
+    def submit_provision(self, sku_name: str, nodes: int) -> AsyncOp:
         pool_id = pool_id_for(sku_name)
-        before = self.service.clock.now
         if pool_id not in self.service.pools or (
             self.service.pools[pool_id].state.value == "deleted"
         ):
@@ -63,8 +77,13 @@ class AzureBatchBackend(ExecutionBackend):
                 self.service.create_job(job_id, pool_id)
         pool = self.service.get_pool(pool_id)
         if pool.current_nodes < nodes:
-            pool.resize(nodes)
-        self._provisioning_s += self.service.clock.now - before
+            ready_at = pool.begin_resize(nodes)
+        else:
+            ready_at = self.service.clock.now
+        # Boot waits count as provisioning overhead even when they overlap
+        # other pools' work (the per-pool sum, as in the sequential sweep).
+        self._provisioning_s += ready_at - self.service.clock.now
+        return AsyncOp(ready_at, pool.finish_resize)
 
     def release_capacity(self, sku_name: str, delete: bool) -> None:
         pool_id = pool_id_for(sku_name)
@@ -86,55 +105,91 @@ class AzureBatchBackend(ExecutionBackend):
 
     # -- execution -----------------------------------------------------------------
 
+    def needs_setup(self, sku_name: str) -> bool:
+        return not self._setup_done.get(pool_id_for(sku_name), False)
+
     def run_setup(self, sku_name: str, script: AppScript) -> bool:
-        pool_id = pool_id_for(sku_name)
-        if self._setup_done.get(pool_id):
+        if not self.needs_setup(sku_name):
             return True
         self.ensure_capacity(sku_name, 1)
-        task = self._submit(
+        op = self.submit_setup(sku_name, script)
+        if op.ready_at > self.service.clock.now:
+            self.service.clock.advance_to(op.ready_at)
+        return bool(op.finish())
+
+    def submit_setup(self, sku_name: str, script: AppScript) -> AsyncOp:
+        pool_id = pool_id_for(sku_name)
+        if self._setup_done.get(pool_id):
+            return AsyncOp(self.service.clock.now, lambda: True)
+        task = self._start(
             pool_id,
             kind=TaskKind.SETUP,
             required_nodes=1,
             executor=lambda ctx: self._setup_executor(ctx, script),
         )
-        self._setup_done[pool_id] = task.output is not None and task.output.succeeded
-        return self._setup_done[pool_id]
+
+        def finalize() -> bool:
+            self.service.complete_task(self._job_for(pool_id), task.task_id)
+            assert task.output is not None
+            self._setup_done[pool_id] = task.output.succeeded
+            return self._setup_done[pool_id]
+
+        return AsyncOp(self._finish_eta(task), finalize)
 
     def run_scenario(self, scenario: Scenario, script: AppScript) -> ScenarioRunResult:
-        pool_id = pool_id_for(scenario.sku_name)
         self.ensure_capacity(scenario.sku_name, scenario.nnodes)
-        task = self._submit(
+        op = self.submit_scenario(scenario, script)
+        if op.ready_at > self.service.clock.now:
+            self.service.clock.advance_to(op.ready_at)
+        result = op.finish()
+        assert isinstance(result, ScenarioRunResult)
+        return result
+
+    def submit_scenario(self, scenario: Scenario, script: AppScript) -> AsyncOp:
+        pool_id = pool_id_for(scenario.sku_name)
+        task = self._start(
             pool_id,
             kind=TaskKind.COMPUTE,
             required_nodes=scenario.nnodes,
             executor=lambda ctx: self._run_executor(ctx, scenario, script),
         )
-        output = task.output
-        if output is None:
-            raise BackendError(f"task {task.task_id} produced no output")
-        accounting = self.service.accounting[-1]
-        failure = None
-        if not output.succeeded:
-            failure = _failure_line(output.stdout)
-        return ScenarioRunResult(
-            succeeded=output.succeeded,
-            exec_time_s=output.wall_time_s,
-            cost_usd=accounting.cost_usd,
-            stdout=output.stdout,
-            app_vars=extract_vars(output.stdout),
-            infra_metrics=dict(output.metrics),
-            failure_reason=failure,
-            started_at=task.started_at or 0.0,
-            finished_at=task.finished_at or 0.0,
-        )
+
+        def finalize() -> ScenarioRunResult:
+            accounting = self.service.complete_task(
+                self._job_for(pool_id), task.task_id
+            )
+            output = task.output
+            if output is None:
+                raise BackendError(f"task {task.task_id} produced no output")
+            failure = None
+            if not output.succeeded:
+                failure = _failure_line(output.stdout)
+            return ScenarioRunResult(
+                succeeded=output.succeeded,
+                exec_time_s=output.wall_time_s,
+                cost_usd=accounting.cost_usd,
+                stdout=output.stdout,
+                app_vars=extract_vars(output.stdout),
+                infra_metrics=dict(output.metrics),
+                failure_reason=failure,
+                started_at=task.started_at or 0.0,
+                finished_at=task.finished_at or 0.0,
+            )
+
+        return AsyncOp(self._finish_eta(task), finalize)
 
     # -- internals ---------------------------------------------------------------------
 
     def _job_for(self, pool_id: str) -> str:
         return f"{self.job_id}-{pool_id}"
 
-    def _submit(self, pool_id: str, kind: TaskKind, required_nodes: int,
-                executor) -> BatchTask:
+    @staticmethod
+    def _finish_eta(task: BatchTask) -> float:
+        assert task.started_at is not None and task.output is not None
+        return task.started_at + task.output.wall_time_s
+
+    def _start(self, pool_id: str, kind: TaskKind, required_nodes: int,
+               executor) -> BatchTask:
         job_id = self._job_for(pool_id)
         if job_id not in self.service.jobs:
             self.service.create_job(job_id, pool_id)
@@ -146,7 +201,7 @@ class AzureBatchBackend(ExecutionBackend):
             required_nodes=required_nodes,
         )
         self.service.submit_task(job_id, task)
-        return self.service.run_task(job_id, task.task_id)
+        return self.service.start_task(job_id, task.task_id)
 
     def _setup_executor(self, ctx: TaskContext, script: AppScript) -> TaskOutput:
         execution = execute_setup(

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.appkit.script import AppScript
+from repro.clock import SimClock
 from repro.core.scenarios import Scenario
 
 
@@ -29,6 +30,24 @@ class ScenarioRunResult:
     failure_reason: Optional[str] = None
     started_at: float = 0.0
     finished_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class AsyncOp:
+    """A non-blocking back-end operation in flight.
+
+    ``ready_at`` is the absolute simulated timestamp at which the operation
+    completes.  Once the shared clock has reached it (typically via an
+    :class:`~repro.clock.EventQueue`), call :meth:`finish` to finalize the
+    operation and obtain its result — ``None`` for provisioning,
+    ``bool`` for setup, :class:`ScenarioRunResult` for scenario runs.
+    """
+
+    ready_at: float
+    _finalize: Callable[[], object]
+
+    def finish(self) -> object:
+        return self._finalize()
 
 
 class ExecutionBackend(abc.ABC):
@@ -63,6 +82,56 @@ class ExecutionBackend(abc.ABC):
     @abc.abstractmethod
     def teardown(self) -> None:
         """Release everything (end of collection)."""
+
+    # -- non-blocking primitives (concurrent sweeps) ------------------------------
+    #
+    # Back-ends that can keep several SKU pools in flight at once override
+    # these submit/poll primitives and report ``supports_concurrency``.
+    # The defaults keep third-party blocking-only back-ends valid: the
+    # collector falls back to the sequential Algorithm-1 loop for them.
+
+    @property
+    def supports_concurrency(self) -> bool:
+        """True when the submit_* primitives below are implemented."""
+        return False
+
+    @property
+    def clock(self) -> SimClock:
+        """The simulated clock shared by this back-end's resources.
+
+        Required for concurrent collection (the sweep scheduler runs an
+        event queue on it); blocking-only back-ends need not provide it.
+        """
+        raise NotImplementedError(f"{self.name} backend exposes no clock")
+
+    def needs_setup(self, sku_name: str) -> bool:
+        """True when the SKU's resources still need the application setup."""
+        return True
+
+    def submit_provision(self, sku_name: str, nodes: int) -> AsyncOp:
+        """Start making ``nodes`` nodes of ``sku_name`` available.
+
+        Non-blocking counterpart of :meth:`ensure_capacity`: quota is
+        allocated and billing starts immediately, but the boot wait is
+        returned as the op's ``ready_at`` instead of advancing the clock.
+        ``finish()`` returns ``None``.
+        """
+        raise NotImplementedError(f"{self.name} backend is blocking-only")
+
+    def submit_setup(self, sku_name: str, script: AppScript) -> AsyncOp:
+        """Start the application setup task; ``finish()`` returns bool.
+
+        The caller must have provisioned at least one node (via a finished
+        :meth:`submit_provision`) first.
+        """
+        raise NotImplementedError(f"{self.name} backend is blocking-only")
+
+    def submit_scenario(self, scenario: Scenario, script: AppScript) -> AsyncOp:
+        """Start one scenario; ``finish()`` returns ScenarioRunResult.
+
+        The caller must have provisioned ``scenario.nnodes`` nodes first.
+        """
+        raise NotImplementedError(f"{self.name} backend is blocking-only")
 
     # -- cost/observability -------------------------------------------------------
 

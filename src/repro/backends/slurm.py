@@ -6,8 +6,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.appkit.script import AppScript
-from repro.backends.base import ExecutionBackend, ScenarioRunResult
+from repro.backends.base import AsyncOp, ExecutionBackend, ScenarioRunResult
 from repro.backends.common import execute_run, execute_setup
+from repro.clock import SimClock
 from repro.core.scenarios import Scenario
 from repro.errors import BackendError
 from repro.slurmsim.cluster import JobCompletion, SlurmCluster
@@ -33,14 +34,29 @@ class SlurmBackend(ExecutionBackend):
     def name(self) -> str:
         return "slurm"
 
+    @property
+    def supports_concurrency(self) -> bool:
+        return True
+
+    @property
+    def clock(self) -> SimClock:
+        return self.cluster.clock
+
     def ensure_capacity(self, sku_name: str, nodes: int) -> None:
+        op = self.submit_provision(sku_name, nodes)
+        if op.ready_at > self.cluster.clock.now:
+            self.cluster.clock.advance_to(op.ready_at)
+        op.finish()
+
+    def submit_provision(self, sku_name: str, nodes: int) -> AsyncOp:
         part_name = partition_for(sku_name)
-        before = self.cluster.clock.now
         if part_name not in self.cluster.partitions:
             self.cluster.create_partition(part_name, sku_name)
             self._setup_done[part_name] = False
-        self.cluster.get_partition(part_name).power_up(nodes)
-        self._provisioning_s += self.cluster.clock.now - before
+        partition = self.cluster.get_partition(part_name)
+        ready_at = partition.begin_power_up(nodes)
+        self._provisioning_s += ready_at - self.cluster.clock.now
+        return AsyncOp(ready_at, lambda: None)
 
     def release_capacity(self, sku_name: str, delete: bool) -> None:
         part_name = partition_for(sku_name)
@@ -52,11 +68,22 @@ class SlurmBackend(ExecutionBackend):
     def teardown(self) -> None:
         self.cluster.teardown()
 
+    def needs_setup(self, sku_name: str) -> bool:
+        return not self._setup_done.get(partition_for(sku_name), False)
+
     def run_setup(self, sku_name: str, script: AppScript) -> bool:
-        part_name = partition_for(sku_name)
-        if self._setup_done.get(part_name):
+        if not self.needs_setup(sku_name):
             return True
         self.ensure_capacity(sku_name, 1)
+        op = self.submit_setup(sku_name, script)
+        if op.ready_at > self.cluster.clock.now:
+            self.cluster.clock.advance_to(op.ready_at)
+        return bool(op.finish())
+
+    def submit_setup(self, sku_name: str, script: AppScript) -> AsyncOp:
+        part_name = partition_for(sku_name)
+        if self._setup_done.get(part_name):
+            return AsyncOp(self.cluster.clock.now, lambda: True)
 
         def runner(hosts, filesystem, workdir):
             execution = execute_setup(script, hosts, filesystem, workdir,
@@ -67,16 +94,31 @@ class SlurmBackend(ExecutionBackend):
                 wall_time_s=execution.wall_time_s,
             )
 
-        job = self.cluster.sbatch(
+        job = self.cluster.start_job(
             name=f"setup-{script.appname}", partition=part_name, nodes=1,
             runner=runner,
         )
-        self._setup_done[part_name] = job.exit_code == 0
-        return self._setup_done[part_name]
+        completion = self.cluster.pending_completion(job.job_id)
+
+        def finalize() -> bool:
+            self.cluster.complete_job(job.job_id)
+            self._setup_done[part_name] = job.exit_code == 0
+            return self._setup_done[part_name]
+
+        assert job.start_time is not None
+        return AsyncOp(job.start_time + completion.wall_time_s, finalize)
 
     def run_scenario(self, scenario: Scenario, script: AppScript) -> ScenarioRunResult:
-        part_name = partition_for(scenario.sku_name)
         self.ensure_capacity(scenario.sku_name, scenario.nnodes)
+        op = self.submit_scenario(scenario, script)
+        if op.ready_at > self.cluster.clock.now:
+            self.cluster.clock.advance_to(op.ready_at)
+        result = op.finish()
+        assert isinstance(result, ScenarioRunResult)
+        return result
+
+    def submit_scenario(self, scenario: Scenario, script: AppScript) -> AsyncOp:
+        part_name = partition_for(scenario.sku_name)
         captured: Dict[str, object] = {}
 
         def runner(hosts, filesystem, workdir):
@@ -89,36 +131,43 @@ class SlurmBackend(ExecutionBackend):
                 wall_time_s=execution.wall_time_s,
             )
 
-        job = self.cluster.sbatch(
+        job = self.cluster.start_job(
             name=f"run-{scenario.scenario_id}",
             partition=part_name,
             nodes=scenario.nnodes,
             runner=runner,
         )
-        execution = captured.get("execution")
-        if execution is None:
-            raise BackendError(f"job {job.job_id} did not execute")
-        price = self.cluster.get_partition(part_name).hourly_price
-        cost = scenario.nnodes * price * execution.wall_time_s / 3600.0
-        failure = None
-        if execution.exit_code != 0:
-            for line in execution.stdout.splitlines():
-                if "reason:" in line:
-                    failure = line.split("reason:", 1)[1].strip()
-                    break
-            else:
-                failure = "job exited non-zero"
-        return ScenarioRunResult(
-            succeeded=execution.exit_code == 0,
-            exec_time_s=execution.wall_time_s,
-            cost_usd=cost,
-            stdout=execution.stdout,
-            app_vars=dict(execution.app_vars),
-            infra_metrics=dict(execution.infra_metrics),
-            failure_reason=failure,
-            started_at=job.start_time or 0.0,
-            finished_at=job.end_time or 0.0,
-        )
+
+        def finalize() -> ScenarioRunResult:
+            self.cluster.complete_job(job.job_id)
+            execution = captured.get("execution")
+            if execution is None:
+                raise BackendError(f"job {job.job_id} did not execute")
+            price = self.cluster.get_partition(part_name).hourly_price
+            cost = scenario.nnodes * price * execution.wall_time_s / 3600.0
+            failure = None
+            if execution.exit_code != 0:
+                for line in execution.stdout.splitlines():
+                    if "reason:" in line:
+                        failure = line.split("reason:", 1)[1].strip()
+                        break
+                else:
+                    failure = "job exited non-zero"
+            return ScenarioRunResult(
+                succeeded=execution.exit_code == 0,
+                exec_time_s=execution.wall_time_s,
+                cost_usd=cost,
+                stdout=execution.stdout,
+                app_vars=dict(execution.app_vars),
+                infra_metrics=dict(execution.infra_metrics),
+                failure_reason=failure,
+                started_at=job.start_time or 0.0,
+                finished_at=job.end_time or 0.0,
+            )
+
+        assert job.start_time is not None
+        completion = self.cluster.pending_completion(job.job_id)
+        return AsyncOp(job.start_time + completion.wall_time_s, finalize)
 
     @property
     def provisioning_overhead_s(self) -> float:

@@ -80,17 +80,40 @@ class BatchPool:
         Shrinking evicts idle nodes immediately; it refuses to evict nodes
         that are running tasks.
         """
+        ready_at = self.begin_resize(target_nodes)
+        if ready_at > self.clock.now:
+            self.clock.advance_to(ready_at)
+        self.finish_resize()
+
+    def begin_resize(self, target_nodes: int) -> float:
+        """Non-blocking resize: start the operation, do not wait for boots.
+
+        Returns the simulated timestamp at which the slowest new node will
+        be ready; the caller must let the clock reach that time (e.g. via an
+        :class:`~repro.clock.EventQueue`) and then call :meth:`finish_resize`
+        before leasing the new nodes.  Shrinking completes immediately.
+        Billing starts at submission, as on the real cloud.
+        """
         self._check_active()
         if target_nodes < 0:
             raise ValueError(f"negative pool size: {target_nodes}")
         self.resize_count += 1
         current = self.current_nodes
         if target_nodes > current:
-            self._grow(target_nodes - current)
-        elif target_nodes < current:
+            return self._begin_grow(target_nodes - current)
+        if target_nodes < current:
             self._shrink(current - target_nodes)
+        return self.clock.now
 
-    def _grow(self, count: int) -> None:
+    def finish_resize(self) -> None:
+        """Mark every node whose boot window has elapsed as idle."""
+        for node in self.nodes:
+            if (node.state is NodeState.STARTING
+                    and node.boot_started_at + node.boot_seconds
+                    <= self.clock.now + 1e-9):
+                node.mark_idle()
+
+    def _begin_grow(self, count: int) -> float:
         self.subscription.allocate_cores(self.region, self.sku, count)
         new_nodes = []
         boot_times = []
@@ -110,9 +133,7 @@ class BatchPool:
         # Billing starts as soon as VMs are allocated, before they are usable.
         assert self.meter is not None
         self.meter.set_nodes(self.current_nodes)
-        self.clock.advance(max(boot_times))
-        for node in new_nodes:
-            node.mark_idle()
+        return self.clock.now + max(boot_times)
 
     def _shrink(self, count: int) -> None:
         victims = [n for n in self.nodes if n.state is NodeState.IDLE][:count]

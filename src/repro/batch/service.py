@@ -9,14 +9,14 @@ paper's Algorithm 1, which processes scenarios one at a time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Tuple
 
 from repro.batch.job import BatchJob
+from repro.batch.node import ComputeNode
 from repro.batch.pool import BatchPool, PoolState
 from repro.batch.task import BatchTask, TaskContext, TaskState
 from repro.clock import SimClock
 from repro.cloud.provider import CloudProvider
-from repro.cloud.skus import VmSku
 from repro.cloud.subscription import Subscription
 from repro.cluster.filesystem import SharedFilesystem
 from repro.cluster.host import Host
@@ -48,6 +48,9 @@ class BatchService:
     jobs: Dict[str, BatchJob] = field(default_factory=dict)
     accounting: List[TaskAccounting] = field(default_factory=list)
     _retired_pool_cost_usd: float = 0.0
+    _leases: Dict[Tuple[str, str], List[ComputeNode]] = field(
+        default_factory=dict, repr=False
+    )
 
     @property
     def clock(self) -> SimClock:
@@ -118,6 +121,22 @@ class BatchService:
 
     def run_task(self, job_id: str, task_id: str) -> BatchTask:
         """Execute a pending task synchronously (in simulated time)."""
+        task = self.start_task(job_id, task_id)
+        assert task.output is not None
+        self.clock.advance(task.output.wall_time_s)
+        self.complete_task(job_id, task_id)
+        return task
+
+    def start_task(self, job_id: str, task_id: str) -> BatchTask:
+        """Begin a pending task without advancing the clock.
+
+        Leases the nodes, invokes the executor (the simulated application is
+        pure computation — only its ``wall_time_s`` consumes simulated time)
+        and leaves the task ``RUNNING`` with its output attached.  The
+        caller must let the clock reach ``task.started_at +
+        output.wall_time_s`` and then call :meth:`complete_task`; the nodes
+        stay leased until then, so concurrent work cannot steal them.
+        """
         job = self.get_job(job_id)
         task = job.get_task(task_id)
         if task.state is not TaskState.PENDING:
@@ -144,24 +163,44 @@ class BatchService:
             clock_now=self.clock.now,
         )
         try:
-            output = task.executor(context)
-        finally:
+            task.output = task.executor(context)
+        except BaseException:
             pool.release_nodes(nodes)
-        self.clock.advance(output.wall_time_s)
-        task.finished_at = self.clock.now
-        task.output = output
-        task.state = TaskState.COMPLETED if output.succeeded else TaskState.FAILED
-        self.accounting.append(
-            TaskAccounting(
-                task_id=task_id,
-                pool_id=pool.pool_id,
-                nodes=task.required_nodes,
-                wall_time_s=output.wall_time_s,
-                cost_usd=task.required_nodes * pool.hourly_price
-                * output.wall_time_s / 3600.0,
-            )
-        )
+            task.state = TaskState.PENDING
+            task.started_at = None
+            task.assigned_node_ids = []
+            raise
+        self._leases[(job_id, task_id)] = nodes
         return task
+
+    def complete_task(self, job_id: str, task_id: str) -> TaskAccounting:
+        """Finish a task started via :meth:`start_task`.
+
+        Must be called once the clock has reached the task's finish time;
+        releases the nodes, finalizes the state, and returns the cost
+        accounting entry for this task (also appended to ``accounting``).
+        """
+        job = self.get_job(job_id)
+        task = job.get_task(task_id)
+        if task.state is not TaskState.RUNNING or task.output is None:
+            raise BatchError(
+                f"task {task_id!r} is {task.state.value}, expected running"
+            )
+        pool = self.get_pool(job.pool_id)
+        output = task.output
+        pool.release_nodes(self._leases.pop((job_id, task_id)))
+        task.finished_at = self.clock.now
+        task.state = TaskState.COMPLETED if output.succeeded else TaskState.FAILED
+        entry = TaskAccounting(
+            task_id=task_id,
+            pool_id=pool.pool_id,
+            nodes=task.required_nodes,
+            wall_time_s=output.wall_time_s,
+            cost_usd=task.required_nodes * pool.hourly_price
+            * output.wall_time_s / 3600.0,
+        )
+        self.accounting.append(entry)
+        return entry
 
     # -- accounting -------------------------------------------------------------------
 

@@ -82,6 +82,7 @@ def collect(
     seed: Optional[int] = None,
     budget: Optional[float] = None,
     retry_failed: int = 0,
+    parallel_pools: int = 1,
     show_report: bool = False,
     as_json: bool = False,
 ) -> int:
@@ -97,6 +98,7 @@ def collect(
         seed=seed,
         budget_usd=budget,
         retry_failed=retry_failed,
+        max_parallel_pools=parallel_pools,
     ))
     if as_json:
         print(result.to_json(indent=1))
@@ -112,6 +114,8 @@ def collect(
           f"${fmt_usd(result.infrastructure_cost_usd)}")
     print(f"  provisioning time:   "
           f"{fmt_duration(result.provisioning_overhead_s)}")
+    print(f"  sweep makespan:      {fmt_duration(result.makespan_s)} "
+          f"({result.max_parallel_pools} parallel pool(s))")
     print(f"  dataset:             {result.dataset_path} "
           f"({result.dataset_points} points)")
     for failure in result.failures:
@@ -206,6 +210,7 @@ def predict(
     inputs: Dict[str, str],
     nnodes: Optional[list] = None,
     backend: str = "ridge",
+    as_json: bool = False,
 ) -> int:
     """Predicted advice for new inputs, trained on the deployment's data."""
     session = _session(state_dir)
@@ -215,6 +220,9 @@ def predict(
         nnodes=tuple(nnodes or ()),
         model=backend,
     ))
+    if as_json:
+        print(result.to_json(indent=1))
+        return 0
     inputs_label = ", ".join(
         f"{k}={v}" for k, v in sorted(result.inputs.items())
     )
@@ -228,15 +236,23 @@ def predict(
 # -- compare (extension) ---------------------------------------------------------
 
 
-def compare(state_dir: Optional[str], name_a: str, name_b: str) -> int:
+def compare(state_dir: Optional[str], name_a: str, name_b: str,
+            as_json: bool = False) -> int:
     """Matched-scenario comparison of two deployments' datasets."""
     from repro.core.compare import render_comparison
 
     session = _session(state_dir)
     comparison = session.compare(name_a, name_b)
+    regressions = comparison.regressions()
+    if as_json:
+        from repro.api.results import CompareResult
+
+        print(CompareResult.from_comparison(
+            comparison, deployment_a=name_a, deployment_b=name_b,
+        ).to_json(indent=1))
+        return 1 if regressions else 0
     print(render_comparison(comparison, label_a=name_a, label_b=name_b),
           end="")
-    regressions = comparison.regressions()
     if regressions:
         print(f"\n{len(regressions)} scenario(s) regressed by more than 5%")
         return 1

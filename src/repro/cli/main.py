@@ -75,6 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="hard USD budget for measured task spend")
     collect.add_argument("--retry-failed", type=int, default=0,
                          help="immediate retries for failed scenarios")
+    collect.add_argument(
+        "--parallel-pools", type=int, default=1, metavar="N",
+        help="run up to N VM-type pools concurrently in simulated time "
+             "(default 1: the paper's sequential Algorithm 1)",
+    )
     collect.add_argument("--report", action="store_true",
                          help="print the full sweep report afterwards")
     collect.add_argument("--json", action="store_true", dest="as_json",
@@ -119,6 +124,8 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: those in the dataset)")
     predict.add_argument("--backend", choices=["ridge", "knn"],
                          default="ridge")
+    predict.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the prediction result as JSON")
 
     # compare (extension: before/after sweeps via tags) ------------------------
     compare = sub.add_parser(
@@ -130,6 +137,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="baseline deployment")
     compare.add_argument("-b", required=True, metavar="NAME",
                          help="candidate deployment")
+    compare.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the comparison as JSON")
 
     # gui -------------------------------------------------------------------------
     gui = sub.add_parser("gui", help="start the browser GUI")
@@ -171,6 +180,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             seed=args.seed,
             budget=args.budget,
             retry_failed=args.retry_failed,
+            parallel_pools=args.parallel_pools,
             show_report=args.report,
             as_json=args.as_json,
         )
@@ -198,9 +208,11 @@ def _dispatch(args: argparse.Namespace) -> int:
             inputs=parse_filters(args.input),
             nnodes=args.nnodes,
             backend=args.backend,
+            as_json=args.as_json,
         )
     if args.command == "compare":
-        return commands.compare(args.state_dir, args.a, args.b)
+        return commands.compare(args.state_dir, args.a, args.b,
+                                as_json=args.as_json)
     if args.command == "gui":
         return commands.gui(args.state_dir, host=args.host, port=args.port,
                             once=args.once)

@@ -9,8 +9,9 @@ milliseconds while still producing faithful timestamps and billing windows.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Callable, List, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 
 @dataclass
@@ -40,12 +41,21 @@ class SimClock:
         return self.now
 
     def advance_to(self, timestamp: float) -> float:
-        """Move the clock forward to an absolute simulated timestamp."""
+        """Move the clock forward to an absolute simulated timestamp.
+
+        Sets ``now`` to ``timestamp`` exactly (no ``now + delta`` rounding),
+        so an event-driven caller that schedules at ``now + s`` observes the
+        same timestamps as a blocking caller that runs ``advance(s)``.
+        """
         if timestamp < self.now:
             raise ValueError(
                 f"cannot move clock backwards: now={self.now}, target={timestamp}"
             )
-        return self.advance(timestamp - self.now)
+        old = self.now
+        self.now = timestamp
+        for observer in self._observers:
+            observer(old, self.now)
+        return self.now
 
     def subscribe(self, observer: Callable[[float, float], None]) -> None:
         """Register ``observer(old_now, new_now)`` called on every advance.
@@ -71,6 +81,91 @@ class Stopwatch:
 
     def restart(self) -> None:
         self._start = self._clock.now
+
+
+class EventQueue:
+    """A discrete-event engine on top of one :class:`SimClock`.
+
+    Callbacks are scheduled at absolute simulated timestamps and executed in
+    ``(time, insertion order)`` order, advancing the shared clock to each
+    event's timestamp before firing it.  This lets independent timelines —
+    e.g. several Batch pools provisioning and running tasks at once —
+    interleave on one clock instead of serializing their waits.
+
+    Determinism: ties on the timestamp are broken by insertion order (FIFO),
+    so a run is fully reproducible for a given schedule of operations.
+    """
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule_at(self, timestamp: float,
+                    callback: Callable[[], None]) -> None:
+        """Run ``callback`` when the clock reaches ``timestamp``.
+
+        Timestamps in the past are clamped to ``now`` (the event fires on
+        the next run, after events already queued for ``now``).
+        """
+        self._seq += 1
+        heapq.heappush(
+            self._heap, (max(timestamp, self.clock.now), self._seq, callback)
+        )
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in negative time: {delay}")
+        self.schedule_at(self.clock.now + delay, callback)
+
+    def spawn(self, process: Iterator[float],
+              on_done: Optional[Callable[[], None]] = None) -> None:
+        """Drive a generator-style process on this engine.
+
+        ``process`` yields absolute simulated timestamps; the engine resumes
+        it each time the clock reaches the yielded time.  The first segment
+        (up to the first ``yield``) runs immediately.  ``on_done`` fires when
+        the generator returns.
+        """
+        self._step(process, on_done)
+
+    def _step(self, process: Iterator[float],
+              on_done: Optional[Callable[[], None]]) -> None:
+        try:
+            wake_at = next(process)
+        except StopIteration:
+            if on_done is not None:
+                on_done()
+            return
+        self.schedule_at(wake_at, lambda: self._step(process, on_done))
+
+    def run_next(self) -> bool:
+        """Advance to and fire the next event; False when none are queued."""
+        if not self._heap:
+            return False
+        timestamp, _, callback = heapq.heappop(self._heap)
+        if timestamp > self.clock.now:
+            self.clock.advance_to(timestamp)
+        callback()
+        return True
+
+    def run_until(self, timestamp: float) -> float:
+        """Process every event due up to ``timestamp``, then land there."""
+        while self._heap and self._heap[0][0] <= timestamp:
+            self.run_next()
+        if timestamp > self.clock.now:
+            self.clock.advance_to(timestamp)
+        return self.clock.now
+
+    def run_until_idle(self) -> float:
+        """Process events until the queue drains; returns the final time."""
+        while self.run_next():
+            pass
+        return self.clock.now
 
 
 @dataclass

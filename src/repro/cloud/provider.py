@@ -8,11 +8,11 @@ are meaningful quantities in benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.clock import SimClock
-from repro.errors import CloudError, ResourceExists, ResourceNotFound
+from repro.errors import ResourceExists, ResourceNotFound
 from repro.cloud.pricing import PriceCatalog
 from repro.cloud.regions import Region, get_region
 from repro.cloud.resources import ResourceGroup, StorageAccount, VirtualNetwork

@@ -9,7 +9,7 @@ simulated run, and :mod:`repro.sampling.bottleneck` consumes them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
+from dataclasses import dataclass, asdict
 from typing import Dict
 
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.dataset import DataPoint, Dataset
+from repro.core.dataset import Dataset
 from repro.core.pareto import pareto_select
 from repro.errors import AdvisorError
 

@@ -1,4 +1,4 @@
-"""Data collection: the paper's Algorithm 1.
+"""Data collection: the paper's Algorithm 1, scheduled event-driven.
 
 ::
 
@@ -16,15 +16,29 @@ Extensions over the bare algorithm, as the paper describes elsewhere:
 failed tasks are marked ``failed`` rather than aborting the sweep
 (Sec. III-C's task states), and an optional smart-sampling planner
 (Sec. III-F) may skip or predict scenarios instead of executing them.
+
+Beyond the paper: scenarios are partitioned by VM type and each SKU's
+pool lifecycle (provision -> setup -> ascending-node scenario chain ->
+release) runs as an independent timeline on a shared
+:class:`~repro.clock.EventQueue`.  Up to ``max_parallel_pools``
+lifecycles are in flight at once — the way a real cloud account
+provisions independent pools concurrently — which cuts the sweep
+makespan roughly by the number of VM types while keeping the collected
+measurements identical (executions are deterministic per scenario, so
+only timestamps and the makespan depend on the interleaving).  With
+``max_parallel_pools=1`` the schedule degenerates to Algorithm 1's
+sequential walk and reproduces it exactly, timestamps included.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, runtime_checkable
+from typing import Dict, Iterator, List, Optional, Protocol, runtime_checkable
 
 from repro.appkit.script import AppScript
-from repro.backends.base import ExecutionBackend
+from repro.backends.base import ExecutionBackend, ScenarioRunResult
+from repro.clock import EventQueue
 from repro.core.dataset import DataPoint, Dataset
 from repro.core.scenarios import Scenario
 from repro.core.taskdb import TaskDB, TaskStatus
@@ -74,12 +88,42 @@ class CollectionReport:
     task_cost_usd: float = 0.0
     infrastructure_cost_usd: float = 0.0
     provisioning_overhead_s: float = 0.0
+    #: Last task completion minus first task start (task-level span).
     simulated_wall_s: float = 0.0
+    #: Simulated sweep duration including provisioning, under the
+    #: concurrency actually used; equals the sequential duration when
+    #: ``max_parallel_pools`` is 1.
+    makespan_s: float = 0.0
+    max_parallel_pools: int = 1
     failures: List[str] = field(default_factory=list)
+    _first_started_at: Optional[float] = field(default=None, repr=False)
+    _last_finished_at: Optional[float] = field(default=None, repr=False)
 
     @property
     def total_tasks(self) -> int:
         return self.executed + self.skipped + self.predicted
+
+    def note_execution(self, result: ScenarioRunResult) -> None:
+        """Fold one execution's window into the task-level span."""
+        self.executed += 1
+        if (self._first_started_at is None
+                or result.started_at < self._first_started_at):
+            self._first_started_at = result.started_at
+        if (self._last_finished_at is None
+                or result.finished_at > self._last_finished_at):
+            self._last_finished_at = result.finished_at
+        self.simulated_wall_s = (
+            self._last_finished_at - self._first_started_at
+        )
+
+
+@dataclass
+class _SweepState:
+    """Mutable cross-lifecycle coordination for one scheduled sweep."""
+
+    report: CollectionReport
+    stop: bool = False
+    active: int = 0
 
 
 @dataclass
@@ -97,45 +141,153 @@ class DataCollector:
     #: Immediate retries for failed scenarios (transient-failure tolerance;
     #: with noise enabled, reruns genuinely differ).
     retry_failed: int = 0
+    #: How many SKU pool lifecycles may be in flight at once.  1 reproduces
+    #: the paper's sequential Algorithm 1 exactly; higher values overlap
+    #: pools in simulated time (needs a back-end with
+    #: ``supports_concurrency``).
+    max_parallel_pools: int = 1
 
     def collect(self, scenarios: List[Scenario]) -> CollectionReport:
         """Run the full task list; returns the sweep summary."""
+        if self.max_parallel_pools < 1:
+            raise ValueError(
+                f"max_parallel_pools must be >= 1, got {self.max_parallel_pools}"
+            )
         if not scenarios:
-            return CollectionReport()
-        new_ids = {
+            return CollectionReport(max_parallel_pools=self.max_parallel_pools)
+        known_ids = {
             r.scenario.scenario_id for r in self.taskdb.all()
         }
         self.taskdb.add_scenarios(
-            s for s in scenarios if s.scenario_id not in new_ids
+            s for s in scenarios if s.scenario_id not in known_ids
         )
-
-        report = CollectionReport()
-        start_clock: Optional[float] = None
-        previous_vmtype: Optional[str] = None
 
         # Group by VM type (Algorithm 1's loop assumes this ordering) and
         # walk node counts ascending so resizes only ever grow a pool.
         ordered = sorted(
             scenarios, key=lambda s: (s.sku_name, s.nnodes, s.inputs_key())
         )
+        if self.backend.supports_concurrency:
+            report = self._collect_scheduled(ordered)
+        else:
+            report = self._collect_sequential(ordered)
+
+        report.infrastructure_cost_usd = self.backend.total_infrastructure_cost_usd
+        report.provisioning_overhead_s = self.backend.provisioning_overhead_s
+        if self.taskdb.path:
+            self.taskdb.save()
+        if self.dataset.path:
+            self.dataset.save()
+        return report
+
+    # -- event-driven schedule (concurrency-capable back-ends) ----------------
+
+    def _collect_scheduled(self, ordered: List[Scenario]) -> CollectionReport:
+        """Run per-SKU pool lifecycles on an event queue.
+
+        Lifecycles are launched in the sequential walk's SKU order; at most
+        ``max_parallel_pools`` are in flight, and a finished lifecycle's
+        slot is handed to the next SKU immediately (list scheduling).
+        """
+        engine = EventQueue(self.backend.clock)
+        state = _SweepState(
+            report=CollectionReport(max_parallel_pools=self.max_parallel_pools)
+        )
+        sweep_start = self.backend.clock.now
+
+        groups: Dict[str, List[Scenario]] = {}
+        for scenario in ordered:
+            groups.setdefault(scenario.sku_name, []).append(scenario)
+        waiting = deque(groups.items())
+
+        def on_lifecycle_done() -> None:
+            state.active -= 1
+            launch()
+
+        def launch() -> None:
+            while (waiting and state.active < self.max_parallel_pools
+                    and not state.stop):
+                sku, group = waiting.popleft()
+                state.active += 1
+                engine.spawn(self._pool_lifecycle(sku, group, state),
+                             on_done=on_lifecycle_done)
+
+        launch()
+        engine.run_until_idle()
+        state.report.makespan_s = self.backend.clock.now - sweep_start
+        return state.report
+
+    def _pool_lifecycle(self, sku: str, group: List[Scenario],
+                        state: _SweepState) -> Iterator[float]:
+        """One SKU's pool lifecycle as an event-queue process.
+
+        Yields absolute simulated timestamps to wait for (boot completions,
+        task finish times); the engine resumes the generator once the shared
+        clock reaches them.
+        """
+        report = state.report
+        provisioned = False
+        for scenario in group:
+            if state.stop:
+                break
+            record = self.taskdb.get(scenario.scenario_id)
+            if record.status is not TaskStatus.PENDING or record.skipped_by_sampler:
+                continue  # resumed sweep: already handled
+            if not self._should_run(scenario, report):
+                continue
+
+            # -- Algorithm 1 lines 3-7: pool bring-up -----------------------
+            if not provisioned and self.backend.needs_setup(sku):
+                provisioned = True
+                op = self.backend.submit_provision(sku, 1)
+                yield op.ready_at
+                op.finish()
+                setup_op = self.backend.submit_setup(sku, self.script)
+                yield setup_op.ready_at
+                if not setup_op.finish():
+                    self._fail_setup_group(sku, group, report)
+                    break
+            provisioned = True
+            op = self.backend.submit_provision(sku, scenario.nnodes)
+            yield op.ready_at
+            op.finish()
+
+            # -- Algorithm 1 lines 8-11: execute and store -------------------
+            run_op = self.backend.submit_scenario(scenario, self.script)
+            yield run_op.ready_at
+            result = run_op.finish()
+            attempts = 0
+            while not result.succeeded and attempts < self.retry_failed:
+                attempts += 1
+                run_op = self.backend.submit_scenario(scenario, self.script)
+                yield run_op.ready_at
+                result = run_op.finish()
+            self._record_result(scenario, result, report)
+            if not result.succeeded and self.stop_on_failure:
+                state.stop = True
+                break
+
+        # -- Algorithm 1 lines 13-14: pool release ---------------------------
+        if provisioned:
+            self.backend.release_capacity(
+                sku, delete=self.delete_pool_on_switch
+            )
+
+    # -- sequential walk (blocking-only back-ends) -----------------------------
+
+    def _collect_sequential(self, ordered: List[Scenario]) -> CollectionReport:
+        """The paper's literal one-task-at-a-time loop."""
+        report = CollectionReport(max_parallel_pools=1)
+        previous_vmtype: Optional[str] = None
+        # The backend's overhead counter is cumulative across collect()
+        # calls; the makespan needs only this sweep's share.
+        provisioning_before = self.backend.provisioning_overhead_s
 
         for scenario in ordered:
             record = self.taskdb.get(scenario.scenario_id)
             if record.status is not TaskStatus.PENDING or record.skipped_by_sampler:
                 continue  # resumed sweep: already handled
-
-            decision = self.sampler.decide(scenario) if self.sampler else RUN
-            if decision.action == "skip":
-                self.taskdb.mark_skipped(scenario.scenario_id)
-                report.skipped += 1
-                continue
-            if decision.action == "predict":
-                assert decision.predicted_time_s is not None
-                assert decision.predicted_cost_usd is not None
-                self._store(scenario, decision.predicted_time_s,
-                            decision.predicted_cost_usd, {}, {}, 0.0,
-                            predicted=True)
-                report.predicted += 1
+            if not self._should_run(scenario, report):
                 continue
 
             # -- Algorithm 1 lines 3-7: pool lifecycle ------------------------
@@ -146,12 +298,7 @@ class DataCollector:
                     )
                 setup_ok = self.backend.run_setup(scenario.sku_name, self.script)
                 if not setup_ok:
-                    self.taskdb.mark_failed(
-                        scenario.scenario_id,
-                        f"application setup failed on {scenario.sku_name}",
-                    )
-                    report.failed += 1
-                    report.executed += 1
+                    self._fail_setup_group(scenario.sku_name, ordered, report)
                     previous_vmtype = scenario.sku_name
                     continue
             self.backend.ensure_capacity(scenario.sku_name, scenario.nnodes)
@@ -162,40 +309,10 @@ class DataCollector:
             while not result.succeeded and attempts < self.retry_failed:
                 attempts += 1
                 result = self.backend.run_scenario(scenario, self.script)
-            if start_clock is None:
-                start_clock = result.started_at
-            report.executed += 1
-            report.simulated_wall_s = max(
-                report.simulated_wall_s,
-                result.finished_at - (start_clock or 0.0),
-            )
-            if result.succeeded:
-                self._store(
-                    scenario, result.exec_time_s, result.cost_usd,
-                    result.app_vars, result.infra_metrics, result.finished_at,
-                )
-                self.taskdb.mark_completed(
-                    scenario.scenario_id,
-                    exec_time_s=result.exec_time_s,
-                    cost_usd=result.cost_usd,
-                    app_vars=result.app_vars,
-                    infra_metrics=result.infra_metrics,
-                    started_at=result.started_at,
-                    finished_at=result.finished_at,
-                )
-                report.completed += 1
-                report.task_cost_usd += result.cost_usd
-            else:
-                reason = result.failure_reason or "unknown failure"
-                self.taskdb.mark_failed(
-                    scenario.scenario_id, reason,
-                    started_at=result.started_at,
-                    finished_at=result.finished_at,
-                )
-                report.failed += 1
-                report.failures.append(f"{scenario.scenario_id}: {reason}")
-                if self.stop_on_failure:
-                    break
+            self._record_result(scenario, result, report)
+            if not result.succeeded and self.stop_on_failure:
+                previous_vmtype = scenario.sku_name
+                break
             previous_vmtype = scenario.sku_name
 
         # -- Algorithm 1 lines 13-14: final pool cleanup --------------------------
@@ -203,14 +320,83 @@ class DataCollector:
             self.backend.release_capacity(
                 previous_vmtype, delete=self.delete_pool_on_switch
             )
-
-        report.infrastructure_cost_usd = self.backend.total_infrastructure_cost_usd
-        report.provisioning_overhead_s = self.backend.provisioning_overhead_s
-        if self.taskdb.path:
-            self.taskdb.save()
-        if self.dataset.path:
-            self.dataset.save()
+        report.makespan_s = report.simulated_wall_s + (
+            self.backend.provisioning_overhead_s - provisioning_before
+        )
         return report
+
+    # -- shared per-scenario handling -------------------------------------------
+
+    def _should_run(self, scenario: Scenario,
+                    report: CollectionReport) -> bool:
+        """Consult the sampler; handle skip/predict; True means execute."""
+        decision = self.sampler.decide(scenario) if self.sampler else RUN
+        if decision.action == "skip":
+            self.taskdb.mark_skipped(scenario.scenario_id)
+            report.skipped += 1
+            return False
+        if decision.action == "predict":
+            assert decision.predicted_time_s is not None
+            assert decision.predicted_cost_usd is not None
+            self._store(scenario, decision.predicted_time_s,
+                        decision.predicted_cost_usd, {}, {}, 0.0,
+                        predicted=True)
+            report.predicted += 1
+            return False
+        return True
+
+    def _record_result(self, scenario: Scenario, result: ScenarioRunResult,
+                       report: CollectionReport) -> None:
+        """Store a (possibly failed) execution outcome."""
+        report.note_execution(result)
+        if result.succeeded:
+            self._store(
+                scenario, result.exec_time_s, result.cost_usd,
+                result.app_vars, result.infra_metrics, result.finished_at,
+            )
+            self.taskdb.mark_completed(
+                scenario.scenario_id,
+                exec_time_s=result.exec_time_s,
+                cost_usd=result.cost_usd,
+                app_vars=result.app_vars,
+                infra_metrics=result.infra_metrics,
+                started_at=result.started_at,
+                finished_at=result.finished_at,
+            )
+            report.completed += 1
+            report.task_cost_usd += result.cost_usd
+        else:
+            reason = result.failure_reason or "unknown failure"
+            self.taskdb.mark_failed(
+                scenario.scenario_id, reason,
+                started_at=result.started_at,
+                finished_at=result.finished_at,
+            )
+            report.failed += 1
+            report.failures.append(f"{scenario.scenario_id}: {reason}")
+
+    def _fail_setup_group(self, sku: str, scenarios: List[Scenario],
+                          report: CollectionReport) -> None:
+        """Mark every still-runnable scenario on ``sku`` as failed.
+
+        A failed application setup poisons the whole VM type: no scenario
+        on that SKU can produce a valid measurement, so the entire group is
+        failed up front instead of letting later scenarios run on an
+        unprepared pool.
+        """
+        reason = f"application setup failed on {sku}"
+        marked = 0
+        for scenario in scenarios:
+            if scenario.sku_name != sku:
+                continue
+            record = self.taskdb.get(scenario.scenario_id)
+            if record.status is not TaskStatus.PENDING or record.skipped_by_sampler:
+                continue
+            self.taskdb.mark_failed(scenario.scenario_id, reason)
+            marked += 1
+        report.executed += 1  # the setup attempt consumed backend effort
+        report.failed += marked
+        report.failures.append(f"{reason} ({marked} scenario(s))")
 
     def _store(
         self,

@@ -10,7 +10,7 @@ computes the matched-scenario deltas between two datasets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.dataset import DataPoint, Dataset
 from repro.errors import DatasetError

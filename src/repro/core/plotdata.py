@@ -14,7 +14,7 @@ annotation built from app variables or inputs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.dataset import DataPoint, Dataset

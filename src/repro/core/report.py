@@ -74,6 +74,11 @@ def render_report(
                     - 1.0)
         lines.append(f"infrastructure overhead over pure task time: "
                      f"{overhead:.0%}")
+    if getattr(report, "makespan_s", 0):
+        lines.append(
+            f"sweep makespan: {fmt_duration(report.makespan_s)} at "
+            f"{report.max_parallel_pools} parallel pool(s)"
+        )
     lines.append("")
 
     aggregates = aggregate_by_sku(dataset)

@@ -88,8 +88,46 @@ def render_deployment(session: "AdvisorSession", name: str) -> str:
         f"Storage: {html.escape(info.storage_account or '-')} &middot; "
         f"Collected points: {info.dataset_points}</p>"
         f"<h3>Configuration</h3><table>{details}</table>"
+        + _sweep_section(session, name)
     )
     return _page(f"HPCAdvisor - {name}", body)
+
+
+def _sweep_section(session: "AdvisorSession", name: str) -> str:
+    """Per-SKU sweep timeline from the task DB (empty before collect).
+
+    With ``collect --parallel-pools`` > 1 the per-SKU windows overlap, so
+    the makespan drops below the sum of the rows — the concurrency win at
+    a glance.
+    """
+    records = [r for r in session.taskdb(name).all()
+               if r.started_at is not None and r.finished_at is not None]
+    if not records:
+        return ""
+    by_sku: dict = {}
+    for r in records:
+        by_sku.setdefault(r.scenario.sku_name, []).append(r)
+    rows = []
+    for sku in sorted(by_sku):
+        group = by_sku[sku]
+        first = min(r.started_at for r in group)
+        last = max(r.finished_at for r in group)
+        done = sum(1 for r in group if r.status.value == "completed")
+        rows.append(
+            f"<tr><td>{html.escape(sku)}</td><td>{len(group)}</td>"
+            f"<td>{done}</td><td>{first:.0f}</td><td>{last:.0f}</td>"
+            f"<td>{last - first:.0f}</td></tr>"
+        )
+    makespan = (max(r.finished_at for r in records)
+                - min(r.started_at for r in records))
+    return (
+        "<h3>Sweep timeline</h3>"
+        f"<p>Task makespan: {makespan:.0f}s simulated; overlapping SKU "
+        "windows mean the sweep ran pools concurrently.</p>"
+        "<table><tr><th>SKU</th><th>Tasks</th><th>Completed</th>"
+        "<th>First start (s)</th><th>Last finish (s)</th>"
+        "<th>Span (s)</th></tr>" + "".join(rows) + "</table>"
+    )
 
 
 def render_plots(session: "AdvisorSession", name: str) -> str:

@@ -18,8 +18,8 @@ magnitude and behaves multiplicatively in all of these factors.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 

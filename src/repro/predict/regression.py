@@ -9,7 +9,7 @@ the "simple regression analysis" the paper suggests for small datasets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

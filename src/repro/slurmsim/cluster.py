@@ -41,14 +41,25 @@ class SlurmPartition:
 
     def power_up(self, nodes: int) -> None:
         """Provision nodes (suspend/resume semantics of cloud Slurm)."""
+        ready_at = self.begin_power_up(nodes)
+        if ready_at > self.clock.now:
+            self.clock.advance_to(ready_at)
+
+    def begin_power_up(self, nodes: int) -> float:
+        """Non-blocking power-up: allocate and bill now, boot later.
+
+        Returns the simulated timestamp at which the nodes are usable; the
+        caller must let the clock reach it before dispatching jobs.  Returns
+        ``now`` when no extra nodes are needed.
+        """
         if nodes <= self.powered_up:
-            return
+            return self.clock.now
         extra = nodes - self.powered_up
         self.subscription.allocate_cores(self.region, self.sku, extra)
         self.powered_up = nodes
         assert self.meter is not None
         self.meter.set_nodes(self.powered_up)
-        self.clock.advance(self.base_boot_s)
+        return self.clock.now + self.base_boot_s
 
     def power_down(self, to_nodes: int = 0) -> None:
         if to_nodes >= self.powered_up:
@@ -85,6 +96,8 @@ class SlurmCluster:
     partitions: Dict[str, SlurmPartition] = field(default_factory=dict)
     jobs: Dict[int, SlurmJob] = field(default_factory=dict)
     _next_job_id: int = 1000
+    _running: Dict[int, "JobCompletion"] = field(default_factory=dict,
+                                                 repr=False)
 
     @property
     def clock(self) -> SimClock:
@@ -139,6 +152,30 @@ class SlurmCluster:
         if nodes < 1:
             raise BackendError(f"sbatch needs >= 1 node, got {nodes}")
         part.power_up(nodes)
+        job = self.start_job(name, partition, nodes, runner)
+        completion = self._running[job.job_id]
+        self.clock.advance(completion.wall_time_s)
+        self.complete_job(job.job_id)
+        return job
+
+    def start_job(
+        self,
+        name: str,
+        partition: str,
+        nodes: int,
+        runner: Callable[[List[Host], SharedFilesystem, str], "JobCompletion"],
+    ) -> SlurmJob:
+        """Dispatch a job without advancing the clock.
+
+        The partition must already have the nodes powered up (use
+        :meth:`SlurmPartition.begin_power_up` and wait for its ready time).
+        The runner executes eagerly — only its wall time consumes simulated
+        time — and the caller must call :meth:`complete_job` once the clock
+        reaches ``start_time + wall_time_s``.
+        """
+        part = self.get_partition(partition)
+        if nodes < 1:
+            raise BackendError(f"sbatch needs >= 1 node, got {nodes}")
         job = SlurmJob(
             job_id=self._next_job_id,
             name=name,
@@ -152,13 +189,25 @@ class SlurmCluster:
         job.start_time = self.clock.now
         workdir = f"/mnt/nfs/slurm/{job.job_id}"
         self.filesystem.mkdir(workdir)
-        completion = runner(part.hosts(nodes), self.filesystem, workdir)
-        self.clock.advance(completion.wall_time_s)
+        self._running[job.job_id] = runner(
+            part.hosts(nodes), self.filesystem, workdir
+        )
+        return job
+
+    def complete_job(self, job_id: int) -> SlurmJob:
+        """Finalize a job dispatched via :meth:`start_job`."""
+        job = self.jobs[job_id]
+        completion = self._running.pop(job_id)
         job.end_time = self.clock.now
         job.exit_code = completion.exit_code
         job.stdout = completion.stdout
-        job.state = JobState.COMPLETED if completion.exit_code == 0 else JobState.FAILED
+        job.state = (JobState.COMPLETED if completion.exit_code == 0
+                     else JobState.FAILED)
         return job
+
+    def pending_completion(self, job_id: int) -> "JobCompletion":
+        """The (not yet finalized) completion of a running job."""
+        return self._running[job_id]
 
     def squeue(self) -> str:
         header = f"{'JOBID':>8} {'PARTITION':>12} {'NAME':>18} {'ST':>3} {'NODES':>5}"

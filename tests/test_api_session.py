@@ -6,7 +6,6 @@ advise -> plot -> recipe -> shutdown through one object, the one-shot
 (no-disk) sessions.
 """
 
-import dataclasses
 import json
 import os
 

@@ -107,7 +107,7 @@ class TestLammpsPluginFidelity:
         assert "Loop time of" in log
         assert "Total wall time:" in log
         # awk-field positions used by Listing 2: $4 time, $9 steps, $12 atoms
-        loop = next(l for l in log.splitlines() if l.startswith("Loop"))
+        loop = next(ln for ln in log.splitlines() if ln.startswith("Loop"))
         fields = loop.split()
         assert float(fields[3]) > 0
         assert fields[8] == "100"

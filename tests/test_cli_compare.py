@@ -71,3 +71,36 @@ class TestCompareCommand:
         state = str(tmp_path / "state")
         assert main(["--state-dir", state, "compare",
                      "-a", "ghost", "-b", "ghost2"]) == 2
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        state = str(tmp_path / "state")
+        deploy_and_collect(state, tmp_path, "runa", "10")
+        deploy_and_collect(state, tmp_path, "runb", "10")
+        capsys.readouterr()
+        assert main(["--state-dir", state, "compare",
+                     "-a", "runa-000", "-b", "runb-000", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["deployment_a"] == "runa-000"
+        assert payload["deployment_b"] == "runb-000"
+        assert payload["matched"] == 2
+        assert payload["geomean_time_ratio"] == pytest.approx(1.0)
+        assert payload["regressions"] == 0
+        assert len(payload["rows"]) == 2
+        row = payload["rows"][0]
+        assert row["time_ratio"] == pytest.approx(1.0)
+        assert row["sku"] == "Standard_HB120rs_v3"
+
+    def test_json_round_trips(self, tmp_path, capsys):
+        from repro.api.results import CompareResult
+
+        state = str(tmp_path / "state")
+        deploy_and_collect(state, tmp_path, "runa", "10")
+        deploy_and_collect(state, tmp_path, "runb", "10", noise=0.1, seed=3)
+        capsys.readouterr()
+        main(["--state-dir", state, "compare",
+              "-a", "runa-000", "-b", "runb-000", "--json"])
+        restored = CompareResult.from_json(capsys.readouterr().out)
+        assert restored.matched == 2
+        assert len(restored.rows) == 2

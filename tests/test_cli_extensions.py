@@ -100,6 +100,59 @@ class TestPredictCommand:
         assert main(["--state-dir", str(tmp_path), "predict",
                      "-n", "ghost"]) == 2
 
+    def test_json_output(self, collected, capsys):
+        import json
+
+        assert main(["--state-dir", collected, "predict", "-n", "extrg-000",
+                     "--input", "BOXFACTOR=30", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["deployment"] == "extrg-000"
+        assert payload["model"] == "ridge"
+        assert payload["inputs"] == {"BOXFACTOR": "30"}
+        assert payload["rows"] and payload["rows"][0]["predicted"] is True
+
+
+class TestParallelPoolsFlag:
+    def test_parallel_pools_accepted_and_reported(self, tmp_path, capsys):
+        config_path = tmp_path / "config.yaml"
+        config_path.write_text(CONFIG.replace(
+            "skus:\n  - Standard_HB120rs_v3",
+            "skus:\n  - Standard_HB120rs_v3\n  - Standard_HC44rs",
+        ))
+        state = str(tmp_path / "state")
+        assert main(["--state-dir", state, "deploy", "create", "-c",
+                     str(config_path)]) == 0
+        assert main(["--state-dir", state, "collect", "-n", "extrg-000",
+                     "--parallel-pools", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep makespan" in out
+        assert "2 parallel pool(s)" in out
+
+    def test_parallel_pools_in_json_result(self, tmp_path, capsys):
+        import json
+
+        config_path = tmp_path / "config.yaml"
+        config_path.write_text(CONFIG)
+        state = str(tmp_path / "state")
+        assert main(["--state-dir", state, "deploy", "create", "-c",
+                     str(config_path)]) == 0
+        capsys.readouterr()
+        assert main(["--state-dir", state, "collect", "-n", "extrg-000",
+                     "--parallel-pools", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["max_parallel_pools"] == 2
+        assert payload["makespan_s"] > 0
+
+    def test_invalid_parallel_pools_rejected(self, tmp_path, capsys):
+        config_path = tmp_path / "config.yaml"
+        config_path.write_text(CONFIG)
+        state = str(tmp_path / "state")
+        main(["--state-dir", state, "deploy", "create", "-c",
+              str(config_path)])
+        assert main(["--state-dir", state, "collect", "-n", "extrg-000",
+                     "--parallel-pools", "0"]) == 2
+        assert "max_parallel_pools" in capsys.readouterr().err
+
 
 def dp(nnodes, t, sku="Standard_HB120rs_v3"):
     return DataPoint(appname="lammps", sku=sku, nnodes=nnodes, ppn=120,

@@ -1,8 +1,8 @@
-"""SimClock and BillingMeter tests."""
+"""SimClock, EventQueue, and BillingMeter tests."""
 
 import pytest
 
-from repro.clock import BillingMeter, SimClock
+from repro.clock import BillingMeter, EventQueue, SimClock
 
 
 class TestSimClock:
@@ -49,6 +49,135 @@ class TestSimClock:
         assert watch.elapsed == 7
         watch.restart()
         assert watch.elapsed == 0
+
+    def test_stopwatch_accumulates_after_restart(self):
+        clock = SimClock()
+        watch = clock.stopwatch()
+        clock.advance(5)
+        watch.restart()
+        clock.advance(2)
+        clock.advance(1)
+        assert watch.elapsed == 3
+
+    def test_observers_see_advance_to(self):
+        clock = SimClock()
+        seen = []
+        clock.subscribe(lambda old, new: seen.append((old, new)))
+        clock.advance_to(4)
+        clock.advance_to(9)
+        assert seen == [(0, 4), (4, 9)]
+
+    def test_advance_to_is_exact(self):
+        """advance_to lands on the target exactly, no now+delta rounding."""
+        clock = SimClock(now=0.1)
+        target = 0.1 + 0.7  # not exactly representable either way
+        clock.advance_to(target)
+        assert clock.now == target
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        clock = SimClock()
+        engine = EventQueue(clock)
+        fired = []
+        engine.schedule_at(30, lambda: fired.append(("b", clock.now)))
+        engine.schedule_at(10, lambda: fired.append(("a", clock.now)))
+        engine.schedule_at(20, lambda: fired.append(("m", clock.now)))
+        assert engine.run_until_idle() == 30
+        assert fired == [("a", 10), ("m", 20), ("b", 30)]
+
+    def test_ties_break_by_insertion_order(self):
+        engine = EventQueue(SimClock())
+        fired = []
+        for tag in "abc":
+            engine.schedule_at(5, lambda t=tag: fired.append(t))
+        engine.run_until_idle()
+        assert fired == ["a", "b", "c"]
+
+    def test_schedule_in_past_clamps_to_now(self):
+        clock = SimClock(now=100.0)
+        engine = EventQueue(clock)
+        fired = []
+        engine.schedule_at(5, lambda: fired.append(clock.now))
+        engine.run_until_idle()
+        assert fired == [100.0]
+
+    def test_schedule_in_relative(self):
+        clock = SimClock(now=50.0)
+        engine = EventQueue(clock)
+        fired = []
+        engine.schedule_in(25, lambda: fired.append(clock.now))
+        engine.run_until_idle()
+        assert fired == [75.0]
+
+    def test_schedule_in_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            EventQueue(SimClock()).schedule_in(-1, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        clock = SimClock()
+        engine = EventQueue(clock)
+        fired = []
+        engine.schedule_at(
+            10, lambda: engine.schedule_in(5, lambda: fired.append(clock.now))
+        )
+        engine.run_until_idle()
+        assert fired == [15.0]
+
+    def test_run_until_stops_at_timestamp(self):
+        clock = SimClock()
+        engine = EventQueue(clock)
+        fired = []
+        engine.schedule_at(10, lambda: fired.append("early"))
+        engine.schedule_at(99, lambda: fired.append("late"))
+        engine.run_until(50)
+        assert fired == ["early"]
+        assert clock.now == 50
+        assert len(engine) == 1
+        engine.run_until_idle()
+        assert fired == ["early", "late"]
+
+    def test_run_next_returns_false_when_idle(self):
+        assert EventQueue(SimClock()).run_next() is False
+
+    def test_spawned_processes_interleave(self):
+        """Two generator timelines share one clock without serializing."""
+        clock = SimClock()
+        engine = EventQueue(clock)
+        trace = []
+
+        def worker(tag, delays):
+            for delay in delays:
+                yield clock.now + delay
+                trace.append((tag, clock.now))
+
+        engine.spawn(worker("a", [10, 10]))
+        engine.spawn(worker("b", [15, 1]))
+        engine.run_until_idle()
+        assert trace == [("a", 10), ("b", 15), ("b", 16), ("a", 20)]
+
+    def test_spawn_on_done_fires_after_return(self):
+        clock = SimClock()
+        engine = EventQueue(clock)
+        events = []
+
+        def worker():
+            yield 5.0
+            events.append("worked")
+
+        engine.spawn(worker(), on_done=lambda: events.append("done"))
+        engine.run_until_idle()
+        assert events == ["worked", "done"]
+
+    def test_spawn_empty_process_completes_immediately(self):
+        done = []
+
+        def empty():
+            return
+            yield  # pragma: no cover - makes this a generator function
+
+        EventQueue(SimClock()).spawn(empty(), on_done=lambda: done.append(1))
+        assert done == [1]
 
 
 class TestBillingMeter:

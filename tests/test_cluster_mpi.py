@@ -59,10 +59,10 @@ class TestExecution:
         assert "out of memory" in result.perf.failure_reason
 
     def test_launch_log_records_runs(self):
-        l = launcher()
-        l.run("lammps", {"BOXFACTOR": "4"})
-        assert len(l.launch_log) == 1
-        assert "mpirun -np 240" in l.launch_log[0]
+        mpi = launcher()
+        mpi.run("lammps", {"BOXFACTOR": "4"})
+        assert len(mpi.launch_log) == 1
+        assert "mpirun -np 240" in mpi.launch_log[0]
 
     def test_hostlist_matches_paper_format(self):
         result = launcher().run("lammps", {"BOXFACTOR": "4"})

@@ -5,7 +5,6 @@ import pytest
 from repro.cloud.skus import get_sku
 from repro.cluster.network import (
     LOOPBACK,
-    NetworkModel,
     network_for_sku,
 )
 

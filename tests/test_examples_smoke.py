@@ -70,6 +70,6 @@ def test_quickstart_reports_a_pareto_tradeoff(tmp_path):
     result = run_example("quickstart.py", cwd=str(tmp_path))
     assert result.returncode == 0
     # Fastest and cheapest options must both be reported, and differ.
-    lines = [l for l in result.stdout.splitlines()
-             if l.startswith(("fastest option:", "cheapest option:"))]
+    lines = [ln for ln in result.stdout.splitlines()
+             if ln.startswith(("fastest option:", "cheapest option:"))]
     assert len(lines) == 2

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.appkit.plugins import get_plugin
-from repro.appkit.script import AppScript
 from repro.backends.base import ExecutionBackend, ScenarioRunResult
 from repro.core.advisor import Advisor
 from repro.core.collector import DataCollector

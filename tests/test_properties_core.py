@@ -9,7 +9,7 @@ from repro.appkit.metricvars import extract_vars, format_var
 from repro.core.config import MainConfig
 from repro.core.dataset import DataPoint, Dataset
 from repro.core.scenarios import generate_scenarios, iter_input_combinations
-from repro.core.taskdb import TaskDB, TaskRecord
+from repro.core.taskdb import TaskDB
 from repro.cloud.pricing import PriceCatalog
 
 SKUS = ["Standard_HC44rs", "Standard_HB120rs_v2", "Standard_HB120rs_v3",

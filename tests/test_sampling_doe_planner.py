@@ -8,7 +8,6 @@ from repro.core.advisor import Advisor
 from repro.core.collector import DataCollector
 from repro.core.dataset import Dataset
 from repro.core.deployer import Deployer
-from repro.core.pareto import pareto_front
 from repro.core.scenarios import Scenario, generate_scenarios
 from repro.core.taskdb import TaskDB
 from repro.errors import SamplingError

@@ -9,7 +9,7 @@ from repro.core.collector import DataCollector
 from repro.core.dataset import DataPoint, Dataset
 from repro.core.deployer import Deployer
 from repro.core.scenarios import Scenario, generate_scenarios
-from repro.core.taskdb import TaskDB, TaskStatus
+from repro.core.taskdb import TaskDB
 from repro.sampling.planner import (
     SamplerPolicy,
     SmartSampler,
