@@ -84,3 +84,37 @@ class DictMixin:
             raise ConfigError(
                 f"invalid {cls.__name__} JSON: {exc}"
             ) from exc
+
+
+def parse_key_values(items, label: str = "filter") -> Dict[str, str]:
+    """Parse repeated ``KEY=VALUE`` arguments (CLI flags, query params)."""
+    out: Dict[str, str] = {}
+    for item in items:
+        if "=" not in item:
+            raise ConfigError(
+                f"invalid {label} {item!r}: expected KEY=VALUE"
+            )
+        key, value = item.split("=", 1)
+        if not key:
+            raise ConfigError(f"invalid {label} {item!r}: empty key")
+        out[key] = value
+    return out
+
+
+def coerce_request(cls: Type[T], request: Any, kwargs: Mapping) -> T:
+    """``request``-or-kwargs convention shared by the session facade and
+    the remote client: accept an instance, a mapping, or bare keyword
+    arguments — never a mix."""
+    if request is not None and kwargs:
+        raise ConfigError(
+            f"pass either a {cls.__name__} or keyword arguments, not both"
+        )
+    if request is None:
+        return cls(**kwargs)
+    if isinstance(request, cls):
+        return request
+    if isinstance(request, Mapping):
+        return cls.from_dict(request)
+    raise ConfigError(
+        f"expected {cls.__name__} or mapping, got {type(request).__name__}"
+    )

@@ -51,7 +51,8 @@ from repro.core.collector import DataCollector
 from repro.core.config import MainConfig
 from repro.core.dataset import Dataset
 from repro.core.deployer import Deployer, Deployment
-from repro.core.statefiles import StateStore, resolve_state_dir
+from repro.api.serde import coerce_request as _coerce_request
+from repro.core.statefiles import StateStore, file_lock, resolve_state_dir
 from repro.core.taskdb import TaskDB
 from repro.errors import ConfigError, ReproError, ResourceNotFound
 from repro.perf.noise import NoiseModel
@@ -101,14 +102,22 @@ class AdvisorSession:
         ``config`` may be a :class:`MainConfig`, a plain mapping, or a
         path to a YAML file.
         """
+        import contextlib
         import dataclasses
 
         cfg = self._coerce_config(config)
-        deployment = self.deployer.deploy(cfg, taken=self._taken_names())
-        archived = self._discard_orphaned_state(deployment.name)
-        self._deployments[deployment.name] = deployment
-        if self.store is not None:
-            self.store.save_deployment(deployment)
+        # Name allocation is a read-modify-write on the deployments
+        # index: hold its lock from the taken-names read to the save, or
+        # two concurrent deploys with one prefix could both claim
+        # `<prefix>-000` and interleave their sweeps in one task DB.
+        with contextlib.ExitStack() as stack:
+            if self.store is not None:
+                stack.enter_context(file_lock(self.store.deployments_file))
+            deployment = self.deployer.deploy(cfg, taken=self._taken_names())
+            archived = self._discard_orphaned_state(deployment.name)
+            self._deployments[deployment.name] = deployment
+            if self.store is not None:
+                self.store.save_deployment(deployment)
         return dataclasses.replace(self._info(deployment),
                                    archived_data=archived)
 
@@ -134,10 +143,16 @@ class AdvisorSession:
         if self.store is not None:
             import shutil
 
-            for path in (self.store.dataset_path(name),
-                         self.store.taskdb_path(name)):
-                if os.path.exists(path):
-                    archived.append(self._archive(path))
+            # Take the same locks (same order) a running collect holds
+            # from load to save: archiving mid-sweep would let the
+            # sweep's final save resurrect the old files under the
+            # fresh deployment's name.
+            with file_lock(self.store.taskdb_path(name)), \
+                    file_lock(self.store.dataset_path(name)):
+                for path in (self.store.dataset_path(name),
+                             self.store.taskdb_path(name)):
+                    if os.path.exists(path):
+                        archived.append(self._archive(path))
             # Plots are regenerable from the archived dataset.
             shutil.rmtree(self.store.plots_dir(name), ignore_errors=True)
         self._datasets.pop(name, None)
@@ -338,13 +353,18 @@ class AdvisorSession:
     # -- collect ----------------------------------------------------------------
 
     def collect(self, request: Optional[CollectRequest] = None,
-                /, **kwargs) -> CollectResult:
+                /, *, progress=None, **kwargs) -> CollectResult:
         """Run Algorithm 1 over the deployment's scenario space.
 
         Accepts a :class:`CollectRequest` or its fields as keyword
         arguments.  Resumable: already-completed scenarios in the task DB
         are not re-executed, and new points append to the existing
         dataset.
+
+        ``progress`` (keyword-only, not part of the serializable request)
+        is called with ``(CollectionReport, total_scenarios)`` after every
+        scenario outcome; raising from it aborts the sweep after
+        persisting partial state — the service's cancellation hook.
         """
         req = _coerce_request(CollectRequest, request, kwargs)
         name = _require_deployment(req.deployment)
@@ -358,29 +378,45 @@ class AdvisorSession:
         # snapshot its counters so this result reports per-sweep numbers.
         infra_before = exec_backend.total_infrastructure_cost_usd
         provisioning_before = exec_backend.provisioning_overhead_s
-        dataset = self.dataset(name, must_exist=False)
-        taskdb = self.taskdb(name)
-        sampler, smart = self._make_sampler(req, deployment, config,
-                                            scenarios)
 
-        collector = DataCollector(
-            backend=exec_backend,
-            script=registry.apps.create(config.appname),
-            dataset=dataset,
-            taskdb=taskdb,
-            deployment_name=name,
-            delete_pool_on_switch=req.delete_pools,
-            sampler=sampler,
-            retry_failed=req.retry_failed,
-            max_parallel_pools=req.max_parallel_pools,
-        )
-        report = collector.collect(scenarios)
-        # collect() saved through our own cached objects; record the new
-        # signatures so the next dataset()/taskdb() call does not reload.
-        if dataset.path and os.path.exists(dataset.path):
-            self._dataset_sigs[name] = _file_sig(dataset.path)
-        if taskdb.path and os.path.exists(taskdb.path):
-            self._taskdb_sigs[name] = _file_sig(taskdb.path)
+        # The sweep is one read-modify-write transaction on the task DB
+        # and dataset files: hold their advisory locks from *load* to
+        # save, so a concurrent collect in another process (service job
+        # worker, second CLI) waits and then resumes on fresh state
+        # instead of re-running scenarios and clobbering points.
+        import contextlib
+
+        with contextlib.ExitStack() as stack:
+            if self.store is not None:
+                stack.enter_context(
+                    file_lock(self.store.taskdb_path(name)))
+                stack.enter_context(
+                    file_lock(self.store.dataset_path(name)))
+            dataset = self.dataset(name, must_exist=False)
+            taskdb = self.taskdb(name)
+            sampler, smart = self._make_sampler(req, deployment, config,
+                                                scenarios)
+
+            collector = DataCollector(
+                backend=exec_backend,
+                script=registry.apps.create(config.appname),
+                dataset=dataset,
+                taskdb=taskdb,
+                deployment_name=name,
+                delete_pool_on_switch=req.delete_pools,
+                sampler=sampler,
+                retry_failed=req.retry_failed,
+                max_parallel_pools=req.max_parallel_pools,
+                on_progress=progress,
+            )
+            report = collector.collect(scenarios)
+            # collect() saved through our own cached objects; record the
+            # new signatures so the next dataset()/taskdb() call does not
+            # reload.
+            if dataset.path and os.path.exists(dataset.path):
+                self._dataset_sigs[name] = _file_sig(dataset.path)
+            if taskdb.path and os.path.exists(taskdb.path):
+                self._taskdb_sigs[name] = _file_sig(taskdb.path)
         return CollectResult(
             deployment=name,
             backend=exec_backend.name,
@@ -722,17 +758,3 @@ def _require_deployment(name: str) -> str:
     return name
 
 
-def _coerce_request(cls, request, kwargs):
-    if request is not None and kwargs:
-        raise ConfigError(
-            f"pass either a {cls.__name__} or keyword arguments, not both"
-        )
-    if request is None:
-        return cls(**kwargs)
-    if isinstance(request, cls):
-        return request
-    if isinstance(request, Mapping):
-        return cls.from_dict(request)
-    raise ConfigError(
-        f"expected {cls.__name__} or mapping, got {type(request).__name__}"
-    )

@@ -47,9 +47,16 @@ def deploy_create(state_dir: Optional[str], config_path: str) -> int:
     return 0
 
 
-def deploy_list(state_dir: Optional[str]) -> int:
+def deploy_list(state_dir: Optional[str], as_json: bool = False) -> int:
+    import json
+
     session = _session(state_dir)
     infos = session.list_deployments()
+    if as_json:
+        print(json.dumps(
+            {"deployments": [info.to_dict() for info in infos]}, indent=1
+        ))
+        return 0
     if not infos:
         print("(no deployments)")
         return 0
@@ -140,6 +147,7 @@ def plot(
     filters: Optional[Dict[str, str]] = None,
     sku: Optional[str] = None,
     subtitle: Optional[str] = None,
+    as_json: bool = False,
 ) -> int:
     session = _session(state_dir)
     result = session.plot(PlotRequest(
@@ -149,6 +157,9 @@ def plot(
         sku=sku,
         subtitle=subtitle,
     ))
+    if as_json:
+        print(result.to_json(indent=1))
+        return 0
     for path in result.paths:
         print(f"wrote {path}")
     return 0
@@ -267,3 +278,125 @@ def gui(state_dir: Optional[str], host: str = "127.0.0.1", port: int = 8040,
     from repro.gui.server import serve
 
     return serve(_session(state_dir), host=host, port=port, once=once)
+
+
+# -- service (extension: advisor-as-a-service) --------------------------------
+
+
+def serve(state_dir: Optional[str], host: str = "127.0.0.1",
+          port: int = 8050, workers: int = 4, once: bool = False) -> int:
+    from repro.service.app import serve as serve_service
+
+    return serve_service(resolve_state_dir(state_dir), host=host, port=port,
+                         workers=workers, once=once)
+
+
+def _print_job(record, as_json: bool) -> None:
+    if as_json:
+        print(record.to_json(indent=1))
+        return
+    print(f"job {record.id}: {record.state} "
+          f"({record.kind} on {record.deployment})")
+    if record.progress:
+        total = record.progress.get("total", 0)
+        done = (record.progress.get("completed", 0)
+                + record.progress.get("failed", 0)
+                + record.progress.get("skipped", 0)
+                + record.progress.get("predicted", 0))
+        print(f"  progress: {done}/{total} scenario(s)")
+    if record.error:
+        print(f"  error: {record.error}")
+
+
+def submit(
+    url: str,
+    name: str,
+    backend: str = "azurebatch",
+    smart_sampling: bool = False,
+    sampling_policy: Optional[str] = None,
+    delete_pools: bool = False,
+    noise: Optional[float] = None,
+    seed: Optional[int] = None,
+    budget: Optional[float] = None,
+    retry_failed: int = 0,
+    parallel_pools: int = 1,
+    wait: bool = False,
+    timeout: float = 600.0,
+    as_json: bool = False,
+) -> int:
+    """Submit an async collect job to a running service."""
+    from repro.client import RemoteSession
+
+    remote = RemoteSession(url)
+    job = remote.collect(CollectRequest(
+        deployment=name,
+        backend=backend,
+        smart_sampling=smart_sampling,
+        sampling_policy=sampling_policy,
+        delete_pools=delete_pools,
+        noise=noise,
+        seed=seed,
+        budget_usd=budget,
+        retry_failed=retry_failed,
+        max_parallel_pools=parallel_pools,
+    ))
+    if wait:
+        job.wait(timeout=timeout, raise_on_failure=False)
+    _print_job(job.record, as_json)
+    # Any terminal state other than done is a failure for scripting.
+    if job.record.finished and job.record.state != "done":
+        return 1
+    return 0
+
+
+def status(url: str, job_id: Optional[str] = None,
+           as_json: bool = False) -> int:
+    """Show one job, or list all jobs, of a running service."""
+    import json
+
+    from repro.client import RemoteSession
+
+    remote = RemoteSession(url)
+    if job_id:
+        _print_job(remote.job(job_id), as_json)
+        return 0
+    records = remote.jobs()
+    if as_json:
+        print(json.dumps({"jobs": [r.to_dict() for r in records]}, indent=1))
+        return 0
+    if not records:
+        print("(no jobs)")
+        return 0
+    print(f"{'JOB':<18} {'STATE':<10} {'KIND':<8} DEPLOYMENT")
+    for record in records:
+        print(f"{record.id:<18} {record.state:<10} {record.kind:<8} "
+              f"{record.deployment}")
+    return 0
+
+
+def result(url: str, job_id: str, timeout: float = 600.0,
+           as_json: bool = False) -> int:
+    """Wait for a job and print its typed result."""
+    from repro.client import JobHandle, RemoteSession
+
+    remote = RemoteSession(url)
+    job = JobHandle(remote, remote.job(job_id))
+    record = job.wait(timeout=timeout, raise_on_failure=False)
+    if record.state != "done":
+        _print_job(record, as_json)
+        return 1
+    payload = job.result()
+    if as_json:
+        print(payload.to_json(indent=1))
+        return 0
+    if record.kind == "collect":
+        print(f"collection finished on {payload.backend}:")
+        print(f"  executed:  {payload.executed} "
+              f"(completed {payload.completed}, failed {payload.failed})")
+        print(f"  task cost:           ${fmt_usd(payload.task_cost_usd)}")
+        print(f"  sweep makespan:      {fmt_duration(payload.makespan_s)}")
+        print(f"  dataset:             {payload.dataset_path} "
+              f"({payload.dataset_points} points)")
+        return 0 if payload.ok else 1
+    print(payload.render_table(), end="")
+    return 0

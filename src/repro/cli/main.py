@@ -12,6 +12,10 @@ Reproduces the paper's Table II::
     advice            Generates advice (i.e. Pareto front) using a given
                       data filter.
     gui               Starts the GUI mode.
+
+Extensions beyond Table II: ``predict``, ``compare``, and the service
+commands — ``serve`` (JSON HTTP API with async collect jobs) plus the
+remote-client trio ``submit`` / ``status`` / ``result``.
 """
 
 from __future__ import annotations
@@ -45,7 +49,9 @@ def build_parser() -> argparse.ArgumentParser:
     deploy_create.add_argument("-c", "--config", required=True,
                                help="main YAML configuration file")
 
-    deploy_sub.add_parser("list", help="list deployments")
+    deploy_list = deploy_sub.add_parser("list", help="list deployments")
+    deploy_list.add_argument("--json", action="store_true", dest="as_json",
+                             help="emit the deployment list as JSON")
 
     deploy_shutdown = deploy_sub.add_parser(
         "shutdown", help="delete a deployment and all its resources"
@@ -94,6 +100,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="appinput filter, repeatable (e.g. --filter mesh='40 16 16')")
     plot.add_argument("--sku", help="restrict to one VM type")
     plot.add_argument("--subtitle", help="override the plot subtitle")
+    plot.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the plot result (paths, kinds) as JSON")
 
     # advice ---------------------------------------------------------------------
     advice = sub.add_parser("advice", help="generate Pareto-front advice")
@@ -147,6 +155,59 @@ def build_parser() -> argparse.ArgumentParser:
     gui.add_argument("--once", action="store_true",
                      help=argparse.SUPPRESS)  # test hook: handle one request
 
+    # serve (extension: the advisor as a JSON HTTP service) --------------------
+    serve = sub.add_parser(
+        "serve",
+        help="start the JSON HTTP API service with async collect jobs "
+             "(extension)",
+    )
+    serve.add_argument("--port", type=int, default=8050)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="job worker threads (default 4)")
+    serve.add_argument("--once", action="store_true",
+                       help=argparse.SUPPRESS)  # test hook: handle one request
+
+    # remote-client subcommands: submit / status / result ----------------------
+    submit = sub.add_parser(
+        "submit", help="submit an async collect job to a running service"
+    )
+    submit.add_argument("--url", required=True,
+                        help="service base URL, e.g. http://127.0.0.1:8050")
+    submit.add_argument("-n", "--name", required=True, help="deployment name")
+    submit.add_argument("--backend", default="azurebatch")
+    submit.add_argument("--smart-sampling", action="store_true")
+    submit.add_argument("--sampling-policy",
+                        help="named preset (implies smart sampling)")
+    submit.add_argument("--delete-pools", action="store_true")
+    submit.add_argument("--noise", type=float)
+    submit.add_argument("--seed", type=int)
+    submit.add_argument("--budget", type=float)
+    submit.add_argument("--retry-failed", type=int, default=0)
+    submit.add_argument("--parallel-pools", type=int, default=1, metavar="N")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="wait budget in seconds (with --wait)")
+    submit.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the job record as JSON")
+
+    status = sub.add_parser(
+        "status", help="show one job (or all jobs) of a running service"
+    )
+    status.add_argument("--url", required=True)
+    status.add_argument("job_id", nargs="?",
+                        help="job id; omit to list all jobs")
+    status.add_argument("--json", action="store_true", dest="as_json")
+
+    result = sub.add_parser(
+        "result", help="wait for a job and print its result"
+    )
+    result.add_argument("--url", required=True)
+    result.add_argument("job_id")
+    result.add_argument("--timeout", type=float, default=600.0)
+    result.add_argument("--json", action="store_true", dest="as_json")
+
     return parser
 
 
@@ -168,7 +229,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         if args.deploy_command == "create":
             return commands.deploy_create(args.state_dir, args.config)
         if args.deploy_command == "list":
-            return commands.deploy_list(args.state_dir)
+            return commands.deploy_list(args.state_dir,
+                                        as_json=args.as_json)
         return commands.deploy_shutdown(args.state_dir, args.name)
     if args.command == "collect":
         return commands.collect(
@@ -191,6 +253,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             filters=parse_filters(args.filter),
             sku=args.sku,
             subtitle=args.subtitle,
+            as_json=args.as_json,
         )
     if args.command == "advice":
         return commands.advice(
@@ -216,22 +279,38 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "gui":
         return commands.gui(args.state_dir, host=args.host, port=args.port,
                             once=args.once)
+    if args.command == "serve":
+        return commands.serve(args.state_dir, host=args.host, port=args.port,
+                              workers=args.workers, once=args.once)
+    if args.command == "submit":
+        return commands.submit(
+            args.url, args.name,
+            backend=args.backend,
+            smart_sampling=args.smart_sampling,
+            sampling_policy=args.sampling_policy,
+            delete_pools=args.delete_pools,
+            noise=args.noise,
+            seed=args.seed,
+            budget=args.budget,
+            retry_failed=args.retry_failed,
+            parallel_pools=args.parallel_pools,
+            wait=args.wait,
+            timeout=args.timeout,
+            as_json=args.as_json,
+        )
+    if args.command == "status":
+        return commands.status(args.url, args.job_id, as_json=args.as_json)
+    if args.command == "result":
+        return commands.result(args.url, args.job_id, timeout=args.timeout,
+                               as_json=args.as_json)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
 def parse_filters(items: List[str]) -> Dict[str, str]:
     """Parse repeated KEY=VALUE filter arguments."""
-    out: Dict[str, str] = {}
-    for item in items:
-        if "=" not in item:
-            raise ReproError(
-                f"invalid filter {item!r}: expected KEY=VALUE"
-            )
-        key, value = item.split("=", 1)
-        if not key:
-            raise ReproError(f"invalid filter {item!r}: empty key")
-        out[key] = value
-    return out
+    from repro.api.serde import parse_key_values
+
+    return parse_key_values(items)
 
 
 if __name__ == "__main__":  # pragma: no cover

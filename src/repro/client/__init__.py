@@ -1,0 +1,22 @@
+"""repro.client — the typed Python client for the advisor service.
+
+::
+
+    from repro.client import RemoteSession
+
+    remote = RemoteSession("http://127.0.0.1:8050")
+    job = remote.collect(deployment="mysweep-000")
+    job.wait()
+    print(remote.advise(deployment="mysweep-000").render_table())
+
+See :mod:`repro.client.remote` for the full surface and
+``docs/SERVICE.md`` for the wire contract.
+"""
+
+from repro.client.remote import JobHandle, RemoteSession
+from repro.errors import RemoteError, RemoteJobFailed, RemoteTimeout
+
+__all__ = [
+    "JobHandle", "RemoteSession",
+    "RemoteError", "RemoteJobFailed", "RemoteTimeout",
+]

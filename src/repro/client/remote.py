@@ -1,0 +1,281 @@
+"""Typed Python client for the advisor service.
+
+:class:`RemoteSession` mirrors the :class:`~repro.api.AdvisorSession`
+surface over HTTP: the same frozen request dataclasses go out as JSON,
+the same result dataclasses come back — decoded through their own
+``from_dict``, so a remote call and an in-process call return equal
+objects.  Built on :mod:`urllib` only; no third-party dependencies.
+
+::
+
+    from repro.client import RemoteSession
+
+    remote = RemoteSession("http://127.0.0.1:8050")
+    info = remote.deploy({"subscription": ..., ...})
+    job = remote.collect(deployment=info.name)    # -> JobHandle, async
+    job.wait(timeout=120)
+    print(remote.advise(deployment=info.name).render_table())
+
+Long-running sweeps are jobs: :meth:`RemoteSession.collect` returns a
+:class:`JobHandle` immediately; ``wait()`` polls until the job reaches a
+terminal state.  Everything else (deploy, advise, predict, compare,
+plots) is synchronous.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.api.serde import coerce_request as _coerce
+from repro.api.requests import (
+    AdviseRequest,
+    CollectRequest,
+    PlotRequest,
+    PredictRequest,
+)
+from repro.api.results import (
+    AdviceResult,
+    CollectResult,
+    CompareResult,
+    PlotResult,
+    PredictResult,
+    SessionInfo,
+)
+from repro.errors import (
+    ConfigError,
+    RemoteError,
+    RemoteJobFailed,
+    RemoteTimeout,
+)
+from repro.service.jobs import JobRecord
+
+
+class RemoteSession:
+    """Session facade over the wire (module docstring).
+
+    Parameters
+    ----------
+    base_url:
+        Service root, e.g. ``http://127.0.0.1:8050``.
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- deployments ------------------------------------------------------------
+
+    def deploy(self, config: Union[Mapping, str]) -> SessionInfo:
+        """Deploy from a config mapping, or a *local* YAML file path."""
+        if isinstance(config, str):
+            from repro.core.config import MainConfig
+
+            config = MainConfig.from_file(config).to_dict()
+        elif not isinstance(config, Mapping):
+            raise ConfigError(
+                f"cannot deploy from {type(config).__name__}; "
+                "pass a mapping or a YAML path"
+            )
+        data = self._call("POST", "/v1/deployments",
+                          body={"config": dict(config)})
+        return SessionInfo.from_dict(data)
+
+    def list_deployments(self) -> List[SessionInfo]:
+        data = self._call("GET", "/v1/deployments")
+        return [SessionInfo.from_dict(item) for item in data["deployments"]]
+
+    def info(self, name: str) -> SessionInfo:
+        return SessionInfo.from_dict(
+            self._call("GET", f"/v1/deployments/{urllib.parse.quote(name)}")
+        )
+
+    def shutdown(self, name: str) -> None:
+        self._call("DELETE", f"/v1/deployments/{urllib.parse.quote(name)}")
+
+    # -- jobs -------------------------------------------------------------------
+
+    def collect(self, request: Optional[CollectRequest] = None,
+                /, **kwargs) -> "JobHandle":
+        """Submit an async collect job; returns immediately."""
+        req = _coerce(CollectRequest, request, kwargs)
+        data = self._call("POST", "/v1/jobs/collect", body=req.to_dict())
+        return JobHandle(self, JobRecord.from_dict(data))
+
+    def predict_job(self, request: Optional[PredictRequest] = None,
+                    /, **kwargs) -> "JobHandle":
+        """Submit an async predict job (for expensive model sweeps)."""
+        req = _coerce(PredictRequest, request, kwargs)
+        data = self._call("POST", "/v1/jobs/predict", body=req.to_dict())
+        return JobHandle(self, JobRecord.from_dict(data))
+
+    def job(self, job_id: str) -> JobRecord:
+        return JobRecord.from_dict(
+            self._call("GET", f"/v1/jobs/{urllib.parse.quote(job_id)}")
+        )
+
+    def jobs(self, deployment: Optional[str] = None,
+             state: Optional[str] = None) -> List[JobRecord]:
+        query = {}
+        if deployment:
+            query["deployment"] = deployment
+        if state:
+            query["state"] = state
+        data = self._call("GET", "/v1/jobs", query=query)
+        return [JobRecord.from_dict(item) for item in data["jobs"]]
+
+    def cancel(self, job_id: str) -> JobRecord:
+        return JobRecord.from_dict(self._call(
+            "POST", f"/v1/jobs/{urllib.parse.quote(job_id)}/cancel"
+        ))
+
+    # -- synchronous queries ----------------------------------------------------
+
+    def advise(self, request: Optional[AdviseRequest] = None,
+               /, **kwargs) -> AdviceResult:
+        req = _coerce(AdviseRequest, request, kwargs)
+        return AdviceResult.from_dict(
+            self._call("POST", "/v1/advice", body=req.to_dict())
+        )
+
+    def predict(self, request: Optional[PredictRequest] = None,
+                /, **kwargs) -> PredictResult:
+        req = _coerce(PredictRequest, request, kwargs)
+        return PredictResult.from_dict(
+            self._call("POST", "/v1/predict", body=req.to_dict())
+        )
+
+    def compare(self, name_a: str, name_b: str) -> CompareResult:
+        return CompareResult.from_dict(self._call(
+            "GET", "/v1/compare", query={"a": name_a, "b": name_b}
+        ))
+
+    def plot(self, request: Optional[PlotRequest] = None,
+             /, **kwargs) -> PlotResult:
+        """Generate plots *server-side*; returns the server paths."""
+        req = _coerce(PlotRequest, request, kwargs)
+        return PlotResult.from_dict(
+            self._call("POST", "/v1/plots", body=req.to_dict())
+        )
+
+    # -- service introspection --------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._call("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        return self._call("GET", "/metrics", raw=True)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _call(self, method: str, path: str, body: Optional[dict] = None,
+              query: Optional[Dict[str, str]] = None, raw: bool = False):
+        url = self.base_url + path
+        if query:
+            url += "?" + urllib.parse.urlencode(query)
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, method=method, headers=headers
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                text = response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise RemoteError(
+                _error_message(exc), status=exc.code
+            ) from exc
+        except (socket.timeout, TimeoutError) as exc:
+            raise RemoteTimeout(
+                f"{method} {url} timed out after {self.timeout}s"
+            ) from exc
+        except urllib.error.URLError as exc:
+            if isinstance(exc.reason, (socket.timeout, TimeoutError)):
+                raise RemoteTimeout(
+                    f"{method} {url} timed out after {self.timeout}s"
+                ) from exc
+            raise RemoteError(f"{method} {url} failed: {exc.reason}") from exc
+        if raw:
+            return text
+        return json.loads(text) if text else None
+
+
+@dataclass
+class JobHandle:
+    """A submitted job: poll it, wait for it, fetch its typed result."""
+
+    session: RemoteSession
+    record: JobRecord
+
+    @property
+    def id(self) -> str:
+        return self.record.id
+
+    def refresh(self) -> JobRecord:
+        self.record = self.session.job(self.id)
+        return self.record
+
+    def cancel(self) -> JobRecord:
+        self.record = self.session.cancel(self.id)
+        return self.record
+
+    def wait(self, timeout: float = 120.0, poll: float = 0.1,
+             raise_on_failure: bool = True) -> JobRecord:
+        """Poll until the job reaches a terminal state.
+
+        Raises :class:`RemoteTimeout` if it does not finish in time and
+        :class:`RemoteJobFailed` if it finished in a non-``done`` state
+        (unless ``raise_on_failure`` is off).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.refresh()
+            if record.finished:
+                if record.state != "done" and raise_on_failure:
+                    raise RemoteJobFailed(
+                        f"job {self.id} {record.state}: "
+                        f"{record.error or 'no error recorded'}"
+                    )
+                return record
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RemoteTimeout(
+                    f"job {self.id} still {record.state} after {timeout}s"
+                )
+            time.sleep(min(poll, max(remaining, 0.0)))
+
+    def result(self) -> Union[CollectResult, PredictResult]:
+        """The finished job's typed result (waits for no one)."""
+        # The terminal record already carries the payload; only refresh
+        # when we have not yet observed a terminal state.
+        record = self.record if self.record.finished else self.refresh()
+        if record.state != "done":
+            raise RemoteJobFailed(
+                f"job {self.id} has no result (state: {record.state}"
+                + (f", error: {record.error}" if record.error else "")
+                + ")"
+            )
+        cls = CollectResult if record.kind == "collect" else PredictResult
+        return cls.from_dict(record.result or {})
+
+
+def _error_message(exc: urllib.error.HTTPError) -> str:
+    """Prefer the server's JSON error body over the bare status line."""
+    try:
+        detail = json.loads(exc.read().decode("utf-8"))
+        return f"{detail.get('error', exc.reason)} (HTTP {exc.code})"
+    except Exception:  # noqa: BLE001 - any body shape
+        return f"HTTP {exc.code}: {exc.reason}"

@@ -34,7 +34,8 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Protocol, runtime_checkable
+from typing import (Callable, Dict, Iterator, List, Optional, Protocol,
+                    runtime_checkable)
 
 from repro.appkit.script import AppScript
 from repro.backends.base import ExecutionBackend, ScenarioRunResult
@@ -146,6 +147,12 @@ class DataCollector:
     #: pools in simulated time (needs a back-end with
     #: ``supports_concurrency``).
     max_parallel_pools: int = 1
+    #: Called with ``(report, total_scenarios)`` after every scenario
+    #: outcome (executed, skipped, predicted, or setup-failed), so
+    #: long-running sweeps can surface live progress (the service's job
+    #: manager feeds its job records from this).  An exception raised
+    #: here aborts the sweep — cooperative cancellation.
+    on_progress: Optional[Callable[[CollectionReport, int], None]] = None
 
     def collect(self, scenarios: List[Scenario]) -> CollectionReport:
         """Run the full task list; returns the sweep summary."""
@@ -154,6 +161,7 @@ class DataCollector:
                 f"max_parallel_pools must be >= 1, got {self.max_parallel_pools}"
             )
         if not scenarios:
+            self._total_scenarios = 0
             return CollectionReport(max_parallel_pools=self.max_parallel_pools)
         known_ids = {
             r.scenario.scenario_id for r in self.taskdb.all()
@@ -161,24 +169,51 @@ class DataCollector:
         self.taskdb.add_scenarios(
             s for s in scenarios if s.scenario_id not in known_ids
         )
+        # Progress denominators count only *this sweep's* work: a resumed
+        # sweep's already-completed scenarios never reach _notify, so
+        # counting them would leave progress stuck below total forever.
+        self._total_scenarios = sum(
+            1 for s in scenarios
+            if self.taskdb.get(s.scenario_id).status is TaskStatus.PENDING
+            and not self.taskdb.get(s.scenario_id).skipped_by_sampler
+        )
 
         # Group by VM type (Algorithm 1's loop assumes this ordering) and
         # walk node counts ascending so resizes only ever grow a pool.
         ordered = sorted(
             scenarios, key=lambda s: (s.sku_name, s.nnodes, s.inputs_key())
         )
-        if self.backend.supports_concurrency:
-            report = self._collect_scheduled(ordered)
-        else:
-            report = self._collect_sequential(ordered)
-
+        try:
+            if self.backend.supports_concurrency:
+                report = self._collect_scheduled(ordered)
+            else:
+                report = self._collect_sequential(ordered)
+        except BaseException:
+            # An aborted sweep (e.g. cooperative cancellation raised from
+            # on_progress) still persists what it measured: the task DB
+            # keeps its completed records, so a later collect() resumes
+            # instead of re-running paid-for scenarios.  The save is
+            # best-effort here — it must not mask the real outcome (a
+            # cancellation misreported as a disk error).
+            try:
+                self._save_state()
+            except Exception:  # noqa: BLE001
+                pass
+            raise
         report.infrastructure_cost_usd = self.backend.total_infrastructure_cost_usd
         report.provisioning_overhead_s = self.backend.provisioning_overhead_s
+        self._save_state()
+        return report
+
+    def _save_state(self) -> None:
         if self.taskdb.path:
             self.taskdb.save()
         if self.dataset.path:
             self.dataset.save()
-        return report
+
+    def _notify(self, report: CollectionReport) -> None:
+        if self.on_progress is not None:
+            self.on_progress(report, getattr(self, "_total_scenarios", 0))
 
     # -- event-driven schedule (concurrency-capable back-ends) ----------------
 
@@ -334,6 +369,7 @@ class DataCollector:
         if decision.action == "skip":
             self.taskdb.mark_skipped(scenario.scenario_id)
             report.skipped += 1
+            self._notify(report)
             return False
         if decision.action == "predict":
             assert decision.predicted_time_s is not None
@@ -342,6 +378,7 @@ class DataCollector:
                         decision.predicted_cost_usd, {}, {}, 0.0,
                         predicted=True)
             report.predicted += 1
+            self._notify(report)
             return False
         return True
 
@@ -374,6 +411,7 @@ class DataCollector:
             )
             report.failed += 1
             report.failures.append(f"{scenario.scenario_id}: {reason}")
+        self._notify(report)
 
     def _fail_setup_group(self, sku: str, scenarios: List[Scenario],
                           report: CollectionReport) -> None:
@@ -397,6 +435,7 @@ class DataCollector:
         report.executed += 1  # the setup attempt consumed backend effort
         report.failed += marked
         report.failures.append(f"{reason} ({marked} scenario(s))")
+        self._notify(report)
 
     def _store(
         self,

@@ -8,8 +8,6 @@ filter".  Stored as JSON-lines so sweeps can append incrementally.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional
 
@@ -170,21 +168,24 @@ class Dataset:
     # -- persistence --------------------------------------------------------------------
 
     def save(self, path: Optional[str] = None) -> str:
+        """Atomically rewrite the file with this instance's points.
+
+        Readers never see a partial file, but concurrent *read-modify-
+        write* cycles are the caller's job: ``AdvisorSession.collect``
+        holds the dataset's advisory ``file_lock`` from load to save so
+        sweeps cannot lose each other's appends.
+        """
+        # Imported here: statefiles sits above this module in the layering
+        # (it pulls in the deployer), and save() is called once per sweep.
+        from repro.core.statefiles import atomic_write
+
         target = path or self.path
         if target is None:
             raise DatasetError("Dataset has no path to save to")
-        directory = os.path.dirname(os.path.abspath(target))
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                for point in self._points:
-                    fh.write(json.dumps(point.to_dict()) + "\n")
-            os.replace(tmp, target)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        text = "".join(
+            json.dumps(point.to_dict()) + "\n" for point in self._points
+        )
+        atomic_write(target, text)
         self.path = target
         return target
 

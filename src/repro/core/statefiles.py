@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -24,6 +25,149 @@ from repro.errors import ConfigError, ResourceNotFound
 
 ENV_VAR = "HPCADVISOR_STATE_DIR"
 DEFAULT_DIRNAME = ".hpcadvisor-sim"
+
+try:  # POSIX
+    import fcntl as _fcntl
+except ImportError:  # pragma: no cover - Windows
+    _fcntl = None
+    import msvcrt as _msvcrt
+
+
+class FileLock:
+    """Advisory exclusive lock on ``<path>.lock``.
+
+    Guards read-modify-write cycles on the state files (deployments
+    index, task DBs, dataset appends) so concurrent service workers or
+    CLI processes cannot interleave updates and lose each other's
+    writes.  Advisory: every writer must take the lock; readers of the
+    atomically-replaced files need not.  Excludes both other processes
+    (``flock``/``msvcrt.locking`` on ``<path>.lock``) and other threads
+    sharing this instance (an internal :class:`threading.RLock`, which
+    also makes the lock reentrant for its owning thread).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.lock_path = path + ".lock"
+        self._fh = None
+        self._depth = 0
+        self._tlock = threading.RLock()
+
+    def acquire(self) -> "FileLock":
+        self._tlock.acquire()
+        # Only the RLock owner reaches here, so the depth counter and the
+        # file handle are accessed by one thread at a time.
+        try:
+            if self._depth == 0:
+                directory = os.path.dirname(os.path.abspath(self.lock_path))
+                os.makedirs(directory, exist_ok=True)
+                self._fh = open(self.lock_path, "a+")
+                if _fcntl is not None:
+                    _fcntl.flock(self._fh.fileno(), _fcntl.LOCK_EX)
+                else:  # pragma: no cover - Windows
+                    # LK_LOCK gives up after ~10 s; emulate a blocking
+                    # wait with non-blocking attempts.
+                    import time as _time
+
+                    self._fh.seek(0)
+                    while True:
+                        try:
+                            _msvcrt.locking(self._fh.fileno(),
+                                            _msvcrt.LK_NBLCK, 1)
+                            break
+                        except OSError:
+                            _time.sleep(0.05)
+            self._depth += 1
+        except BaseException:
+            # A failed open/flock must not poison the (process-shared)
+            # canonical instance: drop the handle and the RLock so other
+            # threads can still try.
+            if self._depth == 0 and self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            self._tlock.release()
+            raise
+        return self
+
+    def release(self) -> None:
+        # Probe ownership first: a non-owning thread must fail *before*
+        # touching the depth counter or the flock, or it would silently
+        # unlock the owner's critical section.
+        if not self._tlock.acquire(blocking=False):
+            raise RuntimeError(
+                f"lock {self.lock_path!r} is not held by this thread"
+            )
+        try:
+            if self._depth == 0:
+                raise RuntimeError(f"lock {self.lock_path!r} is not held")
+            self._depth -= 1
+            if self._depth == 0:
+                try:
+                    if _fcntl is not None:
+                        _fcntl.flock(self._fh.fileno(), _fcntl.LOCK_UN)
+                    else:  # pragma: no cover - Windows
+                        self._fh.seek(0)
+                        _msvcrt.locking(self._fh.fileno(),
+                                        _msvcrt.LK_UNLCK, 1)
+                finally:
+                    self._fh.close()
+                    self._fh = None
+            self._tlock.release()  # pairs with the acquire() being undone
+        finally:
+            self._tlock.release()  # pairs with the ownership probe above
+
+    @property
+    def held(self) -> bool:
+        return self._depth > 0
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+#: Canonical per-path lock instances for this process.  Acquirers are
+#: ``AdvisorSession.collect`` (task-DB + dataset locks held from load to
+#: save — the lost-update protection; the save methods themselves take
+#: no lock) and ``StateStore``'s index methods.  Sharing one instance
+#: per path makes same-thread nested acquisition reentrant, whereas two
+#: independent ``flock`` fds on one path would deadlock the thread.
+_CANONICAL_LOCKS: Dict[str, FileLock] = {}
+_CANONICAL_GUARD = threading.Lock()
+
+
+def file_lock(path: str) -> FileLock:
+    """This process's canonical :class:`FileLock` for ``path``."""
+    key = os.path.abspath(path)
+    with _CANONICAL_GUARD:
+        lock = _CANONICAL_LOCKS.get(key)
+        if lock is None:
+            lock = _CANONICAL_LOCKS[key] = FileLock(key)
+        return lock
+
+
+def atomic_write(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (unique temp + rename).
+
+    Readers never observe a partial file; concurrent writers each land a
+    complete copy, last one wins.  Shared by the deployments index, task
+    DBs, datasets, and the service's job records.
+    """
+    import tempfile
+
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
 
 
 def resolve_state_dir(explicit: Optional[str] = None) -> str:
@@ -49,6 +193,10 @@ class StateStore:
 
     def __post_init__(self) -> None:
         os.makedirs(self.root, exist_ok=True)
+        # The canonical per-path lock: save/remove hold it across their
+        # whole read-modify-write cycle, and every store over this root
+        # (in this process) shares the same reentrant instance.
+        self._index_lock = file_lock(self.deployments_file)
 
     # -- paths ------------------------------------------------------------------
 
@@ -65,6 +213,10 @@ class StateStore:
     def plots_dir(self, deployment_name: str) -> str:
         return os.path.join(self.root, f"plots-{deployment_name}")
 
+    def jobs_dir(self) -> str:
+        """Where the service's job manager persists its job records."""
+        return os.path.join(self.root, "jobs")
+
     # -- deployments index ----------------------------------------------------------
 
     def _read_index(self) -> Dict[str, Dict]:
@@ -74,15 +226,13 @@ class StateStore:
             return json.load(fh)
 
     def _write_index(self, index: Dict[str, Dict]) -> None:
-        tmp = self.deployments_file + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(index, fh, indent=1)
-        os.replace(tmp, self.deployments_file)
+        atomic_write(self.deployments_file, json.dumps(index, indent=1))
 
     def save_deployment(self, deployment: Deployment) -> None:
-        index = self._read_index()
-        index[deployment.name] = deployment.to_record()
-        self._write_index(index)
+        with self._index_lock:
+            index = self._read_index()
+            index[deployment.name] = deployment.to_record()
+            self._write_index(index)
 
     def list_deployments(self) -> List[Dict]:
         return sorted(self._read_index().values(), key=lambda r: r["name"])
@@ -96,11 +246,12 @@ class StateStore:
         return index[name]
 
     def remove_deployment(self, name: str) -> None:
-        index = self._read_index()
-        if name not in index:
-            raise ResourceNotFound(f"deployment {name!r} not found")
-        del index[name]
-        self._write_index(index)
+        with self._index_lock:
+            index = self._read_index()
+            if name not in index:
+                raise ResourceNotFound(f"deployment {name!r} not found")
+            del index[name]
+            self._write_index(index)
 
     # -- reattachment -------------------------------------------------------------------
 

@@ -9,8 +9,6 @@ from __future__ import annotations
 
 import enum
 import json
-import os
-import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional
 
@@ -162,21 +160,22 @@ class TaskDB:
     # -- persistence -----------------------------------------------------------------
 
     def save(self, path: Optional[str] = None) -> str:
+        """Atomically rewrite the file with this instance's records.
+
+        Readers never see a partial file, but concurrent *read-modify-
+        write* cycles are the caller's job: ``AdvisorSession.collect``
+        holds the task DB's advisory ``file_lock`` from load to save so
+        sweeps cannot lose each other's updates.
+        """
+        # Imported here: statefiles sits above this module in the layering
+        # (it pulls in the deployer), and save() is called once per sweep.
+        from repro.core.statefiles import atomic_write
+
         target = path or self.path
         if target is None:
             raise DatasetError("TaskDB has no path to save to")
         payload = {"tasks": [r.to_dict() for r in self._records.values()]}
-        directory = os.path.dirname(os.path.abspath(target))
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, indent=1)
-            os.replace(tmp, target)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        atomic_write(target, json.dumps(payload, indent=1))
         self.path = target
         return target
 

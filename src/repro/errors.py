@@ -75,3 +75,35 @@ class SamplingError(ReproError):
 
 class BackendError(ReproError):
     """A pluggable execution back-end failed."""
+
+
+class ServiceError(ReproError):
+    """Base class for advisor-as-a-service failures (server side)."""
+
+
+class JobNotFound(ServiceError):
+    """No job with the requested id exists in the job manager."""
+
+
+class JobStateError(ServiceError):
+    """A job operation was attempted in an incompatible state."""
+
+
+class RemoteError(ReproError):
+    """A remote service call failed (client side).
+
+    ``status`` is the HTTP status code, or 0 when the failure happened
+    before a response arrived (connection refused, DNS, ...).
+    """
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class RemoteTimeout(RemoteError):
+    """A remote call or job wait exceeded its time budget."""
+
+
+class RemoteJobFailed(RemoteError):
+    """A remote job finished in a non-success state (failed/cancelled/stale)."""

@@ -1,0 +1,66 @@
+"""Request metrics for the advisor service.
+
+A tiny in-process registry: every handled request is observed as
+``(method, route, status, seconds)`` where ``route`` is the *normalized*
+pattern (``/v1/jobs/<id>``, not ``/v1/jobs/job-1234``) so cardinality
+stays bounded.  ``GET /metrics`` renders the registry in the Prometheus
+text exposition format, which ``curl`` and any scraper can read.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Tuple
+
+Key = Tuple[str, str, int]  # (method, route, status)
+
+
+class Metrics:
+    """Thread-safe request counters and latency accumulators."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: key -> [count, total_seconds, max_seconds]
+        self._stats: Dict[Key, List[float]] = {}
+
+    def observe(self, method: str, route: str, status: int,
+                seconds: float) -> None:
+        key = (method, route, int(status))
+        with self._lock:
+            entry = self._stats.get(key)
+            if entry is None:
+                entry = self._stats[key] = [0, 0.0, 0.0]
+            entry[0] += 1
+            entry[1] += seconds
+            entry[2] = max(entry[2], seconds)
+
+    def render_prometheus(self, extra_gauges: Dict[str, float] = None) -> str:
+        """The Prometheus text format for /metrics."""
+        lines = [
+            "# HELP advisor_http_requests_total Requests handled, by "
+            "method/route/status.",
+            "# TYPE advisor_http_requests_total counter",
+        ]
+        with self._lock:
+            items = sorted(self._stats.items())
+        for (method, route, status), entry in items:
+            labels = (f'method="{method}",route="{route}",'
+                      f'status="{status}"')
+            lines.append(
+                f"advisor_http_requests_total{{{labels}}} {int(entry[0])}"
+            )
+        lines += [
+            "# HELP advisor_http_request_seconds_sum Total request "
+            "latency, by method/route/status.",
+            "# TYPE advisor_http_request_seconds_sum counter",
+        ]
+        for (method, route, status), entry in items:
+            labels = (f'method="{method}",route="{route}",'
+                      f'status="{status}"')
+            lines.append(
+                f"advisor_http_request_seconds_sum{{{labels}}} {entry[1]:.6f}"
+            )
+        for name, value in sorted((extra_gauges or {}).items()):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {value}")
+        return "\n".join(lines) + "\n"

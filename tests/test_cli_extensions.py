@@ -190,3 +190,100 @@ class TestGuiBottlenecksPage:
         html = render_bottlenecks(session, "extrg-000")
         assert "Bottleneck" in html
         assert "hb120rs_v3" in html.lower() or "HB120rs_v3" in html
+
+
+class TestMachineReadableSatellites:
+    """--json on the last commands without machine-readable output."""
+
+    def test_deploy_list_json(self, collected, capsys):
+        import json
+
+        assert main(["--state-dir", collected, "deploy", "list",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [d["name"] for d in payload["deployments"]] == ["extrg-000"]
+        assert payload["deployments"][0]["appname"] == "lammps"
+
+    def test_deploy_list_json_empty(self, tmp_path, capsys):
+        import json
+
+        assert main(["--state-dir", str(tmp_path / "s"), "deploy", "list",
+                     "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == {"deployments": []}
+
+    def test_plot_json(self, collected, capsys, tmp_path):
+        import json
+
+        out_dir = str(tmp_path / "plots")
+        assert main(["--state-dir", collected, "plot", "-n", "extrg-000",
+                     "-o", out_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["deployment"] == "extrg-000"
+        assert payload["output_dir"] == out_dir
+        assert len(payload["paths"]) == len(payload["kinds"])
+        assert "pareto" in payload["kinds"]
+
+
+class TestServiceCli:
+    """serve + the remote-client trio submit/status/result."""
+
+    @pytest.fixture
+    def service(self, collected):
+        import threading
+
+        from repro.service.app import make_server
+
+        server = make_server(collected, port=0, workers=2)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield f"http://127.0.0.1:{server.server_address[1]}"
+        server.shutdown()
+        server.server_close()
+        server.state.close()
+        thread.join(timeout=10)
+
+    def test_parser_accepts_service_commands(self):
+        from repro.cli.main import build_parser
+
+        parser = build_parser()
+        for argv in (
+            ["serve", "--port", "0"],
+            ["submit", "--url", "http://x", "-n", "d-000", "--wait"],
+            ["status", "--url", "http://x"],
+            ["status", "--url", "http://x", "job-123"],
+            ["result", "--url", "http://x", "job-123"],
+        ):
+            parser.parse_args(argv)  # must not raise
+
+    def test_submit_status_result_round_trip(self, service, capsys):
+        import json
+
+        assert main(["submit", "--url", service, "-n", "extrg-000",
+                     "--wait", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["state"] == "done"
+
+        assert main(["status", "--url", service]) == 0
+        out = capsys.readouterr().out
+        assert record["id"] in out
+        assert "done" in out
+
+        assert main(["result", "--url", service, record["id"]]) == 0
+        out = capsys.readouterr().out
+        assert "collection finished" in out
+        assert "dataset" in out
+
+    def test_submit_without_wait_then_result(self, service, capsys):
+        assert main(["submit", "--url", service, "-n", "extrg-000"]) == 0
+        out = capsys.readouterr().out
+        job_id = out.split()[1].rstrip(":")
+        assert job_id.startswith("job-")
+        assert main(["result", "--url", service, job_id, "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["deployment"] == "extrg-000"
+
+    def test_status_unknown_job_reports_error(self, service, capsys):
+        assert main(["status", "--url", service, "job-nope"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,277 @@
+"""RemoteSession client tests against a live in-process server.
+
+Socket-level behaviour: typed results decoding, HTTP error mapping to
+:class:`RemoteError`, connect/read timeouts, and JobHandle waiting.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.api.results import AdviceResult, SessionInfo
+from repro.client import (
+    JobHandle,
+    RemoteError,
+    RemoteJobFailed,
+    RemoteSession,
+    RemoteTimeout,
+)
+from repro.errors import ConfigError
+from repro.service.app import make_server
+from repro.service.jobs import JobManager
+from repro.service.router import ServiceState
+from repro.api.session import AdvisorSession
+from tests.conftest import make_config
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = make_server(str(tmp_path / "state"), port=0, workers=2)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    srv.server_close()
+    srv.state.close()
+    thread.join(timeout=10)
+
+
+@pytest.fixture
+def remote(server):
+    port = server.server_address[1]
+    return RemoteSession(f"http://127.0.0.1:{port}", timeout=10)
+
+
+def deploy(remote, prefix="remoterg", **overrides):
+    return remote.deploy(make_config(rgprefix=prefix, **overrides).to_dict())
+
+
+class TestTypedSurface:
+    def test_deploy_returns_session_info(self, remote):
+        info = deploy(remote)
+        assert isinstance(info, SessionInfo)
+        assert info.name == "remoterg-000"
+        assert info.scenario_count == 2
+
+    def test_deploy_rejects_non_mapping(self, remote):
+        with pytest.raises(ConfigError):
+            remote.deploy(42)
+
+    def test_deploy_from_local_yaml_path(self, remote, tmp_path):
+        path = tmp_path / "config.yaml"
+        path.write_text(make_config(rgprefix="yamlrg").to_yaml())
+        info = remote.deploy(str(path))
+        assert info.name == "yamlrg-000"
+
+    def test_list_info_shutdown(self, remote):
+        info = deploy(remote)
+        assert [d.name for d in remote.list_deployments()] == [info.name]
+        assert remote.info(info.name).appname == "lammps"
+        remote.shutdown(info.name)
+        assert remote.list_deployments() == []
+
+    def test_collect_wait_advise(self, remote):
+        info = deploy(remote)
+        job = remote.collect(deployment=info.name)
+        assert isinstance(job, JobHandle)
+        record = job.wait(timeout=60)
+        assert record.state == "done"
+        result = job.result()
+        assert result.completed == 2
+        advice = remote.advise(deployment=info.name)
+        assert isinstance(advice, AdviceResult)
+        assert advice.rows
+        # The remote result decodes to the same types an in-process
+        # advise would produce.
+        assert advice.rows[0].sku
+
+    def test_predict_and_compare_and_plot(self, remote):
+        info_a = deploy(remote, prefix="cmpxrg", nnodes=[1, 2, 4])
+        info_b = deploy(remote, prefix="cmpyrg", nnodes=[1, 2, 4])
+        remote.collect(deployment=info_a.name).wait(timeout=60)
+        remote.collect(deployment=info_b.name).wait(timeout=60)
+        prediction = remote.predict(deployment=info_a.name)
+        assert prediction.trained_on == 3
+        comparison = remote.compare(info_a.name, info_b.name)
+        assert comparison.matched == 3
+        plots = remote.plot(deployment=info_a.name)
+        assert len(plots.paths) == 5
+
+    def test_health_and_metrics(self, remote):
+        assert remote.health()["status"] == "ok"
+        remote.health()
+        text = remote.metrics_text()
+        assert 'route="/healthz"' in text
+
+
+class TestErrorMapping:
+    def test_unknown_deployment_maps_to_remote_error_404(self, remote):
+        with pytest.raises(RemoteError) as err:
+            remote.info("ghost-000")
+        assert err.value.status == 404
+        assert "ghost-000" in str(err.value)
+
+    def test_bad_request_maps_to_400(self, remote):
+        with pytest.raises(RemoteError) as err:
+            remote.advise(deployment="")  # missing name -> ConfigError
+        assert err.value.status == 400
+
+    def test_unknown_job_maps_to_404(self, remote):
+        with pytest.raises(RemoteError) as err:
+            remote.job("job-nope")
+        assert err.value.status == 404
+
+    def test_connection_refused_is_remote_error_status_0(self):
+        # Bind-then-close guarantees a dead port.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        remote = RemoteSession(f"http://127.0.0.1:{port}", timeout=2)
+        with pytest.raises(RemoteError) as err:
+            remote.health()
+        assert err.value.status == 0
+        assert not isinstance(err.value, RemoteTimeout)
+
+
+class TestTimeouts:
+    def test_read_timeout_raises_remote_timeout(self):
+        """A server that accepts but never answers must not hang the
+        client past its timeout."""
+        silent = socket.socket()
+        silent.bind(("127.0.0.1", 0))
+        silent.listen(1)
+        port = silent.getsockname()[1]
+        try:
+            remote = RemoteSession(f"http://127.0.0.1:{port}", timeout=0.3)
+            with pytest.raises(RemoteTimeout):
+                remote.health()
+        finally:
+            silent.close()
+
+    def test_job_wait_timeout(self, tmp_path):
+        """JobHandle.wait gives up with RemoteTimeout, not a hang."""
+        gate = threading.Event()
+
+        class BlockedSession:
+            def collect(self, request, progress=None):
+                gate.wait(timeout=30)
+                from repro.api.results import CollectResult
+
+                return CollectResult(deployment=request.deployment)
+
+        state_dir = str(tmp_path / "state")
+        info = AdvisorSession(state_dir=state_dir).deploy(
+            make_config(rgprefix="slowrg"))
+        state = ServiceState(
+            session=AdvisorSession(state_dir=state_dir),
+            jobs=JobManager(jobs_dir=str(tmp_path / "state" / "jobs"),
+                            session_factory=BlockedSession, workers=1),
+        )
+        server = make_server(state_dir, port=0, state=state)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            port = server.server_address[1]
+            remote = RemoteSession(f"http://127.0.0.1:{port}", timeout=5)
+            job = remote.collect(deployment=info.name)
+            with pytest.raises(RemoteTimeout):
+                job.wait(timeout=0.4, poll=0.05)
+            gate.set()
+            assert job.wait(timeout=30).state == "done"
+        finally:
+            gate.set()
+            server.shutdown()
+            server.server_close()
+            state.close()
+            thread.join(timeout=10)
+
+    def test_submit_for_unknown_deployment_is_404(self, remote):
+        # Validated at submit time, under the same lock as shutdown.
+        with pytest.raises(RemoteError) as err:
+            remote.collect(deployment="ghost-000")
+        assert err.value.status == 404
+        assert "ghost-000" in str(err.value)
+
+    def test_wait_raises_on_failed_job(self, tmp_path):
+        """A job that fails server-side surfaces as RemoteJobFailed."""
+        from repro.errors import BackendError
+
+        class FailingSession:
+            def collect(self, request, progress=None):
+                raise BackendError("pool exploded")
+
+        state_dir = str(tmp_path / "state")
+        control = AdvisorSession(state_dir=state_dir)
+        info = control.deploy(make_config(rgprefix="failrg"))
+        state = ServiceState(
+            session=AdvisorSession(state_dir=state_dir),
+            jobs=JobManager(jobs_dir=str(tmp_path / "state" / "jobs"),
+                            session_factory=FailingSession, workers=1),
+        )
+        server = make_server(state_dir, port=0, state=state)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            port = server.server_address[1]
+            remote = RemoteSession(f"http://127.0.0.1:{port}", timeout=5)
+            job = remote.collect(deployment=info.name)
+            with pytest.raises(RemoteJobFailed) as err:
+                job.wait(timeout=30)
+            assert "pool exploded" in str(err.value)
+            assert job.refresh().state == "failed"
+            with pytest.raises(RemoteJobFailed):
+                job.result()
+            # raise_on_failure=False returns the failed record instead.
+            record = job.wait(timeout=30, raise_on_failure=False)
+            assert record.state == "failed"
+            assert "pool exploded" in record.error
+        finally:
+            server.shutdown()
+            server.server_close()
+            state.close()
+            thread.join(timeout=10)
+
+
+class TestCancelOverTheWire:
+    def test_cancel_queued_job(self, tmp_path):
+        gate = threading.Event()
+        started = threading.Event()
+
+        class BlockedSession:
+            def collect(self, request, progress=None):
+                started.set()
+                gate.wait(timeout=30)
+                from repro.api.results import CollectResult
+
+                return CollectResult(deployment=request.deployment)
+
+        state_dir = str(tmp_path / "state")
+        control = AdvisorSession(state_dir=state_dir)
+        info_a = control.deploy(make_config(rgprefix="cxarg"))
+        info_b = control.deploy(make_config(rgprefix="cxbrg"))
+        state = ServiceState(
+            session=AdvisorSession(state_dir=state_dir),
+            jobs=JobManager(jobs_dir=str(tmp_path / "state" / "jobs"),
+                            session_factory=BlockedSession, workers=1),
+        )
+        server = make_server(state_dir, port=0, state=state)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            port = server.server_address[1]
+            remote = RemoteSession(f"http://127.0.0.1:{port}", timeout=5)
+            blocker = remote.collect(deployment=info_a.name)
+            assert started.wait(timeout=10)
+            queued = remote.collect(deployment=info_b.name)
+            record = queued.cancel()
+            assert record.state == "cancelled"
+            gate.set()
+            assert blocker.wait(timeout=30).state == "done"
+        finally:
+            gate.set()
+            server.shutdown()
+            server.server_close()
+            state.close()
+            thread.join(timeout=10)

@@ -26,6 +26,7 @@ EXPECTED_OUTPUT = {
     "multi_app_comparison.py": "best config",
     "predicted_advice_demo.py": "prediction error",
     "budget_payoff_demo.py": "break-even",
+    "remote_advisor_demo.py": "cheapest option:",
 }
 
 

@@ -5,6 +5,7 @@ also still accepts a bare ``StateStore`` (backward compatibility), which
 one test exercises.
 """
 
+import json
 import threading
 import urllib.error
 import urllib.request
@@ -122,5 +123,93 @@ class TestHttpServer:
         try:
             assert isinstance(server.RequestHandlerClass.session,
                               AdvisorSession)
+        finally:
+            server.server_close()
+
+
+def _one_request(server, method, path, port):
+    thread = threading.Thread(target=server.handle_request)
+    thread.start()
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", method=method
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=5) as response:
+            return response.status, response.read().decode()
+    finally:
+        thread.join(timeout=5)
+
+
+class TestHealthAnd405:
+    def test_healthz_endpoint(self, session):
+        server = make_server(session, host="127.0.0.1", port=0)
+        port = server.server_address[1]
+        try:
+            status, body = _one_request(server, "GET", "/healthz", port)
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["status"] == "ok"
+        finally:
+            server.server_close()
+
+    @pytest.mark.parametrize("method", ["POST", "PUT", "DELETE", "PATCH"])
+    def test_non_get_methods_are_405(self, session, method):
+        server = make_server(session, host="127.0.0.1", port=0)
+        port = server.server_address[1]
+        try:
+            thread = threading.Thread(target=server.handle_request)
+            thread.start()
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/", method=method
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request, timeout=5)
+            assert err.value.code == 405
+            thread.join(timeout=5)
+        finally:
+            server.server_close()
+
+
+class TestApiMount:
+    """The GUI reuses the service router for its JSON data needs."""
+
+    def test_api_deployments_lists_json(self, session_with_data):
+        session, name = session_with_data
+        server = make_server(session, host="127.0.0.1", port=0)
+        port = server.server_address[1]
+        try:
+            status, body = _one_request(
+                server, "GET", "/api/v1/deployments", port)
+            assert status == 200
+            payload = json.loads(body)
+            assert [d["name"] for d in payload["deployments"]] == [name]
+        finally:
+            server.server_close()
+
+    def test_api_advice_matches_html_page_data(self, session_with_data):
+        session, name = session_with_data
+        server = make_server(session, host="127.0.0.1", port=0)
+        port = server.server_address[1]
+        try:
+            status, body = _one_request(
+                server, "GET", f"/api/v1/advice?deployment={name}", port)
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["deployment"] == name
+            assert payload["rows"]
+        finally:
+            server.server_close()
+
+    def test_api_jobs_unavailable_on_gui_mount(self, session):
+        server = make_server(session, host="127.0.0.1", port=0)
+        port = server.server_address[1]
+        try:
+            thread = threading.Thread(target=server.handle_request)
+            thread.start()
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/api/v1/jobs", timeout=5)
+            assert err.value.code == 503
+            thread.join(timeout=5)
         finally:
             server.server_close()

@@ -1,0 +1,143 @@
+"""End-to-end acceptance: the advisor as a service, purely over the wire.
+
+Everything here drives deploy -> collect -> advise through
+:class:`~repro.client.RemoteSession` against a live in-process server on
+an ephemeral port — no direct session access — including N >= 4
+concurrent collect jobs across deployments and job state surviving a
+full server stop/restart.
+"""
+
+import threading
+
+import pytest
+
+from repro.client import RemoteSession
+from repro.service.app import make_server
+from tests.conftest import make_config
+
+
+class LiveServer:
+    """A running service over a state dir; restartable."""
+
+    def __init__(self, state_dir: str, workers: int = 4):
+        self.state_dir = state_dir
+        self.workers = workers
+        self.server = None
+        self.thread = None
+
+    def start(self) -> "LiveServer":
+        self.server = make_server(self.state_dir, port=0,
+                                  workers=self.workers)
+        self.thread = threading.Thread(target=self.server.serve_forever,
+                                       daemon=True)
+        self.thread.start()
+        return self
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.server.server_address[1]}"
+
+    def stop(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        self.server.state.close()
+        self.thread.join(timeout=10)
+
+    def restart(self) -> "LiveServer":
+        self.stop()
+        return self.start()
+
+
+@pytest.fixture
+def live(tmp_path):
+    server = LiveServer(str(tmp_path / "state")).start()
+    yield server
+    server.stop()
+
+
+def test_full_flow_with_concurrent_jobs_and_restart(live):
+    remote = RemoteSession(live.url, timeout=15)
+
+    # -- deploy 4 independent sweeps, purely over the wire ------------------
+    infos = [
+        remote.deploy(make_config(
+            rgprefix=f"e2e{chr(ord('a') + i)}rg",
+            nnodes=[1, 2],
+        ).to_dict())
+        for i in range(4)
+    ]
+    assert len({info.name for info in infos}) == 4
+
+    # -- submit 4 collect jobs at once, then wait for all of them -----------
+    jobs = [remote.collect(deployment=info.name) for info in infos]
+    states = {job.record.state for job in jobs}
+    assert states <= {"queued", "running"}  # all submitted asynchronously
+    for job in jobs:
+        record = job.wait(timeout=120)
+        assert record.state == "done", record.error
+        assert record.progress["total"] == 2
+
+    # -- every deployment collected exactly its own scenarios ---------------
+    for info, job in zip(infos, jobs):
+        result = job.result()
+        assert result.deployment == info.name
+        assert result.completed == 2
+        assert result.dataset_points == 2
+
+    # -- advice over the wire, per deployment -------------------------------
+    advices = {}
+    for info in infos:
+        advice = remote.advise(deployment=info.name)
+        assert advice.deployment == info.name
+        assert advice.dataset_points == 2
+        assert len(advice.rows) >= 1
+        advices[info.name] = advice
+
+    # -- job state survives a full server stop/restart ----------------------
+    job_ids = {job.id for job in jobs}
+    live.restart()
+    reborn = RemoteSession(live.url, timeout=15)
+    listed = reborn.jobs()
+    assert {record.id for record in listed} == job_ids
+    assert {record.state for record in listed} == {"done"}
+    # ... and so does everything the jobs produced.
+    for info in infos:
+        again = reborn.advise(deployment=info.name)
+        assert again.rows == advices[info.name].rows
+
+    # -- health/metrics reflect the restart boundary ------------------------
+    health = reborn.health()
+    assert health["status"] == "ok"
+    assert health["jobs"]["done"] == 4
+
+
+def test_restart_surfaces_interrupted_running_job_as_stale(tmp_path, live):
+    """A job that was mid-flight when the server died must come back as
+    `stale` — visible, terminal, and not hanging any client."""
+    import json
+    import os
+
+    remote = RemoteSession(live.url, timeout=15)
+    info = remote.deploy(make_config(rgprefix="stalerg").to_dict())
+    job = remote.collect(deployment=info.name)
+    job.wait(timeout=120)
+
+    # Forge the crash: rewrite the finished record as if the server had
+    # died mid-run (the job manager is down between stop() and start()).
+    live.stop()
+    jobs_dir = os.path.join(live.state_dir, "jobs")
+    path = os.path.join(jobs_dir, f"{job.id}.json")
+    with open(path) as fh:
+        record = json.load(fh)
+    record.update(state="running", finished_at=None, result=None)
+    with open(path, "w") as fh:
+        json.dump(record, fh)
+    live.start()
+
+    reborn = RemoteSession(live.url, timeout=15)
+    stale = reborn.job(job.id)
+    assert stale.state == "stale"
+    assert "restarted" in stale.error
+    assert stale.finished  # a client wait() returns instead of hanging
+    # The collected data is still there: advice keeps working.
+    assert reborn.advise(deployment=info.name).rows

@@ -1,0 +1,455 @@
+"""Job manager tests: lifecycle, persistence, concurrency, edge cases."""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.api.results import CollectResult
+from repro.errors import ConfigError, JobNotFound, JobStateError
+from repro.service.jobs import (
+    TERMINAL_STATES,
+    JobManager,
+    JobRecord,
+)
+
+
+class FakeSession:
+    """Stands in for AdvisorSession: controllable collect()/predict()."""
+
+    def __init__(self, gate=None, fail_with=None, on_start=None,
+                 progress_steps=0):
+        self.gate = gate          # threading.Event the sweep blocks on
+        self.fail_with = fail_with
+        self.on_start = on_start  # callable(deployment)
+        self.progress_steps = progress_steps
+
+    def collect(self, request, progress=None):
+        if self.on_start is not None:
+            self.on_start(request.deployment)
+        if self.gate is not None:
+            # Poll the gate so cancellation (raised from `progress`) can
+            # interrupt a "running" sweep, like the real collector does
+            # between scenarios.
+            while not self.gate.wait(timeout=0.01):
+                if progress is not None:
+                    progress(_FakeReport(), 5)
+        if self.fail_with is not None:
+            raise self.fail_with
+        for step in range(self.progress_steps):
+            if progress is not None:
+                progress(_FakeReport(executed=step + 1), self.progress_steps)
+        return CollectResult(deployment=request.deployment, executed=2,
+                             completed=2, dataset_points=2)
+
+    def predict(self, request):
+        from repro.api.results import PredictResult
+
+        return PredictResult(deployment=request.deployment, trained_on=3)
+
+
+class _FakeReport:
+    def __init__(self, executed=0):
+        self.executed = executed
+        self.completed = executed
+        self.failed = 0
+        self.skipped = 0
+        self.predicted = 0
+        self.simulated_wall_s = float(executed)
+
+
+def make_manager(tmp_path, session=None, workers=2, **kwargs):
+    return JobManager(
+        jobs_dir=str(tmp_path / "jobs"),
+        session_factory=lambda: session or FakeSession(),
+        workers=workers,
+        **kwargs,
+    )
+
+
+class TestJobRecord:
+    def test_round_trips_through_json(self):
+        record = JobRecord(
+            id="job-1", kind="collect", deployment="d-000", state="done",
+            request={"deployment": "d-000"}, created_at=1.5,
+            result={"completed": 2}, progress={"executed": 2, "total": 2},
+        )
+        assert JobRecord.from_json(record.to_json()) == record
+
+    def test_finished_property(self):
+        for state in TERMINAL_STATES:
+            assert JobRecord(id="j", state=state).finished
+        for state in ("queued", "running"):
+            assert not JobRecord(id="j", state=state).finished
+
+
+class TestSubmitAndRun:
+    def test_collect_job_runs_to_done(self, tmp_path):
+        manager = make_manager(tmp_path)
+        record = manager.submit("collect", {"deployment": "d-000"})
+        assert record.state == "queued"
+        final = manager.wait(record.id, timeout=10)
+        assert final.state == "done"
+        assert final.result["completed"] == 2
+        assert final.started_at is not None
+        assert final.finished_at >= final.started_at
+        manager.close()
+
+    def test_predict_job_runs_to_done(self, tmp_path):
+        manager = make_manager(tmp_path)
+        record = manager.submit("predict", {"deployment": "d-000"})
+        final = manager.wait(record.id, timeout=10)
+        assert final.state == "done"
+        assert final.result["trained_on"] == 3
+        manager.close()
+
+    def test_progress_counters_update(self, tmp_path):
+        manager = make_manager(tmp_path,
+                               session=FakeSession(progress_steps=3))
+        record = manager.submit("collect", {"deployment": "d-000"})
+        final = manager.wait(record.id, timeout=10)
+        assert final.progress["executed"] == 3
+        assert final.progress["total"] == 3
+        manager.close()
+
+    def test_failed_job_records_the_error(self, tmp_path):
+        manager = make_manager(
+            tmp_path, session=FakeSession(fail_with=ConfigError("boom")))
+        record = manager.submit("collect", {"deployment": "d-000"})
+        final = manager.wait(record.id, timeout=10)
+        assert final.state == "failed"
+        assert "boom" in final.error
+        manager.close()
+
+    def test_submit_validates_kind_and_request(self, tmp_path):
+        manager = make_manager(tmp_path)
+        with pytest.raises(ConfigError):
+            manager.submit("frobnicate", {"deployment": "d"})
+        with pytest.raises(ConfigError):
+            manager.submit("collect", {})  # no deployment
+        with pytest.raises(ConfigError):
+            manager.submit("collect", {"deployment": "d", "bogus": 1})
+        manager.close()
+
+    def test_get_unknown_job_raises(self, tmp_path):
+        manager = make_manager(tmp_path)
+        with pytest.raises(JobNotFound):
+            manager.get("job-nope")
+        manager.close()
+
+
+class TestPersistence:
+    def test_every_transition_is_on_disk(self, tmp_path):
+        manager = make_manager(tmp_path)
+        record = manager.submit("collect", {"deployment": "d-000"})
+        manager.wait(record.id, timeout=10)
+        path = tmp_path / "jobs" / f"{record.id}.json"
+        assert path.exists()
+        on_disk = json.loads(path.read_text())
+        assert on_disk["state"] == "done"
+        assert on_disk["result"]["completed"] == 2
+        manager.close()
+
+    def test_restart_lists_finished_jobs(self, tmp_path):
+        manager = make_manager(tmp_path)
+        record = manager.submit("collect", {"deployment": "d-000"})
+        manager.wait(record.id, timeout=10)
+        manager.close()
+        reborn = make_manager(tmp_path)
+        assert reborn.get(record.id).state == "done"
+        assert [r.id for r in reborn.list()] == [record.id]
+        reborn.close()
+
+    def test_restart_marks_running_job_stale(self, tmp_path):
+        """A `running` record from a dead server must surface as stale,
+        not hang forever."""
+        jobs_dir = tmp_path / "jobs"
+        jobs_dir.mkdir()
+        orphan = JobRecord(id="job-dead", kind="collect",
+                           deployment="d-000", state="running",
+                           request={"deployment": "d-000"}, created_at=1.0)
+        (jobs_dir / "job-dead.json").write_text(orphan.to_json())
+        manager = make_manager(tmp_path)
+        record = manager.get("job-dead")
+        assert record.state == "stale"
+        assert "restarted" in record.error
+        assert record.finished  # wait() would return immediately
+        # ... and the new state is persisted for the next restart too.
+        assert json.loads(
+            (jobs_dir / "job-dead.json").read_text())["state"] == "stale"
+        manager.close()
+
+    def test_restart_requeues_queued_job(self, tmp_path):
+        jobs_dir = tmp_path / "jobs"
+        jobs_dir.mkdir()
+        pending = JobRecord(id="job-q", kind="collect", deployment="d-000",
+                            state="queued",
+                            request={"deployment": "d-000"}, created_at=1.0)
+        (jobs_dir / "job-q.json").write_text(pending.to_json())
+        manager = make_manager(tmp_path)
+        final = manager.wait("job-q", timeout=10)
+        assert final.state == "done"
+        manager.close()
+
+    def test_unreadable_record_does_not_block_startup(self, tmp_path):
+        jobs_dir = tmp_path / "jobs"
+        jobs_dir.mkdir()
+        (jobs_dir / "garbage.json").write_text("{not json")
+        manager = make_manager(tmp_path)
+        assert manager.list() == []
+        manager.close()
+
+
+class TestCancellation:
+    def test_cancel_while_queued(self, tmp_path):
+        gate = threading.Event()
+        started = threading.Event()
+        session = FakeSession(gate=gate,
+                              on_start=lambda dep: started.set())
+        manager = make_manager(tmp_path, session=session, workers=1)
+        # Fill the single worker with a blocked job...
+        blocker = manager.submit("collect", {"deployment": "d-000"})
+        assert started.wait(timeout=5)
+        # ...so this one is genuinely still queued when we cancel it.
+        queued = manager.submit("collect", {"deployment": "d-001"})
+        cancelled = manager.cancel(queued.id)
+        assert cancelled.state == "cancelled"
+        gate.set()
+        manager.wait(blocker.id, timeout=10)
+        # The worker must skip the cancelled job, not run it.
+        time.sleep(0.05)
+        assert manager.get(queued.id).state == "cancelled"
+        manager.close()
+
+    def test_cancel_while_running_is_cooperative(self, tmp_path):
+        gate = threading.Event()
+        started = threading.Event()
+        session = FakeSession(gate=gate,
+                              on_start=lambda dep: started.set())
+        manager = make_manager(tmp_path, session=session, workers=1)
+        record = manager.submit("collect", {"deployment": "d-000"})
+        assert started.wait(timeout=5)
+        manager.cancel(record.id)  # sets the flag; sweep notices via progress
+        final = manager.wait(record.id, timeout=10)
+        assert final.state == "cancelled"
+        gate.set()
+        manager.close()
+
+    def test_cancel_finished_job_raises(self, tmp_path):
+        manager = make_manager(tmp_path)
+        record = manager.submit("collect", {"deployment": "d-000"})
+        manager.wait(record.id, timeout=10)
+        with pytest.raises(JobStateError):
+            manager.cancel(record.id)
+        manager.close()
+
+    def test_cancel_unknown_job_raises(self, tmp_path):
+        manager = make_manager(tmp_path)
+        with pytest.raises(JobNotFound):
+            manager.cancel("job-nope")
+        manager.close()
+
+
+class TestConcurrency:
+    def test_same_deployment_jobs_serialize(self, tmp_path):
+        """Two jobs on one deployment must never overlap (task-DB race)."""
+        active = {"count": 0, "max": 0}
+        lock = threading.Lock()
+
+        class TrackedSession(FakeSession):
+            def collect(self, request, progress=None):
+                with lock:
+                    active["count"] += 1
+                    active["max"] = max(active["max"], active["count"])
+                time.sleep(0.05)
+                with lock:
+                    active["count"] -= 1
+                return CollectResult(deployment=request.deployment)
+
+        manager = JobManager(
+            jobs_dir=str(tmp_path / "jobs"),
+            session_factory=TrackedSession,
+            workers=4,
+        )
+        records = [
+            manager.submit("collect", {"deployment": "d-000"})
+            for _ in range(3)
+        ]
+        for record in records:
+            assert manager.wait(record.id, timeout=10).state == "done"
+        assert active["max"] == 1
+        manager.close()
+
+    def test_different_deployments_run_concurrently(self, tmp_path):
+        """With enough workers, distinct deployments overlap in time."""
+        overlap = {"count": 0, "max": 0}
+        lock = threading.Lock()
+
+        class TrackedSession(FakeSession):
+            def collect(self, request, progress=None):
+                with lock:
+                    overlap["count"] += 1
+                    overlap["max"] = max(overlap["max"], overlap["count"])
+                time.sleep(0.1)
+                with lock:
+                    overlap["count"] -= 1
+                return CollectResult(deployment=request.deployment)
+
+        manager = JobManager(
+            jobs_dir=str(tmp_path / "jobs"),
+            session_factory=TrackedSession,
+            workers=4,
+        )
+        records = [
+            manager.submit("collect", {"deployment": f"d-{i:03d}"})
+            for i in range(4)
+        ]
+        for record in records:
+            assert manager.wait(record.id, timeout=10).state == "done"
+        assert overlap["max"] > 1
+        manager.close()
+
+    def test_counts_by_state(self, tmp_path):
+        manager = make_manager(tmp_path)
+        record = manager.submit("collect", {"deployment": "d-000"})
+        manager.wait(record.id, timeout=10)
+        counts = manager.counts()
+        assert counts["done"] == 1
+        assert counts["queued"] == 0
+        manager.close()
+
+    def test_workers_validated(self, tmp_path):
+        with pytest.raises(ConfigError):
+            JobManager(jobs_dir=str(tmp_path / "jobs"),
+                       session_factory=FakeSession, workers=0)
+
+    def test_wait_times_out(self, tmp_path):
+        gate = threading.Event()
+        manager = make_manager(tmp_path, session=FakeSession(gate=gate),
+                               workers=1)
+        record = manager.submit("collect", {"deployment": "d-000"})
+        with pytest.raises(JobStateError):
+            manager.wait(record.id, timeout=0.2)
+        gate.set()
+        manager.wait(record.id, timeout=10)
+        manager.close()
+
+
+class TestRealPipeline:
+    """One lifecycle against the genuine AdvisorSession, no fakes."""
+
+    def test_collect_job_over_real_state_dir(self, tmp_path):
+        from repro.api import AdvisorSession
+        from tests.conftest import make_config
+
+        state_dir = str(tmp_path / "state")
+        control = AdvisorSession(state_dir=state_dir)
+        info = control.deploy(make_config(rgprefix="jobrg"))
+        manager = JobManager(
+            jobs_dir=os.path.join(state_dir, "jobs"),
+            session_factory=lambda: AdvisorSession(state_dir=state_dir),
+            workers=2,
+        )
+        record = manager.submit("collect", {"deployment": info.name})
+        final = manager.wait(record.id, timeout=30)
+        assert final.state == "done", final.error
+        assert final.result["completed"] == 2
+        assert final.progress["total"] == 2
+        # The control-plane session sees the collected data (file-signature
+        # cache invalidation) and can advise on it.
+        advice = control.advise(deployment=info.name)
+        assert len(advice.rows) >= 1
+        manager.close()
+
+
+class TestParkedJobs:
+    def test_cancelled_parked_job_does_not_strand_later_waiters(self,
+                                                                tmp_path):
+        """Regression: with J1 running and J2, J3 parked behind the same
+        deployment's lock, cancelling J2 must not eat the wake-up that
+        J3 needs when J1 releases the lock."""
+        gate = threading.Event()
+        started = threading.Event()
+        session = FakeSession(gate=gate,
+                              on_start=lambda dep: started.set())
+        manager = make_manager(tmp_path, session=session, workers=2)
+        j1 = manager.submit("collect", {"deployment": "d-000"})
+        assert started.wait(timeout=5)
+        j2 = manager.submit("collect", {"deployment": "d-000"})
+        j3 = manager.submit("collect", {"deployment": "d-000"})
+        # Wait until both followers are parked behind d-000's lock.
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            with manager._lock:
+                if len(manager._parked.get("d-000", ())) == 2:
+                    break
+            time.sleep(0.01)
+        else:
+            raise AssertionError("followers never parked")
+        manager.cancel(j2.id)
+        gate.set()
+        assert manager.wait(j1.id, timeout=10).state == "done"
+        assert manager.wait(j3.id, timeout=10).state == "done"
+        assert manager.get(j2.id).state == "cancelled"
+        manager.close()
+
+
+class TestRetention:
+    def test_oldest_finished_jobs_are_pruned(self, tmp_path):
+        manager = make_manager(tmp_path, retention=2)
+        ids = []
+        for i in range(4):
+            record = manager.submit("collect", {"deployment": f"d-{i:03d}"})
+            manager.wait(record.id, timeout=10)
+            ids.append(record.id)
+        manager.submit("collect", {"deployment": "d-next"})  # triggers prune
+        listed = {r.id for r in manager.list()}
+        # The two oldest finished jobs are gone, memory and disk.
+        assert ids[0] not in listed and ids[1] not in listed
+        assert ids[2] in listed and ids[3] in listed
+        remaining = {p.name for p in (tmp_path / "jobs").glob("job-*.json")}
+        assert f"{ids[0]}.json" not in remaining
+        with pytest.raises(JobNotFound):
+            manager.get(ids[0])
+        manager.close()
+
+    def test_retention_never_evicts_unfinished_jobs(self, tmp_path):
+        gate = threading.Event()
+        manager = make_manager(tmp_path, session=FakeSession(gate=gate),
+                               workers=1, retention=1)
+        running = manager.submit("collect", {"deployment": "d-000"})
+        queued = manager.submit("collect", {"deployment": "d-001"})
+        assert {r.id for r in manager.list()} >= {running.id, queued.id}
+        gate.set()
+        manager.wait(running.id, timeout=10)
+        manager.wait(queued.id, timeout=10)
+        manager.close()
+
+    def test_retention_validated(self, tmp_path):
+        with pytest.raises(ConfigError):
+            make_manager(tmp_path, retention=0)
+
+    def test_resumed_job_progress_is_not_stuck_below_total(self, tmp_path):
+        """A resumed sweep has no pending work: its progress must not
+        report 0/N forever (N = all scenarios ever)."""
+        from repro.api import AdvisorSession
+        from tests.conftest import make_config
+
+        state_dir = str(tmp_path / "state")
+        control = AdvisorSession(state_dir=state_dir)
+        info = control.deploy(make_config(rgprefix="resumerg"))
+        manager = JobManager(
+            jobs_dir=os.path.join(state_dir, "jobs"),
+            session_factory=lambda: AdvisorSession(state_dir=state_dir),
+            workers=1,
+        )
+        first = manager.submit("collect", {"deployment": info.name})
+        assert manager.wait(first.id, timeout=30).progress["total"] == 2
+        second = manager.submit("collect", {"deployment": info.name})
+        final = manager.wait(second.id, timeout=30)
+        assert final.state == "done"
+        assert final.result["executed"] == 0
+        assert final.progress == {}  # nothing pending -> no counters
+        manager.close()
