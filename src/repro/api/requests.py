@@ -15,7 +15,14 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.api.serde import DictMixin
+from repro.core.collector import CAPACITY_TIERS, RECOVERY_POLICIES
 from repro.errors import ConfigError
+
+#: Recovery policies with an expected-value model (``fail`` has none,
+#: so the advise what-if refuses it while collect accepts it).
+MODELED_RECOVERY_POLICIES = tuple(
+    policy for policy in RECOVERY_POLICIES if policy != "fail"
+)
 
 
 @dataclass(frozen=True)
@@ -42,6 +49,23 @@ class CollectRequest(DictMixin):
     #: Algorithm 1 exactly; higher values overlap pools and cut the sweep
     #: makespan without changing the collected measurements.
     max_parallel_pools: int = 1
+    #: Capacity tier: ``ondemand`` (the paper's billing) or ``spot``
+    #: (discounted, interruptible — evictions are simulated and the
+    #: recovery policy below decides what happens to interrupted tasks).
+    capacity: str = "ondemand"
+    #: Spot recovery policy: ``restart``, ``checkpoint_restart``, or
+    #: ``fail`` (ignored on on-demand sweeps).
+    recovery: str = "restart"
+    #: Work seconds between checkpoints (``checkpoint_restart`` only).
+    checkpoint_interval_s: float = 600.0
+    #: Restore overhead paid on each resume from a checkpoint.
+    checkpoint_overhead_s: float = 60.0
+    #: Flat eviction rate override in interruptions per node-hour;
+    #: ``None`` uses the per-SKU/region curve of the eviction model.
+    eviction_rate: Optional[float] = None
+    #: Seed for the interruption draws — same seed, same evictions,
+    #: at any pool parallelism.
+    eviction_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.noise is not None and self.noise < 0:
@@ -53,6 +77,30 @@ class CollectRequest(DictMixin):
         if self.max_parallel_pools < 1:
             raise ConfigError(
                 f"max_parallel_pools must be >= 1, got {self.max_parallel_pools}"
+            )
+        if self.capacity not in CAPACITY_TIERS:
+            raise ConfigError(
+                f"capacity must be one of {CAPACITY_TIERS}, "
+                f"got {self.capacity!r}"
+            )
+        if self.recovery not in RECOVERY_POLICIES:
+            raise ConfigError(
+                f"recovery must be one of {RECOVERY_POLICIES}, "
+                f"got {self.recovery!r}"
+            )
+        if self.checkpoint_interval_s <= 0:
+            raise ConfigError(
+                f"checkpoint_interval_s must be > 0, "
+                f"got {self.checkpoint_interval_s}"
+            )
+        if self.checkpoint_overhead_s < 0:
+            raise ConfigError(
+                f"checkpoint_overhead_s must be >= 0, "
+                f"got {self.checkpoint_overhead_s}"
+            )
+        if self.eviction_rate is not None and self.eviction_rate < 0:
+            raise ConfigError(
+                f"eviction_rate must be >= 0, got {self.eviction_rate}"
             )
 
     @property
@@ -75,11 +123,52 @@ class AdviseRequest(DictMixin):
     sku: Optional[str] = None
     sort_by: str = "time"
     max_rows: Optional[int] = None
+    #: What-if capacity tier for the advice: ``""`` (default) advises on
+    #: the data exactly as measured; ``"ondemand"`` strips spot dynamics
+    #: and reprices at the on-demand rate; ``"spot"`` risk-adjusts every
+    #: configuration under the eviction model and recovery policy below,
+    #: so the table answers "on-demand vs spot with checkpointing" with
+    #: expected cost, expected makespan, and P95 makespan.
+    capacity: str = ""
+    #: Recovery policy assumed by the spot what-if (``restart`` or
+    #: ``checkpoint_restart``; ``fail`` has no expected-value model).
+    recovery: str = "checkpoint_restart"
+    #: Work seconds between checkpoints for the spot what-if.
+    checkpoint_interval_s: float = 600.0
+    #: Restore overhead per resume for the spot what-if.
+    checkpoint_overhead_s: float = 60.0
+    #: Flat eviction-rate override (per node-hour); ``None`` uses the
+    #: per-SKU/region curve.
+    eviction_rate: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.sort_by not in ("time", "cost"):
             raise ConfigError(
                 f"sort_by must be 'time' or 'cost', got {self.sort_by!r}"
+            )
+        if self.capacity not in ("",) + CAPACITY_TIERS:
+            raise ConfigError(
+                f"capacity must be '' or one of {CAPACITY_TIERS}, "
+                f"got {self.capacity!r}"
+            )
+        if self.recovery not in MODELED_RECOVERY_POLICIES:
+            raise ConfigError(
+                f"recovery must be one of {MODELED_RECOVERY_POLICIES}, "
+                f"got {self.recovery!r}"
+            )
+        if self.checkpoint_interval_s <= 0:
+            raise ConfigError(
+                f"checkpoint_interval_s must be > 0, "
+                f"got {self.checkpoint_interval_s}"
+            )
+        if self.checkpoint_overhead_s < 0:
+            raise ConfigError(
+                f"checkpoint_overhead_s must be >= 0, "
+                f"got {self.checkpoint_overhead_s}"
+            )
+        if self.eviction_rate is not None and self.eviction_rate < 0:
+            raise ConfigError(
+                f"eviction_rate must be >= 0, got {self.eviction_rate}"
             )
 
 

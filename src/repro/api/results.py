@@ -77,6 +77,14 @@ class CollectResult(DictMixin):
     #: drops well below the sequential duration.
     makespan_s: float = 0.0
     max_parallel_pools: int = 1
+    #: Capacity tier the sweep ran on (``ondemand`` or ``spot``).
+    capacity: str = "ondemand"
+    #: Spot recovery policy in force (empty for on-demand sweeps).
+    recovery: str = ""
+    #: Spot interruptions absorbed across all scenarios.
+    preemptions: int = 0
+    #: Billed node-seconds that produced no surviving work.
+    wasted_node_s: float = 0.0
     failures: Tuple[str, ...] = ()
     dataset_points: int = 0
     dataset_path: str = ""
@@ -104,6 +112,9 @@ class AdviceResult(DictMixin):
     sort_by: str = "time"
     rows: Tuple[AdviceRow, ...] = ()
     dataset_points: int = 0
+    #: What-if capacity tier the advice was computed under ("" = as
+    #: measured; see :class:`~repro.api.requests.AdviseRequest`).
+    capacity: str = ""
 
     _decoders = {"rows": _decode_rows}
 

@@ -320,7 +320,8 @@ class AdvisorSession:
         return name in sigs
 
     def backend(self, name: str, backend: str = "azurebatch",
-                noise: Optional[float] = None, seed: Optional[int] = None):
+                noise: Optional[float] = None, seed: Optional[int] = None,
+                capacity: Optional[str] = None):
         """The (cached) execution backend bound to a deployment.
 
         One backend per (deployment, backend kind): repeated ``collect``
@@ -328,7 +329,9 @@ class AdvisorSession:
         calls (``session.backend(name, "slurm").cluster``) see the same
         instance that ran the sweep regardless of its noise settings.
         Passing ``noise``/``seed`` re-binds the noise model on the
-        existing backend; omitting them leaves it untouched.
+        existing backend; omitting them leaves it untouched.  Passing
+        ``capacity`` switches the tier new pools are created on (spot
+        pools live under separate ids, so both tiers coexist).
         """
         key = (name, backend.lower())  # registry lookups are case-insensitive
         instance = self._backends.get(key)
@@ -348,6 +351,8 @@ class AdvisorSession:
                 sigma=current.sigma if noise is None else noise,
                 seed=current.seed if seed is None else seed,
             )
+        if capacity is not None and hasattr(instance, "capacity"):
+            instance.capacity = capacity
         return instance
 
     # -- collect ----------------------------------------------------------------
@@ -373,7 +378,20 @@ class AdvisorSession:
         scenarios = _generate_scenarios(config)
 
         exec_backend = self.backend(name, req.backend,
-                                    noise=req.noise, seed=req.seed)
+                                    noise=req.noise, seed=req.seed,
+                                    capacity=req.capacity)
+        eviction = None
+        if req.capacity == "spot":
+            from repro.cloud.eviction import EvictionModel
+
+            if req.eviction_rate is not None:
+                eviction = EvictionModel.flat(
+                    req.eviction_rate, seed=req.eviction_seed,
+                    region=config.region,
+                )
+            else:
+                eviction = EvictionModel(region=config.region,
+                                         seed=req.eviction_seed)
         # The cached backend accumulates over the deployment's lifetime;
         # snapshot its counters so this result reports per-sweep numbers.
         infra_before = exec_backend.total_infrastructure_cost_usd
@@ -407,6 +425,11 @@ class AdvisorSession:
                 sampler=sampler,
                 retry_failed=req.retry_failed,
                 max_parallel_pools=req.max_parallel_pools,
+                capacity=req.capacity,
+                recovery=req.recovery,
+                checkpoint_interval_s=req.checkpoint_interval_s,
+                checkpoint_overhead_s=req.checkpoint_overhead_s,
+                eviction=eviction,
                 on_progress=progress,
             )
             report = collector.collect(scenarios)
@@ -433,6 +456,10 @@ class AdvisorSession:
             simulated_wall_s=report.simulated_wall_s,
             makespan_s=report.makespan_s,
             max_parallel_pools=report.max_parallel_pools,
+            capacity=report.capacity,
+            recovery=report.recovery,
+            preemptions=report.preemptions,
+            wasted_node_s=report.wasted_node_s,
             failures=tuple(report.failures),
             dataset_points=len(dataset),
             dataset_path=dataset.path or "",
@@ -468,7 +495,14 @@ class AdvisorSession:
 
     def advise(self, request: Optional[AdviseRequest] = None,
                /, **kwargs) -> AdviceResult:
-        """The Pareto-front advice table for a deployment's dataset."""
+        """The Pareto-front advice table for a deployment's dataset.
+
+        With ``capacity`` set on the request, the table is a what-if on
+        that tier: ``"spot"`` risk-adjusts every configuration under the
+        eviction model (expected cost, expected and P95 makespan — the
+        front gains the tail-risk objective), ``"ondemand"`` strips spot
+        dynamics from spot-collected data.
+        """
         req = _coerce_request(AdviseRequest, request, kwargs)
         name = _require_deployment(req.deployment)
         dataset = self.dataset(name).filter(
@@ -476,9 +510,32 @@ class AdvisorSession:
             nnodes=list(req.nnodes) or None,
             sku=req.sku,
         )
+        objective = "measured"
+        if req.capacity:
+            from repro.cloud.eviction import EvictionModel
+            from repro.core.cost import capacity_view
+
+            region = self._region_of(name) or None
+            if req.eviction_rate is not None:
+                eviction = EvictionModel.flat(req.eviction_rate,
+                                              region=region)
+            else:
+                eviction = EvictionModel(region=region)
+            dataset = capacity_view(
+                dataset,
+                self.deployment(name).provider.prices,
+                req.capacity,
+                eviction=eviction,
+                region=region,
+                recovery=req.recovery,
+                checkpoint_interval_s=req.checkpoint_interval_s,
+                checkpoint_overhead_s=req.checkpoint_overhead_s,
+            )
+            objective = "effective"
         advisor = Advisor(dataset)
         rows = advisor.advise(
-            appname=req.appname, sort_by=req.sort_by, max_rows=req.max_rows
+            appname=req.appname, sort_by=req.sort_by, max_rows=req.max_rows,
+            objective=objective,
         )
         appname = req.appname or (dataset.points()[0].appname
                                   if len(dataset) else "")
@@ -488,6 +545,7 @@ class AdvisorSession:
             sort_by=req.sort_by,
             rows=tuple(rows),
             dataset_points=len(dataset),
+            capacity=req.capacity,
         )
 
     # -- plot -------------------------------------------------------------------

@@ -12,7 +12,8 @@ from typing import Dict, Optional
 
 from repro.appkit.metricvars import extract_vars
 from repro.appkit.script import AppScript
-from repro.backends.base import AsyncOp, ExecutionBackend, ScenarioRunResult
+from repro.backends.base import (AsyncOp, ExecutionBackend,
+                                 ScenarioRunResult, resumed_wall_s)
 from repro.backends.common import execute_run, execute_setup
 from repro.batch.service import BatchService
 from repro.batch.task import BatchTask, TaskContext, TaskKind, TaskOutput
@@ -24,8 +25,9 @@ if False:  # pragma: no cover - typing only
     from repro.perf.noise import NoiseModel
 
 
-def pool_id_for(sku_name: str) -> str:
-    return "pool-" + sku_name.lower().replace("standard_", "")
+def pool_id_for(sku_name: str, capacity: str = "ondemand") -> str:
+    prefix = "pool-spot-" if capacity == "spot" else "pool-"
+    return prefix + sku_name.lower().replace("standard_", "")
 
 
 @dataclass
@@ -35,6 +37,11 @@ class AzureBatchBackend(ExecutionBackend):
     service: BatchService
     noise: Optional["NoiseModel"] = None
     job_id: str = "hpcadvisor-job"
+    #: Capacity tier for pools created from here on: ``ondemand`` (the
+    #: paper's billing) or ``spot`` (discounted, interruptible).  Spot
+    #: pools live under distinct ids, so both tiers can coexist on one
+    #: deployment and each bills at its own rate.
+    capacity: str = "ondemand"
     _task_counter: int = 0
     _provisioning_s: float = 0.0
     _setup_done: Dict[str, bool] = field(default_factory=dict)
@@ -54,8 +61,15 @@ class AzureBatchBackend(ExecutionBackend):
         return True
 
     @property
+    def supports_preemption(self) -> bool:
+        return True
+
+    @property
     def clock(self) -> SimClock:
         return self.service.clock
+
+    def _pool_id(self, sku_name: str) -> str:
+        return pool_id_for(sku_name, self.capacity)
 
     # -- capacity ----------------------------------------------------------------
 
@@ -66,11 +80,15 @@ class AzureBatchBackend(ExecutionBackend):
         op.finish()
 
     def submit_provision(self, sku_name: str, nodes: int) -> AsyncOp:
-        pool_id = pool_id_for(sku_name)
+        pool_id = self._pool_id(sku_name)
         if pool_id not in self.service.pools or (
             self.service.pools[pool_id].state.value == "deleted"
         ):
-            self.service.create_pool(pool_id, sku_name, target_nodes=0)
+            # Boot jitter is keyed tier-independently so an on-demand and
+            # a spot sweep of the same deployment see identical boots.
+            self.service.create_pool(pool_id, sku_name, target_nodes=0,
+                                     spot=self.capacity == "spot",
+                                     boot_key=pool_id_for(sku_name))
             self._setup_done[pool_id] = False
             job_id = self._job_for(pool_id)
             if job_id not in self.service.jobs:
@@ -86,7 +104,7 @@ class AzureBatchBackend(ExecutionBackend):
         return AsyncOp(ready_at, pool.finish_resize)
 
     def release_capacity(self, sku_name: str, delete: bool) -> None:
-        pool_id = pool_id_for(sku_name)
+        pool_id = self._pool_id(sku_name)
         if pool_id not in self.service.pools:
             return
         pool = self.service.pools[pool_id]
@@ -106,7 +124,7 @@ class AzureBatchBackend(ExecutionBackend):
     # -- execution -----------------------------------------------------------------
 
     def needs_setup(self, sku_name: str) -> bool:
-        return not self._setup_done.get(pool_id_for(sku_name), False)
+        return not self._setup_done.get(self._pool_id(sku_name), False)
 
     def run_setup(self, sku_name: str, script: AppScript) -> bool:
         if not self.needs_setup(sku_name):
@@ -118,7 +136,7 @@ class AzureBatchBackend(ExecutionBackend):
         return bool(op.finish())
 
     def submit_setup(self, sku_name: str, script: AppScript) -> AsyncOp:
-        pool_id = pool_id_for(sku_name)
+        pool_id = self._pool_id(sku_name)
         if self._setup_done.get(pool_id):
             return AsyncOp(self.service.clock.now, lambda: True)
         task = self._start(
@@ -145,13 +163,19 @@ class AzureBatchBackend(ExecutionBackend):
         assert isinstance(result, ScenarioRunResult)
         return result
 
-    def submit_scenario(self, scenario: Scenario, script: AppScript) -> AsyncOp:
-        pool_id = pool_id_for(scenario.sku_name)
+    def submit_scenario(self, scenario: Scenario, script: AppScript,
+                        resume_from_s: float = 0.0,
+                        restart_overhead_s: float = 0.0) -> AsyncOp:
+        pool_id = self._pool_id(scenario.sku_name)
         task = self._start(
             pool_id,
             kind=TaskKind.COMPUTE,
             required_nodes=scenario.nnodes,
-            executor=lambda ctx: self._run_executor(ctx, scenario, script),
+            executor=lambda ctx: self._run_executor(
+                ctx, scenario, script,
+                resume_from_s=resume_from_s,
+                restart_overhead_s=restart_overhead_s,
+            ),
         )
 
         def finalize() -> ScenarioRunResult:
@@ -174,9 +198,27 @@ class AzureBatchBackend(ExecutionBackend):
                 failure_reason=failure,
                 started_at=task.started_at or 0.0,
                 finished_at=task.finished_at or 0.0,
+                capacity=self.capacity,
             )
 
-        return AsyncOp(self._finish_eta(task), finalize)
+        def interrupt() -> ScenarioRunResult:
+            accounting = self.service.interrupt_task(
+                self._job_for(pool_id), task.task_id
+            )
+            return ScenarioRunResult(
+                succeeded=False,
+                exec_time_s=accounting.wall_time_s,
+                cost_usd=accounting.cost_usd,
+                stdout="",
+                failure_reason="spot capacity reclaimed",
+                started_at=task.started_at or 0.0,
+                finished_at=task.finished_at or 0.0,
+                capacity=self.capacity,
+                preempted=True,
+                preemptions=1,
+            )
+
+        return AsyncOp(self._finish_eta(task), finalize, interrupt)
 
     # -- internals ---------------------------------------------------------------------
 
@@ -214,7 +256,8 @@ class AzureBatchBackend(ExecutionBackend):
         )
 
     def _run_executor(self, ctx: TaskContext, scenario: Scenario,
-                      script: AppScript) -> TaskOutput:
+                      script: AppScript, resume_from_s: float = 0.0,
+                      restart_overhead_s: float = 0.0) -> TaskOutput:
         execution = execute_run(
             script, scenario, ctx.hosts, ctx.filesystem, ctx.workdir,
             noise=self.noise,
@@ -222,7 +265,8 @@ class AzureBatchBackend(ExecutionBackend):
         return TaskOutput(
             exit_code=execution.exit_code,
             stdout=execution.stdout,
-            wall_time_s=execution.wall_time_s,
+            wall_time_s=resumed_wall_s(execution.wall_time_s,
+                                       resume_from_s, restart_overhead_s),
             metrics=execution.infra_metrics,
         )
 

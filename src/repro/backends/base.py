@@ -19,7 +19,12 @@ from repro.core.scenarios import Scenario
 
 @dataclass(frozen=True)
 class ScenarioRunResult:
-    """Outcome of one scenario execution on a back-end."""
+    """Outcome of one scenario execution on a back-end.
+
+    ``preempted`` marks an attempt cut short by a spot reclaim; the
+    preemption counters on a *final* result are accumulated across every
+    attempt of the scenario by the collector's spot recovery loop.
+    """
 
     succeeded: bool
     exec_time_s: float
@@ -30,6 +35,15 @@ class ScenarioRunResult:
     failure_reason: Optional[str] = None
     started_at: float = 0.0
     finished_at: float = 0.0
+    #: Capacity tier the attempt ran on (``ondemand`` or ``spot``).
+    capacity: str = "ondemand"
+    #: True when this outcome is a spot interruption (not an app failure).
+    preempted: bool = False
+    #: Spot interruptions absorbed before this result was produced.
+    preemptions: int = 0
+    #: Billed node-seconds that produced no surviving work (lost progress,
+    #: restore overhead) across all attempts.
+    wasted_node_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -41,13 +55,43 @@ class AsyncOp:
     :class:`~repro.clock.EventQueue`), call :meth:`finish` to finalize the
     operation and obtain its result — ``None`` for provisioning,
     ``bool`` for setup, :class:`ScenarioRunResult` for scenario runs.
+
+    Scenario ops on spot capacity also carry an ``_interrupt`` hook: call
+    :meth:`interrupt` with the clock sitting at the eviction instant
+    (strictly before ``ready_at``) to cut the attempt short; it returns a
+    ``preempted`` :class:`ScenarioRunResult` billed up to that instant.
+    An interrupted op must not be finished.
     """
 
     ready_at: float
     _finalize: Callable[[], object]
+    _interrupt: Optional[Callable[[], object]] = None
 
     def finish(self) -> object:
         return self._finalize()
+
+    @property
+    def interruptible(self) -> bool:
+        return self._interrupt is not None
+
+    def interrupt(self) -> object:
+        if self._interrupt is None:
+            raise NotImplementedError("this operation cannot be interrupted")
+        return self._interrupt()
+
+
+def resumed_wall_s(full_wall_s: float, resume_from_s: float,
+                   restart_overhead_s: float) -> float:
+    """Attempt wall time of a (possibly resumed) scenario execution.
+
+    The application always runs in full in the simulation; a resumed
+    attempt only spends the remaining work plus the restore overhead.
+    Shared by every preemption-capable back-end so the two substrates'
+    spot billing can never drift apart.
+    """
+    if not resume_from_s and not restart_overhead_s:
+        return full_wall_s
+    return max(0.0, full_wall_s - resume_from_s) + restart_overhead_s
 
 
 class ExecutionBackend(abc.ABC):
@@ -74,6 +118,19 @@ class ExecutionBackend(abc.ABC):
     @abc.abstractmethod
     def run_scenario(self, scenario: Scenario, script: AppScript) -> ScenarioRunResult:
         """Execute one scenario and return its measurement."""
+
+    # -- spot capacity (preemption-aware back-ends) -------------------------------
+    #
+    # Back-ends that can run on interruptible capacity set ``capacity``
+    # to ``"spot"``, report ``supports_preemption``, honour the
+    # resume/overhead parameters of :meth:`submit_scenario`, and attach
+    # an interrupt hook to scenario ops.  The defaults keep third-party
+    # back-ends valid: the collector refuses spot sweeps on them.
+
+    @property
+    def supports_preemption(self) -> bool:
+        """True when scenario ops can be interrupted mid-run (spot)."""
+        return False
 
     @abc.abstractmethod
     def release_capacity(self, sku_name: str, delete: bool) -> None:
@@ -126,10 +183,19 @@ class ExecutionBackend(abc.ABC):
         """
         raise NotImplementedError(f"{self.name} backend is blocking-only")
 
-    def submit_scenario(self, scenario: Scenario, script: AppScript) -> AsyncOp:
+    def submit_scenario(self, scenario: Scenario, script: AppScript,
+                        resume_from_s: float = 0.0,
+                        restart_overhead_s: float = 0.0) -> AsyncOp:
         """Start one scenario; ``finish()`` returns ScenarioRunResult.
 
         The caller must have provisioned ``scenario.nnodes`` nodes first.
+
+        ``resume_from_s`` and ``restart_overhead_s`` implement
+        checkpoint/restart on spot capacity: the attempt's wall time is the
+        application's full runtime minus the checkpointed progress, plus
+        the restore overhead.  Back-ends without preemption support may
+        ignore them (the collector only passes non-zero values after an
+        interruption, which requires ``supports_preemption``).
         """
         raise NotImplementedError(f"{self.name} backend is blocking-only")
 

@@ -6,7 +6,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.appkit.script import AppScript
-from repro.backends.base import AsyncOp, ExecutionBackend, ScenarioRunResult
+from repro.backends.base import (AsyncOp, ExecutionBackend,
+                                 ScenarioRunResult, resumed_wall_s)
 from repro.backends.common import execute_run, execute_setup
 from repro.clock import SimClock
 from repro.core.scenarios import Scenario
@@ -17,8 +18,9 @@ if False:  # pragma: no cover - typing only
     from repro.perf.noise import NoiseModel
 
 
-def partition_for(sku_name: str) -> str:
-    return "part-" + sku_name.lower().replace("standard_", "")
+def partition_for(sku_name: str, capacity: str = "ondemand") -> str:
+    prefix = "part-spot-" if capacity == "spot" else "part-"
+    return prefix + sku_name.lower().replace("standard_", "")
 
 
 @dataclass
@@ -27,6 +29,10 @@ class SlurmBackend(ExecutionBackend):
 
     cluster: SlurmCluster
     noise: Optional["NoiseModel"] = None
+    #: Capacity tier for partitions created from here on (``ondemand``
+    #: or ``spot``); spot partitions burst onto discounted, interruptible
+    #: nodes under distinct partition names.
+    capacity: str = "ondemand"
     _provisioning_s: float = 0.0
     _setup_done: Dict[str, bool] = field(default_factory=dict)
 
@@ -39,8 +45,15 @@ class SlurmBackend(ExecutionBackend):
         return True
 
     @property
+    def supports_preemption(self) -> bool:
+        return True
+
+    @property
     def clock(self) -> SimClock:
         return self.cluster.clock
+
+    def _partition(self, sku_name: str) -> str:
+        return partition_for(sku_name, self.capacity)
 
     def ensure_capacity(self, sku_name: str, nodes: int) -> None:
         op = self.submit_provision(sku_name, nodes)
@@ -49,9 +62,10 @@ class SlurmBackend(ExecutionBackend):
         op.finish()
 
     def submit_provision(self, sku_name: str, nodes: int) -> AsyncOp:
-        part_name = partition_for(sku_name)
+        part_name = self._partition(sku_name)
         if part_name not in self.cluster.partitions:
-            self.cluster.create_partition(part_name, sku_name)
+            self.cluster.create_partition(part_name, sku_name,
+                                          spot=self.capacity == "spot")
             self._setup_done[part_name] = False
         partition = self.cluster.get_partition(part_name)
         ready_at = partition.begin_power_up(nodes)
@@ -59,7 +73,7 @@ class SlurmBackend(ExecutionBackend):
         return AsyncOp(ready_at, lambda: None)
 
     def release_capacity(self, sku_name: str, delete: bool) -> None:
-        part_name = partition_for(sku_name)
+        part_name = self._partition(sku_name)
         if part_name in self.cluster.partitions:
             self.cluster.get_partition(part_name).power_down(0)
             # Slurm partitions are configuration, not billed resources;
@@ -69,7 +83,7 @@ class SlurmBackend(ExecutionBackend):
         self.cluster.teardown()
 
     def needs_setup(self, sku_name: str) -> bool:
-        return not self._setup_done.get(partition_for(sku_name), False)
+        return not self._setup_done.get(self._partition(sku_name), False)
 
     def run_setup(self, sku_name: str, script: AppScript) -> bool:
         if not self.needs_setup(sku_name):
@@ -81,7 +95,7 @@ class SlurmBackend(ExecutionBackend):
         return bool(op.finish())
 
     def submit_setup(self, sku_name: str, script: AppScript) -> AsyncOp:
-        part_name = partition_for(sku_name)
+        part_name = self._partition(sku_name)
         if self._setup_done.get(part_name):
             return AsyncOp(self.cluster.clock.now, lambda: True)
 
@@ -117,8 +131,10 @@ class SlurmBackend(ExecutionBackend):
         assert isinstance(result, ScenarioRunResult)
         return result
 
-    def submit_scenario(self, scenario: Scenario, script: AppScript) -> AsyncOp:
-        part_name = partition_for(scenario.sku_name)
+    def submit_scenario(self, scenario: Scenario, script: AppScript,
+                        resume_from_s: float = 0.0,
+                        restart_overhead_s: float = 0.0) -> AsyncOp:
+        part_name = self._partition(scenario.sku_name)
         captured: Dict[str, object] = {}
 
         def runner(hosts, filesystem, workdir):
@@ -128,7 +144,9 @@ class SlurmBackend(ExecutionBackend):
             return JobCompletion(
                 exit_code=execution.exit_code,
                 stdout=execution.stdout,
-                wall_time_s=execution.wall_time_s,
+                wall_time_s=resumed_wall_s(execution.wall_time_s,
+                                           resume_from_s,
+                                           restart_overhead_s),
             )
 
         job = self.cluster.start_job(
@@ -137,6 +155,7 @@ class SlurmBackend(ExecutionBackend):
             nodes=scenario.nnodes,
             runner=runner,
         )
+        completion = self.cluster.pending_completion(job.job_id)
 
         def finalize() -> ScenarioRunResult:
             self.cluster.complete_job(job.job_id)
@@ -144,7 +163,7 @@ class SlurmBackend(ExecutionBackend):
             if execution is None:
                 raise BackendError(f"job {job.job_id} did not execute")
             price = self.cluster.get_partition(part_name).hourly_price
-            cost = scenario.nnodes * price * execution.wall_time_s / 3600.0
+            cost = scenario.nnodes * price * completion.wall_time_s / 3600.0
             failure = None
             if execution.exit_code != 0:
                 for line in execution.stdout.splitlines():
@@ -155,7 +174,7 @@ class SlurmBackend(ExecutionBackend):
                     failure = "job exited non-zero"
             return ScenarioRunResult(
                 succeeded=execution.exit_code == 0,
-                exec_time_s=execution.wall_time_s,
+                exec_time_s=completion.wall_time_s,
                 cost_usd=cost,
                 stdout=execution.stdout,
                 app_vars=dict(execution.app_vars),
@@ -163,11 +182,30 @@ class SlurmBackend(ExecutionBackend):
                 failure_reason=failure,
                 started_at=job.start_time or 0.0,
                 finished_at=job.end_time or 0.0,
+                capacity=self.capacity,
+            )
+
+        def interrupt() -> ScenarioRunResult:
+            self.cluster.interrupt_job(job.job_id)
+            assert job.start_time is not None and job.end_time is not None
+            elapsed = job.end_time - job.start_time
+            price = self.cluster.get_partition(part_name).hourly_price
+            return ScenarioRunResult(
+                succeeded=False,
+                exec_time_s=elapsed,
+                cost_usd=scenario.nnodes * price * elapsed / 3600.0,
+                stdout="",
+                failure_reason="spot capacity reclaimed",
+                started_at=job.start_time,
+                finished_at=job.end_time,
+                capacity=self.capacity,
+                preempted=True,
+                preemptions=1,
             )
 
         assert job.start_time is not None
-        completion = self.cluster.pending_completion(job.job_id)
-        return AsyncOp(job.start_time + completion.wall_time_s, finalize)
+        return AsyncOp(job.start_time + completion.wall_time_s, finalize,
+                       interrupt)
 
     @property
     def provisioning_overhead_s(self) -> float:

@@ -61,6 +61,21 @@ class ComputeNode:
         self.state = NodeState.GONE
         self.released_at = now
 
+    def preempt(self, now: float) -> None:
+        """Spot reclaim: the platform takes a node back mid-task.
+
+        Unlike :meth:`evict` (a user-initiated shrink, which refuses to
+        touch busy nodes), preemption is exactly the case where the node
+        *is* running a task — the task dies with it.
+        """
+        if self.state is not NodeState.RUNNING:
+            raise PoolStateError(
+                f"node {self.node_id} cannot be preempted from "
+                f"{self.state.value}; only running nodes are reclaimed"
+            )
+        self.state = NodeState.GONE
+        self.released_at = now
+
 
 def boot_time_for(pool_id: str, node_index: int, base_boot_s: float,
                   seed: int = 0) -> float:

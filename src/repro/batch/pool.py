@@ -42,6 +42,15 @@ class BatchPool:
     _next_node_index: int = 0
     meter: Optional[BillingMeter] = None
     resize_count: int = 0
+    #: Whether the pool runs on interruptible spot capacity (informational;
+    #: the hourly_price passed in already reflects the spot discount).
+    spot: bool = False
+    #: Nodes reclaimed by the platform over the pool's lifetime.
+    preemption_count: int = 0
+    #: Key for the deterministic boot-jitter draws; defaults to the pool
+    #: id.  Letting a spot pool share its on-demand sibling's key keeps
+    #: "same sweep, different tier" runs boot-for-boot comparable.
+    boot_key: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.meter is None:
@@ -120,7 +129,8 @@ class BatchPool:
         for _ in range(count):
             idx = self._next_node_index
             self._next_node_index += 1
-            boot = boot_time_for(self.pool_id, idx, self.base_boot_s, self.seed)
+            boot = boot_time_for(self.boot_key or self.pool_id, idx,
+                                 self.base_boot_s, self.seed)
             node = ComputeNode(
                 node_id=f"{self.pool_id}-node{idx:04d}",
                 sku=self.sku,
@@ -166,6 +176,26 @@ class BatchPool:
                 count += 1
         if count:
             self.subscription.release_cores(self.region, self.sku, count)
+        assert self.meter is not None
+        self.meter.set_nodes(self.current_nodes)
+
+    def preempt_node(self, node: ComputeNode) -> None:
+        """Spot reclaim of a leased node: the platform takes it back.
+
+        The node must currently be running a task (that is what makes a
+        reclaim destructive); it leaves the pool immediately, its quota is
+        returned, and billing stops.  The interrupted task's remaining
+        lease is the caller's problem (:meth:`BatchService.interrupt_task`
+        releases the surviving nodes back to idle).
+        """
+        self._check_active()
+        if node not in self.nodes:
+            raise PoolStateError(
+                f"node {node.node_id} does not belong to pool {self.pool_id}"
+            )
+        node.preempt(self.clock.now)
+        self.preemption_count += 1
+        self.subscription.release_cores(self.region, self.sku, 1)
         assert self.meter is not None
         self.meter.set_nodes(self.current_nodes)
 

@@ -9,7 +9,7 @@ paper's Algorithm 1, which processes scenarios one at a time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.batch.job import BatchJob
 from repro.batch.node import ComputeNode
@@ -59,7 +59,8 @@ class BatchService:
     # -- pools -------------------------------------------------------------------
 
     def create_pool(self, pool_id: str, sku_name: str,
-                    target_nodes: int = 0) -> BatchPool:
+                    target_nodes: int = 0, spot: bool = False,
+                    boot_key: Optional[str] = None) -> BatchPool:
         if pool_id in self.pools:
             old = self.pools[pool_id]
             if old.state is not PoolState.DELETED:
@@ -73,9 +74,13 @@ class BatchService:
             region=self.region,
             subscription=self.subscription,
             clock=self.clock,
-            hourly_price=self.provider.prices.hourly_price(sku.name, self.region),
+            hourly_price=self.provider.prices.hourly_price(
+                sku.name, self.region, spot=spot
+            ),
             base_boot_s=self.provider.latencies.node_boot,
             seed=self.seed,
+            spot=spot,
+            boot_key=boot_key,
         )
         self.pools[pool_id] = pool
         if target_nodes:
@@ -198,6 +203,54 @@ class BatchService:
             wall_time_s=output.wall_time_s,
             cost_usd=task.required_nodes * pool.hourly_price
             * output.wall_time_s / 3600.0,
+        )
+        self.accounting.append(entry)
+        return entry
+
+    def interrupt_task(self, job_id: str, task_id: str,
+                       reclaimed_nodes: int = 1) -> TaskAccounting:
+        """Spot preemption of a task started via :meth:`start_task`.
+
+        Must be called with the clock sitting at the interruption time
+        (strictly before the task's natural finish).  ``reclaimed_nodes``
+        of the task's lease vanish (quota returned, billing stopped); the
+        surviving nodes go back to idle.  The task ends ``PREEMPTED``, and
+        the partial window is billed — the cloud charges spot VMs up to
+        the eviction instant.  Returns the partial accounting entry.
+        """
+        job = self.get_job(job_id)
+        task = job.get_task(task_id)
+        if task.state is not TaskState.RUNNING or task.output is None:
+            raise BatchError(
+                f"task {task_id!r} is {task.state.value}, expected running"
+            )
+        assert task.started_at is not None
+        natural_finish = task.started_at + task.output.wall_time_s
+        if self.clock.now >= natural_finish - 1e-9:
+            raise BatchError(
+                f"task {task_id!r} already finished at {natural_finish}; "
+                "complete it instead of interrupting"
+            )
+        pool = self.get_pool(job.pool_id)
+        nodes = self._leases.pop((job_id, task_id))
+        if not 1 <= reclaimed_nodes <= len(nodes):
+            raise BatchError(
+                f"cannot reclaim {reclaimed_nodes} of {len(nodes)} "
+                f"leased node(s)"
+            )
+        for node in nodes[:reclaimed_nodes]:
+            pool.preempt_node(node)
+        pool.release_nodes(nodes[reclaimed_nodes:])
+        task.finished_at = self.clock.now
+        task.state = TaskState.PREEMPTED
+        elapsed = self.clock.now - task.started_at
+        entry = TaskAccounting(
+            task_id=task_id,
+            pool_id=pool.pool_id,
+            nodes=task.required_nodes,
+            wall_time_s=elapsed,
+            cost_usd=task.required_nodes * pool.hourly_price
+            * elapsed / 3600.0,
         )
         self.accounting.append(entry)
         return entry

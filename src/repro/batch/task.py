@@ -29,6 +29,8 @@ class TaskState(enum.Enum):
     RUNNING = "running"
     COMPLETED = "completed"
     FAILED = "failed"
+    #: Spot capacity was reclaimed mid-run; the task did not finish.
+    PREEMPTED = "preempted"
 
 
 @dataclass

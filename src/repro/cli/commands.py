@@ -90,6 +90,12 @@ def collect(
     budget: Optional[float] = None,
     retry_failed: int = 0,
     parallel_pools: int = 1,
+    capacity: str = "ondemand",
+    recovery: str = "restart",
+    eviction_rate: Optional[float] = None,
+    eviction_seed: int = 0,
+    checkpoint_interval: float = 600.0,
+    checkpoint_overhead: float = 60.0,
     show_report: bool = False,
     as_json: bool = False,
 ) -> int:
@@ -106,6 +112,12 @@ def collect(
         budget_usd=budget,
         retry_failed=retry_failed,
         max_parallel_pools=parallel_pools,
+        capacity=capacity,
+        recovery=recovery,
+        eviction_rate=eviction_rate,
+        eviction_seed=eviction_seed,
+        checkpoint_interval_s=checkpoint_interval,
+        checkpoint_overhead_s=checkpoint_overhead,
     ))
     if as_json:
         print(result.to_json(indent=1))
@@ -123,6 +135,10 @@ def collect(
           f"{fmt_duration(result.provisioning_overhead_s)}")
     print(f"  sweep makespan:      {fmt_duration(result.makespan_s)} "
           f"({result.max_parallel_pools} parallel pool(s))")
+    if result.capacity == "spot":
+        print(f"  spot capacity:       {result.preemptions} preemption(s), "
+              f"{fmt_duration(result.wasted_node_s)} node-time wasted "
+              f"(recovery: {result.recovery})")
     print(f"  dataset:             {result.dataset_path} "
           f"({result.dataset_points} points)")
     for failure in result.failures:
@@ -176,6 +192,11 @@ def advice(
     max_rows: Optional[int] = None,
     recipes: bool = False,
     spot: bool = False,
+    capacity: Optional[str] = None,
+    recovery: str = "checkpoint_restart",
+    eviction_rate: Optional[float] = None,
+    checkpoint_interval: float = 600.0,
+    checkpoint_overhead: float = 60.0,
     as_json: bool = False,
 ) -> int:
     if as_json and (recipes or spot):
@@ -188,19 +209,35 @@ def advice(
         filters=filters or {},
         sort_by=sort_by,
         max_rows=max_rows,
+        capacity=capacity or "",
+        recovery=recovery,
+        eviction_rate=eviction_rate,
+        checkpoint_interval_s=checkpoint_interval,
+        checkpoint_overhead_s=checkpoint_overhead,
     ))
     if as_json:
         print(result.to_json(indent=1))
         return 0
     print(result.render_table(), end="")
     if spot:
-        from repro.cloud.pricing import PriceCatalog
+        from repro.cloud.eviction import EvictionModel
         from repro.core.cost import spot_savings_summary
 
-        print("\n--- What-if: spot pricing ---")
+        # Same region and price catalog as the advice table above, so the
+        # summary and a `--capacity spot` table never disagree about the
+        # same configuration.
+        region = str(session.record(name).get("region") or "") or None
+        eviction = (EvictionModel.flat(eviction_rate, region=region)
+                    if eviction_rate is not None else None)
+        print("\n--- What-if: spot capacity (risk-adjusted) ---")
         print(spot_savings_summary(
             session.dataset(name).filter(appinputs=filters or None),
-            PriceCatalog(),
+            session.deployment(name).provider.prices,
+            region=region,
+            eviction=eviction,
+            recovery=recovery,
+            checkpoint_interval_s=checkpoint_interval,
+            checkpoint_overhead_s=checkpoint_overhead,
         ), end="")
     if recipes and result.rows:
         recipe = session.recipe_for(result.rows[0], deployment=name,
@@ -320,6 +357,12 @@ def submit(
     budget: Optional[float] = None,
     retry_failed: int = 0,
     parallel_pools: int = 1,
+    capacity: str = "ondemand",
+    recovery: str = "restart",
+    eviction_rate: Optional[float] = None,
+    eviction_seed: int = 0,
+    checkpoint_interval: float = 600.0,
+    checkpoint_overhead: float = 60.0,
     wait: bool = False,
     timeout: float = 600.0,
     as_json: bool = False,
@@ -339,6 +382,12 @@ def submit(
         budget_usd=budget,
         retry_failed=retry_failed,
         max_parallel_pools=parallel_pools,
+        capacity=capacity,
+        recovery=recovery,
+        eviction_rate=eviction_rate,
+        eviction_seed=eviction_seed,
+        checkpoint_interval_s=checkpoint_interval,
+        checkpoint_overhead_s=checkpoint_overhead,
     ))
     if wait:
         job.wait(timeout=timeout, raise_on_failure=False)

@@ -86,6 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="run up to N VM-type pools concurrently in simulated time "
              "(default 1: the paper's sequential Algorithm 1)",
     )
+    _add_spot_arguments(collect, default_recovery="restart")
+    collect.add_argument("--eviction-seed", type=int, default=0,
+                         help="seed for the spot interruption draws "
+                              "(same seed, same evictions)")
     collect.add_argument("--report", action="store_true",
                          help="print the full sweep report afterwards")
     collect.add_argument("--json", action="store_true", dest="as_json",
@@ -113,7 +117,27 @@ def build_parser() -> argparse.ArgumentParser:
     advice.add_argument("--recipes", action="store_true",
                         help="emit Slurm + cluster recipes for the top row")
     advice.add_argument("--spot", action="store_true",
-                        help="also show the front repriced at spot rates")
+                        help="also show the risk-adjusted spot comparison "
+                             "table")
+    advice.add_argument(
+        "--capacity", choices=["ondemand", "spot"],
+        help="what-if tier for the advice itself: 'spot' risk-adjusts "
+             "every configuration (expected cost, expected/P95 makespan) "
+             "under the eviction model; 'ondemand' strips spot dynamics",
+    )
+    advice.add_argument("--recovery",
+                        choices=["restart", "checkpoint_restart"],
+                        default="checkpoint_restart",
+                        help="recovery policy assumed by --capacity spot")
+    advice.add_argument("--eviction-rate", type=float, metavar="PER_HOUR",
+                        help="flat eviction-rate override "
+                             "(interruptions per node-hour)")
+    advice.add_argument("--checkpoint-interval", type=float, default=600.0,
+                        metavar="S", help="checkpoint interval in work "
+                                          "seconds (default 600)")
+    advice.add_argument("--checkpoint-overhead", type=float, default=60.0,
+                        metavar="S", help="restore overhead per resume "
+                                          "(default 60)")
     advice.add_argument("--json", action="store_true", dest="as_json",
                         help="emit the advice result as JSON")
 
@@ -185,6 +209,8 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--budget", type=float)
     submit.add_argument("--retry-failed", type=int, default=0)
     submit.add_argument("--parallel-pools", type=int, default=1, metavar="N")
+    _add_spot_arguments(submit, default_recovery="restart")
+    submit.add_argument("--eviction-seed", type=int, default=0)
     submit.add_argument("--wait", action="store_true",
                         help="block until the job finishes")
     submit.add_argument("--timeout", type=float, default=600.0,
@@ -209,6 +235,32 @@ def build_parser() -> argparse.ArgumentParser:
     result.add_argument("--json", action="store_true", dest="as_json")
 
     return parser
+
+
+def _add_spot_arguments(parser: argparse.ArgumentParser,
+                        default_recovery: str) -> None:
+    """The spot-capacity flag group shared by ``collect`` and ``submit``."""
+    parser.add_argument(
+        "--capacity", choices=["ondemand", "spot"], default="ondemand",
+        help="capacity tier: 'spot' is ~70%% cheaper but interruptible — "
+             "evictions are simulated and tasks recover per --recovery",
+    )
+    parser.add_argument(
+        "--recovery", choices=["restart", "checkpoint_restart", "fail"],
+        default=default_recovery,
+        help="what happens to a task when its spot node is reclaimed "
+             f"(default: {default_recovery})",
+    )
+    parser.add_argument("--eviction-rate", type=float, metavar="PER_HOUR",
+                        help="flat eviction-rate override in interruptions "
+                             "per node-hour (default: per-SKU/region curve)")
+    parser.add_argument("--checkpoint-interval", type=float, default=600.0,
+                        metavar="S",
+                        help="work seconds between checkpoints "
+                             "(checkpoint_restart; default 600)")
+    parser.add_argument("--checkpoint-overhead", type=float, default=60.0,
+                        metavar="S",
+                        help="restore overhead per resume (default 60)")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -243,6 +295,12 @@ def _dispatch(args: argparse.Namespace) -> int:
             budget=args.budget,
             retry_failed=args.retry_failed,
             parallel_pools=args.parallel_pools,
+            capacity=args.capacity,
+            recovery=args.recovery,
+            eviction_rate=args.eviction_rate,
+            eviction_seed=args.eviction_seed,
+            checkpoint_interval=args.checkpoint_interval,
+            checkpoint_overhead=args.checkpoint_overhead,
             show_report=args.report,
             as_json=args.as_json,
         )
@@ -263,6 +321,11 @@ def _dispatch(args: argparse.Namespace) -> int:
             max_rows=args.max_rows,
             recipes=args.recipes,
             spot=args.spot,
+            capacity=args.capacity,
+            recovery=args.recovery,
+            eviction_rate=args.eviction_rate,
+            checkpoint_interval=args.checkpoint_interval,
+            checkpoint_overhead=args.checkpoint_overhead,
             as_json=args.as_json,
         )
     if args.command == "predict":
@@ -294,6 +357,12 @@ def _dispatch(args: argparse.Namespace) -> int:
             budget=args.budget,
             retry_failed=args.retry_failed,
             parallel_pools=args.parallel_pools,
+            capacity=args.capacity,
+            recovery=args.recovery,
+            eviction_rate=args.eviction_rate,
+            eviction_seed=args.eviction_seed,
+            checkpoint_interval=args.checkpoint_interval,
+            checkpoint_overhead=args.checkpoint_overhead,
             wait=args.wait,
             timeout=args.timeout,
             as_json=args.as_json,

@@ -9,6 +9,7 @@ The entry point is :class:`repro.cloud.provider.CloudProvider`.
 """
 
 from repro.cloud.skus import SKU_CATALOG, VmSku, get_sku, list_skus
+from repro.cloud.eviction import DEFAULT_EVICTION_RATES, EvictionModel
 from repro.cloud.pricing import PriceCatalog, DEFAULT_PRICES
 from repro.cloud.regions import Region, DEFAULT_REGIONS, get_region
 from repro.cloud.subscription import Subscription
@@ -21,6 +22,8 @@ __all__ = [
     "list_skus",
     "PriceCatalog",
     "DEFAULT_PRICES",
+    "EvictionModel",
+    "DEFAULT_EVICTION_RATES",
     "Region",
     "DEFAULT_REGIONS",
     "get_region",

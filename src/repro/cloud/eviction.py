@@ -1,0 +1,165 @@
+"""Spot-capacity eviction model: per-SKU/region interruption-rate curves.
+
+The paper bills on-demand only; its companion cost-optimization work shows
+spot/preemptible capacity is the biggest real-world cost lever — but only
+if eviction risk is *modeled*, not just discounted.  This module provides
+that risk model:
+
+* a per-SKU table of eviction rates (interruptions per node-hour),
+  scaled by a per-region factor — large InfiniBand SKUs are reclaimed
+  more often than commodity sizes, and constrained regions churn more;
+* seeded, stateless interruption sampling: the time-to-eviction of one
+  task attempt is an exponential draw keyed by ``(seed, sku, *key)``
+  through :func:`repro.rng.rng_for`, so a sweep replays byte-identically
+  for a fixed ``eviction_seed`` regardless of pool interleaving — the
+  draw depends on the attempt's identity, never on the wall clock.
+
+Rates are the *memoryless* per-hour hazard of losing a node the task is
+running on; a multi-node task dies when any of its nodes is reclaimed, so
+the effective task-level rate scales with the node count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import math
+
+from repro.errors import CloudError
+from repro.rng import rng_for
+
+#: Default eviction rates in interruptions per node-hour, keyed by full SKU
+#: name.  Loosely follows the public "frequency of eviction" bands: big
+#: HPC/HBM SKUs sit in higher bands than general-purpose sizes.
+DEFAULT_EVICTION_RATES: Dict[str, float] = {
+    "Standard_HC44rs": 0.08,
+    "Standard_HB120rs_v2": 0.06,
+    "Standard_HB120rs_v3": 0.05,
+    "Standard_HB176rs_v4": 0.10,
+    "Standard_HX176rs": 0.12,
+    "Standard_HC44-16rs": 0.08,  # constrained-core SKUs share the parent's pool
+    "Standard_F72s_v2": 0.03,
+    "Standard_D64s_v5": 0.02,
+    "Standard_D96s_v5": 0.02,
+    "Standard_E104is_v5": 0.04,
+}
+
+#: Fallback rate for SKUs not in the table (interruptions per node-hour).
+DEFAULT_RATE_PER_HOUR = 0.05
+
+#: Regional scarcity multiplier on the base rate (the paper's region,
+#: southcentralus, is the 1.0 baseline — mirrors REGION_PRICE_FACTOR).
+REGION_EVICTION_FACTOR: Dict[str, float] = {
+    "southcentralus": 1.00,
+    "eastus": 1.30,
+    "westus2": 1.10,
+    "westeurope": 1.40,
+    "northeurope": 1.20,
+    "japaneast": 1.50,
+    "australiaeast": 1.35,
+}
+
+
+@dataclass(frozen=True)
+class EvictionModel:
+    """Seeded spot-interruption sampling over per-SKU/region rate curves.
+
+    Parameters
+    ----------
+    rates:
+        Mapping of full SKU name to eviction rate (per node-hour).
+    default_rate_per_hour:
+        Rate for SKUs absent from ``rates``.
+    region:
+        Deployment region; scales every rate by its
+        :data:`REGION_EVICTION_FACTOR` (unknown regions use 1.0).
+    seed:
+        Base seed for the interruption draws (the sweep's
+        ``eviction_seed``).
+    """
+
+    rates: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_EVICTION_RATES)
+    )
+    default_rate_per_hour: float = DEFAULT_RATE_PER_HOUR
+    region: Optional[str] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for sku, rate in self.rates.items():
+            if rate < 0:
+                raise CloudError(
+                    f"negative eviction rate for {sku!r}: {rate}"
+                )
+        if self.default_rate_per_hour < 0:
+            raise CloudError(
+                f"negative default eviction rate: {self.default_rate_per_hour}"
+            )
+
+    @classmethod
+    def flat(cls, rate_per_hour: float, seed: int = 0,
+             region: Optional[str] = None) -> "EvictionModel":
+        """A model charging every SKU the same ``rate_per_hour``.
+
+        Used when the user overrides the curve with a single
+        ``--eviction-rate`` number; the region factor still applies.
+        """
+        return cls(rates={}, default_rate_per_hour=rate_per_hour,
+                   region=region, seed=seed)
+
+    # -- rate curves -------------------------------------------------------------
+
+    def rate_per_hour(self, sku_name: str, nodes: int = 1) -> float:
+        """Task-level eviction rate for ``nodes`` nodes of ``sku_name``.
+
+        The per-node hazard is memoryless, so a task spanning N nodes is
+        interrupted at N times the single-node rate (any node loss kills a
+        tightly-coupled MPI job).
+        """
+        if nodes < 1:
+            raise CloudError(f"nodes must be >= 1, got {nodes}")
+        base = self.rates.get(sku_name)
+        if base is None:
+            # Allow short names ("hb120rs_v3"), mirroring PriceCatalog.
+            matches = [
+                r for name, r in self.rates.items()
+                if name.lower().endswith(sku_name.lower())
+            ]
+            base = matches[0] if len(matches) == 1 else self.default_rate_per_hour
+        factor = (REGION_EVICTION_FACTOR.get(self.region, 1.0)
+                  if self.region else 1.0)
+        return base * factor * nodes
+
+    def survival_probability(self, sku_name: str, duration_s: float,
+                             nodes: int = 1) -> float:
+        """P(no eviction within ``duration_s``) for one task attempt."""
+        if duration_s < 0:
+            raise CloudError(f"negative duration: {duration_s}")
+        rate = self.rate_per_hour(sku_name, nodes)
+        return math.exp(-rate * duration_s / 3600.0)
+
+    def mean_time_to_eviction_s(self, sku_name: str,
+                                nodes: int = 1) -> float:
+        """Expected uptime before an interruption (inf when rate is 0)."""
+        rate = self.rate_per_hour(sku_name, nodes)
+        return math.inf if rate <= 0.0 else 3600.0 / rate
+
+    # -- interruption sampling ----------------------------------------------------
+
+    def time_to_eviction(self, sku_name: str, *key: object,
+                         nodes: int = 1) -> Optional[float]:
+        """Sampled seconds until this attempt's interruption.
+
+        ``key`` identifies the attempt (scenario id, attempt number); the
+        draw is a pure function of ``(seed, sku, nodes, key)`` — stateless,
+        so concurrent pool schedules replay the exact same evictions as a
+        sequential walk.  Returns ``None`` when the rate is zero: a
+        zero-rate spot sweep is byte-identical to an on-demand one.
+        """
+        rate = self.rate_per_hour(sku_name, nodes)
+        if rate <= 0.0:
+            return None
+        rng = rng_for("spot-eviction", sku_name, nodes, *key,
+                      base_seed=self.seed)
+        return float(rng.exponential(3600.0 / rate))

@@ -28,21 +28,51 @@ measurements identical (executions are deterministic per scenario, so
 only timestamps and the makespan depend on the interleaving).  With
 ``max_parallel_pools=1`` the schedule degenerates to Algorithm 1's
 sequential walk and reproduces it exactly, timestamps included.
+
+**Spot capacity** (``capacity="spot"``): scenarios run on discounted,
+interruptible nodes.  An :class:`~repro.cloud.eviction.EvictionModel`
+samples each attempt's time-to-interruption (seeded and stateless, so a
+fixed ``eviction_seed`` replays identically at any pool parallelism);
+when the eviction lands before the attempt finishes, the backend's task
+is killed mid-run, the reclaimed node leaves the pool, and the recovery
+policy decides what happens next:
+
+* ``restart`` — re-run from scratch (all progress lost);
+* ``checkpoint_restart`` — resume from the last completed checkpoint
+  (progress is checkpointed every ``checkpoint_interval_s`` seconds of
+  work; each resume pays ``checkpoint_overhead_s`` of restore time, so
+  at most one interval of work is lost per eviction);
+* ``fail`` — the scenario fails on its first eviction.
+
+Every attempt (including interrupted ones) bills normally, so the data
+point's ``cost_usd`` is the *effective* spot cost, and ``preemptions`` /
+``wasted_node_s`` / ``makespan_s`` record the risk the sweep absorbed.
+With an eviction rate of zero the spot path degenerates to the
+on-demand execution byte for byte (only priced at the spot rate).
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
-from dataclasses import dataclass, field
-from typing import (Callable, Dict, Iterator, List, Optional, Protocol,
-                    runtime_checkable)
+from dataclasses import dataclass, field, replace
+from typing import (Callable, Dict, Generator, Iterator, List, Optional,
+                    Protocol, runtime_checkable)
 
 from repro.appkit.script import AppScript
 from repro.backends.base import ExecutionBackend, ScenarioRunResult
 from repro.clock import EventQueue
+from repro.cloud.eviction import EvictionModel
 from repro.core.dataset import DataPoint, Dataset
 from repro.core.scenarios import Scenario
 from repro.core.taskdb import TaskDB, TaskStatus
+from repro.errors import BackendError, ConfigError
+
+#: The capacity tiers a sweep can run on.
+CAPACITY_TIERS = ("ondemand", "spot")
+
+#: Task-level recovery policies for spot interruptions.
+RECOVERY_POLICIES = ("restart", "checkpoint_restart", "fail")
 
 
 @runtime_checkable
@@ -96,6 +126,14 @@ class CollectionReport:
     #: ``max_parallel_pools`` is 1.
     makespan_s: float = 0.0
     max_parallel_pools: int = 1
+    #: Capacity tier the sweep ran on (``ondemand`` or ``spot``).
+    capacity: str = "ondemand"
+    #: Recovery policy in force (empty for on-demand sweeps).
+    recovery: str = ""
+    #: Spot interruptions absorbed across all scenarios.
+    preemptions: int = 0
+    #: Billed node-seconds that produced no surviving work.
+    wasted_node_s: float = 0.0
     failures: List[str] = field(default_factory=list)
     _first_started_at: Optional[float] = field(default=None, repr=False)
     _last_finished_at: Optional[float] = field(default=None, repr=False)
@@ -147,6 +185,23 @@ class DataCollector:
     #: pools in simulated time (needs a back-end with
     #: ``supports_concurrency``).
     max_parallel_pools: int = 1
+    #: Capacity tier: ``ondemand`` (the paper's billing) or ``spot``
+    #: (discounted, interruptible; needs a back-end with
+    #: ``supports_preemption`` and usually an ``eviction`` model).
+    capacity: str = "ondemand"
+    #: What happens to a task when its spot capacity is reclaimed (see
+    #: module docstring): ``restart``, ``checkpoint_restart``, or ``fail``.
+    recovery: str = "restart"
+    #: Work seconds between checkpoints (``checkpoint_restart`` only).
+    checkpoint_interval_s: float = 600.0
+    #: Restore overhead paid on each resume from a checkpoint.
+    checkpoint_overhead_s: float = 60.0
+    #: Interruption sampler for spot sweeps; ``None`` means spot pricing
+    #: without evictions (a best-case what-if).
+    eviction: Optional[EvictionModel] = None
+    #: Evictions after which a scenario is abandoned as failed — a
+    #: backstop so pathological rates cannot loop forever.
+    max_preemptions: int = 50
     #: Called with ``(report, total_scenarios)`` after every scenario
     #: outcome (executed, skipped, predicted, or setup-failed), so
     #: long-running sweeps can surface live progress (the service's job
@@ -160,9 +215,34 @@ class DataCollector:
             raise ValueError(
                 f"max_parallel_pools must be >= 1, got {self.max_parallel_pools}"
             )
+        if self.capacity not in CAPACITY_TIERS:
+            raise ConfigError(
+                f"capacity must be one of {CAPACITY_TIERS}, "
+                f"got {self.capacity!r}"
+            )
+        if self.recovery not in RECOVERY_POLICIES:
+            raise ConfigError(
+                f"recovery must be one of {RECOVERY_POLICIES}, "
+                f"got {self.recovery!r}"
+            )
+        if self.checkpoint_interval_s <= 0:
+            raise ConfigError(
+                f"checkpoint_interval_s must be > 0, "
+                f"got {self.checkpoint_interval_s}"
+            )
+        if self.checkpoint_overhead_s < 0:
+            raise ConfigError(
+                f"checkpoint_overhead_s must be >= 0, "
+                f"got {self.checkpoint_overhead_s}"
+            )
+        if self.capacity == "spot" and not self.backend.supports_preemption:
+            raise BackendError(
+                f"backend {self.backend.name!r} cannot run spot capacity "
+                "(no preemption support)"
+            )
         if not scenarios:
             self._total_scenarios = 0
-            return CollectionReport(max_parallel_pools=self.max_parallel_pools)
+            return self._new_report(self.max_parallel_pools)
         known_ids = {
             r.scenario.scenario_id for r in self.taskdb.all()
         }
@@ -205,6 +285,13 @@ class DataCollector:
         self._save_state()
         return report
 
+    def _new_report(self, max_parallel_pools: int) -> CollectionReport:
+        return CollectionReport(
+            max_parallel_pools=max_parallel_pools,
+            capacity=self.capacity,
+            recovery=self.recovery if self.capacity == "spot" else "",
+        )
+
     def _save_state(self) -> None:
         if self.taskdb.path:
             self.taskdb.save()
@@ -226,7 +313,7 @@ class DataCollector:
         """
         engine = EventQueue(self.backend.clock)
         state = _SweepState(
-            report=CollectionReport(max_parallel_pools=self.max_parallel_pools)
+            report=self._new_report(self.max_parallel_pools)
         )
         sweep_start = self.backend.clock.now
 
@@ -288,15 +375,11 @@ class DataCollector:
             op.finish()
 
             # -- Algorithm 1 lines 8-11: execute and store -------------------
-            run_op = self.backend.submit_scenario(scenario, self.script)
-            yield run_op.ready_at
-            result = run_op.finish()
+            result = yield from self._run_scheduled(scenario)
             attempts = 0
             while not result.succeeded and attempts < self.retry_failed:
                 attempts += 1
-                run_op = self.backend.submit_scenario(scenario, self.script)
-                yield run_op.ready_at
-                result = run_op.finish()
+                result = yield from self._run_scheduled(scenario)
             self._record_result(scenario, result, report)
             if not result.succeeded and self.stop_on_failure:
                 state.stop = True
@@ -312,7 +395,7 @@ class DataCollector:
 
     def _collect_sequential(self, ordered: List[Scenario]) -> CollectionReport:
         """The paper's literal one-task-at-a-time loop."""
-        report = CollectionReport(max_parallel_pools=1)
+        report = self._new_report(1)
         previous_vmtype: Optional[str] = None
         # The backend's overhead counter is cumulative across collect()
         # calls; the makespan needs only this sweep's share.
@@ -339,11 +422,11 @@ class DataCollector:
             self.backend.ensure_capacity(scenario.sku_name, scenario.nnodes)
 
             # -- Algorithm 1 lines 8-11: execute and store --------------------
-            result = self.backend.run_scenario(scenario, self.script)
+            result = self._run_blocking(scenario)
             attempts = 0
             while not result.succeeded and attempts < self.retry_failed:
                 attempts += 1
-                result = self.backend.run_scenario(scenario, self.script)
+                result = self._run_blocking(scenario)
             self._record_result(scenario, result, report)
             if not result.succeeded and self.stop_on_failure:
                 previous_vmtype = scenario.sku_name
@@ -359,6 +442,152 @@ class DataCollector:
             self.backend.provisioning_overhead_s - provisioning_before
         )
         return report
+
+    # -- execution primitives (shared by both walks) ------------------------------
+
+    def _run_scheduled(
+        self, scenario: Scenario
+    ) -> Generator[float, None, ScenarioRunResult]:
+        """One scenario execution as an event-queue process."""
+        if self.capacity == "spot":
+            result = yield from self._spot_execute(scenario)
+            return result
+        run_op = self.backend.submit_scenario(scenario, self.script)
+        yield run_op.ready_at
+        result = run_op.finish()
+        assert isinstance(result, ScenarioRunResult)
+        return result
+
+    def _run_blocking(self, scenario: Scenario) -> ScenarioRunResult:
+        """One scenario execution for the sequential walk.
+
+        Spot dynamics need mid-task interruption, which only exists on the
+        submit/interrupt primitives; the sequential walk drives the same
+        generator as the scheduler, advancing the clock itself.
+        """
+        if self.capacity == "spot":
+            return self._drive(self._spot_execute(scenario))
+        return self.backend.run_scenario(scenario, self.script)
+
+    def _drive(self, process: Generator[float, None, ScenarioRunResult]
+               ) -> ScenarioRunResult:
+        """Run a timestamp-yielding process to completion, blocking-style."""
+        clock = self.backend.clock
+        while True:
+            try:
+                wake_at = next(process)
+            except StopIteration as stop:
+                return stop.value
+            if wake_at > clock.now:
+                clock.advance_to(wake_at)
+
+    def _spot_execute(
+        self, scenario: Scenario
+    ) -> Generator[float, None, ScenarioRunResult]:
+        """Run one scenario on spot capacity under the recovery policy.
+
+        Yields absolute timestamps to wait for (attempt completions,
+        eviction instants, replacement-node boots); returns the synthesized
+        final result, whose cost sums every billed attempt and whose
+        counters record the interruptions absorbed.
+
+        Work progress is measured in seconds of application runtime.
+        ``checkpoint_restart`` keeps the progress completed at the last
+        multiple of ``checkpoint_interval_s``; a resumed attempt first pays
+        ``checkpoint_overhead_s`` of restore time, so an eviction can never
+        lose more than one interval of work (plus the restore it was in).
+        Checkpoint *writes* are modelled as asynchronous and free, which is
+        what makes a zero-eviction spot run identical to on-demand.
+        """
+        interval = self.checkpoint_interval_s
+        preemptions = 0
+        checkpointed = 0.0
+        wasted_node_s = 0.0
+        total_cost = 0.0
+        first_started: Optional[float] = None
+        attempt = 0
+        while True:
+            if attempt > 0:
+                # The reclaimed node left the pool: grow back to the
+                # scenario's size and wait out the replacement boot.
+                op = self.backend.submit_provision(
+                    scenario.sku_name, scenario.nnodes
+                )
+                yield op.ready_at
+                op.finish()
+            resume_overhead = (self.checkpoint_overhead_s
+                               if checkpointed > 0 else 0.0)
+            run_op = self.backend.submit_scenario(
+                scenario, self.script,
+                resume_from_s=checkpointed,
+                restart_overhead_s=resume_overhead,
+            )
+            started = self.backend.clock.now
+            if first_started is None:
+                first_started = started
+            duration = run_op.ready_at - started
+            evict_after = None
+            if self.eviction is not None and run_op.interruptible:
+                evict_after = self.eviction.time_to_eviction(
+                    scenario.sku_name, scenario.scenario_id, attempt,
+                    nodes=scenario.nnodes,
+                )
+
+            if evict_after is None or evict_after >= duration:
+                # The attempt outruns the reaper.
+                yield run_op.ready_at
+                final = run_op.finish()
+                assert isinstance(final, ScenarioRunResult)
+                if preemptions == 0:
+                    return final  # pristine: identical to the on-demand walk
+                total_cost += final.cost_usd
+                # The restore overhead bought no new work; the app time is
+                # the checkpointed progress plus this attempt's remainder.
+                wasted_node_s += resume_overhead * scenario.nnodes
+                return replace(
+                    final,
+                    exec_time_s=(checkpointed + final.exec_time_s
+                                 - resume_overhead),
+                    cost_usd=total_cost,
+                    started_at=first_started,
+                    preemptions=preemptions,
+                    wasted_node_s=wasted_node_s,
+                )
+
+            # -- the platform wins the race: interruption mid-attempt --------
+            yield started + evict_after
+            partial = run_op.interrupt()
+            assert isinstance(partial, ScenarioRunResult)
+            preemptions += 1
+            total_cost += partial.cost_usd
+            elapsed = partial.exec_time_s
+            if self.recovery == "checkpoint_restart":
+                progress = checkpointed + max(0.0, elapsed - resume_overhead)
+                survived = math.floor(progress / interval) * interval
+                wasted_node_s += (
+                    (elapsed - (survived - checkpointed)) * scenario.nnodes
+                )
+                checkpointed = survived
+            else:  # restart / fail: the whole attempt is lost
+                wasted_node_s += elapsed * scenario.nnodes
+
+            give_up: Optional[str] = None
+            if self.recovery == "fail":
+                give_up = ("spot capacity reclaimed "
+                           "(recovery policy: fail)")
+            elif preemptions >= self.max_preemptions:
+                give_up = (f"gave up after {preemptions} spot "
+                           "preemption(s)")
+            if give_up is not None:
+                return replace(
+                    partial,
+                    failure_reason=give_up,
+                    cost_usd=total_cost,
+                    started_at=first_started,
+                    preemptions=preemptions,
+                    wasted_node_s=wasted_node_s,
+                )
+            attempt += 1
 
     # -- shared per-scenario handling -------------------------------------------
 
@@ -386,10 +615,16 @@ class DataCollector:
                        report: CollectionReport) -> None:
         """Store a (possibly failed) execution outcome."""
         report.note_execution(result)
+        report.preemptions += result.preemptions
+        report.wasted_node_s += result.wasted_node_s
         if result.succeeded:
             self._store(
                 scenario, result.exec_time_s, result.cost_usd,
                 result.app_vars, result.infra_metrics, result.finished_at,
+                capacity=result.capacity,
+                preemptions=result.preemptions,
+                wasted_node_s=result.wasted_node_s,
+                makespan_s=max(0.0, result.finished_at - result.started_at),
             )
             self.taskdb.mark_completed(
                 scenario.scenario_id,
@@ -399,6 +634,7 @@ class DataCollector:
                 infra_metrics=result.infra_metrics,
                 started_at=result.started_at,
                 finished_at=result.finished_at,
+                preemptions=result.preemptions,
             )
             report.completed += 1
             report.task_cost_usd += result.cost_usd
@@ -408,6 +644,7 @@ class DataCollector:
                 scenario.scenario_id, reason,
                 started_at=result.started_at,
                 finished_at=result.finished_at,
+                preemptions=result.preemptions,
             )
             report.failed += 1
             report.failures.append(f"{scenario.scenario_id}: {reason}")
@@ -446,6 +683,10 @@ class DataCollector:
         infra_metrics,
         timestamp: float,
         predicted: bool = False,
+        capacity: str = "ondemand",
+        preemptions: int = 0,
+        wasted_node_s: float = 0.0,
+        makespan_s: float = 0.0,
     ) -> None:
         point = DataPoint(
             appname=scenario.appname,
@@ -461,6 +702,10 @@ class DataCollector:
             deployment=self.deployment_name,
             timestamp=timestamp,
             predicted=predicted,
+            capacity=capacity,
+            preemptions=preemptions,
+            wasted_node_s=wasted_node_s,
+            makespan_s=makespan_s,
         )
         self.dataset.append(point)
         if predicted:

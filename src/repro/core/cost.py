@@ -1,24 +1,41 @@
-"""Cost utilities: repricing and what-if analyses.
+"""Cost utilities: repricing, spot-risk adjustment, and what-if analyses.
 
-Measured datasets embed the pay-as-you-go cost at collection time.  Two
+Measured datasets embed the pay-as-you-go cost at collection time.  The
 questions users ask next:
 
-* *what if I ran the advised configuration on spot capacity?* — recompute
-  every point's cost at spot prices and rebuild the front;
+* *what if I ran the advised configuration on spot capacity?* — spot is
+  ~70% cheaper but interruptible, so the honest answer adjusts both axes:
+  expected cost *and* expected/P95 makespan under an eviction model and a
+  recovery policy, not just a discount on the price column;
 * *what if prices change / I move region?* — reprice against a different
-  catalog.
+  catalog (times untouched: the hardware is the same).
 
-Execution times are untouched (the hardware is the same); only the money
-axis moves, which can reshuffle the Pareto front.
+The risk model matches the collector's spot simulation: evictions are a
+memoryless per-node hazard, ``restart`` loses the whole attempt,
+``checkpoint_restart`` loses at most one checkpoint interval plus a
+restore overhead per resume, and every attempt bills until the eviction
+instant.  For a task needing ``T`` seconds of work under task-level rate
+``lam`` (per second), the classic expected completion time with restart
+is ``(e^{lam T} - 1) / lam``; with per-resume overhead ``o`` it becomes
+``(e^{lam T} - 1) (1/lam + o)``, applied per checkpoint chunk.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import replace
-from typing import Optional
+from typing import List, Optional, Sequence
 
+import numpy as np
+
+from repro.cloud.eviction import EvictionModel
 from repro.cloud.pricing import PriceCatalog
 from repro.core.dataset import DataPoint, Dataset
+from repro.errors import AdvisorError
+from repro.rng import rng_for
+
+#: infra_metrics key under which capacity views stash the P95 makespan.
+P95_METRIC = "p95_makespan_s"
 
 
 def reprice_point(
@@ -46,28 +63,363 @@ def reprice_dataset(
     ])
 
 
+# -- spot-risk model -----------------------------------------------------------------
+
+
+def _chunks(work_s: float, interval_s: float) -> List[float]:
+    """Work split at checkpoint boundaries (last chunk may be short)."""
+    if work_s <= 0:
+        return []
+    full = int(work_s // interval_s)
+    chunks = [interval_s] * full
+    remainder = work_s - full * interval_s
+    if remainder > 1e-12:
+        chunks.append(remainder)
+    return chunks
+
+
+def expected_spot_runtime(
+    exec_time_s: float,
+    rate_per_hour: float,
+    recovery: str = "checkpoint_restart",
+    checkpoint_interval_s: float = 600.0,
+    checkpoint_overhead_s: float = 60.0,
+) -> float:
+    """Expected seconds to finish ``exec_time_s`` of work on spot capacity.
+
+    ``rate_per_hour`` is the *task-level* eviction rate (the per-node rate
+    times the node count — see :meth:`EvictionModel.rate_per_hour`).
+    Closed-form under the memoryless model; converges to ``exec_time_s``
+    as the rate goes to zero.
+    """
+    if exec_time_s < 0:
+        raise AdvisorError(f"negative work: {exec_time_s}")
+    lam = rate_per_hour / 3600.0
+    if lam <= 0 or exec_time_s == 0:
+        return exec_time_s
+    if recovery == "restart":
+        return _expm1_or_inf(lam * exec_time_s) / lam
+    if recovery == "checkpoint_restart":
+        # Memorylessness makes the per-chunk decomposition exact: each
+        # chunk's first attempt continues the running streak (no restore),
+        # and every attempt after an eviction restores first — except on
+        # the first chunk, where no checkpoint exists yet, so retries
+        # start from zero with nothing to restore (exactly what the
+        # collector and the Monte-Carlo simulation do).
+        total = 0.0
+        for index, chunk in enumerate(
+                _chunks(exec_time_s, checkpoint_interval_s)):
+            overhead = checkpoint_overhead_s if index > 0 else 0.0
+            total += _chunk_expected_s(chunk, overhead, lam)
+            if math.isinf(total):
+                break
+        return total
+    raise AdvisorError(
+        f"no expected-runtime model for recovery policy {recovery!r}"
+    )
+
+
+def _chunk_expected_s(chunk_s: float, overhead_s: float, lam: float) -> float:
+    """Expected time to bank one checkpoint chunk of ``chunk_s`` work.
+
+    First attempt needs ``chunk_s`` of uptime; retries pay the restore
+    first, so they need ``chunk_s + overhead_s`` each.  Standard renewal
+    argument under exponential uptimes.
+    """
+    p0 = math.exp(-lam * chunk_s)
+    if p0 >= 1.0:
+        return chunk_s
+    # Expected completion from the retry state, restarts included:
+    # (e^{lam a} - 1) / lam with a = chunk + restore.
+    retry = _expm1_or_inf(lam * (chunk_s + overhead_s)) / lam
+    if math.isinf(retry):
+        return math.inf
+    # Mean uptime burned by the failed first attempt, given it failed.
+    wasted = 1.0 / lam - chunk_s * p0 / (1.0 - p0)
+    return p0 * chunk_s + (1.0 - p0) * (wasted + retry)
+
+
+def _expm1_or_inf(x: float) -> float:
+    """``e^x - 1`` saturating to inf instead of overflowing (x ~ 710+)."""
+    try:
+        return math.expm1(x)
+    except OverflowError:
+        return math.inf
+
+
+def simulate_spot_makespans(
+    exec_time_s: float,
+    rate_per_hour: float,
+    recovery: str = "checkpoint_restart",
+    checkpoint_interval_s: float = 600.0,
+    checkpoint_overhead_s: float = 60.0,
+    samples: int = 256,
+    seed: int = 0,
+    max_attempts: int = 4096,
+) -> np.ndarray:
+    """Seeded Monte-Carlo makespans for one task (tail statistics).
+
+    Deterministic for a given seed (built on :func:`repro.rng.rng_for`),
+    so advice tables and benchmarks that quote a P95 are reproducible.
+    A sample still unfinished after ``max_attempts`` evictions records
+    ``inf`` — an honest "effectively never finishes", never a fictitious
+    small makespan that would hide the tail from the Pareto front.
+    """
+    if samples < 1:
+        raise AdvisorError(f"samples must be >= 1, got {samples}")
+    if recovery not in ("restart", "checkpoint_restart"):
+        raise AdvisorError(f"no simulation for recovery policy {recovery!r}")
+    lam = rate_per_hour / 3600.0
+    if lam <= 0 or exec_time_s <= 0:
+        return np.full(samples, float(exec_time_s))
+    rng = rng_for("spot-makespan", exec_time_s, rate_per_hour, recovery,
+                  checkpoint_interval_s, checkpoint_overhead_s,
+                  base_seed=seed)
+    mean = 1.0 / lam
+    # Uptimes come from a block buffer: censored samples burn thousands
+    # of draws, and per-draw generator calls would dominate the runtime.
+    buffer = np.empty(0)
+    position = 0
+
+    def next_uptime() -> float:
+        nonlocal buffer, position
+        if position >= len(buffer):
+            buffer = rng.exponential(mean, size=512)
+            position = 0
+        value = float(buffer[position])
+        position += 1
+        return value
+
+    out = np.empty(samples)
+    for i in range(samples):
+        elapsed = 0.0
+        done = 0.0
+        finished = False
+        overhead = 0.0  # restore cost of the *next* attempt
+        for _attempt in range(max_attempts):
+            remaining = exec_time_s - done + overhead
+            uptime = next_uptime()
+            if uptime >= remaining:
+                elapsed += remaining
+                finished = True
+                break
+            elapsed += uptime
+            if recovery == "checkpoint_restart":
+                progress = max(0.0, uptime - overhead)
+                done = math.floor(
+                    (done + progress) / checkpoint_interval_s
+                ) * checkpoint_interval_s
+                overhead = checkpoint_overhead_s if done > 0 else 0.0
+            else:  # restart
+                done = 0.0
+        out[i] = elapsed if finished else math.inf
+    return out
+
+
+def p95_spot_runtime(
+    exec_time_s: float,
+    rate_per_hour: float,
+    recovery: str = "checkpoint_restart",
+    checkpoint_interval_s: float = 600.0,
+    checkpoint_overhead_s: float = 60.0,
+    samples: int = 256,
+    seed: int = 0,
+) -> float:
+    """P95 of the simulated makespan distribution (see above).
+
+    Uses the "higher" order statistic rather than interpolation: it never
+    understates the tail, and it stays well-defined when censored samples
+    put ``inf`` in the distribution (interpolating between two infs is
+    NaN, which would poison the Pareto front).
+    """
+    spans = np.sort(simulate_spot_makespans(
+        exec_time_s, rate_per_hour, recovery,
+        checkpoint_interval_s, checkpoint_overhead_s,
+        samples=samples, seed=seed,
+    ))
+    index = min(len(spans) - 1, math.ceil(0.95 * (len(spans) - 1)))
+    return float(spans[index])
+
+
+# -- capacity views ------------------------------------------------------------------
+
+
+def spot_view_point(
+    point: DataPoint,
+    catalog: PriceCatalog,
+    eviction: EvictionModel,
+    region: Optional[str] = None,
+    recovery: str = "checkpoint_restart",
+    checkpoint_interval_s: float = 600.0,
+    checkpoint_overhead_s: float = 60.0,
+    p95_samples: int = 256,
+) -> DataPoint:
+    """``point`` as it would look on spot capacity.
+
+    A point *measured* on spot keeps its realized makespan and effective
+    cost (the simulation already paid the risk); an on-demand measurement
+    gets the closed-form expected makespan and the spot price applied to
+    the expected billed time.  Both get a seeded P95 makespan stashed in
+    ``infra_metrics[P95_METRIC]``, giving the advisor its third axis.
+    """
+    rate = eviction.rate_per_hour(point.sku, point.nnodes)
+    p95 = p95_spot_runtime(
+        point.exec_time_s, rate, recovery,
+        checkpoint_interval_s, checkpoint_overhead_s,
+        samples=p95_samples, seed=eviction.seed,
+    )
+    metrics = dict(point.infra_metrics)
+    metrics[P95_METRIC] = p95
+    if point.capacity == "spot":
+        return replace(
+            point,
+            makespan_s=point.makespan_s or point.exec_time_s,
+            infra_metrics=metrics,
+        )
+    expected = expected_spot_runtime(
+        point.exec_time_s, rate, recovery,
+        checkpoint_interval_s, checkpoint_overhead_s,
+    )
+    return replace(
+        point,
+        capacity="spot",
+        makespan_s=expected,
+        # All uptime bills, lost work included: expected cost follows the
+        # expected *makespan*, not the useful work.
+        cost_usd=catalog.task_cost(
+            point.sku, point.nnodes, expected, region=region, spot=True
+        ),
+        wasted_node_s=max(0.0, expected - point.exec_time_s) * point.nnodes,
+        infra_metrics=metrics,
+    )
+
+
+def ondemand_view_point(
+    point: DataPoint,
+    catalog: PriceCatalog,
+    region: Optional[str] = None,
+) -> DataPoint:
+    """``point`` as it would look on uninterrupted on-demand capacity.
+
+    Strips spot dynamics: the useful work time is what an on-demand run
+    takes, billed at the on-demand rate.
+    """
+    return replace(
+        point,
+        capacity="ondemand",
+        makespan_s=point.exec_time_s,
+        cost_usd=catalog.task_cost(
+            point.sku, point.nnodes, point.exec_time_s,
+            region=region, spot=False,
+        ),
+        preemptions=0,
+        wasted_node_s=0.0,
+    )
+
+
+def capacity_view(
+    dataset: Dataset,
+    catalog: PriceCatalog,
+    capacity: str,
+    eviction: Optional[EvictionModel] = None,
+    region: Optional[str] = None,
+    recovery: str = "checkpoint_restart",
+    checkpoint_interval_s: float = 600.0,
+    checkpoint_overhead_s: float = 60.0,
+) -> Dataset:
+    """The dataset re-expressed on one capacity tier (what-if advice)."""
+    if capacity == "ondemand":
+        return Dataset([
+            ondemand_view_point(p, catalog, region=region) for p in dataset
+        ])
+    if capacity == "spot":
+        model = eviction if eviction is not None else EvictionModel(
+            region=region
+        )
+        return Dataset([
+            spot_view_point(
+                p, catalog, model, region=region, recovery=recovery,
+                checkpoint_interval_s=checkpoint_interval_s,
+                checkpoint_overhead_s=checkpoint_overhead_s,
+            )
+            for p in dataset
+        ])
+    raise AdvisorError(
+        f"capacity must be 'ondemand' or 'spot', got {capacity!r}"
+    )
+
+
+# -- what-if summary (CLI `advice --spot`) -------------------------------------------
+
+
 def spot_savings_summary(
     dataset: Dataset,
     catalog: PriceCatalog,
     region: Optional[str] = None,
+    eviction: Optional[EvictionModel] = None,
+    recovery: str = "checkpoint_restart",
+    checkpoint_interval_s: float = 600.0,
+    checkpoint_overhead_s: float = 60.0,
 ) -> str:
-    """Render the on-demand vs spot advice comparison."""
+    """Render the on-demand vs spot advice comparison.
+
+    Both sides of the table are fronts over *their own* dynamics: the
+    spot column reprices **and** re-times each configuration under the
+    eviction model (an earlier version kept the on-demand execution time
+    next to the spot price, which overstated spot exactly when the risk
+    mattered — with eviction dynamics the makespans differ).
+    """
     from repro.core.advisor import Advisor
 
-    on_demand = Advisor(dataset).advise()
-    spot_rows = Advisor(
-        reprice_dataset(dataset, catalog, region=region, spot=True)
+    model = eviction if eviction is not None else EvictionModel(region=region)
+    on_demand = Advisor(
+        capacity_view(dataset, catalog, "ondemand", region=region)
     ).advise()
-    lines = ["configuration                     on-demand      spot"]
+    spot_rows = Advisor(
+        capacity_view(
+            dataset, catalog, "spot", eviction=model, region=region,
+            recovery=recovery,
+            checkpoint_interval_s=checkpoint_interval_s,
+            checkpoint_overhead_s=checkpoint_overhead_s,
+        )
+    ).advise(objective="effective")
+    lines = [
+        "configuration                     on-demand            spot "
+        "(risk-adjusted)"
+    ]
     spot_index = {(r.sku, r.nnodes): r for r in spot_rows}
     for row in on_demand:
         spot_row = spot_index.get((row.sku, row.nnodes))
-        spot_cost = f"${spot_row.cost_usd:.4f}" if spot_row else "(off front)"
+        if spot_row is None:
+            spot_cell = "(off front)"
+        else:
+            spot_cell = (f"${spot_row.cost_usd:.4f} "
+                         f"E[{spot_row.makespan_s:.0f}s]")
         lines.append(
             f"{row.nnodes:>3}x {row.sku_short:<24} "
-            f"${row.cost_usd:.4f}   {spot_cost}"
+            f"${row.cost_usd:.4f} {row.exec_time_s:>5.0f}s   {spot_cell}"
         )
     discount = catalog.spot_discount
-    lines.append(f"(spot assumes a {discount:.0%} discount and interruptible "
-                 "capacity)")
+    lines.append(
+        f"(spot assumes a {discount:.0%} discount; expected makespans "
+        f"include eviction recovery via {recovery})"
+    )
     return "\n".join(lines) + "\n"
+
+
+def cheapest_capacity(
+    rows_by_capacity: Sequence,
+) -> Optional[str]:
+    """Label of the capacity tier whose cheapest advice row wins.
+
+    ``rows_by_capacity`` is an iterable of ``(label, rows)`` pairs; rows
+    are :class:`~repro.core.advisor.AdviceRow`.  Ties go to the earlier
+    entry.  Convenience for benchmarks and examples that ask "on-demand
+    or spot?".
+    """
+    best_label, best_cost = None, math.inf
+    for label, rows in rows_by_capacity:
+        for row in rows:
+            if row.cost_usd < best_cost:
+                best_label, best_cost = label, row.cost_usd
+    return best_label

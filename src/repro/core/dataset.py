@@ -31,6 +31,18 @@ class DataPoint:
     deployment: str = ""
     timestamp: float = 0.0
     predicted: bool = False
+    #: Capacity tier the measurement ran on (``ondemand`` or ``spot``).
+    capacity: str = "ondemand"
+    #: Spot interruptions absorbed while producing this measurement.
+    preemptions: int = 0
+    #: Billed node-seconds that produced no surviving work (lost progress
+    #: plus restore overhead) across the scenario's attempts.
+    wasted_node_s: float = 0.0
+    #: Wall-clock span from the first attempt's start to completion —
+    #: on spot capacity this includes lost attempts and re-provisioning,
+    #: so it is the honest "time to result"; equals ``exec_time_s`` on
+    #: an uninterrupted run.
+    makespan_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.nnodes < 1:
@@ -39,6 +51,10 @@ class DataPoint:
             raise DatasetError(f"negative exec time: {self.exec_time_s}")
         if self.cost_usd < 0:
             raise DatasetError(f"negative cost: {self.cost_usd}")
+        if self.preemptions < 0:
+            raise DatasetError(f"negative preemptions: {self.preemptions}")
+        if self.wasted_node_s < 0:
+            raise DatasetError(f"negative wasted node-s: {self.wasted_node_s}")
 
     def inputs_key(self) -> str:
         return ",".join(f"{k}={v}" for k, v in sorted(self.appinputs.items()))
@@ -58,6 +74,10 @@ class DataPoint:
             "deployment": self.deployment,
             "timestamp": self.timestamp,
             "predicted": self.predicted,
+            "capacity": self.capacity,
+            "preemptions": self.preemptions,
+            "wasted_node_s": self.wasted_node_s,
+            "makespan_s": self.makespan_s,
         }
 
     @classmethod
@@ -77,6 +97,10 @@ class DataPoint:
             deployment=str(data.get("deployment", "")),
             timestamp=float(data.get("timestamp", 0.0)),  # type: ignore[arg-type]
             predicted=bool(data.get("predicted", False)),
+            capacity=str(data.get("capacity", "ondemand")),
+            preemptions=int(data.get("preemptions", 0)),  # type: ignore[arg-type]
+            wasted_node_s=float(data.get("wasted_node_s", 0.0)),  # type: ignore[arg-type]
+            makespan_s=float(data.get("makespan_s", 0.0)),  # type: ignore[arg-type]
         )
 
 
@@ -121,6 +145,7 @@ class Dataset:
         min_nodes: Optional[int] = None,
         max_nodes: Optional[int] = None,
         include_predicted: bool = True,
+        capacity: Optional[str] = None,
         predicate: Optional[Callable[[DataPoint], bool]] = None,
     ) -> "Dataset":
         """Return a new dataset with only the matching points."""
@@ -148,6 +173,8 @@ class Dataset:
                 if p.tags.get(key) != str(value):
                     return False
             if not include_predicted and p.predicted:
+                return False
+            if capacity is not None and p.capacity != capacity:
                 return False
             if predicate is not None and not predicate(p):
                 return False

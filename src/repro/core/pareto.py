@@ -80,3 +80,53 @@ def pareto_select(items: Sequence[T], key) -> List[T]:
     """Select the items whose ``key(item) -> (obj1, obj2)`` is non-dominated."""
     points = [key(item) for item in items]
     return [items[i] for i in pareto_indices(points)]
+
+
+# -- N-objective fronts (risk-adjusted advice) ---------------------------------------
+#
+# Spot capacity adds a third axis to the paper's (time, cost) trade-off:
+# the tail of the makespan distribution (e.g. P95) under eviction risk.
+# Two configurations can tie on expected time and cost yet differ wildly
+# in how badly an unlucky run ends, so the risk-adjusted advice keeps
+# both — which needs a front over arbitrarily many objectives.
+
+
+def dominates_nd(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` dominates ``b``: <= everywhere, < somewhere."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"objective vectors differ in length: {len(a)} vs {len(b)}"
+        )
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
+def pareto_indices_nd(points: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the non-dominated points for any number of objectives.
+
+    Result is ordered ascending by the full objective tuple (ties kept,
+    as in :func:`pareto_indices`).  Quadratic, which is fine at advice-
+    table sizes; the 2-D sweep above stays the hot-loop implementation.
+    """
+    n = len(points)
+    if n == 0:
+        return []
+    dims = {len(p) for p in points}
+    if len(dims) != 1:
+        raise ValueError(f"mixed objective dimensions: {sorted(dims)}")
+    if dims == {2}:
+        return pareto_indices([tuple(p) for p in points])
+    order = sorted(range(n), key=lambda i: tuple(points[i]))
+    front: List[int] = []
+    for i in order:
+        if not any(dominates_nd(points[j], points[i]) for j in range(n)
+                   if j != i):
+            front.append(i)
+    return front
+
+
+def pareto_select_nd(items: Sequence[T], key) -> List[T]:
+    """Select items whose ``key(item) -> (obj1, ..., objN)`` is non-dominated."""
+    points = [key(item) for item in items]
+    return [items[i] for i in pareto_indices_nd(points)]

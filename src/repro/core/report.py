@@ -79,6 +79,14 @@ def render_report(
             f"sweep makespan: {fmt_duration(report.makespan_s)} at "
             f"{report.max_parallel_pools} parallel pool(s)"
         )
+    if getattr(report, "capacity", "ondemand") == "spot":
+        lines.append(
+            f"spot capacity: {getattr(report, 'preemptions', 0)} "
+            f"preemption(s), "
+            f"{fmt_duration(getattr(report, 'wasted_node_s', 0.0))} of "
+            f"node-time wasted (recovery: "
+            f"{getattr(report, 'recovery', '') or 'n/a'})"
+        )
     lines.append("")
 
     aggregates = aggregate_by_sku(dataset)

@@ -37,6 +37,8 @@ class TaskRecord:
     finished_at: Optional[float] = None
     skipped_by_sampler: bool = False
     predicted: bool = False
+    #: Spot interruptions absorbed while executing this scenario.
+    preemptions: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -51,6 +53,7 @@ class TaskRecord:
             "finished_at": self.finished_at,
             "skipped_by_sampler": self.skipped_by_sampler,
             "predicted": self.predicted,
+            "preemptions": self.preemptions,
         }
 
     @classmethod
@@ -70,6 +73,7 @@ class TaskRecord:
             finished_at=_opt_float(data.get("finished_at")),
             skipped_by_sampler=bool(data.get("skipped_by_sampler", False)),
             predicted=bool(data.get("predicted", False)),
+            preemptions=int(data.get("preemptions", 0)),  # type: ignore[arg-type]
         )
 
 
@@ -129,6 +133,7 @@ class TaskDB:
         started_at: Optional[float] = None,
         finished_at: Optional[float] = None,
         predicted: bool = False,
+        preemptions: int = 0,
     ) -> TaskRecord:
         record = self.get(scenario_id)
         record.status = TaskStatus.COMPLETED
@@ -139,16 +144,19 @@ class TaskDB:
         record.started_at = started_at
         record.finished_at = finished_at
         record.predicted = predicted
+        record.preemptions = preemptions
         return record
 
     def mark_failed(self, scenario_id: str, reason: str,
                     started_at: Optional[float] = None,
-                    finished_at: Optional[float] = None) -> TaskRecord:
+                    finished_at: Optional[float] = None,
+                    preemptions: int = 0) -> TaskRecord:
         record = self.get(scenario_id)
         record.status = TaskStatus.FAILED
         record.failure_reason = reason
         record.started_at = started_at
         record.finished_at = finished_at
+        record.preemptions = preemptions
         return record
 
     def mark_skipped(self, scenario_id: str) -> TaskRecord:

@@ -31,6 +31,7 @@ td, th { border: 1px solid #999; padding: 4px 10px; font-size: 14px; }
 th { background: #eef; }
 .charts { display: flex; flex-wrap: wrap; gap: 12px; }
 .pred { color: #b35900; }
+.evict { color: #a01515; white-space: nowrap; }
 """
 
 
@@ -107,26 +108,40 @@ def _sweep_section(session: "AdvisorSession", name: str) -> str:
     by_sku: dict = {}
     for r in records:
         by_sku.setdefault(r.scenario.sku_name, []).append(r)
+    any_evictions = any(r.preemptions for r in records)
     rows = []
     for sku in sorted(by_sku):
         group = by_sku[sku]
         first = min(r.started_at for r in group)
         last = max(r.finished_at for r in group)
         done = sum(1 for r in group if r.status.value == "completed")
+        evictions = sum(r.preemptions for r in group)
+        marker = ""
+        if any_evictions:
+            cell = f"&#9889; {evictions}" if evictions else "-"
+            marker = f"<td class='evict'>{cell}</td>"
         rows.append(
             f"<tr><td>{html.escape(sku)}</td><td>{len(group)}</td>"
             f"<td>{done}</td><td>{first:.0f}</td><td>{last:.0f}</td>"
-            f"<td>{last - first:.0f}</td></tr>"
+            f"<td>{last - first:.0f}</td>{marker}</tr>"
         )
     makespan = (max(r.finished_at for r in records)
                 - min(r.started_at for r in records))
+    eviction_header = "<th>Evictions</th>" if any_evictions else ""
+    note = ""
+    if any_evictions:
+        total = sum(r.preemptions for r in records)
+        note = (f" The sweep ran on spot capacity and absorbed {total} "
+                "eviction(s) (&#9889;); interrupted tasks recovered per "
+                "the sweep's recovery policy.")
     return (
         "<h3>Sweep timeline</h3>"
         f"<p>Task makespan: {makespan:.0f}s simulated; overlapping SKU "
-        "windows mean the sweep ran pools concurrently.</p>"
+        f"windows mean the sweep ran pools concurrently.{note}</p>"
         "<table><tr><th>SKU</th><th>Tasks</th><th>Completed</th>"
         "<th>First start (s)</th><th>Last finish (s)</th>"
-        "<th>Span (s)</th></tr>" + "".join(rows) + "</table>"
+        "<th>Span (s)</th>" + eviction_header + "</tr>"
+        + "".join(rows) + "</table>"
     )
 
 

@@ -370,6 +370,7 @@ class JobManager:
                     "failed": report.failed,
                     "skipped": report.skipped,
                     "predicted": report.predicted,
+                    "preemptions": report.preemptions,
                     # The true makespan is only known at sweep end; the
                     # task-level span is the honest live number.
                     "simulated_wall_s": report.simulated_wall_s,

@@ -306,6 +306,13 @@ class Router:
                 sku=_one(query, "sku") or None,
                 sort_by=_one(query, "sort") or "time",
                 max_rows=_int_or_none(_one(query, "max_rows")),
+                capacity=_one(query, "capacity"),
+                recovery=_one(query, "recovery") or "checkpoint_restart",
+                eviction_rate=_float_or_none(_one(query, "eviction_rate")),
+                checkpoint_interval_s=_float_or_default(
+                    _one(query, "checkpoint_interval"), 600.0),
+                checkpoint_overhead_s=_float_or_default(
+                    _one(query, "checkpoint_overhead"), 60.0),
             )
         with self.state.lock:
             result = self.state.session.advise(request)
@@ -408,6 +415,20 @@ def _int_or_none(raw: str) -> Optional[int]:
         return int(raw)
     except ValueError as exc:
         raise ConfigError(f"expected an integer, got {raw!r}") from exc
+
+
+def _float_or_none(raw: str) -> Optional[float]:
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise ConfigError(f"expected a number, got {raw!r}") from exc
+
+
+def _float_or_default(raw: str, default: float) -> float:
+    value = _float_or_none(raw)
+    return default if value is None else value
 
 
 def _nnodes(query: Dict[str, List[str]]) -> tuple:

@@ -34,6 +34,11 @@ class SlurmPartition:
     base_boot_s: float = 150.0
     powered_up: int = 0
     meter: Optional[BillingMeter] = None
+    #: Whether the partition bursts onto interruptible spot capacity
+    #: (informational; ``hourly_price`` already reflects the discount).
+    spot: bool = False
+    #: Nodes reclaimed by the platform over the partition's lifetime.
+    preemption_count: int = 0
 
     def __post_init__(self) -> None:
         if self.meter is None:
@@ -105,7 +110,8 @@ class SlurmCluster:
 
     # -- partitions ---------------------------------------------------------------
 
-    def create_partition(self, name: str, sku_name: str) -> SlurmPartition:
+    def create_partition(self, name: str, sku_name: str,
+                         spot: bool = False) -> SlurmPartition:
         if name in self.partitions:
             raise BackendError(f"partition {name!r} already exists")
         sku = self.provider.validate_sku_in_region(sku_name, self.region)
@@ -115,8 +121,11 @@ class SlurmCluster:
             region=self.region,
             subscription=self.subscription,
             clock=self.clock,
-            hourly_price=self.provider.prices.hourly_price(sku.name, self.region),
+            hourly_price=self.provider.prices.hourly_price(
+                sku.name, self.region, spot=spot
+            ),
             base_boot_s=self.provider.latencies.node_boot,
+            spot=spot,
         )
         self.partitions[name] = partition
         return partition
@@ -203,6 +212,33 @@ class SlurmCluster:
         job.stdout = completion.stdout
         job.state = (JobState.COMPLETED if completion.exit_code == 0
                      else JobState.FAILED)
+        return job
+
+    def interrupt_job(self, job_id: int) -> SlurmJob:
+        """Spot preemption: a node under a running job is reclaimed.
+
+        Must be called with the clock at the interruption time, strictly
+        before the job's natural end.  The job dies (``PREEMPTED``), its
+        pending completion is discarded, and the partition loses one
+        powered-up node — the next power-up pays the boot wait again.
+        """
+        job = self.jobs[job_id]
+        if job.state is not JobState.RUNNING:
+            raise BackendError(
+                f"job {job_id} is {job.state.value}, expected running"
+            )
+        completion = self._running[job_id]
+        assert job.start_time is not None
+        if self.clock.now >= job.start_time + completion.wall_time_s - 1e-9:
+            raise BackendError(
+                f"job {job_id} already finished; complete it instead"
+            )
+        del self._running[job_id]
+        part = self.get_partition(job.partition)
+        part.power_down(part.powered_up - 1)
+        part.preemption_count += 1
+        job.end_time = self.clock.now
+        job.state = JobState.PREEMPTED
         return job
 
     def pending_completion(self, job_id: int) -> "JobCompletion":

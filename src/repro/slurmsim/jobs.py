@@ -14,6 +14,8 @@ class JobState(enum.Enum):
     RUNNING = "R"
     COMPLETED = "CD"
     FAILED = "F"
+    #: Spot capacity reclaimed mid-run (Slurm's own PR state).
+    PREEMPTED = "PR"
 
 
 @dataclass

@@ -29,9 +29,26 @@ ROW = AdviceRow(exec_time_s=34.0, cost_usd=0.544, nnodes=16,
                 sku="Standard_HB120rs_v3", ppn=120,
                 appinputs={"BOXFACTOR": "30"})
 
+SPOT_ROW = AdviceRow(exec_time_s=34.0, cost_usd=0.21, nnodes=16,
+                     sku="Standard_HB120rs_v3", ppn=120,
+                     appinputs={"BOXFACTOR": "30"}, capacity="spot",
+                     preemptions=3, makespan_s=61.5, p95_makespan_s=140.0)
+
 SAMPLES = [
     CollectRequest(deployment="d-000", smart_sampling=True, budget_usd=9.5,
                    sampling_policy="aggressive", noise=0.02, seed=7),
+    CollectRequest(deployment="d-000", capacity="spot",
+                   recovery="checkpoint_restart",
+                   checkpoint_interval_s=120.0, checkpoint_overhead_s=12.0,
+                   eviction_rate=25.0, eviction_seed=42),
+    AdviseRequest(deployment="d-000", capacity="spot", recovery="restart",
+                  eviction_rate=40.0, checkpoint_interval_s=90.0,
+                  checkpoint_overhead_s=9.0),
+    CollectResult(deployment="d-000", capacity="spot",
+                  recovery="checkpoint_restart", preemptions=17,
+                  wasted_node_s=432.5, executed=4, completed=3, failed=1),
+    AdviceResult(deployment="d-000", appname="lammps", capacity="spot",
+                 rows=(SPOT_ROW,), dataset_points=8),
     AdviseRequest(deployment="d-000", appname="lammps",
                   filters={"BOXFACTOR": "30"}, nnodes=(3, 4, 8),
                   sku="hb120rs_v3", sort_by="cost", max_rows=5),
@@ -104,6 +121,40 @@ class TestValidation:
     def test_recipe_request_rejects_negative_row(self):
         with pytest.raises(ConfigError, match="row"):
             RecipeRequest(deployment="d", row=-1)
+
+    def test_collect_request_rejects_bad_capacity(self):
+        with pytest.raises(ConfigError, match="capacity"):
+            CollectRequest(deployment="d", capacity="flex")
+
+    def test_collect_request_rejects_bad_recovery(self):
+        with pytest.raises(ConfigError, match="recovery"):
+            CollectRequest(deployment="d", recovery="pray")
+
+    def test_collect_request_rejects_bad_checkpoint_geometry(self):
+        with pytest.raises(ConfigError, match="checkpoint_interval"):
+            CollectRequest(deployment="d", checkpoint_interval_s=0.0)
+        with pytest.raises(ConfigError, match="checkpoint_overhead"):
+            CollectRequest(deployment="d", checkpoint_overhead_s=-1.0)
+        with pytest.raises(ConfigError, match="eviction_rate"):
+            CollectRequest(deployment="d", eviction_rate=-2.0)
+
+    def test_advise_request_rejects_bad_capacity(self):
+        with pytest.raises(ConfigError, match="capacity"):
+            AdviseRequest(deployment="d", capacity="flex")
+
+    def test_advise_request_rejects_fail_recovery(self):
+        # `fail` has no expected-value model; the what-if refuses it.
+        with pytest.raises(ConfigError, match="recovery"):
+            AdviseRequest(deployment="d", recovery="fail")
+
+    def test_advise_request_empty_capacity_means_as_measured(self):
+        assert AdviseRequest(deployment="d").capacity == ""
+
+    def test_collect_request_defaults_to_ondemand(self):
+        req = CollectRequest(deployment="d")
+        assert req.capacity == "ondemand"
+        assert req.eviction_rate is None
+        assert req.eviction_seed == 0
 
 
 class TestAdviceResultHelpers:

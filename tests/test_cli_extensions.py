@@ -72,7 +72,7 @@ class TestAdviceSpot:
         assert main(["--state-dir", collected, "advice", "-n", "extrg-000",
                      "--spot"]) == 0
         out = capsys.readouterr().out
-        assert "What-if: spot pricing" in out
+        assert "What-if: spot capacity (risk-adjusted)" in out
         assert "spot assumes" in out
 
 
@@ -287,3 +287,79 @@ class TestServiceCli:
     def test_status_unknown_job_reports_error(self, service, capsys):
         assert main(["status", "--url", service, "job-nope"]) == 2
         assert "error" in capsys.readouterr().err
+
+
+
+class TestSpotCli:
+    """Acceptance: `collect/advice --capacity spot --recovery ...` returns
+    advice whose expected cost reflects simulated evictions."""
+
+    def spot_collect(self, tmp_path):
+        config_path = tmp_path / "config.yaml"
+        config_path.write_text(CONFIG)
+        state = str(tmp_path / "state")
+        assert main(["--state-dir", state, "deploy", "create", "-c",
+                     str(config_path)]) == 0
+        assert main(["--state-dir", state, "collect", "-n", "extrg-000",
+                     "--capacity", "spot", "--recovery",
+                     "checkpoint_restart",
+                     "--checkpoint-interval", "5",
+                     "--checkpoint-overhead", "1",
+                     "--eviction-rate", "30", "--eviction-seed", "3"]) == 0
+        return state
+
+    def test_spot_collect_reports_preemptions(self, tmp_path, capsys):
+        self.spot_collect(tmp_path)
+        out = capsys.readouterr().out
+        assert "spot capacity:" in out
+        assert "preemption(s)" in out
+        assert "recovery: checkpoint_restart" in out
+
+    def test_spot_advice_reflects_simulated_evictions(self, tmp_path,
+                                                      capsys):
+        import json
+
+        from repro.api.results import AdviceResult
+
+        state = self.spot_collect(tmp_path)
+        capsys.readouterr()
+        assert main(["--state-dir", state, "advice", "-n", "extrg-000",
+                     "--capacity", "spot", "--recovery",
+                     "checkpoint_restart", "--json"]) == 0
+        result = AdviceResult.from_dict(
+            json.loads(capsys.readouterr().out)
+        )
+        assert result.capacity == "spot"
+        assert result.rows
+        for row in result.rows:
+            assert row.capacity == "spot"
+            # Expected completion includes the eviction recovery time.
+            assert row.makespan_s >= row.exec_time_s
+        assert any(row.preemptions > 0 for row in result.rows)
+
+    def test_spot_advice_table_renders_risk_columns(self, tmp_path,
+                                                    capsys):
+        state = self.spot_collect(tmp_path)
+        capsys.readouterr()
+        assert main(["--state-dir", state, "advice", "-n", "extrg-000",
+                     "--capacity", "spot"]) == 0
+        out = capsys.readouterr().out
+        assert "E[Span](s)" in out
+        assert "P95(s)" in out
+        assert "[spot]" in out
+
+    def test_ondemand_what_if_strips_spot_dynamics(self, tmp_path, capsys):
+        import json
+
+        from repro.api.results import AdviceResult
+
+        state = self.spot_collect(tmp_path)
+        capsys.readouterr()
+        assert main(["--state-dir", state, "advice", "-n", "extrg-000",
+                     "--capacity", "ondemand", "--json"]) == 0
+        result = AdviceResult.from_dict(
+            json.loads(capsys.readouterr().out)
+        )
+        assert result.capacity == "ondemand"
+        for row in result.rows:
+            assert row.preemptions == 0

@@ -275,3 +275,51 @@ class TestCancelOverTheWire:
             server.server_close()
             state.close()
             thread.join(timeout=10)
+
+
+class TestSpotOverTheWire:
+    """Acceptance: spot collection and risk-adjusted advice work
+    end-to-end through RemoteSession, sockets included."""
+
+    def test_spot_collect_and_advise(self, remote):
+        from repro.api import AdviseRequest, CollectRequest
+
+        info = deploy(remote, prefix="spotwire",
+                      nnodes=[1, 2], appinputs={"BOXFACTOR": ["16"]})
+        job = remote.collect(CollectRequest(
+            deployment=info.name,
+            capacity="spot",
+            recovery="checkpoint_restart",
+            checkpoint_interval_s=5.0,
+            checkpoint_overhead_s=1.0,
+            eviction_rate=120.0,
+            eviction_seed=5,
+        ))
+        record = job.wait(timeout=60)
+        assert record.state == "done"
+        result = job.result()
+        assert result.capacity == "spot"
+        assert result.recovery == "checkpoint_restart"
+        assert result.preemptions > 0
+        assert result.wasted_node_s > 0
+
+        advice = remote.advise(AdviseRequest(
+            deployment=info.name, capacity="spot",
+            recovery="checkpoint_restart",
+        ))
+        assert advice.capacity == "spot"
+        assert advice.rows
+        for row in advice.rows:
+            assert row.capacity == "spot"
+            assert row.makespan_s >= row.exec_time_s
+            assert row.p95_makespan_s > 0
+
+    def test_spot_request_validation_maps_to_remote_error(self, remote):
+        from repro.errors import RemoteError
+
+        info = deploy(remote, prefix="spotwirebad")
+        with pytest.raises(RemoteError) as excinfo:
+            remote._call("POST", "/v1/jobs/collect", body={
+                "deployment": info.name, "capacity": "flex",
+            })
+        assert excinfo.value.status == 400

@@ -27,6 +27,7 @@ EXPECTED_OUTPUT = {
     "predicted_advice_demo.py": "prediction error",
     "budget_payoff_demo.py": "break-even",
     "remote_advisor_demo.py": "cheapest option:",
+    "spot_advisor_demo.py": "verdict at brutal rate",
 }
 
 

@@ -213,3 +213,35 @@ class TestApiMount:
             thread.join(timeout=5)
         finally:
             server.server_close()
+
+
+class TestSweepTimelineEvictionMarkers:
+    def test_markers_shown_for_spot_sweeps(self, tmp_path):
+        from repro.api import AdvisorSession, CollectRequest
+        from repro.gui.pages import render_deployment
+
+        session = AdvisorSession(state_dir=str(tmp_path / "state"))
+        info = session.deploy(make_config(rgprefix="guispot",
+                                          appinputs={"BOXFACTOR": ["16"]}))
+        result = session.collect(CollectRequest(
+            deployment=info.name, capacity="spot",
+            recovery="checkpoint_restart",
+            checkpoint_interval_s=5.0, checkpoint_overhead_s=1.0,
+            eviction_rate=150.0, eviction_seed=3,
+        ))
+        assert result.preemptions > 0
+        html = render_deployment(session, info.name)
+        assert "Evictions" in html
+        assert "&#9889;" in html  # the lightning marker
+        assert "spot capacity" in html
+
+    def test_no_marker_column_for_ondemand_sweeps(self, tmp_path):
+        from repro.api import AdvisorSession, CollectRequest
+        from repro.gui.pages import render_deployment
+
+        session = AdvisorSession(state_dir=str(tmp_path / "state"))
+        info = session.deploy(make_config(rgprefix="guiod"))
+        session.collect(CollectRequest(deployment=info.name))
+        html = render_deployment(session, info.name)
+        assert "Evictions" not in html
+        assert "&#9889;" not in html

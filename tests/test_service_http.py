@@ -323,3 +323,79 @@ class TestBindFailure:
         assert threading.active_count() == before  # no leaked workers
         assert json.loads(
             (jobs_dir / "job-q.json").read_text())["state"] == "queued"
+
+
+class TestSpotWire:
+    """Wire coverage for the spot-capacity parameters (ISSUE 4)."""
+
+    def test_collect_job_carries_spot_parameters(self, router):
+        info = deploy(router, prefix="spotrg")
+        body = {
+            "deployment": info.name,
+            "capacity": "spot",
+            "recovery": "checkpoint_restart",
+            "checkpoint_interval_s": 5.0,
+            "checkpoint_overhead_s": 1.0,
+            "eviction_rate": 120.0,
+            "eviction_seed": 9,
+        }
+        response = router.handle("POST", "/v1/jobs/collect",
+                                 json.dumps(body))
+        assert response.status == 202
+        assert response.payload["request"]["capacity"] == "spot"
+        assert response.payload["request"]["eviction_seed"] == 9
+        record = router.state.jobs.wait(response.payload["id"], timeout=30)
+        assert record.state == "done", record.error
+        from repro.api.results import CollectResult
+
+        result = CollectResult.from_dict(record.result)
+        assert result.capacity == "spot"
+        assert result.recovery == "checkpoint_restart"
+        assert result.preemptions >= 0
+        assert record.progress.get("preemptions") == result.preemptions
+
+    def test_collect_job_rejects_bad_spot_parameters(self, router):
+        info = deploy(router, prefix="spotbadrg")
+        response = router.handle("POST", "/v1/jobs/collect", json.dumps({
+            "deployment": info.name, "capacity": "flex",
+        }))
+        assert response.status == 400
+        assert "capacity" in response.payload["error"]
+
+    def test_advice_get_spot_query_params(self, router):
+        info = deploy(router, prefix="spotadvrg")
+        collect_done(router, info.name)
+        response = router.handle(
+            "GET",
+            f"/v1/advice?deployment={info.name}&capacity=spot"
+            "&recovery=restart&eviction_rate=40"
+            "&checkpoint_interval=90&checkpoint_overhead=9",
+        )
+        assert response.status == 200
+        result = AdviceResult.from_dict(response.payload)
+        assert result.capacity == "spot"
+        assert result.rows
+        for row in result.rows:
+            assert row.capacity == "spot"
+            assert row.makespan_s >= row.exec_time_s
+            assert row.p95_makespan_s > 0
+
+    def test_advice_post_spot_body(self, router):
+        info = deploy(router, prefix="spotpostrg")
+        collect_done(router, info.name)
+        response = router.handle("POST", "/v1/advice", json.dumps({
+            "deployment": info.name, "capacity": "ondemand",
+        }))
+        assert response.status == 200
+        result = AdviceResult.from_dict(response.payload)
+        assert result.capacity == "ondemand"
+
+    def test_advice_get_rejects_bad_eviction_rate(self, router):
+        info = deploy(router, prefix="spotnanrg")
+        response = router.handle(
+            "GET",
+            f"/v1/advice?deployment={info.name}&capacity=spot"
+            "&eviction_rate=banana",
+        )
+        assert response.status == 400
+        assert "number" in response.payload["error"]

@@ -57,6 +57,7 @@ class _FakeReport:
         self.failed = 0
         self.skipped = 0
         self.predicted = 0
+        self.preemptions = 0
         self.simulated_wall_s = float(executed)
 
 
