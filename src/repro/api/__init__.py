@@ -50,6 +50,9 @@ __all__ = [
     # results
     "SessionInfo", "CollectResult", "AdviceResult", "PredictResult",
     "PlotResult", "RecipeResult", "CompareResult", "CompareRow",
+    "DataPointsResult",
+    # queries
+    "Query",
     # registry
     "Registry", "backends", "apps", "perf_models", "sampling_policies",
     "register_backend", "register_app", "register_perf_model",
@@ -72,6 +75,8 @@ _LAZY = {
     "RecipeResult": "repro.api.results",
     "CompareResult": "repro.api.results",
     "CompareRow": "repro.api.results",
+    "DataPointsResult": "repro.api.results",
+    "Query": "repro.core.query",
 }
 
 

@@ -88,6 +88,9 @@ class CollectResult(DictMixin):
     failures: Tuple[str, ...] = ()
     dataset_points: int = 0
     dataset_path: str = ""
+    #: Persistence engine the sweep wrote through (``jsonl``/``sqlite``;
+    #: empty for ephemeral, in-memory sessions).
+    store_backend: str = ""
     #: Smart-sampling extras (empty/zero when no sampler was used).
     sampler_decisions: Tuple[str, ...] = ()
     bottleneck_summary: str = ""
@@ -230,6 +233,36 @@ class CompareResult(DictMixin):
                 for row in comparison.rows
             ),
         )
+
+
+def _decode_points(raw) -> Tuple:
+    from repro.core.dataset import DataPoint
+
+    return tuple(DataPoint.from_dict(item) for item in raw or ())
+
+
+@dataclass(frozen=True)
+class DataPointsResult(DictMixin):
+    """One page of a deployment's data points (paginated listing).
+
+    ``total`` counts every point matching the filter, ignoring the
+    ``limit``/``offset`` window, so clients can page without a second
+    count request.
+    """
+
+    deployment: str
+    total: int = 0
+    limit: Optional[int] = None
+    offset: int = 0
+    points: Tuple = ()
+    #: Persistence engine that served the page.
+    store_backend: str = ""
+
+    _decoders = {"points": _decode_points}
+
+    @property
+    def has_more(self) -> bool:
+        return self.offset + len(self.points) < self.total
 
 
 @dataclass(frozen=True)

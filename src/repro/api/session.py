@@ -41,6 +41,7 @@ from repro.api.requests import (
 from repro.api.results import (
     AdviceResult,
     CollectResult,
+    DataPointsResult,
     PlotResult,
     PredictResult,
     RecipeResult,
@@ -49,14 +50,16 @@ from repro.api.results import (
 from repro.core.advisor import Advisor
 from repro.core.collector import DataCollector
 from repro.core.config import MainConfig
-from repro.core.dataset import Dataset
+from repro.core.dataset import DataPoint, Dataset
 from repro.core.deployer import Deployer, Deployment
+from repro.core.query import Query
 from repro.api.serde import coerce_request as _coerce_request
 from repro.core.statefiles import StateStore, file_lock, resolve_state_dir
 from repro.core.taskdb import TaskDB
 from repro.errors import ConfigError, ReproError, ResourceNotFound
 from repro.perf.noise import NoiseModel
 from repro.sampling.planner import SmartSampler
+from repro.store.base import StoreBackend
 
 ConfigLike = Union[MainConfig, Mapping, str]
 
@@ -71,6 +74,10 @@ class AdvisorSession:
         session ephemeral — nothing is written to disk.
     store:
         An explicit :class:`StateStore` (overrides ``state_dir``).
+    store_backend:
+        Persistence engine for collected data (``"jsonl"`` or
+        ``"sqlite"``); ``None`` defers to ``REPRO_STORE``/auto-detect
+        (see :mod:`repro.store`).
     deployer:
         Injectable for tests; defaults to a fresh simulated provider.
     """
@@ -80,10 +87,12 @@ class AdvisorSession:
         state_dir: Optional[str] = None,
         *,
         store: Optional[StateStore] = None,
+        store_backend: Optional[str] = None,
         deployer: Optional[Deployer] = None,
     ) -> None:
         if store is None and state_dir is not None:
-            store = StateStore(root=resolve_state_dir(state_dir))
+            store = StateStore(root=resolve_state_dir(state_dir),
+                               store_backend=store_backend)
         self.store = store
         self.deployer = deployer or Deployer()
         self._deployments: Dict[str, Deployment] = {}
@@ -143,16 +152,18 @@ class AdvisorSession:
         if self.store is not None:
             import shutil
 
+            # Close the cached persistence backend first: archiving a
+            # live SQLite database under an open connection would leave
+            # writes going to the renamed file.
+            self.store.release_data_store(name)
             # Take the same locks (same order) a running collect holds
             # from load to save: archiving mid-sweep would let the
             # sweep's final save resurrect the old files under the
             # fresh deployment's name.
             with file_lock(self.store.taskdb_path(name)), \
                     file_lock(self.store.dataset_path(name)):
-                for path in (self.store.dataset_path(name),
-                             self.store.taskdb_path(name)):
-                    if os.path.exists(path):
-                        archived.append(self._archive(path))
+                for path in self.store.data_files(name):
+                    archived.append(self._archive(path))
             # Plots are regenerable from the archived dataset.
             shutil.rmtree(self.store.plots_dir(name), ignore_errors=True)
         self._datasets.pop(name, None)
@@ -201,17 +212,45 @@ class AdvisorSession:
             f"deployment {name!r} not found in this session"
         )
 
-    def list_deployments(self) -> List[SessionInfo]:
-        """All deployments this session can see, sorted by name."""
-        infos = {
-            name: self._info(dep) for name, dep in self._deployments.items()
+    def list_deployments(self, limit: Optional[int] = None,
+                         offset: int = 0) -> List[SessionInfo]:
+        """Deployments this session can see, sorted by name.
+
+        ``limit``/``offset`` window the sorted listing (service
+        pagination); the default returns everything.
+        """
+        if limit is not None and limit < 0:
+            raise ConfigError(f"limit must be >= 0, got {limit}")
+        if offset < 0:
+            raise ConfigError(f"offset must be >= 0, got {offset}")
+        records: Dict[str, Optional[Mapping]] = {
+            name: None for name in self._deployments
         }
         if self.store is not None:
             for rec in self.store.list_deployments():
-                name = str(rec["name"])
-                if name not in infos:
-                    infos[name] = self._info_from_record(rec)
-        return [infos[name] for name in sorted(infos)]
+                records.setdefault(str(rec["name"]), rec)
+        names = sorted(records)
+        if offset:
+            names = names[offset:]
+        if limit is not None:
+            names = names[:limit]
+        # Build infos only for the requested page: each one costs a
+        # point count, so a windowed listing must not pay for the rest.
+        return [
+            self._info(self._deployments[name])
+            if records[name] is None
+            else self._info_from_record(records[name])
+            for name in names
+        ]
+
+    def count_deployments(self) -> int:
+        """How many deployments :meth:`list_deployments` would return,
+        without building (and point-counting) the listing."""
+        names = set(self._deployments)
+        if self.store is not None:
+            names.update(str(r["name"])
+                         for r in self.store.list_deployments())
+        return len(names)
 
     def info(self, name: str,
              record: Optional[Mapping] = None) -> SessionInfo:
@@ -226,18 +265,21 @@ class AdvisorSession:
             record if record is not None else self.record(name)
         )
 
-    def shutdown(self, name: str) -> None:
+    def shutdown(self, name: str, purge_data: bool = False) -> None:
         """Tear down a deployment's cloud resources and drop its record.
 
-        Collected data (dataset, task DB, plots) survives — like the real
-        tool, you can keep running ``advise``/``plot`` on data you paid
-        for after releasing the resources.  A later :meth:`deploy` that
-        recycles the name discards the orphaned data first.
+        By default collected data (dataset, task DB, plots) survives —
+        like the real tool, you can keep running ``advise``/``plot`` on
+        data you paid for after releasing the resources; a later
+        :meth:`deploy` that recycles the name discards the orphaned
+        data first.  ``purge_data=True`` deletes the deployment's
+        dataset/task-DB/store files, lock sidecars, and plots too, so
+        nothing orphaned stays behind.
         """
         known = name in self._deployments
         if self.store is not None:
             self.store.get_deployment_record(name)  # raises if unknown
-            self.store.remove_deployment(name)
+            self.store.remove_deployment(name, purge_data=purge_data)
         elif not known:
             raise ResourceNotFound(
                 f"deployment {name!r} not found in this session"
@@ -249,75 +291,179 @@ class AdvisorSession:
             Deployer(provider=deployment.provider).shutdown(deployment)
         for key in [k for k in self._backends if k[0] == name]:
             del self._backends[key]
+        if purge_data:
+            self._datasets.pop(name, None)
+            self._dataset_sigs.pop(name, None)
+            self._taskdbs.pop(name, None)
+            self._taskdb_sigs.pop(name, None)
+            self._count_cache.pop(name, None)
 
     # -- data access ------------------------------------------------------------
 
-    def dataset(self, name: str, must_exist: bool = True) -> Dataset:
-        """The deployment's dataset (cached; loaded from disk if persisted).
+    def data_store(self, name: str) -> Optional[StoreBackend]:
+        """The deployment's persistence backend (None when ephemeral)."""
+        if self.store is None:
+            return None
+        return self.store.data_store(name)
 
-        The cache is invalidated when another process rewrote the file
-        (e.g. a ``collect`` run while the GUI server keeps its session),
-        so long-lived sessions never serve stale data.
+    def _no_data_yet(self, name: str) -> bool:
+        """True when nothing was ever persisted for the deployment.
+
+        Read paths check this *before* opening the backend: opening
+        creates the (empty) SQLite database as a side effect, and a
+        listing over N never-collected deployments must not litter the
+        state dir with N empty databases.
         """
-        path = (self.store.dataset_path(name)
-                if self.store is not None else None)
-        on_disk = path is not None and os.path.exists(path)
-        if name in self._datasets and not self._cache_stale(
-                self._dataset_sigs, name, path, on_disk):
+        return self.store is not None and not self.store.data_files(name)
+
+    def dataset(self, name: str, must_exist: bool = True) -> Dataset:
+        """The deployment's full dataset (cached; store-backed when
+        persisted, so appends write through incrementally).
+
+        The cache is invalidated whenever the store changed underneath
+        (e.g. a ``collect`` run while the GUI server keeps its session),
+        so long-lived sessions never serve stale data.  Filtered reads
+        should prefer :meth:`query_dataset`, which pushes the filter
+        down to the storage engine instead of materializing everything.
+        """
+        if self.store is None:
+            if name not in self._datasets:
+                if must_exist:
+                    raise ReproError(
+                        f"no dataset for deployment {name!r}; "
+                        "run collect first"
+                    )
+                self._datasets[name] = Dataset()
+            return self._datasets[name]
+        if must_exist and self._no_data_yet(name):
+            raise ReproError(
+                f"no dataset for deployment {name!r}; run collect first"
+            )
+        backend = self.data_store(name)
+        sig = backend.dataset_signature()
+        if name in self._datasets and self._dataset_sigs.get(name) == sig:
             return self._datasets[name]
         self._datasets.pop(name, None)
         self._dataset_sigs.pop(name, None)
-        if on_disk:
-            dataset = Dataset.load(path)
-            dataset.path = path
-            self._dataset_sigs[name] = _file_sig(path)
-        else:
+        if not backend.exists():
             if must_exist:
                 raise ReproError(
                     f"no dataset for deployment {name!r}; "
                     "run collect first"
                 )
-            dataset = Dataset(path=path)
+            dataset = Dataset(path=backend.dataset_display_path,
+                              store=backend)
+        else:
+            dataset = Dataset(backend.query_points(),
+                              path=backend.dataset_display_path,
+                              store=backend)
         self._datasets[name] = dataset
-        return self._datasets[name]
+        self._dataset_sigs[name] = sig
+        return dataset
+
+    def query_dataset(self, name: str, query: Query,
+                      must_exist: bool = True) -> Dataset:
+        """A filtered view of the deployment's dataset.
+
+        When the full dataset is already cached and fresh, the query is
+        applied in memory; otherwise it is pushed down to the storage
+        engine, so only matching points are deserialized — this is the
+        read path ``advise``/``plot``/``predict`` and the service's
+        ``/v1/datapoints`` all go through.
+        """
+        if self.store is None:
+            return self.dataset(name, must_exist=must_exist).query(query)
+        if must_exist and self._no_data_yet(name):
+            raise ReproError(
+                f"no dataset for deployment {name!r}; run collect first"
+            )
+        backend = self.data_store(name)
+        if (name in self._datasets
+                and self._dataset_sigs.get(name)
+                == backend.dataset_signature()):
+            return self._datasets[name].query(query)
+        if not backend.exists():
+            if must_exist:
+                raise ReproError(
+                    f"no dataset for deployment {name!r}; "
+                    "run collect first"
+                )
+            return Dataset()
+        # Deliberately storeless AND pathless: a filtered view is a
+        # read-only snapshot — saving it anywhere, least of all over the
+        # live store file, is a caller bug this shape makes impossible.
+        return Dataset(backend.query_points(query))
+
+    def query_points(self, name: str, query: Optional[Query] = None,
+                     must_exist: bool = True) -> List[DataPoint]:
+        """Matching points, via pushdown (see :meth:`query_dataset`)."""
+        return self.query_dataset(
+            name, query or Query(), must_exist=must_exist
+        ).points()
+
+    def count_points(self, name: str,
+                     query: Optional[Query] = None) -> int:
+        """How many stored points match (window ignored; 0 when none)."""
+        if self.store is None:
+            dataset = self._datasets.get(name)
+            if dataset is None:
+                return 0
+            query = (query or Query()).without_window()
+            return sum(1 for p in dataset if query.matches(p))
+        if self._no_data_yet(name):
+            return 0
+        backend = self.data_store(name)
+        if not backend.exists():
+            return 0
+        return backend.count_points(query)
+
+    def datapoints(self, name: str,
+                   query: Optional[Query] = None) -> DataPointsResult:
+        """One page of the deployment's points plus the filter's total.
+
+        The windowed page and the total count both run as store
+        queries; this backs ``GET /v1/datapoints`` and the CLI ``data``
+        command.
+        """
+        query = query or Query()
+        points = self.query_points(name, query)
+        total = self.count_points(name, query)
+        backend = self.data_store(name)
+        return DataPointsResult(
+            deployment=name,
+            total=total,
+            limit=query.limit,
+            offset=query.offset,
+            points=tuple(points),
+            store_backend=backend.kind if backend is not None else "",
+        )
 
     def taskdb(self, name: str) -> TaskDB:
-        """The deployment's task DB (cached; loaded from disk if persisted).
+        """The deployment's task DB (cached; store-backed when persisted,
+        so every status transition persists as it happens).
 
-        Invalidated on external rewrites like :meth:`dataset` — a stale
+        Invalidated on external changes like :meth:`dataset` — a stale
         task DB would make a resumed ``collect`` re-execute scenarios
         another process already completed, duplicating dataset points.
         """
-        path = (self.store.taskdb_path(name)
-                if self.store is not None else None)
-        on_disk = path is not None and os.path.exists(path)
-        if name in self._taskdbs and not self._cache_stale(
-                self._taskdb_sigs, name, path, on_disk):
+        backend = self.data_store(name)
+        if backend is None:
+            if name not in self._taskdbs:
+                self._taskdbs[name] = TaskDB()
+            return self._taskdbs[name]
+        sig = backend.tasks_signature()
+        if name in self._taskdbs and self._taskdb_sigs.get(name) == sig:
             return self._taskdbs[name]
         self._taskdbs.pop(name, None)
         self._taskdb_sigs.pop(name, None)
-        if on_disk:
-            self._taskdbs[name] = TaskDB.load(path)
-            self._taskdb_sigs[name] = _file_sig(path)
-        else:
-            self._taskdbs[name] = TaskDB(path=path)
-        return self._taskdbs[name]
-
-    @staticmethod
-    def _cache_stale(sigs: Dict[str, Tuple[int, int]], name: str,
-                     path: Optional[str], on_disk: bool) -> bool:
-        """True when the cached copy no longer reflects the disk state.
-
-        No backing path (ephemeral) -> never stale.  File present ->
-        stale on signature mismatch.  File gone -> stale only if the
-        cache was loaded from disk (a recorded signature): an external
-        delete must not be masked by the old in-memory copy.
-        """
-        if path is None:
-            return False
-        if on_disk:
-            return _file_sig(path) != sigs.get(name)
-        return name in sigs
+        db = TaskDB.from_records(
+            backend.load_tasks(),
+            path=backend.tasks_display_path,
+            store=backend,
+        )
+        self._taskdbs[name] = db
+        self._taskdb_sigs[name] = sig
+        return db
 
     def backend(self, name: str, backend: str = "azurebatch",
                 noise: Optional[float] = None, seed: Optional[int] = None,
@@ -433,13 +579,13 @@ class AdvisorSession:
                 on_progress=progress,
             )
             report = collector.collect(scenarios)
-            # collect() saved through our own cached objects; record the
+            # collect() wrote through our own cached objects; record the
             # new signatures so the next dataset()/taskdb() call does not
             # reload.
-            if dataset.path and os.path.exists(dataset.path):
-                self._dataset_sigs[name] = _file_sig(dataset.path)
-            if taskdb.path and os.path.exists(taskdb.path):
-                self._taskdb_sigs[name] = _file_sig(taskdb.path)
+            backend_store = self.data_store(name)
+            if backend_store is not None:
+                self._dataset_sigs[name] = backend_store.dataset_signature()
+                self._taskdb_sigs[name] = backend_store.tasks_signature()
         return CollectResult(
             deployment=name,
             backend=exec_backend.name,
@@ -463,6 +609,8 @@ class AdvisorSession:
             failures=tuple(report.failures),
             dataset_points=len(dataset),
             dataset_path=dataset.path or "",
+            store_backend=(backend_store.kind
+                           if backend_store is not None else ""),
             sampler_decisions=(tuple(smart.decisions_log) if smart else ()),
             bottleneck_summary=(smart.bottlenecks.summary() if smart else ""),
             budget_spent_usd=(getattr(sampler, "spent_usd", None)
@@ -505,11 +653,13 @@ class AdvisorSession:
         """
         req = _coerce_request(AdviseRequest, request, kwargs)
         name = _require_deployment(req.deployment)
-        dataset = self.dataset(name).filter(
-            appinputs=dict(req.filters) or None,
-            nnodes=list(req.nnodes) or None,
+        # The request's filters travel to the storage engine as a Query;
+        # on a cold cache only the matching points are deserialized.
+        dataset = self.query_dataset(name, Query(
+            appinputs=dict(req.filters),
+            nnodes=tuple(req.nnodes),
             sku=req.sku,
-        )
+        ))
         objective = "measured"
         if req.capacity:
             from repro.cloud.eviction import EvictionModel
@@ -557,9 +707,9 @@ class AdvisorSession:
 
         req = _coerce_request(PlotRequest, request, kwargs)
         name = _require_deployment(req.deployment)
-        dataset = self.dataset(name).filter(
-            appinputs=dict(req.filters) or None, sku=req.sku
-        )
+        dataset = self.query_dataset(name, Query(
+            appinputs=dict(req.filters), sku=req.sku,
+        ))
         out_dir = req.output_dir
         if out_dir is None:
             if self.store is None:
@@ -620,8 +770,12 @@ class AdvisorSession:
 
         req = _coerce_request(PredictRequest, request, kwargs)
         name = _require_deployment(req.deployment)
-        dataset = self.dataset(name)
-        measured = [p for p in dataset if not p.predicted]
+        # Sampler-predicted points never train the model: exclude them
+        # in the store query instead of loading and dropping them.
+        dataset = self.query_dataset(
+            name, Query(include_predicted=False)
+        )
+        measured = dataset.points()
         if not measured:
             raise ReproError("dataset has no measured points to train on")
         appname = measured[0].appname
@@ -664,11 +818,18 @@ class AdvisorSession:
 
     # -- compare ----------------------------------------------------------------
 
-    def compare(self, name_a: str, name_b: str):
-        """Matched-scenario comparison of two deployments' datasets."""
+    def compare(self, name_a: str, name_b: str,
+                query: Optional[Query] = None):
+        """Matched-scenario comparison of two deployments' datasets.
+
+        ``query`` restricts the comparison; it is pushed down to each
+        deployment's storage engine rather than filtering loaded data.
+        """
         from repro.core.compare import compare_datasets
 
-        return compare_datasets(self.dataset(name_a), self.dataset(name_b))
+        q = query or Query()
+        return compare_datasets(self.query_dataset(name_a, q),
+                                self.query_dataset(name_b, q))
 
     # -- one-shot ---------------------------------------------------------------
 
@@ -783,25 +944,20 @@ class AdvisorSession:
     def _point_count(self, name: str) -> int:
         if name in self._datasets:
             return len(self.dataset(name, must_exist=False))
-        if self.store is not None:
-            path = self.store.dataset_path(name)
-            if os.path.exists(path):
-                # Cache on the file signature: listings (the GUI index
-                # polls list_deployments per request) cost a stat, not a
-                # re-read of every dataset file.
-                sig = _file_sig(path)
+        if self.store is not None and not self._no_data_yet(name):
+            backend = self.store.data_store(name)
+            if backend.exists():
+                # Cache on the store signature: listings (the GUI index
+                # polls list_deployments per request) cost a freshness
+                # probe, not a count query — and the count itself is a
+                # pushed-down COUNT(*)/line scan, never a deserialize.
+                sig = backend.dataset_signature()
                 cached = self._count_cache.get(name)
                 if cached is None or cached[0] != sig:
-                    cached = (sig, Dataset.count_points(path))
+                    cached = (sig, backend.count_points())
                     self._count_cache[name] = cached
                 return cached[1]
         return 0
-
-
-def _file_sig(path: str) -> Tuple[int, int]:
-    """Freshness signature robust to coarse mtime granularity."""
-    st = os.stat(path)
-    return (st.st_mtime_ns, st.st_size)
 
 
 def _generate_scenarios(config: MainConfig):

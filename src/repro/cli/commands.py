@@ -47,14 +47,17 @@ def deploy_create(state_dir: Optional[str], config_path: str) -> int:
     return 0
 
 
-def deploy_list(state_dir: Optional[str], as_json: bool = False) -> int:
+def deploy_list(state_dir: Optional[str], limit: Optional[int] = None,
+                offset: int = 0, as_json: bool = False) -> int:
     import json
 
     session = _session(state_dir)
-    infos = session.list_deployments()
+    total = session.count_deployments()
+    infos = session.list_deployments(limit=limit, offset=offset)
     if as_json:
         print(json.dumps(
-            {"deployments": [info.to_dict() for info in infos]}, indent=1
+            {"deployments": [info.to_dict() for info in infos],
+             "total": total, "limit": limit, "offset": offset}, indent=1
         ))
         return 0
     if not infos:
@@ -65,14 +68,20 @@ def deploy_list(state_dir: Optional[str], as_json: bool = False) -> int:
         scenarios = str(info.scenario_count) if info.scenario_count else "-"
         print(f"{info.name:<28} {info.region:<16} "
               f"{info.appname or '-':<12} {scenarios}")
+    if len(infos) < total:
+        print(f"({len(infos)} of {total} deployment(s); "
+              "use --limit/--offset to page)")
     return 0
 
 
-def deploy_shutdown(state_dir: Optional[str], name: str) -> int:
-    _session(state_dir).shutdown(name)
+def deploy_shutdown(state_dir: Optional[str], name: str,
+                    purge_data: bool = False) -> int:
+    _session(state_dir).shutdown(name, purge_data=purge_data)
     # Simulated resources live in-process; removing the record is the
     # persistent part.  Report the same wording as the real tool.
     print(f"deployment {name} shut down; all resources deleted")
+    if purge_data:
+        print(f"collected data of {name} purged")
     return 0
 
 
@@ -222,16 +231,17 @@ def advice(
     if spot:
         from repro.cloud.eviction import EvictionModel
         from repro.core.cost import spot_savings_summary
+        from repro.core.query import Query
 
         # Same region and price catalog as the advice table above, so the
         # summary and a `--capacity spot` table never disagree about the
-        # same configuration.
+        # same configuration.  The filter is pushed down to the store.
         region = str(session.record(name).get("region") or "") or None
         eviction = (EvictionModel.flat(eviction_rate, region=region)
                     if eviction_rate is not None else None)
         print("\n--- What-if: spot capacity (risk-adjusted) ---")
         print(spot_savings_summary(
-            session.dataset(name).filter(appinputs=filters or None),
+            session.query_dataset(name, Query(appinputs=filters or {})),
             session.deployment(name).provider.prices,
             region=region,
             eviction=eviction,
@@ -278,6 +288,61 @@ def predict(
           f"0 executions, trained on {result.trained_on} points"
           + (f", CV MAPE {result.cv_mape:.1%}" if result.cv_mape else ""))
     print(result.render_table(), end="")
+    return 0
+
+
+# -- data (extension: paginated point listings) ----------------------------------
+
+
+def data(
+    state_dir: Optional[str],
+    name: str,
+    appname: Optional[str] = None,
+    sku: Optional[str] = None,
+    nnodes: Optional[list] = None,
+    capacity: Optional[str] = None,
+    filters: Optional[Dict[str, str]] = None,
+    tags: Optional[Dict[str, str]] = None,
+    measured_only: bool = False,
+    limit: Optional[int] = 50,
+    offset: int = 0,
+    as_json: bool = False,
+) -> int:
+    """Paginated listing of a deployment's stored points.
+
+    The filter runs inside the storage engine (SQL pushdown on the
+    SQLite backend), so paging a huge corpus never loads it whole.
+    """
+    from repro.core.query import Query
+
+    session = _session(state_dir)
+    result = session.datapoints(name, Query(
+        appname=appname,
+        sku=sku,
+        nnodes=tuple(nnodes or ()),
+        capacity=capacity,
+        appinputs=filters or {},
+        tags=tags or {},
+        include_predicted=not measured_only,
+        limit=limit,
+        offset=offset,
+    ))
+    if as_json:
+        print(result.to_json(indent=1))
+        return 0
+    if not result.total:
+        print("(no matching data points)")
+        return 0
+    print(f"{'APP':<10} {'SKU':<22} {'NODES':>5} {'PPN':>4} "
+          f"{'TIME(S)':>9} {'COST($)':>9}  CAP")
+    for p in result.points:
+        marker = " *" if p.predicted else ""
+        print(f"{p.appname:<10} {p.sku:<22} {p.nnodes:>5} {p.ppn:>4} "
+              f"{p.exec_time_s:>9.1f} {p.cost_usd:>9.4f}  "
+              f"{p.capacity}{marker}")
+    shown = len(result.points)
+    print(f"({shown} of {result.total} matching point(s), offset "
+          f"{result.offset}, store: {result.store_backend or 'memory'})")
     return 0
 
 
@@ -399,8 +464,9 @@ def submit(
 
 
 def status(url: str, job_id: Optional[str] = None,
+           limit: Optional[int] = None, offset: int = 0,
            as_json: bool = False) -> int:
-    """Show one job, or list all jobs, of a running service."""
+    """Show one job, or a (paginated) job listing, of a running service."""
     import json
 
     from repro.client import RemoteSession
@@ -409,7 +475,7 @@ def status(url: str, job_id: Optional[str] = None,
     if job_id:
         _print_job(remote.job(job_id), as_json)
         return 0
-    records = remote.jobs()
+    records = remote.jobs(limit=limit, offset=offset)
     if as_json:
         print(json.dumps({"jobs": [r.to_dict() for r in records]}, indent=1))
         return 0

@@ -39,6 +39,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--state-dir",
         help="state directory (default: $HPCADVISOR_STATE_DIR or ~/.hpcadvisor-sim)",
     )
+    parser.add_argument(
+        "--store", choices=["jsonl", "sqlite"],
+        help="persistence engine for collected data (default: "
+             "$REPRO_STORE or sqlite; existing state is auto-detected)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     # deploy ------------------------------------------------------------------
@@ -50,6 +55,10 @@ def build_parser() -> argparse.ArgumentParser:
                                help="main YAML configuration file")
 
     deploy_list = deploy_sub.add_parser("list", help="list deployments")
+    deploy_list.add_argument("--limit", type=int,
+                             help="page size (default: all)")
+    deploy_list.add_argument("--offset", type=int, default=0,
+                             help="skip the first N deployments")
     deploy_list.add_argument("--json", action="store_true", dest="as_json",
                              help="emit the deployment list as JSON")
 
@@ -57,6 +66,11 @@ def build_parser() -> argparse.ArgumentParser:
         "shutdown", help="delete a deployment and all its resources"
     )
     deploy_shutdown.add_argument("-n", "--name", required=True)
+    deploy_shutdown.add_argument(
+        "--purge-data", action="store_true",
+        help="also delete the deployment's collected data "
+             "(dataset/task-DB/store files, locks, plots)",
+    )
 
     # collect ------------------------------------------------------------------
     collect = sub.add_parser("collect", help="run all scenarios on a deployment")
@@ -159,6 +173,33 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--json", action="store_true", dest="as_json",
                          help="emit the prediction result as JSON")
 
+    # data (extension: paginated, store-pushed point listings) -----------------
+    data = sub.add_parser(
+        "data",
+        help="list a deployment's stored data points with filters and "
+             "pagination (extension)",
+    )
+    data.add_argument("-n", "--name", required=True, help="deployment name")
+    data.add_argument("--appname", help="restrict to one application")
+    data.add_argument("--sku", help="restrict to one VM type")
+    data.add_argument("--nnodes", type=int, nargs="+",
+                      help="restrict to these node counts")
+    data.add_argument("--capacity", choices=["ondemand", "spot"],
+                      help="restrict to one capacity tier")
+    data.add_argument("--filter", action="append", default=[],
+                      metavar="KEY=VALUE",
+                      help="appinput filter, repeatable")
+    data.add_argument("--tag", action="append", default=[],
+                      metavar="KEY=VALUE", help="tag filter, repeatable")
+    data.add_argument("--measured-only", action="store_true",
+                      help="exclude sampler-predicted points")
+    data.add_argument("--limit", type=int, default=50,
+                      help="page size (default 50; 0 counts only)")
+    data.add_argument("--offset", type=int, default=0,
+                      help="skip the first N matching points")
+    data.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the page as JSON")
+
     # compare (extension: before/after sweeps via tags) ------------------------
     compare = sub.add_parser(
         "compare",
@@ -224,6 +265,10 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument("--url", required=True)
     status.add_argument("job_id", nargs="?",
                         help="job id; omit to list all jobs")
+    status.add_argument("--limit", type=int,
+                        help="page size for the job listing (default: all)")
+    status.add_argument("--offset", type=int, default=0,
+                        help="skip the first N jobs (newest first)")
     status.add_argument("--json", action="store_true", dest="as_json")
 
     result = sub.add_parser(
@@ -271,19 +316,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if getattr(args, "store", None):
+            # The --store override is per-invocation; in-process callers
+            # (tests, embedders) must not inherit it.
+            from repro import store as repro_store
+
+            repro_store.set_default_backend(None)
 
 
 def _dispatch(args: argparse.Namespace) -> int:
     # Imports are local so `--help` stays fast.
     from repro.cli import commands
 
+    if getattr(args, "store", None):
+        # Process-wide so every session this invocation opens (including
+        # job workers under `serve`) uses the requested engine.
+        from repro import store as repro_store
+
+        repro_store.set_default_backend(args.store)
     if args.command == "deploy":
         if args.deploy_command == "create":
             return commands.deploy_create(args.state_dir, args.config)
         if args.deploy_command == "list":
             return commands.deploy_list(args.state_dir,
+                                        limit=args.limit,
+                                        offset=args.offset,
                                         as_json=args.as_json)
-        return commands.deploy_shutdown(args.state_dir, args.name)
+        return commands.deploy_shutdown(args.state_dir, args.name,
+                                        purge_data=args.purge_data)
     if args.command == "collect":
         return commands.collect(
             args.state_dir, args.name,
@@ -336,6 +397,20 @@ def _dispatch(args: argparse.Namespace) -> int:
             backend=args.backend,
             as_json=args.as_json,
         )
+    if args.command == "data":
+        return commands.data(
+            args.state_dir, args.name,
+            appname=args.appname,
+            sku=args.sku,
+            nnodes=args.nnodes,
+            capacity=args.capacity,
+            filters=parse_filters(args.filter),
+            tags=parse_filters(args.tag),
+            measured_only=args.measured_only,
+            limit=args.limit,
+            offset=args.offset,
+            as_json=args.as_json,
+        )
     if args.command == "compare":
         return commands.compare(args.state_dir, args.a, args.b,
                                 as_json=args.as_json)
@@ -368,7 +443,9 @@ def _dispatch(args: argparse.Namespace) -> int:
             as_json=args.as_json,
         )
     if args.command == "status":
-        return commands.status(args.url, args.job_id, as_json=args.as_json)
+        return commands.status(args.url, args.job_id,
+                               limit=args.limit, offset=args.offset,
+                               as_json=args.as_json)
     if args.command == "result":
         return commands.result(args.url, args.job_id, timeout=args.timeout,
                                as_json=args.as_json)

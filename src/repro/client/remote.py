@@ -44,10 +44,12 @@ from repro.api.results import (
     AdviceResult,
     CollectResult,
     CompareResult,
+    DataPointsResult,
     PlotResult,
     PredictResult,
     SessionInfo,
 )
+from repro.core.query import Query
 from repro.errors import (
     ConfigError,
     RemoteError,
@@ -89,8 +91,14 @@ class RemoteSession:
                           body={"config": dict(config)})
         return SessionInfo.from_dict(data)
 
-    def list_deployments(self) -> List[SessionInfo]:
-        data = self._call("GET", "/v1/deployments")
+    def list_deployments(self, limit: Optional[int] = None,
+                         offset: int = 0) -> List[SessionInfo]:
+        query: Dict[str, str] = {}
+        if limit is not None:
+            query["limit"] = str(limit)
+        if offset:
+            query["offset"] = str(offset)
+        data = self._call("GET", "/v1/deployments", query=query or None)
         return [SessionInfo.from_dict(item) for item in data["deployments"]]
 
     def info(self, name: str) -> SessionInfo:
@@ -98,8 +106,55 @@ class RemoteSession:
             self._call("GET", f"/v1/deployments/{urllib.parse.quote(name)}")
         )
 
-    def shutdown(self, name: str) -> None:
-        self._call("DELETE", f"/v1/deployments/{urllib.parse.quote(name)}")
+    def shutdown(self, name: str, purge_data: bool = False) -> None:
+        query = {"purge_data": "true"} if purge_data else None
+        self._call("DELETE", f"/v1/deployments/{urllib.parse.quote(name)}",
+                   query=query)
+
+    # -- data points ------------------------------------------------------------
+
+    def datapoints(self, deployment: str,
+                   query: Optional[Query] = None, /,
+                   **kwargs) -> DataPointsResult:
+        """One page of a deployment's stored points (server pushdown).
+
+        Accepts a :class:`Query` or its fields as keyword arguments
+        (``sku=...``, ``nnodes=(...)``, ``limit=...``, ...); the filter
+        runs inside the server's storage engine and only the requested
+        page travels over the wire.
+        """
+        if query is not None and kwargs:
+            raise ConfigError(
+                "pass either a Query or keyword arguments, not both"
+            )
+        q = query if query is not None else Query(**kwargs)
+        params: Dict[str, Any] = {"deployment": deployment}
+        if q.appname is not None:
+            params["appname"] = q.appname
+        if q.sku is not None:
+            params["sku"] = q.sku
+        if q.nnodes:
+            params["nnodes"] = ",".join(str(n) for n in q.nnodes)
+        if q.ppn is not None:
+            params["ppn"] = str(q.ppn)
+        if q.min_nodes is not None:
+            params["min_nodes"] = str(q.min_nodes)
+        if q.max_nodes is not None:
+            params["max_nodes"] = str(q.max_nodes)
+        if q.capacity is not None:
+            params["capacity"] = q.capacity
+        if not q.include_predicted:
+            params["predicted"] = "false"
+        if q.limit is not None:
+            params["limit"] = str(q.limit)
+        if q.offset:
+            params["offset"] = str(q.offset)
+        pairs = [(k, v) for k, v in params.items()]
+        pairs += [("filter", f"{k}={v}") for k, v in q.appinputs.items()]
+        pairs += [("tag", f"{k}={v}") for k, v in q.tags.items()]
+        return DataPointsResult.from_dict(
+            self._call("GET", "/v1/datapoints", query=pairs)
+        )
 
     # -- jobs -------------------------------------------------------------------
 
@@ -123,12 +178,18 @@ class RemoteSession:
         )
 
     def jobs(self, deployment: Optional[str] = None,
-             state: Optional[str] = None) -> List[JobRecord]:
+             state: Optional[str] = None,
+             limit: Optional[int] = None,
+             offset: int = 0) -> List[JobRecord]:
         query = {}
         if deployment:
             query["deployment"] = deployment
         if state:
             query["state"] = state
+        if limit is not None:
+            query["limit"] = str(limit)
+        if offset:
+            query["offset"] = str(offset)
         data = self._call("GET", "/v1/jobs", query=query)
         return [JobRecord.from_dict(item) for item in data["jobs"]]
 
@@ -177,7 +238,8 @@ class RemoteSession:
     # -- plumbing ---------------------------------------------------------------
 
     def _call(self, method: str, path: str, body: Optional[dict] = None,
-              query: Optional[Dict[str, str]] = None, raw: bool = False):
+              query: Union[Dict[str, str], List, None] = None,
+              raw: bool = False):
         url = self.base_url + path
         if query:
             url += "?" + urllib.parse.urlencode(query)

@@ -10,6 +10,7 @@ from repro.core.config import MainConfig
 from repro.core.scenarios import Scenario, generate_scenarios
 from repro.core.taskdb import TaskDB, TaskRecord, TaskStatus
 from repro.core.dataset import DataPoint, Dataset
+from repro.core.query import Query
 from repro.core.pareto import pareto_front, is_dominated
 from repro.core.advisor import AdviceRow, Advisor
 from repro.core.deployer import Deployer, Deployment
@@ -24,6 +25,7 @@ __all__ = [
     "TaskStatus",
     "DataPoint",
     "Dataset",
+    "Query",
     "pareto_front",
     "is_dominated",
     "AdviceRow",

@@ -49,6 +49,14 @@ point's ``cost_usd`` is the *effective* spot cost, and ``preemptions`` /
 ``wasted_node_s`` / ``makespan_s`` record the risk the sweep absorbed.
 With an eviction rate of zero the spot path degenerates to the
 on-demand execution byte for byte (only priced at the spot rate).
+
+**Persistence** is incremental: when the dataset and task DB are backed
+by a :mod:`repro.store` backend (as the session always arranges for
+persistent state), every ``dataset.append`` and task-status transition
+writes through to the store the moment it happens, so a crashed or
+cancelled sweep keeps everything it measured and a resumed sweep starts
+from exactly what completed.  The end-of-sweep ``_save_state`` is then
+only a durability flush, never a whole-corpus rewrite.
 """
 
 from __future__ import annotations

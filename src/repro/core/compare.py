@@ -10,9 +10,10 @@ computes the matched-scenario deltas between two datasets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.dataset import DataPoint, Dataset
+from repro.core.query import Query
 from repro.errors import DatasetError
 
 #: Key identifying "the same scenario" across datasets.
@@ -74,12 +75,18 @@ class DatasetComparison:
         return [r for r in self.rows if r.time_ratio < threshold]
 
 
-def compare_datasets(a: Dataset, b: Dataset) -> DatasetComparison:
+def compare_datasets(a: Dataset, b: Dataset,
+                     query: Optional[Query] = None) -> DatasetComparison:
     """Match scenarios between two datasets and compute deltas.
 
     Duplicate keys within one dataset keep the *last* occurrence (the most
     recent measurement), matching how reruns append to the dataset file.
+    ``query`` restricts the comparison to matching points on both sides
+    (callers with a store-backed session should instead push the query
+    down via :meth:`AdvisorSession.query_dataset` before comparing).
     """
+    if query is not None:
+        a, b = a.query(query), b.query(query)
     index_a: Dict[ScenarioKey, DataPoint] = {scenario_key(p): p for p in a}
     index_b: Dict[ScenarioKey, DataPoint] = {scenario_key(p): p for p in b}
     rows = [

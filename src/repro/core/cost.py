@@ -31,6 +31,7 @@ import numpy as np
 from repro.cloud.eviction import EvictionModel
 from repro.cloud.pricing import PriceCatalog
 from repro.core.dataset import DataPoint, Dataset
+from repro.core.query import Query
 from repro.errors import AdvisorError
 from repro.rng import rng_for
 
@@ -326,8 +327,15 @@ def capacity_view(
     recovery: str = "checkpoint_restart",
     checkpoint_interval_s: float = 600.0,
     checkpoint_overhead_s: float = 60.0,
+    query: Optional[Query] = None,
 ) -> Dataset:
-    """The dataset re-expressed on one capacity tier (what-if advice)."""
+    """The dataset re-expressed on one capacity tier (what-if advice).
+
+    ``query`` narrows the view first (store-backed callers should push
+    it down when loading instead; see ``AdvisorSession.query_dataset``).
+    """
+    if query is not None:
+        dataset = dataset.query(query)
     if capacity == "ondemand":
         return Dataset([
             ondemand_view_point(p, catalog, region=region) for p in dataset
@@ -360,6 +368,7 @@ def spot_savings_summary(
     recovery: str = "checkpoint_restart",
     checkpoint_interval_s: float = 600.0,
     checkpoint_overhead_s: float = 60.0,
+    query: Optional[Query] = None,
 ) -> str:
     """Render the on-demand vs spot advice comparison.
 
@@ -371,6 +380,8 @@ def spot_savings_summary(
     """
     from repro.core.advisor import Advisor
 
+    if query is not None:
+        dataset = dataset.query(query)
     model = eviction if eviction is not None else EvictionModel(region=region)
     on_demand = Advisor(
         capacity_view(dataset, catalog, "ondemand", region=region)

@@ -2,16 +2,32 @@
 
 Paper Sec. I: "data is collected, filtered, and organized"; the dataset is
 what the plot and advice commands consume, optionally through "a given data
-filter".  Stored as JSON-lines so sweeps can append incrementally.
+filter" (a :class:`~repro.core.query.Query`).
+
+Persistence comes in two shapes:
+
+* **store-backed** (``Dataset(..., store=<StoreBackend>)``) — every
+  ``append`` writes through to the :mod:`repro.store` backend
+  immediately, so sweeps persist each completed point incrementally
+  and a killed sweep keeps everything it measured; ``save()`` is just
+  a flush.
+* **path-backed** (``Dataset(..., path=...)``, no store) — the legacy
+  shape: ``save()`` atomically rewrites the whole JSON-lines file.
+  Kept for ad-hoc files and tests; sessions always use a store.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional
+from typing import (TYPE_CHECKING, Callable, Dict, Iterable, List, Mapping,
+                    Optional)
 
+from repro.core.query import Query
 from repro.errors import DatasetError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.base import StoreBackend
 
 
 @dataclass(frozen=True)
@@ -109,20 +125,40 @@ def _str_map(raw: object) -> Dict[str, str]:
 
 
 class Dataset:
-    """Append-only collection of data points with filtering."""
+    """Append-only collection of data points with filtering.
+
+    With a ``store`` attached, appends write through to the persistence
+    backend immediately (see module docstring); the points already
+    present at construction are assumed to be the store's current
+    contents and are never re-written.
+    """
 
     def __init__(self, points: Optional[Iterable[DataPoint]] = None,
-                 path: Optional[str] = None) -> None:
+                 path: Optional[str] = None,
+                 store: Optional["StoreBackend"] = None) -> None:
         self._points: List[DataPoint] = list(points or [])
         self.path = path
+        self._store = store
+        self._synced = len(self._points) if store is not None else 0
+
+    @property
+    def store(self) -> Optional["StoreBackend"]:
+        return self._store
 
     # -- basic access -------------------------------------------------------------
 
     def append(self, point: DataPoint) -> None:
         self._points.append(point)
+        self._write_through()
 
     def extend(self, points: Iterable[DataPoint]) -> None:
         self._points.extend(points)
+        self._write_through()
+
+    def _write_through(self) -> None:
+        if self._store is not None and self._synced < len(self._points):
+            self._store.append_points(self._points[self._synced:])
+            self._synced = len(self._points)
 
     def points(self) -> List[DataPoint]:
         return list(self._points)
@@ -148,39 +184,46 @@ class Dataset:
         capacity: Optional[str] = None,
         predicate: Optional[Callable[[DataPoint], bool]] = None,
     ) -> "Dataset":
-        """Return a new dataset with only the matching points."""
-        nodes_set = set(nnodes) if nnodes is not None else None
-        wanted_inputs = dict(appinputs or {})
-        wanted_tags = dict(tags or {})
+        """Return a new dataset with only the matching points.
 
-        def keep(p: DataPoint) -> bool:
-            if appname is not None and p.appname != appname:
-                return False
-            if sku is not None and p.sku.lower() not in (
-                sku.lower(), f"standard_{sku.lower()}"
-            ):
-                return False
-            if nodes_set is not None and p.nnodes not in nodes_set:
-                return False
-            if min_nodes is not None and p.nnodes < min_nodes:
-                return False
-            if max_nodes is not None and p.nnodes > max_nodes:
-                return False
-            for key, value in wanted_inputs.items():
-                if p.appinputs.get(key) != str(value):
-                    return False
-            for key, value in wanted_tags.items():
-                if p.tags.get(key) != str(value):
-                    return False
-            if not include_predicted and p.predicted:
-                return False
-            if capacity is not None and p.capacity != capacity:
-                return False
-            if predicate is not None and not predicate(p):
-                return False
-            return True
+        The keyword arguments build a :class:`~repro.core.query.Query`
+        — the same filter vocabulary the store backends push down — so
+        in-memory and in-store filtering cannot drift apart.
 
-        return Dataset([p for p in self._points if keep(p)], path=self.path)
+        Historical contract: ``nnodes=None`` means "any node count" but
+        an *empty* sequence is an empty allow-set and matches nothing
+        (Query cannot express that — its empty tuple means "no filter").
+        """
+        if nnodes is not None and not tuple(nnodes):
+            return Dataset([], path=self.path)
+        query = Query(
+            appname=appname,
+            sku=sku,
+            nnodes=tuple(nnodes) if nnodes is not None else (),
+            min_nodes=min_nodes,
+            max_nodes=max_nodes,
+            appinputs={str(k): str(v) for k, v in (appinputs or {}).items()},
+            tags={str(k): str(v) for k, v in (tags or {}).items()},
+            include_predicted=include_predicted,
+            capacity=capacity,
+        )
+        return self.query(query, predicate=predicate)
+
+    def query(self, query: Query,
+              predicate: Optional[Callable[[DataPoint], bool]] = None,
+              ) -> "Dataset":
+        """Apply a :class:`Query` (filter + window) in memory.
+
+        The result never inherits a store-backed parent's ``path``: that
+        path names the live store file (possibly a SQLite database),
+        and a stray ``save()`` on a filtered view must not overwrite it
+        with JSON lines.
+        """
+        kept = [p for p in self._points
+                if query.matches(p)
+                and (predicate is None or predicate(p))]
+        path = None if self._store is not None else self.path
+        return Dataset(query._window(kept), path=path)
 
     def distinct(self, attr: str) -> List[object]:
         """Sorted distinct values of a DataPoint attribute."""
@@ -195,13 +238,25 @@ class Dataset:
     # -- persistence --------------------------------------------------------------------
 
     def save(self, path: Optional[str] = None) -> str:
-        """Atomically rewrite the file with this instance's points.
+        """Persist this instance's points.
 
-        Readers never see a partial file, but concurrent *read-modify-
-        write* cycles are the caller's job: ``AdvisorSession.collect``
-        holds the dataset's advisory ``file_lock`` from load to save so
-        sweeps cannot lose each other's appends.
+        Store-backed datasets have already written every append through
+        to the backend; ``save()`` only flushes any remaining tail and
+        marks the corpus durable, never rewriting what is stored.
+
+        Path-backed datasets atomically rewrite the file.  Readers never
+        see a partial file, but concurrent *read-modify-write* cycles
+        are the caller's job: ``AdvisorSession.collect`` holds the
+        dataset's advisory ``file_lock`` from load to save so sweeps
+        cannot lose each other's appends.
         """
+        if self._store is not None and (path is None or path == self.path):
+            self._write_through()
+            self._store.flush_points()
+            if self.path is None:
+                self.path = self._store.dataset_display_path
+            return self.path
+
         # Imported here: statefiles sits above this module in the layering
         # (it pulls in the deployer), and save() is called once per sweep.
         from repro.core.statefiles import atomic_write
@@ -218,10 +273,11 @@ class Dataset:
 
     @classmethod
     def count_points(cls, path: str) -> int:
-        """Number of points stored at ``path`` without deserializing them.
+        """Number of points in a JSON-lines file without deserializing.
 
-        JSON-lines stores one point per non-blank line; listings use this
-        to stay cheap on large datasets.
+        One point per non-blank line.  This is the :class:`JsonlStore`
+        fast path; SQLite-backed corpora count with ``SELECT COUNT(*)``
+        via :meth:`repro.store.base.StoreBackend.count_points` instead.
         """
         try:
             with open(path, "r", encoding="utf-8") as fh:

@@ -18,7 +18,18 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.dataset import DataPoint, Dataset
+from repro.core.query import Query
 from repro.errors import DatasetError
+
+
+def _apply_query(dataset: Dataset, query: Optional[Query]) -> Dataset:
+    """The plot functions' shared data filter (None = everything).
+
+    Store-backed callers should push the query down when *loading*
+    (``AdvisorSession.query_dataset``); this in-memory fallback exists
+    so ad-hoc datasets speak the same filter vocabulary.
+    """
+    return dataset if query is None else dataset.query(query)
 
 
 @dataclass(frozen=True)
@@ -101,8 +112,10 @@ def _human(value: float) -> str:
 # -- the four plot types -------------------------------------------------------------
 
 
-def exectime_vs_nodes(dataset: Dataset, subtitle: Optional[str] = None) -> PlotData:
+def exectime_vs_nodes(dataset: Dataset, subtitle: Optional[str] = None,
+                      query: Optional[Query] = None) -> PlotData:
     """Plot type 1 (the paper's Fig. 2)."""
+    dataset = _apply_query(dataset, query)
     _require_points(dataset, "exec-time-vs-nodes")
     series = []
     for sku, points in _group_by_sku(dataset).items():
@@ -117,8 +130,10 @@ def exectime_vs_nodes(dataset: Dataset, subtitle: Optional[str] = None) -> PlotD
     )
 
 
-def exectime_vs_cost(dataset: Dataset, subtitle: Optional[str] = None) -> PlotData:
+def exectime_vs_cost(dataset: Dataset, subtitle: Optional[str] = None,
+                     query: Optional[Query] = None) -> PlotData:
     """Plot type 2 (the paper's Fig. 3): x = exec time, y = cost."""
+    dataset = _apply_query(dataset, query)
     _require_points(dataset, "exec-time-vs-cost")
     series = []
     for sku, points in _group_by_sku(dataset).items():
@@ -144,8 +159,10 @@ def _baseline_time(points: List[DataPoint]) -> Tuple[float, float]:
     return float(reference.nnodes), reference.exec_time_s
 
 
-def speedup(dataset: Dataset, subtitle: Optional[str] = None) -> PlotData:
+def speedup(dataset: Dataset, subtitle: Optional[str] = None,
+            query: Optional[Query] = None) -> PlotData:
     """Plot type 3 (the paper's Fig. 4)."""
+    dataset = _apply_query(dataset, query)
     _require_points(dataset, "speedup")
     series = []
     for sku, points in _group_by_sku(dataset).items():
@@ -165,8 +182,10 @@ def speedup(dataset: Dataset, subtitle: Optional[str] = None) -> PlotData:
     )
 
 
-def efficiency(dataset: Dataset, subtitle: Optional[str] = None) -> PlotData:
+def efficiency(dataset: Dataset, subtitle: Optional[str] = None,
+               query: Optional[Query] = None) -> PlotData:
     """Plot type 4 (the paper's Fig. 5): speedup / nodes, >1 is superlinear."""
+    dataset = _apply_query(dataset, query)
     _require_points(dataset, "efficiency")
     series = []
     for sku, points in _group_by_sku(dataset).items():

@@ -17,11 +17,14 @@ import json
 import os
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.config import MainConfig
 from repro.core.deployer import Deployer, Deployment
 from repro.errors import ConfigError, ResourceNotFound
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.base import StoreBackend
 
 ENV_VAR = "HPCADVISOR_STATE_DIR"
 DEFAULT_DIRNAME = ".hpcadvisor-sim"
@@ -187,9 +190,17 @@ def resolve_state_dir(explicit: Optional[str] = None) -> str:
 
 @dataclass
 class StateStore:
-    """Filesystem layout of the tool's persistent state."""
+    """Filesystem layout of the tool's persistent state.
+
+    ``store_backend`` pins the persistence engine for data opened
+    through this instance (``"jsonl"`` or ``"sqlite"``); ``None`` defers
+    to :func:`repro.store.resolve_backend` (the ``REPRO_STORE``
+    environment knob, default SQLite) with auto-detection of whatever
+    engine already holds a deployment's data.
+    """
 
     root: str
+    store_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         os.makedirs(self.root, exist_ok=True)
@@ -197,6 +208,8 @@ class StateStore:
         # whole read-modify-write cycle, and every store over this root
         # (in this process) shares the same reentrant instance.
         self._index_lock = file_lock(self.deployments_file)
+        self._data_stores: Dict[str, "StoreBackend"] = {}
+        self._data_stores_guard = threading.Lock()
 
     # -- paths ------------------------------------------------------------------
 
@@ -210,12 +223,71 @@ class StateStore:
     def taskdb_path(self, deployment_name: str) -> str:
         return os.path.join(self.root, f"tasks-{deployment_name}.json")
 
+    def db_path(self, deployment_name: str) -> str:
+        """The deployment's SQLite database (SQLite backend only)."""
+        return os.path.join(self.root, f"store-{deployment_name}.sqlite")
+
     def plots_dir(self, deployment_name: str) -> str:
         return os.path.join(self.root, f"plots-{deployment_name}")
 
     def jobs_dir(self) -> str:
         """Where the service's job manager persists its job records."""
         return os.path.join(self.root, "jobs")
+
+    # -- data stores -------------------------------------------------------------
+
+    def data_store(self, deployment_name: str) -> "StoreBackend":
+        """The deployment's (cached) persistence backend.
+
+        Opening migrates legacy JSON state when the resolved engine is
+        SQLite; a cached handle whose storage was deleted or swapped
+        out (archive, purge, external rm) is transparently reopened.
+        """
+        from repro.store import open_deployment_store
+
+        with self._data_stores_guard:
+            cached = self._data_stores.get(deployment_name)
+            if cached is not None and cached.is_valid():
+                return cached
+        # Open OUTSIDE the guard: opening may migrate legacy state under
+        # the deployment's advisory file locks, and a sweep thread holds
+        # those locks while calling back into data_store() — holding the
+        # guard across the open would be a lock-order inversion (ABBA
+        # deadlock with any concurrent reader triggering migration).
+        store = open_deployment_store(
+            self.dataset_path(deployment_name),
+            self.taskdb_path(deployment_name),
+            self.db_path(deployment_name),
+            backend=self.store_backend,
+        )
+        with self._data_stores_guard:
+            raced = self._data_stores.get(deployment_name)
+            if raced is not None and raced is not cached and raced.is_valid():
+                store.close()  # another thread opened first; keep theirs
+                return raced
+            if raced is not None:
+                raced.close()  # the stale handle we are replacing
+            self._data_stores[deployment_name] = store
+        return store
+
+    def release_data_store(self, deployment_name: str) -> None:
+        """Close and forget the cached backend (before archive/purge)."""
+        with self._data_stores_guard:
+            store = self._data_stores.pop(deployment_name, None)
+        if store is not None:
+            store.close()
+
+    def data_files(self, deployment_name: str) -> Tuple[str, ...]:
+        """Every *existing* data file any backend may hold for the
+        deployment (JSONL, task JSON, SQLite database + WAL sidecars)."""
+        candidates = (
+            self.dataset_path(deployment_name),
+            self.taskdb_path(deployment_name),
+            self.db_path(deployment_name),
+            self.db_path(deployment_name) + "-wal",
+            self.db_path(deployment_name) + "-shm",
+        )
+        return tuple(p for p in candidates if os.path.exists(p))
 
     # -- deployments index ----------------------------------------------------------
 
@@ -245,13 +317,53 @@ class StateStore:
             )
         return index[name]
 
-    def remove_deployment(self, name: str) -> None:
+    def remove_deployment(self, name: str, purge_data: bool = False) -> None:
+        """Drop the deployment's index entry.
+
+        With ``purge_data`` the deployment's persistent state goes too —
+        dataset/task-DB/store files (whatever engine holds them), their
+        ``.migrated`` leftovers, the advisory lock sidecars, and the
+        plots directory — so a shut-down deployment leaves no orphaned
+        files behind.  The default keeps the data: "release the
+        resources, keep the data you paid for".
+        """
         with self._index_lock:
             index = self._read_index()
             if name not in index:
                 raise ResourceNotFound(f"deployment {name!r} not found")
             del index[name]
             self._write_index(index)
+        if purge_data:
+            self.purge_data(name)
+
+    def purge_data(self, name: str) -> None:
+        """Delete every file the deployment's data may live in.
+
+        Purging is for *decommissioned* deployments: the index entry is
+        already gone, so no new sweep can start.  A writer blocked on
+        the advisory locks while we purge would, after unlink, hold a
+        lock on an orphaned inode — callers gate purge behind shutdown
+        (which refuses while jobs are active) for exactly this reason.
+        """
+        import shutil
+
+        self.release_data_store(name)
+        # Take the same locks (same order) a running collect holds, so a
+        # purge cannot yank files out from under a sweep mid-flight.
+        with file_lock(self.taskdb_path(name)), \
+                file_lock(self.dataset_path(name)):
+            doomed = list(self.data_files(name))
+            doomed += [p + ".migrated" for p in
+                       (self.dataset_path(name), self.taskdb_path(name))]
+            for path in doomed:
+                if os.path.exists(path):
+                    os.unlink(path)
+        # The lock sidecars themselves go last, after both are released.
+        for path in (self.taskdb_path(name), self.dataset_path(name)):
+            lock_path = path + ".lock"
+            if os.path.exists(lock_path):
+                os.unlink(lock_path)
+        shutil.rmtree(self.plots_dir(name), ignore_errors=True)
 
     # -- reattachment -------------------------------------------------------------------
 

@@ -1,8 +1,14 @@
-"""Task list with execution state, persisted as JSON.
+"""Task list with execution state, persisted as JSON or through a store.
 
 Paper Sec. III-C: "This list is recorded and stored in a JSON file.  The
 list also contains the status of the task, which can be pending, failed, or
 completed."
+
+With a :mod:`repro.store` backend attached, every status transition is
+persisted immediately (an upsert of just the changed record on engines
+that support it), so an aborted sweep resumes from exactly what it
+completed.  Without one, ``save()`` atomically rewrites the JSON file —
+the legacy shape, kept for ad-hoc files and tests.
 """
 
 from __future__ import annotations
@@ -10,10 +16,13 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional
 
 from repro.core.scenarios import Scenario
 from repro.errors import DatasetError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.base import StoreBackend
 
 
 class TaskStatus(enum.Enum):
@@ -82,21 +91,45 @@ def _opt_float(value: object) -> Optional[float]:
 
 
 class TaskDB:
-    """The scenario/task list, optionally persisted to a JSON file."""
+    """The scenario/task list, optionally persisted (module docstring)."""
 
-    def __init__(self, path: Optional[str] = None) -> None:
+    def __init__(self, path: Optional[str] = None,
+                 store: Optional["StoreBackend"] = None) -> None:
         self.path = path
         self._records: Dict[str, TaskRecord] = {}
+        self._store = store
+
+    @property
+    def store(self) -> Optional["StoreBackend"]:
+        return self._store
+
+    @classmethod
+    def from_records(cls, records: Iterable[TaskRecord],
+                     path: Optional[str] = None,
+                     store: Optional["StoreBackend"] = None) -> "TaskDB":
+        """A task DB over already-persisted records (store load path)."""
+        db = cls(path=path, store=store)
+        for record in records:
+            db._records[record.scenario.scenario_id] = record
+        return db
+
+    def _sync(self, changed: List[TaskRecord]) -> None:
+        if self._store is not None and changed:
+            self._store.sync_tasks(changed, list(self._records.values()))
 
     # -- population -----------------------------------------------------------
 
     def add_scenarios(self, scenarios: Iterable[Scenario]) -> None:
+        added = []
         for scenario in scenarios:
             if scenario.scenario_id in self._records:
                 raise DatasetError(
                     f"duplicate scenario id {scenario.scenario_id!r}"
                 )
-            self._records[scenario.scenario_id] = TaskRecord(scenario=scenario)
+            record = TaskRecord(scenario=scenario)
+            self._records[scenario.scenario_id] = record
+            added.append(record)
+        self._sync(added)
 
     # -- queries ------------------------------------------------------------------
 
@@ -145,6 +178,7 @@ class TaskDB:
         record.finished_at = finished_at
         record.predicted = predicted
         record.preemptions = preemptions
+        self._sync([record])
         return record
 
     def mark_failed(self, scenario_id: str, reason: str,
@@ -157,24 +191,33 @@ class TaskDB:
         record.started_at = started_at
         record.finished_at = finished_at
         record.preemptions = preemptions
+        self._sync([record])
         return record
 
     def mark_skipped(self, scenario_id: str) -> TaskRecord:
         """Sampler decided this scenario need not run (stays pending)."""
         record = self.get(scenario_id)
         record.skipped_by_sampler = True
+        self._sync([record])
         return record
 
     # -- persistence -----------------------------------------------------------------
 
     def save(self, path: Optional[str] = None) -> str:
-        """Atomically rewrite the file with this instance's records.
+        """Persist this instance's records.
 
-        Readers never see a partial file, but concurrent *read-modify-
-        write* cycles are the caller's job: ``AdvisorSession.collect``
-        holds the task DB's advisory ``file_lock`` from load to save so
-        sweeps cannot lose each other's updates.
+        Store-backed task DBs persisted every transition as it happened;
+        ``save()`` only flushes.  Path-backed ones atomically rewrite
+        the file; readers never see a partial file, but concurrent
+        *read-modify-write* cycles are the caller's job:
+        ``AdvisorSession.collect`` holds the task DB's advisory
+        ``file_lock`` from load to save so sweeps cannot lose each
+        other's updates.
         """
+        if self._store is not None and (path is None or path == self.path):
+            self._store.flush_tasks()
+            return self.path or ""
+
         # Imported here: statefiles sits above this module in the layering
         # (it pulls in the deployer), and save() is called once per sweep.
         from repro.core.statefiles import atomic_write

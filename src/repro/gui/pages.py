@@ -61,14 +61,16 @@ def render_index(session: "AdvisorSession") -> str:
         if info.has_data:
             links += (f" | <a href='/plots/{name}'>plots</a>"
                       f" | <a href='/advice/{name}'>advice</a>"
-                      f" | <a href='/bottlenecks/{name}'>bottlenecks</a>")
+                      f" | <a href='/bottlenecks/{name}'>bottlenecks</a>"
+                      f" | <a href='/api/v1/datapoints?deployment={name}"
+                      f"&limit=50'>points (JSON)</a>")
         rows.append(
             f"<tr><td>{name}</td><td>{region}</td><td>{app}</td>"
-            f"<td>{'yes' if info.has_data else 'no'}</td><td>{links}</td></tr>"
+            f"<td>{info.dataset_points}</td><td>{links}</td></tr>"
         )
     body = (
         "<h2>Deployments</h2><table>"
-        "<tr><th>Name</th><th>Region</th><th>App</th><th>Data</th>"
+        "<tr><th>Name</th><th>Region</th><th>App</th><th>Points</th>"
         "<th>Views</th></tr>" + "".join(rows) + "</table>"
     )
     return _page("HPCAdvisor - deployments", body)

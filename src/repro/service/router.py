@@ -15,6 +15,7 @@ Routes (see ``docs/SERVICE.md`` for the full contract)::
     GET    /metrics
     GET    /v1/deployments          POST   /v1/deployments
     GET    /v1/deployments/<name>   DELETE /v1/deployments/<name>
+    GET    /v1/datapoints
     GET    /v1/advice               POST   /v1/advice
     GET    /v1/predict              POST   /v1/predict
     GET    /v1/compare
@@ -22,6 +23,13 @@ Routes (see ``docs/SERVICE.md`` for the full contract)::
     POST   /v1/jobs/collect         POST   /v1/jobs/predict
     GET    /v1/jobs                 GET    /v1/jobs/<id>
     POST   /v1/jobs/<id>/cancel     DELETE /v1/jobs/<id>
+
+The listing routes (``/v1/deployments``, ``/v1/jobs``,
+``/v1/datapoints``) paginate with ``limit``/``offset`` query
+parameters and report the unwindowed ``total`` alongside the page;
+``/v1/datapoints`` additionally accepts the full
+:class:`~repro.core.query.Query` filter vocabulary and pushes it down
+to the deployment's storage engine.
 """
 
 from __future__ import annotations
@@ -36,6 +44,7 @@ from urllib.parse import parse_qs, unquote, urlparse
 from repro.api.requests import AdviseRequest, PlotRequest, PredictRequest
 from repro.api.results import CompareResult
 from repro.api.session import AdvisorSession
+from repro.core.query import Query
 from repro.errors import (
     ConfigError,
     JobNotFound,
@@ -49,6 +58,11 @@ from repro.service.metrics import Metrics
 
 #: Service protocol version, reported by /healthz.
 API_VERSION = "v1"
+
+#: Page size served by GET /v1/datapoints when the client sends no
+#: ``limit`` — an unbounded default would re-create the very
+#: full-corpus transfers the store pushdown exists to avoid.
+DATAPOINTS_DEFAULT_LIMIT = 500
 
 
 @dataclass
@@ -152,7 +166,7 @@ class Router:
         if rest == ["deployments"]:
             self._match("/v1/deployments")
             if method == "GET":
-                return self._list_deployments()
+                return self._list_deployments(query)
             if method == "POST":
                 return self._create_deployment(body)
             return _method_not_allowed(method, ("GET", "POST"))
@@ -161,8 +175,12 @@ class Router:
             if method == "GET":
                 return self._get_deployment(rest[1])
             if method == "DELETE":
-                return self._shutdown_deployment(rest[1])
+                return self._shutdown_deployment(rest[1], query)
             return _method_not_allowed(method, ("GET", "DELETE"))
+        if rest == ["datapoints"]:
+            self._match("/v1/datapoints")
+            return self._only(method, "GET",
+                              lambda: self._datapoints(query))
         if rest == ["advice"]:
             self._match("/v1/advice")
             if method in ("GET", "POST"):
@@ -249,11 +267,19 @@ class Router:
             content_type="text/plain; version=0.0.4; charset=utf-8",
         )
 
-    def _list_deployments(self) -> Response:
+    def _list_deployments(self, query: Dict[str, List[str]]) -> Response:
+        limit = _nonneg_or_none(_one(query, "limit"))
+        offset = _nonneg_or_none(_one(query, "offset")) or 0
         with self.state.lock:
-            infos = self.state.session.list_deployments()
+            total = self.state.session.count_deployments()
+            infos = self.state.session.list_deployments(
+                limit=limit, offset=offset
+            )
         return Response(payload={
             "deployments": [info.to_dict() for info in infos],
+            "total": total,
+            "limit": limit,
+            "offset": offset,
         })
 
     def _create_deployment(self, body: Optional[str]) -> Response:
@@ -272,7 +298,34 @@ class Router:
             info = self.state.session.info(name)
         return Response(payload=info.to_dict())
 
-    def _shutdown_deployment(self, name: str) -> Response:
+    def _datapoints(self, query: Dict[str, List[str]]) -> Response:
+        deployment = _one(query, "deployment")
+        if not deployment:
+            raise ConfigError("GET /v1/datapoints needs ?deployment=<name>")
+        predicted = _one(query, "predicted").lower()
+        data_query = Query(
+            appname=_one(query, "appname") or None,
+            sku=_one(query, "sku") or None,
+            nnodes=_nnodes(query),
+            ppn=_int_or_none(_one(query, "ppn")),
+            min_nodes=_int_or_none(_one(query, "min_nodes")),
+            max_nodes=_int_or_none(_one(query, "max_nodes")),
+            capacity=_one(query, "capacity") or None,
+            appinputs=_filters(query),
+            tags=_filters(query, key="tag"),
+            include_predicted=predicted not in ("false", "0", "no"),
+            # Listings default to a bounded page; limit=0 is a pure count.
+            limit=(_int_or_none(_one(query, "limit"))
+                   if _one(query, "limit")
+                   else DATAPOINTS_DEFAULT_LIMIT),
+            offset=_int_or_none(_one(query, "offset")) or 0,
+        )
+        with self.state.lock:
+            result = self.state.session.datapoints(deployment, data_query)
+        return Response(payload=result.to_dict())
+
+    def _shutdown_deployment(self, name: str,
+                             query: Dict[str, List[str]]) -> Response:
         # Refuse while jobs are live on the deployment: letting shutdown
         # (and a subsequent name-recycling deploy) proceed would block
         # the global session lock on the sweep's file locks, freezing
@@ -290,8 +343,13 @@ class Router:
                         f"job(s) ({', '.join(r.id for r in active)}); "
                         "cancel or wait for them first"
                     )
-            self.state.session.shutdown(name)
-        return Response(payload={"deployment": name, "status": "shutdown"})
+            purge = _one(query, "purge_data").lower() in ("true", "1", "yes")
+            self.state.session.shutdown(name, purge_data=purge)
+        return Response(payload={
+            "deployment": name,
+            "status": "shutdown",
+            "purged_data": purge,
+        })
 
     def _advice(self, method: str, query: Dict[str, List[str]],
                 body: Optional[str]) -> Response:
@@ -364,12 +422,22 @@ class Router:
         return Response(status=202, payload=record.to_dict())
 
     def _list_jobs(self, query: Dict[str, List[str]]) -> Response:
+        limit = _nonneg_or_none(_one(query, "limit"))
+        offset = _nonneg_or_none(_one(query, "offset")) or 0
         records = self._jobs().list(
             deployment=_one(query, "deployment") or None,
             state=_one(query, "state") or None,
         )
+        total = len(records)
+        if offset:
+            records = records[offset:]
+        if limit is not None:
+            records = records[:limit]
         return Response(payload={
             "jobs": [record.to_dict() for record in records],
+            "total": total,
+            "limit": limit,
+            "offset": offset,
         })
 
 
@@ -415,6 +483,13 @@ def _int_or_none(raw: str) -> Optional[int]:
         return int(raw)
     except ValueError as exc:
         raise ConfigError(f"expected an integer, got {raw!r}") from exc
+
+
+def _nonneg_or_none(raw: str) -> Optional[int]:
+    value = _int_or_none(raw)
+    if value is not None and value < 0:
+        raise ConfigError(f"expected a non-negative integer, got {raw!r}")
+    return value
 
 
 def _float_or_none(raw: str) -> Optional[float]:

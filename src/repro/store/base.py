@@ -1,0 +1,132 @@
+"""The persistence-backend contract shared by every store implementation.
+
+A :class:`StoreBackend` owns one deployment's measurement corpus — its
+data points and task records — behind an *incremental* interface:
+
+* writes are appends (``append_point``) or single-record upserts
+  (``sync_tasks``), so a crashed or cancelled sweep keeps everything it
+  measured and never pays a whole-file rewrite per completion;
+* reads take a :class:`~repro.core.query.Query` and may push it down
+  to the storage engine, so filtered advice queries over large corpora
+  never deserialize points the caller will drop.
+
+Two implementations ship: :class:`~repro.store.jsonl.JsonlStore`
+(byte-compatible with the historical ``dataset-<name>.jsonl`` /
+``tasks-<name>.json`` layout) and the default
+:class:`~repro.store.sqlite.SqliteStore` (one WAL-mode database per
+deployment).  ``tests/test_store_backends.py`` property-tests that the
+two return identical query results.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.dataset import DataPoint
+from repro.core.query import Query
+from repro.core.taskdb import TaskRecord
+
+
+class StoreBackend(abc.ABC):
+    """One deployment's persistent data points + task records."""
+
+    #: Short backend identifier (``"jsonl"`` or ``"sqlite"``).
+    kind: str = ""
+
+    # -- data points -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def append_point(self, point: DataPoint) -> None:
+        """Persist one new point (incremental; no full rewrite)."""
+
+    def append_points(self, points: Iterable[DataPoint]) -> None:
+        for point in points:
+            self.append_point(point)
+
+    @abc.abstractmethod
+    def replace_points(self, points: Sequence[DataPoint]) -> None:
+        """Atomically replace the whole corpus (migration/repair path)."""
+
+    @abc.abstractmethod
+    def query_points(self, query: Optional[Query] = None) -> List[DataPoint]:
+        """Matching points in append order, windowed by the query."""
+
+    @abc.abstractmethod
+    def count_points(self, query: Optional[Query] = None) -> int:
+        """How many points match (the query's window is ignored)."""
+
+    # -- task records ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def sync_tasks(self, changed: Sequence[TaskRecord],
+                   full: Sequence[TaskRecord]) -> None:
+        """Persist task updates.
+
+        ``changed`` is the delta; ``full`` is the caller's complete,
+        authoritative record list in insertion order.  Record-oriented
+        engines upsert only ``changed``; whole-file engines rewrite
+        from ``full`` (which keeps the legacy file bytes exact).
+        """
+
+    @abc.abstractmethod
+    def load_tasks(self) -> List[TaskRecord]:
+        """All task records in insertion order."""
+
+    @abc.abstractmethod
+    def count_tasks(self) -> int:
+        """Number of stored task records."""
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @abc.abstractmethod
+    def flush_points(self) -> None:
+        """Durability point for the dataset (end of a sweep).
+
+        Also marks the corpus as *existing* even when empty, mirroring
+        the historical "collect always writes the dataset file"
+        behavior that listings and ``must_exist`` rely on.
+        """
+
+    def flush_tasks(self) -> None:
+        """Durability point for the task records (end of a sweep)."""
+
+    @abc.abstractmethod
+    def exists(self) -> bool:
+        """Has a sweep ever persisted a dataset here?"""
+
+    @abc.abstractmethod
+    def dataset_signature(self) -> Tuple:
+        """Freshness token for dataset caches.
+
+        Changes whenever this or any other process/connection may have
+        altered the stored points; equal tokens mean a cached copy is
+        still current.
+        """
+
+    @abc.abstractmethod
+    def tasks_signature(self) -> Tuple:
+        """Freshness token for task-record caches."""
+
+    def is_valid(self) -> bool:
+        """False when the underlying storage was deleted or swapped
+        out from under this handle (caller should reopen)."""
+        return True
+
+    def close(self) -> None:
+        """Release engine resources (idempotent)."""
+
+    @property
+    @abc.abstractmethod
+    def dataset_display_path(self) -> str:
+        """Human-facing location of the dataset (for CLI output)."""
+
+    @property
+    def tasks_display_path(self) -> str:
+        """Human-facing location of the task records."""
+        return self.dataset_display_path
+
+    @property
+    @abc.abstractmethod
+    def data_paths(self) -> Tuple[str, ...]:
+        """Every on-disk file this store may own (for archive/purge)."""

@@ -256,7 +256,8 @@ class TestPersistenceAndResume:
         info = session.deploy(make_config())
         session.collect(deployment=info.name)
         session.shutdown(info.name)
-        assert os.path.exists(session.store.dataset_path(info.name))
+        # The data files (whatever engine holds them) survive shutdown.
+        assert session.store.data_files(info.name)
         advice = AdvisorSession(state_dir=state_dir).advise(
             deployment=info.name
         )
@@ -275,8 +276,10 @@ class TestPersistenceAndResume:
         info2 = fresh.deploy(make_config())
         assert info2.name == info.name  # counter restarts -> same name
         assert info2.dataset_points == 0
-        # The old data is archived (never deleted), and the caller is told.
-        assert len(info2.archived_data) == 2
+        # The old data is archived (never deleted), and the caller is
+        # told.  How many files that is depends on the storage engine
+        # (two JSON files, or one SQLite database).
+        assert info2.archived_data
         assert all(os.path.exists(p) for p in info2.archived_data)
         r2 = fresh.collect(deployment=info2.name)
         assert r2.executed == 2
@@ -294,16 +297,17 @@ class TestPersistenceAndResume:
         second = AdvisorSession(state_dir=state_dir)  # new provider
         info2 = second.deploy(make_config())
         assert info2.name.endswith("-001")
-        assert os.path.exists(second.store.dataset_path(info.name))
+        assert second.store.data_store(info.name).exists()
         assert second.advise(deployment=info.name).rows
 
     def test_external_delete_invalidates_cache(self, state_dir):
-        """A cached dataset must not mask an externally deleted file."""
+        """A cached dataset must not mask externally deleted storage."""
         session = AdvisorSession(state_dir=state_dir)
         info = session.deploy(make_config())
         session.collect(deployment=info.name)
         assert len(session.dataset(info.name)) == 2  # cached from disk
-        os.remove(session.store.dataset_path(info.name))
+        for path in session.store.data_files(info.name):
+            os.remove(path)
         with pytest.raises(ReproError, match="run collect first"):
             session.dataset(info.name)
         assert session.info(info.name).dataset_points == 0
@@ -371,10 +375,10 @@ class TestPersistenceAndResume:
 
     def test_dataset_cache_sees_external_writes(self, state_dir):
         """A long-lived session (the GUI server) must not serve stale data
-        after another process rewrites the dataset file."""
+        after another process appends to the store."""
         import time
 
-        from repro.core.dataset import DataPoint, Dataset
+        from repro.core.dataset import DataPoint
 
         writer = AdvisorSession(state_dir=state_dir)
         info = writer.deploy(make_config())
@@ -383,16 +387,20 @@ class TestPersistenceAndResume:
         reader = AdvisorSession(state_dir=state_dir)
         assert len(reader.dataset(info.name)) == 2
 
-        # Simulate a separate `collect` process appending a point.
-        path = reader.store.dataset_path(info.name)
-        external = Dataset.load(path)
-        external.append(DataPoint(
+        # Simulate a separate `collect` process appending a point: a
+        # fresh StateStore means a fresh store handle (own connection),
+        # exactly like another OS process.
+        from repro.core.statefiles import StateStore
+
+        external = StateStore(root=reader.store.root).data_store(info.name)
+        external.append_point(DataPoint(
             appname="lammps", sku="Standard_HB120rs_v3", nnodes=4, ppn=120,
             exec_time_s=1.0, cost_usd=0.1, appinputs={"BOXFACTOR": "4"},
         ))
-        external.save(path)
-        future = time.time() + 2
-        os.utime(path, (future, future))  # defeat mtime granularity
+        external.close()
+        for path in reader.store.data_files(info.name):
+            future = time.time() + 2
+            os.utime(path, (future, future))  # defeat mtime granularity
 
         assert len(reader.dataset(info.name)) == 3
         assert reader.info(info.name).dataset_points == 3
@@ -408,8 +416,7 @@ class TestPersistenceAndResume:
 
         other = AdvisorSession(state_dir=state_dir)
         other.collect(deployment=info.name)
-        for path in (watcher.store.taskdb_path(info.name),
-                     watcher.store.dataset_path(info.name)):
+        for path in watcher.store.data_files(info.name):
             future = time.time() + 2
             os.utime(path, (future, future))  # defeat mtime granularity
 

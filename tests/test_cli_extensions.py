@@ -209,7 +209,9 @@ class TestMachineReadableSatellites:
 
         assert main(["--state-dir", str(tmp_path / "s"), "deploy", "list",
                      "--json"]) == 0
-        assert json.loads(capsys.readouterr().out) == {"deployments": []}
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["deployments"] == []
+        assert payload["total"] == 0
 
     def test_plot_json(self, collected, capsys, tmp_path):
         import json
@@ -363,3 +365,79 @@ class TestSpotCli:
         assert result.capacity == "ondemand"
         for row in result.rows:
             assert row.preemptions == 0
+
+
+class TestDataCommand:
+    """The `data` subcommand: paginated, store-pushed point listings."""
+
+    def test_table_with_pagination(self, collected, capsys):
+        assert main(["--state-dir", collected, "data", "-n", "extrg-000",
+                     "--limit", "2", "--offset", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "2 of 4 matching point(s), offset 1" in out
+        assert out.count("lammps") == 2
+
+    def test_json_page_round_trips(self, collected, capsys):
+        import json
+
+        from repro.api.results import DataPointsResult
+
+        assert main(["--state-dir", collected, "data", "-n", "extrg-000",
+                     "--nnodes", "2", "4", "--json"]) == 0
+        result = DataPointsResult.from_dict(
+            json.loads(capsys.readouterr().out)
+        )
+        assert result.total == 2
+        assert sorted(p.nnodes for p in result.points) == [2, 4]
+
+    def test_count_only_page(self, collected, capsys):
+        assert main(["--state-dir", collected, "data", "-n", "extrg-000",
+                     "--limit", "0", "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total"] == 4
+        assert payload["points"] == []
+
+    def test_no_matches(self, collected, capsys):
+        assert main(["--state-dir", collected, "data", "-n", "extrg-000",
+                     "--sku", "nosuchsku"]) == 0
+        assert "(no matching data points)" in capsys.readouterr().out
+
+
+class TestStoreSelection:
+    def test_store_flag_forces_jsonl_layout(self, tmp_path, capsys):
+        import os
+
+        config_path = tmp_path / "config.yaml"
+        config_path.write_text(CONFIG)
+        state = str(tmp_path / "state")
+        assert main(["--store", "jsonl", "--state-dir", state, "deploy",
+                     "create", "-c", str(config_path)]) == 0
+        assert main(["--store", "jsonl", "--state-dir", state, "collect",
+                     "-n", "extrg-000"]) == 0
+        assert os.path.exists(
+            os.path.join(state, "dataset-extrg-000.jsonl"))
+        assert not os.path.exists(
+            os.path.join(state, "store-extrg-000.sqlite"))
+        # The override is per-invocation: it must not leak.
+        from repro.store import resolve_backend
+
+        assert resolve_backend() == os.environ.get("REPRO_STORE", "sqlite")
+
+    def test_shutdown_purge_flag(self, collected, capsys):
+        import os
+
+        assert main(["--state-dir", collected, "deploy", "shutdown",
+                     "-n", "extrg-000", "--purge-data"]) == 0
+        out = capsys.readouterr().out
+        assert "purged" in out
+        leftovers = [f for f in os.listdir(collected)
+                     if "extrg-000" in f]
+        assert leftovers == []
+
+    def test_deploy_list_pagination(self, collected, capsys):
+        assert main(["--state-dir", collected, "deploy", "list",
+                     "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "extrg-000" in out
