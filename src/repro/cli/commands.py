@@ -393,6 +393,15 @@ def serve(state_dir: Optional[str], host: str = "127.0.0.1",
                          workers=workers, once=once)
 
 
+def fleet_serve(state_dir: Optional[str], host: str = "127.0.0.1",
+                port: int = 8050, workers: int = 2,
+                job_workers: int = 4) -> int:
+    from repro.fleet.supervisor import serve_fleet
+
+    return serve_fleet(resolve_state_dir(state_dir), host=host, port=port,
+                       workers=workers, job_workers=job_workers)
+
+
 def _print_job(record, as_json: bool) -> None:
     if as_json:
         print(record.to_json(indent=1))

@@ -233,6 +233,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--once", action="store_true",
                        help=argparse.SUPPRESS)  # test hook: handle one request
 
+    # fleet (extension: multi-process serving over one state dir) --------------
+    fleet = sub.add_parser(
+        "fleet",
+        help="multi-worker service tier over one state directory "
+             "(extension)",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_serve = fleet_sub.add_parser(
+        "serve",
+        help="pre-fork N HTTP server workers sharing one port and one "
+             "job queue; crashed workers are restarted and their jobs "
+             "re-claimed",
+    )
+    fleet_serve.add_argument("--port", type=int, default=8050)
+    fleet_serve.add_argument("--host", default="127.0.0.1")
+    fleet_serve.add_argument("--workers", type=int, default=2,
+                             help="server processes (default 2)")
+    fleet_serve.add_argument("--job-workers", type=int, default=4,
+                             help="job worker threads per process "
+                                  "(default 4)")
+
     # remote-client subcommands: submit / status / result ----------------------
     submit = sub.add_parser(
         "submit", help="submit an async collect job to a running service"
@@ -420,6 +441,10 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "serve":
         return commands.serve(args.state_dir, host=args.host, port=args.port,
                               workers=args.workers, once=args.once)
+    if args.command == "fleet":
+        return commands.fleet_serve(
+            args.state_dir, host=args.host, port=args.port,
+            workers=args.workers, job_workers=args.job_workers)
     if args.command == "submit":
         return commands.submit(
             args.url, args.name,

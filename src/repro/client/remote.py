@@ -24,14 +24,18 @@ plots) is synchronous.
 
 from __future__ import annotations
 
+import errno
 import json
+import random
 import socket
+import threading
 import time
 import urllib.error
 import urllib.parse
 import urllib.request
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.api.serde import coerce_request as _coerce
 from repro.api.requests import (
@@ -68,11 +72,32 @@ class RemoteSession:
         Service root, e.g. ``http://127.0.0.1:8050``.
     timeout:
         Per-request socket timeout in seconds.
+    retries:
+        Extra attempts when the TCP connection is *refused* (a fleet
+        worker just died and its replacement has not accepted yet).
+        Refused means the request never reached a server, so retrying
+        is safe for every method.  Attempts back off exponentially with
+        jitter from ``backoff_s``.
+    backoff_s:
+        Base delay for the first retry.
+
+    GET responses that arrive with an ``ETag`` are remembered per URL
+    (bounded LRU); the next identical GET carries ``If-None-Match`` and
+    transparently reuses the cached body when the server answers
+    ``304 Not Modified``.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    #: Bound on the per-URL conditional-GET cache.
+    ETAG_CACHE_SIZE = 64
+
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 retries: int = 3, backoff_s: float = 0.05) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self._etag_lock = threading.Lock()
+        self._etag_cache: "OrderedDict[str, Tuple[str, str]]" = OrderedDict()
 
     # -- deployments ------------------------------------------------------------
 
@@ -248,28 +273,55 @@ class RemoteSession:
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        cached: Optional[Tuple[str, str]] = None
+        if method == "GET" and data is None:
+            with self._etag_lock:
+                cached = self._etag_cache.get(url)
+            if cached is not None:
+                headers["If-None-Match"] = cached[0]
         request = urllib.request.Request(
             url, data=data, method=method, headers=headers
         )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.timeout
-            ) as response:
-                text = response.read().decode("utf-8")
-        except urllib.error.HTTPError as exc:
-            raise RemoteError(
-                _error_message(exc), status=exc.code
-            ) from exc
-        except (socket.timeout, TimeoutError) as exc:
-            raise RemoteTimeout(
-                f"{method} {url} timed out after {self.timeout}s"
-            ) from exc
-        except urllib.error.URLError as exc:
-            if isinstance(exc.reason, (socket.timeout, TimeoutError)):
+        etag: Optional[str] = None
+        attempt = 0
+        while True:
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    text = response.read().decode("utf-8")
+                    etag = response.headers.get("ETag")
+                break
+            except urllib.error.HTTPError as exc:
+                if exc.code == 304 and cached is not None:
+                    etag, text = cached
+                    break
+                raise RemoteError(
+                    _error_message(exc), status=exc.code
+                ) from exc
+            except (socket.timeout, TimeoutError) as exc:
                 raise RemoteTimeout(
                     f"{method} {url} timed out after {self.timeout}s"
                 ) from exc
-            raise RemoteError(f"{method} {url} failed: {exc.reason}") from exc
+            except urllib.error.URLError as exc:
+                if isinstance(exc.reason, (socket.timeout, TimeoutError)):
+                    raise RemoteTimeout(
+                        f"{method} {url} timed out after {self.timeout}s"
+                    ) from exc
+                if _connection_refused(exc) and attempt < self.retries:
+                    attempt += 1
+                    time.sleep(self.backoff_s * (2 ** (attempt - 1))
+                               * (0.5 + random.random()))
+                    continue
+                raise RemoteError(
+                    f"{method} {url} failed: {exc.reason}"
+                ) from exc
+        if method == "GET" and etag:
+            with self._etag_lock:
+                self._etag_cache[url] = (etag, text)
+                self._etag_cache.move_to_end(url)
+                while len(self._etag_cache) > self.ETAG_CACHE_SIZE:
+                    self._etag_cache.popitem(last=False)
         if raw:
             return text
         return json.loads(text) if text else None
@@ -332,6 +384,15 @@ class JobHandle:
             )
         cls = CollectResult if record.kind == "collect" else PredictResult
         return cls.from_dict(record.result or {})
+
+
+def _connection_refused(exc: urllib.error.URLError) -> bool:
+    """True when the TCP connection was refused (request never sent)."""
+    reason = exc.reason
+    if isinstance(reason, ConnectionRefusedError):
+        return True
+    return isinstance(reason, OSError) \
+        and reason.errno == errno.ECONNREFUSED
 
 
 def _error_message(exc: urllib.error.HTTPError) -> str:

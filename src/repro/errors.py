@@ -89,6 +89,10 @@ class JobStateError(ServiceError):
     """A job operation was attempted in an incompatible state."""
 
 
+class LeaseLost(ServiceError):
+    """A worker's claim on a job expired and another worker took it."""
+
+
 class RemoteError(ReproError):
     """A remote service call failed (client side).
 

@@ -1,0 +1,111 @@
+"""Generation-keyed response cache for the hot read endpoints.
+
+``GET /v1/advice`` and ``GET /v1/datapoints`` are pure functions of
+(deployment dataset contents, query parameters).  The dataset side is
+captured by the store's *dataset signature* — a generation counter that
+changes on every write — so a cache key of
+
+    (route, deployment, sorted query items, dataset signature)
+
+is exact: any write to the deployment's data produces a new signature
+and therefore a new key, with stale entries aging out of the LRU rather
+than being hunted down.
+
+The ETag is derived from the *key*, not the response body.  That is the
+trick that makes conditional requests cheap: when a client replays a
+request with ``If-None-Match`` and the key still hashes to the same tag,
+the server can answer ``304 Not Modified`` without recomputing — or even
+having cached — the body.  A matching tag proves the client's copy was
+produced from byte-identical inputs.
+
+Entries store the serialized JSON body (a ``str``), not the payload
+object, so cache hits skip ``json.dumps`` as well as the advisor math.
+The cache is in-process; each fleet worker warms its own, which keeps
+it coherent without cross-process invalidation (the signature lives in
+the shared store, so all workers agree on what "current" means).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+#: Cache key: (route, deployment, query items, dataset signature).
+CacheKey = Tuple[Any, ...]
+
+
+def make_key(route: str, deployment: str, query: Dict[str, Any],
+             signature: Any) -> CacheKey:
+    """Build the canonical cache key for a read endpoint.
+
+    ``query`` is normalized by sorting items and dropping ``None``
+    values, so ``?nnodes=2&top=3`` and ``?top=3&nnodes=2`` share an
+    entry.  ``signature`` is whatever the store's
+    ``dataset_signature()`` returns — treated as an opaque token.
+    """
+    items = tuple(sorted(
+        (str(k), str(v)) for k, v in query.items() if v is not None
+    ))
+    return (route, deployment, items, _freeze(signature))
+
+
+def _freeze(value: Any) -> Any:
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    return value
+
+
+class ResponseCache:
+    """Bounded LRU of serialized responses, keyed as above."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, str]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    @staticmethod
+    def etag_for(key: CacheKey) -> str:
+        """Strong ETag for a key; stable across processes and runs."""
+        digest = hashlib.sha256(
+            json.dumps(key, sort_keys=True, default=str).encode("utf-8")
+        ).hexdigest()[:32]
+        return f'"{digest}"'
+
+    def get(self, key: CacheKey) -> Optional[str]:
+        """Serialized body for ``key``, or ``None``; counts hit/miss."""
+        with self._lock:
+            body = self._entries.get(key)
+            if body is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return body
+
+    def put(self, key: CacheKey, body: str) -> None:
+        with self._lock:
+            self._entries[key] = body
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+            }

@@ -1,0 +1,143 @@
+"""The fleet front: pre-forked HTTP server workers under a supervisor.
+
+``serve_fleet`` is the ``fleet serve`` CLI command: the parent binds one
+listening socket (``SO_REUSEPORT`` is set where the platform offers it),
+forks N worker processes that each run the full advisor service —
+HTTP threads, response cache, and a :class:`FleetJobManager` claiming
+from the shared ``fleet.sqlite`` queue — and then babysits them,
+restarting any worker that exits.  All workers ``accept()`` on the same
+inherited socket, so the kernel spreads connections across processes
+with no proxy in front.
+
+Crash behaviour is the whole point: a worker that dies mid-job (crash,
+OOM kill, ``kill -9``) takes nothing with it — its HTTP connections
+fail fast and get retried by the client against a sibling, its leased
+jobs expire and are re-claimed by survivors, and the supervisor forks a
+replacement within a poll tick.
+
+The parent prints one machine-parseable readiness line::
+
+    FLEET READY url=http://127.0.0.1:8050/ port=8050 workers=2 pid=1234
+
+(workers may still be a few milliseconds from accepting; poll
+``/healthz`` for actual readiness, as the smoke tests do).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import socket
+import sys
+import time
+from typing import Optional
+
+from repro.errors import ConfigError
+
+#: How often the supervisor checks its children.
+POLL_S = 0.2
+
+#: Pause before restarting a crashed worker (a crash-looping worker
+#: must not peg a core fork-bombing).
+RESTART_DELAY_S = 0.5
+
+
+def _bind_listener(host: str, port: int) -> socket.socket:
+    """One listening socket for the whole fleet (inherited across fork)."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    if hasattr(socket, "SO_REUSEPORT"):  # pragma: no branch - linux CI
+        try:
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        except OSError:
+            pass  # platform advertises but refuses it; shared fd still works
+    listener.bind((host, port))
+    listener.listen(128)
+    return listener
+
+
+def _worker_main(listener: socket.socket, state_dir: str,
+                 job_workers: int, label: str) -> None:
+    """One fleet worker: the full advisor service over the shared socket."""
+    from repro.service.app import make_server
+
+    # A supervisor SIGTERM must end serve_forever cleanly so leases and
+    # the worker registry entry are released without waiting to expire.
+    signal.signal(signal.SIGTERM, lambda *_: sys.exit(0))
+    server = make_server(state_dir, socket=listener, workers=job_workers,
+                         worker_id=f"{label}-{os.getpid()}")
+    try:
+        server.serve_forever()
+    finally:
+        server.state.close(wait=False)
+
+
+def serve_fleet(state_dir: str, host: str = "127.0.0.1", port: int = 8050,
+                workers: int = 2, job_workers: int = 4) -> int:
+    """Run ``workers`` server processes over one state dir until killed."""
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+        raise ConfigError(
+            "fleet serve needs a platform with fork(); "
+            "use plain `serve` here"
+        ) from exc
+    listener = _bind_listener(host, port)
+    actual_port = listener.getsockname()[1]
+    url = f"http://{host}:{actual_port}/"
+    print(f"FLEET READY url={url} port={actual_port} "
+          f"workers={workers} pid={os.getpid()}", flush=True)
+    if host not in ("127.0.0.1", "localhost", "::1"):
+        print("WARNING: the service has no authentication; anyone who can "
+              "reach this address can submit jobs, write plot files, and "
+              "shut down deployments.  Bind to 127.0.0.1 or front it with "
+              "an authenticating proxy.", flush=True)
+
+    def spawn(index: int) -> multiprocessing.Process:
+        process = ctx.Process(
+            target=_worker_main,
+            args=(listener, state_dir, job_workers, f"w{index}"),
+            name=f"fleet-worker-{index}",
+        )
+        process.start()
+        print(f"fleet: worker w{index} pid={process.pid} started",
+              flush=True)
+        return process
+
+    children = {index: spawn(index) for index in range(workers)}
+    stopping = False
+
+    def on_term(*_args) -> None:
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, on_term)
+    try:
+        while True:
+            time.sleep(POLL_S)
+            for index, process in list(children.items()):
+                if process.is_alive():
+                    continue
+                print(f"fleet: worker w{index} pid={process.pid} exited "
+                      f"code={process.exitcode}; restarting", flush=True)
+                process.join()
+                time.sleep(RESTART_DELAY_S)
+                children[index] = spawn(index)
+    except KeyboardInterrupt:
+        stopping = True
+    finally:
+        if stopping:
+            print("fleet: shutting down", flush=True)
+        for process in children.values():
+            if process.is_alive():
+                process.terminate()
+        deadline = time.monotonic() + 5
+        for process in children.values():
+            process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.kill()
+                process.join(timeout=5)
+        listener.close()
+    return 0

@@ -16,13 +16,20 @@ Programmatic use (tests, examples)::
 
 from __future__ import annotations
 
+import os
+import socket as socket_module
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 from repro.api.session import AdvisorSession
 from repro.core.statefiles import StateStore, resolve_state_dir
+from repro.errors import ConfigError
 from repro.service.jobs import JobManager
 from repro.service.router import Router, ServiceState
+
+#: Environment knob: set to 0/false/no to disable the response cache
+#: (the load benchmark uses it to measure the uncached baseline).
+RESPONSE_CACHE_ENV = "REPRO_RESPONSE_CACHE"
 
 #: Upper bound on accepted request bodies (a config or request payload is
 #: a few KB; anything larger is a client bug, not a bigger config).
@@ -56,11 +63,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         # HEAD is GET minus the body (RFC 9110): route it identically,
         # answer with the same status/headers, send nothing.
         method = "GET" if self.command == "HEAD" else self.command
-        response = self.router.handle(method, self.path, body)
+        response = self.router.handle(method, self.path, body,
+                                      headers=self.headers)
         payload = response.body_bytes()
         self.send_response(response.status)
         self.send_header("Content-Type", response.content_type)
         self.send_header("Content-Length", str(len(payload)))
+        for name, value in response.headers.items():
+            self.send_header(name, value)
         self.end_headers()
         if self.command != "HEAD":
             self.wfile.write(payload)
@@ -98,43 +108,96 @@ class AdvisorServiceServer(ThreadingHTTPServer):
     state: ServiceState
 
 
-def build_state(state_dir: str, workers: int = 4) -> ServiceState:
+def _cache_enabled() -> bool:
+    return os.environ.get(RESPONSE_CACHE_ENV, "1").lower() \
+        not in ("0", "false", "no")
+
+
+def build_state(state_dir: str, workers: int = 4,
+                jobs_backend: str = "fleet",
+                worker_id: Optional[str] = None) -> ServiceState:
     """The service's state over a directory: shared session + job manager.
 
     Each job runs on a *fresh* session over the same directory (exactly
     like a separate CLI process), so sweeps never contend with the
     control-plane session; the advisory file locks keep the shared files
     consistent.
+
+    ``jobs_backend`` selects the queue: ``"fleet"`` (default) puts job
+    records in the shared ``fleet.sqlite`` queue — required for (and the
+    whole point of) running several server processes over one state
+    directory — after a one-shot import of any pre-fleet ``jobs/*.json``
+    records; ``"legacy"`` keeps the per-process JSON job manager.
     """
+    # Deferred: repro.fleet itself imports repro.service (jobs, and this
+    # module via the package __init__); importing it at module scope
+    # would make the two packages' import order matter.
+    from repro.fleet.cache import ResponseCache
+    from repro.fleet.jobstore import FleetJobStore, fleet_db_path
+    from repro.fleet.manager import FleetJobManager
+
     store = StateStore(root=resolve_state_dir(state_dir))
     session = AdvisorSession(store=store)
-    jobs = JobManager(
-        jobs_dir=store.jobs_dir(),
-        session_factory=lambda: AdvisorSession(
-            store=StateStore(root=store.root)
-        ),
-        workers=workers,
+    session_factory = lambda: AdvisorSession(  # noqa: E731
+        store=StateStore(root=store.root)
     )
-    return ServiceState(session=session, jobs=jobs)
+    if jobs_backend == "fleet":
+        fleet_store = FleetJobStore(fleet_db_path(store.root))
+        fleet_store.import_legacy_jobs(store.jobs_dir())
+        jobs = FleetJobManager(
+            fleet_store, session_factory=session_factory,
+            workers=workers, worker_id=worker_id, owns_store=True,
+        )
+    elif jobs_backend == "legacy":
+        jobs = JobManager(
+            jobs_dir=store.jobs_dir(),
+            session_factory=session_factory,
+            workers=workers,
+        )
+    else:
+        raise ConfigError(
+            f"unknown jobs backend {jobs_backend!r}; "
+            "expected 'fleet' or 'legacy'"
+        )
+    cache = ResponseCache() if _cache_enabled() else None
+    return ServiceState(session=session, jobs=jobs, cache=cache)
 
 
 def make_server(state_dir: str, host: str = "127.0.0.1", port: int = 8050,
                 workers: int = 4,
-                state: Optional[ServiceState] = None) -> AdvisorServiceServer:
+                state: Optional[ServiceState] = None,
+                socket: Optional[socket_module.socket] = None,
+                worker_id: Optional[str] = None) -> AdvisorServiceServer:
     """Create (but do not start) the JSON API server.
 
     The socket binds *before* the job manager starts: a bind failure
     (port in use) must not leave worker threads running recovered jobs
     in a process that will never serve them.
+
+    ``socket`` hands the server an already-bound *listening* socket
+    instead of binding one — how the fleet supervisor's pre-forked
+    workers all serve one address (the parent binds, children inherit).
     """
     handler = type(
         "BoundServiceHandler", (ServiceRequestHandler,), {"router": None}
     )
-    server = AdvisorServiceServer((host, port), handler)  # binds here
+    if socket is None:
+        server = AdvisorServiceServer((host, port), handler)  # binds here
+    else:
+        server = AdvisorServiceServer((host, port), handler,
+                                      bind_and_activate=False)
+        server.socket.close()  # the unused auto-created socket
+        server.socket = socket
+        # What server_bind would have derived, minus the bind itself.
+        server.server_address = socket.getsockname()[:2]
+        server.server_name = socket_module.getfqdn(server.server_address[0])
+        server.server_port = server.server_address[1]
     try:
-        state = state or build_state(state_dir, workers=workers)
+        state = state or build_state(state_dir, workers=workers,
+                                     worker_id=worker_id)
     except BaseException:
-        server.server_close()
+        if socket is None:
+            server.server_close()
         raise
     server.state = state
     handler.router = Router(state)

@@ -23,8 +23,13 @@ Design points:
   :mod:`repro.core.statefiles` make that safe.
 * **Restart recovery** — on start-up the manager reloads every record:
   finished jobs are listed as-is, ``queued`` jobs are re-enqueued, and
-  ``running`` jobs (their worker died with the previous process) are
-  surfaced as ``stale`` instead of hanging forever.
+  ``running`` jobs are judged by their *lease*: a running worker renews
+  ``lease_expires_at`` while its job runs, so only an **expired** lease
+  marks the job ``stale`` (its worker is truly gone).  A running record
+  with a live lease belongs to another live process sharing the state
+  directory and is listed as-is — lease expiry is the only staleness
+  signal.  (The store-backed :mod:`repro.fleet` queue goes further and
+  *re-claims* expired leases instead of staling them.)
 * **Live progress** — the collector's ``on_progress`` callback feeds
   executed/completed/failed counters and the task-level simulated span
   (``simulated_wall_s``) into the job record while the sweep runs; the
@@ -82,6 +87,14 @@ class JobRecord(DictMixin):
     #: predicted/total plus the task-level simulated span so far
     #: (``simulated_wall_s``).
     progress: Dict[str, Any] = field(default_factory=dict)
+    #: Which worker currently owns (or last owned) the job.
+    worker_id: str = ""
+    #: Wall-clock deadline of the owning worker's lease; renewed while
+    #: the job runs.  An expired lease is the one and only signal that
+    #: the owning worker is dead.
+    lease_expires_at: Optional[float] = None
+    #: How many times a worker has claimed this job (>1 after recovery).
+    attempts: int = 0
 
     @property
     def finished(self) -> bool:
@@ -97,16 +110,23 @@ class JobManager:
         session_factory: Callable[[], Any],
         workers: int = 4,
         retention: int = 1000,
+        lease_s: float = 15.0,
     ) -> None:
         """``retention`` caps how many *finished* jobs are kept (in memory
         and on disk); the oldest are pruned as new jobs are submitted, so
-        a long-running server's job history stays bounded."""
+        a long-running server's job history stays bounded.  ``lease_s``
+        is how long a running job's record stays credible without a
+        heartbeat renewal (see the module docstring's recovery policy)."""
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
         if retention < 1:
             raise ConfigError(f"retention must be >= 1, got {retention}")
+        if lease_s <= 0:
+            raise ConfigError(f"lease_s must be > 0, got {lease_s}")
         self.retention = retention
+        self.lease_s = lease_s
         self.jobs_dir = jobs_dir
+        self.worker_id = f"proc-{os.getpid()}-{uuid.uuid4().hex[:6]}"
         os.makedirs(jobs_dir, exist_ok=True)
         self._session_factory = session_factory
         self._lock = threading.Lock()
@@ -117,6 +137,7 @@ class JobManager:
         self._parked: Dict[str, deque] = {}
         self._progress_flushed: Dict[str, float] = {}
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._stop_heartbeat = threading.Event()
         self._recover()
         self._workers = [
             threading.Thread(target=self._worker, daemon=True,
@@ -125,6 +146,11 @@ class JobManager:
         ]
         for thread in self._workers:
             thread.start()
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop, daemon=True,
+            name="advisor-job-heartbeat",
+        )
+        self._heartbeat_thread.start()
 
     # -- submission & queries ---------------------------------------------------
 
@@ -270,9 +296,11 @@ class JobManager:
                 time.sleep(0.02)
         for _ in self._workers:
             self._queue.put(None)
+        self._stop_heartbeat.set()
         if wait:
             for thread in self._workers:
                 thread.join(timeout=30)
+            self._heartbeat_thread.join(timeout=5)
 
     # -- worker side ------------------------------------------------------------
 
@@ -322,7 +350,10 @@ class JobManager:
                 if record.state != "queued":  # cancelled while we waited
                     return
                 record = self._transition_locked(
-                    record, state="running", started_at=time.time()
+                    record, state="running", started_at=time.time(),
+                    worker_id=self.worker_id,
+                    lease_expires_at=time.time() + self.lease_s,
+                    attempts=record.attempts + 1,
                 )
             try:
                 # The save sits inside the handled region: a persistence
@@ -343,6 +374,28 @@ class JobManager:
         finally:
             dep_lock.release()
             self._dispatch_parked(deployment)
+
+    def _heartbeat_loop(self) -> None:
+        """Renew the lease on every running job this process owns.
+
+        The renewal (memory + disk) happens under ``self._lock`` so it
+        can never clobber a worker's concurrent terminal write with a
+        stale ``running`` snapshot; the writes are tiny and happen at
+        most every ``lease_s / 4`` seconds."""
+        interval = max(self.lease_s / 4.0, 0.05)
+        while not self._stop_heartbeat.wait(interval):
+            with self._lock:
+                renewed = [
+                    self._transition_locked(
+                        record,
+                        lease_expires_at=time.time() + self.lease_s,
+                    )
+                    for record in list(self._records.values())
+                    if record.state == "running"
+                    and record.worker_id == self.worker_id
+                ]
+                for record in renewed:
+                    self._save(record)
 
     def _dispatch_parked(self, deployment: str) -> None:
         """Move one job parked behind ``deployment``'s lock to the queue."""
@@ -415,7 +468,8 @@ class JobManager:
     def _finish(self, job_id: str, **changes) -> None:
         with self._lock:
             record = self._transition_locked(
-                self._records[job_id], finished_at=time.time(), **changes
+                self._records[job_id], finished_at=time.time(),
+                lease_expires_at=None, **changes
             )
         self._save(record)
 
@@ -466,6 +520,16 @@ class JobManager:
             except (OSError, ReproError):
                 continue  # an unreadable record must not block start-up
             if record.state == "running":
+                # Lease expiry is the only staleness signal: a live
+                # lease means another process's worker still owns the
+                # job (N servers can share one state dir), so the
+                # record is listed as-is.  Only an expired (or absent,
+                # pre-lease) lease proves the worker is dead.
+                lease = record.lease_expires_at
+                if lease is not None and lease > time.time():
+                    self._records[record.id] = record
+                    self._cancel_flags[record.id] = threading.Event()
+                    continue
                 record = replace(
                     record, state="stale", finished_at=time.time(),
                     error="server restarted while the job was running",

@@ -60,7 +60,13 @@ class Metrics:
             lines.append(
                 f"advisor_http_request_seconds_sum{{{labels}}} {entry[1]:.6f}"
             )
+        typed = set()
         for name, value in sorted((extra_gauges or {}).items()):
-            lines.append(f"# TYPE {name} gauge")
+            # Gauge keys may carry label sets (`name{a="b"}`); the TYPE
+            # header names the bare metric, once per family.
+            base = name.split("{", 1)[0]
+            if base not in typed:
+                typed.add(base)
+                lines.append(f"# TYPE {base} gauge")
             lines.append(f"{name} {value}")
         return "\n".join(lines) + "\n"

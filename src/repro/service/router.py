@@ -35,6 +35,7 @@ to the deployment's storage engine.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -53,6 +54,7 @@ from repro.errors import (
     ResourceNotFound,
     ServiceError,
 )
+from repro.fleet.cache import ResponseCache, make_key
 from repro.service.jobs import JobManager
 from repro.service.metrics import Metrics
 
@@ -72,6 +74,7 @@ class Response:
     status: int = 200
     payload: Any = None  # dict/list -> JSON; str -> verbatim text
     content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
 
     def body_bytes(self) -> bytes:
         if isinstance(self.payload, str):
@@ -94,6 +97,9 @@ class ServiceState:
     jobs: Optional[JobManager] = None
     metrics: Metrics = field(default_factory=Metrics)
     started_at: float = field(default_factory=time.time)
+    #: Optional generation-keyed response cache for the hot GET reads
+    #: (``/v1/advice``, ``/v1/datapoints``); ``None`` disables caching.
+    cache: Optional[ResponseCache] = None
 
     def __post_init__(self) -> None:
         self.lock = threading.RLock()
@@ -115,13 +121,22 @@ class Router:
     # -- entry point -------------------------------------------------------------
 
     def handle(self, method: str, target: str,
-               body: Optional[str] = None) -> Response:
-        """Serve one request; never raises (errors become JSON bodies)."""
+               body: Optional[str] = None,
+               headers: Optional[Any] = None) -> Response:
+        """Serve one request; never raises (errors become JSON bodies).
+
+        ``headers`` is any mapping with a ``.get`` (a plain dict or the
+        stdlib's ``email.message.Message``); the router only reads
+        conditional-request headers (``If-None-Match``) from it.
+        """
         method = method.upper()
         parsed = urlparse(target)
         parts = [unquote(p) for p in parsed.path.split("/") if p]
         query = parse_qs(parsed.query)
         started = time.perf_counter()
+        self._local.if_none_match = (
+            headers.get("If-None-Match") if headers is not None else None
+        )
         # The dispatcher records the matched pattern here *before* running
         # the handler, so errors raised mid-handler still get a bounded
         # route label in the metrics (not the raw path).
@@ -179,11 +194,18 @@ class Router:
             return _method_not_allowed(method, ("GET", "DELETE"))
         if rest == ["datapoints"]:
             self._match("/v1/datapoints")
-            return self._only(method, "GET",
-                              lambda: self._datapoints(query))
+            return self._only(
+                method, "GET",
+                lambda: self._maybe_cached(
+                    "/v1/datapoints", query,
+                    lambda: self._datapoints(query)))
         if rest == ["advice"]:
             self._match("/v1/advice")
-            if method in ("GET", "POST"):
+            if method == "GET":
+                return self._maybe_cached(
+                    "/v1/advice", query,
+                    lambda: self._advice(method, query, body))
+            if method == "POST":
                 return self._advice(method, query, body)
             return _method_not_allowed(method, ("GET", "POST"))
         if rest == ["predict"]:
@@ -242,6 +264,52 @@ class Router:
             return _method_not_allowed(method, allowed or (expected,))
         return handler()
 
+    # -- response caching --------------------------------------------------------
+
+    def _maybe_cached(self, route: str, query: Dict[str, List[str]],
+                      compute) -> Response:
+        """Serve a hot GET read through the generation-keyed cache.
+
+        The cache key bundles the deployment's dataset signature, so any
+        write to its data produces a new key — no invalidation protocol.
+        A client replaying the request with ``If-None-Match`` gets a
+        ``304`` without recomputing (or even holding) the body, because
+        a matching tag proves the inputs are byte-identical.
+        """
+        cache = self.state.cache
+        deployment = _one(query, "deployment")
+        if cache is None or not deployment:
+            return compute()
+        with self.state.lock:
+            session = self.state.session
+            # Unknown deployments must keep 404-ing (and a bogus name
+            # must not create an empty data store as a side effect).
+            session.record(deployment)
+            if session.store is None:
+                return compute()
+            if not session.store.data_files(deployment):
+                signature: Any = ("no-data",)
+            else:
+                signature = session.data_store(
+                    deployment).dataset_signature()
+        key = make_key(route, deployment,
+                       {k: ",".join(vs) for k, vs in query.items()},
+                       signature)
+        etag = ResponseCache.etag_for(key)
+        body = cache.get(key)
+        if _etag_matches(getattr(self._local, "if_none_match", None), etag):
+            return Response(status=304, payload="", headers={"ETag": etag})
+        if body is not None:
+            # loads() per hit keeps entries immutable (every caller gets
+            # a fresh copy) and still skips the expensive advisor math.
+            return Response(payload=json.loads(body),
+                            headers={"ETag": etag})
+        response = compute()
+        if response.status == 200:
+            cache.put(key, json.dumps(response.payload))
+            response.headers["ETag"] = etag
+        return response
+
     # -- handlers ----------------------------------------------------------------
 
     def _healthz(self) -> Response:
@@ -252,6 +320,9 @@ class Router:
         }
         if self.state.jobs is not None:
             payload["jobs"] = self.state.jobs.counts()
+            fleet_health = getattr(self.state.jobs, "fleet_health", None)
+            if fleet_health is not None:
+                payload["fleet"] = fleet_health()
         return Response(payload=payload)
 
     def _metrics(self) -> Response:
@@ -262,6 +333,19 @@ class Router:
         if self.state.jobs is not None:
             for state, count in self.state.jobs.counts().items():
                 gauges[f"advisor_jobs_{state}"] = count
+            fleet_health = getattr(self.state.jobs, "fleet_health", None)
+            if fleet_health is not None:
+                health = fleet_health()
+                worker = health["worker_id"]
+                gauges[f'advisor_fleet_worker_up{{worker_id="{worker}",'
+                       f'pid="{os.getpid()}"}}'] = 1
+                gauges["advisor_fleet_live_workers"] = \
+                    len(health["workers"])
+                gauges["advisor_fleet_queue_depth"] = \
+                    health["queue_depth"]
+        if self.state.cache is not None:
+            for name, value in self.state.cache.stats().items():
+                gauges[f"advisor_response_cache_{name}"] = value
         return Response(
             payload=self.state.metrics.render_prometheus(gauges),
             content_type="text/plain; version=0.0.4; charset=utf-8",
@@ -449,6 +533,16 @@ def _error(status: int, exc: BaseException) -> Response:
         "error": str(exc) or type(exc).__name__,
         "type": type(exc).__name__,
     })
+
+
+def _etag_matches(if_none_match: Optional[str], etag: str) -> bool:
+    """RFC 9110 If-None-Match: a (possibly weak-prefixed) tag list or *."""
+    if not if_none_match:
+        return False
+    candidates = [tag.strip() for tag in if_none_match.split(",")]
+    if "*" in candidates:
+        return True
+    return etag in candidates or f"W/{etag}" in candidates
 
 
 def _method_not_allowed(method: str, allowed) -> Response:

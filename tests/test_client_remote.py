@@ -323,3 +323,96 @@ class TestSpotOverTheWire:
                 "deployment": info.name, "capacity": "flex",
             })
         assert excinfo.value.status == 400
+
+
+class TestConditionalGets:
+    def test_etag_cached_and_304_reuses_body(self, remote):
+        info = deploy(remote, prefix="etagrg")
+        job = remote.collect(deployment=info.name)
+        job.wait(timeout=60)
+
+        first = remote.datapoints(info.name)
+        assert remote._etag_cache  # the ETag was remembered per URL
+        second = remote.datapoints(info.name)
+        assert second.points == first.points
+        # The wire said 304 for the revalidation; the body came from the
+        # client cache.
+        metrics = remote._call("GET", "/metrics", raw=True)
+        assert 'route="/v1/datapoints",status="304"' in metrics
+
+    def test_advice_conditional_get_roundtrip(self, remote):
+        info = deploy(remote, prefix="etagadvrg")
+        remote.collect(deployment=info.name).wait(timeout=60)
+        query = {"deployment": info.name}
+        first = AdviceResult.from_dict(
+            remote._call("GET", "/v1/advice", query=query))
+        second = AdviceResult.from_dict(
+            remote._call("GET", "/v1/advice", query=query))
+        assert second.rows == first.rows
+        metrics = remote._call("GET", "/metrics", raw=True)
+        assert 'route="/v1/advice",status="304"' in metrics
+
+    def test_etag_cache_is_bounded(self, remote):
+        remote._etag_cache.clear()
+        for i in range(remote.ETAG_CACHE_SIZE + 10):
+            with remote._etag_lock:
+                remote._etag_cache[f"http://x/{i}"] = ('"e"', "{}")
+        # A real GET with an ETag triggers the LRU trim.
+        deploy(remote, prefix="lrurg")
+        remote.collect(deployment="lrurg-000").wait(timeout=60)
+        remote.datapoints("lrurg-000")
+        assert len(remote._etag_cache) <= remote.ETAG_CACHE_SIZE
+
+
+class TestRefusedRetries:
+    def test_connection_refused_is_retried(self, remote, monkeypatch):
+        import urllib.error
+        import urllib.request as urlreq
+
+        real = urlreq.urlopen
+        calls = {"n": 0}
+
+        def flaky(request, timeout=None):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise urllib.error.URLError(
+                    ConnectionRefusedError(111, "Connection refused"))
+            return real(request, timeout=timeout)
+
+        monkeypatch.setattr(urlreq, "urlopen", flaky)
+        remote.backoff_s = 0.001
+        health = remote.health()
+        assert health["status"] == "ok"
+        assert calls["n"] == 3
+
+    def test_retries_exhausted_raises_remote_error(self, remote,
+                                                   monkeypatch):
+        import urllib.error
+        import urllib.request as urlreq
+
+        def always_refused(request, timeout=None):
+            raise urllib.error.URLError(
+                ConnectionRefusedError(111, "Connection refused"))
+
+        monkeypatch.setattr(urlreq, "urlopen", always_refused)
+        remote.backoff_s = 0.001
+        remote.retries = 2
+        with pytest.raises(RemoteError):
+            remote.health()
+
+    def test_non_refused_errors_are_not_retried(self, remote,
+                                                monkeypatch):
+        import urllib.error
+        import urllib.request as urlreq
+
+        calls = {"n": 0}
+
+        def reset(request, timeout=None):
+            calls["n"] += 1
+            raise urllib.error.URLError(
+                ConnectionResetError(104, "Connection reset by peer"))
+
+        monkeypatch.setattr(urlreq, "urlopen", reset)
+        with pytest.raises(RemoteError):
+            remote.health()
+        assert calls["n"] == 1

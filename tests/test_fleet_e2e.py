@@ -1,0 +1,185 @@
+"""Fleet acceptance: real processes, a real ``kill -9``, no stale jobs.
+
+Spawns ``fleet serve --workers 2`` as a subprocess (short leases, an
+artificial per-scenario delay so jobs stay in flight long enough to
+murder their worker), submits concurrent collect jobs over the wire,
+SIGKILLs the worker process that holds a running lease, and asserts
+that every job still completes — re-claimed by the survivor or the
+supervisor's replacement — with nothing parked ``stale`` and nothing
+duplicated.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.client import RemoteSession
+from repro.errors import RemoteError
+from tests.conftest import make_config
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+#: Jobs must outlive a lease so a SIGKILL mid-job forces a re-claim.
+LEASE_S = 1.0
+SCENARIO_DELAY_S = 0.4
+
+
+class FleetProcess:
+    """`fleet serve` as a subprocess, with its stdout drained."""
+
+    def __init__(self, state_dir: str, workers: int = 2,
+                 job_workers: int = 2):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_FLEET_LEASE_S"] = str(LEASE_S)
+        env["REPRO_FLEET_SCENARIO_DELAY_S"] = str(SCENARIO_DELAY_S)
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli.main",
+             "--state-dir", state_dir,
+             "fleet", "serve", "--port", "0",
+             "--workers", str(workers),
+             "--job-workers", str(job_workers)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env, cwd=REPO_ROOT,
+        )
+        self.lines = []
+        self.url = self._await_ready()
+        self._drain = threading.Thread(target=self._pump, daemon=True)
+        self._drain.start()
+
+    def _await_ready(self) -> str:
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                break
+            self.lines.append(line.rstrip())
+            if line.startswith("FLEET READY"):
+                fields = dict(part.split("=", 1)
+                              for part in line.split()[2:])
+                return f"http://127.0.0.1:{fields['port']}"
+        raise AssertionError(
+            "fleet never became ready:\n" + "\n".join(self.lines))
+
+    def _pump(self) -> None:
+        for line in self.proc.stdout:
+            self.lines.append(line.rstrip())
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=15)
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    process = FleetProcess(str(tmp_path / "state"))
+    yield process
+    process.stop()
+
+
+def _call(fn, *args, timeout=30.0, **kwargs):
+    """Retry a remote call across worker-death connection blips."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return fn(*args, **kwargs)
+        except RemoteError:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.1)
+
+
+def _live_workers(remote):
+    health = _call(remote.health)
+    return health.get("fleet", {}).get("workers", [])
+
+
+def _wait_for_workers(remote, count, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        workers = _live_workers(remote)
+        if len(workers) >= count:
+            return workers
+        time.sleep(0.1)
+    raise AssertionError(f"never saw {count} live fleet workers")
+
+
+def test_kill_dash_nine_worker_jobs_still_complete(fleet):
+    remote = RemoteSession(fleet.url, timeout=30, retries=5, backoff_s=0.1)
+    _wait_for_workers(remote, 2)
+
+    # Four sweeps with enough scenarios (4 nnodes x 2 inputs, slowed per
+    # scenario) that jobs are guaranteed to still be running at kill time.
+    infos = [
+        _call(remote.deploy, make_config(
+            rgprefix=f"fleet{chr(ord('a') + i)}rg",
+            nnodes=[1, 2, 4, 8],
+            appinputs={"BOXFACTOR": ["1", "2"]},
+        ).to_dict())
+        for i in range(4)
+    ]
+    jobs = [_call(remote.collect, deployment=info.name) for info in infos]
+    job_ids = [job.id for job in jobs]
+
+    # Find a job mid-run and SIGKILL the worker process that owns it.
+    victim_pid = None
+    deadline = time.monotonic() + 60
+    while victim_pid is None and time.monotonic() < deadline:
+        for job_id in job_ids:
+            record = _call(remote.job, job_id)
+            if record.state == "running" and record.worker_id:
+                victim_pid = int(record.worker_id.rsplit("-", 1)[1])
+                break
+        else:
+            time.sleep(0.05)
+    assert victim_pid is not None, "no job ever reached running"
+    assert victim_pid != fleet.proc.pid  # a worker, never the supervisor
+    os.kill(victim_pid, signal.SIGKILL)
+
+    # Every job still completes: the survivor (or the supervisor's
+    # replacement worker) re-claims the orphaned lease.
+    finals = {}
+    deadline = time.monotonic() + 180
+    while len(finals) < len(job_ids):
+        assert time.monotonic() < deadline, (
+            f"jobs stuck: {sorted(set(job_ids) - set(finals))}\n"
+            + "\n".join(fleet.lines))
+        for job_id in job_ids:
+            if job_id in finals:
+                continue
+            record = _call(remote.job, job_id)
+            if record.finished:
+                finals[job_id] = record
+        time.sleep(0.1)
+
+    assert {r.state for r in finals.values()} == {"done"}, \
+        {j: (r.state, r.error) for j, r in finals.items()}
+    # No duplicate or stale records snuck in around the re-claim.
+    listed = _call(remote.jobs)
+    assert sorted(r.id for r in listed) == sorted(job_ids)
+    counts = _call(remote.health)["jobs"]
+    assert counts["done"] == 4
+    assert counts.get("stale", 0) == 0
+
+    # The data survived the murder: advice works for every deployment.
+    for info in infos:
+        advice = _call(remote.advise, deployment=info.name)
+        assert advice.deployment == info.name
+        assert advice.rows
+
+    # The supervisor replaced the corpse: two live workers again, and
+    # the dead pid is no longer one of them.
+    workers = _wait_for_workers(remote, 2, timeout=60)
+    assert victim_pid not in {w["pid"] for w in workers}
+    assert any("restarting" in line for line in fleet.lines)

@@ -111,33 +111,83 @@ def test_full_flow_with_concurrent_jobs_and_restart(live):
     assert health["jobs"]["done"] == 4
 
 
-def test_restart_surfaces_interrupted_running_job_as_stale(tmp_path, live):
-    """A job that was mid-flight when the server died must come back as
-    `stale` — visible, terminal, and not hanging any client."""
+def _forge_crashed_job(state_dir: str, job_id: str, attempts: int) -> None:
+    """Rewrite a finished job as if its worker died mid-run: running,
+    expired lease, ``attempts`` claims already burned."""
     import json
     import os
+    import sqlite3
 
+    from repro.fleet.jobstore import fleet_db_path
+
+    conn = sqlite3.connect(fleet_db_path(state_dir))
+    try:
+        (payload,) = conn.execute(
+            "SELECT payload FROM jobs WHERE id = ?", (job_id,)).fetchone()
+        record = json.loads(payload)
+        record.update(state="running", finished_at=None, result=None,
+                      worker_id="ghost-worker", lease_expires_at=1.0,
+                      attempts=attempts)
+        conn.execute(
+            "UPDATE jobs SET state = 'running', worker_id = 'ghost-worker',"
+            " lease_expires_at = 1.0, attempts = ?, payload = ?"
+            " WHERE id = ?",
+            (attempts, json.dumps(record), job_id),
+        )
+        conn.commit()
+    finally:
+        conn.close()
+    assert os.path.exists(fleet_db_path(state_dir))
+
+
+def _wait_finished(remote: RemoteSession, job_id: str, timeout: float = 60.0):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while True:
+        record = remote.job(job_id)
+        if record.finished:
+            return record
+        assert time.monotonic() < deadline, \
+            f"job {job_id} still {record.state} after {timeout}s"
+        time.sleep(0.05)
+
+
+def test_restart_reclaims_interrupted_running_job(live):
+    """A job whose worker died mid-run is *re-claimed* after a restart —
+    it completes on the surviving server instead of going stale."""
+    remote = RemoteSession(live.url, timeout=15)
+    info = remote.deploy(make_config(rgprefix="reclaimrg").to_dict())
+    job = remote.collect(deployment=info.name)
+    job.wait(timeout=120)
+
+    live.stop()
+    _forge_crashed_job(live.state_dir, job.id, attempts=1)
+    live.start()
+
+    reborn = RemoteSession(live.url, timeout=15)
+    recovered = _wait_finished(reborn, job.id)
+    assert recovered.state == "done", recovered.error
+    assert recovered.attempts == 2  # the original claim plus the re-claim
+    assert reborn.advise(deployment=info.name).rows
+
+
+def test_restart_parks_crash_looping_job_as_stale(live):
+    """A job that burned through max_attempts claims must come back as
+    `stale` — visible, terminal, and not hanging any client."""
     remote = RemoteSession(live.url, timeout=15)
     info = remote.deploy(make_config(rgprefix="stalerg").to_dict())
     job = remote.collect(deployment=info.name)
     job.wait(timeout=120)
 
-    # Forge the crash: rewrite the finished record as if the server had
-    # died mid-run (the job manager is down between stop() and start()).
     live.stop()
-    jobs_dir = os.path.join(live.state_dir, "jobs")
-    path = os.path.join(jobs_dir, f"{job.id}.json")
-    with open(path) as fh:
-        record = json.load(fh)
-    record.update(state="running", finished_at=None, result=None)
-    with open(path, "w") as fh:
-        json.dump(record, fh)
+    _forge_crashed_job(live.state_dir, job.id, attempts=5)
     live.start()
 
     reborn = RemoteSession(live.url, timeout=15)
-    stale = reborn.job(job.id)
+    stale = _wait_finished(reborn, job.id)
     assert stale.state == "stale"
-    assert "restarted" in stale.error
+    assert "giving up" in stale.error
     assert stale.finished  # a client wait() returns instead of hanging
     # The collected data is still there: advice keeps working.
     assert reborn.advise(deployment=info.name).rows

@@ -251,6 +251,7 @@ class TestJobRoutes:
 class TestShutdownGuards:
     def test_shutdown_refused_while_jobs_active(self, router):
         """DELETE on a deployment with live jobs is a 409, not a freeze."""
+        import os
         import threading
 
         from repro.service.jobs import JobManager
@@ -270,8 +271,10 @@ class TestShutdownGuards:
         info = deploy(router, prefix="guardrg")
         state = ServiceState(
             session=router.state.session,
-            jobs=JobManager(jobs_dir=router.state.jobs.jobs_dir + "-g",
-                            session_factory=BlockedSession, workers=1),
+            jobs=JobManager(
+                jobs_dir=os.path.join(
+                    router.state.session.store.root, "jobs-g"),
+                session_factory=BlockedSession, workers=1),
         )
         guarded = Router(state)
         try:

@@ -182,6 +182,66 @@ class TestPersistence:
             (jobs_dir / "job-dead.json").read_text())["state"] == "stale"
         manager.close()
 
+    def test_restart_keeps_running_job_with_live_lease(self, tmp_path):
+        """Regression: N servers can share one state dir.  A `running`
+        record whose lease is still live belongs to a *sibling* that is
+        alive and heartbeating — a restart elsewhere must not stale it."""
+        jobs_dir = tmp_path / "jobs"
+        jobs_dir.mkdir()
+        alive = JobRecord(id="job-alive", kind="collect",
+                          deployment="d-000", state="running",
+                          request={"deployment": "d-000"}, created_at=1.0,
+                          worker_id="sibling-server",
+                          lease_expires_at=time.time() + 300)
+        (jobs_dir / "job-alive.json").write_text(alive.to_json())
+        manager = make_manager(tmp_path)
+        record = manager.get("job-alive")
+        assert record.state == "running"
+        assert record.error == ""
+        assert not record.finished
+        assert record.worker_id == "sibling-server"
+        # ... and nothing was rewritten behind the owner's back.
+        assert json.loads(
+            (jobs_dir / "job-alive.json").read_text())["state"] == "running"
+        manager.close()
+
+    def test_restart_stales_running_job_with_expired_lease(self, tmp_path):
+        """The flip side: an *expired* lease proves the worker is dead."""
+        jobs_dir = tmp_path / "jobs"
+        jobs_dir.mkdir()
+        dead = JobRecord(id="job-expired", kind="collect",
+                         deployment="d-000", state="running",
+                         request={"deployment": "d-000"}, created_at=1.0,
+                         worker_id="dead-server",
+                         lease_expires_at=time.time() - 1)
+        (jobs_dir / "job-expired.json").write_text(dead.to_json())
+        manager = make_manager(tmp_path)
+        record = manager.get("job-expired")
+        assert record.state == "stale"
+        assert "restarted" in record.error
+        manager.close()
+
+    def test_heartbeat_renews_lease_while_running(self, tmp_path):
+        """A running job's persisted lease keeps moving forward, so a
+        concurrent reader never mistakes a live job for an orphan."""
+        gate = threading.Event()
+        manager = make_manager(tmp_path,
+                               session=FakeSession(gate=gate))
+        try:
+            record = manager.submit("collect", {"deployment": "d-000"})
+            deadline = time.monotonic() + 10
+            lease = None
+            while lease is None and time.monotonic() < deadline:
+                on_disk = json.loads(
+                    (tmp_path / "jobs" / f"{record.id}.json").read_text())
+                if on_disk["state"] == "running":
+                    lease = on_disk["lease_expires_at"]
+                time.sleep(0.01)
+            assert lease is not None and lease > time.time()
+        finally:
+            gate.set()
+            manager.close()
+
     def test_restart_requeues_queued_job(self, tmp_path):
         jobs_dir = tmp_path / "jobs"
         jobs_dir.mkdir()
