@@ -21,6 +21,11 @@ the ``repro.fleet`` tier makes:
   Pareto recompute holding the in-process lock, which collapses their
   median latency (floor ``BENCH_LOAD_CONVOY_FLOOR``, default 2.0x
   better than the single worker).  Both metrics are always recorded.
+* **per-worker sockets** — where the supervisor reports
+  ``sockets=per-worker`` (Linux ``SO_REUSEPORT``), fresh connections
+  must actually spread across the worker processes.  The bench samples
+  ``/healthz`` over independent connections, tallies the responding
+  ``worker_id``s, and asserts every worker answered at least once.
 
 Results (req/s, p50/p99 latency per phase) land in
 ``BENCH_service_load.json`` at the repo root.
@@ -251,6 +256,7 @@ class FleetUnderTest:
             text=True, env=env, cwd=REPO_ROOT,
         )
         self.url = None
+        self.sockets = "shared"
         deadline = time.monotonic() + 30
         while time.monotonic() < deadline:
             line = self.proc.stdout.readline()
@@ -260,6 +266,7 @@ class FleetUnderTest:
                 fields = dict(part.split("=", 1)
                               for part in line.split()[2:])
                 self.url = f"http://127.0.0.1:{fields['port']}"
+                self.sockets = fields.get("sockets", "shared")
                 break
         assert self.url, "fleet never became ready"
         # Drain further supervisor chatter so the pipe cannot fill.
@@ -332,6 +339,21 @@ def convoy_latencies(url: str, deployment: str, samples: int):
             latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))])
 
 
+def worker_spread(url: str, samples: int):
+    """Tally which worker answers ``samples`` independent ``/healthz``
+    probes.  The client opens a fresh TCP connection per request, so
+    with per-worker ``SO_REUSEPORT`` sockets the kernel's connection
+    hash decides the responder — the tally shows whether load really
+    lands on more than one process."""
+    remote = RemoteSession(url, timeout=60, retries=10, backoff_s=0.05)
+    counts = {}
+    for _ in range(samples):
+        fleet = remote.health().get("fleet") or {}
+        worker = str(fleet.get("worker_id", "unknown"))
+        counts[worker] = counts.get(worker, 0) + 1
+    return counts
+
+
 def bench_fleet(make_state, ops_count: int, threads: int,
                 convoy_samples: int):
     results = {}
@@ -343,11 +365,16 @@ def bench_fleet(make_state, ops_count: int, threads: int,
                 fleet.url, mixed_ops(deployment, ops_count), threads)
             convoy_p50, convoy_p99 = convoy_latencies(
                 fleet.url, deployment, convoy_samples)
+            spread = worker_spread(
+                fleet.url, samples=max(40, convoy_samples // 2))
             results[label] = {"workers": workers, "requests": ops_count,
                               "req_per_s": rps, "p50_s": p50,
                               "p99_s": p99,
                               "convoyed_read_p50_s": convoy_p50,
-                              "convoyed_read_p99_s": convoy_p99}
+                              "convoyed_read_p99_s": convoy_p99,
+                              "sockets": fleet.sockets,
+                              "worker_requests": spread,
+                              "workers_answering": len(spread)}
         finally:
             fleet.stop()
     one, two = results["fleet_1_worker"], results["fleet_2_workers"]
@@ -423,6 +450,9 @@ def run_benchmark(requests: int, threads: int, n_points: int,
         print(f"fleet convoyed-read p50 speedup: "
               f"{fleet_results['convoyed_read_p50_speedup']:.1f}x "
               f"(floor {convoy_floor:.1f}x)")
+        two_workers = fleet_results["fleet_2_workers"]
+        print(f"2-worker request spread ({two_workers['sockets']} "
+              f"sockets): {two_workers['worker_requests']}")
 
         if check:
             assert cache_results["speedup"] >= cached_floor, (
@@ -444,6 +474,15 @@ def run_benchmark(requests: int, threads: int, n_points: int,
                     f"convoyed cheap-read p50 speedup "
                     f"{fleet_results['convoyed_read_p50_speedup']:.1f}x "
                     f"below the {convoy_floor:.1f}x floor"
+                )
+            if two_workers["sockets"] == "per-worker":
+                # With one reuseport socket per worker, independent
+                # connections must reach every process — all probes
+                # landing on one worker would mean the per-socket
+                # layout is not actually balancing.
+                assert two_workers["workers_answering"] >= 2, (
+                    f"per-worker sockets but only "
+                    f"{two_workers['worker_requests']} answered probes"
                 )
         return results
     finally:

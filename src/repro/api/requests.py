@@ -15,7 +15,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.api.serde import DictMixin
-from repro.core.collector import CAPACITY_TIERS, RECOVERY_POLICIES
+from repro.core.collector import (CAPACITY_TIERS, ENGINE_CHOICES,
+                                  RECOVERY_POLICIES)
 from repro.errors import ConfigError
 
 #: Recovery policies with an expected-value model (``fail`` has none,
@@ -66,6 +67,11 @@ class CollectRequest(DictMixin):
     #: Seed for the interruption draws — same seed, same evictions,
     #: at any pool parallelism.
     eviction_seed: int = 0
+    #: Execution engine: ``auto`` (per-object today), ``object`` (the
+    #: per-task event-driven scheduler), or ``batched`` (the vectorized
+    #: sweep kernel — byte-identical results, with automatic fallback to
+    #: the per-object path for sweeps it cannot reproduce exactly).
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.noise is not None and self.noise < 0:
@@ -101,6 +107,11 @@ class CollectRequest(DictMixin):
         if self.eviction_rate is not None and self.eviction_rate < 0:
             raise ConfigError(
                 f"eviction_rate must be >= 0, got {self.eviction_rate}"
+            )
+        if self.engine not in ENGINE_CHOICES:
+            raise ConfigError(
+                f"engine must be one of {ENGINE_CHOICES}, "
+                f"got {self.engine!r}"
             )
 
     @property

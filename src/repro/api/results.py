@@ -85,6 +85,12 @@ class CollectResult(DictMixin):
     preemptions: int = 0
     #: Billed node-seconds that produced no surviving work.
     wasted_node_s: float = 0.0
+    #: Execution engine that actually ran the sweep (``object`` or
+    #: ``batched``).
+    engine: str = "object"
+    #: Why a requested ``batched`` engine fell back to the per-object
+    #: scheduler (empty when no fallback happened).
+    engine_fallback: str = ""
     failures: Tuple[str, ...] = ()
     dataset_points: int = 0
     dataset_path: str = ""

@@ -576,6 +576,7 @@ class AdvisorSession:
                 checkpoint_interval_s=req.checkpoint_interval_s,
                 checkpoint_overhead_s=req.checkpoint_overhead_s,
                 eviction=eviction,
+                engine=req.engine,
                 on_progress=progress,
             )
             report = collector.collect(scenarios)
@@ -604,6 +605,8 @@ class AdvisorSession:
             max_parallel_pools=report.max_parallel_pools,
             capacity=report.capacity,
             recovery=report.recovery,
+            engine=report.engine,
+            engine_fallback=report.engine_fallback,
             preemptions=report.preemptions,
             wasted_node_s=report.wasted_node_s,
             failures=tuple(report.failures),

@@ -105,6 +105,7 @@ def collect(
     eviction_seed: int = 0,
     checkpoint_interval: float = 600.0,
     checkpoint_overhead: float = 60.0,
+    engine: str = "auto",
     show_report: bool = False,
     as_json: bool = False,
 ) -> int:
@@ -127,6 +128,7 @@ def collect(
         eviction_seed=eviction_seed,
         checkpoint_interval_s=checkpoint_interval,
         checkpoint_overhead_s=checkpoint_overhead,
+        engine=engine,
     ))
     if as_json:
         print(result.to_json(indent=1))
@@ -144,6 +146,11 @@ def collect(
           f"{fmt_duration(result.provisioning_overhead_s)}")
     print(f"  sweep makespan:      {fmt_duration(result.makespan_s)} "
           f"({result.max_parallel_pools} parallel pool(s))")
+    if result.engine != "object" or result.engine_fallback:
+        line = f"  engine:              {result.engine}"
+        if result.engine_fallback:
+            line += f" (fell back: {result.engine_fallback})"
+        print(line)
     if result.capacity == "spot":
         print(f"  spot capacity:       {result.preemptions} preemption(s), "
               f"{fmt_duration(result.wasted_node_s)} node-time wasted "
@@ -372,6 +379,35 @@ def compare(state_dir: Optional[str], name_a: str, name_b: str,
     return 0
 
 
+# -- engines ---------------------------------------------------------------------
+
+
+def engines(as_json: bool = False) -> int:
+    """List the execution engines and what each one covers."""
+    from repro.simd import describe_engines
+    from repro.simd.vector import vector_ready
+
+    matrix = describe_engines()
+    if as_json:
+        import json
+
+        print(json.dumps(
+            {"engines": matrix, "vectorized_physics": vector_ready()},
+            indent=1,
+        ))
+        return 0
+    for entry in matrix:
+        print(f"{entry['engine']}: {entry['description']}")
+        print(f"  preemption:  {'yes' if entry['preemption'] else 'no'}")
+        print(f"  concurrency: {'yes' if entry['concurrency'] else 'no'}")
+        print(f"  batching:    {'yes' if entry['batching'] else 'no'}")
+        print(f"  coverage:    {entry['coverage']}")
+    print("vectorized physics: "
+          + ("available (numpy)" if vector_ready()
+             else "unavailable (numpy missing; scalar table only)"))
+    return 0
+
+
 # -- gui ------------------------------------------------------------------------------
 
 
@@ -437,6 +473,7 @@ def submit(
     eviction_seed: int = 0,
     checkpoint_interval: float = 600.0,
     checkpoint_overhead: float = 60.0,
+    engine: str = "auto",
     wait: bool = False,
     timeout: float = 600.0,
     as_json: bool = False,
@@ -462,6 +499,7 @@ def submit(
         eviction_seed=eviction_seed,
         checkpoint_interval_s=checkpoint_interval,
         checkpoint_overhead_s=checkpoint_overhead,
+        engine=engine,
     ))
     if wait:
         job.wait(timeout=timeout, raise_on_failure=False)

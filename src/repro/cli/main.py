@@ -104,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
     collect.add_argument("--eviction-seed", type=int, default=0,
                          help="seed for the spot interruption draws "
                               "(same seed, same evictions)")
+    _add_engine_argument(collect)
     collect.add_argument("--report", action="store_true",
                          help="print the full sweep report afterwards")
     collect.add_argument("--json", action="store_true", dest="as_json",
@@ -201,6 +202,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="emit the page as JSON")
 
     # compare (extension: before/after sweeps via tags) ------------------------
+    engines = sub.add_parser(
+        "engines",
+        help="list execution engines and their feature coverage",
+    )
+    engines.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the engine matrix as JSON")
+
     compare = sub.add_parser(
         "compare",
         help="compare two deployments' datasets scenario by scenario "
@@ -273,6 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--parallel-pools", type=int, default=1, metavar="N")
     _add_spot_arguments(submit, default_recovery="restart")
     submit.add_argument("--eviction-seed", type=int, default=0)
+    _add_engine_argument(submit)
     submit.add_argument("--wait", action="store_true",
                         help="block until the job finishes")
     submit.add_argument("--timeout", type=float, default=600.0,
@@ -301,6 +310,16 @@ def build_parser() -> argparse.ArgumentParser:
     result.add_argument("--json", action="store_true", dest="as_json")
 
     return parser
+
+
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    """The execution-engine flag shared by ``collect`` and ``submit``."""
+    parser.add_argument(
+        "--engine", choices=["auto", "object", "batched"], default="auto",
+        help="execution engine: 'batched' runs the vectorized sweep kernel "
+             "(byte-identical results, falls back to the per-object "
+             "scheduler when ineligible); see `repro engines`",
+    )
 
 
 def _add_spot_arguments(parser: argparse.ArgumentParser,
@@ -383,6 +402,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             eviction_seed=args.eviction_seed,
             checkpoint_interval=args.checkpoint_interval,
             checkpoint_overhead=args.checkpoint_overhead,
+            engine=args.engine,
             show_report=args.report,
             as_json=args.as_json,
         )
@@ -435,6 +455,8 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "compare":
         return commands.compare(args.state_dir, args.a, args.b,
                                 as_json=args.as_json)
+    if args.command == "engines":
+        return commands.engines(as_json=args.as_json)
     if args.command == "gui":
         return commands.gui(args.state_dir, host=args.host, port=args.port,
                             once=args.once)
@@ -463,6 +485,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             eviction_seed=args.eviction_seed,
             checkpoint_interval=args.checkpoint_interval,
             checkpoint_overhead=args.checkpoint_overhead,
+            engine=args.engine,
             wait=args.wait,
             timeout=args.timeout,
             as_json=args.as_json,

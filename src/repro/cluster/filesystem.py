@@ -40,6 +40,10 @@ class SharedFilesystem:
     quota_bytes: float = float("inf")
     _files: Dict[str, str] = field(default_factory=dict)
     _dirs: set = field(default_factory=lambda: {"/"})
+    #: Running total of file bytes, maintained on every mutation so
+    #: ``used_bytes`` (consulted on each write for the quota check) is
+    #: O(1) instead of a sum over every file ever written.
+    _used_bytes: int = 0
 
     # -- directories ---------------------------------------------------------
 
@@ -66,6 +70,7 @@ class SharedFilesystem:
         prefix = path if path.endswith("/") else path + "/"
         doomed_files = [p for p in self._files if p == path or p.startswith(prefix)]
         for p in doomed_files:
+            self._used_bytes -= len(self._files[p])
             del self._files[p]
         doomed_dirs = [d for d in self._dirs if d == path or d.startswith(prefix)]
         for d in doomed_dirs:
@@ -85,6 +90,7 @@ class SharedFilesystem:
                 f"({new_usage} > {self.quota_bytes} bytes)"
             )
         self.mkdir(posixpath.dirname(path))
+        self._used_bytes = new_usage
         self._files[path] = text
 
     def append_text(self, path: str, text: str) -> None:
@@ -109,6 +115,7 @@ class SharedFilesystem:
         path = _normalize(path)
         if path not in self._files:
             raise FilesystemError(f"no such file: {path!r}")
+        self._used_bytes -= len(self._files[path])
         del self._files[path]
 
     # -- listing / stats --------------------------------------------------------
@@ -134,7 +141,7 @@ class SharedFilesystem:
 
     @property
     def used_bytes(self) -> int:
-        return sum(len(t) for t in self._files.values())
+        return self._used_bytes
 
     @property
     def file_count(self) -> int:

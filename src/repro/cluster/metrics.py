@@ -9,7 +9,7 @@ simulated run, and :mod:`repro.sampling.bottleneck` consumes them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, asdict
+from dataclasses import dataclass
 from typing import Dict
 
 
@@ -37,8 +37,15 @@ class InfraMetrics:
     comm_fraction: float = 0.0
     mem_used_fraction: float = 0.0
 
+    # Field names spelled out (in declaration order) rather than derived
+    # via dataclasses.asdict: these methods run once per simulated task,
+    # and asdict's recursive deep-copy dominates construction cost.
+    _FIELDS = ("cpu_util", "mem_bw_util", "net_util", "comm_fraction",
+               "mem_used_fraction")
+
     def __post_init__(self) -> None:
-        for name, value in asdict(self).items():
+        for name in self._FIELDS:
+            value = getattr(self, name)
             if not (0.0 <= value <= 1.0):
                 raise ValueError(f"metric {name} out of [0,1]: {value}")
 
@@ -59,7 +66,7 @@ class InfraMetrics:
         return max(candidates, key=lambda k: candidates[k])
 
     def to_dict(self) -> Dict[str, float]:
-        return asdict(self)
+        return {name: getattr(self, name) for name in self._FIELDS}
 
     @classmethod
     def from_dict(cls, data: Dict[str, float]) -> "InfraMetrics":

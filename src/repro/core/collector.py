@@ -79,6 +79,12 @@ from repro.errors import BackendError, ConfigError
 #: The capacity tiers a sweep can run on.
 CAPACITY_TIERS = ("ondemand", "spot")
 
+#: Execution-engine selectors a sweep accepts: ``auto`` (per-object
+#: today), ``object`` (the event-driven per-task scheduler), and
+#: ``batched`` (the :mod:`repro.simd` kernel, with automatic fallback
+#: to the per-object path for sweeps it cannot reproduce exactly).
+ENGINE_CHOICES = ("auto", "object", "batched")
+
 #: Task-level recovery policies for spot interruptions.
 RECOVERY_POLICIES = ("restart", "checkpoint_restart", "fail")
 
@@ -142,6 +148,12 @@ class CollectionReport:
     preemptions: int = 0
     #: Billed node-seconds that produced no surviving work.
     wasted_node_s: float = 0.0
+    #: Execution engine that actually ran the sweep (``object`` or
+    #: ``batched`` — the latter only when requested *and* eligible).
+    engine: str = "object"
+    #: Why a requested ``batched`` engine fell back to the per-object
+    #: path (empty when no fallback happened).
+    engine_fallback: str = ""
     failures: List[str] = field(default_factory=list)
     _first_started_at: Optional[float] = field(default=None, repr=False)
     _last_finished_at: Optional[float] = field(default=None, repr=False)
@@ -204,6 +216,12 @@ class DataCollector:
     checkpoint_interval_s: float = 600.0
     #: Restore overhead paid on each resume from a checkpoint.
     checkpoint_overhead_s: float = 60.0
+    #: Execution engine: ``auto`` (per-object today), ``object``, or
+    #: ``batched`` — the :mod:`repro.simd` kernel, which evaluates
+    #: scenario physics from a memoized table over the real billing
+    #: substrate and falls back to the per-object path (recording why
+    #: on the report) for sweeps it cannot reproduce byte-for-byte.
+    engine: str = "auto"
     #: Interruption sampler for spot sweeps; ``None`` means spot pricing
     #: without evictions (a best-case what-if).
     eviction: Optional[EvictionModel] = None
@@ -243,6 +261,11 @@ class DataCollector:
                 f"checkpoint_overhead_s must be >= 0, "
                 f"got {self.checkpoint_overhead_s}"
             )
+        if self.engine not in ENGINE_CHOICES:
+            raise ConfigError(
+                f"engine must be one of {ENGINE_CHOICES}, "
+                f"got {self.engine!r}"
+            )
         if self.capacity == "spot" and not self.backend.supports_preemption:
             raise BackendError(
                 f"backend {self.backend.name!r} cannot run spot capacity "
@@ -251,30 +274,28 @@ class DataCollector:
         if not scenarios:
             self._total_scenarios = 0
             return self._new_report(self.max_parallel_pools)
-        known_ids = {
-            r.scenario.scenario_id for r in self.taskdb.all()
-        }
-        self.taskdb.add_scenarios(
-            s for s in scenarios if s.scenario_id not in known_ids
-        )
-        # Progress denominators count only *this sweep's* work: a resumed
-        # sweep's already-completed scenarios never reach _notify, so
-        # counting them would leave progress stuck below total forever.
-        self._total_scenarios = sum(
-            1 for s in scenarios
-            if self.taskdb.get(s.scenario_id).status is TaskStatus.PENDING
-            and not self.taskdb.get(s.scenario_id).skipped_by_sampler
-        )
 
         # Group by VM type (Algorithm 1's loop assumes this ordering) and
         # walk node counts ascending so resizes only ever grow a pool.
         ordered = sorted(
             scenarios, key=lambda s: (s.sku_name, s.nnodes, s.inputs_key())
         )
+        engine_used, fallback = self._resolve_engine(ordered)
         try:
-            if self.backend.supports_concurrency:
+            if engine_used == "batched":
+                # Store write-through is deferred around the whole sweep:
+                # the initial PENDING rows and every status transition
+                # merge into one bulk task sync (each record at its final
+                # state) plus one bulk point append at the end (or on
+                # abort) instead of per-scenario I/O.
+                with self.dataset.deferred_sync(), self.taskdb.deferred_sync():
+                    self._register_scenarios(scenarios)
+                    report = self._collect_batched(ordered)
+            elif self.backend.supports_concurrency:
+                self._register_scenarios(scenarios)
                 report = self._collect_scheduled(ordered)
             else:
+                self._register_scenarios(scenarios)
                 report = self._collect_sequential(ordered)
         except BaseException:
             # An aborted sweep (e.g. cooperative cancellation raised from
@@ -290,8 +311,58 @@ class DataCollector:
             raise
         report.infrastructure_cost_usd = self.backend.total_infrastructure_cost_usd
         report.provisioning_overhead_s = self.backend.provisioning_overhead_s
+        report.engine = engine_used
+        report.engine_fallback = fallback
         self._save_state()
         return report
+
+    def _register_scenarios(self, scenarios: List[Scenario]) -> None:
+        """Add this sweep's scenarios to the task DB (idempotently)."""
+        known_ids = {
+            r.scenario.scenario_id for r in self.taskdb.all()
+        }
+        self.taskdb.add_scenarios(
+            s for s in scenarios if s.scenario_id not in known_ids
+        )
+        # Progress denominators count only *this sweep's* work: a resumed
+        # sweep's already-completed scenarios never reach _notify, so
+        # counting them would leave progress stuck below total forever.
+        self._total_scenarios = sum(
+            1 for s in scenarios
+            if self.taskdb.get(s.scenario_id).status is TaskStatus.PENDING
+            and not self.taskdb.get(s.scenario_id).skipped_by_sampler
+        )
+
+    def _resolve_engine(self, ordered: List[Scenario]) -> tuple:
+        """Pick the execution engine for this sweep.
+
+        Returns ``(engine_used, fallback_reason)``; a requested
+        ``batched`` engine degrades gracefully to ``object`` with the
+        reason recorded rather than erroring, per the engine contract.
+        """
+        if self.engine != "batched":
+            return "object", ""
+        # Imported lazily: repro.simd sits above the collector in the
+        # layering (it implements the backend protocol defined below us).
+        from repro.simd.engine import batch_eligibility
+
+        reason = batch_eligibility(self.backend, self.max_parallel_pools,
+                                   ordered)
+        if reason is not None:
+            return "object", reason
+        return "batched", ""
+
+    def _collect_batched(self, ordered: List[Scenario]) -> CollectionReport:
+        """Run the sweep on the :mod:`repro.simd` batched kernel.
+
+        The kernel is a flat transliteration of the sequential walk below
+        over the same substrate (see :mod:`repro.simd.engine`); spot
+        recovery, retries, sampling, and reporting reproduce it byte for
+        byte — the goldens in ``tests/test_batched_kernel.py`` pin this.
+        """
+        from repro.simd.engine import run_batched_sweep
+
+        return run_batched_sweep(self, ordered)
 
     def _new_report(self, max_parallel_pools: int) -> CollectionReport:
         return CollectionReport(
@@ -387,6 +458,13 @@ class DataCollector:
             attempts = 0
             while not result.succeeded and attempts < self.retry_failed:
                 attempts += 1
+                if self.capacity == "spot":
+                    # A losing spot attempt may have ended in an
+                    # eviction that reclaimed the node(s); grow the
+                    # pool back before retrying.
+                    op = self.backend.submit_provision(sku, scenario.nnodes)
+                    yield op.ready_at
+                    op.finish()
                 result = yield from self._run_scheduled(scenario)
             self._record_result(scenario, result, report)
             if not result.succeeded and self.stop_on_failure:
@@ -434,6 +512,13 @@ class DataCollector:
             attempts = 0
             while not result.succeeded and attempts < self.retry_failed:
                 attempts += 1
+                if self.capacity == "spot":
+                    # A losing spot attempt may have ended in an
+                    # eviction that reclaimed the node(s); grow the
+                    # pool back before retrying.
+                    self.backend.ensure_capacity(
+                        scenario.sku_name, scenario.nnodes
+                    )
                 result = self._run_blocking(scenario)
             self._record_result(scenario, result, report)
             if not result.succeeded and self.stop_on_failure:

@@ -19,6 +19,7 @@ Persistence comes in two shapes:
 from __future__ import annotations
 
 import json
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import (TYPE_CHECKING, Callable, Dict, Iterable, List, Mapping,
                     Optional)
@@ -140,6 +141,7 @@ class Dataset:
         self.path = path
         self._store = store
         self._synced = len(self._points) if store is not None else 0
+        self._deferring = False
 
     @property
     def store(self) -> Optional["StoreBackend"]:
@@ -156,9 +158,32 @@ class Dataset:
         self._write_through()
 
     def _write_through(self) -> None:
+        if self._deferring:
+            return
         if self._store is not None and self._synced < len(self._points):
             self._store.append_points(self._points[self._synced:])
             self._synced = len(self._points)
+
+    @contextmanager
+    def deferred_sync(self):
+        """Batch the store write-through for a block of appends.
+
+        Inside the block, ``append``/``extend`` only touch memory; on
+        exit (including via an exception) everything accumulated since
+        the last sync goes to the store in one bulk ``append_points``
+        call — the same rows in the same order the incremental
+        write-through would have produced, minus the per-append I/O.
+        No-op without a store or when already deferring.
+        """
+        if self._store is None or self._deferring:
+            yield self
+            return
+        self._deferring = True
+        try:
+            yield self
+        finally:
+            self._deferring = False
+            self._write_through()
 
     def points(self) -> List[DataPoint]:
         return list(self._points)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import enum
 import json
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional
 
@@ -98,6 +99,7 @@ class TaskDB:
         self.path = path
         self._records: Dict[str, TaskRecord] = {}
         self._store = store
+        self._deferred: Optional[Dict[str, TaskRecord]] = None
 
     @property
     def store(self) -> Optional["StoreBackend"]:
@@ -114,8 +116,36 @@ class TaskDB:
         return db
 
     def _sync(self, changed: List[TaskRecord]) -> None:
+        if self._deferred is not None:
+            for record in changed:
+                self._deferred[record.scenario.scenario_id] = record
+            return
         if self._store is not None and changed:
             self._store.sync_tasks(changed, list(self._records.values()))
+
+    @contextmanager
+    def deferred_sync(self):
+        """Batch store syncs for a block of status transitions.
+
+        Inside the block, ``mark_*`` calls update memory only; on exit
+        (including via an exception) every record that changed is synced
+        in one ``sync_tasks`` call.  Each record's *final* state wins —
+        identical to what the per-transition upserts would have left
+        behind, since upserts keep insertion order.  No-op without a
+        store or when already deferring.
+        """
+        if self._store is None or self._deferred is not None:
+            yield self
+            return
+        self._deferred = {}
+        try:
+            yield self
+        finally:
+            pending, self._deferred = self._deferred, None
+            if pending:
+                self._store.sync_tasks(
+                    list(pending.values()), list(self._records.values())
+                )
 
     # -- population -----------------------------------------------------------
 

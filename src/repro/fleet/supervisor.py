@@ -1,23 +1,33 @@
 """The fleet front: pre-forked HTTP server workers under a supervisor.
 
-``serve_fleet`` is the ``fleet serve`` CLI command: the parent binds one
-listening socket (``SO_REUSEPORT`` is set where the platform offers it),
-forks N worker processes that each run the full advisor service —
-HTTP threads, response cache, and a :class:`FleetJobManager` claiming
-from the shared ``fleet.sqlite`` queue — and then babysits them,
-restarting any worker that exits.  All workers ``accept()`` on the same
-inherited socket, so the kernel spreads connections across processes
-with no proxy in front.
+``serve_fleet`` is the ``fleet serve`` CLI command: the parent binds the
+listening sockets, forks N worker processes that each run the full
+advisor service — HTTP threads, response cache, and a
+:class:`FleetJobManager` claiming from the shared ``fleet.sqlite`` queue
+— and then babysits them, restarting any worker that exits.
+
+Where the platform supports ``SO_REUSEPORT`` (Linux, modern BSDs), each
+worker gets its **own** socket bound to the same address: the kernel
+hashes incoming connections across the reuseport group, which spreads
+load evenly per *socket* and avoids the accept contention of N
+processes blocking on one listener.  Each socket is bound in the parent
+(so ``port=0`` resolves once and restarts re-inherit the same kernel
+socket) and accepted on by exactly one worker.  Platforms without
+``SO_REUSEPORT`` — or that advertise and then refuse it — fall back to
+the classic single shared socket inherited by every worker, with no
+proxy in front either way.
 
 Crash behaviour is the whole point: a worker that dies mid-job (crash,
 OOM kill, ``kill -9``) takes nothing with it — its HTTP connections
 fail fast and get retried by the client against a sibling, its leased
 jobs expire and are re-claimed by survivors, and the supervisor forks a
-replacement within a poll tick.
+replacement within a poll tick that accepts on the dead worker's own
+socket (per-worker mode) or the shared one (fallback).
 
 The parent prints one machine-parseable readiness line::
 
-    FLEET READY url=http://127.0.0.1:8050/ port=8050 workers=2 pid=1234
+    FLEET READY url=http://127.0.0.1:8050/ port=8050 workers=2 \
+        sockets=per-worker pid=1234
 
 (workers may still be a few milliseconds from accepting; poll
 ``/healthz`` for actual readiness, as the smoke tests do).
@@ -43,18 +53,59 @@ POLL_S = 0.2
 RESTART_DELAY_S = 0.5
 
 
-def _bind_listener(host: str, port: int) -> socket.socket:
-    """One listening socket for the whole fleet (inherited across fork)."""
+def _bind_listener(host: str, port: int,
+                   reuseport: bool = False) -> socket.socket:
+    """One listening socket (inherited across fork).
+
+    With ``reuseport`` the socket joins the port's ``SO_REUSEPORT``
+    group; the ``setsockopt``/``bind`` may raise ``OSError`` on
+    platforms that lack or refuse the option — callers fall back to a
+    single shared listener.
+    """
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-    if hasattr(socket, "SO_REUSEPORT"):  # pragma: no branch - linux CI
-        try:
+    try:
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuseport:
             listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
-        except OSError:
-            pass  # platform advertises but refuses it; shared fd still works
-    listener.bind((host, port))
-    listener.listen(128)
+        listener.bind((host, port))
+        listener.listen(128)
+    except BaseException:
+        listener.close()
+        raise
     return listener
+
+
+def _bind_fleet_sockets(host: str, port: int,
+                        workers: int) -> tuple:
+    """``(sockets, per_worker)`` for the fleet's listening layout.
+
+    Preferred: one ``SO_REUSEPORT`` socket per worker, all bound to the
+    same address — the kernel then balances connections across workers
+    per socket.  Every socket is bound here in the parent so a ``port=0``
+    request resolves exactly once and a restarted worker re-inherits the
+    same kernel socket (the parent's fd keeps it alive in between).
+    Fallback: one shared listener, ``len(sockets) == 1``.
+    """
+    if workers > 1 and hasattr(socket, "SO_REUSEPORT"):
+        try:
+            first = _bind_listener(host, port, reuseport=True)
+        except OSError:
+            pass  # advertised but refused: shared listener below
+        else:
+            sockets = [first]
+            actual_port = first.getsockname()[1]
+            try:
+                for _ in range(workers - 1):
+                    sockets.append(
+                        _bind_listener(host, actual_port, reuseport=True))
+            except OSError:
+                # Group membership went sour mid-bind; release the port
+                # fully before the shared-listener rebind below.
+                for sock in sockets:
+                    sock.close()
+            else:
+                return sockets, True
+    return [_bind_listener(host, port)], False
 
 
 def _worker_main(listener: socket.socket, state_dir: str,
@@ -85,11 +136,13 @@ def serve_fleet(state_dir: str, host: str = "127.0.0.1", port: int = 8050,
             "fleet serve needs a platform with fork(); "
             "use plain `serve` here"
         ) from exc
-    listener = _bind_listener(host, port)
-    actual_port = listener.getsockname()[1]
+    sockets, per_worker = _bind_fleet_sockets(host, port, workers)
+    actual_port = sockets[0].getsockname()[1]
     url = f"http://{host}:{actual_port}/"
+    layout = "per-worker" if per_worker else "shared"
     print(f"FLEET READY url={url} port={actual_port} "
-          f"workers={workers} pid={os.getpid()}", flush=True)
+          f"workers={workers} sockets={layout} pid={os.getpid()}",
+          flush=True)
     if host not in ("127.0.0.1", "localhost", "::1"):
         print("WARNING: the service has no authentication; anyone who can "
               "reach this address can submit jobs, write plot files, and "
@@ -97,6 +150,9 @@ def serve_fleet(state_dir: str, host: str = "127.0.0.1", port: int = 8050,
               "an authenticating proxy.", flush=True)
 
     def spawn(index: int) -> multiprocessing.Process:
+        # Per-worker layout: worker i accepts on its own reuseport
+        # socket; shared layout: everyone accepts on sockets[0].
+        listener = sockets[index] if per_worker else sockets[0]
         process = ctx.Process(
             target=_worker_main,
             args=(listener, state_dir, job_workers, f"w{index}"),
@@ -139,5 +195,6 @@ def serve_fleet(state_dir: str, host: str = "127.0.0.1", port: int = 8050,
             if process.is_alive():  # pragma: no cover - stuck worker
                 process.kill()
                 process.join(timeout=5)
-        listener.close()
+        for sock in sockets:
+            sock.close()
     return 0

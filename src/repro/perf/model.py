@@ -136,7 +136,24 @@ class AppPerfModel(ABC):
         params = self.validate_inputs(inputs)
         machine = MachineModel(sku)
         net = network if network is not None else network_for_sku(sku)
+        return self.simulate_shaped(shape, params, machine, net, inputs)
 
+    def simulate_shaped(
+        self,
+        shape: RunShape,
+        params: Mapping[str, float],
+        machine: MachineModel,
+        net: NetworkModel,
+        inputs: Mapping[str, str],
+    ) -> PerfResult:
+        """Core of :meth:`simulate` with the derived objects precomputed.
+
+        Batch evaluators (``repro.simd``) cache the shape/params/machine/
+        network across thousands of scenarios and call this directly; the
+        arithmetic is identical to a fresh :meth:`simulate` call.
+        """
+        sku = shape.sku
+        nodes, ppn = shape.nodes, shape.ppn
         ws_total = self.working_set_bytes(params)
         ws_node = ws_total / shape.nodes
         if not machine.fits_in_memory(ws_node):
