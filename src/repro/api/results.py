@@ -102,6 +102,11 @@ class CollectResult(DictMixin):
     bottleneck_summary: str = ""
     budget_spent_usd: Optional[float] = None
     budget_skipped: int = 0
+    #: Wall-time profile of the sweep by stage (``provision`` / ``setup``
+    #: / ``scenario`` / ``persist`` / ``recovery`` plus ``total_s``), in
+    #: real seconds — this is the reproduction's own cost, not the
+    #: simulated cluster time ``simulated_wall_s`` reports.
+    profile: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_tasks(self) -> int:

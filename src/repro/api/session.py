@@ -60,6 +60,7 @@ from repro.errors import ConfigError, ReproError, ResourceNotFound
 from repro.perf.noise import NoiseModel
 from repro.sampling.planner import SmartSampler
 from repro.store.base import StoreBackend
+from repro import telemetry
 
 ConfigLike = Union[MainConfig, Mapping, str]
 
@@ -551,6 +552,17 @@ class AdvisorSession:
         import contextlib
 
         with contextlib.ExitStack() as stack:
+            # Persistent sessions route spans to the deployment's trace
+            # ring; the sink resets *after* the sweep span closes (LIFO
+            # unwind), so the span itself lands in the file.
+            if self.store is not None:
+                sink_token = telemetry.set_sink(
+                    self.store.traces_path(name))
+                stack.callback(telemetry.reset_sink, sink_token)
+            sweep_span = stack.enter_context(
+                telemetry.span("collect.sweep", deployment=name,
+                               backend=req.backend)
+            )
             if self.store is not None:
                 stack.enter_context(
                     file_lock(self.store.taskdb_path(name)))
@@ -580,6 +592,14 @@ class AdvisorSession:
                 on_progress=progress,
             )
             report = collector.collect(scenarios)
+            sweep_span.set("engine", report.engine)
+            sweep_span.set("executed", report.executed)
+            sweep_span.set("completed", report.completed)
+            # Per-stage child spans reconstructed from the profiler's
+            # wall-time attribution (each anchored to end at "now").
+            for stage, seconds in report.profile.items():
+                if stage != "total_s":
+                    telemetry.emit_event(f"stage.{stage}", seconds)
             # collect() wrote through our own cached objects; record the
             # new signatures so the next dataset()/taskdb() call does not
             # reload.
@@ -619,6 +639,7 @@ class AdvisorSession:
             budget_spent_usd=(getattr(sampler, "spent_usd", None)
                               if req.budget_usd is not None else None),
             budget_skipped=getattr(sampler, "skipped_over_budget", 0),
+            profile=dict(report.profile),
         )
 
     def _make_sampler(self, req: CollectRequest, deployment: Deployment,

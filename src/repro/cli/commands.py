@@ -438,6 +438,34 @@ def fleet_serve(state_dir: Optional[str], host: str = "127.0.0.1",
                        workers=workers, job_workers=job_workers)
 
 
+def trace(state_dir: Optional[str], name: str, show_all: bool = False,
+          as_json: bool = False) -> int:
+    """Print a deployment's recorded span tree(s) with timings."""
+    import json
+
+    from repro import telemetry
+    from repro.core.statefiles import StateStore
+
+    store = StateStore(root=resolve_state_dir(state_dir))
+    events = telemetry.read_events(store.traces_path(name))
+    if not events:
+        print(f"(no traces recorded for {name})")
+        return 1
+    if as_json:
+        print(json.dumps({"deployment": name, "events": events}, indent=1))
+        return 0
+    if show_all:
+        blocks = [
+            telemetry.render_tree(trace_events)
+            for trace_events in telemetry.group_traces(events).values()
+        ]
+        print("\n\n".join(blocks))
+        return 0
+    latest = telemetry.latest_trace(events)
+    print(telemetry.render_tree(latest[1]))
+    return 0
+
+
 def _print_job(record, as_json: bool) -> None:
     if as_json:
         print(record.to_json(indent=1))
@@ -477,11 +505,21 @@ def submit(
     wait: bool = False,
     timeout: float = 600.0,
     as_json: bool = False,
+    state_dir: Optional[str] = None,
+    trace: bool = False,
 ) -> int:
-    """Submit an async collect job to a running service."""
+    """Submit an async collect job to a running service.
+
+    With ``trace``, the client opens its own span in the deployment's
+    trace ring under ``state_dir`` and propagates the trace id to the
+    service, so ``repro trace <deployment>`` afterwards shows one linked
+    tree from this submit down to the worker's sweep stages.
+    """
     from repro.client import RemoteSession
 
-    remote = RemoteSession(url)
+    remote = RemoteSession(
+        url, trace_dir=resolve_state_dir(state_dir) if trace else None
+    )
     job = remote.collect(CollectRequest(
         deployment=name,
         backend=backend,

@@ -222,6 +222,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the comparison as JSON")
 
     # gui -------------------------------------------------------------------------
+    trace = sub.add_parser(
+        "trace", help="print a deployment's telemetry span tree"
+    )
+    trace.add_argument("-n", "--name", required=True, help="deployment name")
+    trace.add_argument("--all", action="store_true", dest="show_all",
+                       help="print every recorded trace, not just the "
+                            "most recent one")
+    trace.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the raw span events as JSON")
+
     gui = sub.add_parser("gui", help="start the browser GUI")
     gui.add_argument("--port", type=int, default=8040)
     gui.add_argument("--host", default="127.0.0.1")
@@ -282,6 +292,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spot_arguments(submit, default_recovery="restart")
     submit.add_argument("--eviction-seed", type=int, default=0)
     _add_engine_argument(submit)
+    submit.add_argument("--trace", action="store_true",
+                        help="open a client-side span for the submit in the "
+                             "deployment's trace ring under --state-dir "
+                             "(links client and server spans; see "
+                             "`trace`)")
     submit.add_argument("--wait", action="store_true",
                         help="block until the job finishes")
     submit.add_argument("--timeout", type=float, default=600.0,
@@ -457,6 +472,10 @@ def _dispatch(args: argparse.Namespace) -> int:
                                 as_json=args.as_json)
     if args.command == "engines":
         return commands.engines(as_json=args.as_json)
+    if args.command == "trace":
+        return commands.trace(args.state_dir, args.name,
+                              show_all=args.show_all,
+                              as_json=args.as_json)
     if args.command == "gui":
         return commands.gui(args.state_dir, host=args.host, port=args.port,
                             once=args.once)
@@ -489,6 +508,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             wait=args.wait,
             timeout=args.timeout,
             as_json=args.as_json,
+            state_dir=args.state_dir,
+            trace=args.trace,
         )
     if args.command == "status":
         return commands.status(args.url, args.job_id,

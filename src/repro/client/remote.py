@@ -34,6 +34,7 @@ import urllib.error
 import urllib.parse
 import urllib.request
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
@@ -61,6 +62,7 @@ from repro.errors import (
     RemoteTimeout,
 )
 from repro.service.jobs import JobRecord
+from repro import telemetry
 
 
 class RemoteSession:
@@ -80,6 +82,13 @@ class RemoteSession:
         jitter from ``backoff_s``.
     backoff_s:
         Base delay for the first retry.
+    trace_dir:
+        A state directory root to write *client-side* trace spans into
+        (``traces-<deployment>.jsonl``, same ring the server appends
+        to when it shares the filesystem).  ``None`` — the default —
+        keeps client span emission off; the ``traceparent`` header is
+        propagated on every request whenever a span context is active
+        regardless, so server-side spans still link up.
 
     GET responses that arrive with an ``ETag`` are remembered per URL
     (bounded LRU); the next identical GET carries ``If-None-Match`` and
@@ -91,11 +100,13 @@ class RemoteSession:
     ETAG_CACHE_SIZE = 64
 
     def __init__(self, base_url: str, timeout: float = 30.0,
-                 retries: int = 3, backoff_s: float = 0.05) -> None:
+                 retries: int = 3, backoff_s: float = 0.05,
+                 trace_dir: Optional[str] = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.retries = retries
         self.backoff_s = backoff_s
+        self.trace_dir = trace_dir
         self._etag_lock = threading.Lock()
         self._etag_cache: "OrderedDict[str, Tuple[str, str]]" = OrderedDict()
 
@@ -187,14 +198,18 @@ class RemoteSession:
                 /, **kwargs) -> "JobHandle":
         """Submit an async collect job; returns immediately."""
         req = _coerce(CollectRequest, request, kwargs)
-        data = self._call("POST", "/v1/jobs/collect", body=req.to_dict())
+        with self._client_span("client.collect", req.deployment):
+            data = self._call("POST", "/v1/jobs/collect",
+                              body=req.to_dict())
         return JobHandle(self, JobRecord.from_dict(data))
 
     def predict_job(self, request: Optional[PredictRequest] = None,
                     /, **kwargs) -> "JobHandle":
         """Submit an async predict job (for expensive model sweeps)."""
         req = _coerce(PredictRequest, request, kwargs)
-        data = self._call("POST", "/v1/jobs/predict", body=req.to_dict())
+        with self._client_span("client.predict", req.deployment):
+            data = self._call("POST", "/v1/jobs/predict",
+                              body=req.to_dict())
         return JobHandle(self, JobRecord.from_dict(data))
 
     def job(self, job_id: str) -> JobRecord:
@@ -262,6 +277,27 @@ class RemoteSession:
 
     # -- plumbing ---------------------------------------------------------------
 
+    @contextmanager
+    def _client_span(self, name: str, deployment: str):
+        """A client-side span written to the deployment's trace ring.
+
+        Without ``trace_dir`` no span opens at all (the server then
+        roots the trace itself); with it, the submit links client →
+        server spans under one trace id via the ``traceparent`` header
+        :meth:`_call` injects.
+        """
+        if not (self.trace_dir and deployment):
+            yield
+            return
+        sink_token = telemetry.set_sink(
+            telemetry.trace_path(self.trace_dir, deployment)
+        )
+        try:
+            with telemetry.span(name, deployment=deployment):
+                yield
+        finally:
+            telemetry.reset_sink(sink_token)
+
     def _call(self, method: str, path: str, body: Optional[dict] = None,
               query: Union[Dict[str, str], List, None] = None,
               raw: bool = False):
@@ -270,6 +306,9 @@ class RemoteSession:
             url += "?" + urllib.parse.urlencode(query)
         data = None
         headers = {"Accept": "application/json"}
+        traceparent = telemetry.current_traceparent()
+        if traceparent:
+            headers[telemetry.TRACEPARENT_HEADER] = traceparent
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"

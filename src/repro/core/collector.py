@@ -62,6 +62,7 @@ only a durability flush, never a whole-corpus rewrite.
 from __future__ import annotations
 
 import math
+import time
 from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import (Callable, Dict, Generator, Iterator, List, Optional,
@@ -75,6 +76,18 @@ from repro.core.dataset import DataPoint, Dataset
 from repro.core.scenarios import Scenario
 from repro.core.taskdb import TaskDB, TaskStatus
 from repro.errors import BackendError, ConfigError
+from repro.telemetry import SweepProfiler, global_registry
+
+#: Engine decisions, observable on /metrics: which engine each sweep
+#: ran on, and how often a requested ``batched`` engine had to degrade.
+_ENGINE_SELECTED = global_registry().counter(
+    "advisor_engine_selected_total",
+    "Sweep execution engine selections, by engine actually used.",
+)
+_ENGINE_FALLBACK = global_registry().counter(
+    "advisor_engine_fallback_total",
+    "Requested batched engine degradations to the per-object path.",
+)
 
 #: The capacity tiers a sweep can run on.
 CAPACITY_TIERS = ("ondemand", "spot")
@@ -154,6 +167,11 @@ class CollectionReport:
     #: Why a requested ``batched`` engine fell back to the per-object
     #: path (empty when no fallback happened).
     engine_fallback: str = ""
+    #: Wall-time attribution per stage (see
+    #: :class:`repro.telemetry.SweepProfiler`): real seconds this
+    #: process spent in provision/setup/scenario/persist/recovery, plus
+    #: ``total_s`` — distinct from the *simulated* timings above.
+    profile: Dict[str, float] = field(default_factory=dict)
     failures: List[str] = field(default_factory=list)
     _first_started_at: Optional[float] = field(default=None, repr=False)
     _last_finished_at: Optional[float] = field(default=None, repr=False)
@@ -234,6 +252,11 @@ class DataCollector:
     #: manager feeds its job records from this).  An exception raised
     #: here aborts the sweep — cooperative cancellation.
     on_progress: Optional[Callable[[CollectionReport, int], None]] = None
+    #: Per-sweep wall-time accumulator; replaced at the top of each
+    #: :meth:`collect` run (the default keeps direct calls into the
+    #: per-scenario helpers safe in tests).
+    _profiler: SweepProfiler = field(default_factory=SweepProfiler,
+                                     init=False, repr=False, compare=False)
 
     def collect(self, scenarios: List[Scenario]) -> CollectionReport:
         """Run the full task list; returns the sweep summary."""
@@ -271,9 +294,12 @@ class DataCollector:
                 f"backend {self.backend.name!r} cannot run spot capacity "
                 "(no preemption support)"
             )
+        self._profiler = SweepProfiler()
         if not scenarios:
             self._total_scenarios = 0
-            return self._new_report(self.max_parallel_pools)
+            report = self._new_report(self.max_parallel_pools)
+            report.profile = self._profiler.as_dict()
+            return report
 
         # Group by VM type (Algorithm 1's loop assumes this ordering) and
         # walk node counts ascending so resizes only ever grow a pool.
@@ -313,7 +339,9 @@ class DataCollector:
         report.provisioning_overhead_s = self.backend.provisioning_overhead_s
         report.engine = engine_used
         report.engine_fallback = fallback
-        self._save_state()
+        with self._profiler.stage("persist"):
+            self._save_state()
+        report.profile = self._profiler.as_dict()
         return report
 
     def _register_scenarios(self, scenarios: List[Scenario]) -> None:
@@ -341,6 +369,7 @@ class DataCollector:
         reason recorded rather than erroring, per the engine contract.
         """
         if self.engine != "batched":
+            _ENGINE_SELECTED.inc(engine="object")
             return "object", ""
         # Imported lazily: repro.simd sits above the collector in the
         # layering (it implements the backend protocol defined below us).
@@ -349,7 +378,10 @@ class DataCollector:
         reason = batch_eligibility(self.backend, self.max_parallel_pools,
                                    ordered)
         if reason is not None:
+            _ENGINE_SELECTED.inc(engine="object")
+            _ENGINE_FALLBACK.inc()
             return "object", reason
+        _ENGINE_SELECTED.inc(engine="batched")
         return "batched", ""
 
     def _collect_batched(self, ordered: List[Scenario]) -> CollectionReport:
@@ -414,7 +446,16 @@ class DataCollector:
                              on_done=on_lifecycle_done)
 
         launch()
+        # Coarse attribution: the whole event-queue drive is scenario
+        # work, minus whatever the lifecycles spent persisting results
+        # (credited to "persist" by _record_result as it happens).
+        persist_before = self._profiler.totals.get("persist", 0.0)
+        drive_started = time.perf_counter()
         engine.run_until_idle()
+        drive_elapsed = time.perf_counter() - drive_started
+        persist_delta = (self._profiler.totals.get("persist", 0.0)
+                         - persist_before)
+        self._profiler.add("scenario", drive_elapsed - persist_delta)
         state.report.makespan_s = self.backend.clock.now - sweep_start
         return state.report
 
@@ -497,15 +538,21 @@ class DataCollector:
             # -- Algorithm 1 lines 3-7: pool lifecycle ------------------------
             if previous_vmtype != scenario.sku_name:
                 if previous_vmtype is not None:
-                    self.backend.release_capacity(
-                        previous_vmtype, delete=self.delete_pool_on_switch
-                    )
-                setup_ok = self.backend.run_setup(scenario.sku_name, self.script)
+                    with self._profiler.stage("provision"):
+                        self.backend.release_capacity(
+                            previous_vmtype,
+                            delete=self.delete_pool_on_switch,
+                        )
+                with self._profiler.stage("setup"):
+                    setup_ok = self.backend.run_setup(scenario.sku_name,
+                                                      self.script)
                 if not setup_ok:
                     self._fail_setup_group(scenario.sku_name, ordered, report)
                     previous_vmtype = scenario.sku_name
                     continue
-            self.backend.ensure_capacity(scenario.sku_name, scenario.nnodes)
+            with self._profiler.stage("provision"):
+                self.backend.ensure_capacity(scenario.sku_name,
+                                             scenario.nnodes)
 
             # -- Algorithm 1 lines 8-11: execute and store --------------------
             result = self._run_blocking(scenario)
@@ -516,9 +563,10 @@ class DataCollector:
                     # A losing spot attempt may have ended in an
                     # eviction that reclaimed the node(s); grow the
                     # pool back before retrying.
-                    self.backend.ensure_capacity(
-                        scenario.sku_name, scenario.nnodes
-                    )
+                    with self._profiler.stage("provision"):
+                        self.backend.ensure_capacity(
+                            scenario.sku_name, scenario.nnodes
+                        )
                 result = self._run_blocking(scenario)
             self._record_result(scenario, result, report)
             if not result.succeeded and self.stop_on_failure:
@@ -528,9 +576,10 @@ class DataCollector:
 
         # -- Algorithm 1 lines 13-14: final pool cleanup --------------------------
         if previous_vmtype is not None:
-            self.backend.release_capacity(
-                previous_vmtype, delete=self.delete_pool_on_switch
-            )
+            with self._profiler.stage("provision"):
+                self.backend.release_capacity(
+                    previous_vmtype, delete=self.delete_pool_on_switch
+                )
         report.makespan_s = report.simulated_wall_s + (
             self.backend.provisioning_overhead_s - provisioning_before
         )
@@ -559,8 +608,13 @@ class DataCollector:
         generator as the scheduler, advancing the clock itself.
         """
         if self.capacity == "spot":
-            return self._drive(self._spot_execute(scenario))
-        return self.backend.run_scenario(scenario, self.script)
+            # The whole interruption/retry drive is the recovery stage;
+            # a zero-eviction spot sweep makes it scenario time in all
+            # but name.
+            with self._profiler.stage("recovery"):
+                return self._drive(self._spot_execute(scenario))
+        with self._profiler.stage("scenario"):
+            return self.backend.run_scenario(scenario, self.script)
 
     def _drive(self, process: Generator[float, None, ScenarioRunResult]
                ) -> ScenarioRunResult:
@@ -711,34 +765,38 @@ class DataCollector:
         report.preemptions += result.preemptions
         report.wasted_node_s += result.wasted_node_s
         if result.succeeded:
-            self._store(
-                scenario, result.exec_time_s, result.cost_usd,
-                result.app_vars, result.infra_metrics, result.finished_at,
-                capacity=result.capacity,
-                preemptions=result.preemptions,
-                wasted_node_s=result.wasted_node_s,
-                makespan_s=max(0.0, result.finished_at - result.started_at),
-            )
-            self.taskdb.mark_completed(
-                scenario.scenario_id,
-                exec_time_s=result.exec_time_s,
-                cost_usd=result.cost_usd,
-                app_vars=result.app_vars,
-                infra_metrics=result.infra_metrics,
-                started_at=result.started_at,
-                finished_at=result.finished_at,
-                preemptions=result.preemptions,
-            )
+            with self._profiler.stage("persist"):
+                self._store(
+                    scenario, result.exec_time_s, result.cost_usd,
+                    result.app_vars, result.infra_metrics,
+                    result.finished_at,
+                    capacity=result.capacity,
+                    preemptions=result.preemptions,
+                    wasted_node_s=result.wasted_node_s,
+                    makespan_s=max(0.0,
+                                   result.finished_at - result.started_at),
+                )
+                self.taskdb.mark_completed(
+                    scenario.scenario_id,
+                    exec_time_s=result.exec_time_s,
+                    cost_usd=result.cost_usd,
+                    app_vars=result.app_vars,
+                    infra_metrics=result.infra_metrics,
+                    started_at=result.started_at,
+                    finished_at=result.finished_at,
+                    preemptions=result.preemptions,
+                )
             report.completed += 1
             report.task_cost_usd += result.cost_usd
         else:
             reason = result.failure_reason or "unknown failure"
-            self.taskdb.mark_failed(
-                scenario.scenario_id, reason,
-                started_at=result.started_at,
-                finished_at=result.finished_at,
-                preemptions=result.preemptions,
-            )
+            with self._profiler.stage("persist"):
+                self.taskdb.mark_failed(
+                    scenario.scenario_id, reason,
+                    started_at=result.started_at,
+                    finished_at=result.finished_at,
+                    preemptions=result.preemptions,
+                )
             report.failed += 1
             report.failures.append(f"{scenario.scenario_id}: {reason}")
         self._notify(report)

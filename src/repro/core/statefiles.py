@@ -230,6 +230,12 @@ class StateStore:
     def plots_dir(self, deployment_name: str) -> str:
         return os.path.join(self.root, f"plots-{deployment_name}")
 
+    def traces_path(self, deployment_name: str) -> str:
+        """The deployment's telemetry trace ring (JSON span lines)."""
+        from repro.telemetry import trace_path
+
+        return trace_path(self.root, deployment_name)
+
     def jobs_dir(self) -> str:
         """Where the service's job manager persists its job records."""
         return os.path.join(self.root, "jobs")
@@ -355,6 +361,9 @@ class StateStore:
             doomed = list(self.data_files(name))
             doomed += [p + ".migrated" for p in
                        (self.dataset_path(name), self.taskdb_path(name))]
+            # Both generations of the trace ring go with the data.
+            traces = self.traces_path(name)
+            doomed += [traces, traces + ".1"]
             for path in doomed:
                 if os.path.exists(path):
                     os.unlink(path)

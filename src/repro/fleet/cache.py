@@ -33,8 +33,15 @@ import threading
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
+from repro.telemetry import global_registry
+
 #: Cache key: (route, deployment, query items, dataset signature).
 CacheKey = Tuple[Any, ...]
+
+_LOOKUPS = global_registry().counter(
+    "advisor_response_cache_requests_total",
+    "Response cache lookups, by outcome (hit or miss).",
+)
 
 
 def make_key(route: str, deployment: str, query: Dict[str, Any],
@@ -86,10 +93,11 @@ class ResponseCache:
             body = self._entries.get(key)
             if body is None:
                 self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return body
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+        _LOOKUPS.inc(result="miss" if body is None else "hit")
+        return body
 
     def put(self, key: CacheKey, body: str) -> None:
         with self._lock:

@@ -54,9 +54,21 @@ from repro.service.jobs import (
     TERMINAL_STATES,
     JobRecord,
 )
+from repro import telemetry
 
 #: File name of the fleet database inside a state directory.
 DB_FILENAME = "fleet.sqlite"
+
+#: Fleet-queue instrumentation (process-global; rendered on /metrics).
+_CLAIMS = telemetry.global_registry().counter(
+    "advisor_fleet_claims_total",
+    "Queue claims, by result: claimed (fresh queued job), reclaimed "
+    "(expired-lease takeover), parked (crash-looper staled).",
+)
+_LEASE_LOST = telemetry.global_registry().counter(
+    "advisor_fleet_lease_lost_total",
+    "Operations refused because the worker no longer owned the job.",
+)
 
 #: Environment knob: override the claim lease in seconds (shorter means
 #: faster takeover from dead workers; the recovery tests shrink it).
@@ -263,6 +275,7 @@ class FleetJobStore:
                                        error=(f"lease expired after "
                                               f"{record.attempts} claim(s); "
                                               "giving up"))
+                    _CLAIMS.inc(result="parked")
                 row = self._conn.execute(
                     "SELECT payload FROM jobs j"
                     " WHERE ((j.state = 'queued' AND j.cancel_requested = 0)"
@@ -292,6 +305,8 @@ class FleetJobStore:
                 self._conn.rollback()
                 raise
             self._conn.commit()
+            _CLAIMS.inc(result=("claimed" if record.state == "queued"
+                                else "reclaimed"))
             return claimed
 
     def heartbeat(self, job_id: str, worker_id: str) -> bool:
@@ -341,6 +356,7 @@ class FleetJobStore:
                 ).fetchone()
                 if row is None:
                     self._conn.commit()
+                    _LEASE_LOST.inc(op="progress")
                     raise LeaseLost(
                         f"job {job_id} is no longer owned by {worker_id}"
                     )
@@ -384,6 +400,7 @@ class FleetJobStore:
                 if record.state == "running" \
                         and record.worker_id != worker_id:
                     self._conn.commit()
+                    _LEASE_LOST.inc(op="finish")
                     raise LeaseLost(
                         f"job {job_id} is owned by {record.worker_id},"
                         f" not {worker_id}"
@@ -603,9 +620,15 @@ class FleetJobStore:
         raise ConfigError("FleetJobStore handles cannot be pickled")
 
 
-def new_job_record(kind: str, request: Dict[str, Any]) -> JobRecord:
+def new_job_record(kind: str, request: Dict[str, Any],
+                   trace: str = "") -> JobRecord:
     """Validate a submission and mint its ``queued`` record (shared by
-    the fleet manager and anything enqueuing directly)."""
+    the fleet manager and anything enqueuing directly).
+
+    ``trace`` is the submitter's serialized span context
+    (``traceparent``); persisting it on the record is what stitches the
+    submitting process's trace to the claiming worker process's spans.
+    """
     from repro.api.requests import CollectRequest, PredictRequest
 
     if kind not in JOB_KINDS:
@@ -623,4 +646,5 @@ def new_job_record(kind: str, request: Dict[str, Any]) -> JobRecord:
         state="queued",
         request=dict(request),
         created_at=time.time(),
+        trace=trace,
     )

@@ -35,9 +35,17 @@ from repro.api.requests import CollectRequest, PredictRequest
 from repro.errors import ConfigError, JobStateError, LeaseLost, ReproError
 from repro.fleet.jobstore import FleetJobStore, new_job_record
 from repro.service.jobs import JobCancelled, JobRecord
+from repro import telemetry
 
 #: Environment knob: seconds slept per progress event (load shaping).
 SCENARIO_DELAY_ENV = "REPRO_FLEET_SCENARIO_DELAY_S"
+
+#: Shared lifecycle family — same name the legacy JobManager uses, so
+#: dashboards see one stream whichever queue implementation serves.
+_TRANSITIONS = telemetry.global_registry().counter(
+    "advisor_jobs_transitions_total",
+    "Job lifecycle transitions, by kind and entered state.",
+)
 
 
 class _JobControl:
@@ -104,11 +112,18 @@ class FleetJobManager:
 
     # -- JobManager surface ------------------------------------------------------
 
-    def submit(self, kind: str, request: Dict[str, Any]) -> JobRecord:
-        """Queue a job; returns its initial (``queued``) record."""
-        record = new_job_record(kind, request)
+    def submit(self, kind: str, request: Dict[str, Any],
+               trace: str = "") -> JobRecord:
+        """Queue a job; returns its initial (``queued``) record.
+
+        ``trace`` (a ``traceparent``) links the executing worker's spans
+        — wherever in the fleet the job lands — into the submitter's
+        trace.
+        """
+        record = new_job_record(kind, request, trace=trace)
         self._store.insert(record)
         self._store.prune(self.retention)
+        _TRANSITIONS.inc(kind=kind, state="queued")
         self._nudge.set()
         return record
 
@@ -214,6 +229,7 @@ class FleetJobManager:
         ctl = _JobControl()
         with self._active_lock:
             self._active[job_id] = ctl
+        _TRANSITIONS.inc(kind=record.kind, state="running")
         try:
             try:
                 result = self._execute(record, ctl)
@@ -238,11 +254,36 @@ class FleetJobManager:
 
     def _finish_quiet(self, job_id: str, state: str, **kwargs) -> None:
         try:
-            self._store.finish(job_id, self.worker_id, state, **kwargs)
+            record = self._store.finish(job_id, self.worker_id, state,
+                                        **kwargs)
         except (LeaseLost, JobStateError):
             pass  # lost the job while it ran; the winner writes history
+        else:
+            _TRANSITIONS.inc(kind=record.kind, state=state)
 
     def _execute(self, record: JobRecord, ctl: _JobControl):
+        # Adopt the trace the submitting process serialized onto the
+        # record — this worker may be a different *process* than the one
+        # that accepted the HTTP request — and aim spans at the
+        # deployment's trace ring in the shared state directory.
+        trace_token = telemetry.activate(
+            telemetry.parse_traceparent(record.trace)
+        )
+        sink_token = telemetry.set_sink(
+            telemetry.trace_path(os.path.dirname(self._store.db_path),
+                                 record.deployment)
+            if record.deployment else None
+        )
+        try:
+            with telemetry.span("job.run", job_id=record.id,
+                                kind=record.kind,
+                                worker_id=self.worker_id):
+                return self._execute_request(record, ctl)
+        finally:
+            telemetry.reset_sink(sink_token)
+            telemetry.deactivate(trace_token)
+
+    def _execute_request(self, record: JobRecord, ctl: _JobControl):
         session = self._session_factory()
         job_id = record.id
         if self._store.cancel_requested(job_id):

@@ -51,6 +51,14 @@ from repro.api.requests import CollectRequest, PredictRequest
 from repro.api.serde import DictMixin
 from repro.core.statefiles import atomic_write
 from repro.errors import ConfigError, JobNotFound, JobStateError, ReproError
+from repro import telemetry
+
+#: Job lifecycle transitions, shared with the fleet manager so one
+#: family covers both queue implementations.
+_TRANSITIONS = telemetry.global_registry().counter(
+    "advisor_jobs_transitions_total",
+    "Job lifecycle transitions, by kind and entered state.",
+)
 
 #: States a job can be observed in.
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled", "stale")
@@ -95,6 +103,10 @@ class JobRecord(DictMixin):
     lease_expires_at: Optional[float] = None
     #: How many times a worker has claimed this job (>1 after recovery).
     attempts: int = 0
+    #: Serialized span context (W3C ``traceparent``) of the submitting
+    #: request; the claiming worker — possibly another process — adopts
+    #: it so client, router, job, and sweep spans share one trace id.
+    trace: str = ""
 
     @property
     def finished(self) -> bool:
@@ -154,8 +166,14 @@ class JobManager:
 
     # -- submission & queries ---------------------------------------------------
 
-    def submit(self, kind: str, request: Dict[str, Any]) -> JobRecord:
-        """Queue a job; returns its initial (``queued``) record."""
+    def submit(self, kind: str, request: Dict[str, Any],
+               trace: str = "") -> JobRecord:
+        """Queue a job; returns its initial (``queued``) record.
+
+        ``trace`` is the submitting request's serialized span context
+        (``traceparent``); it rides on the record so the executing
+        worker links its spans into the submitter's trace.
+        """
         if kind not in JOB_KINDS:
             raise ConfigError(
                 f"unknown job kind {kind!r}; expected one of {JOB_KINDS}"
@@ -172,7 +190,9 @@ class JobManager:
             state="queued",
             request=dict(request),
             created_at=time.time(),
+            trace=trace,
         )
+        _TRANSITIONS.inc(kind=kind, state="queued")
         # Persist before registering: if the write fails, the caller gets
         # the error and no ghost "queued" record lingers in listings.
         self._save(record)
@@ -355,6 +375,7 @@ class JobManager:
                     lease_expires_at=time.time() + self.lease_s,
                     attempts=record.attempts + 1,
                 )
+            _TRANSITIONS.inc(kind=record.kind, state="running")
             try:
                 # The save sits inside the handled region: a persistence
                 # failure (jobs dir gone, disk full) must finish the job
@@ -406,6 +427,28 @@ class JobManager:
             self._queue.put(waiter)
 
     def _execute(self, record: JobRecord):
+        # Worker threads do not inherit the submitter's contextvars:
+        # re-adopt the trace from the persisted record (this is also
+        # what carries a trace across *process* boundaries in the
+        # fleet) and aim spans at the deployment's trace ring.
+        trace_token = telemetry.activate(
+            telemetry.parse_traceparent(record.trace)
+        )
+        sink_token = telemetry.set_sink(
+            telemetry.trace_path(os.path.dirname(self.jobs_dir),
+                                 record.deployment)
+            if record.deployment else None
+        )
+        try:
+            with telemetry.span("job.run", job_id=record.id,
+                                kind=record.kind,
+                                worker_id=self.worker_id):
+                return self._execute_request(record)
+        finally:
+            telemetry.reset_sink(sink_token)
+            telemetry.deactivate(trace_token)
+
+    def _execute_request(self, record: JobRecord):
         session = self._session_factory()
         cancel = self._cancel_flags[record.id]
         if cancel.is_set():
@@ -471,6 +514,8 @@ class JobManager:
                 self._records[job_id], finished_at=time.time(),
                 lease_expires_at=None, **changes
             )
+        if "state" in changes:
+            _TRANSITIONS.inc(kind=record.kind, state=record.state)
         self._save(record)
 
     #: Minimum seconds between progress *disk* writes per job; the

@@ -1,72 +1,70 @@
 """Request metrics for the advisor service.
 
-A tiny in-process registry: every handled request is observed as
-``(method, route, status, seconds)`` where ``route`` is the *normalized*
-pattern (``/v1/jobs/<id>``, not ``/v1/jobs/job-1234``) so cardinality
-stays bounded.  ``GET /metrics`` renders the registry in the Prometheus
-text exposition format, which ``curl`` and any scraper can read.
+Built on :class:`repro.telemetry.MetricsRegistry`: every handled
+request is observed as ``(method, route, status, seconds)`` where
+``route`` is the *normalized* pattern (``/v1/jobs/<id>``, not
+``/v1/jobs/job-1234``) so cardinality stays bounded.  ``GET /metrics``
+renders, in order:
+
+* this instance's HTTP families — ``advisor_http_requests_total``,
+  the ``advisor_http_request_seconds`` latency histogram (whose
+  ``_sum`` series keeps the historical
+  ``advisor_http_request_seconds_sum`` name), and the
+  ``advisor_http_request_seconds_max`` high-water gauge;
+* the caller's extra gauges (uptime, job counts, fleet health), whose
+  keys may carry pre-formatted — already escaped — label sets;
+* the process-global telemetry registry (store op timings, fleet
+  queue/claim counters, engine selection, cache hit/miss).
+
+Label values are escaped per the Prometheus text format, so a route or
+worker id containing ``"`` or ``\\`` still renders parseable lines.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Dict, List, Tuple
+from typing import Dict, Optional
 
-Key = Tuple[str, str, int]  # (method, route, status)
+from repro.telemetry import MetricsRegistry, global_registry
 
 
 class Metrics:
-    """Thread-safe request counters and latency accumulators."""
+    """Thread-safe HTTP request counters and latency distributions."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        #: key -> [count, total_seconds, max_seconds]
-        self._stats: Dict[Key, List[float]] = {}
+        self.registry = MetricsRegistry()
+        self._requests = self.registry.counter(
+            "advisor_http_requests_total",
+            "Requests handled, by method/route/status.",
+        )
+        self._latency = self.registry.histogram(
+            "advisor_http_request_seconds",
+            "Request latency distribution, by method/route/status.",
+        )
+        self._latency_max = self.registry.gauge(
+            "advisor_http_request_seconds_max",
+            "Slowest observed request, by method/route/status.",
+        )
 
     def observe(self, method: str, route: str, status: int,
                 seconds: float) -> None:
-        key = (method, route, int(status))
-        with self._lock:
-            entry = self._stats.get(key)
-            if entry is None:
-                entry = self._stats[key] = [0, 0.0, 0.0]
-            entry[0] += 1
-            entry[1] += seconds
-            entry[2] = max(entry[2], seconds)
+        labels = {"method": method, "route": route, "status": int(status)}
+        self._requests.inc(**labels)
+        self._latency.observe(seconds, **labels)
+        self._latency_max.set_max(seconds, **labels)
 
-    def render_prometheus(self, extra_gauges: Dict[str, float] = None) -> str:
+    def render_prometheus(
+            self, extra_gauges: Optional[Dict[str, float]] = None) -> str:
         """The Prometheus text format for /metrics."""
-        lines = [
-            "# HELP advisor_http_requests_total Requests handled, by "
-            "method/route/status.",
-            "# TYPE advisor_http_requests_total counter",
-        ]
-        with self._lock:
-            items = sorted(self._stats.items())
-        for (method, route, status), entry in items:
-            labels = (f'method="{method}",route="{route}",'
-                      f'status="{status}"')
-            lines.append(
-                f"advisor_http_requests_total{{{labels}}} {int(entry[0])}"
-            )
-        lines += [
-            "# HELP advisor_http_request_seconds_sum Total request "
-            "latency, by method/route/status.",
-            "# TYPE advisor_http_request_seconds_sum counter",
-        ]
-        for (method, route, status), entry in items:
-            labels = (f'method="{method}",route="{route}",'
-                      f'status="{status}"')
-            lines.append(
-                f"advisor_http_request_seconds_sum{{{labels}}} {entry[1]:.6f}"
-            )
+        lines = self.registry.render()
         typed = set()
         for name, value in sorted((extra_gauges or {}).items()):
-            # Gauge keys may carry label sets (`name{a="b"}`); the TYPE
-            # header names the bare metric, once per family.
+            # Gauge keys may carry label sets (`name{a="b"}`, values
+            # pre-escaped by the caller); the TYPE header names the
+            # bare metric, once per family.
             base = name.split("{", 1)[0]
             if base not in typed:
                 typed.add(base)
                 lines.append(f"# TYPE {base} gauge")
             lines.append(f"{name} {value}")
+        lines.extend(global_registry().render())
         return "\n".join(lines) + "\n"

@@ -57,6 +57,7 @@ from repro.errors import (
 from repro.fleet.cache import ResponseCache, make_key
 from repro.service.jobs import JobManager
 from repro.service.metrics import Metrics
+from repro import telemetry
 
 #: Service protocol version, reported by /healthz.
 API_VERSION = "v1"
@@ -141,20 +142,37 @@ class Router:
         # the handler, so errors raised mid-handler still get a bounded
         # route label in the metrics (not the raw path).
         self._local.route = "<unmatched>"
+        # Adopt the caller's trace context (W3C traceparent), and fence
+        # both trace vars: a handler may retarget the span sink to its
+        # deployment's trace file mid-request, and connection threads
+        # can serve more than one request.
+        incoming = telemetry.parse_traceparent(
+            headers.get(telemetry.TRACEPARENT_HEADER)
+            if headers is not None else None
+        )
+        trace_token = telemetry.activate(incoming)
+        sink_token = telemetry.set_sink(telemetry.current_sink())
         try:
-            response = self._dispatch(method, parts, query, body)
-        except ConfigError as exc:
-            response = _error(400, exc)
-        except (ResourceNotFound, JobNotFound) as exc:
-            response = _error(404, exc)
-        except JobStateError as exc:
-            response = _error(409, exc)
-        except ServiceError as exc:
-            response = _error(503, exc)
-        except ReproError as exc:
-            response = _error(422, exc)
-        except Exception as exc:  # noqa: BLE001 - surface bugs as 500s
-            response = _error(500, exc)
+            with telemetry.span("http.request", method=method) as http_span:
+                try:
+                    response = self._dispatch(method, parts, query, body)
+                except ConfigError as exc:
+                    response = _error(400, exc)
+                except (ResourceNotFound, JobNotFound) as exc:
+                    response = _error(404, exc)
+                except JobStateError as exc:
+                    response = _error(409, exc)
+                except ServiceError as exc:
+                    response = _error(503, exc)
+                except ReproError as exc:
+                    response = _error(422, exc)
+                except Exception as exc:  # noqa: BLE001 - bugs become 500s
+                    response = _error(500, exc)
+                http_span.set("route", self._local.route)
+                http_span.set("status", response.status)
+        finally:
+            telemetry.reset_sink(sink_token)
+            telemetry.deactivate(trace_token)
         self.state.metrics.observe(
             method, self._local.route, response.status,
             time.perf_counter() - started,
@@ -337,12 +355,18 @@ class Router:
             if fleet_health is not None:
                 health = fleet_health()
                 worker = health["worker_id"]
-                gauges[f'advisor_fleet_worker_up{{worker_id="{worker}",'
-                       f'pid="{os.getpid()}"}}'] = 1
+                gauges[telemetry.format_series(
+                    "advisor_fleet_worker_up",
+                    worker_id=worker, pid=os.getpid())] = 1
                 gauges["advisor_fleet_live_workers"] = \
                     len(health["workers"])
                 gauges["advisor_fleet_queue_depth"] = \
                     health["queue_depth"]
+                for peer in health["workers"]:
+                    gauges[telemetry.format_series(
+                        "advisor_fleet_worker_heartbeat_age_seconds",
+                        worker_id=peer["worker_id"])] = \
+                        round(peer.get("heartbeat_age_s", 0.0), 3)
         if self.state.cache is not None:
             for name, value in self.state.cache.stats().items():
                 gauges[f"advisor_response_cache_{name}"] = value
@@ -502,7 +526,17 @@ class Router:
             deployment = data.get("deployment")
             if deployment:
                 self.state.session.record(str(deployment))  # 404 if gone
-            record = jobs.submit(kind, data)
+                store = getattr(self.state.session, "store", None)
+                if store is not None:
+                    # Route this request's spans (http.request included —
+                    # the sink is read when the span *closes*) to the
+                    # deployment's trace ring.
+                    telemetry.set_sink(store.traces_path(str(deployment)))
+            # The serialized span context rides on the job record, so
+            # whichever worker thread/process claims the job continues
+            # this trace.
+            record = jobs.submit(kind, data,
+                                 trace=telemetry.current_traceparent())
         return Response(status=202, payload=record.to_dict())
 
     def _list_jobs(self, query: Dict[str, List[str]]) -> Response:

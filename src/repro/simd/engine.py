@@ -40,6 +40,7 @@ reach a DataPoint, TaskRecord, report field, or accounting entry:
 from __future__ import annotations
 
 import math
+import time
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.backends.azurebatch import AzureBatchBackend
@@ -315,6 +316,17 @@ def run_batched_sweep(collector: "DataCollector",
                 )
             attempt += 1
 
+    # Coarse wall-time attribution (CollectionReport.profile): bare
+    # float accumulators, two perf_counter calls per timed section, so
+    # the ~µs-per-scenario hot loop keeps its interactive latency; the
+    # totals feed the collector's SweepProfiler once at the end.
+    perf = time.perf_counter
+    prof_setup = 0.0
+    prof_provision = 0.0
+    prof_scenario = 0.0
+    prof_persist = 0.0
+    prof_recovery = 0.0
+
     for scenario in ordered:
         sid = scenario.scenario_id
         record = records.get(sid)
@@ -328,6 +340,7 @@ def run_batched_sweep(collector: "DataCollector",
         # -- Algorithm 1 lines 3-7: pool lifecycle -----------------------
         sku_name = scenario.sku_name
         if previous_vmtype != sku_name:
+            t0 = perf()
             if previous_vmtype is not None:
                 backend.release_capacity(
                     previous_vmtype, delete=collector.delete_pool_on_switch
@@ -335,6 +348,7 @@ def run_batched_sweep(collector: "DataCollector",
             previous_vmtype = sku_name
             pool = None
             if not backend.run_setup(sku_name, script):
+                prof_setup += perf() - t0
                 collector._fail_setup_group(sku_name, ordered, report)
                 continue
             pool_id = backend._pool_id(sku_name)
@@ -345,6 +359,7 @@ def run_batched_sweep(collector: "DataCollector",
             primed.update(prime_grid(
                 physics, pending_by_sku.get(sku_name, ()), lambda _n: sku
             ))
+            prof_setup += perf() - t0
         if pool is None:  # pragma: no cover - guarded by the FAILED marks
             continue
         nnodes = scenario.nnodes
@@ -353,15 +368,18 @@ def run_batched_sweep(collector: "DataCollector",
             # tracked count; re-read it before sizing.
             cur_nodes = pool.current_nodes
         if cur_nodes < nnodes:
+            t0 = perf()
             ready_at = pool.begin_resize(nnodes)
             backend._provisioning_s += ready_at - clock.now
             if ready_at > clock.now:
                 clock.advance_to(ready_at)
             pool.finish_resize()
             cur_nodes = nnodes
+            prof_provision += perf() - t0
 
         # -- Algorithm 1 lines 8-11: execute and store --------------------
         if spot:
+            t0 = perf()
             result = run_once(scenario)
             attempts = 0
             while not result.succeeded and attempts < retry_failed:
@@ -371,6 +389,7 @@ def run_batched_sweep(collector: "DataCollector",
                 # retrying (mirrors the sequential walk exactly).
                 backend.ensure_capacity(sku_name, nnodes)
                 result = run_once(scenario)
+            prof_recovery += perf() - t0
             collector._record_result(scenario, result, report)
             if not result.succeeded and stop_on_failure:
                 break
@@ -388,6 +407,7 @@ def run_batched_sweep(collector: "DataCollector",
         if phys is None:
             phys = evaluate(scenario, sku)
         attempts_left = retry_failed
+        t0 = perf()
         while True:
             backend._task_counter += 1
             wall = phys.wall_time_s
@@ -404,6 +424,7 @@ def run_batched_sweep(collector: "DataCollector",
                 break
             attempts_left -= 1
         finished = clock.now
+        prof_scenario += perf() - t0
         # CollectionReport.note_execution, inlined.
         report.executed += 1
         if (report._first_started_at is None
@@ -415,6 +436,7 @@ def run_batched_sweep(collector: "DataCollector",
         report.simulated_wall_s = (
             report._last_finished_at - report._first_started_at
         )
+        t0 = perf()
         if phys.succeeded:
             point = DataPoint(
                 appname=scenario.appname,
@@ -460,6 +482,7 @@ def run_batched_sweep(collector: "DataCollector",
             )
             report.failed += 1
             report.failures.append(f"{sid}: {reason}")
+        prof_persist += perf() - t0
         if on_progress is not None:
             notify(report)
         if not phys.succeeded and stop_on_failure:
@@ -467,10 +490,18 @@ def run_batched_sweep(collector: "DataCollector",
 
     # -- Algorithm 1 lines 13-14: final pool cleanup ----------------------
     if previous_vmtype is not None:
+        t0 = perf()
         backend.release_capacity(
             previous_vmtype, delete=collector.delete_pool_on_switch
         )
+        prof_provision += perf() - t0
     report.makespan_s = report.simulated_wall_s + (
         backend.provisioning_overhead_s - provisioning_before
     )
+    profiler = collector._profiler
+    profiler.add("setup", prof_setup)
+    profiler.add("provision", prof_provision)
+    profiler.add("scenario", prof_scenario)
+    profiler.add("persist", prof_persist)
+    profiler.add("recovery", prof_recovery)
     return report

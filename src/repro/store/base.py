@@ -21,11 +21,24 @@ two return identical query results.
 from __future__ import annotations
 
 import abc
-from typing import Iterable, List, Optional, Sequence, Tuple
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.dataset import DataPoint
 from repro.core.query import Query
 from repro.core.taskdb import TaskRecord
+from repro.telemetry import Series, global_registry
+
+#: Operation names timed into ``advisor_store_op_seconds`` (histogram,
+#: labels ``kind``/``op``) by the shipped backends.
+STORE_OPS = ("append", "query", "count", "sync_tasks", "load_tasks",
+             "flush")
+
+_OP_SECONDS = global_registry().histogram(
+    "advisor_store_op_seconds",
+    "Store backend operation latency, by backend kind and operation.",
+)
 
 
 class StoreBackend(abc.ABC):
@@ -33,6 +46,30 @@ class StoreBackend(abc.ABC):
 
     #: Short backend identifier (``"jsonl"`` or ``"sqlite"``).
     kind: str = ""
+
+    #: Pre-bound latency series, one per :data:`STORE_OPS` entry;
+    #: populated by :meth:`_bind_op_timers` in concrete ``__init__``s
+    #: so the per-call cost of :meth:`_timed` is a dict lookup plus two
+    #: clock reads, never a label resolution.
+    _op_timers: Dict[str, Series] = {}
+
+    def _bind_op_timers(self) -> None:
+        self._op_timers = {
+            op: _OP_SECONDS.labels(kind=self.kind, op=op)
+            for op in STORE_OPS
+        }
+
+    @contextmanager
+    def _timed(self, op: str) -> Iterator[None]:
+        series = self._op_timers.get(op)
+        if series is None:
+            yield
+            return
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            series.observe(time.perf_counter() - started)
 
     # -- data points -----------------------------------------------------------
 

@@ -48,6 +48,7 @@ class JsonlStore(StoreBackend):
     def __init__(self, dataset_path: str, taskdb_path: str) -> None:
         self.dataset_path = dataset_path
         self.taskdb_path = taskdb_path
+        self._bind_op_timers()
 
     # -- data points -----------------------------------------------------------
 
@@ -65,25 +66,29 @@ class JsonlStore(StoreBackend):
         # One buffered write per batch: a reader never sees a torn line
         # on POSIX for appends up to the pipe buffer, and the advisory
         # file locks serialize concurrent writers anyway.
-        with open(self.dataset_path, "a", encoding="utf-8") as fh:
-            fh.write(text)
+        with self._timed("append"):
+            with open(self.dataset_path, "a", encoding="utf-8") as fh:
+                fh.write(text)
 
     def replace_points(self, points: Sequence[DataPoint]) -> None:
         Dataset(points).save(self.dataset_path)
 
     def query_points(self, query: Optional[Query] = None) -> List[DataPoint]:
-        points = self._load_points()
-        if query is None:
-            return points
-        return query.apply(points)
+        with self._timed("query"):
+            points = self._load_points()
+            if query is None:
+                return points
+            return query.apply(points)
 
     def count_points(self, query: Optional[Query] = None) -> int:
-        if query is None or query.is_unfiltered:
-            try:
-                return Dataset.count_points(self.dataset_path)
-            except DatasetError:
-                return 0
-        return sum(1 for p in self._load_points() if query.matches(p))
+        with self._timed("count"):
+            if query is None or query.is_unfiltered:
+                try:
+                    return Dataset.count_points(self.dataset_path)
+                except DatasetError:
+                    return 0
+            return sum(1 for p in self._load_points()
+                       if query.matches(p))
 
     def _load_points(self) -> List[DataPoint]:
         if not os.path.exists(self.dataset_path):
@@ -96,13 +101,15 @@ class JsonlStore(StoreBackend):
                    full: Sequence[TaskRecord]) -> None:
         # The format is one JSON document: serialize the caller's full
         # in-memory state, byte-for-byte what TaskDB.save always wrote.
-        payload = {"tasks": [r.to_dict() for r in full]}
-        atomic_write(self.taskdb_path, json.dumps(payload, indent=1))
+        with self._timed("sync_tasks"):
+            payload = {"tasks": [r.to_dict() for r in full]}
+            atomic_write(self.taskdb_path, json.dumps(payload, indent=1))
 
     def load_tasks(self) -> List[TaskRecord]:
-        if not os.path.exists(self.taskdb_path):
-            return []
-        return TaskDB.load(self.taskdb_path).all()
+        with self._timed("load_tasks"):
+            if not os.path.exists(self.taskdb_path):
+                return []
+            return TaskDB.load(self.taskdb_path).all()
 
     def count_tasks(self) -> int:
         return len(self.load_tasks())
@@ -112,8 +119,9 @@ class JsonlStore(StoreBackend):
     def flush_points(self) -> None:
         # Mirror the legacy "collect always writes the dataset file"
         # behavior: an empty sweep still leaves an (empty) file behind.
-        if not os.path.exists(self.dataset_path):
-            atomic_write(self.dataset_path, "")
+        with self._timed("flush"):
+            if not os.path.exists(self.dataset_path):
+                atomic_write(self.dataset_path, "")
 
     def exists(self) -> bool:
         return os.path.exists(self.dataset_path)

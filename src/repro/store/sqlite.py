@@ -97,6 +97,7 @@ class SqliteStore(StoreBackend):
         self._conn.commit()
         self._ino = self._stat_ino()
         self._closed = False
+        self._bind_op_timers()
 
     def _stat_ino(self) -> Optional[int]:
         try:
@@ -117,7 +118,7 @@ class SqliteStore(StoreBackend):
         ]
         if not rows:
             return
-        with self._lock:
+        with self._timed("append"), self._lock:
             self._conn.executemany(
                 "INSERT INTO datapoints (appname, sku, sku_lower, nnodes,"
                 " ppn, capacity, predicted, payload)"
@@ -179,7 +180,7 @@ class SqliteStore(StoreBackend):
                     -1 if query.limit is None else query.limit,
                     query.offset,
                 ]
-        with self._lock:
+        with self._timed("query"), self._lock:
             rows = self._conn.execute(sql, params).fetchall()
         points = [DataPoint.from_dict(json.loads(row[0])) for row in rows]
         if pushed_window:
@@ -194,7 +195,7 @@ class SqliteStore(StoreBackend):
         where, params, fully_pushed = self._translate(query)
         if fully_pushed:
             sql = "SELECT COUNT(*) FROM datapoints" + where
-            with self._lock:
+            with self._timed("count"), self._lock:
                 return int(self._conn.execute(sql, params).fetchone()[0])
         return len(self.query_points(query))
 
@@ -261,7 +262,7 @@ class SqliteStore(StoreBackend):
         ]
         if not rows:
             return
-        with self._lock:
+        with self._timed("sync_tasks"), self._lock:
             # The upsert form keeps each row's rowid, preserving the
             # original insertion order that load_tasks restores.
             self._conn.executemany(
@@ -276,7 +277,7 @@ class SqliteStore(StoreBackend):
             self._conn.commit()
 
     def load_tasks(self) -> List[TaskRecord]:
-        with self._lock:
+        with self._timed("load_tasks"), self._lock:
             rows = self._conn.execute(
                 "SELECT payload FROM tasks ORDER BY rowid"
             ).fetchall()
@@ -291,7 +292,7 @@ class SqliteStore(StoreBackend):
     # -- lifecycle -------------------------------------------------------------
 
     def flush_points(self) -> None:
-        with self._lock:
+        with self._timed("flush"), self._lock:
             self._conn.execute(
                 "INSERT OR REPLACE INTO meta (key, value)"
                 " VALUES ('dataset_saved', '1')"

@@ -1,0 +1,88 @@
+"""``repro.telemetry``: stdlib-only tracing, metrics, and profiling.
+
+Three cooperating pieces, threaded through every layer of the
+reproduction:
+
+* :mod:`repro.telemetry.trace` — context-propagated spans with W3C
+  ``traceparent`` linkage across HTTP and process boundaries, emitted
+  as JSON lines to per-deployment ``traces-<name>.jsonl`` ring files
+  (:mod:`repro.telemetry.tracefile`).
+* :mod:`repro.telemetry.metrics` — a counter/gauge/histogram registry
+  with bounded label cardinality and escaped Prometheus exposition;
+  the process-global instance collects store, fleet, engine, and cache
+  instrumentation for the service's ``/metrics``.
+* :mod:`repro.telemetry.profile` — per-stage wall-time attribution for
+  sweeps, surfaced as ``CollectResult.profile`` and ``stage.*`` trace
+  spans.
+
+See ``docs/OBSERVABILITY.md`` for the operator-facing guide.
+"""
+
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Family,
+    MetricsRegistry,
+    Series,
+    escape_label_value,
+    format_labels,
+    format_series,
+    global_registry,
+)
+from repro.telemetry.profile import STAGES, SweepProfiler
+from repro.telemetry.trace import (
+    TRACEPARENT_HEADER,
+    Span,
+    SpanContext,
+    activate,
+    current,
+    current_sink,
+    current_traceparent,
+    deactivate,
+    emit_event,
+    format_traceparent,
+    parse_traceparent,
+    reset_sink,
+    set_sink,
+    span,
+)
+from repro.telemetry.tracefile import (
+    append_event,
+    group_traces,
+    latest_trace,
+    read_events,
+    render_tree,
+    trace_path,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Family",
+    "MetricsRegistry",
+    "STAGES",
+    "Series",
+    "Span",
+    "SpanContext",
+    "SweepProfiler",
+    "TRACEPARENT_HEADER",
+    "activate",
+    "append_event",
+    "current",
+    "current_sink",
+    "current_traceparent",
+    "deactivate",
+    "emit_event",
+    "escape_label_value",
+    "format_labels",
+    "format_series",
+    "format_traceparent",
+    "global_registry",
+    "group_traces",
+    "latest_trace",
+    "parse_traceparent",
+    "read_events",
+    "render_tree",
+    "reset_sink",
+    "set_sink",
+    "span",
+    "trace_path",
+]

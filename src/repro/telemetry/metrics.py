@@ -1,0 +1,266 @@
+"""A generalized metrics registry: counters, gauges, histograms.
+
+This replaces the ad-hoc request-counter module that ``/metrics`` grew
+out of with one vocabulary shared by every layer:
+
+* **Counters** — monotonic totals (requests, fleet claims, engine
+  selections, cache hits).
+* **Gauges** — last-written values, with a ``set_max`` high-water
+  variant (request latency max).
+* **Histograms** — bucketed latency distributions rendered in the
+  Prometheus ``_bucket``/``_sum``/``_count`` form, so scrapers can
+  compute quantiles instead of trusting a single average.
+
+Two properties the service depends on:
+
+* **Bounded cardinality.**  Each family admits at most
+  ``max_series`` distinct label sets; the first overflowing set (and
+  all after it) folds into a single series whose label values are
+  ``"other"``.  A client spraying unique routes or SKU names cannot
+  grow ``/metrics`` without bound.
+* **Valid exposition.**  Label values are escaped per the Prometheus
+  text format (``\\`` → ``\\\\``, ``"`` → ``\\"``, newline → ``\\n``),
+  so a route or worker id containing a quote still renders a parseable
+  line.
+
+A process-global registry (:func:`global_registry`) collects the
+instrumentation from layers that have no service handle — the store
+backends, the fleet queue, the collector's engine selection — and the
+service's ``/metrics`` endpoint renders it after its own per-instance
+request families.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Latency buckets spanning sub-millisecond store ops to multi-second
+#: HTTP requests (seconds).
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: The label value every overflowing series folds into.
+OVERFLOW_VALUE = "other"
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def escape_label_value(value: object) -> str:
+    """A label value made safe for the text exposition format."""
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def format_labels(labels: Dict[str, object]) -> str:
+    """``key="escaped value"`` pairs joined for one series, sorted."""
+    return ",".join(
+        f'{key}="{escape_label_value(labels[key])}"'
+        for key in sorted(labels)
+    )
+
+
+def format_series(name: str, **labels: object) -> str:
+    """A full series name (``name{k="v",...}``) with escaped values."""
+    if not labels:
+        return name
+    return f"{name}{{{format_labels(labels)}}}"
+
+
+def _fmt(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return format(value, ".10g")
+
+
+class Series:
+    """One (family, label set) time series; cheap pre-bound handle.
+
+    Hot paths bind the handle once (``family.labels(op="append")``) so
+    each observation is a lock + list update, no dict churn.
+    """
+
+    __slots__ = ("_family", "_state")
+
+    def __init__(self, family: "Family", state: list) -> None:
+        self._family = family
+        self._state = state
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._family._lock:
+            self._state[0] += amount
+
+    def set(self, value: float) -> None:
+        with self._family._lock:
+            self._state[0] = value
+
+    def set_max(self, value: float) -> None:
+        """Gauge high-water update (keeps the larger of old and new)."""
+        with self._family._lock:
+            if value > self._state[0]:
+                self._state[0] = value
+
+    def observe(self, value: float) -> None:
+        """Histogram observation: bucket count + running sum/count."""
+        family = self._family
+        index = bisect.bisect_left(family.buckets, value)
+        with family._lock:
+            state = self._state
+            state[0][index] += 1
+            state[1] += value
+            state[2] += 1
+
+    @property
+    def value(self) -> float:
+        """Counter/gauge value (for tests and health summaries)."""
+        with self._family._lock:
+            return self._state[0]
+
+
+class Family:
+    """One named metric with a fixed kind and bounded label space."""
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 buckets: Optional[Sequence[float]] = None,
+                 max_series: int = 64) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.buckets: Tuple[float, ...] = tuple(buckets or ())
+        self.max_series = max_series
+        self._lock = threading.Lock()
+        self._series: Dict[_LabelKey, list] = {}
+        self._handles: Dict[_LabelKey, Series] = {}
+
+    def _new_state(self) -> list:
+        if self.kind == "histogram":
+            # [per-bucket counts (+overflow slot), sum, count]
+            return [[0] * (len(self.buckets) + 1), 0.0, 0]
+        return [0.0]
+
+    def labels(self, **labels: object) -> Series:
+        """The series for this label set (folded once over the cap)."""
+        key: _LabelKey = tuple(
+            (k, str(labels[k])) for k in sorted(labels)
+        )
+        with self._lock:
+            handle = self._handles.get(key)
+            if handle is None:
+                if (len(self._series) >= self.max_series
+                        and key not in self._series):
+                    key = tuple((k, OVERFLOW_VALUE) for k, _ in key)
+                state = self._series.get(key)
+                if state is None:
+                    state = self._series[key] = self._new_state()
+                handle = Series(self, state)
+                self._handles[key] = handle
+            return handle
+
+    # Convenience one-shot forms (cold paths).
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        self.labels(**labels).inc(amount)
+
+    def set(self, value: float, **labels: object) -> None:
+        self.labels(**labels).set(value)
+
+    def set_max(self, value: float, **labels: object) -> None:
+        self.labels(**labels).set_max(value)
+
+    def observe(self, value: float, **labels: object) -> None:
+        self.labels(**labels).observe(value)
+
+    def render(self) -> List[str]:
+        lines: List[str] = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        with self._lock:
+            items = sorted(self._series.items())
+            if self.kind == "histogram":
+                for key, (counts, total, count) in items:
+                    label_str = format_labels(dict(key))
+                    prefix = label_str + "," if label_str else ""
+                    cumulative = 0
+                    for upper, bucket_count in zip(self.buckets, counts):
+                        cumulative += bucket_count
+                        lines.append(
+                            f'{self.name}_bucket{{{prefix}le="{_fmt(upper)}"}}'
+                            f" {cumulative}"
+                        )
+                    cumulative += counts[-1]
+                    lines.append(
+                        f'{self.name}_bucket{{{prefix}le="+Inf"}} {cumulative}'
+                    )
+                    suffix = f"{{{label_str}}}" if label_str else ""
+                    lines.append(f"{self.name}_sum{suffix} {_fmt(total)}")
+                    lines.append(f"{self.name}_count{suffix} {count}")
+            else:
+                for key, state in items:
+                    label_str = format_labels(dict(key))
+                    suffix = f"{{{label_str}}}" if label_str else ""
+                    lines.append(f"{self.name}{suffix} {_fmt(state[0])}")
+        return lines
+
+
+class MetricsRegistry:
+    """A set of metric families rendered together on ``/metrics``."""
+
+    def __init__(self, max_series: int = 64) -> None:
+        self.max_series = max_series
+        self._lock = threading.Lock()
+        self._families: Dict[str, Family] = {}
+
+    def _family(self, name: str, kind: str, help_text: str,
+                buckets: Optional[Sequence[float]] = None) -> Family:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._families[name] = Family(
+                    name, kind, help_text, buckets=buckets,
+                    max_series=self.max_series,
+                )
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}"
+                )
+            return family
+
+    def counter(self, name: str, help_text: str = "") -> Family:
+        return self._family(name, "counter", help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Family:
+        return self._family(name, "gauge", help_text)
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                  ) -> Family:
+        return self._family(name, "histogram", help_text, buckets=buckets)
+
+    def render(self) -> List[str]:
+        """All families' exposition lines, name-sorted."""
+        with self._lock:
+            families = [self._families[n] for n in sorted(self._families)]
+        lines: List[str] = []
+        for family in families:
+            lines.extend(family.render())
+        return lines
+
+    def clear(self) -> None:
+        """Drop every family (test isolation for the global registry)."""
+        with self._lock:
+            self._families.clear()
+
+
+#: Instrumentation home for layers with no service handle (stores,
+#: fleet queue, collector).  The service renders it on ``/metrics``.
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    return _GLOBAL

@@ -1,0 +1,153 @@
+"""Per-deployment JSONL trace ring files.
+
+One deployment's spans live in ``traces-<name>.jsonl`` next to its
+dataset in the state directory.  Every process that touches the
+deployment — CLI client, HTTP service worker, fleet job worker —
+appends to the same file, relying on two properties:
+
+* **Atomic appends.**  Each event is one ``os.write`` on an
+  ``O_APPEND`` descriptor, so concurrent writers never interleave
+  within a line (POSIX guarantees this for writes below ``PIPE_BUF``;
+  our events are a few hundred bytes).
+* **Ring rotation.**  When the file exceeds the size cap it is renamed
+  to ``<path>.1`` (replacing the previous generation) and a fresh file
+  starts.  Two generations bound disk use at ~2x the cap while keeping
+  recent history; rotation races between processes are benign (the
+  loser's rename just overwrites an instant-older generation).
+
+Readers tolerate torn or foreign lines (skip, don't raise), making the
+format safe to tail, grep, or load half-written.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+#: Rotate the ring once the active generation crosses this size.
+DEFAULT_MAX_BYTES = 4 * 1024 * 1024
+
+#: File-name pattern shared with ``StateStore.traces_path``.
+TRACE_FILE_PREFIX = "traces-"
+
+
+def trace_path(state_root: str, deployment_name: str) -> str:
+    """Where the deployment's trace ring lives under a state root."""
+    return os.path.join(
+        state_root, f"{TRACE_FILE_PREFIX}{deployment_name}.jsonl"
+    )
+
+
+def append_event(path: str, event: Dict,
+                 max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+    """Append one event line, rotating the ring when it is full."""
+    line = (json.dumps(event, separators=(",", ":")) + "\n").encode("utf-8")
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    try:
+        if os.path.getsize(path) + len(line) > max_bytes:
+            os.replace(path, path + ".1")
+    except OSError:
+        pass  # no file yet, or a concurrent rotation won the race
+    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        os.write(fd, line)
+    finally:
+        os.close(fd)
+
+
+def read_events(path: str, include_rotated: bool = True) -> List[Dict]:
+    """Every parseable event, oldest first (rotated generation first)."""
+    events: List[Dict] = []
+    sources = ([path + ".1", path] if include_rotated else [path])
+    for source in sources:
+        if not os.path.exists(source):
+            continue
+        with open(source, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue  # torn write or foreign content
+                if isinstance(event, dict) and "trace" in event:
+                    events.append(event)
+    return events
+
+
+def group_traces(events: List[Dict]) -> Dict[str, List[Dict]]:
+    """Events bucketed by trace id, preserving file order."""
+    traces: Dict[str, List[Dict]] = {}
+    for event in events:
+        traces.setdefault(str(event.get("trace", "")), []).append(event)
+    return traces
+
+
+def latest_trace(events: List[Dict]) -> Optional[Tuple[str, List[Dict]]]:
+    """The most recently *started* trace: ``(trace_id, its events)``."""
+    traces = group_traces(events)
+    if not traces:
+        return None
+    trace_id = max(
+        traces,
+        key=lambda tid: min(float(e.get("ts", 0.0)) for e in traces[tid]),
+    )
+    return trace_id, traces[trace_id]
+
+
+def render_tree(events: List[Dict]) -> str:
+    """A human-readable span tree with per-span timings.
+
+    Spans whose parent never made it into the file (lost line, remote
+    process crashed before emit) render as additional roots rather
+    than disappearing.
+    """
+    if not events:
+        return "(no spans)"
+    by_id = {str(e.get("span", "")): e for e in events}
+    children: Dict[str, List[Dict]] = {}
+    roots: List[Dict] = []
+    for event in events:
+        parent = str(event.get("parent", "") or "")
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(event)
+        else:
+            roots.append(event)
+    for siblings in children.values():
+        siblings.sort(key=lambda e: float(e.get("ts", 0.0)))
+    roots.sort(key=lambda e: float(e.get("ts", 0.0)))
+
+    lines: List[str] = []
+
+    def describe(event: Dict) -> str:
+        name = str(event.get("name", "?"))
+        duration = float(event.get("dur_s", 0.0))
+        parts = [f"{name:<28s} {duration * 1000.0:10.3f} ms"]
+        attrs = event.get("attrs") or {}
+        if event.get("status") == "error":
+            parts.append(f"ERROR={event.get('error', '?')}")
+        if attrs:
+            parts.append(" ".join(
+                f"{key}={attrs[key]}" for key in sorted(attrs)
+            ))
+        parts.append(f"[pid {event.get('pid', '?')}]")
+        return "  ".join(parts)
+
+    def walk(event: Dict, prefix: str, is_last: bool) -> None:
+        connector = "└─ " if is_last else "├─ "
+        lines.append(prefix + connector + describe(event))
+        child_prefix = prefix + ("   " if is_last else "│  ")
+        kids = children.get(str(event.get("span", "")), [])
+        for i, kid in enumerate(kids):
+            walk(kid, child_prefix, i == len(kids) - 1)
+
+    trace_ids = {str(e.get("trace", "")) for e in events}
+    header = (f"trace {next(iter(trace_ids))}" if len(trace_ids) == 1
+              else f"{len(trace_ids)} traces")
+    lines.append(f"{header}  ({len(events)} span(s))")
+    for i, root in enumerate(roots):
+        walk(root, "", i == len(roots) - 1)
+    return "\n".join(lines)
