@@ -23,6 +23,13 @@ override with ``BENCH_SIM_FLOOR``).  Pure in-memory rows (no store)
 are reported for context — the kernel alone is ~7x — but carry no
 floor.
 
+A second, smaller **spot** grid (a tenth of the input count, seeded
+``EvictionModel`` at 40 evictions/hour/node, checkpoint_restart
+recovery) times the vectorized eviction/recovery renewal walk against
+the sequential per-attempt walk, in-memory rows on both sides.
+Acceptance: >= 3x at the 4,080-scenario spot scale (override with
+``BENCH_SIM_SPOT_FLOOR``; grid size with ``BENCH_SIM_SPOT_INPUTS``).
+
 Results land in ``BENCH_sim_kernel.json`` at the repo root.
 
 Run standalone::
@@ -48,7 +55,7 @@ import sys
 import tempfile
 import time
 
-from conftest import make_backend, paper_config
+from conftest import paper_config
 from repro.appkit.plugins import get_plugin
 from repro.backends.azurebatch import AzureBatchBackend
 from repro.cloud.eviction import EvictionModel
@@ -72,6 +79,24 @@ SQLITE_SPEEDUP_FLOOR = 10.0
 #: node counts).
 ACCEPTANCE_SCENARIOS = 40_800
 
+#: Acceptance floor for the seeded spot grid: the vectorized renewal
+#: walk (eviction draws prefetched per SKU group, pool bookkeeping on
+#: the live-node view) must clear 3x end to end over the sequential
+#: per-attempt walk.  Override with ``BENCH_SIM_SPOT_FLOOR``.
+SPOT_SPEEDUP_FLOOR = 3.0
+
+#: Scenario count the spot floor applies at (340 inputs x 3 SKUs x 4
+#: node counts).  The spot walk pays per-preemption simulation work on
+#: top of the scenario physics, so its grid is a tenth of the on-demand
+#: one; override the input count with ``BENCH_SIM_SPOT_INPUTS``.
+SPOT_ACCEPTANCE_SCENARIOS = 4_080
+
+#: Seeded eviction pressure for the spot grid: strong enough that most
+#: scenarios absorb at least one preemption, weak enough that
+#: checkpoint_restart always completes (the sweep asserts failed == 0).
+SPOT_EVICTION_RATE = 40.0
+SPOT_EVICTION_SEED = 7
+
 NNODES = [2, 4, 6, 8]
 
 
@@ -86,18 +111,31 @@ def grid_config(n_inputs: int):
                         "benchsim")
 
 
-def run_sweep(config, engine: str, store_backend: str):
+def run_sweep(config, engine: str, store_backend: str,
+              capacity: str = "ondemand"):
     """One end-to-end collect; returns ``(seconds, executed)``."""
     with tempfile.TemporaryDirectory(prefix="bench-sim-") as tmpdir:
         store = (SqliteStore(os.path.join(tmpdir, "state.sqlite"))
                  if store_backend == "sqlite" else None)
+        spot_kwargs = {}
+        if capacity == "spot":
+            spot_kwargs = dict(
+                capacity="spot", recovery="checkpoint_restart",
+                eviction=EvictionModel(
+                    default_rate_per_hour=SPOT_EVICTION_RATE,
+                    rates={}, seed=SPOT_EVICTION_SEED),
+                max_preemptions=500,
+            )
+        deployment = Deployer().deploy(config)
         collector = DataCollector(
-            backend=make_backend(Deployer().deploy(config)),
+            backend=AzureBatchBackend(service=deployment.batch,
+                                      capacity=capacity),
             script=get_plugin(config.appname),
             dataset=Dataset(store=store),
             taskdb=TaskDB(store=store),
             deployment_name="benchsim",
             engine=engine,
+            **spot_kwargs,
         )
         scenarios = generate_scenarios(config)
         gc.collect()
@@ -112,7 +150,8 @@ def run_sweep(config, engine: str, store_backend: str):
         return elapsed, report.executed
 
 
-def timed_sweep(engine: str, store_label: str, n_inputs: int) -> dict:
+def timed_sweep(engine: str, store_label: str, n_inputs: int,
+                capacity: str = "ondemand") -> dict:
     """One measurement, isolated in a fresh interpreter.
 
     Each (engine, store) pair runs in its own subprocess: a 40k-scenario
@@ -127,25 +166,29 @@ def timed_sweep(engine: str, store_label: str, n_inputs: int) -> dict:
                          + env.get("PYTHONPATH", ""))
     proc = subprocess.run(
         [sys.executable, os.path.abspath(__file__),
-         "--worker", engine, store_label, str(n_inputs)],
+         "--worker", engine, store_label, str(n_inputs), capacity],
         capture_output=True, text=True, env=env,
         cwd=os.path.dirname(os.path.abspath(__file__)),
     )
     assert proc.returncode == 0, (
-        f"{engine}/{store_label} sweep failed:\n{proc.stdout}\n{proc.stderr}"
+        f"{engine}/{store_label}/{capacity} sweep failed:\n"
+        f"{proc.stdout}\n{proc.stderr}"
     )
     return json.loads(proc.stdout.splitlines()[-1])
 
 
-def _worker(engine: str, store_label: str, n_inputs: int) -> None:
+def _worker(engine: str, store_label: str, n_inputs: int,
+            capacity: str = "ondemand") -> None:
     store_backend = None if store_label == "none" else store_label
-    run_sweep(grid_config(200), engine, store_backend)  # warm-up
+    run_sweep(grid_config(200), engine, store_backend, capacity)  # warm-up
     config = grid_config(n_inputs)
-    elapsed, executed = min(run_sweep(config, engine, store_backend)
-                            for _ in range(2))  # best-of-2
+    elapsed, executed = min(
+        run_sweep(config, engine, store_backend, capacity)
+        for _ in range(2))  # best-of-2
     print(json.dumps({
         "engine": engine,
         "store": store_label,
+        "capacity": capacity,
         "scenarios": executed,
         "wall_s": elapsed,
         "us_per_scenario": 1e6 * elapsed / executed,
@@ -235,19 +278,45 @@ def run_benchmark(n_inputs: int, check: bool = True,
                   f"   {row['us_per_scenario']:8.1f} us/scenario"
                   f"   {row['scenarios_per_s']:9.0f} scenarios/s")
 
+    # Seeded spot grid: the vectorized renewal walk vs the sequential
+    # per-attempt walk, in-memory rows (the store is not what a spot
+    # sweep stresses — preemption bookkeeping is).
+    spot_inputs = _env_int("BENCH_SIM_SPOT_INPUTS", max(25, n_inputs // 10))
+    spot_scenarios = spot_inputs * len(config.skus) * len(NNODES)
+    spot_scale = min(1.0, spot_scenarios / SPOT_ACCEPTANCE_SCENARIOS)
+    spot_floor = float(os.environ.get(
+        "BENCH_SIM_SPOT_FLOOR",
+        max(2.0, SPOT_SPEEDUP_FLOOR * spot_scale)))
+    for engine in ("object", "batched"):
+        row = timed_sweep(engine, "none", spot_inputs, capacity="spot")
+        rows[f"{engine}_spot"] = row
+        print(f"{engine:8s} spot  rate={SPOT_EVICTION_RATE:g}/h: "
+              f"{row['wall_s']:7.2f} s"
+              f"   {row['us_per_scenario']:8.1f} us/scenario"
+              f"   {row['scenarios_per_s']:9.0f} scenarios/s")
+
     sqlite_speedup = (rows["object_sqlite"]["wall_s"]
                       / rows["batched_sqlite"]["wall_s"])
     memory_speedup = (rows["object_none"]["wall_s"]
                       / rows["batched_none"]["wall_s"])
+    spot_speedup = (rows["object_spot"]["wall_s"]
+                    / rows["batched_spot"]["wall_s"])
     results = {
         "config": {"inputs": n_inputs, "scenarios": n_scenarios,
                    "skus": list(config.skus), "nnodes": NNODES,
                    "floor": floor,
-                   "acceptance_scenarios": ACCEPTANCE_SCENARIOS},
+                   "acceptance_scenarios": ACCEPTANCE_SCENARIOS,
+                   "spot_inputs": spot_inputs,
+                   "spot_scenarios": spot_scenarios,
+                   "spot_floor": spot_floor,
+                   "spot_eviction_rate": SPOT_EVICTION_RATE,
+                   "spot_eviction_seed": SPOT_EVICTION_SEED,
+                   "spot_acceptance_scenarios": SPOT_ACCEPTANCE_SCENARIOS},
         "equivalence": equivalence,
         "sweeps": rows,
         "sqlite_speedup": sqlite_speedup,
         "in_memory_speedup": memory_speedup,
+        "spot_speedup": spot_speedup,
     }
     if write_results:
         with open(RESULTS_PATH, "w", encoding="utf-8") as fh:
@@ -259,12 +328,19 @@ def run_benchmark(n_inputs: int, check: bool = True,
           f"(floor {floor:.1f}x at this scale)")
     print(f"in-memory kernel speedup:       {memory_speedup:.2f}x "
           f"(context, no floor)")
+    print(f"spot renewal-walk speedup:      {spot_speedup:.2f}x "
+          f"(floor {spot_floor:.1f}x at {spot_scenarios} scenarios)")
 
     if check:
         assert sqlite_speedup >= floor, (
             f"batched sweep {sqlite_speedup:.2f}x over the per-object "
             f"scheduler, below the {floor:.1f}x floor at "
             f"{n_scenarios} scenarios"
+        )
+        assert spot_speedup >= spot_floor, (
+            f"batched spot sweep {spot_speedup:.2f}x over the "
+            f"sequential walk, below the {spot_floor:.1f}x floor at "
+            f"{spot_scenarios} scenarios"
         )
     return results
 
@@ -280,7 +356,8 @@ def main(argv=None) -> int:
 
     argv = sys.argv[1:] if argv is None else argv
     if argv[:1] == ["--worker"]:  # internal: one isolated timed sweep
-        _worker(argv[1], argv[2], int(argv[3]))
+        _worker(argv[1], argv[2], int(argv[3]),
+                argv[4] if len(argv) > 4 else "ondemand")
         return 0
 
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])

@@ -55,20 +55,30 @@ class BatchPool:
     def __post_init__(self) -> None:
         if self.meter is None:
             self.meter = BillingMeter(clock=self.clock, hourly_price=self.hourly_price)
+        # Live (non-GONE) nodes in creation order.  ``nodes`` keeps the
+        # full history — departed spot nodes included, which callers and
+        # tests inspect — but a long spot sweep departs thousands of
+        # nodes, and scanning the history on every query made the hot
+        # pool operations (count, lease, preempt) quadratic in the
+        # number of preemptions.  All state transitions go through the
+        # methods below, which keep this view in sync.
+        self._live: List[ComputeNode] = [
+            n for n in self.nodes if n.state is not NodeState.GONE
+        ]
 
     # -- queries ---------------------------------------------------------------
 
     @property
     def current_nodes(self) -> int:
-        return sum(1 for n in self.nodes if n.state not in (NodeState.GONE,))
+        return len(self._live)
 
     @property
     def idle_nodes(self) -> List[ComputeNode]:
-        return [n for n in self.nodes if n.state is NodeState.IDLE]
+        return [n for n in self._live if n.state is NodeState.IDLE]
 
     @property
     def running_nodes(self) -> List[ComputeNode]:
-        return [n for n in self.nodes if n.state is NodeState.RUNNING]
+        return [n for n in self._live if n.state is NodeState.RUNNING]
 
     @property
     def accrued_cost_usd(self) -> float:
@@ -116,7 +126,7 @@ class BatchPool:
 
     def finish_resize(self) -> None:
         """Mark every node whose boot window has elapsed as idle."""
-        for node in self.nodes:
+        for node in self._live:
             if (node.state is NodeState.STARTING
                     and node.boot_started_at + node.boot_seconds
                     <= self.clock.now + 1e-9):
@@ -140,13 +150,14 @@ class BatchPool:
             new_nodes.append(node)
             boot_times.append(boot)
         self.nodes.extend(new_nodes)
+        self._live.extend(new_nodes)
         # Billing starts as soon as VMs are allocated, before they are usable.
         assert self.meter is not None
         self.meter.set_nodes(self.current_nodes)
         return self.clock.now + max(boot_times)
 
     def _shrink(self, count: int) -> None:
-        victims = [n for n in self.nodes if n.state is NodeState.IDLE][:count]
+        victims = [n for n in self._live if n.state is NodeState.IDLE][:count]
         if len(victims) < count:
             raise PoolStateError(
                 f"pool {self.pool_id}: cannot shrink by {count}, only "
@@ -154,6 +165,8 @@ class BatchPool:
             )
         for node in victims:
             node.evict(self.clock.now)
+        self._live = [n for n in self._live
+                      if n.state is not NodeState.GONE]
         self.subscription.release_cores(self.region, self.sku, count)
         assert self.meter is not None
         self.meter.set_nodes(self.current_nodes)
@@ -170,10 +183,12 @@ class BatchPool:
 
     def _shrink_all(self) -> None:
         count = 0
-        for node in self.nodes:
+        for node in self._live:
             if node.state in (NodeState.IDLE, NodeState.STARTING):
                 node.evict(self.clock.now)
                 count += 1
+        self._live = [n for n in self._live
+                      if n.state is not NodeState.GONE]
         if count:
             self.subscription.release_cores(self.region, self.sku, count)
         assert self.meter is not None
@@ -189,11 +204,12 @@ class BatchPool:
         releases the surviving nodes back to idle).
         """
         self._check_active()
-        if node not in self.nodes:
+        if not any(n is node for n in self._live):
             raise PoolStateError(
                 f"node {node.node_id} does not belong to pool {self.pool_id}"
             )
         node.preempt(self.clock.now)
+        self._live = [n for n in self._live if n is not node]
         self.preemption_count += 1
         self.subscription.release_cores(self.region, self.sku, 1)
         assert self.meter is not None

@@ -257,6 +257,15 @@ class DataCollector:
     #: per-scenario helpers safe in tests).
     _profiler: SweepProfiler = field(default_factory=SweepProfiler,
                                      init=False, repr=False, compare=False)
+    #: Cumulative eviction draws consumed per scenario this sweep.  Spot
+    #: draws are keyed on this counter — not on the attempt index local
+    #: to one execution — so a ``retry_failed`` re-run draws *fresh*
+    #: eviction times instead of replaying the sequence that already
+    #: killed the scenario.  Reset at the top of each :meth:`collect`,
+    #: which keeps fixed-seed sweeps replayable run to run.
+    _spot_draws: Dict[str, int] = field(default_factory=dict,
+                                        init=False, repr=False,
+                                        compare=False)
 
     def collect(self, scenarios: List[Scenario]) -> CollectionReport:
         """Run the full task list; returns the sweep summary."""
@@ -295,6 +304,7 @@ class DataCollector:
                 "(no preemption support)"
             )
         self._profiler = SweepProfiler()
+        self._spot_draws = {}
         if not scenarios:
             self._total_scenarios = 0
             report = self._new_report(self.max_parallel_pools)
@@ -675,8 +685,15 @@ class DataCollector:
             duration = run_op.ready_at - started
             evict_after = None
             if self.eviction is not None and run_op.interruptible:
+                # Draws are keyed on the sweep-cumulative counter (see
+                # ``_spot_draws``): within one execution it counts
+                # 0, 1, 2, ... like the old per-call attempt index did,
+                # but a retry_failed re-run *continues* the sequence
+                # instead of replaying the draws that already evicted it.
+                draw_no = self._spot_draws.get(scenario.scenario_id, 0)
+                self._spot_draws[scenario.scenario_id] = draw_no + 1
                 evict_after = self.eviction.time_to_eviction(
-                    scenario.sku_name, scenario.scenario_id, attempt,
+                    scenario.sku_name, scenario.scenario_id, draw_no,
                     nodes=scenario.nnodes,
                 )
 

@@ -18,6 +18,14 @@ sees one queue:
   ``kill -9``'d worker loses its jobs to the survivors, not to a
   terminal ``stale`` state.  Only a job that burns through
   ``max_attempts`` claims is parked as ``stale``.
+* **Bounded clock-skew tolerance** — lease timestamps are compared
+  across processes whose wall clocks disagree (NTP steps, VM
+  migrations).  A lease only counts as expired once it is past by more
+  than ``clock_skew_s``, so a worker whose clock runs slightly fast
+  cannot steal a live job; and every store handle tracks the furthest
+  ``now`` it has observed and never evaluates leases at an earlier
+  time, so a backward clock step cannot freeze a dead worker's lease
+  in the "still live" state it already left.
 * **Per-deployment serialization** — the claim query skips any job
   whose deployment already has a *live-leased* running job, so a
   deployment's task DB and dataset still have one writer at a time,
@@ -76,6 +84,12 @@ LEASE_ENV = "REPRO_FLEET_LEASE_S"
 
 #: Default lease length when neither argument nor environment sets one.
 DEFAULT_LEASE_S = 15.0
+
+#: Default clock-skew tolerance, as a fraction of the lease.  Owners
+#: renew every ``lease_s / 4`` (the manager's heartbeat cadence), so a
+#: quarter-lease of cross-process clock disagreement is absorbed without
+#: ever delaying a legitimate dead-worker takeover by more than that.
+DEFAULT_CLOCK_SKEW_FRACTION = 0.25
 
 
 def default_lease_s() -> float:
@@ -137,10 +151,16 @@ class FleetJobStore:
         How many claims a single job may burn before it is parked as
         ``stale`` (a job that kills every worker that touches it must
         not crash-loop the fleet forever).
+    clock_skew_s:
+        How much wall-clock disagreement between fleet processes the
+        lease fencing absorbs (module docstring): a lease must be past
+        by more than this before it counts as expired.  Defaults to a
+        quarter of the lease; ``0`` restores exact-expiry takeover.
     """
 
     def __init__(self, db_path: str, lease_s: Optional[float] = None,
-                 max_attempts: int = 5, timeout_s: float = 30.0) -> None:
+                 max_attempts: int = 5, timeout_s: float = 30.0,
+                 clock_skew_s: Optional[float] = None) -> None:
         lease_s = default_lease_s() if lease_s is None else lease_s
         if lease_s <= 0:
             raise ConfigError(f"lease_s must be > 0, got {lease_s}")
@@ -148,9 +168,19 @@ class FleetJobStore:
             raise ConfigError(
                 f"max_attempts must be >= 1, got {max_attempts}"
             )
+        if clock_skew_s is None:
+            clock_skew_s = lease_s * DEFAULT_CLOCK_SKEW_FRACTION
+        if clock_skew_s < 0:
+            raise ConfigError(
+                f"clock_skew_s must be >= 0, got {clock_skew_s}"
+            )
         self.db_path = db_path
         self.lease_s = lease_s
         self.max_attempts = max_attempts
+        self.clock_skew_s = clock_skew_s
+        #: Monotonic high-water mark of every ``now`` this handle has
+        #: evaluated leases at; see :meth:`_monotonic_now`.
+        self._max_now = 0.0
         directory = os.path.dirname(os.path.abspath(db_path))
         os.makedirs(directory, exist_ok=True)
         self._lock = threading.RLock()
@@ -162,6 +192,22 @@ class FleetJobStore:
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
         self._closed = False
+
+    # -- clock -------------------------------------------------------------------
+
+    def _monotonic_now(self, now: Optional[float] = None) -> float:
+        """``now`` (or the wall clock), clamped to never run backward.
+
+        Lease decisions made at an earlier ``now`` than one already
+        evaluated would resurrect leases this handle has seen expire: a
+        backward wall-clock step (NTP correction, VM migration) would
+        keep a dead worker's job unclaimable until the clock re-reaches
+        the stamped expiry.  The caller must hold ``self._lock``.
+        """
+        observed = time.time() if now is None else now
+        if observed > self._max_now:
+            self._max_now = observed
+        return self._max_now
 
     # -- transactions ------------------------------------------------------------
 
@@ -233,13 +279,13 @@ class FleetJobStore:
 
     def queue_depth(self, now: Optional[float] = None) -> int:
         """Jobs waiting for a worker: queued plus expired-lease running."""
-        now = time.time() if now is None else now
         with self._lock:
+            now = self._monotonic_now(now)
             return int(self._conn.execute(
                 "SELECT COUNT(*) FROM jobs"
                 " WHERE (state = 'queued' AND cancel_requested = 0)"
                 "    OR (state = 'running' AND lease_expires_at < ?)",
-                (now,),
+                (now - self.clock_skew_s,),
             ).fetchone()[0])
 
     # -- claim / heartbeat / finish ----------------------------------------------
@@ -249,14 +295,17 @@ class FleetJobStore:
         """Atomically claim the oldest claimable job, or ``None``.
 
         Claimable: ``queued`` (and not cancel-requested), or ``running``
-        with an expired lease and attempts left — unless the job's
-        deployment already has a different live-leased running job
-        (per-deployment serialization).  On success the returned record
-        is ``running``, stamped with this worker and a fresh lease, its
-        prior ``progress`` intact.
+        with a lease expired past the clock-skew tolerance and attempts
+        left — unless the job's deployment already has a different
+        live-leased running job (per-deployment serialization; "live"
+        uses the same skew-tolerant cut, so no lease is simultaneously
+        dead for takeover and live for serialization).  On success the
+        returned record is ``running``, stamped with this worker and a
+        fresh lease, its prior ``progress`` intact.
         """
-        now = time.time() if now is None else now
         with self._lock:
+            now = self._monotonic_now(now)
+            expired_before = now - self.clock_skew_s
             self._begin()
             try:
                 # Park crash-looping jobs first, so they stop blocking
@@ -265,7 +314,7 @@ class FleetJobStore:
                     "SELECT payload FROM jobs"
                     " WHERE state = 'running' AND lease_expires_at < ?"
                     "   AND attempts >= ?",
-                    (now, self.max_attempts),
+                    (expired_before, self.max_attempts),
                 ).fetchall()
                 for (payload,) in exhausted:
                     record = JobRecord.from_json(payload)
@@ -289,7 +338,7 @@ class FleetJobStore:
                     "          AND r.lease_expires_at >= ?"
                     "          AND r.id != j.id)"
                     " ORDER BY j.created_at, j.id LIMIT 1",
-                    (now, self.max_attempts, now),
+                    (expired_before, self.max_attempts, expired_before),
                 ).fetchone()
                 if row is None:
                     self._conn.commit()
@@ -314,14 +363,17 @@ class FleetJobStore:
         re-claim, finished, or the job vanished) and the caller should
         abandon the job."""
         with self._lock:
+            # Renew from the monotonic clock: a backward wall-clock
+            # step must not shrink a live owner's lease into the past
+            # (where a sibling would "reclaim" it mid-run).
+            fresh = self._monotonic_now() + self.lease_s
             self._begin()
             try:
                 cur = self._conn.execute(
                     "UPDATE jobs SET lease_expires_at = ?,"
                     " payload = json_set(payload, '$.lease_expires_at', ?)"
                     " WHERE id = ? AND worker_id = ? AND state = 'running'",
-                    (time.time() + self.lease_s,
-                     time.time() + self.lease_s, job_id, worker_id),
+                    (fresh, fresh, job_id, worker_id),
                 )
                 renewed = cur.rowcount == 1
             except BaseException:
@@ -363,7 +415,7 @@ class FleetJobStore:
                 record = JobRecord.from_json(row[0])
                 self._write_locked(
                     record, progress=dict(progress),
-                    lease_expires_at=time.time() + self.lease_s,
+                    lease_expires_at=self._monotonic_now() + self.lease_s,
                 )
             except BaseException:
                 self._conn.rollback()

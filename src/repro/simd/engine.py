@@ -19,7 +19,8 @@ The loop body is a line-for-line transliteration of
 ``AzureBatchBackend``'s task finalize/interrupt closures — same clock
 advances in the same order, same billing expressions (operand order
 included), same task-id numbering, same eviction draws keyed per
-``(scenario, attempt)`` — so batched sweeps reproduce the sequential walk
+(scenario, cumulative draw number) — so batched sweeps reproduce the
+sequential walk
 at parallelism 1 byte for byte.  The determinism goldens and the
 Hypothesis equivalence suite in ``tests/test_batched_kernel.py`` pin this
 down; anything the kernel cannot reproduce exactly is rejected up front
@@ -53,7 +54,7 @@ from repro.core.taskdb import TaskStatus
 from repro.perf.noise import NO_NOISE
 from repro.simd.physics import (ADAPTERS, RESERVED_ENV, FastPhysics,
                                 shared_physics, supported_apps)
-from repro.simd.vector import prime_grid
+from repro.simd.vector import prime_grid, prime_spot_draws
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.collector import CollectionReport, DataCollector
@@ -184,6 +185,18 @@ def run_batched_sweep(collector: "DataCollector",
     primed: Dict[str, FastPhysics] = {}
     primed_get = primed.get
 
+    # Spot eviction draws: keyed on the sweep-cumulative per-scenario
+    # counter shared with the scalar walks (``DataCollector._spot_draws``),
+    # so a retry_failed re-run continues the draw sequence instead of
+    # replaying it.  ``draw_plans`` holds the vectorized walk's pre-drawn
+    # times per scenario (``prime_spot_draws``), indexed by that same
+    # counter; a plan that runs short falls back to the scalar draw,
+    # which returns the identical value.
+    spot_draws = collector._spot_draws
+    spot_draws_get = spot_draws.get
+    draw_plans: Dict[str, List[float]] = {}
+    draw_plans_get = draw_plans.get
+
     def run_once(scenario: Scenario) -> ScenarioRunResult:
         """One spot scenario execution: ``_run_blocking`` transliterated.
 
@@ -221,10 +234,16 @@ def run_batched_sweep(collector: "DataCollector",
                 first_started = started
             evict_after = None
             if eviction is not None:
-                evict_after = eviction.time_to_eviction(
-                    scenario.sku_name, scenario.scenario_id, attempt,
-                    nodes=nnodes,
-                )
+                sid = scenario.scenario_id
+                draw_no = spot_draws_get(sid, 0)
+                spot_draws[sid] = draw_no + 1
+                plan = draw_plans_get(sid)
+                if plan is not None and draw_no < len(plan):
+                    evict_after = plan[draw_no]
+                else:
+                    evict_after = eviction.time_to_eviction(
+                        scenario.sku_name, sid, draw_no, nodes=nnodes,
+                    )
             # Preemption needs RUNNING nodes; lease like start_task does.
             lease = pool.acquire_nodes(nnodes)
 
@@ -360,6 +379,28 @@ def run_batched_sweep(collector: "DataCollector",
                 physics, pending_by_sku.get(sku_name, ()), lambda _n: sku
             ))
             prof_setup += perf() - t0
+            if eviction is not None and sampler is None:
+                # Vectorized spot renewal walk: pre-draw the group's
+                # eviction schedule in one frontier sweep (credited to
+                # the recovery stage, like the draws it replaces).  With
+                # a sampler in play the executed subset is unknown, so
+                # the walk keeps its scalar per-attempt draws.
+                t0 = perf()
+                rows = []
+                for gs in pending_by_sku.get(sku_name, ()):
+                    ph = primed_get(gs.scenario_id)
+                    if ph is not None:
+                        rows.append((gs.scenario_id, gs.nnodes,
+                                     ph.wall_time_s, ph.succeeded))
+                draw_plans.clear()
+                draw_plans.update(prime_spot_draws(
+                    eviction, sku_name, rows,
+                    recovery=recovery, interval_s=interval,
+                    overhead_s=ckpt_overhead_s,
+                    max_preemptions=max_preemptions,
+                    retries=retry_failed,
+                ))
+                prof_recovery += perf() - t0
         if pool is None:  # pragma: no cover - guarded by the FAILED marks
             continue
         nnodes = scenario.nnodes

@@ -427,3 +427,114 @@ def _prime_group(physics: ScenarioPhysics, appname: str, sku: VmSku,
             )
         results[rkey] = fp
         primed[sid] = fp
+
+
+# -- vectorized spot renewal walk --------------------------------------------------
+
+def prime_spot_draws(eviction, sku_name: str, rows: Sequence[tuple], *,
+                     recovery: str, interval_s: float, overhead_s: float,
+                     max_preemptions: int,
+                     retries: int) -> Dict[str, List[float]]:
+    """Pre-draw one SKU group's eviction times via the renewal recurrence.
+
+    ``rows`` is ``[(scenario_id, nnodes, wall_time_s, succeeded), ...]``
+    for the group's primed scenarios.  The spot walk is a renewal
+    process per scenario — attempt, maybe eviction, checkpoint salvage,
+    next attempt — whose *draw schedule* (how many eviction draws each
+    scenario consumes, at which cumulative draw numbers) depends only on
+    the physics wall time, the recovery policy geometry, and the draws
+    themselves.  This function replays that recurrence as NumPy column
+    operations, iterating only over the still-alive frontier per attempt
+    round, and returns ``{scenario_id: [draw0, draw1, ...]}`` where the
+    k-th element is bit-for-bit the scalar walk's
+    ``time_to_eviction(sku, sid, k, nodes=nnodes)``
+    (:meth:`~repro.cloud.eviction.EvictionModel.times_to_eviction`
+    guarantees the equality per draw).
+
+    The engine's apply loop still performs every substrate interaction
+    (clock advances, node leases, billing windows) scalar and in order —
+    byte-identity entangles the checkpoint arithmetic with absolute
+    simulated timestamps the recurrence cannot know — so the recurrence
+    predicts the *schedule*, not the outcome.  A predicted list that
+    turns out too short (a survival/eviction race within one ULP of the
+    scalar timeline) simply makes the walk fall back to scalar draws
+    keyed on the same cumulative counter, which yields the identical
+    value; prediction accuracy is a throughput concern, never a
+    correctness one.  Returns ``{}`` when the rate is zero or NumPy is
+    unavailable.
+    """
+    if _np is None or not rows or eviction is None:
+        return {}
+    sids = [r[0] for r in rows]
+    nnodes = [int(r[1]) for r in rows]
+    full = _np.array([r[2] for r in rows], dtype=_np.float64)
+    succeeded = _np.array([bool(r[3]) for r in rows])
+    n = len(rows)
+    draws: List[List[float]] = [[] for _ in range(n)]
+    checkpointed = _np.zeros(n)
+    preempts = _np.zeros(n, dtype=_np.int64)
+    runs_left = _np.full(n, int(retries), dtype=_np.int64)
+    alive = _np.ones(n, dtype=bool)
+    ckpt = recovery == "checkpoint_restart"
+    give_up_always = recovery == "fail"
+    # Every round either finishes a run (bounded by retries) or absorbs a
+    # preemption (bounded by max_preemptions per run); anything beyond
+    # this cap means the prediction lost the race somewhere — leave the
+    # rest to the walk's scalar fallback.
+    round_cap = (int(max_preemptions) + 2) * (int(retries) + 1) + 2
+    for _ in range(round_cap):
+        idx = _np.flatnonzero(alive)
+        if idx.size == 0:
+            break
+        c = checkpointed[idx]
+        overhead = _np.where(c > 0.0, overhead_s, 0.0)
+        # resumed_wall_s, columnwise: a fresh run (c == 0, overhead 0)
+        # takes the full wall; a resume replays max(0, full - c) plus
+        # the restore overhead.
+        wall = _np.where(c > 0.0,
+                         _np.maximum(0.0, full[idx] - c) + overhead,
+                         full[idx])
+        drawn = eviction.times_to_eviction(
+            sku_name,
+            [sids[i] for i in idx],
+            [len(draws[i]) for i in idx],
+            [nnodes[i] for i in idx],
+        )
+        if drawn is None:  # rate is zero: the walk never draws
+            return {}
+        for j, i in enumerate(idx):
+            draws[i].append(float(drawn[j]))
+        evicted = drawn < wall
+        # Survivors complete this run; failed physics retries afresh.
+        done = idx[~evicted]
+        retry = done[~succeeded[done] & (runs_left[done] > 0)]
+        alive[done] = False
+        alive[retry] = True
+        runs_left[retry] -= 1
+        checkpointed[retry] = 0.0
+        preempts[retry] = 0
+        # Evicted attempts salvage checkpointed progress and either
+        # continue the run, or give up and burn a retry_failed re-run.
+        hit = idx[evicted]
+        if hit.size:
+            preempts[hit] += 1
+            if ckpt:
+                elapsed = drawn[evicted]
+                progress = checkpointed[hit] + _np.maximum(
+                    0.0, elapsed - overhead[evicted]
+                )
+                checkpointed[hit] = _np.floor(
+                    progress / interval_s
+                ) * interval_s
+            if give_up_always:
+                gave_up = hit
+            else:
+                gave_up = hit[preempts[hit] >= max_preemptions]
+            if gave_up.size:
+                rerun = gave_up[runs_left[gave_up] > 0]
+                alive[gave_up] = False
+                alive[rerun] = True
+                runs_left[rerun] -= 1
+                checkpointed[rerun] = 0.0
+                preempts[rerun] = 0
+    return {sid: seq for sid, seq in zip(sids, draws)}

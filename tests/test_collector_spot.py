@@ -223,6 +223,32 @@ class TestRecoveryPolicies:
         # the initial bring-up of two nodes.
         assert collector.backend.provisioning_overhead_s > 0
 
+    def test_retry_draws_fresh_eviction_times(self):
+        """Regression: eviction draws are keyed on a sweep-cumulative
+        per-scenario counter, not an attempt index local to one
+        execution.  A ``retry_failed`` re-run therefore continues the
+        draw sequence instead of replaying the draws that already killed
+        the scenario.
+
+        At this seed draw 0 evicts the 75 s task after ~10 s and draw 1
+        survives (~204 s): the first execution fails under
+        ``recovery="fail"`` and the retry completes.  The old code
+        re-drew draw 0 on the retry, so the re-run was evicted at the
+        same instant and the scenario could never recover.
+        """
+        config = spot_config(skus=TWO_SKUS[:1], nnodes=[1])
+        collector, _ = build(
+            config, recovery="fail", retry_failed=1,
+            eviction=EvictionModel.flat(60.0, seed=11),
+        )
+        report = collector.collect(generate_scenarios(config))
+        assert report.completed == 1
+        assert report.failed == 0
+        # One draw per execution: the failed first run plus the retry.
+        assert collector._spot_draws == {"t00000": 2}
+        record = collector.taskdb.all()[0]
+        assert record.status is TaskStatus.COMPLETED
+
     def test_makespan_includes_lost_attempts(self):
         config = spot_config(skus=TWO_SKUS[:1], nnodes=[2],
                              appinputs={"BOXFACTOR": ["30"]})

@@ -198,8 +198,9 @@ class TestLeases:
         store.update_progress(record.id, "w1", {"executed": 3, "total": 8})
         # w1 dies; its lease runs out (update_progress renewed it against
         # the wall clock).  w2 takes over with the partial progress
-        # intact and the attempt counter bumped.
-        second = store.claim("w2", now=time.time() + store.lease_s + 1)
+        # intact and the attempt counter bumped.  (Two lease windows:
+        # past expiry by more than the clock-skew tolerance.)
+        second = store.claim("w2", now=time.time() + 2 * store.lease_s)
         assert second.id == record.id
         assert second.worker_id == "w2"
         assert second.attempts == first.attempts + 1
@@ -238,6 +239,55 @@ class TestLeases:
         # The winner still can.
         final = store.finish(record.id, "w2", "done", result={"ok": 1})
         assert final.state == "done"
+
+    def test_forward_clock_jump_cannot_steal_live_lease(self, store):
+        """Regression: lease fencing trusted the wall clock, so a worker
+        whose clock ran slightly fast saw a live lease as expired and
+        double-claimed the job (two writers on one deployment).  A lease
+        now only counts as expired once it is past by more than
+        ``clock_skew_s``."""
+        record = submit(store)
+        store.claim("w1", now=1000.0)  # lease until 1005.0
+        skew = store.clock_skew_s
+        assert skew > 0
+        # w2's clock reads just past the expiry — within the tolerance,
+        # this must NOT steal the live job (it used to).
+        assert store.claim("w2", now=1005.0 + skew / 2) is None
+        assert store.queue_depth(now=1005.0 + skew / 2) == 0
+        assert store.get(record.id).worker_id == "w1"
+        # Once genuinely expired past the tolerance, takeover proceeds.
+        taken = store.claim("w2", now=1005.0 + skew + 0.5)
+        assert taken is not None and taken.worker_id == "w2"
+
+    def test_backward_clock_step_cannot_freeze_dead_lease(self, store):
+        """Regression: a backward wall-clock step used to resurrect a
+        dead worker's expired lease — the job stayed unclaimable until
+        the clock crawled back up to the stamped expiry.  The store now
+        evaluates leases on a monotonic high-water clock."""
+        record = submit(store)
+        store.claim("w1", now=5000.0)  # w1 dies holding lease -> 5005.0
+        horizon = 5005.0 + store.clock_skew_s + 0.5
+        assert store.queue_depth(now=horizon) == 1  # visibly reclaimable
+        # The wall clock then steps backward.  The dead lease must stay
+        # dead (it used to flip back to "live" for the next ~4900s).
+        assert store.queue_depth(now=100.0) == 1
+        reclaimed = store.claim("w2", now=100.0)
+        assert reclaimed is not None
+        assert reclaimed.id == record.id and reclaimed.worker_id == "w2"
+
+    def test_zero_skew_restores_exact_expiry(self, db_path):
+        store = FleetJobStore(db_path, lease_s=5.0, clock_skew_s=0.0)
+        try:
+            submit(store)
+            store.claim("w1", now=1000.0)
+            taken = store.claim("w2", now=1005.1)
+            assert taken is not None and taken.worker_id == "w2"
+        finally:
+            store.close()
+
+    def test_negative_skew_rejected(self, db_path):
+        with pytest.raises(ConfigError):
+            FleetJobStore(db_path, lease_s=5.0, clock_skew_s=-1.0)
 
     def test_exhausted_attempts_parked_stale(self, db_path):
         store = FleetJobStore(db_path, lease_s=5.0, max_attempts=2)

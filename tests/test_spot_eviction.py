@@ -93,6 +93,33 @@ class TestEvictionModel:
         with pytest.raises(CloudError):
             EvictionModel().rate_per_hour(HB, nodes=0)
 
+    def test_vectorized_draws_match_scalar_bitwise(self):
+        """``times_to_eviction`` must reproduce the scalar per-key draws
+        bit for bit — the batched kernel's equivalence contract rests on
+        this, so the comparison is ``==`` on floats, not approx."""
+        model = EvictionModel(seed=11, region="eastus")
+        sids = [f"t{i % 5:05d}" for i in range(12)]
+        attempts = [0, 1, 2, 0, 1, 3, 0, 0, 1, 2, 5, 7]
+        nodes = [1, 2, 4, 8, 1, 2, 4, 8, 1, 2, 4, 8]
+        vec = model.times_to_eviction(HB, sids, attempts, nodes)
+        assert vec is not None and len(vec) == 12
+        for i, (sid, attempt, n) in enumerate(zip(sids, attempts, nodes)):
+            assert vec[i] == model.time_to_eviction(HB, sid, attempt,
+                                                    nodes=n)
+
+    def test_vectorized_draws_match_scalar_for_flat_model(self):
+        model = EvictionModel.flat(40.0, seed=7)
+        vec = model.times_to_eviction("Standard_Z9", ["a", "b"], [0, 4],
+                                      [2, 2])
+        assert vec[0] == model.time_to_eviction("Standard_Z9", "a", 0,
+                                                nodes=2)
+        assert vec[1] == model.time_to_eviction("Standard_Z9", "b", 4,
+                                                nodes=2)
+
+    def test_vectorized_zero_rate_returns_none(self):
+        model = EvictionModel.flat(0.0)
+        assert model.times_to_eviction(HB, ["t00001"], [0], [1]) is None
+
 
 def _start_compute(service, pool_id="pool-x", nodes=2, wall=100.0):
     service.create_pool(pool_id, HB, target_nodes=nodes, spot=True)
