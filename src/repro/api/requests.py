@@ -25,6 +25,10 @@ MODELED_RECOVERY_POLICIES = tuple(
     policy for policy in RECOVERY_POLICIES if policy != "fail"
 )
 
+#: Advice read engines (the read-path mirror of collect's
+#: ``ENGINE_CHOICES``); see :data:`repro.core.columnar.ADVICE_ENGINES`.
+ADVICE_ENGINE_CHOICES = ("auto", "objects", "columnar")
+
 
 @dataclass(frozen=True)
 class CollectRequest(DictMixin):
@@ -151,6 +155,11 @@ class AdviseRequest(DictMixin):
     #: Flat eviction-rate override (per node-hour); ``None`` uses the
     #: per-SKU/region curve.
     eviction_rate: Optional[float] = None
+    #: Advice read engine: ``auto`` (columnar today), ``objects`` (the
+    #: legacy per-DataPoint pipeline — the correctness oracle), or
+    #: ``columnar`` (NumPy snapshot columns with vectorized risk math —
+    #: byte-identical results, cached per store generation).
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.sort_by not in ("time", "cost"):
@@ -180,6 +189,11 @@ class AdviseRequest(DictMixin):
         if self.eviction_rate is not None and self.eviction_rate < 0:
             raise ConfigError(
                 f"eviction_rate must be >= 0, got {self.eviction_rate}"
+            )
+        if self.engine not in ADVICE_ENGINE_CHOICES:
+            raise ConfigError(
+                f"engine must be one of {ADVICE_ENGINE_CHOICES}, "
+                f"got {self.engine!r}"
             )
 
 

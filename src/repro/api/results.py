@@ -129,6 +129,11 @@ class AdviceResult(DictMixin):
     #: What-if capacity tier the advice was computed under ("" = as
     #: measured; see :class:`~repro.api.requests.AdviseRequest`).
     capacity: str = ""
+    #: Advice read engine that served the request (``objects`` or
+    #: ``columnar``; "" on results from older services).
+    engine: str = ""
+    #: Why a requested engine fell back to another ("" = no fallback).
+    engine_fallback: str = ""
 
     _decoders = {"rows": _decode_rows}
 

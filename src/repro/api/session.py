@@ -395,6 +395,37 @@ class AdvisorSession:
         # live store file, is a caller bug this shape makes impossible.
         return Dataset(backend.query_points(query))
 
+    def snapshot(self, name: str, must_exist: bool = True):
+        """The deployment's corpus as a :class:`ColumnarSnapshot`.
+
+        Store-backed sessions go through the process-wide generation-
+        keyed LRU (``repro.store.snapshot``): the build cost is paid
+        once per store change, then shared across requests — the
+        columnar engines' read path.  Ephemeral sessions build an
+        ad-hoc snapshot over the in-memory dataset.
+        """
+        from repro.store.snapshot import (ColumnarSnapshot,
+                                          snapshot_for_store)
+
+        if self.store is None:
+            return ColumnarSnapshot.from_points(
+                self.dataset(name, must_exist=must_exist).points())
+        if must_exist and self._no_data_yet(name):
+            raise ReproError(
+                f"no dataset for deployment {name!r}; run collect first"
+            )
+        backend = self.data_store(name)
+        if not backend.exists():
+            if must_exist:
+                raise ReproError(
+                    f"no dataset for deployment {name!r}; "
+                    "run collect first"
+                )
+            return ColumnarSnapshot.from_points([])
+        with telemetry.span("stage.snapshot", deployment=name,
+                            backend=backend.kind):
+            return snapshot_for_store(backend)
+
     def query_points(self, name: str, query: Optional[Query] = None,
                      must_exist: bool = True) -> List[DataPoint]:
         """Matching points, via pushdown (see :meth:`query_dataset`)."""
@@ -675,8 +706,13 @@ class AdvisorSession:
         front gains the tail-risk objective), ``"ondemand"`` strips spot
         dynamics from spot-collected data.
         """
+        from repro.core.columnar import resolve_advice_engine
+
         req = _coerce_request(AdviseRequest, request, kwargs)
         name = _require_deployment(req.deployment)
+        engine, fallback = resolve_advice_engine(req.engine)
+        if engine == "columnar":
+            return self._advise_columnar(req, name, fallback)
         # The request's filters travel to the storage engine as a Query;
         # on a cold cache only the matching points are deserialized.
         dataset = self.query_dataset(name, Query(
@@ -686,20 +722,14 @@ class AdvisorSession:
         ))
         objective = "measured"
         if req.capacity:
-            from repro.cloud.eviction import EvictionModel
             from repro.core.cost import capacity_view
 
             region = self._region_of(name) or None
-            if req.eviction_rate is not None:
-                eviction = EvictionModel.flat(req.eviction_rate,
-                                              region=region)
-            else:
-                eviction = EvictionModel(region=region)
             dataset = capacity_view(
                 dataset,
                 self.deployment(name).provider.prices,
                 req.capacity,
-                eviction=eviction,
+                eviction=self._advice_eviction(req, region),
                 region=region,
                 recovery=req.recovery,
                 checkpoint_interval_s=req.checkpoint_interval_s,
@@ -720,6 +750,61 @@ class AdvisorSession:
             rows=tuple(rows),
             dataset_points=len(dataset),
             capacity=req.capacity,
+            engine="objects",
+            engine_fallback=fallback,
+        )
+
+    @staticmethod
+    def _advice_eviction(req: AdviseRequest, region: Optional[str]):
+        from repro.cloud.eviction import EvictionModel
+
+        if req.eviction_rate is not None:
+            return EvictionModel.flat(req.eviction_rate, region=region)
+        return EvictionModel(region=region)
+
+    def _advise_columnar(self, req: AdviseRequest, name: str,
+                         fallback: str) -> AdviceResult:
+        """The advice pipeline over snapshot columns (byte-identical to
+        the object path; see :mod:`repro.core.columnar`)."""
+        from repro.core.columnar import (advice_columns, advise_columns,
+                                         capacity_columns)
+
+        view = self.snapshot(name).view(Query(
+            appinputs=dict(req.filters),
+            nnodes=tuple(req.nnodes),
+            sku=req.sku,
+        ))
+        objective = "measured"
+        if req.capacity:
+            region = self._region_of(name) or None
+            cols = capacity_columns(
+                view,
+                self.deployment(name).provider.prices,
+                req.capacity,
+                eviction=self._advice_eviction(req, region),
+                region=region,
+                recovery=req.recovery,
+                checkpoint_interval_s=req.checkpoint_interval_s,
+                checkpoint_overhead_s=req.checkpoint_overhead_s,
+            )
+            objective = "effective"
+        else:
+            cols = advice_columns(view)
+        rows = advise_columns(
+            cols, appname=req.appname, sort_by=req.sort_by,
+            max_rows=req.max_rows, objective=objective,
+        )
+        appname = req.appname or (
+            view.appnames[view.appname_codes[0]] if view.n else "")
+        return AdviceResult(
+            deployment=name,
+            appname=appname,
+            sort_by=req.sort_by,
+            rows=tuple(rows),
+            dataset_points=view.n,
+            capacity=req.capacity,
+            engine="columnar",
+            engine_fallback=fallback,
         )
 
     # -- plot -------------------------------------------------------------------
@@ -731,7 +816,9 @@ class AdvisorSession:
 
         req = _coerce_request(PlotRequest, request, kwargs)
         name = _require_deployment(req.deployment)
-        dataset = self.query_dataset(name, Query(
+        # The builders consume snapshot columns directly (same filter
+        # vocabulary; the series come out byte-identical).
+        dataset = self.snapshot(name).view(Query(
             appinputs=dict(req.filters), sku=req.sku,
         ))
         out_dir = req.output_dir
@@ -795,26 +882,29 @@ class AdvisorSession:
         req = _coerce_request(PredictRequest, request, kwargs)
         name = _require_deployment(req.deployment)
         # Sampler-predicted points never train the model: exclude them
-        # in the store query instead of loading and dropping them.
-        dataset = self.query_dataset(
-            name, Query(include_predicted=False)
+        # in the snapshot view instead of loading and dropping them.
+        measured = self.snapshot(name).view(
+            Query(include_predicted=False)
         )
-        measured = dataset.points()
-        if not measured:
+        if not measured.n:
             raise ReproError("dataset has no measured points to train on")
-        appname = measured[0].appname
-        predictor = PerformancePredictor(backend=req.model).fit(
-            dataset, cv_folds=min(5, len(measured))
+        appname = measured.appnames[measured.appname_codes[0]]
+        predictor = PerformancePredictor(backend=req.model).fit_columns(
+            measured, cv_folds=min(5, measured.n)
         )
-        skus = sorted({p.sku for p in measured})
+        skus = sorted({measured.skus[c]
+                       for c in set(measured.sku_codes.tolist())})
         node_counts = (list(req.nnodes)
-                       or sorted({p.nnodes for p in measured}))
+                       or sorted(set(measured.nnodes.tolist())))
         appinputs = (dict(req.inputs) if req.inputs
-                     else dict(measured[0].appinputs))
+                     else dict(measured.appinputs_groups[
+                         measured.appinputs_codes[0]]))
         # Candidates must match the process layout the model was trained
         # on: reuse each SKU's measured ppn, falling back to the stored
         # config's ppr for SKUs without data.
-        ppn_by_sku = {p.sku: p.ppn for p in measured}
+        ppn_by_sku = {measured.skus[c]: p for c, p in
+                      zip(measured.sku_codes.tolist(),
+                          measured.ppn.tolist())}
         ppr = self._ppr_of(name)
         candidates = [
             Scenario(
@@ -846,14 +936,15 @@ class AdvisorSession:
                 query: Optional[Query] = None):
         """Matched-scenario comparison of two deployments' datasets.
 
-        ``query`` restricts the comparison; it is pushed down to each
-        deployment's storage engine rather than filtering loaded data.
+        ``query`` restricts the comparison; it is applied as a mask on
+        each deployment's columnar snapshot (built once per store
+        generation) rather than filtering rehydrated objects.
         """
-        from repro.core.compare import compare_datasets
+        from repro.core.columnar import compare_snapshots
 
         q = query or Query()
-        return compare_datasets(self.query_dataset(name_a, q),
-                                self.query_dataset(name_b, q))
+        return compare_snapshots(self.snapshot(name_a).view(q),
+                                 self.snapshot(name_b).view(q))
 
     # -- one-shot ---------------------------------------------------------------
 

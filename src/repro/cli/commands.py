@@ -213,6 +213,7 @@ def advice(
     eviction_rate: Optional[float] = None,
     checkpoint_interval: float = 600.0,
     checkpoint_overhead: float = 60.0,
+    engine: str = "auto",
     as_json: bool = False,
 ) -> int:
     if as_json and (recipes or spot):
@@ -230,6 +231,7 @@ def advice(
         eviction_rate=eviction_rate,
         checkpoint_interval_s=checkpoint_interval,
         checkpoint_overhead_s=checkpoint_overhead,
+        engine=engine,
     ))
     if as_json:
         print(result.to_json(indent=1))
@@ -382,17 +384,21 @@ def compare(state_dir: Optional[str], name_a: str, name_b: str,
 # -- engines ---------------------------------------------------------------------
 
 
-def engines(as_json: bool = False) -> int:
-    """List the execution engines and what each one covers."""
+def engines(state_dir: Optional[str] = None, as_json: bool = False) -> int:
+    """List the collect and advice read engines and what each covers."""
+    from repro.core.columnar import describe_advice_engines
     from repro.simd import describe_engines
     from repro.simd.vector import vector_ready
 
     matrix = describe_engines()
+    advice_matrix = describe_advice_engines()
+    snapshots = _snapshot_statuses(state_dir)
     if as_json:
         import json
 
         print(json.dumps(
-            {"engines": matrix, "vectorized_physics": vector_ready()},
+            {"engines": matrix, "vectorized_physics": vector_ready(),
+             "advice_engines": advice_matrix, "snapshots": snapshots},
             indent=1,
         ))
         return 0
@@ -405,7 +411,44 @@ def engines(as_json: bool = False) -> int:
     print("vectorized physics: "
           + ("available (numpy)" if vector_ready()
              else "unavailable (numpy missing; scalar table only)"))
+    print()
+    print("advice read engines:")
+    for entry in advice_matrix:
+        print(f"{entry['engine']}: {entry['description']}")
+        print(f"  data access: {entry['data_access']}")
+        print(f"  risk math:   {entry['risk_math']}")
+        print(f"  coverage:    {entry['coverage']}")
+    if snapshots:
+        print()
+        print("columnar snapshots:")
+        for status in snapshots:
+            state = ("fresh" if status["fresh"]
+                     else "stale" if status["cached"] else "cold")
+            rows = (f", {status['rows']} rows"
+                    if status["rows"] is not None else "")
+            fetch = "sql" if status["column_fetch"] else "objects"
+            print(f"  {status['deployment']}: {state} "
+                  f"({status['backend']}, column fetch: {fetch}{rows})")
     return 0
+
+
+def _snapshot_statuses(state_dir: Optional[str]) -> list:
+    """Per-deployment snapshot eligibility/staleness for ``engines``."""
+    from repro.store.snapshot import snapshot_status
+
+    session = _session(state_dir)
+    if session.store is None:
+        return []
+    out = []
+    for info in session.list_deployments():
+        # Never-collected deployments are skipped: probing them would
+        # create empty stores as a side effect.
+        if not session.store.data_files(info.name):
+            continue
+        status = snapshot_status(session.data_store(info.name))
+        status["deployment"] = info.name
+        out.append(status)
+    return out
 
 
 # -- gui ------------------------------------------------------------------------------

@@ -153,6 +153,13 @@ def build_parser() -> argparse.ArgumentParser:
     advice.add_argument("--checkpoint-overhead", type=float, default=60.0,
                         metavar="S", help="restore overhead per resume "
                                           "(default 60)")
+    advice.add_argument(
+        "--engine", choices=["auto", "objects", "columnar"], default="auto",
+        help="advice read engine: 'columnar' serves from the NumPy "
+             "snapshot cache with vectorized risk math (byte-identical "
+             "results); 'objects' forces the legacy per-point pipeline; "
+             "see `repro engines`",
+    )
     advice.add_argument("--json", action="store_true", dest="as_json",
                         help="emit the advice result as JSON")
 
@@ -204,7 +211,8 @@ def build_parser() -> argparse.ArgumentParser:
     # compare (extension: before/after sweeps via tags) ------------------------
     engines = sub.add_parser(
         "engines",
-        help="list execution engines and their feature coverage",
+        help="list execution and advice read engines and their "
+             "feature coverage",
     )
     engines.add_argument("--json", action="store_true", dest="as_json",
                          help="emit the engine matrix as JSON")
@@ -443,6 +451,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             eviction_rate=args.eviction_rate,
             checkpoint_interval=args.checkpoint_interval,
             checkpoint_overhead=args.checkpoint_overhead,
+            engine=args.engine,
             as_json=args.as_json,
         )
     if args.command == "predict":
@@ -471,7 +480,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return commands.compare(args.state_dir, args.a, args.b,
                                 as_json=args.as_json)
     if args.command == "engines":
-        return commands.engines(as_json=args.as_json)
+        return commands.engines(args.state_dir, as_json=args.as_json)
     if args.command == "trace":
         return commands.trace(args.state_dir, args.name,
                               show_all=args.show_all,

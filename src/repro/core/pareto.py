@@ -46,29 +46,24 @@ def pareto_indices(points: Sequence[Tuple[float, float]]) -> List[int]:
     arr = np.asarray(points, dtype=float)
     if arr.ndim != 2 or arr.shape[1] != 2:
         raise ValueError(f"expected (n, 2) points, got shape {arr.shape}")
-    # Sort by first objective, then second; sweep keeping the running
-    # minimum of the second objective.
+    # Sort by first objective, then second; keep each equal-x block's
+    # minimal-y points when that minimum beats every earlier block's.
+    # Fully vectorized: within a block y is ascending (lexsort), so the
+    # block minimum sits at the block start, and the scalar sweep's
+    # running best is an exclusive prefix-min over block minima.
     order = np.lexsort((arr[:, 1], arr[:, 0]))
-    front: List[int] = []
-    best_second = np.inf
-    i = 0
-    while i < len(order):
-        # Gather the block of equal-first-objective points.
-        j = i
-        x = arr[order[i], 0]
-        while j < len(order) and arr[order[j], 0] == x:
-            j += 1
-        block = order[i:j]
-        block_min = arr[block, 1].min()
-        if block_min < best_second:
-            # Points in the block tie on x; only those achieving the block's
-            # minimal y are non-dominated (unless y also ties best_second).
-            for idx in block:
-                if arr[idx, 1] == block_min:
-                    front.append(int(idx))
-            best_second = block_min
-        i = j
-    return front
+    xs = arr[order, 0]
+    ys = arr[order, 1]
+    new_block = np.concatenate(([True], xs[1:] != xs[:-1]))
+    block_id = np.cumsum(new_block) - 1
+    block_min = ys[new_block]
+    # fmin (not minimum): a NaN block must not poison the running best,
+    # matching the scalar sweep where NaN comparisons simply never win.
+    prev_best = np.concatenate(
+        ([np.inf], np.fmin.accumulate(block_min)[:-1]))
+    block_keep = block_min < prev_best
+    keep = block_keep[block_id] & (ys == block_min[block_id])
+    return order[keep].tolist()
 
 
 def pareto_front(points: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
@@ -106,24 +101,68 @@ def pareto_indices_nd(points: Sequence[Sequence[float]]) -> List[int]:
     """Indices of the non-dominated points for any number of objectives.
 
     Result is ordered ascending by the full objective tuple (ties kept,
-    as in :func:`pareto_indices`).  Quadratic, which is fine at advice-
-    table sizes; the 2-D sweep above stays the hot-loop implementation.
+    as in :func:`pareto_indices`).  Quadratic in the number of *unique*
+    objective vectors, but the pairwise check runs as chunked NumPy
+    broadcasts; the 2-D sweep above stays the O(n log n) hot loop.
     """
     n = len(points)
     if n == 0:
         return []
-    dims = {len(p) for p in points}
+    if isinstance(points, np.ndarray) and points.ndim == 2:
+        # Columnar callers hand in a ready (n, d) array; skip the
+        # per-row tuple round-trip.
+        dims = {points.shape[1]}
+        arr = np.asarray(points, dtype=float)
+    else:
+        dims = {len(p) for p in points}
+        arr = None
     if len(dims) != 1:
         raise ValueError(f"mixed objective dimensions: {sorted(dims)}")
     if dims == {2}:
-        return pareto_indices([tuple(p) for p in points])
-    order = sorted(range(n), key=lambda i: tuple(points[i]))
-    front: List[int] = []
-    for i in order:
-        if not any(dominates_nd(points[j], points[i]) for j in range(n)
-                   if j != i):
-            front.append(i)
-    return front
+        return pareto_indices(
+            arr if arr is not None else [tuple(p) for p in points])
+    if arr is None:
+        arr = np.asarray([tuple(p) for p in points], dtype=float)
+    # Duplicate vectors never dominate each other, so domination is a
+    # property of the unique row; np.unique(axis=0) also hands the rows
+    # back lexicographically sorted, and a dominator is always lex-<=
+    # its victim, so row u only needs candidates uniq[:u+1].
+    uniq, inverse = np.unique(arr, axis=0, return_inverse=True)
+    inverse = np.asarray(inverse).reshape(-1)
+    m = len(uniq)
+    dominated = np.zeros(m, dtype=bool)
+    # Dominance is transitive and a lex-later unique row can never
+    # dominate a lex-earlier one, so checking each block against the
+    # *running front* of non-dominated predecessors (instead of every
+    # predecessor) gives the same verdicts in O(m * front) — the front
+    # of a real corpus is tiny next to the corpus itself.  Unique rows
+    # always differ somewhere, so "<= on every axis" already implies
+    # "< somewhere" and the strict-inequality pass drops out.
+    front = np.empty((0, arr.shape[1]))
+    block = 512
+    for s in range(0, m, block):
+        e = min(s + block, m)
+        tgt = uniq[s:e]
+        if front.shape[0]:
+            hit = (front[None, :, :] <= tgt[:, None, :]).all(-1).any(-1)
+        else:
+            hit = np.zeros(e - s, dtype=bool)
+        # Within-block dominators must themselves survive the front
+        # check (transitivity again), so the pairwise pass only needs
+        # the survivors — typically a handful per block.
+        sub = np.flatnonzero(~hit)
+        if sub.size:
+            t2 = tgt[sub]
+            within = (t2[None, :, :] <= t2[:, None, :]).all(-1)
+            w = (within & np.tri(sub.size, k=-1, dtype=bool)).any(-1)
+            hit[sub[w]] = True
+            front = np.concatenate([front, t2[~w]])
+        dominated[s:e] = hit
+    # Same output order as the scalar sweep: ascending objective tuple,
+    # ties by original index (both sorts are stable).
+    order = np.lexsort(arr.T[::-1])
+    keep = ~dominated[inverse[order]]
+    return order[keep].tolist()
 
 
 def pareto_select_nd(items: Sequence[T], key) -> List[T]:

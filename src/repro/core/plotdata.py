@@ -17,19 +17,28 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.dataset import DataPoint, Dataset
 from repro.core.query import Query
 from repro.errors import DatasetError
+from repro.store.snapshot import ColumnarSnapshot
 
 
-def _apply_query(dataset: Dataset, query: Optional[Query]) -> Dataset:
+def _apply_query(dataset, query: Optional[Query]):
     """The plot functions' shared data filter (None = everything).
 
     Store-backed callers should push the query down when *loading*
     (``AdvisorSession.query_dataset``); this in-memory fallback exists
-    so ad-hoc datasets speak the same filter vocabulary.
+    so ad-hoc datasets speak the same filter vocabulary.  Accepts a
+    :class:`~repro.store.snapshot.ColumnarSnapshot` as well: every
+    builder below then stays in column space.
     """
-    return dataset if query is None else dataset.query(query)
+    if query is None:
+        return dataset
+    if isinstance(dataset, ColumnarSnapshot):
+        return dataset.view(query)
+    return dataset.query(query)
 
 
 @dataclass(frozen=True)
@@ -79,26 +88,69 @@ def _group_by_sku(dataset: Dataset) -> Dict[str, List[DataPoint]]:
     return dict(sorted(groups.items()))
 
 
-def _require_points(dataset: Dataset, what: str) -> None:
+def _group_rows_by_sku(snap: ColumnarSnapshot) -> Dict[str, np.ndarray]:
+    """Row indices per short SKU name, rows in store order.
+
+    Distinct full SKU spellings can share one short name, so grouping
+    goes through the code table (same merge the object path does).
+    """
+    codes_by_short: Dict[str, List[int]] = {}
+    for code, sku in enumerate(snap.skus):
+        codes_by_short.setdefault(_short(sku), []).append(code)
+    out: Dict[str, np.ndarray] = {}
+    for short, codes in sorted(codes_by_short.items()):
+        rows = np.flatnonzero(np.isin(snap.sku_codes, codes))
+        if rows.size:
+            out[short] = rows
+    return out
+
+
+def _sorted_pairs(xs: np.ndarray, ys: np.ndarray) -> Tuple[Tuple[float, float], ...]:
+    """``tuple(sorted(zip(xs, ys)))`` with native floats, via lexsort."""
+    order = np.lexsort((ys, xs))
+    return tuple(zip(xs[order].tolist(), ys[order].tolist()))
+
+
+def _require_points(dataset, what: str) -> None:
     if len(dataset) == 0:
         raise DatasetError(f"no data points to build the {what} plot")
 
 
-def default_subtitle(dataset: Dataset) -> str:
+_SUBTITLE_VARS = {
+    "LAMMPSATOMS": "atoms", "OFCELLS": "cells", "WRFGRIDPOINTS": "points",
+    "GMXATOMS": "atoms", "NAMDATOMS": "atoms", "MMSIZE": "msize",
+}
+
+
+def default_subtitle(dataset) -> str:
     """Paper-style subtitle like ``atoms=860M`` from app vars or inputs."""
+    if isinstance(dataset, ColumnarSnapshot):
+        return _subtitle_from_columns(dataset)
     for point in dataset:
         for key in ("LAMMPSATOMS", "OFCELLS", "WRFGRIDPOINTS", "GMXATOMS",
                     "NAMDATOMS", "MMSIZE"):
             if key in point.app_vars:
                 value = float(point.app_vars[key])
-                label = {
-                    "LAMMPSATOMS": "atoms", "OFCELLS": "cells",
-                    "WRFGRIDPOINTS": "points", "GMXATOMS": "atoms",
-                    "NAMDATOMS": "atoms", "MMSIZE": "msize",
-                }[key]
+                label = _SUBTITLE_VARS[key]
                 return f"{label}={_human(value)}"
         if point.appinputs:
             return ",".join(f"{k}={v}" for k, v in sorted(point.appinputs.items()))
+    return ""
+
+
+def _subtitle_from_columns(snap: ColumnarSnapshot) -> str:
+    # Same first-row-that-answers walk as the object path, but over the
+    # group codes (almost always returns on the first row).
+    for var_code, inp_code in zip(snap.app_vars_codes.tolist(),
+                                  snap.appinputs_codes.tolist()):
+        app_vars = snap.app_vars_groups[var_code]
+        for key in ("LAMMPSATOMS", "OFCELLS", "WRFGRIDPOINTS", "GMXATOMS",
+                    "NAMDATOMS", "MMSIZE"):
+            if key in app_vars:
+                return f"{_SUBTITLE_VARS[key]}={_human(float(app_vars[key]))}"
+        appinputs = snap.appinputs_groups[inp_code]
+        if appinputs:
+            return ",".join(f"{k}={v}" for k, v in sorted(appinputs.items()))
     return ""
 
 
@@ -112,15 +164,21 @@ def _human(value: float) -> str:
 # -- the four plot types -------------------------------------------------------------
 
 
-def exectime_vs_nodes(dataset: Dataset, subtitle: Optional[str] = None,
+def exectime_vs_nodes(dataset, subtitle: Optional[str] = None,
                       query: Optional[Query] = None) -> PlotData:
     """Plot type 1 (the paper's Fig. 2)."""
     dataset = _apply_query(dataset, query)
     _require_points(dataset, "exec-time-vs-nodes")
     series = []
-    for sku, points in _group_by_sku(dataset).items():
-        pairs = sorted((float(p.nnodes), p.exec_time_s) for p in points)
-        series.append(Series(label=sku, points=tuple(pairs)))
+    if isinstance(dataset, ColumnarSnapshot):
+        nodes = dataset.nnodes.astype(np.float64)
+        for sku, rows in _group_rows_by_sku(dataset).items():
+            series.append(Series(label=sku, points=_sorted_pairs(
+                nodes[rows], dataset.exec_time_s[rows])))
+    else:
+        for sku, points in _group_by_sku(dataset).items():
+            pairs = sorted((float(p.nnodes), p.exec_time_s) for p in points)
+            series.append(Series(label=sku, points=tuple(pairs)))
     return PlotData(
         title="Exectime",
         xlabel="Number of VMs",
@@ -130,15 +188,20 @@ def exectime_vs_nodes(dataset: Dataset, subtitle: Optional[str] = None,
     )
 
 
-def exectime_vs_cost(dataset: Dataset, subtitle: Optional[str] = None,
+def exectime_vs_cost(dataset, subtitle: Optional[str] = None,
                      query: Optional[Query] = None) -> PlotData:
     """Plot type 2 (the paper's Fig. 3): x = exec time, y = cost."""
     dataset = _apply_query(dataset, query)
     _require_points(dataset, "exec-time-vs-cost")
     series = []
-    for sku, points in _group_by_sku(dataset).items():
-        pairs = sorted((p.exec_time_s, p.cost_usd) for p in points)
-        series.append(Series(label=sku, points=tuple(pairs)))
+    if isinstance(dataset, ColumnarSnapshot):
+        for sku, rows in _group_rows_by_sku(dataset).items():
+            series.append(Series(label=sku, points=_sorted_pairs(
+                dataset.exec_time_s[rows], dataset.cost_usd[rows])))
+    else:
+        for sku, points in _group_by_sku(dataset).items():
+            pairs = sorted((p.exec_time_s, p.cost_usd) for p in points)
+            series.append(Series(label=sku, points=tuple(pairs)))
     return PlotData(
         title="Cost",
         xlabel="Execution time (seconds)",
@@ -159,20 +222,35 @@ def _baseline_time(points: List[DataPoint]) -> Tuple[float, float]:
     return float(reference.nnodes), reference.exec_time_s
 
 
-def speedup(dataset: Dataset, subtitle: Optional[str] = None,
+def _baseline_time_rows(snap: ColumnarSnapshot,
+                        rows: np.ndarray) -> Tuple[float, float]:
+    # argmin picks the first minimal-node row, like min() over points.
+    ref = rows[int(np.argmin(snap.nnodes[rows]))]
+    return float(snap.nnodes[ref]), float(snap.exec_time_s[ref])
+
+
+def speedup(dataset, subtitle: Optional[str] = None,
             query: Optional[Query] = None) -> PlotData:
     """Plot type 3 (the paper's Fig. 4)."""
     dataset = _apply_query(dataset, query)
     _require_points(dataset, "speedup")
     series = []
-    for sku, points in _group_by_sku(dataset).items():
-        ref_nodes, ref_time = _baseline_time(points)
-        pairs = sorted(
-            (float(p.nnodes), ref_nodes * ref_time / p.exec_time_s)
-            for p in points
-            if p.exec_time_s > 0
-        )
-        series.append(Series(label=sku, points=tuple(pairs)))
+    if isinstance(dataset, ColumnarSnapshot):
+        for sku, rows in _group_rows_by_sku(dataset).items():
+            ref_nodes, ref_time = _baseline_time_rows(dataset, rows)
+            keep = rows[dataset.exec_time_s[rows] > 0]
+            series.append(Series(label=sku, points=_sorted_pairs(
+                dataset.nnodes[keep].astype(np.float64),
+                ref_nodes * ref_time / dataset.exec_time_s[keep])))
+    else:
+        for sku, points in _group_by_sku(dataset).items():
+            ref_nodes, ref_time = _baseline_time(points)
+            pairs = sorted(
+                (float(p.nnodes), ref_nodes * ref_time / p.exec_time_s)
+                for p in points
+                if p.exec_time_s > 0
+            )
+            series.append(Series(label=sku, points=tuple(pairs)))
     return PlotData(
         title="Speedup",
         xlabel="Number of VMs",
@@ -182,23 +260,32 @@ def speedup(dataset: Dataset, subtitle: Optional[str] = None,
     )
 
 
-def efficiency(dataset: Dataset, subtitle: Optional[str] = None,
+def efficiency(dataset, subtitle: Optional[str] = None,
                query: Optional[Query] = None) -> PlotData:
     """Plot type 4 (the paper's Fig. 5): speedup / nodes, >1 is superlinear."""
     dataset = _apply_query(dataset, query)
     _require_points(dataset, "efficiency")
     series = []
-    for sku, points in _group_by_sku(dataset).items():
-        ref_nodes, ref_time = _baseline_time(points)
-        pairs = sorted(
-            (
-                float(p.nnodes),
-                ref_nodes * ref_time / p.exec_time_s / p.nnodes,
+    if isinstance(dataset, ColumnarSnapshot):
+        for sku, rows in _group_rows_by_sku(dataset).items():
+            ref_nodes, ref_time = _baseline_time_rows(dataset, rows)
+            keep = rows[dataset.exec_time_s[rows] > 0]
+            series.append(Series(label=sku, points=_sorted_pairs(
+                dataset.nnodes[keep].astype(np.float64),
+                ref_nodes * ref_time / dataset.exec_time_s[keep]
+                / dataset.nnodes[keep])))
+    else:
+        for sku, points in _group_by_sku(dataset).items():
+            ref_nodes, ref_time = _baseline_time(points)
+            pairs = sorted(
+                (
+                    float(p.nnodes),
+                    ref_nodes * ref_time / p.exec_time_s / p.nnodes,
+                )
+                for p in points
+                if p.exec_time_s > 0
             )
-            for p in points
-            if p.exec_time_s > 0
-        )
-        series.append(Series(label=sku, points=tuple(pairs)))
+            series.append(Series(label=sku, points=tuple(pairs)))
     return PlotData(
         title="Efficiency",
         xlabel="Number of VMs",
@@ -208,12 +295,16 @@ def efficiency(dataset: Dataset, subtitle: Optional[str] = None,
     )
 
 
-def pareto_scatter(dataset: Dataset) -> Tuple[PlotData, Series]:
+def pareto_scatter(dataset) -> Tuple[PlotData, Series]:
     """The Fig. 6 concept plot: all scenarios plus the Pareto front line."""
     from repro.core.pareto import pareto_front
 
     _require_points(dataset, "pareto")
-    all_points = sorted((p.exec_time_s, p.cost_usd) for p in dataset)
+    if isinstance(dataset, ColumnarSnapshot):
+        all_points = list(_sorted_pairs(dataset.exec_time_s,
+                                        dataset.cost_usd))
+    else:
+        all_points = sorted((p.exec_time_s, p.cost_usd) for p in dataset)
     front = pareto_front(all_points)
     scatter = PlotData(
         title="Advice based on pareto front",

@@ -120,6 +120,22 @@ class FeatureSpec:
         keys = sorted({k for p in points for k in p.appinputs})
         return cls(appname=None, input_keys=tuple(keys))
 
+    @classmethod
+    def for_columns(cls, snap, use_app_model: bool = True) -> "FeatureSpec":
+        """Columnar twin of :meth:`for_dataset` over a
+        :class:`~repro.store.snapshot.ColumnarSnapshot` (same spec, same
+        errors; only the groups actually referenced by rows count)."""
+        if not snap.n:
+            raise ConfigError("cannot build a feature spec from no data")
+        app_codes = np.unique(snap.appname_codes)
+        if use_app_model and len(app_codes) == 1:
+            return cls(appname=snap.appnames[int(app_codes[0])])
+        keys = sorted({
+            k for code in np.unique(snap.appinputs_codes)
+            for k in snap.appinputs_groups[int(code)]
+        })
+        return cls(appname=None, input_keys=tuple(keys))
+
 
 def featurize_point(spec: FeatureSpec, point: DataPoint) -> np.ndarray:
     return spec.vector(get_sku(point.sku), point.nnodes, point.ppn,
@@ -135,3 +151,23 @@ def design_matrix(spec: FeatureSpec,
                   points: Sequence[DataPoint]) -> np.ndarray:
     """Stack feature vectors for a training set."""
     return np.vstack([featurize_point(spec, p) for p in points])
+
+
+def design_matrix_columns(spec: FeatureSpec, snap) -> np.ndarray:
+    """Columnar twin of :func:`design_matrix`.
+
+    Feature vectors are a pure function of ``(sku, nnodes, ppn,
+    appinputs)``, so they are computed once per unique combination and
+    gathered back to row order — bit-identical to the per-point stack.
+    """
+    combos = np.stack([
+        snap.sku_codes.astype(np.int64), snap.nnodes, snap.ppn,
+        snap.appinputs_codes.astype(np.int64),
+    ], axis=1)
+    uniq, inverse = np.unique(combos, axis=0, return_inverse=True)
+    vectors = np.vstack([
+        spec.vector(get_sku(snap.skus[int(s)]), int(n), int(p),
+                    snap.appinputs_groups[int(g)])
+        for s, n, p, g in uniq
+    ])
+    return vectors[np.asarray(inverse).reshape(-1)]

@@ -95,6 +95,37 @@ class PerformancePredictor:
                                              alpha=self.alpha)
         return self
 
+    def fit_columns(self, snap, cv_folds: int = 0) -> "PerformancePredictor":
+        """Columnar twin of :meth:`fit` over a
+        :class:`~repro.store.snapshot.ColumnarSnapshot`.
+
+        Trains on the snapshot's measured (non-predicted) rows; feature
+        vectors are deduplicated per unique scenario shape, so the
+        resulting model is bit-identical to :meth:`fit` on the
+        rehydrated points.
+        """
+        from repro.predict.features import design_matrix_columns
+
+        sub = snap.select(~snap.predicted)
+        if sub.n < 3:
+            raise SamplingError(
+                f"need at least 3 measured points to train, got {sub.n}"
+            )
+        self._spec = FeatureSpec.for_columns(sub,
+                                             use_app_model=self.use_app_model)
+        X = design_matrix_columns(self._spec, sub)
+        times = np.array(sub.exec_time_s, dtype=float)
+        if self.backend == "ridge":
+            self._model = RidgeModel(alpha=self.alpha).fit(X, times)
+        elif self.backend == "knn":
+            self._model = KnnModel(k=self.k).fit(X, times)
+        else:
+            raise SamplingError(f"unknown predictor backend {self.backend!r}")
+        if cv_folds >= 2 and sub.n >= cv_folds:
+            self.cv_mape, _ = cross_validate(X, times, folds=cv_folds,
+                                             alpha=self.alpha)
+        return self
+
     # -- queries ----------------------------------------------------------------
 
     def predict_time(self, scenario: Scenario) -> float:

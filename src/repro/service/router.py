@@ -479,6 +479,7 @@ class Router:
                     _one(query, "checkpoint_interval"), 600.0),
                 checkpoint_overhead_s=_float_or_default(
                     _one(query, "checkpoint_overhead"), 60.0),
+                engine=_one(query, "engine") or "auto",
             )
         with self.state.lock:
             result = self.state.session.advise(request)

@@ -24,6 +24,9 @@ from repro.core.query import Query
 from repro.errors import ConfigError
 from repro.store.base import StoreBackend
 from repro.store.jsonl import JsonlStore
+from repro.store.snapshot import (ColumnarSnapshot, SnapshotCache,
+                                  aggregate_snapshot, snapshot_cache,
+                                  snapshot_for_store, snapshot_status)
 from repro.store.sqlite import SqliteStore
 
 #: Environment knob selecting the engine for newly-opened state.
@@ -140,13 +143,19 @@ def _migrate_to_sqlite(dataset_path: str, taskdb_path: str,
 
 __all__ = [
     "BACKENDS",
+    "ColumnarSnapshot",
     "DEFAULT_BACKEND",
     "ENV_VAR",
     "JsonlStore",
     "Query",
+    "SnapshotCache",
     "SqliteStore",
     "StoreBackend",
+    "aggregate_snapshot",
     "open_deployment_store",
     "resolve_backend",
     "set_default_backend",
+    "snapshot_cache",
+    "snapshot_for_store",
+    "snapshot_status",
 ]

@@ -35,6 +35,15 @@ from repro.telemetry import Series, global_registry
 STORE_OPS = ("append", "query", "count", "sync_tasks", "load_tasks",
              "flush")
 
+#: Column order of the rows :meth:`StoreBackend.fetch_point_columns`
+#: returns (mapping fields as JSON object text).
+POINT_COLUMN_FIELDS = (
+    "appname", "sku", "nnodes", "ppn", "capacity", "predicted",
+    "exec_time_s", "cost_usd", "timestamp", "preemptions",
+    "wasted_node_s", "makespan_s", "appinputs", "app_vars",
+    "infra_metrics", "tags", "deployment",
+)
+
 _OP_SECONDS = global_registry().histogram(
     "advisor_store_op_seconds",
     "Store backend operation latency, by backend kind and operation.",
@@ -92,6 +101,35 @@ class StoreBackend(abc.ABC):
     @abc.abstractmethod
     def count_points(self, query: Optional[Query] = None) -> int:
         """How many points match (the query's window is ignored)."""
+
+    # -- columnar reads --------------------------------------------------------
+
+    #: True when :meth:`fetch_point_columns` has an engine-level
+    #: implementation (i.e. a snapshot build skips DataPoint objects).
+    supports_column_fetch: bool = False
+
+    def fetch_point_columns(
+            self, query: Optional[Query] = None) -> Optional[List[tuple]]:
+        """Raw point rows in :data:`POINT_COLUMN_FIELDS` order.
+
+        Mapping fields (``appinputs``/``app_vars``/``infra_metrics``/
+        ``tags``) are JSON object text.  ``None`` means the engine has
+        no columnar fast path (or cannot fully push the query down);
+        callers fall back to :meth:`query_points`.
+        """
+        return None
+
+    def aggregate_points(
+            self, query: Optional[Query] = None) -> Optional[Dict]:
+        """Cheap dataset aggregates, pushed down to the engine.
+
+        Shape: ``{"count", "exec_time_s": {"min","max"}, "cost_usd":
+        {"min","max"}, "groups": [{"sku","nnodes","count"}, ...]}``
+        with groups sorted by (sku, nnodes).  ``None`` means no
+        pushdown — compute from a snapshot instead (see
+        :func:`repro.store.snapshot.aggregate_snapshot`).
+        """
+        return None
 
     # -- task records ----------------------------------------------------------
 

@@ -33,7 +33,7 @@ import os
 import re
 import sqlite3
 import threading
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.dataset import DataPoint
 from repro.core.query import Query
@@ -198,6 +198,77 @@ class SqliteStore(StoreBackend):
             with self._timed("count"), self._lock:
                 return int(self._conn.execute(sql, params).fetchone()[0])
         return len(self.query_points(query))
+
+    # -- columnar reads --------------------------------------------------------
+
+    supports_column_fetch = True
+
+    #: SELECT list matching ``repro.store.base.POINT_COLUMN_FIELDS``:
+    #: indexed columns where they exist, ``json_extract`` otherwise.
+    #: Numeric extraction is bit-exact (SQLite parses JSON reals into
+    #: the same float64 Python's parser produces); mapping fields come
+    #: back as minified JSON object text.  COALESCE mirrors the
+    #: ``DataPoint.from_dict`` defaults for historical payloads.
+    _COLUMN_SELECT = (
+        "SELECT appname, sku, nnodes, ppn, capacity, predicted,"
+        " json_extract(payload, '$.exec_time_s'),"
+        " json_extract(payload, '$.cost_usd'),"
+        " COALESCE(json_extract(payload, '$.timestamp'), 0.0),"
+        " COALESCE(json_extract(payload, '$.preemptions'), 0),"
+        " COALESCE(json_extract(payload, '$.wasted_node_s'), 0.0),"
+        " COALESCE(json_extract(payload, '$.makespan_s'), 0.0),"
+        " COALESCE(json_extract(payload, '$.appinputs'), '{}'),"
+        " COALESCE(json_extract(payload, '$.app_vars'), '{}'),"
+        " COALESCE(json_extract(payload, '$.infra_metrics'), '{}'),"
+        " COALESCE(json_extract(payload, '$.tags'), '{}'),"
+        " COALESCE(json_extract(payload, '$.deployment'), '')"
+        " FROM datapoints"
+    )
+
+    def fetch_point_columns(
+            self, query: Optional[Query] = None) -> Optional[List[tuple]]:
+        query = query or Query()
+        where, params, fully_pushed = self._translate(query)
+        if not fully_pushed:
+            return None
+        sql = self._COLUMN_SELECT + where + " ORDER BY id"
+        if query.limit is not None or query.offset:
+            sql += " LIMIT ? OFFSET ?"
+            params = params + [
+                -1 if query.limit is None else query.limit,
+                query.offset,
+            ]
+        with self._timed("query"), self._lock:
+            return self._conn.execute(sql, params).fetchall()
+
+    def aggregate_points(
+            self, query: Optional[Query] = None) -> Optional[Dict]:
+        query = (query or Query()).without_window()
+        where, params, fully_pushed = self._translate(query)
+        if not fully_pushed:
+            return None
+        with self._timed("count"), self._lock:
+            count, lo_t, hi_t, lo_c, hi_c = self._conn.execute(
+                "SELECT COUNT(*),"
+                " MIN(json_extract(payload, '$.exec_time_s')),"
+                " MAX(json_extract(payload, '$.exec_time_s')),"
+                " MIN(json_extract(payload, '$.cost_usd')),"
+                " MAX(json_extract(payload, '$.cost_usd'))"
+                " FROM datapoints" + where, params
+            ).fetchone()
+            groups = self._conn.execute(
+                "SELECT sku, nnodes, COUNT(*) FROM datapoints" + where +
+                " GROUP BY sku, nnodes ORDER BY sku, nnodes", params
+            ).fetchall()
+        return {
+            "count": int(count),
+            "exec_time_s": {"min": None if lo_t is None else float(lo_t),
+                            "max": None if hi_t is None else float(hi_t)},
+            "cost_usd": {"min": None if lo_c is None else float(lo_c),
+                         "max": None if hi_c is None else float(hi_c)},
+            "groups": [{"sku": str(sku), "nnodes": int(n),
+                        "count": int(c)} for sku, n, c in groups],
+        }
 
     def _translate(self, query: Query) -> Tuple[str, list, bool]:
         """(WHERE clause, parameters, fully-pushed?) for a query.

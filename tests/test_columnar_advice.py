@@ -1,0 +1,303 @@
+"""Columnar advice read path: equivalence and invalidation (ISSUE 10).
+
+The columnar engine carries a hard contract: for any corpus and any
+request, ``engine="columnar"`` returns *byte-identical* results to the
+legacy per-DataPoint oracle (``engine="objects"``) — including error
+messages.  Hypothesis drives random corpora and request shapes through
+both engines over both store backends; separate tests pin snapshot
+invalidation (append -> stale snapshot rebuilt) and the agreement
+between the service ETag and the snapshot generation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api.requests import ADVICE_ENGINE_CHOICES, AdviseRequest
+from repro.api.session import AdvisorSession
+from repro.core.columnar import (ADVICE_ENGINES, compare_snapshots,
+                                 describe_advice_engines,
+                                 resolve_advice_engine)
+from repro.core.compare import compare_datasets
+from repro.core.dataset import Dataset, DataPoint
+from repro.core.query import Query
+from repro.core.statefiles import StateStore
+from repro.errors import AdvisorError, ReproError
+from repro.predict.predictor import PerformancePredictor
+from repro.store.snapshot import (ColumnarSnapshot, SnapshotCache,
+                                  snapshot_for_store, snapshot_status)
+from tests.conftest import make_config
+
+SKUS = ("Standard_HB120rs_v3", "Standard_HC44rs")
+STORE_BACKENDS = ("sqlite", "jsonl")
+
+# -- corpus / request strategies -------------------------------------------------
+
+_exec_times = st.floats(min_value=1.0, max_value=1e5, allow_nan=False)
+_costs = st.floats(min_value=0.0, max_value=500.0, allow_nan=False)
+
+
+@st.composite
+def datapoints(draw):
+    exec_time = draw(_exec_times)
+    spot = draw(st.booleans())
+    return DataPoint(
+        appname=draw(st.sampled_from(["lammps", "gromacs"])),
+        sku=draw(st.sampled_from(SKUS)),
+        nnodes=draw(st.integers(min_value=1, max_value=8)),
+        ppn=draw(st.sampled_from([4, 100])),
+        exec_time_s=exec_time,
+        cost_usd=draw(_costs),
+        appinputs={"BOXFACTOR": draw(st.sampled_from(["4", "8"]))},
+        capacity="spot" if spot else "ondemand",
+        preemptions=draw(st.integers(0, 3)) if spot else 0,
+        makespan_s=exec_time * 1.25 if spot else 0.0,
+        predicted=draw(st.booleans()),
+        timestamp=float(draw(st.integers(0, 10_000))),
+    )
+
+
+corpora = st.lists(datapoints(), min_size=0, max_size=12)
+
+advise_params = st.fixed_dictionaries({
+    "appname": st.sampled_from([None, "lammps", "nothere"]),
+    "sort_by": st.sampled_from(["time", "cost"]),
+    "max_rows": st.sampled_from([None, 2]),
+    "capacity": st.sampled_from(["", "ondemand", "spot"]),
+    "nnodes": st.sampled_from([(), (2, 4)]),
+    "eviction_rate": st.sampled_from([None, 12.0]),
+})
+
+
+def advise_outcome(session, name: str, engine: str, params) -> tuple:
+    """The advice result (normalized) or the exact error it raised."""
+    try:
+        result = session.advise(AdviseRequest(deployment=name,
+                                              engine=engine, **params))
+    except ReproError as exc:
+        return ("error", type(exc).__name__, str(exc))
+    payload = result.to_dict()
+    assert payload.pop("engine") == engine
+    assert payload.pop("engine_fallback") == ""
+    return ("ok", json.dumps(payload, sort_keys=True))
+
+
+class TestEngineRegistry:
+    def test_request_choices_mirror_core_engines(self):
+        assert ADVICE_ENGINE_CHOICES == ADVICE_ENGINES
+
+    def test_auto_resolves_to_columnar(self):
+        assert resolve_advice_engine("auto")[0] == "columnar"
+
+    def test_bad_engine_is_rejected_everywhere(self):
+        with pytest.raises(AdvisorError):
+            resolve_advice_engine("fortran")
+        with pytest.raises(ReproError):
+            AdviseRequest(deployment="d", engine="fortran")
+
+    def test_described_engines_cover_choices(self):
+        described = {row["engine"] for row in describe_advice_engines()}
+        assert described == set(ADVICE_ENGINES)
+
+
+class TestAdviceEquivalence:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(points=corpora, params=advise_params)
+    def test_objects_and_columnar_agree(self, points, params):
+        """Both engines, both store backends, spot and on-demand:
+        identical rows or identical errors."""
+        with tempfile.TemporaryDirectory() as root:
+            for backend in STORE_BACKENDS:
+                store = StateStore(root=os.path.join(root, backend),
+                                   store_backend=backend)
+                session = AdvisorSession(store=store)
+                info = session.deploy(make_config(skus=list(SKUS)))
+                session.data_store(info.name).append_points(points)
+                objects = advise_outcome(session, info.name, "objects",
+                                         params)
+                columnar = advise_outcome(session, info.name, "columnar",
+                                          params)
+                assert objects == columnar, (backend, params)
+
+
+class TestCompareEquivalence:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(points_a=corpora, points_b=corpora,
+           query=st.sampled_from([None, Query(appname="lammps"),
+                                  Query(nnodes=(1, 2, 4))]))
+    def test_snapshot_compare_matches_dataset_compare(
+            self, points_a, points_b, query):
+        snap_a = ColumnarSnapshot.from_points(points_a)
+        snap_b = ColumnarSnapshot.from_points(points_b)
+        q = query or Query()
+        legacy = compare_datasets(Dataset(points_a).query(q),
+                                  Dataset(points_b).query(q))
+        columnar = compare_snapshots(snap_a.view(q), snap_b.view(q))
+        assert legacy == columnar
+
+
+class TestPredictEquivalence:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(points=corpora,
+           model=st.sampled_from(["ridge", "knn"]))
+    def test_fit_columns_matches_fit(self, points, model):
+        dataset = Dataset(points)
+        snap = ColumnarSnapshot.from_points(points)
+
+        from repro.core.scenarios import Scenario
+
+        probe_scenario = Scenario(scenario_id="probe", sku_name=SKUS[0],
+                                  nnodes=2, ppn=4, appname="lammps",
+                                  appinputs={"BOXFACTOR": "4"})
+
+        def run(fit, source):
+            predictor = PerformancePredictor(backend=model)
+            try:
+                fit(predictor, source)
+            except ReproError as exc:
+                return ("error", type(exc).__name__, str(exc))
+            return ("ok", predictor._spec,
+                    float(predictor.predict_time(probe_scenario)))
+
+        legacy = run(lambda p, s: p.fit(s), dataset)
+        columnar = run(lambda p, s: p.fit_columns(s), snap)
+        assert legacy == columnar
+
+
+class TestSnapshotInvalidation:
+    def _store(self, root, backend):
+        store = StateStore(root=root, store_backend=backend)
+        session = AdvisorSession(store=store)
+        info = session.deploy(make_config(skus=list(SKUS)))
+        return session, session.data_store(info.name), info.name
+
+    @pytest.mark.parametrize("backend", STORE_BACKENDS)
+    def test_append_rebuilds_stale_snapshot(self, tmp_path, backend):
+        _, data, _ = self._store(str(tmp_path), backend)
+        data.append_points([DataPoint(appname="lammps", sku=SKUS[0],
+                                      nnodes=2, ppn=4, exec_time_s=10.0,
+                                      cost_usd=1.0)])
+        cache = SnapshotCache()
+        first = snapshot_for_store(data, cache=cache)
+        assert first.n == 1
+        assert snapshot_for_store(data, cache=cache) is first  # LRU hit
+
+        data.append_points([DataPoint(appname="lammps", sku=SKUS[1],
+                                      nnodes=4, ppn=4, exec_time_s=9.0,
+                                      cost_usd=2.0)])
+        status = snapshot_status(data, cache=cache)
+        assert status["cached"] and not status["fresh"]
+        rebuilt = snapshot_for_store(data, cache=cache)
+        assert rebuilt is not first
+        assert rebuilt.n == 2
+        assert snapshot_status(data, cache=cache)["fresh"]
+
+    @pytest.mark.parametrize("backend", STORE_BACKENDS)
+    def test_snapshot_generation_is_the_etag_generation(self, tmp_path,
+                                                        backend):
+        """The snapshot carries the exact ``dataset_signature`` the
+        service response cache keys ETags on, so a fresh snapshot and a
+        fresh ETag can never disagree about the corpus generation."""
+        _, data, _ = self._store(str(tmp_path), backend)
+        data.append_points([DataPoint(appname="lammps", sku=SKUS[0],
+                                      nnodes=2, ppn=4, exec_time_s=10.0,
+                                      cost_usd=1.0)])
+        cache = SnapshotCache()
+        snap = snapshot_for_store(data, cache=cache)
+        assert snap.signature == data.dataset_signature()
+        data.append_points([DataPoint(appname="lammps", sku=SKUS[0],
+                                      nnodes=4, ppn=4, exec_time_s=8.0,
+                                      cost_usd=2.0)])
+        assert snap.signature != data.dataset_signature()
+        assert (snapshot_for_store(data, cache=cache).signature
+                == data.dataset_signature())
+
+
+class TestServiceEtagAgreement:
+    def test_append_moves_etag_and_advice_together(self, tmp_path):
+        """A write invalidates the response cache and the snapshot in
+        the same request: the ETag changes and the new advice reflects
+        the appended point (no stale snapshot behind a fresh ETag)."""
+        from repro.service.app import build_state
+        from repro.service.router import Router
+
+        state = build_state(str(tmp_path / "state"), workers=1)
+        try:
+            router = Router(state)
+            config = make_config(skus=list(SKUS))
+            response = router.handle(
+                "POST", "/v1/deployments",
+                json.dumps({"config": config.to_dict()}))
+            assert response.status == 201, response.payload
+            name = response.payload["name"]
+            session = AdvisorSession(store=StateStore(
+                root=str(tmp_path / "state")))
+            session.data_store(name).append_points([DataPoint(
+                appname="lammps", sku=SKUS[0], nnodes=2, ppn=4,
+                exec_time_s=100.0, cost_usd=5.0)])
+
+            first = router.handle("GET", f"/v1/advice?deployment={name}")
+            assert first.status == 200
+            etag = first.headers["ETag"]
+            assert len(first.payload["rows"]) == 1
+
+            # A strictly better point must both change the ETag and
+            # appear in the recomputed advice.
+            session.data_store(name).append_points([DataPoint(
+                appname="lammps", sku=SKUS[1], nnodes=2, ppn=4,
+                exec_time_s=50.0, cost_usd=1.0)])
+            second = router.handle(
+                "GET", f"/v1/advice?deployment={name}",
+                headers={"If-None-Match": etag})
+            assert second.status == 200
+            assert second.headers["ETag"] != etag
+            assert len(second.payload["rows"]) == 1
+            assert second.payload["rows"][0]["exec_time_s"] == 50.0
+        finally:
+            state.close()
+
+    def test_engine_param_selects_engine(self, tmp_path):
+        from repro.service.app import build_state
+        from repro.service.router import Router
+
+        state = build_state(str(tmp_path / "state"), workers=1)
+        try:
+            router = Router(state)
+            config = make_config(skus=list(SKUS))
+            response = router.handle(
+                "POST", "/v1/deployments",
+                json.dumps({"config": config.to_dict()}))
+            name = response.payload["name"]
+            session = AdvisorSession(store=StateStore(
+                root=str(tmp_path / "state")))
+            session.data_store(name).append_points([DataPoint(
+                appname="lammps", sku=SKUS[0], nnodes=2, ppn=4,
+                exec_time_s=100.0, cost_usd=5.0)])
+            payloads = {}
+            for engine in ("objects", "columnar", "auto"):
+                got = router.handle(
+                    "GET",
+                    f"/v1/advice?deployment={name}&engine={engine}")
+                assert got.status == 200, got.payload
+                payloads[engine] = dict(got.payload)
+            assert payloads["objects"].pop("engine") == "objects"
+            assert payloads["columnar"].pop("engine") == "columnar"
+            assert payloads["auto"].pop("engine") == "columnar"
+            for payload in payloads.values():
+                payload.pop("engine_fallback")
+            assert (payloads["objects"] == payloads["columnar"]
+                    == payloads["auto"])
+            bad = router.handle(
+                "GET", f"/v1/advice?deployment={name}&engine=fortran")
+            assert bad.status == 400
+        finally:
+            state.close()
